@@ -1,0 +1,25 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Device fitting is session-scoped: the runners cache fitted devices per
+configuration, so repeated benchmarks measure *evaluation* cost, not
+fitting cost — matching the paper's methodology (Table I times model
+invocations, not model construction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runners
+from repro.experiments.workloads import default_device_parameters
+
+
+@pytest.fixture(scope="session")
+def default_models():
+    """(reference, model1, model2) for the stock device, fitted once."""
+    return runners.build_models(default_device_parameters())
+
+
+def print_block(text: str) -> None:
+    """Print a result block with separation that survives pytest -s."""
+    print("\n" + text + "\n")

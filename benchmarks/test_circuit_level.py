@@ -1,0 +1,78 @@
+"""Circuit-level benchmark: the paper's motivating claim.
+
+"This numerical efficiency makes our model particularly suitable for
+implementation in circuit-level, e.g. SPICE-like, simulators" — measured
+directly: the same CNFET inverter VTC swept with the fast piecewise
+backend and with the full-numerics reference backend inside the MNA
+engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_block
+
+from repro.circuit import Circuit, Capacitor, VoltageSource, dc_sweep
+from repro.circuit.elements import CNFETElement
+from repro.circuit.logic import LogicFamily, build_ring_oscillator
+from repro.circuit.transient import initial_conditions_from_op, transient
+from repro.experiments.workloads import default_device_parameters
+from repro.pwl.device import CNFET
+from repro.reference.fettoy import FETToyModel
+
+
+def _resistive_inverter(device) -> Circuit:
+    """CNFET + resistive pull-up (works for both backends)."""
+    from repro.circuit.elements import Resistor
+
+    circuit = Circuit("nmos-style inverter")
+    circuit.add(VoltageSource("vdd", "vdd", "0", 0.6))
+    circuit.add(VoltageSource("vin", "in", "0", 0.0))
+    circuit.add(Resistor("rl", "vdd", "out", 2e5))
+    circuit.add(CNFETElement("q1", "out", "in", "0", device=device))
+    return circuit
+
+
+def test_bench_inverter_sweep_pwl_backend(benchmark):
+    device = CNFET(default_device_parameters())
+    circuit = _resistive_inverter(device)
+    benchmark.group = "inverter-vtc"
+    values = np.linspace(0.0, 0.6, 13)
+    benchmark(dc_sweep, circuit, "vin", values)
+
+
+def test_bench_inverter_sweep_reference_backend(benchmark):
+    device = FETToyModel(default_device_parameters())
+    circuit = _resistive_inverter(device)
+    benchmark.group = "inverter-vtc"
+    values = np.linspace(0.0, 0.6, 13)
+    benchmark(dc_sweep, circuit, "vin", values)
+
+
+def test_vtc_backends_agree():
+    """The fast backend's VTC must overlay the reference backend's."""
+    values = np.linspace(0.0, 0.6, 13)
+    out = {}
+    for label, device in (
+        ("pwl", CNFET(default_device_parameters())),
+        ("ref", FETToyModel(default_device_parameters())),
+    ):
+        ds = dc_sweep(_resistive_inverter(device), "vin", values)
+        out[label] = ds.voltage("out")
+    dev = np.max(np.abs(out["pwl"] - out["ref"]))
+    print_block(f"max VTC deviation pwl vs reference: {dev*1e3:.2f} mV")
+    assert dev < 0.02, f"VTC deviation too large: {dev} V"
+
+
+def test_ring_oscillator_runs_and_oscillates():
+    family = LogicFamily.default(vdd=0.6)
+    ring, nodes = build_ring_oscillator(family, stages=3)
+    x0 = initial_conditions_from_op(ring, {"n0": 0.0, "n1": 0.6})
+    ds = transient(ring, tstop=1.5e-10, dt=2e-12, x0=x0, method="be")
+    period = ds.period_estimate("v(n0)", 0.3)
+    print_block(
+        f"3-stage CNFET ring oscillator: period = {period*1e12:.1f} ps "
+        f"({1e-9/period:.1f} GHz), swing = {ds.swing('v(n0)')*1e3:.0f} mV"
+    )
+    assert 1e-12 < period < 1e-9
+    assert ds.swing("v(n0)") > 0.2

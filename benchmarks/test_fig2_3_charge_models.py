@@ -1,0 +1,48 @@
+"""Figures 2 and 3 — the piecewise approximations of QS(VSC).
+
+Checks the published qualitative features: charge decreasing in VSC,
+near-zero in the rightmost region, close tracking of theory, and the
+Model 2 fit being tighter than Model 1's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_block
+
+from repro.experiments.report import sparkline
+from repro.experiments.runners import run_fig2_3
+
+
+def test_fig2_model1_charge(benchmark):
+    result = benchmark.pedantic(
+        run_fig2_3, args=("model1",), iterations=1, rounds=1
+    )
+    print_block(result.render())
+    print_block("QS theory : " + sparkline(result.theory_qs)
+                + "\nQS fitted : " + sparkline(result.fitted_qs))
+    fitted = np.asarray(result.fitted_qs)
+    # Monotone non-increasing along the VSC axis (within float noise).
+    assert np.all(np.diff(fitted) <= 1e-13)
+    # Tracks theory within a few percent of peak on this axis.
+    peak = float(np.max(result.theory_qs))
+    assert float(np.max(np.abs(fitted - result.theory_qs))) < 0.25 * peak
+
+
+def test_fig3_model2_charge(benchmark):
+    result = benchmark.pedantic(
+        run_fig2_3, args=("model2",), iterations=1, rounds=1
+    )
+    print_block(result.render())
+    fitted = np.asarray(result.fitted_qs)
+    peak = float(np.max(result.theory_qs))
+    assert float(np.max(np.abs(fitted - result.theory_qs))) < 0.1 * peak
+
+
+def test_model2_fits_tighter_than_model1():
+    r1 = run_fig2_3("model1")
+    r2 = run_fig2_3("model2")
+    assert r2.rms_relative < r1.rms_relative, (
+        f"model2 fit ({r2.rms_relative:.4f}) should beat model1 "
+        f"({r1.rms_relative:.4f})"
+    )

@@ -1,0 +1,48 @@
+"""Figures 6 and 7 — IV families at T = 300 K, EF = -0.32 eV.
+
+Shape targets from the paper's plots: ~9 uA at VG = 0.6/VDS = 0.6;
+monotone saturating output curves; the fast models overlay FETToy with a
+few-percent average deviation (Model 2 tighter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_block
+
+from repro.experiments.runners import run_fig6_7
+
+
+def _check_family_shape(result) -> None:
+    ref = result.reference
+    # Currents increase with VG (rows ascend in gate voltage).
+    top = ref[:, -1]
+    assert np.all(np.diff(top) > 0.0)
+    # Output curves are non-decreasing in VDS (ballistic saturation).
+    assert np.all(np.diff(ref, axis=1) > -1e-12)
+    # Peak current magnitude matches the paper's ~9e-6 A axis.
+    assert 3e-6 < float(ref.max()) < 3e-5
+
+
+def test_fig6_model1(benchmark):
+    result = benchmark.pedantic(
+        run_fig6_7, args=("model1",), iterations=1, rounds=1
+    )
+    print_block(result.render())
+    _check_family_shape(result)
+    assert result.average_error_percent < 10.0
+
+
+def test_fig7_model2(benchmark):
+    result = benchmark.pedantic(
+        run_fig6_7, args=("model2",), iterations=1, rounds=1
+    )
+    print_block(result.render())
+    _check_family_shape(result)
+    assert result.average_error_percent < 3.0
+
+
+def test_model2_overlays_tighter_than_model1():
+    r1 = run_fig6_7("model1")
+    r2 = run_fig6_7("model2")
+    assert r2.average_error_percent < r1.average_error_percent

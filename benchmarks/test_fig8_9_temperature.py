@@ -1,0 +1,39 @@
+"""Figures 8 and 9 — Model 2 across temperature / Fermi-level corners.
+
+Fig. 8: T = 150 K, EF = 0 eV — currents up to ~3.5e-5 A (strongly doped
+contact, low T).  Fig. 9: T = 450 K, EF = -0.5 eV — currents an order of
+magnitude lower (~3.5e-6 A).  Model 2 must track FETToy through both
+corners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_block
+
+from repro.experiments.runners import run_fig8, run_fig9
+
+
+def test_fig8_low_temperature_high_fermi(benchmark):
+    result = benchmark.pedantic(run_fig8, iterations=1, rounds=1)
+    print_block(result.render())
+    peak = float(np.max(result.reference))
+    # Paper's Fig. 8 y-axis tops out at ~3.5e-5 A.
+    assert 5e-6 < peak < 1e-4
+    assert result.average_error_percent < 5.0
+
+
+def test_fig9_high_temperature_low_fermi(benchmark):
+    result = benchmark.pedantic(run_fig9, iterations=1, rounds=1)
+    print_block(result.render())
+    peak = float(np.max(result.reference))
+    # Paper's Fig. 9 y-axis tops out at ~3.5e-6 A.
+    assert 5e-7 < peak < 1e-5
+    assert result.average_error_percent < 5.0
+
+
+def test_fig8_exceeds_fig9_currents():
+    """The qualitative temperature/Fermi-level ordering of the figures."""
+    peak8 = float(np.max(run_fig8().reference))
+    peak9 = float(np.max(run_fig9().reference))
+    assert peak8 > 3.0 * peak9

@@ -1,0 +1,48 @@
+"""Table I — CPU time: FETToy reference vs Model 1 vs Model 2.
+
+The paper reports ~3400x (Model 1) and ~1100x (Model 2) over the MATLAB
+FETToy on a Pentium IV.  The reproduction target is the *shape*: both
+piecewise models must be orders of magnitude faster than the
+full-numerics reference, with Model 1 faster than Model 2.
+"""
+
+from __future__ import annotations
+
+from conftest import print_block
+
+from repro.experiments.runners import run_table1
+from repro.experiments.workloads import FIG67_VG_VALUES, PAPER_VDS_SWEEP
+
+
+def test_table1_speedups(benchmark):
+    result = benchmark.pedantic(run_table1, kwargs={"loops": (5, 10)},
+                                iterations=1, rounds=1)
+    print_block(result.render())
+    assert result.speedup_model1 > 50.0, (
+        f"Model 1 speed-up collapsed: {result.speedup_model1:.0f}x"
+    )
+    assert result.speedup_model2 > 30.0, (
+        f"Model 2 speed-up collapsed: {result.speedup_model2:.0f}x"
+    )
+    # Model 1 (3 regions, 1 coefficient) must not be slower than Model 2.
+    assert result.model1_s[-1] <= result.model2_s[-1] * 1.25
+    # Times scale ~linearly with loop count (sanity of the measurement).
+    assert result.fettoy_s[1] > result.fettoy_s[0] * 1.2
+
+
+def test_bench_reference_family(benchmark, default_models):
+    reference, _, _ = default_models
+    benchmark.group = "table1-family"
+    benchmark(reference.iv_family, FIG67_VG_VALUES, PAPER_VDS_SWEEP)
+
+
+def test_bench_model1_family(benchmark, default_models):
+    _, model1, _ = default_models
+    benchmark.group = "table1-family"
+    benchmark(model1.iv_family, FIG67_VG_VALUES, PAPER_VDS_SWEEP)
+
+
+def test_bench_model2_family(benchmark, default_models):
+    _, _, model2 = default_models
+    benchmark.group = "table1-family"
+    benchmark(model2.iv_family, FIG67_VG_VALUES, PAPER_VDS_SWEEP)

@@ -1,0 +1,29 @@
+"""Table IV — average RMS errors in IDS at EF = 0 eV.
+
+Paper values: Model 1 between 1.2 and 4.0, Model 2 between 0.4 and 2.1.
+This is the Fermi-at-band-edge case where the equilibrium density is
+large; the saturation-tail generalisation (DESIGN.md §6) is what keeps
+the piecewise models accurate here.
+"""
+
+from __future__ import annotations
+
+from conftest import print_block
+
+from repro.experiments.runners import run_rms_table
+
+
+def test_table4_errors(benchmark):
+    result = benchmark.pedantic(
+        run_rms_table, args=(0.0,), iterations=1, rounds=1
+    )
+    print_block(result.render())
+    avg1 = result.average("model1")
+    avg2 = result.average("model2")
+    print_block(
+        f"averages: Model 1 = {avg1:.2f}% (paper ~2.3%), "
+        f"Model 2 = {avg2:.2f}% (paper ~1.1%)"
+    )
+    assert avg2 < avg1
+    assert avg2 < 3.0
+    assert avg1 < 10.0

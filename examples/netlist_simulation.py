@@ -1,0 +1,69 @@
+"""Drive the engine from a SPICE-flavoured netlist file.
+
+A CNFET common-source stage with a resistive load, exercised through
+the text front end: DC transfer sweep plus a pulse transient.
+
+Run:  python examples/netlist_simulation.py
+"""
+
+import numpy as np
+
+from repro.circuit.dc import dc_sweep
+from repro.circuit.parser import parse_netlist
+from repro.circuit.transient import transient
+from repro.experiments.report import sparkline
+
+DECK = """
+* CNFET common-source amplifier stage
+.model fast cnfet model=model2 temperature_k=300 fermi_level_ev=-0.32
+Vdd vdd 0 0.6
+Vin in 0 PULSE(0.35 0.45 5p 1p 1p 60p 120p)
+Rload vdd out 150k
+Q1 out in 0 fast l=30n
+Cload out 0 5e-17
+.dc Vin 0 0.6 25
+.tran 0.5p 120p be
+.end
+"""
+
+
+def main() -> None:
+    deck = parse_netlist(DECK, title="common-source stage")
+    print(f"parsed: {len(deck.circuit.elements)} elements, "
+          f"{deck.circuit.n_nodes} nodes, "
+          f"{len(deck.analyses)} analyses, models: {sorted(deck.models)}")
+
+    for directive in deck.analyses:
+        if directive.kind == "dc":
+            values = np.linspace(
+                directive.params["start"], directive.params["stop"],
+                int(directive.params["points"]),
+            )
+            ds = dc_sweep(deck.circuit, directive.source, values)
+            v_out = ds.voltage("out")
+            gain = float(np.max(-np.gradient(v_out, values)))
+            print(f"\n.dc sweep of {directive.source}:")
+            print(f"  v(out): {sparkline(v_out, 50)}")
+            print(f"  small-signal gain at best bias: {gain:.2f} V/V")
+        else:
+            ds = transient(
+                deck.circuit,
+                tstop=directive.params["tstop"],
+                dt=directive.params["tstep"],
+                method=directive.method,
+            )
+            v_out = ds.voltage("out")
+            v_in = ds.voltage("in")
+            print(f"\n.tran ({directive.method}), "
+                  f"{len(ds.axis)} time points:")
+            print(f"  v(in) : {sparkline(v_in, 50)}")
+            print(f"  v(out): {sparkline(v_out, 50)}")
+            swing_in = ds.swing("v(in)")
+            swing_out = ds.swing("v(out)")
+            print(f"  pulse gain: {swing_out/swing_in:.2f} V/V "
+                  f"(input {swing_in*1e3:.0f} mV -> output "
+                  f"{swing_out*1e3:.0f} mV, inverted)")
+
+
+if __name__ == "__main__":
+    main()

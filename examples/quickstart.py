@@ -1,0 +1,62 @@
+"""Quickstart: fit a fast CNFET model and compare it with full theory.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.experiments.report import ascii_table, sparkline
+from repro.pwl import CNFET
+from repro.reference import FETToyModel, FETToyParameters
+
+
+def main() -> None:
+    # The paper's stock device: (13,0) tube, 1.5 nm coaxial oxide,
+    # T = 300 K, source Fermi level 0.32 eV below the band edge.
+    params = FETToyParameters()
+
+    # Baseline: full numerics (Newton-Raphson + Fermi/DOS integration).
+    reference = FETToyModel(params)
+
+    # The paper's Model 2: four-piece charge approximation, closed-form
+    # self-consistent voltage.  Fitting happens once, here.
+    fast = CNFET(params, model="model2")
+    print(f"fitted {fast.model_name}: charge RMS = "
+          f"{100 * fast.fitted.rms_error_relative:.2f}% of peak, "
+          f"boundaries at "
+          + ", ".join(f"{b:+.3f} V" for b in fast.fitted.boundaries_abs))
+
+    # Output characteristics at three gate biases.
+    vds = np.linspace(0.0, 0.6, 13)
+    rows = []
+    for vg in (0.4, 0.5, 0.6):
+        i_ref = [reference.ids(vg, float(v)) for v in vds]
+        i_fast = [fast.ids(vg, float(v)) for v in vds]
+        err = 100 * np.sqrt(np.mean((np.array(i_fast) - i_ref) ** 2)) \
+            / max(i_ref)
+        rows.append((vg, max(i_ref), max(i_fast), err))
+        print(f"VG={vg:.1f}  theory: {sparkline(i_ref)}")
+        print(f"        fast:   {sparkline(i_fast)}")
+    print()
+    print(ascii_table(
+        ("VG [V]", "peak IDS theory [A]", "peak IDS fast [A]",
+         "RMS err [%]"),
+        rows, title="Model 2 vs FETToy-equivalent reference",
+    ))
+
+    # And the speed difference, the entire point of the paper:
+    import time
+
+    start = time.perf_counter()
+    reference.iv_family([0.4, 0.5, 0.6], vds)
+    t_ref = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(10):
+        fast.iv_family([0.4, 0.5, 0.6], vds)
+    t_fast = (time.perf_counter() - start) / 10
+    print(f"\nfamily evaluation: reference {t_ref*1e3:.1f} ms, "
+          f"fast {t_fast*1e3:.2f} ms  ->  {t_ref/t_fast:.0f}x speed-up")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — circuit-level ballistic CNFET modelling.
+
+Reproduction of Kazmierski, Zhou & Al-Hashimi, *Efficient circuit-level
+modelling of ballistic CNT using piecewise non-linear approximation of
+mobile charge density*, DATE 2008.
+
+Public entry points
+-------------------
+``repro.reference.FETToyModel``
+    Full-numerics baseline (Newton-Raphson + Fermi/DOS integration).
+``repro.pwl.CNFET``
+    The paper's fast device: piecewise-polynomial charge, closed-form
+    self-consistent voltage.
+``repro.circuit``
+    SPICE-like MNA engine with a CNFET element.
+``repro.experiments``
+    Runners that regenerate every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,53 @@
+"""SPICE-like circuit simulation engine.
+
+A deliberately compact but real modified-nodal-analysis (MNA) simulator:
+
+* :mod:`repro.circuit.netlist` — circuit container and node bookkeeping;
+* :mod:`repro.circuit.elements` — R, L, C, sources, diode and the CNFET
+  device element (fast piecewise backend or reference backend);
+* :mod:`repro.circuit.mna` — assembly and the damped Newton loop with
+  gmin/source stepping fallbacks;
+* :mod:`repro.circuit.dc` — operating point and DC sweeps;
+* :mod:`repro.circuit.transient` — backward-Euler / trapezoidal
+  integration with Newton per step;
+* :mod:`repro.circuit.parser` — SPICE-flavoured netlist text front end;
+* :mod:`repro.circuit.logic` — CNFET gate builders (inverter, NAND,
+  ring oscillator) used by the examples.
+"""
+
+from repro.circuit.ac import ac_analysis, decade_frequencies
+from repro.circuit.dc import dc_sweep, operating_point
+from repro.circuit.elements import (
+    Capacitor,
+    CNFETElement,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.results import Dataset
+from repro.circuit.transient import transient
+from repro.circuit.waveforms import DC, Pulse, PWLWaveform, Sine
+
+__all__ = [
+    "Circuit",
+    "ac_analysis",
+    "decade_frequencies",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Diode",
+    "CNFETElement",
+    "operating_point",
+    "dc_sweep",
+    "transient",
+    "Dataset",
+    "DC",
+    "Pulse",
+    "Sine",
+    "PWLWaveform",
+]

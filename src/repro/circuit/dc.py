@@ -1,0 +1,131 @@
+"""DC analyses: operating point and sweeps."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.elements.base import GROUND_NAMES, StampContext
+from repro.circuit.elements.cnfet import CNFETElement
+from repro.circuit.elements.resistor import Resistor
+from repro.circuit.elements.sources import CurrentSource, VoltageSource
+from repro.circuit.mna import NewtonOptions, robust_dc_solve
+from repro.circuit.netlist import Circuit
+from repro.circuit.results import Dataset
+from repro.circuit.waveforms import DC
+from repro.errors import NetlistError
+
+
+class OperatingPoint:
+    """Converged DC solution with convenient accessors."""
+
+    def __init__(self, circuit: Circuit, x: np.ndarray) -> None:
+        self.circuit = circuit
+        self.x = x
+
+    def voltage(self, node: str) -> float:
+        if node in GROUND_NAMES:
+            return 0.0
+        try:
+            return float(self.x[self.circuit.node_index[node]])
+        except KeyError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    def source_current(self, name: str) -> float:
+        """Branch current through a voltage source (SPICE sign: into the
+        + terminal)."""
+        el = self.circuit.element(name)
+        if el.n_aux != 1:
+            raise NetlistError(
+                f"{name!r} has no branch-current unknown"
+            )
+        return float(self.x[el.aux_index])
+
+    def element_current(self, name: str) -> float:
+        """DC current through supported two/three-terminal elements."""
+        el = self.circuit.element(name)
+        if isinstance(el, Resistor):
+            a, b = el.nodes
+            return el.current(self.voltage(a), self.voltage(b))
+        if isinstance(el, CNFETElement):
+            ctx = _reporting_context(self.circuit, self.x)
+            return el.ids(ctx)
+        if isinstance(el, CurrentSource):
+            ctx = _reporting_context(self.circuit, self.x)
+            return el.source_value(ctx)
+        if el.n_aux == 1:
+            return float(self.x[el.aux_index])
+        raise NetlistError(f"cannot report a current for {name!r}")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            f"v({node})": self.voltage(node)
+            for node in self.circuit.nodes
+        }
+
+
+def _reporting_context(circuit: Circuit, x: np.ndarray) -> StampContext:
+    n = circuit.dimension()
+    return StampContext(
+        matrix=np.zeros((0, 0)), rhs=np.zeros(0),
+        node_index=circuit.node_index, x=x[:n], analysis="dc",
+    )
+
+
+def operating_point(circuit: Circuit,
+                    options: NewtonOptions = NewtonOptions(),
+                    x0: Optional[np.ndarray] = None) -> OperatingPoint:
+    """Solve the DC operating point (with fallbacks; see
+    :func:`repro.circuit.mna.robust_dc_solve`)."""
+    circuit.reset_state()
+    x = robust_dc_solve(circuit, x0, options)
+    return OperatingPoint(circuit, x)
+
+
+def dc_sweep(circuit: Circuit, source_name: str, values: Sequence[float],
+             options: NewtonOptions = NewtonOptions()) -> Dataset:
+    """Sweep an independent source and record all node voltages (and
+    every voltage-source branch current).
+
+    The previous solution seeds each step's Newton iteration, which is
+    both faster and more robust than cold starts (continuation).
+    """
+    source = circuit.element(source_name)
+    if not isinstance(source, (VoltageSource, CurrentSource)):
+        raise NetlistError(
+            f"{source_name!r} is not an independent source"
+        )
+    original = source.waveform
+    dataset = Dataset(source_name, values)
+    nodes = circuit.nodes
+    voltages = {n: [] for n in nodes}
+    currents = {
+        el.name: []
+        for el in circuit.iter_elements(VoltageSource)
+    }
+    cnfet_currents = {
+        el.name: []
+        for el in circuit.iter_elements(CNFETElement)
+    }
+    x_prev: Optional[np.ndarray] = None
+    try:
+        for value in values:
+            source.waveform = DC(float(value))
+            op = operating_point(circuit, options, x0=x_prev)
+            x_prev = op.x
+            for n in nodes:
+                voltages[n].append(op.voltage(n))
+            for name in currents:
+                currents[name].append(op.source_current(name))
+            for name in cnfet_currents:
+                cnfet_currents[name].append(op.element_current(name))
+    finally:
+        source.waveform = original
+    for n in nodes:
+        dataset.add_trace(f"v({n})", voltages[n])
+    for name, series in currents.items():
+        dataset.add_trace(f"i({name})", series)
+    for name, series in cnfet_currents.items():
+        dataset.add_trace(f"i({name})", series)
+    return dataset

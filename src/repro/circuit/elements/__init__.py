@@ -1,0 +1,21 @@
+"""Circuit elements for the MNA engine."""
+
+from repro.circuit.elements.base import Element, StampContext
+from repro.circuit.elements.capacitor import Capacitor
+from repro.circuit.elements.cnfet import CNFETElement
+from repro.circuit.elements.diode import Diode
+from repro.circuit.elements.inductor import Inductor
+from repro.circuit.elements.resistor import Resistor
+from repro.circuit.elements.sources import CurrentSource, VoltageSource
+
+__all__ = [
+    "Element",
+    "StampContext",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Diode",
+    "CNFETElement",
+]

@@ -1,0 +1,167 @@
+"""Element interface and the stamping context.
+
+The engine solves ``A x = z`` where ``x`` stacks node voltages (ground
+eliminated) and auxiliary branch currents (voltage sources, inductors).
+Elements contribute via :meth:`Element.stamp`, receiving a
+:class:`StampContext` that hides index bookkeeping and ground handling.
+
+Sign conventions
+----------------
+* ``add_conductance(a, b, g)`` stamps a conductance *between* nodes
+  ``a`` and ``b`` (the four-entry pattern).
+* ``add_current(a, b, i)`` injects a current of value ``i`` flowing
+  *from node a to node b through the element* (it leaves ``a``, enters
+  ``b``).
+* Nonlinear elements stamp their own Newton companion:
+  ``add_transconductance`` for cross-terms plus ``add_current`` with the
+  linearisation residual.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+class StampContext:
+    """Assembly context handed to every element's ``stamp``.
+
+    Attributes
+    ----------
+    analysis:
+        ``"dc"`` or ``"tran"``.
+    time, dt:
+        Current time and step (transient only; ``None`` in DC).
+    x:
+        Current Newton iterate (full solution vector) — elements read
+        their controlling voltages from it.
+    x_prev:
+        Converged solution of the previous time step (transient only).
+    method:
+        ``"be"`` (backward Euler) or ``"trap"`` (trapezoidal).
+    gmin:
+        Shunt conductance added by nonlinear elements for robustness
+        (swept during gmin stepping).
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        rhs: np.ndarray,
+        node_index: Dict[str, int],
+        x: np.ndarray,
+        analysis: str = "dc",
+        time: Optional[float] = None,
+        dt: Optional[float] = None,
+        x_prev: Optional[np.ndarray] = None,
+        method: str = "be",
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+    ) -> None:
+        self.matrix = matrix
+        self.rhs = rhs
+        self.node_index = node_index
+        self.x = x
+        self.analysis = analysis
+        self.time = time
+        self.dt = dt
+        self.x_prev = x_prev
+        self.method = method
+        self.gmin = gmin
+        self.source_scale = source_scale
+
+    # -- index helpers --------------------------------------------------
+
+    def idx(self, node: str) -> int:
+        """Matrix row of a node; -1 for ground."""
+        if node in GROUND_NAMES:
+            return -1
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    def voltage(self, node: str) -> float:
+        """Node voltage in the current Newton iterate."""
+        i = self.idx(node)
+        return 0.0 if i < 0 else float(self.x[i])
+
+    def previous_voltage(self, node: str) -> float:
+        """Node voltage at the previous accepted time point."""
+        if self.x_prev is None:
+            return 0.0
+        i = self.idx(node)
+        return 0.0 if i < 0 else float(self.x_prev[i])
+
+    # -- stamping primitives --------------------------------------------
+
+    def add_entry(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.matrix[row, col] += value
+
+    def add_rhs(self, row: int, value: float) -> None:
+        if row >= 0:
+            self.rhs[row] += value
+
+    def add_conductance(self, a: str, b: str, g: float) -> None:
+        ia, ib = self.idx(a), self.idx(b)
+        self.add_entry(ia, ia, g)
+        self.add_entry(ib, ib, g)
+        self.add_entry(ia, ib, -g)
+        self.add_entry(ib, ia, -g)
+
+    def add_transconductance(self, out_a: str, out_b: str,
+                             in_a: str, in_b: str, gm: float) -> None:
+        """Current ``gm * (V(in_a) - V(in_b))`` flowing out_a -> out_b."""
+        ia, ib = self.idx(out_a), self.idx(out_b)
+        ja, jb = self.idx(in_a), self.idx(in_b)
+        self.add_entry(ia, ja, gm)
+        self.add_entry(ia, jb, -gm)
+        self.add_entry(ib, ja, -gm)
+        self.add_entry(ib, jb, gm)
+
+    def add_current(self, a: str, b: str, i: float) -> None:
+        """Current ``i`` flowing from ``a`` to ``b`` through the element."""
+        ia, ib = self.idx(a), self.idx(b)
+        self.add_rhs(ia, -i)
+        self.add_rhs(ib, i)
+
+
+class Element:
+    """Base class of all circuit elements.
+
+    Subclasses set ``nodes`` (terminal names in a fixed order), override
+    :meth:`stamp`, and declare ``n_aux`` auxiliary unknowns (branch
+    currents).  ``aux_index`` is assigned by the circuit when the system
+    is dimensioned.
+    """
+
+    #: number of auxiliary (branch-current) unknowns
+    n_aux: int = 0
+    #: True when the stamp depends on the current iterate
+    nonlinear: bool = False
+
+    def __init__(self, name: str, nodes: Sequence[str]) -> None:
+        if not name:
+            raise NetlistError("element name must be non-empty")
+        self.name = name
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        self.aux_index: int = -1
+
+    def stamp(self, ctx: StampContext) -> None:
+        raise NotImplementedError
+
+    def accept_step(self, ctx: StampContext) -> None:
+        """Called once after a transient step converges; elements with
+        memory (trapezoidal capacitors, inductors) update their state."""
+
+    def reset_state(self) -> None:
+        """Forget any transient state (called when an analysis starts)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name}, nodes={self.nodes})"

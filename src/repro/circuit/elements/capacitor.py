@@ -1,0 +1,58 @@
+"""Linear capacitor with BE/trapezoidal companion models."""
+
+from __future__ import annotations
+
+from repro.circuit.elements.base import Element, StampContext
+from repro.errors import ParameterError
+
+
+class Capacitor(Element):
+    """Two-terminal linear capacitor.
+
+    DC: open circuit (no stamp).  Transient: companion conductance
+    ``geq = C/dt`` (backward Euler) or ``2C/dt`` (trapezoidal, which
+    also carries the previous branch current as state).
+    """
+
+    def __init__(self, name: str, a: str, b: str, capacitance: float,
+                 ic: float | None = None) -> None:
+        super().__init__(name, (a, b))
+        if capacitance <= 0.0:
+            raise ParameterError(
+                f"{name}: capacitance must be > 0, got {capacitance!r}"
+            )
+        self.capacitance = float(capacitance)
+        #: optional initial voltage for transient start
+        self.initial_voltage = ic
+        self._i_prev = 0.0
+
+    def reset_state(self) -> None:
+        self._i_prev = 0.0
+
+    def stamp(self, ctx: StampContext) -> None:
+        if ctx.analysis != "tran" or ctx.dt is None:
+            return
+        a, b = self.nodes
+        c = self.capacitance
+        v_prev = ctx.previous_voltage(a) - ctx.previous_voltage(b)
+        if ctx.method == "trap":
+            geq = 2.0 * c / ctx.dt
+            ieq = -(geq * v_prev + self._i_prev)
+        else:  # backward Euler
+            geq = c / ctx.dt
+            ieq = -geq * v_prev
+        ctx.add_conductance(a, b, geq)
+        # Equivalent history current source from a to b.
+        ctx.add_current(a, b, ieq)
+
+    def accept_step(self, ctx: StampContext) -> None:
+        if ctx.dt is None:
+            return
+        a, b = self.nodes
+        v_now = ctx.voltage(a) - ctx.voltage(b)
+        v_prev = ctx.previous_voltage(a) - ctx.previous_voltage(b)
+        if ctx.method == "trap":
+            geq = 2.0 * self.capacitance / ctx.dt
+            self._i_prev = geq * (v_now - v_prev) - self._i_prev
+        else:
+            self._i_prev = self.capacitance * (v_now - v_prev) / ctx.dt

@@ -1,0 +1,225 @@
+"""CNFET circuit element (the paper's Fig. 1 device in MNA form).
+
+DC: a nonlinear voltage-controlled current source ``IDS(VGS, VDS)``.
+The inner self-consistent voltage is solved *inside* the evaluation —
+closed-form for the fast piecewise backend, Newton for the reference
+backend — and the small-signal stamps (gm, gds) are computed
+analytically through the implicit-function theorem on the charge-balance
+residual:
+
+``dVSC/dVGS = -CG / (CSum - dDQ/dVSC)``
+``dVSC/dVDS = -(CD - Q'(VSC+VDS)) / (CSum - dDQ/dVSC)``
+
+with ``dDQ/dVSC = Q'(VSC) + Q'(VSC+VDS)`` — all quantities the piecewise
+model evaluates in closed form, so a Newton iteration of the circuit
+engine costs a handful of polynomial evaluations per device.
+
+Transient: terminal charges (gate / drain, with the source taking the
+balance so the three displacement currents sum to zero) are companion-
+modelled with numerical charge partials.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple, Union
+
+from repro.circuit.elements.base import Element, StampContext
+from repro.errors import ParameterError
+from repro.pwl.device import CNFET
+from repro.reference.fettoy import FETToyModel
+
+
+def _log1pexp(x: float) -> float:
+    """Stable ``log(1 + exp(x))`` (order-0 Fermi-Dirac integral)."""
+    if x > 35.0:
+        return x
+    if x < -35.0:
+        return math.exp(x)
+    return math.log1p(math.exp(x))
+
+
+def _logistic(x: float) -> float:
+    """``1 / (1 + exp(-x))`` — derivative of ``_log1pexp``."""
+    if x >= 0.0:
+        return 1.0 / (1.0 + math.exp(-x))
+    e = math.exp(x)
+    return e / (1.0 + e)
+
+
+class _Backend:
+    """Uniform view over the fast (CNFET) and reference (FETToyModel)
+    devices: vsc solve, mobile-charge curve and derivative, current."""
+
+    def __init__(self, device: Union[CNFET, FETToyModel]) -> None:
+        self.device = device
+        if isinstance(device, CNFET):
+            self.caps = device.capacitances
+            self.kt = device._kt
+            self.ef = device._ef
+            self.pref = device._i_prefactor
+            self._solve = lambda vgs, vds: device.solver.solve(vgs, vds, 0.0)
+            self._q = device.fitted.curve.value
+            self._dq = device.fitted.curve.derivative
+        elif isinstance(device, FETToyModel):
+            self.caps = device.capacitances
+            self.kt = device.kt_ev
+            self.ef = device.params.fermi_level_ev
+            self.pref = (
+                device.params.transmission
+                * device.params.temperature_k
+                * 2.0 * 1.602176634e-19 * 1.380649e-23
+                / (math.pi * 1.054571817e-34)
+            )
+            self._solve = lambda vgs, vds: device.solve_vsc(vgs, vds, 0.0)
+            self._q = lambda u: float(device.charge.qs(u))
+            self._dq = lambda u: float(device.charge.dqs_dvsc(u))
+        else:
+            raise ParameterError(
+                f"unsupported CNFET backend {type(device).__name__}; "
+                "expected repro.pwl.CNFET or repro.reference.FETToyModel"
+            )
+
+    def evaluate(self, vgs: float, vds: float
+                 ) -> Tuple[float, float, float, float]:
+        """``(ids, gm, gds, vsc)`` at a source-referenced bias point."""
+        vsc = self._solve(vgs, vds)
+        kt = self.kt
+        eta_s = (self.ef - vsc) / kt
+        eta_d = eta_s - vds / kt
+        ids = self.pref * (_log1pexp(eta_s) - _log1pexp(eta_d))
+        sig_s = _logistic(eta_s)
+        sig_d = _logistic(eta_d)
+        di_dvsc = (self.pref / kt) * (sig_d - sig_s)
+        di_dvds_direct = (self.pref / kt) * sig_d
+        dq_s = self._dq(vsc)
+        dq_d = self._dq(vsc + vds)
+        denominator = self.caps.csum - dq_s - dq_d
+        dvsc_dvgs = -self.caps.cg / denominator
+        dvsc_dvds = -(self.caps.cd - dq_d) / denominator
+        gm = di_dvsc * dvsc_dvgs
+        gds = di_dvds_direct + di_dvsc * dvsc_dvds
+        return ids, gm, gds, vsc
+
+    def charges(self, vgs: float, vds: float,
+                length_m: float) -> Tuple[float, float, float]:
+        """Terminal charges (gate, drain, source) [C]; they sum to zero
+        by construction so transient displacement currents conserve
+        charge."""
+        vsc = self._solve(vgs, vds)
+        caps = self.caps
+        qg = length_m * caps.cg * (vgs + vsc)
+        qd = length_m * (caps.cd * (vds + vsc) - self._q(vsc + vds))
+        return qg, qd, -(qg + qd)
+
+
+class CNFETElement(Element):
+    """Three-terminal CNFET for the MNA engine.
+
+    Parameters
+    ----------
+    name:
+        Element name.
+    drain, gate, source:
+        Node names.
+    device:
+        A :class:`repro.pwl.CNFET` (fast, the normal case) or a
+        :class:`repro.reference.FETToyModel` (baseline; hundreds of
+        times slower per Newton iteration — used by the speed-comparison
+        benchmarks).
+    length_nm:
+        Effective channel length for charge scaling (transient only;
+        the ballistic current is length-independent).
+    polarity:
+        ``"n"`` or ``"p"``; p-type mirrors all terminal voltages.  If
+        ``device`` is a p-type :class:`CNFET` its polarity is adopted.
+    """
+
+    nonlinear = True
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 device: Union[CNFET, FETToyModel],
+                 length_nm: float = 30.0,
+                 polarity: str | None = None) -> None:
+        super().__init__(name, (drain, gate, source))
+        if length_nm <= 0.0:
+            raise ParameterError(f"{name}: length must be > 0")
+        self.backend = _Backend(device)
+        self.length_m = length_nm * 1e-9
+        if polarity is None:
+            polarity = getattr(device, "polarity", "n")
+        if polarity not in ("n", "p"):
+            raise ParameterError(f"{name}: polarity must be 'n' or 'p'")
+        self.polarity = polarity
+        self._charge_delta = 1e-4  # V, for numeric charge partials
+
+    # -- bias helpers ----------------------------------------------------
+
+    def _bias(self, ctx: StampContext) -> Tuple[float, float]:
+        d, g, s = self.nodes
+        vgs = ctx.voltage(g) - ctx.voltage(s)
+        vds = ctx.voltage(d) - ctx.voltage(s)
+        if self.polarity == "p":
+            return -vgs, -vds
+        return vgs, vds
+
+    def ids(self, ctx: StampContext) -> float:
+        """Drain-to-source current at the current iterate (reporting)."""
+        vgs, vds = self._bias(ctx)
+        ids, _, _, _ = self.backend.evaluate(vgs, vds)
+        return ids if self.polarity == "n" else -ids
+
+    # -- stamping ---------------------------------------------------------
+
+    def stamp(self, ctx: StampContext) -> None:
+        d, g, s = self.nodes
+        vgs, vds = self._bias(ctx)
+        ids, gm, gds, _vsc = self.backend.evaluate(vgs, vds)
+        # Mirroring flips both the controlling voltages and the current
+        # direction; the conductance signs are invariant (d(-I)/d(-V)).
+        sign = 1.0 if self.polarity == "n" else -1.0
+        # Linearised current (n-frame): I = ids + gm*dvgs + gds*dvds.
+        ctx.add_transconductance(d, s, g, s, gm)
+        ctx.add_conductance(d, s, gds)
+        ctx.add_conductance(d, s, ctx.gmin)
+        ctx.add_conductance(g, s, ctx.gmin)
+        residual = sign * ids - gm * sign * vgs - gds * sign * vds
+        ctx.add_current(d, s, residual)
+        if ctx.analysis == "tran" and ctx.dt is not None:
+            self._stamp_charges(ctx)
+
+    def _stamp_charges(self, ctx: StampContext) -> None:
+        d, g, s = self.nodes
+        vgs, vds = self._bias(ctx)
+        sign = 1.0 if self.polarity == "n" else -1.0
+        delta = self._charge_delta
+        q0 = self.backend.charges(vgs, vds, self.length_m)
+        qg_p, qd_p, qs_p = self.backend.charges(vgs + delta, vds,
+                                                self.length_m)
+        qg_d, qd_d, qs_d = self.backend.charges(vgs, vds + delta,
+                                                self.length_m)
+        # Partials w.r.t. vgs / vds (n-frame).
+        dq_dvgs = [(qg_p - q0[0]) / delta, (qd_p - q0[1]) / delta,
+                   (qs_p - q0[2]) / delta]
+        dq_dvds = [(qg_d - q0[0]) / delta, (qd_d - q0[1]) / delta,
+                   (qs_d - q0[2]) / delta]
+        # Previous-step charges.
+        vgs_prev = ctx.previous_voltage(g) - ctx.previous_voltage(s)
+        vds_prev = ctx.previous_voltage(d) - ctx.previous_voltage(s)
+        if self.polarity == "p":
+            vgs_prev, vds_prev = -vgs_prev, -vds_prev
+        q_prev = self.backend.charges(vgs_prev, vds_prev, self.length_m)
+        dt = ctx.dt
+        terminals = (g, d, s)
+        for t_idx, terminal in enumerate(terminals):
+            # Backward-Euler companion for i_t = dq_t/dt, linearised in
+            # (vgs, vds).  Mirroring multiplies both q and v by -1, so
+            # the conductances are invariant and currents flip.
+            geq_gs = dq_dvgs[t_idx] / dt
+            geq_ds = dq_dvds[t_idx] / dt
+            i_now = (q0[t_idx] - q_prev[t_idx]) / dt
+            ctx.add_transconductance(terminal, "0", g, s, geq_gs)
+            ctx.add_transconductance(terminal, "0", d, s, geq_ds)
+            residual = sign * i_now - geq_gs * sign * vgs \
+                - geq_ds * sign * vds
+            ctx.add_current(terminal, "0", residual)

@@ -1,0 +1,56 @@
+"""Junction diode with Newton companion model."""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.elements.base import Element, StampContext
+from repro.errors import ParameterError
+
+
+class Diode(Element):
+    """Shockley diode ``I = Is (exp(V/(n Vt)) - 1)`` with junction
+    voltage limiting and a gmin shunt for convergence."""
+
+    nonlinear = True
+
+    def __init__(self, name: str, anode: str, cathode: str,
+                 saturation_current: float = 1e-14,
+                 emission_coefficient: float = 1.0,
+                 temperature_k: float = 300.0) -> None:
+        super().__init__(name, (anode, cathode))
+        if saturation_current <= 0.0:
+            raise ParameterError(
+                f"{name}: Is must be > 0, got {saturation_current!r}"
+            )
+        if emission_coefficient <= 0.0:
+            raise ParameterError(
+                f"{name}: emission coefficient must be > 0"
+            )
+        self.saturation_current = saturation_current
+        self.n_vt = emission_coefficient * 8.617333262e-5 * temperature_k
+        #: critical voltage for junction limiting
+        self.v_crit = self.n_vt * math.log(self.n_vt /
+                                           (saturation_current * math.sqrt(2)))
+
+    def current_and_conductance(self, v: float) -> tuple[float, float]:
+        """``(I(v), dI/dv)`` with exponent clamping."""
+        x = v / self.n_vt
+        if x > 80.0:
+            # Linearise beyond the clamp to keep Newton finite.
+            e = math.exp(80.0)
+            i = self.saturation_current * (e * (1.0 + (x - 80.0)) - 1.0)
+            g = self.saturation_current * e / self.n_vt
+        else:
+            e = math.exp(x)
+            i = self.saturation_current * (e - 1.0)
+            g = self.saturation_current * e / self.n_vt
+        return i, g
+
+    def stamp(self, ctx: StampContext) -> None:
+        a, c = self.nodes
+        v = ctx.voltage(a) - ctx.voltage(c)
+        i, g = self.current_and_conductance(v)
+        ctx.add_conductance(a, c, g + ctx.gmin)
+        # Companion current: I(vk) - g*vk as an independent source.
+        ctx.add_current(a, c, i - g * v)

@@ -1,0 +1,56 @@
+"""Linear inductor (auxiliary branch-current formulation)."""
+
+from __future__ import annotations
+
+from repro.circuit.elements.base import Element, StampContext
+from repro.errors import ParameterError
+
+
+class Inductor(Element):
+    """Two-terminal linear inductor with one auxiliary current unknown.
+
+    DC: behaves as a 0 V source (short).  Transient (BE):
+    ``v = L di/dt  ->  v_n - (L/dt)(i_n - i_prev) = 0``; trapezoidal
+    keeps the previous voltage as extra state.
+    """
+
+    n_aux = 1
+
+    def __init__(self, name: str, a: str, b: str, inductance: float) -> None:
+        super().__init__(name, (a, b))
+        if inductance <= 0.0:
+            raise ParameterError(
+                f"{name}: inductance must be > 0, got {inductance!r}"
+            )
+        self.inductance = float(inductance)
+        self._v_prev = 0.0
+
+    def reset_state(self) -> None:
+        self._v_prev = 0.0
+
+    def stamp(self, ctx: StampContext) -> None:
+        a, b = self.nodes
+        ia, ib = ctx.idx(a), ctx.idx(b)
+        k = self.aux_index
+        # KCL coupling: aux current leaves a, enters b.
+        ctx.add_entry(ia, k, 1.0)
+        ctx.add_entry(ib, k, -1.0)
+        # Branch equation row.
+        ctx.add_entry(k, ia, 1.0)
+        ctx.add_entry(k, ib, -1.0)
+        if ctx.analysis != "tran" or ctx.dt is None:
+            # DC: v_a - v_b = 0 (ideal short).
+            return
+        l_over_dt = self.inductance / ctx.dt
+        i_prev = float(ctx.x_prev[k]) if ctx.x_prev is not None else 0.0
+        if ctx.method == "trap":
+            # v_n + v_prev = (2L/dt)(i_n - i_prev)
+            ctx.add_entry(k, k, -2.0 * l_over_dt)
+            ctx.add_rhs(k, -2.0 * l_over_dt * i_prev + self._v_prev * -1.0)
+        else:
+            ctx.add_entry(k, k, -l_over_dt)
+            ctx.add_rhs(k, -l_over_dt * i_prev)
+
+    def accept_step(self, ctx: StampContext) -> None:
+        a, b = self.nodes
+        self._v_prev = ctx.voltage(a) - ctx.voltage(b)

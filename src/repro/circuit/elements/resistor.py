@@ -1,0 +1,43 @@
+"""Linear resistor."""
+
+from __future__ import annotations
+
+from repro.circuit.elements.base import Element, StampContext
+from repro.errors import ParameterError
+
+
+class Resistor(Element):
+    """Two-terminal linear resistor.
+
+    Parameters
+    ----------
+    name, a, b:
+        Element name and terminal nodes.
+    resistance:
+        Ohms; must be positive (use a voltage source for a short).
+    """
+
+    def __init__(self, name: str, a: str, b: str, resistance: float) -> None:
+        super().__init__(name, (a, b))
+        if resistance <= 0.0 or not _finite(resistance):
+            raise ParameterError(
+                f"{name}: resistance must be finite and > 0, "
+                f"got {resistance!r}"
+            )
+        self.resistance = float(resistance)
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+    def stamp(self, ctx: StampContext) -> None:
+        a, b = self.nodes
+        ctx.add_conductance(a, b, self.conductance)
+
+    def current(self, va: float, vb: float) -> float:
+        """Branch current a -> b for reporting."""
+        return (va - vb) * self.conductance
+
+
+def _finite(x: float) -> bool:
+    return x == x and abs(x) != float("inf")

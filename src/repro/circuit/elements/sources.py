@@ -1,0 +1,64 @@
+"""Independent voltage and current sources."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.circuit.elements.base import Element, StampContext
+from repro.circuit.waveforms import DC, Waveform
+
+
+def _as_waveform(value: Union[float, Waveform]) -> Waveform:
+    if isinstance(value, Waveform):
+        return value
+    return DC(float(value))
+
+
+class VoltageSource(Element):
+    """Independent voltage source ``V(a) - V(b) = value(t)``.
+
+    One auxiliary unknown: the branch current flowing a -> b through the
+    source (so a positive current means the source *sinks* current at
+    its + terminal, the SPICE convention).
+    """
+
+    n_aux = 1
+
+    def __init__(self, name: str, a: str, b: str,
+                 value: Union[float, Waveform] = 0.0) -> None:
+        super().__init__(name, (a, b))
+        self.waveform = _as_waveform(value)
+
+    def source_value(self, ctx: StampContext) -> float:
+        if ctx.analysis == "tran" and ctx.time is not None:
+            return self.waveform.value(ctx.time)
+        return self.waveform.dc_value()
+
+    def stamp(self, ctx: StampContext) -> None:
+        a, b = self.nodes
+        ia, ib = ctx.idx(a), ctx.idx(b)
+        k = self.aux_index
+        ctx.add_entry(ia, k, 1.0)
+        ctx.add_entry(ib, k, -1.0)
+        ctx.add_entry(k, ia, 1.0)
+        ctx.add_entry(k, ib, -1.0)
+        ctx.add_rhs(k, self.source_value(ctx) * ctx.source_scale)
+
+
+class CurrentSource(Element):
+    """Independent current source pushing ``value(t)`` from a to b
+    through the element (i.e. out of node ``a`` into node ``b``)."""
+
+    def __init__(self, name: str, a: str, b: str,
+                 value: Union[float, Waveform] = 0.0) -> None:
+        super().__init__(name, (a, b))
+        self.waveform = _as_waveform(value)
+
+    def source_value(self, ctx: StampContext) -> float:
+        if ctx.analysis == "tran" and ctx.time is not None:
+            return self.waveform.value(ctx.time)
+        return self.waveform.dc_value()
+
+    def stamp(self, ctx: StampContext) -> None:
+        a, b = self.nodes
+        ctx.add_current(a, b, self.source_value(ctx) * ctx.source_scale)

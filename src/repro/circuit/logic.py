@@ -1,0 +1,133 @@
+"""CNFET logic-circuit builders.
+
+The paper motivates the fast model with "simulations of circuits that
+might involve very large numbers of CNT devices" and names logic
+structures as future work; these builders create the canonical test
+circuits used by the examples and integration tests:
+
+* complementary inverter (n + p CNFET),
+* 2-input NAND,
+* N-stage ring oscillator with load capacitors.
+
+The p-type device is the voltage-mirrored n-type model (see
+:class:`repro.pwl.device.CNFET`), the standard circuit-level idealisation
+for complementary CNFET logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.circuit.elements import Capacitor, CNFETElement, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Waveform
+from repro.errors import ParameterError
+from repro.pwl.device import CNFET
+from repro.reference.fettoy import FETToyParameters
+
+
+@dataclass
+class LogicFamily:
+    """A matched pair of n/p devices plus shared sizing defaults."""
+
+    n_device: CNFET
+    p_device: CNFET
+    vdd: float = 0.6
+    length_nm: float = 30.0
+    load_f: float = 1e-17
+
+    @classmethod
+    def default(cls, vdd: float = 0.6, model: str = "model2",
+                params: Optional[FETToyParameters] = None) -> "LogicFamily":
+        """Build the standard family from FETToy-default devices."""
+        base = params if params is not None else FETToyParameters()
+        return cls(
+            n_device=CNFET(base, model=model, polarity="n"),
+            p_device=CNFET(base, model=model, polarity="p"),
+            vdd=vdd,
+        )
+
+
+def add_inverter(circuit: Circuit, family: LogicFamily, name: str,
+                 vin: str, vout: str, vdd_node: str = "vdd") -> None:
+    """Complementary inverter ``name`` from ``vin`` to ``vout``."""
+    circuit.add(CNFETElement(
+        f"{name}_p", vout, vin, vdd_node, device=family.p_device,
+        length_nm=family.length_nm,
+    ))
+    circuit.add(CNFETElement(
+        f"{name}_n", vout, vin, "0", device=family.n_device,
+        length_nm=family.length_nm,
+    ))
+
+
+def add_nand2(circuit: Circuit, family: LogicFamily, name: str,
+              in_a: str, in_b: str, vout: str,
+              vdd_node: str = "vdd") -> None:
+    """2-input NAND: parallel p pull-ups, stacked n pull-downs."""
+    mid = f"{name}_mid"
+    circuit.add(CNFETElement(
+        f"{name}_pa", vout, in_a, vdd_node, device=family.p_device,
+        length_nm=family.length_nm,
+    ))
+    circuit.add(CNFETElement(
+        f"{name}_pb", vout, in_b, vdd_node, device=family.p_device,
+        length_nm=family.length_nm,
+    ))
+    circuit.add(CNFETElement(
+        f"{name}_na", vout, in_a, mid, device=family.n_device,
+        length_nm=family.length_nm,
+    ))
+    circuit.add(CNFETElement(
+        f"{name}_nb", mid, in_b, "0", device=family.n_device,
+        length_nm=family.length_nm,
+    ))
+
+
+def build_inverter(family: LogicFamily,
+                   vin_wave: Waveform | float = 0.0
+                   ) -> Tuple[Circuit, str, str]:
+    """Single inverter with supply and driven input.
+
+    Returns ``(circuit, input_node, output_node)``.
+    """
+    circuit = Circuit("cnfet inverter")
+    circuit.add(VoltageSource("vdd_src", "vdd", "0", family.vdd))
+    circuit.add(VoltageSource("vin_src", "in", "0", vin_wave))
+    add_inverter(circuit, family, "inv", "in", "out")
+    circuit.add(Capacitor("cload", "out", "0", family.load_f))
+    return circuit, "in", "out"
+
+
+def build_nand2(family: LogicFamily,
+                wave_a: Waveform | float = 0.0,
+                wave_b: Waveform | float = 0.0) -> Tuple[Circuit, str]:
+    """2-input NAND with driven inputs; returns ``(circuit, out_node)``."""
+    circuit = Circuit("cnfet nand2")
+    circuit.add(VoltageSource("vdd_src", "vdd", "0", family.vdd))
+    circuit.add(VoltageSource("va_src", "a", "0", wave_a))
+    circuit.add(VoltageSource("vb_src", "b", "0", wave_b))
+    add_nand2(circuit, family, "nand", "a", "b", "out")
+    circuit.add(Capacitor("cload", "out", "0", family.load_f))
+    return circuit, "out"
+
+
+def build_ring_oscillator(family: LogicFamily,
+                          stages: int = 3) -> Tuple[Circuit, Tuple[str, ...]]:
+    """Ring of an odd number of inverters with per-stage load caps.
+
+    Returns ``(circuit, stage_output_nodes)``.
+    """
+    if stages < 3 or stages % 2 == 0:
+        raise ParameterError(
+            f"a ring oscillator needs an odd stage count >= 3: {stages}"
+        )
+    circuit = Circuit(f"cnfet ring oscillator ({stages} stages)")
+    circuit.add(VoltageSource("vdd_src", "vdd", "0", family.vdd))
+    nodes = tuple(f"n{i}" for i in range(stages))
+    for i in range(stages):
+        vin = nodes[i - 1] if i > 0 else nodes[-1]
+        add_inverter(circuit, family, f"inv{i}", vin, nodes[i])
+        circuit.add(Capacitor(f"cl{i}", nodes[i], "0", family.load_f))
+    return circuit, nodes

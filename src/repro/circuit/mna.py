@@ -1,0 +1,147 @@
+"""MNA assembly and the damped Newton solver.
+
+``solve_system`` runs Newton-Raphson on the assembled companion system:
+each iteration re-stamps every element around the current iterate and
+solves the dense linear system.  Robustness aids, in escalation order:
+
+1. per-iteration voltage step damping (clipped to ``max_step`` volts);
+2. gmin stepping (decade sweep of the nonlinear shunt conductance);
+3. source stepping (ramping all independent sources from 0).
+
+Dense numpy is entirely adequate for the circuit sizes this library
+targets (tens to hundreds of nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit.elements.base import StampContext
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class NewtonOptions:
+    """Newton-loop tuning knobs (defaults follow SPICE conventions)."""
+
+    max_iterations: int = 100
+    #: absolute node-voltage convergence tolerance [V]
+    vtol: float = 1e-9
+    #: relative convergence tolerance
+    reltol: float = 1e-6
+    #: maximum voltage change per Newton iteration [V]
+    max_step: float = 0.5
+    #: shunt conductance for nonlinear elements
+    gmin: float = 1e-12
+    #: enable gmin stepping fallback
+    gmin_stepping: bool = True
+    #: enable source stepping fallback
+    source_stepping: bool = True
+
+
+def assemble(circuit: Circuit, x: np.ndarray, *, analysis: str = "dc",
+             time: Optional[float] = None, dt: Optional[float] = None,
+             x_prev: Optional[np.ndarray] = None, method: str = "be",
+             gmin: float = 1e-12, source_scale: float = 1.0
+             ) -> StampContext:
+    """Stamp every element around iterate ``x``; returns the context
+    whose ``matrix``/``rhs`` hold the companion system."""
+    n = circuit.dimension()
+    ctx = StampContext(
+        matrix=np.zeros((n, n)),
+        rhs=np.zeros(n),
+        node_index=circuit.node_index,
+        x=x,
+        analysis=analysis,
+        time=time,
+        dt=dt,
+        x_prev=x_prev,
+        method=method,
+        gmin=gmin,
+        source_scale=source_scale,
+    )
+    for el in circuit.elements:
+        el.stamp(ctx)
+    return ctx
+
+
+def newton_solve(circuit: Circuit, x0: np.ndarray,
+                 options: NewtonOptions = NewtonOptions(), *,
+                 analysis: str = "dc", time: Optional[float] = None,
+                 dt: Optional[float] = None,
+                 x_prev: Optional[np.ndarray] = None, method: str = "be",
+                 gmin: Optional[float] = None,
+                 source_scale: float = 1.0) -> np.ndarray:
+    """Damped Newton iteration; raises :class:`AnalysisError` on failure."""
+    x = x0.copy()
+    n_nodes = len(circuit.node_index)
+    use_gmin = options.gmin if gmin is None else gmin
+    for _ in range(options.max_iterations):
+        ctx = assemble(
+            circuit, x, analysis=analysis, time=time, dt=dt,
+            x_prev=x_prev, method=method, gmin=use_gmin,
+            source_scale=source_scale,
+        )
+        try:
+            x_new = np.linalg.solve(ctx.matrix, ctx.rhs)
+        except np.linalg.LinAlgError as exc:
+            raise AnalysisError(
+                f"singular MNA matrix ({exc}); check for floating nodes"
+            ) from exc
+        delta = x_new - x
+        # Damp voltage unknowns only; branch currents may move freely.
+        v_delta = delta[:n_nodes]
+        max_dv = float(np.max(np.abs(v_delta))) if n_nodes else 0.0
+        if max_dv > options.max_step:
+            delta = delta * (options.max_step / max_dv)
+        x = x + delta
+        converged = np.all(
+            np.abs(delta[:n_nodes])
+            <= options.vtol + options.reltol * np.abs(x[:n_nodes])
+        )
+        if converged and max_dv <= options.max_step:
+            return x
+    raise AnalysisError(
+        f"Newton did not converge in {options.max_iterations} iterations "
+        f"(analysis={analysis}, t={time})"
+    )
+
+
+def robust_dc_solve(circuit: Circuit, x0: Optional[np.ndarray] = None,
+                    options: NewtonOptions = NewtonOptions()) -> np.ndarray:
+    """DC solve with gmin/source-stepping fallbacks."""
+    n = circuit.dimension()
+    x_start = np.zeros(n) if x0 is None else x0.copy()
+    try:
+        return newton_solve(circuit, x_start, options, analysis="dc")
+    except AnalysisError:
+        pass
+    if options.gmin_stepping:
+        x = x_start.copy()
+        try:
+            for exponent in range(3, 13):
+                x = newton_solve(
+                    circuit, x, options, analysis="dc",
+                    gmin=10.0 ** (-exponent),
+                )
+            return newton_solve(circuit, x, options, analysis="dc")
+        except AnalysisError:
+            pass
+    if options.source_stepping:
+        x = np.zeros(n)
+        try:
+            for scale in (0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0):
+                x = newton_solve(
+                    circuit, x, options, analysis="dc", source_scale=scale,
+                )
+            return x
+        except AnalysisError:
+            pass
+    raise AnalysisError(
+        "DC operating point failed (Newton, gmin stepping and source "
+        "stepping all diverged)"
+    )

@@ -1,0 +1,108 @@
+"""Circuit container: elements, nodes, system dimensioning."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.circuit.elements.base import GROUND_NAMES, Element
+from repro.errors import NetlistError
+
+
+class Circuit:
+    """A flat netlist of elements.
+
+    Nodes are created implicitly by element terminals; ``0``/``gnd`` is
+    ground.  The circuit assigns matrix indices: node voltages first,
+    then auxiliary branch currents in element order.
+    """
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self.elements: List[Element] = []
+        self._by_name: Dict[str, Element] = {}
+        self.node_index: Dict[str, int] = {}
+        self._n_aux = 0
+        self._dimensioned = False
+
+    # ------------------------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        """Add an element (returns it for chaining)."""
+        key = element.name.lower()
+        if key in self._by_name:
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        self._by_name[key] = element
+        self.elements.append(element)
+        self._dimensioned = False
+        return element
+
+    def element(self, name: str) -> Element:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise NetlistError(f"no element named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        """All non-ground nodes, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for el in self.elements:
+            for node in el.nodes:
+                if node not in GROUND_NAMES and node not in seen:
+                    seen[node] = None
+        return list(seen)
+
+    def dimension(self) -> int:
+        """Assign matrix indices; returns the system size.
+
+        Idempotent until the element list changes.
+        """
+        if self._dimensioned:
+            return len(self.node_index) + self._n_aux
+        nodes = self.nodes
+        if not nodes:
+            raise NetlistError("circuit has no non-ground nodes")
+        self._check_topology()
+        self.node_index = {n: i for i, n in enumerate(nodes)}
+        offset = len(nodes)
+        self._n_aux = 0
+        for el in self.elements:
+            if el.n_aux:
+                el.aux_index = offset + self._n_aux
+                self._n_aux += el.n_aux
+        self._dimensioned = True
+        return offset + self._n_aux
+
+    def _check_topology(self) -> None:
+        ground_seen = any(
+            node in GROUND_NAMES for el in self.elements for node in el.nodes
+        )
+        if not ground_seen:
+            raise NetlistError(
+                "circuit has no ground reference (node '0' or 'gnd')"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def reset_state(self) -> None:
+        """Clear element transient state before a new analysis."""
+        for el in self.elements:
+            el.reset_state()
+
+    def iter_elements(self, cls: Optional[type] = None) -> Iterable[Element]:
+        for el in self.elements:
+            if cls is None or isinstance(el, cls):
+                yield el
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.title!r}, {len(self.elements)} elements, "
+            f"{self.n_nodes} nodes)"
+        )

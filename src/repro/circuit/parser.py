@@ -1,0 +1,275 @@
+"""SPICE-flavoured netlist text parser.
+
+Supported cards (case-insensitive, ``*``/``;`` comments, ``+``
+continuations):
+
+``R<name> a b value``            resistor
+``C<name> a b value [ic=v]``     capacitor
+``L<name> a b value``            inductor
+``V<name> a b [DC] v | PULSE(...) | SIN(...) | PWL(...)``
+``I<name> a b [DC] v | ...``     sources
+``D<name> a c [is=..] [n=..]``   diode
+``Q<name> d g s model [l=30n] [polarity=n|p]``  CNFET instance
+``.model <name> cnfet [param=value ...]``       CNFET model card
+``.dc <source> start stop points``
+``.tran tstep tstop [method]``
+``.end``
+
+The parser returns a :class:`ParsedDeck` holding the circuit plus any
+analysis directives.  CNFET model cards accept the
+:class:`repro.reference.fettoy.FETToyParameters` field names plus
+``model=model1|model2``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.elements import (
+    Capacitor,
+    CNFETElement,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import DC, Pulse, PWLWaveform, Sine, Waveform
+from repro.errors import ParseError
+from repro.pwl.device import CNFET
+from repro.reference.fettoy import FETToyParameters
+from repro.units import parse_spice_number
+
+
+@dataclass
+class AnalysisDirective:
+    """One ``.dc`` or ``.tran`` card."""
+
+    kind: str
+    params: Dict[str, float] = field(default_factory=dict)
+    source: Optional[str] = None
+    method: str = "trap"
+
+
+@dataclass
+class ParsedDeck:
+    circuit: Circuit
+    analyses: List[AnalysisDirective]
+    models: Dict[str, CNFET]
+
+
+_FLOAT_FIELDS = {
+    "diameter_nm", "tox_nm", "kappa", "temperature_k", "fermi_level_ev",
+    "alpha_g", "alpha_d", "transmission",
+}
+
+
+def _join_continuations(text: str) -> List[Tuple[int, str]]:
+    """Strip comments, join ``+`` continuation lines; returns
+    (line_number, logical_line) pairs."""
+    logical: List[Tuple[int, str]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0]
+        stripped = line.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not logical:
+                raise ParseError(
+                    "continuation with no previous line",
+                    line_number=number, line=raw,
+                )
+            prev_no, prev = logical[-1]
+            logical[-1] = (prev_no, prev + " " + stripped[1:].strip())
+        else:
+            logical.append((number, stripped))
+    return logical
+
+
+_WAVE_RE = re.compile(r"(pulse|sin|pwl)\s*\((.*)\)", re.IGNORECASE)
+
+
+def _parse_waveform(tokens: List[str], joined: str) -> Waveform:
+    match = _WAVE_RE.search(joined)
+    if match:
+        kind = match.group(1).lower()
+        args = [parse_spice_number(t)
+                for t in match.group(2).replace(",", " ").split()]
+        if kind == "pulse":
+            if len(args) < 2:
+                raise ParseError(f"PULSE needs at least v1 v2: {joined!r}")
+            defaults = [0.0, 0.0, 0.0, 1e-12, 1e-12, 1e-9, 2e-9]
+            full = args + defaults[len(args):]
+            return Pulse(*full[:7])
+        if kind == "sin":
+            if len(args) < 3:
+                raise ParseError(f"SIN needs vo va freq: {joined!r}")
+            defaults = [0.0, 0.0, 1.0, 0.0, 0.0]
+            full = args + defaults[len(args):]
+            return Sine(*full[:5])
+        return PWLWaveform.from_pairs(args)
+    # DC forms: "DC 1.5" or bare "1.5".
+    values = [t for t in tokens if t.lower() != "dc"]
+    if not values:
+        return DC(0.0)
+    return DC(parse_spice_number(values[0]))
+
+
+def _keyword_args(tokens: List[str]) -> Dict[str, str]:
+    out = {}
+    for tok in tokens:
+        if "=" in tok:
+            key, _, value = tok.partition("=")
+            out[key.lower()] = value
+    return out
+
+
+def parse_netlist(text: str, title: str = "") -> ParsedDeck:
+    """Parse a netlist deck; see module docstring for the dialect."""
+    circuit = Circuit(title)
+    analyses: List[AnalysisDirective] = []
+    models: Dict[str, CNFET] = {}
+    pending_cnfets: List[Tuple[int, str, List[str]]] = []
+
+    for number, line in _join_continuations(text):
+        tokens = line.split()
+        head = tokens[0]
+        lower = head.lower()
+        try:
+            if lower.startswith(".model"):
+                _parse_model_card(tokens, models, number, line)
+            elif lower == ".dc":
+                if len(tokens) != 5:
+                    raise ParseError(
+                        ".dc needs: source start stop points",
+                        line_number=number, line=line,
+                    )
+                analyses.append(AnalysisDirective(
+                    kind="dc",
+                    source=tokens[1],
+                    params={
+                        "start": parse_spice_number(tokens[2]),
+                        "stop": parse_spice_number(tokens[3]),
+                        "points": parse_spice_number(tokens[4]),
+                    },
+                ))
+            elif lower == ".tran":
+                if len(tokens) < 3:
+                    raise ParseError(
+                        ".tran needs: tstep tstop [method]",
+                        line_number=number, line=line,
+                    )
+                analyses.append(AnalysisDirective(
+                    kind="tran",
+                    params={
+                        "tstep": parse_spice_number(tokens[1]),
+                        "tstop": parse_spice_number(tokens[2]),
+                    },
+                    method=tokens[3].lower() if len(tokens) > 3 else "trap",
+                ))
+            elif lower == ".end":
+                break
+            elif lower.startswith("."):
+                raise ParseError(
+                    f"unsupported directive {head!r}",
+                    line_number=number, line=line,
+                )
+            elif lower[0] == "r":
+                circuit.add(Resistor(head, tokens[1], tokens[2],
+                                     parse_spice_number(tokens[3])))
+            elif lower[0] == "c":
+                kwargs = _keyword_args(tokens[4:])
+                ic = (parse_spice_number(kwargs["ic"])
+                      if "ic" in kwargs else None)
+                circuit.add(Capacitor(head, tokens[1], tokens[2],
+                                      parse_spice_number(tokens[3]), ic=ic))
+            elif lower[0] == "l":
+                circuit.add(Inductor(head, tokens[1], tokens[2],
+                                     parse_spice_number(tokens[3])))
+            elif lower[0] == "v":
+                wave = _parse_waveform(tokens[3:], line)
+                circuit.add(VoltageSource(head, tokens[1], tokens[2], wave))
+            elif lower[0] == "i":
+                wave = _parse_waveform(tokens[3:], line)
+                circuit.add(CurrentSource(head, tokens[1], tokens[2], wave))
+            elif lower[0] == "d":
+                kwargs = _keyword_args(tokens[3:])
+                circuit.add(Diode(
+                    head, tokens[1], tokens[2],
+                    saturation_current=parse_spice_number(
+                        kwargs.get("is", "1e-14")),
+                    emission_coefficient=parse_spice_number(
+                        kwargs.get("n", "1")),
+                ))
+            elif lower[0] in ("q", "x", "m"):
+                if len(tokens) < 5:
+                    raise ParseError(
+                        "CNFET instance needs: d g s model",
+                        line_number=number, line=line,
+                    )
+                pending_cnfets.append((number, line, tokens))
+            else:
+                raise ParseError(
+                    f"unrecognised element {head!r}",
+                    line_number=number, line=line,
+                )
+        except ParseError:
+            raise
+        except (IndexError, ValueError) as exc:
+            raise ParseError(str(exc), line_number=number, line=line) from exc
+
+    # CNFET instances resolve after all .model cards are read.
+    for number, line, tokens in pending_cnfets:
+        model_name = tokens[4].lower()
+        device = models.get(model_name)
+        if device is None:
+            raise ParseError(
+                f"unknown CNFET model {tokens[4]!r}",
+                line_number=number, line=line,
+            )
+        kwargs = _keyword_args(tokens[5:])
+        length_nm = (parse_spice_number(kwargs["l"]) * 1e9
+                     if "l" in kwargs else 30.0)
+        polarity = kwargs.get("polarity")
+        circuit.add(CNFETElement(
+            tokens[0], tokens[1], tokens[2], tokens[3],
+            device=device, length_nm=length_nm, polarity=polarity,
+        ))
+    return ParsedDeck(circuit=circuit, analyses=analyses, models=models)
+
+
+def _parse_model_card(tokens: List[str], models: Dict[str, CNFET],
+                      number: int, line: str) -> None:
+    if len(tokens) < 3 or tokens[2].lower() != "cnfet":
+        raise ParseError(
+            ".model only supports the 'cnfet' type",
+            line_number=number, line=line,
+        )
+    name = tokens[1].lower()
+    if name in models:
+        raise ParseError(
+            f"duplicate model {tokens[1]!r}", line_number=number, line=line,
+        )
+    kwargs = _keyword_args(tokens[3:])
+    params = {}
+    for key, value in kwargs.items():
+        if key in _FLOAT_FIELDS:
+            params[key] = parse_spice_number(value)
+        elif key in ("model", "polarity", "gate_geometry"):
+            continue
+        else:
+            raise ParseError(
+                f"unknown CNFET model parameter {key!r}",
+                line_number=number, line=line,
+            )
+    if "gate_geometry" in kwargs:
+        params["gate_geometry"] = kwargs["gate_geometry"]
+    device = CNFET(
+        FETToyParameters(**params),
+        model=kwargs.get("model", "model2"),
+        polarity=kwargs.get("polarity", "n"),
+    )
+    models[name] = device

@@ -1,0 +1,109 @@
+"""Analysis result containers and waveform measurements."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError, ParameterError
+
+
+class Dataset:
+    """Named traces over a common sweep axis.
+
+    ``axis`` is time (transient) or the swept value (DC sweep); traces
+    are keyed ``v(node)`` / ``i(element)`` by the analyses.
+    """
+
+    def __init__(self, axis_name: str, axis: Sequence[float]) -> None:
+        self.axis_name = axis_name
+        self.axis = np.asarray(axis, dtype=float)
+        self._traces: Dict[str, np.ndarray] = {}
+
+    def add_trace(self, name: str, values: Sequence[float]) -> None:
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != self.axis.shape:
+            raise ParameterError(
+                f"trace {name!r} length {arr.shape} != axis "
+                f"{self.axis.shape}"
+            )
+        self._traces[name.lower()] = arr
+
+    def trace(self, name: str) -> np.ndarray:
+        try:
+            return self._traces[name.lower()]
+        except KeyError:
+            raise AnalysisError(
+                f"no trace {name!r}; available: {sorted(self._traces)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._traces
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._traces)
+
+    def voltage(self, node: str) -> np.ndarray:
+        return self.trace(f"v({node})")
+
+    def current(self, element: str) -> np.ndarray:
+        return self.trace(f"i({element})")
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+
+    def at(self, name: str, axis_value: float) -> float:
+        """Linear interpolation of a trace at an axis value."""
+        return float(np.interp(axis_value, self.axis, self.trace(name)))
+
+    def crossings(self, name: str, level: float,
+                  rising: Optional[bool] = None) -> List[float]:
+        """Axis values where a trace crosses ``level`` (interpolated).
+
+        ``rising=True`` keeps only upward crossings, ``False`` only
+        downward, ``None`` both.
+        """
+        y = self.trace(name) - level
+        x = self.axis
+        out: List[float] = []
+        for i in range(len(y) - 1):
+            y0, y1 = y[i], y[i + 1]
+            if y0 == 0.0:
+                direction = y1 > 0
+                if rising is None or rising == direction:
+                    out.append(float(x[i]))
+                continue
+            if y0 * y1 < 0.0:
+                direction = y1 > y0
+                if rising is None or rising == direction:
+                    out.append(float(x[i] - y0 * (x[i + 1] - x[i])
+                                     / (y1 - y0)))
+        return out
+
+    def period_estimate(self, name: str, level: float) -> float:
+        """Average spacing of same-direction crossings (for oscillators).
+
+        Raises :class:`AnalysisError` with a clear message when fewer
+        than two rising crossings exist.
+        """
+        rising = self.crossings(name, level, rising=True)
+        if len(rising) < 2:
+            raise AnalysisError(
+                f"trace {name!r} has {len(rising)} rising crossings of "
+                f"{level}; cannot estimate a period"
+            )
+        diffs = np.diff(rising)
+        return float(np.mean(diffs))
+
+    def swing(self, name: str) -> float:
+        y = self.trace(name)
+        return float(np.max(y) - np.min(y))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset({self.axis_name}, {len(self.axis)} points, "
+            f"traces={self.names})"
+        )

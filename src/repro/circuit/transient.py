@@ -1,0 +1,148 @@
+"""Transient analysis: fixed-step BE/trapezoidal with Newton per step.
+
+The step size is fixed (``dt``) but the engine halves it locally (up to
+``max_halvings`` times) when a step's Newton iteration fails to
+converge, then re-doubles — a simple, predictable robustness scheme
+adequate for the strongly-damped logic circuits this library simulates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.elements.base import StampContext
+from repro.circuit.elements.cnfet import CNFETElement
+from repro.circuit.elements.sources import VoltageSource
+from repro.circuit.mna import NewtonOptions, newton_solve, robust_dc_solve
+from repro.circuit.netlist import Circuit
+from repro.circuit.results import Dataset
+from repro.errors import AnalysisError, ParameterError
+
+
+def transient(
+    circuit: Circuit,
+    tstop: float,
+    dt: float,
+    method: str = "trap",
+    options: NewtonOptions = NewtonOptions(),
+    record_currents: bool = True,
+    x0: Optional[np.ndarray] = None,
+    max_halvings: int = 8,
+) -> Dataset:
+    """Integrate the circuit from its DC operating point to ``tstop``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit; transient element state is reset first.
+    tstop, dt:
+        Stop time and nominal step [s].
+    method:
+        ``"be"`` (backward Euler, L-stable, more damping) or ``"trap"``
+        (trapezoidal, 2nd order, SPICE default).
+    record_currents:
+        Also record voltage-source branch currents and CNFET drain
+        currents.
+    x0:
+        Optional initial solution (defaults to the DC operating point
+        at t = 0).
+
+    Returns
+    -------
+    Dataset with axis ``time`` and traces ``v(node)`` / ``i(element)``.
+    """
+    if tstop <= 0.0:
+        raise ParameterError(f"tstop must be > 0: {tstop!r}")
+    if dt <= 0.0 or dt > tstop:
+        raise ParameterError(f"dt must be in (0, tstop]: {dt!r}")
+    if method not in ("be", "trap"):
+        raise ParameterError(f"method must be 'be' or 'trap': {method!r}")
+    circuit.reset_state()
+    n = circuit.dimension()
+    if x0 is None:
+        x = robust_dc_solve(circuit, None, options)
+    else:
+        x = np.asarray(x0, dtype=float).copy()
+        if x.shape != (n,):
+            raise ParameterError(
+                f"x0 has shape {x.shape}, expected ({n},)"
+            )
+
+    times = [0.0]
+    solutions = [x.copy()]
+    t = 0.0
+    current_dt = dt
+    halvings = 0
+    while t < tstop - 1e-15 * tstop:
+        step = min(current_dt, tstop - t)
+        t_next = t + step
+        try:
+            x_next = newton_solve(
+                circuit, x, options, analysis="tran", time=t_next,
+                dt=step, x_prev=x, method=method,
+            )
+        except AnalysisError:
+            if halvings >= max_halvings:
+                raise AnalysisError(
+                    f"transient stalled at t={t:.3e} s even at "
+                    f"dt={step:.3e} s"
+                ) from None
+            current_dt = step / 2.0
+            halvings += 1
+            continue
+        # Let elements with memory accept the step.
+        ctx = StampContext(
+            matrix=np.zeros((0, 0)), rhs=np.zeros(0),
+            node_index=circuit.node_index, x=x_next, analysis="tran",
+            time=t_next, dt=step, x_prev=x, method=method,
+        )
+        for el in circuit.elements:
+            el.accept_step(ctx)
+        t = t_next
+        x = x_next
+        times.append(t)
+        solutions.append(x.copy())
+        if halvings and current_dt < dt:
+            current_dt = min(dt, current_dt * 2.0)
+            halvings = max(0, halvings - 1)
+
+    data = np.asarray(solutions)
+    dataset = Dataset("time", times)
+    for node, idx in circuit.node_index.items():
+        dataset.add_trace(f"v({node})", data[:, idx])
+    if record_currents:
+        for el in circuit.iter_elements(VoltageSource):
+            dataset.add_trace(f"i({el.name})", data[:, el.aux_index])
+        for el in circuit.iter_elements(CNFETElement):
+            series = []
+            for row in data:
+                ctx = StampContext(
+                    matrix=np.zeros((0, 0)), rhs=np.zeros(0),
+                    node_index=circuit.node_index, x=row, analysis="tran",
+                    time=None, dt=None, x_prev=None, method=method,
+                )
+                series.append(el.ids(ctx))
+            dataset.add_trace(f"i({el.name})", series)
+    return dataset
+
+
+def initial_conditions_from_op(circuit: Circuit,
+                               overrides: Optional[dict] = None,
+                               options: NewtonOptions = NewtonOptions()
+                               ) -> np.ndarray:
+    """DC operating point with optional per-node voltage overrides.
+
+    Useful to kick oscillators out of their unstable symmetric point:
+    ``initial_conditions_from_op(ckt, {"n1": 0.0})``.
+    """
+    circuit.reset_state()
+    x = robust_dc_solve(circuit, None, options)
+    if overrides:
+        for node, value in overrides.items():
+            idx = circuit.node_index.get(node)
+            if idx is None:
+                raise ParameterError(f"unknown node {node!r} in overrides")
+            x[idx] = float(value)
+    return x

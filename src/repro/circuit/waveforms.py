@@ -1,0 +1,137 @@
+"""Time-dependent source waveforms (SPICE semantics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import math
+
+from repro.errors import ParameterError
+
+
+class Waveform:
+    """Base class: a scalar function of time."""
+
+    def value(self, t: float) -> float:
+        raise NotImplementedError
+
+    def dc_value(self) -> float:
+        """Value used for the DC operating point (t = 0)."""
+        return self.value(0.0)
+
+
+@dataclass(frozen=True)
+class DC(Waveform):
+    """Constant value."""
+
+    level: float = 0.0
+
+    def value(self, t: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class Pulse(Waveform):
+    """SPICE PULSE(v1 v2 td tr tf pw per)."""
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 1e-12
+    fall: float = 1e-12
+    width: float = 1e-9
+    period: float = 2e-9
+
+    def __post_init__(self) -> None:
+        if self.rise < 0 or self.fall < 0 or self.width < 0:
+            raise ParameterError("pulse edges and width must be >= 0")
+        if self.period <= 0:
+            raise ParameterError(f"pulse period must be > 0: {self.period}")
+        if self.rise + self.width + self.fall > self.period:
+            raise ParameterError("pulse rise+width+fall exceeds period")
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        tau = math.fmod(t - self.delay, self.period)
+        if tau < self.rise:
+            if self.rise == 0:
+                return self.v2
+            return self.v1 + (self.v2 - self.v1) * tau / self.rise
+        tau -= self.rise
+        if tau < self.width:
+            return self.v2
+        tau -= self.width
+        if tau < self.fall:
+            if self.fall == 0:
+                return self.v1
+            return self.v2 + (self.v1 - self.v2) * tau / self.fall
+        return self.v1
+
+    def dc_value(self) -> float:
+        return self.v1
+
+
+@dataclass(frozen=True)
+class Sine(Waveform):
+    """SPICE SIN(vo va freq td theta)."""
+
+    offset: float
+    amplitude: float
+    frequency: float
+    delay: float = 0.0
+    damping: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ParameterError(f"frequency must be > 0: {self.frequency}")
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        dt = t - self.delay
+        return self.offset + self.amplitude * math.exp(
+            -self.damping * dt
+        ) * math.sin(2.0 * math.pi * self.frequency * dt)
+
+    def dc_value(self) -> float:
+        return self.offset
+
+
+@dataclass(frozen=True)
+class PWLWaveform(Waveform):
+    """Piecewise-linear waveform from (time, value) points."""
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        times = [p[0] for p in self.points]
+        if len(times) < 2:
+            raise ParameterError("PWL needs at least two points")
+        if sorted(times) != times:
+            raise ParameterError(f"PWL times must ascend: {times}")
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[float]) -> "PWLWaveform":
+        """Build from a flat ``t0 v0 t1 v1 ...`` list (SPICE style)."""
+        if len(pairs) % 2 != 0:
+            raise ParameterError("PWL pair list must have even length")
+        pts = tuple(
+            (float(pairs[i]), float(pairs[i + 1]))
+            for i in range(0, len(pairs), 2)
+        )
+        return cls(pts)
+
+    def value(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        if t >= pts[-1][0]:
+            return pts[-1][1]
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            if t0 <= t <= t1:
+                if t1 == t0:
+                    return v1
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        return pts[-1][1]  # pragma: no cover - unreachable

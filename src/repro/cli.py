@@ -1,0 +1,184 @@
+"""Command-line interface: ``repro-cnt`` / ``python -m repro``.
+
+Subcommands
+-----------
+``iv``       print an IV family for the fast or reference model
+``fit``      fit a model and print its piecewise regions
+``table``    regenerate a paper table (1, 2, 3, 4 or 5)
+``figure``   regenerate a paper figure (2-11)
+``codegen``  emit VHDL-AMS / Verilog-A / SPICE for a fitted device
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _device_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--diameter-nm", type=float, default=1.0)
+    parser.add_argument("--tox-nm", type=float, default=1.5)
+    parser.add_argument("--kappa", type=float, default=3.9)
+    parser.add_argument("--temperature", type=float, default=300.0)
+    parser.add_argument("--fermi-level", type=float, default=-0.32)
+    parser.add_argument("--gate", choices=("coaxial", "backgate"),
+                        default="coaxial")
+    parser.add_argument("--model", choices=("model1", "model2", "reference"),
+                        default="model2")
+
+
+def _build_device(args):
+    from repro.pwl.device import CNFET
+    from repro.reference.fettoy import FETToyModel, FETToyParameters
+
+    params = FETToyParameters(
+        diameter_nm=args.diameter_nm,
+        tox_nm=args.tox_nm,
+        kappa=args.kappa,
+        temperature_k=args.temperature,
+        fermi_level_ev=args.fermi_level,
+        gate_geometry=args.gate,
+    )
+    if args.model == "reference":
+        return FETToyModel(params)
+    return CNFET(params, model=args.model)
+
+
+def _cmd_iv(args) -> int:
+    from repro.experiments.report import ascii_table
+
+    device = _build_device(args)
+    vgs = np.arange(args.vg_start, args.vg_stop + 1e-9, args.vg_step)
+    vds = np.linspace(0.0, args.vd_stop, args.vd_points)
+    family = device.iv_family(vgs, vds)
+    rows = []
+    for j, vd in enumerate(vds):
+        rows.append([float(vd)] + [float(family[i, j])
+                                   for i in range(len(vgs))])
+    headers = ["VDS [V]"] + [f"VG={vg:.2f}" for vg in vgs]
+    print(ascii_table(headers, rows,
+                      title=f"IDS [A] ({args.model})"))
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    device = _build_device(args)
+    if not hasattr(device, "fitted"):
+        print("fit applies to model1/model2 only", file=sys.stderr)
+        return 2
+    fitted = device.fitted
+    print(f"model: {fitted.spec.name}  T={fitted.temperature_k} K  "
+          f"EF={fitted.fermi_level_ev} eV")
+    print(f"charge-fit RMS: {100 * fitted.rms_error_relative:.3f}% of peak")
+    print(fitted.curve.describe())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.experiments import runners
+
+    if args.number == 1:
+        print(runners.run_table1().render())
+    elif args.number in (2, 3, 4):
+        fermi = {2: -0.32, 3: -0.5, 4: 0.0}[args.number]
+        print(runners.run_rms_table(fermi).render())
+    else:
+        print(runners.run_table5().render())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import runners
+
+    n = args.number
+    if n == 2:
+        print(runners.run_fig2_3("model1").render())
+    elif n == 3:
+        print(runners.run_fig2_3("model2").render())
+    elif n == 4:
+        print(runners.run_fig4_5("model1").render())
+    elif n == 5:
+        print(runners.run_fig4_5("model2").render())
+    elif n == 6:
+        print(runners.run_fig6_7("model1").render())
+    elif n == 7:
+        print(runners.run_fig6_7("model2").render())
+    elif n == 8:
+        print(runners.run_fig8().render())
+    elif n == 9:
+        print(runners.run_fig9().render())
+    elif n == 10:
+        print(runners.run_fig10_11("model1").render())
+    else:
+        print(runners.run_fig10_11("model2").render())
+    return 0
+
+
+def _cmd_codegen(args) -> int:
+    from repro.pwl.codegen import (
+        generate_spice_subcircuit,
+        generate_verilog_a,
+        generate_vhdl_ams,
+    )
+
+    device = _build_device(args)
+    if not hasattr(device, "fitted"):
+        print("codegen applies to model1/model2 only", file=sys.stderr)
+        return 2
+    emitter = {
+        "vhdl-ams": generate_vhdl_ams,
+        "verilog-a": generate_verilog_a,
+        "spice": generate_spice_subcircuit,
+    }[args.language]
+    print(emitter(device))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cnt",
+        description="Ballistic CNFET compact modelling (DATE 2008 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_iv = sub.add_parser("iv", help="print an IV family")
+    _device_arguments(p_iv)
+    p_iv.add_argument("--vg-start", type=float, default=0.3)
+    p_iv.add_argument("--vg-stop", type=float, default=0.6)
+    p_iv.add_argument("--vg-step", type=float, default=0.1)
+    p_iv.add_argument("--vd-stop", type=float, default=0.6)
+    p_iv.add_argument("--vd-points", type=int, default=13)
+    p_iv.set_defaults(func=_cmd_iv)
+
+    p_fit = sub.add_parser("fit", help="fit and describe a model")
+    _device_arguments(p_fit)
+    p_fit.set_defaults(func=_cmd_fit)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    p_table.set_defaults(func=_cmd_table)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int, choices=tuple(range(2, 12)))
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_gen = sub.add_parser("codegen", help="emit HDL for a fitted device")
+    _device_arguments(p_gen)
+    p_gen.add_argument("--language",
+                       choices=("vhdl-ams", "verilog-a", "spice"),
+                       default="vhdl-ams")
+    p_gen.set_defaults(func=_cmd_codegen)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

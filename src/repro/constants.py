@@ -1,0 +1,69 @@
+"""Physical constants used throughout the CNFET models.
+
+All constants are CODATA 2018 values in SI units unless the name says
+otherwise.  Energies inside the device models are expressed in
+electron-volts and voltages in volts, so the most frequently used helper
+is :func:`thermal_voltage_ev`, the thermal energy ``kT`` in eV.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Elementary charge ``q`` [C].  Positive by convention; signs of carrier
+#: charges are handled explicitly where they matter (see DESIGN.md §2).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Boltzmann constant [eV/K]; ``kT`` at 300 K is about 25.85 meV.
+BOLTZMANN_EV = 8.617333262e-5
+
+#: Planck constant [J*s].
+PLANCK = 6.62607015e-34
+
+#: Reduced Planck constant ``hbar`` [J*s].
+HBAR = PLANCK / (2.0 * math.pi)
+
+#: Vacuum permittivity [F/m].
+VACUUM_PERMITTIVITY = 8.8541878128e-12
+
+#: Carbon-carbon bond length in graphene/CNT [m].
+CC_BOND_LENGTH = 1.42e-10
+
+#: Graphene lattice constant ``a = sqrt(3)*a_cc`` [m].
+GRAPHENE_LATTICE_CONSTANT = CC_BOND_LENGTH * math.sqrt(3.0)
+
+#: Tight-binding nearest-neighbour hopping energy ``V_pp_pi`` [eV].
+#: 3.0 eV is the value used by FETToy and by Rahman et al. (2003).
+HOPPING_ENERGY_EV = 3.0
+
+#: Conductance quantum ``2 q^2 / h`` [S] (spin-degenerate single mode).
+CONDUCTANCE_QUANTUM = 2.0 * ELEMENTARY_CHARGE**2 / PLANCK
+
+#: Prefactor of the ballistic current expression ``2 q k / (pi * hbar)``
+#: [A / (K)] — multiply by temperature and the difference of order-0
+#: Fermi-Dirac integrals to obtain the drain current, eq. (12) of the
+#: paper.
+BALLISTIC_CURRENT_PREFACTOR = (
+    2.0 * ELEMENTARY_CHARGE * BOLTZMANN / (math.pi * HBAR)
+)
+
+
+def thermal_voltage_ev(temperature_k: float) -> float:
+    """Thermal energy ``kT`` in eV at ``temperature_k`` kelvin.
+
+    Raises :class:`ValueError` for non-positive temperatures — every
+    Fermi-Dirac expression downstream divides by this quantity.
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(
+            f"temperature must be positive, got {temperature_k!r} K"
+        )
+    return BOLTZMANN_EV * temperature_k
+
+
+def thermal_voltage_v(temperature_k: float) -> float:
+    """Thermal voltage ``kT/q`` in volts (numerically equal to eV value)."""
+    return thermal_voltage_ev(temperature_k)

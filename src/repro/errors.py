@@ -1,0 +1,78 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error deliberately raised by the library derives from
+:class:`ReproError` so applications can catch library failures without
+masking programming errors (``TypeError`` etc. propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A physical or model parameter is out of its valid domain."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Magnitude of the final residual, when known.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class FittingError(ReproError, RuntimeError):
+    """Piecewise charge-curve fitting failed (degenerate data, bad bounds)."""
+
+
+class RootNotFoundError(ReproError, RuntimeError):
+    """No closed-form root was found in any piecewise region.
+
+    This indicates the operating point fell outside the fitted VSC window;
+    the message carries the scanned interval for diagnosis.
+    """
+
+
+class NetlistError(ReproError, ValueError):
+    """Malformed netlist: unknown node, duplicate element, bad topology."""
+
+
+class ParseError(NetlistError):
+    """A SPICE-flavoured netlist file could not be parsed.
+
+    Attributes
+    ----------
+    line_number:
+        1-based line number of the offending line, when known.
+    line:
+        The raw offending line.
+    """
+
+    def __init__(self, message: str, *, line_number: int | None = None,
+                 line: str | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+        self.line = line
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """A circuit analysis (DC, transient) failed to complete."""
+
+
+class CodegenError(ReproError, RuntimeError):
+    """HDL code generation failed (unsupported model structure)."""

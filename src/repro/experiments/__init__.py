@@ -1,0 +1,28 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+``repro.experiments.runners`` exposes one function per experiment
+(``run_table1`` ... ``run_table5``, ``run_fig2_3`` ... ``run_fig10_11``);
+each returns a plain-data result object and can render itself as an
+ASCII table via :mod:`repro.experiments.report`.  The pytest-benchmark
+modules under ``benchmarks/`` are thin wrappers over these runners.
+"""
+
+from repro.experiments.metrics import (
+    average_rms_error_percent,
+    rms_error_percent,
+)
+from repro.experiments.workloads import (
+    PAPER_FERMI_LEVELS,
+    PAPER_TEMPERATURES,
+    PAPER_VDS_SWEEP,
+    PAPER_VG_VALUES,
+)
+
+__all__ = [
+    "rms_error_percent",
+    "average_rms_error_percent",
+    "PAPER_TEMPERATURES",
+    "PAPER_FERMI_LEVELS",
+    "PAPER_VG_VALUES",
+    "PAPER_VDS_SWEEP",
+]

@@ -1,0 +1,101 @@
+"""Error metrics used by the paper's evaluation.
+
+The paper reports "average RMS errors in IDS" per gate voltage: for each
+``VG``, the model's output characteristic ``IDS(VDS)`` is compared with
+the reference over the drain sweep.  We normalise the RMS deviation by
+the curve's peak reference current, which reproduces the paper's
+magnitudes; alternative normalisations are provided for sensitivity
+checks (and used by the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: supported normalisation modes
+NORMALISATIONS = ("peak", "mean", "rms", "pointwise")
+
+
+def rms_error_percent(model: Sequence[float], reference: Sequence[float],
+                      normalisation: str = "peak") -> float:
+    """RMS deviation of one characteristic, as a percentage.
+
+    Parameters
+    ----------
+    model, reference:
+        Currents over the same bias sweep.
+    normalisation:
+        ``"peak"``  — RMS / max|reference| (default, the headline metric);
+        ``"mean"``  — RMS / mean|reference|;
+        ``"rms"``   — RMS / RMS(reference);
+        ``"pointwise"`` — RMS of per-point relative errors (points where
+        the reference is < 1e-3 of its peak are excluded to avoid 0/0).
+    """
+    m = np.asarray(model, dtype=float)
+    r = np.asarray(reference, dtype=float)
+    if m.shape != r.shape:
+        raise ParameterError(
+            f"shape mismatch: model {m.shape} vs reference {r.shape}"
+        )
+    if m.size == 0:
+        raise ParameterError("empty characteristics")
+    if normalisation not in NORMALISATIONS:
+        raise ParameterError(
+            f"normalisation must be one of {NORMALISATIONS}: "
+            f"{normalisation!r}"
+        )
+    diff = m - r
+    if normalisation == "pointwise":
+        floor = 1e-3 * float(np.max(np.abs(r)))
+        mask = np.abs(r) > floor
+        if not np.any(mask):
+            raise ParameterError("reference is identically ~zero")
+        rel = diff[mask] / r[mask]
+        return 100.0 * float(np.sqrt(np.mean(rel**2)))
+    rms = float(np.sqrt(np.mean(diff**2)))
+    if normalisation == "peak":
+        denom = float(np.max(np.abs(r)))
+    elif normalisation == "mean":
+        denom = float(np.mean(np.abs(r)))
+    else:
+        denom = float(np.sqrt(np.mean(r**2)))
+    if denom == 0.0:
+        raise ParameterError("reference is identically zero")
+    return 100.0 * rms / denom
+
+
+def average_rms_error_percent(
+    model_family: np.ndarray, reference_family: np.ndarray,
+    normalisation: str = "peak",
+) -> float:
+    """Mean of per-VG RMS errors over a full IV family
+    (rows = gate voltages)."""
+    m = np.asarray(model_family, dtype=float)
+    r = np.asarray(reference_family, dtype=float)
+    if m.shape != r.shape or m.ndim != 2:
+        raise ParameterError(
+            f"families must be equal-shaped 2-D arrays: {m.shape} vs "
+            f"{r.shape}"
+        )
+    return float(np.mean([
+        rms_error_percent(m[i], r[i], normalisation)
+        for i in range(m.shape[0])
+    ]))
+
+
+def error_table(model_family: np.ndarray, reference_family: np.ndarray,
+                vg_values: Sequence[float],
+                normalisation: str = "peak") -> Dict[float, float]:
+    """Per-VG error dictionary ``{vg: percent}`` (a paper table column)."""
+    m = np.asarray(model_family, dtype=float)
+    r = np.asarray(reference_family, dtype=float)
+    if len(vg_values) != m.shape[0]:
+        raise ParameterError("vg_values length must match family rows")
+    return {
+        float(vg): rms_error_percent(m[i], r[i], normalisation)
+        for i, vg in enumerate(vg_values)
+    }

@@ -1,0 +1,71 @@
+"""ASCII rendering of experiment results (tables and figure series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                title: str = "") -> str:
+    """Render a fixed-width table with a separator under the header."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1e4 or magnitude < 1e-2:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def series_block(title: str, x_label: str, x: Sequence[float],
+                 series: dict, max_points: int = 13) -> str:
+    """Print figure data as columns: the x axis plus one column per
+    labelled series (down-sampled to ``max_points`` rows)."""
+    x_arr = np.asarray(x, dtype=float)
+    if len(x_arr) > max_points:
+        idx = np.linspace(0, len(x_arr) - 1, max_points).round().astype(int)
+    else:
+        idx = np.arange(len(x_arr))
+    headers = [x_label] + list(series)
+    rows = []
+    for i in idx:
+        rows.append([float(x_arr[i])]
+                    + [float(np.asarray(v)[i]) for v in series.values()])
+    return ascii_table(headers, rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Tiny unicode chart for quick visual shape checks in test logs."""
+    v = np.asarray(values, dtype=float)
+    if len(v) == 0:
+        return ""
+    if len(v) > width:
+        idx = np.linspace(0, len(v) - 1, width).round().astype(int)
+        v = v[idx]
+    lo, hi = float(np.min(v)), float(np.max(v))
+    if hi == lo:
+        return "-" * len(v)
+    blocks = "▁▂▃▄▅▆▇█"
+    scaled = (v - lo) / (hi - lo) * (len(blocks) - 1)
+    return "".join(blocks[int(round(s))] for s in scaled)

@@ -1,0 +1,84 @@
+"""Bias grids and device configurations used by the paper's evaluation.
+
+Everything the runners sweep is defined here so the per-table parameters
+are auditable in one place (DESIGN.md's per-experiment index references
+these names).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reference.fettoy import FETToyParameters
+
+#: Temperatures of Tables II-IV [K].
+PAPER_TEMPERATURES = (150.0, 300.0, 450.0)
+
+#: Fermi levels of Tables II, III, IV respectively [eV].
+PAPER_FERMI_LEVELS = (-0.32, -0.5, 0.0)
+
+#: Gate voltages of the error tables [V].
+PAPER_VG_VALUES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+#: Drain sweep of the output characteristics [V] (0..0.6, 13 points —
+#: the 50 mV pitch visible in the paper's figures).
+PAPER_VDS_SWEEP = tuple(np.linspace(0.0, 0.6, 13))
+
+#: Gate voltages of Figs. 6/7 (0.3..0.6 V in 50 mV steps).
+FIG67_VG_VALUES = (0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6)
+
+#: Fig. 8: T = 150 K, EF = 0 eV, VG = 0.1..0.6 V in 0.1 V steps.
+FIG8_CONDITIONS = {
+    "temperature_k": 150.0,
+    "fermi_level_ev": 0.0,
+    "vg_values": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
+}
+
+#: Fig. 9: T = 450 K, EF = -0.5 eV, VG = 0.4..0.6 V in 50 mV steps.
+FIG9_CONDITIONS = {
+    "temperature_k": 450.0,
+    "fermi_level_ev": -0.5,
+    "vg_values": (0.4, 0.45, 0.5, 0.55, 0.6),
+}
+
+#: Table I loop counts (model invocations per timing row).
+TABLE1_LOOPS = (5, 10, 50, 100)
+
+#: VSC axis of the charge-approximation figures (Figs. 2-5), absolute
+#: volts at the default EF = -0.32 eV device.
+FIG2_VSC_AXIS = tuple(np.linspace(-0.5, 0.0, 201))
+FIG3_VSC_AXIS = tuple(np.linspace(-0.8, 0.0, 201))
+
+#: Drain bias used for the QD curves of Figs. 4/5.
+FIG45_VDS = 0.2
+
+#: Default device of Tables I-IV and Figs. 2-9 (FETToy's stock CNFET).
+def default_device_parameters(temperature_k: float = 300.0,
+                              fermi_level_ev: float = -0.32
+                              ) -> FETToyParameters:
+    """The (13,0)-tube coaxial-gate device used throughout §V."""
+    return FETToyParameters(
+        temperature_k=temperature_k,
+        fermi_level_ev=fermi_level_ev,
+    )
+
+
+#: The Javey-2005 experimental device of §VI / Table V / Figs. 10-11:
+#: d = 1.6 nm, tox = 50 nm back gate, EF = -0.05 eV, T = 300 K.
+def javey_device_parameters() -> FETToyParameters:
+    return FETToyParameters(
+        diameter_nm=1.6,
+        tox_nm=50.0,
+        kappa=3.9,
+        temperature_k=300.0,
+        fermi_level_ev=-0.05,
+        gate_geometry="backgate",
+    )
+
+
+#: Gate voltages of the experimental comparison.
+TABLE5_VG_VALUES = (0.2, 0.4, 0.6)
+FIG1011_VG_VALUES = (0.0, 0.2, 0.4, 0.6)
+
+#: Drain sweep of Figs. 10/11 (0..0.4 V).
+FIG1011_VDS_SWEEP = tuple(np.linspace(0.0, 0.4, 17))

@@ -1,0 +1,44 @@
+"""Physical substrate for the CNFET models.
+
+Subpackages
+-----------
+``bandstructure``
+    Chirality, diameter, band gap and subband minima of carbon nanotubes
+    (exact zone-folded tight binding for zigzag tubes, standard
+    semiconducting-pattern approximation otherwise).
+``dos``
+    One-dimensional density of states with van Hove singularities.
+``fermi``
+    Fermi-Dirac occupation and Fermi-Dirac integrals.
+``charge``
+    Non-equilibrium mobile charge integrals (NS, ND, N0) and the
+    theoretical ``QS(VSC)`` / ``QD(VSC)`` curves the paper approximates.
+``capacitance``
+    Gate-stack electrostatics (coaxial and back-gate) and terminal
+    capacitance partitioning.
+``scattering``
+    Mean-free-path transmission scaling, the paper's future-work hook
+    for non-ballistic transport.
+"""
+
+from repro.physics.bandstructure import Chirality, NanotubeBands
+from repro.physics.capacitance import (
+    TerminalCapacitances,
+    backgate_capacitance,
+    coaxial_gate_capacitance,
+)
+from repro.physics.charge import ChargeModel
+from repro.physics.dos import DensityOfStates
+from repro.physics.fermi import fermi_dirac, fermi_dirac_integral_0
+
+__all__ = [
+    "Chirality",
+    "NanotubeBands",
+    "DensityOfStates",
+    "ChargeModel",
+    "TerminalCapacitances",
+    "coaxial_gate_capacitance",
+    "backgate_capacitance",
+    "fermi_dirac",
+    "fermi_dirac_integral_0",
+]

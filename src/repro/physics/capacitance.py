@@ -1,0 +1,151 @@
+"""Gate-stack electrostatics.
+
+All capacitances are per unit tube length (F/m), matching the
+per-unit-length charge densities of :mod:`repro.physics.charge`.
+
+Two gate geometries cover the paper's devices:
+
+* **coaxial** (wrap-around gate, FETToy's default geometry):
+  ``C_ins = 2 pi kappa eps0 / ln((2 t_ox + d) / d)``
+* **back gate** (cylinder over a conducting plane, the Javey-2005
+  experimental device): ``C_ins = 2 pi kappa eps0 / acosh((t_ox + r)/r)``
+
+Terminal control is parametrised FETToy-style by ``alpha_G = CG/CSum``
+and ``alpha_D = CD/CSum`` with the gate capacitance equal to the
+insulator capacitance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import VACUUM_PERMITTIVITY
+from repro.errors import ParameterError
+
+
+def coaxial_gate_capacitance(diameter_nm: float, tox_nm: float,
+                             kappa: float = 3.9) -> float:
+    """Insulator capacitance of a coaxial gate [F/m]."""
+    _check_geometry(diameter_nm, tox_nm, kappa)
+    d = diameter_nm * 1e-9
+    tox = tox_nm * 1e-9
+    return (
+        2.0 * math.pi * kappa * VACUUM_PERMITTIVITY
+        / math.log((2.0 * tox + d) / d)
+    )
+
+
+def backgate_capacitance(diameter_nm: float, tox_nm: float,
+                         kappa: float = 3.9) -> float:
+    """Insulator capacitance of a cylinder over a ground plane [F/m].
+
+    ``t_ox`` is the insulator thickness between the plane and the bottom
+    of the tube; the exact image-charge solution uses
+    ``acosh((t_ox + r)/r)`` with tube radius ``r``.
+    """
+    _check_geometry(diameter_nm, tox_nm, kappa)
+    r = diameter_nm * 1e-9 / 2.0
+    tox = tox_nm * 1e-9
+    return (
+        2.0 * math.pi * kappa * VACUUM_PERMITTIVITY
+        / math.acosh((tox + r) / r)
+    )
+
+
+def _check_geometry(diameter_nm: float, tox_nm: float, kappa: float) -> None:
+    if diameter_nm <= 0.0:
+        raise ParameterError(f"diameter must be > 0: {diameter_nm!r} nm")
+    if tox_nm <= 0.0:
+        raise ParameterError(f"oxide thickness must be > 0: {tox_nm!r} nm")
+    if kappa <= 0.0:
+        raise ParameterError(f"dielectric constant must be > 0: {kappa!r}")
+
+
+@dataclass(frozen=True)
+class TerminalCapacitances:
+    """Gate/drain/source capacitances of the top-of-the-barrier model.
+
+    Attributes are per unit length (F/m).  ``cg + cd + cs`` is the total
+    ``CSum`` entering the self-consistent-voltage equation; the
+    dimensionless ratios ``alpha_g``, ``alpha_d`` quantify gate and drain
+    control of the barrier (FETToy's ``alphag``/``alphad``).
+    """
+
+    cg: float
+    cd: float
+    cs: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("cg", self.cg), ("cd", self.cd),
+                            ("cs", self.cs)):
+            if value < 0.0:
+                raise ParameterError(f"{name} must be >= 0: {value!r}")
+        if self.cg + self.cd + self.cs <= 0.0:
+            raise ParameterError("total terminal capacitance must be > 0")
+
+    @property
+    def csum(self) -> float:
+        """Total terminal capacitance ``CSum = CG + CD + CS`` [F/m]."""
+        return self.cg + self.cd + self.cs
+
+    @property
+    def alpha_g(self) -> float:
+        return self.cg / self.csum
+
+    @property
+    def alpha_d(self) -> float:
+        return self.cd / self.csum
+
+    @property
+    def alpha_s(self) -> float:
+        return self.cs / self.csum
+
+    def terminal_charge(self, vg: float, vd: float, vs: float = 0.0) -> float:
+        """``Qt = VG CG + VD CD + VS CS`` [C/m] (eq. (8) of the paper)."""
+        return vg * self.cg + vd * self.cd + vs * self.cs
+
+    @classmethod
+    def from_alphas(cls, c_ins: float, alpha_g: float = 0.88,
+                    alpha_d: float = 0.035) -> "TerminalCapacitances":
+        """FETToy-style construction.
+
+        The gate capacitance equals the insulator capacitance ``c_ins``
+        and ``alpha_g = CG / CSum`` fixes the total; ``alpha_d`` then
+        fixes the drain share and the source takes the remainder.
+        FETToy's defaults are ``alpha_g = 0.88``, ``alpha_d = 0.035``.
+        """
+        if c_ins <= 0.0:
+            raise ParameterError(f"c_ins must be > 0: {c_ins!r}")
+        if not 0.0 < alpha_g <= 1.0:
+            raise ParameterError(f"alpha_g must be in (0, 1]: {alpha_g!r}")
+        if not 0.0 <= alpha_d < 1.0:
+            raise ParameterError(f"alpha_d must be in [0, 1): {alpha_d!r}")
+        if alpha_g + alpha_d > 1.0:
+            raise ParameterError(
+                f"alpha_g + alpha_d must be <= 1: {alpha_g + alpha_d!r}"
+            )
+        csum = c_ins / alpha_g
+        cd = alpha_d * csum
+        cs = csum - c_ins - cd
+        return cls(cg=c_ins, cd=cd, cs=cs)
+
+    @classmethod
+    def coaxial(cls, diameter_nm: float, tox_nm: float, kappa: float = 3.9,
+                alpha_g: float = 0.88,
+                alpha_d: float = 0.035) -> "TerminalCapacitances":
+        """Coaxial-gate device with FETToy terminal partitioning."""
+        return cls.from_alphas(
+            coaxial_gate_capacitance(diameter_nm, tox_nm, kappa),
+            alpha_g, alpha_d,
+        )
+
+    @classmethod
+    def backgate(cls, diameter_nm: float, tox_nm: float, kappa: float = 3.9,
+                 alpha_g: float = 0.88,
+                 alpha_d: float = 0.035) -> "TerminalCapacitances":
+        """Back-gated device (the Javey-2005 experimental geometry)."""
+        return cls.from_alphas(
+            backgate_capacitance(diameter_nm, tox_nm, kappa),
+            alpha_g, alpha_d,
+        )

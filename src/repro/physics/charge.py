@@ -1,0 +1,264 @@
+"""Non-equilibrium mobile charge in a ballistic CNT.
+
+This module evaluates the theoretical state-density integrals of the
+top-of-the-barrier model (eqs. (2)-(4) of the paper):
+
+``NS = 1/2 Int D(E) f(E - U_SF) dE``      (+k states, filled by source)
+``ND = 1/2 Int D(E) f(E - U_DF) dE``      (-k states, filled by drain)
+``N0 = Int D(E) f(E - EF) dE``            (equilibrium)
+
+with ``U_SF = EF - q VSC`` and ``U_DF = EF - q VSC - q VDS``.  Energies
+are in eV, measured from the equilibrium conduction-band edge of the
+first subband; densities are per metre of tube.
+
+The van Hove singularity ``1/sqrt(E)`` at each subband edge is removed
+exactly with the substitution ``E = t**2``, after which fixed-order
+Gauss-Legendre quadrature converges spectrally.  All entry points are
+vectorised over the energy/bias argument.
+
+Sign conventions (see DESIGN.md §2): the mobile charge magnitudes
+
+``QS(VSC) = q (NS - N0/2)``,  ``QD(VSC) = q (ND - N0/2)``
+
+are positive for negative ``VSC`` (band pulled down, states filling) and
+decrease monotonically with ``VSC``; ``QS(0) = 0`` identically because
+``NS(U_SF = EF) = N0 / 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.constants import (
+    ELEMENTARY_CHARGE,
+    HOPPING_ENERGY_EV,
+    thermal_voltage_ev,
+)
+from repro.errors import ParameterError
+from repro.physics.dos import dos_prefactor
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class ChargeModel:
+    """Mobile-charge integrals for a fixed device (subbands, T, EF).
+
+    Parameters
+    ----------
+    subband_minima_ev:
+        Ascending conduction-subband minima, eV from mid-gap (see
+        :class:`repro.physics.bandstructure.NanotubeBands`).  The first
+        entry defines the energy reference: all bias-level energies are
+        measured from that edge.
+    temperature_k:
+        Lattice/contact temperature.
+    fermi_level_ev:
+        Source Fermi level relative to the first conduction-band edge
+        (FETToy convention; typically negative, e.g. -0.32 eV).
+    hopping_ev:
+        Tight-binding hopping energy (fixes the DOS prefactor).
+    nodes:
+        Gauss-Legendre order per subband.  200 gives ~1e-12 relative
+        accuracy; lower values trade accuracy for speed.
+    tail_kt:
+        Upper integration limit in units of kT above the occupied window;
+        40 kT truncates the Fermi tail below 4e-18.
+    """
+
+    def __init__(
+        self,
+        subband_minima_ev: Sequence[float],
+        temperature_k: float,
+        fermi_level_ev: float,
+        hopping_ev: float = HOPPING_ENERGY_EV,
+        nodes: int = 200,
+        tail_kt: float = 40.0,
+    ) -> None:
+        minima = [float(d) for d in subband_minima_ev]
+        if not minima:
+            raise ParameterError("at least one subband required")
+        if sorted(minima) != minima or minima[0] < 0.0:
+            raise ParameterError(
+                f"subband minima must be ascending and >= 0: {minima}"
+            )
+        if nodes < 16:
+            raise ParameterError(f"need >= 16 quadrature nodes: {nodes}")
+        if tail_kt < 10.0:
+            raise ParameterError(f"tail must cover >= 10 kT: {tail_kt}")
+        self.subband_minima_ev = tuple(minima)
+        self.temperature_k = float(temperature_k)
+        self.kt_ev = thermal_voltage_ev(temperature_k)
+        self.fermi_level_ev = float(fermi_level_ev)
+        self.prefactor = dos_prefactor(hopping_ev)
+        self.nodes = int(nodes)
+        self.tail_kt = float(tail_kt)
+        x, w = np.polynomial.legendre.leggauss(self.nodes)
+        self._gl_x = x
+        self._gl_w = w
+        #: subband edges relative to the first edge (>= 0)
+        self._offsets = tuple(d - minima[0] for d in minima)
+        #: subband half-gaps (delta values entering the DOS shape)
+        self._deltas = tuple(minima)
+        self._n_equilibrium = None  # lazy cache
+
+    # ------------------------------------------------------------------
+    # Core integrals
+    # ------------------------------------------------------------------
+
+    def half_density(self, u_ev: ArrayLike) -> ArrayLike:
+        """``(1/2) Int D(E) f(E - u) dE`` [states/m].
+
+        ``u`` is an energy in eV from the first conduction-band edge;
+        vectorised over ``u``.
+        """
+        return self._integrate(u_ev, derivative=False)
+
+    def half_density_derivative(self, u_ev: ArrayLike) -> ArrayLike:
+        """``d(half_density)/du`` [states/(m eV)]; always >= 0.
+
+        Filling increases as the Fermi window rises.  Feeds the Newton
+        iteration of the reference solver and the quantum capacitance.
+        """
+        return self._integrate(u_ev, derivative=True)
+
+    def _integrate(self, u_ev: ArrayLike, derivative: bool) -> ArrayLike:
+        u = np.atleast_1d(np.asarray(u_ev, dtype=float))
+        total = np.zeros_like(u)
+        for delta, offset in zip(self._deltas, self._offsets):
+            total += self._subband_integral(u - offset, delta, derivative)
+        total *= 0.5
+        if np.isscalar(u_ev):
+            return float(total[0])
+        return total.reshape(np.shape(u_ev))
+
+    def _subband_integral(self, u: np.ndarray, delta: float,
+                          derivative: bool) -> np.ndarray:
+        """One subband, singularity removed via ``E = t**2``.
+
+        Returns ``Int_0^inf D_sub(E) f(E - u) dE`` (or its u-derivative)
+        where ``D_sub(E) = D0 (E + delta)/sqrt(E (E + 2 delta))`` and the
+        substituted integrand ``2 D0 (t^2+delta)/sqrt(t^2+2 delta)`` is
+        smooth at ``t = 0``.
+        """
+        kt = self.kt_ev
+        t_max = np.sqrt(np.maximum(u, 0.0) + self.tail_kt * kt)
+        half = 0.5 * t_max[:, None]
+        t = half * (self._gl_x[None, :] + 1.0)
+        t2 = t * t
+        if delta == 0.0:
+            dos_term = 2.0 * self.prefactor * np.ones_like(t)
+        else:
+            dos_term = (
+                2.0 * self.prefactor * (t2 + delta)
+                / np.sqrt(t2 + 2.0 * delta)
+            )
+        x = (t2 - u[:, None]) / kt
+        if derivative:
+            # d f(E - u) / du = -f'(x)/kT = f(x)(1-f(x))/kT  (positive)
+            occ = _fermi(x)
+            weight = occ * (1.0 - occ) / kt
+        else:
+            weight = _fermi(x)
+        return np.sum(dos_term * weight * self._gl_w[None, :], axis=1) \
+            * half[:, 0]
+
+    # ------------------------------------------------------------------
+    # Bias-level quantities (paper's NS, ND, N0, QS, QD)
+    # ------------------------------------------------------------------
+
+    def n_source(self, vsc: ArrayLike) -> ArrayLike:
+        """``NS(VSC)`` — +k state density filled by the source [1/m]."""
+        return self.half_density(self.fermi_level_ev - np.asarray(vsc)
+                                 if not np.isscalar(vsc)
+                                 else self.fermi_level_ev - vsc)
+
+    def n_drain(self, vsc: ArrayLike, vds: float) -> ArrayLike:
+        """``ND(VSC; VDS)`` — -k state density filled by the drain [1/m]."""
+        u = self.fermi_level_ev - np.asarray(vsc, dtype=float) - vds
+        out = self.half_density(u)
+        if np.isscalar(vsc):
+            return float(out)
+        return out
+
+    def n_equilibrium(self) -> float:
+        """``N0`` — equilibrium density at VSC = VDS = 0 [1/m].
+
+        Exactly ``2 * NS(VSC = 0)``; cached.
+        """
+        if self._n_equilibrium is None:
+            self._n_equilibrium = 2.0 * float(
+                self.half_density(self.fermi_level_ev)
+            )
+        return self._n_equilibrium
+
+    def qs(self, vsc: ArrayLike) -> ArrayLike:
+        """Source-side mobile charge ``QS(VSC) = q (NS - N0/2)`` [C/m]."""
+        n0_half = 0.5 * self.n_equilibrium()
+        out = ELEMENTARY_CHARGE * (
+            np.asarray(self.n_source(vsc), dtype=float) - n0_half
+        )
+        if np.isscalar(vsc):
+            return float(out)
+        return out
+
+    def qd(self, vsc: ArrayLike, vds: float) -> ArrayLike:
+        """Drain-side mobile charge ``QD(VSC; VDS) = QS(VSC + VDS)`` [C/m]."""
+        n0_half = 0.5 * self.n_equilibrium()
+        out = ELEMENTARY_CHARGE * (
+            np.asarray(self.n_drain(vsc, vds), dtype=float) - n0_half
+        )
+        if np.isscalar(vsc):
+            return float(out)
+        return out
+
+    def dqs_dvsc(self, vsc: ArrayLike) -> ArrayLike:
+        """``dQS/dVSC`` [C/(V m)]; always <= 0 (negative quantum
+        capacitance feedback)."""
+        u = self.fermi_level_ev - np.asarray(vsc, dtype=float)
+        out = -ELEMENTARY_CHARGE * np.asarray(
+            self.half_density_derivative(u), dtype=float
+        )
+        if np.isscalar(vsc):
+            return float(out)
+        return out
+
+    def delta_n(self, vsc: ArrayLike, vds: float) -> ArrayLike:
+        """Excess carrier density ``NS + ND - N0`` [1/m] (eq. (1))."""
+        ns = np.asarray(self.n_source(vsc), dtype=float)
+        nd = np.asarray(self.n_drain(vsc, vds), dtype=float)
+        out = ns + nd - self.n_equilibrium()
+        if np.isscalar(vsc):
+            return float(out)
+        return out
+
+    def quantum_capacitance(self, vsc: ArrayLike, vds: float) -> ArrayLike:
+        """``CQ = -d(QS+QD)/dVSC`` [F/m], the small-signal quantum
+        capacitance seen at the inner node."""
+        u_s = self.fermi_level_ev - np.asarray(vsc, dtype=float)
+        u_d = u_s - vds
+        out = ELEMENTARY_CHARGE * (
+            np.asarray(self.half_density_derivative(u_s), dtype=float)
+            + np.asarray(self.half_density_derivative(u_d), dtype=float)
+        )
+        if np.isscalar(vsc):
+            return float(out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChargeModel(T={self.temperature_k} K, "
+            f"EF={self.fermi_level_ev} eV, "
+            f"subbands={self.subband_minima_ev})"
+        )
+
+
+def _fermi(x: np.ndarray) -> np.ndarray:
+    """Overflow-free Fermi occupation for internal ndarray use."""
+    out = np.empty_like(x)
+    pos = x >= 0.0
+    e = np.exp(-x[pos])
+    out[pos] = e / (1.0 + e)
+    out[~pos] = 1.0 / (1.0 + np.exp(x[~pos]))
+    return out

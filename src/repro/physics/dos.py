@@ -1,0 +1,117 @@
+"""One-dimensional density of states of a carbon nanotube.
+
+Each subband with minimum ``delta`` (eV from mid-gap) contributes, per
+unit tube length and per eV,
+
+``D_sub(E) = D0 * |E| / sqrt(E^2 - delta^2)``  for ``|E| > delta``
+
+with the universal prefactor ``D0 = 8 / (3 pi a_cc V_pp_pi)`` that
+already counts spin and the K/K' valley degeneracy.  The ``E^{-1/2}``
+van Hove singularity at the band edge is integrable; the charge
+integrals remove it analytically with the substitution ``E = t^2``
+(see :mod:`repro.physics.charge`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.constants import CC_BOND_LENGTH, HOPPING_ENERGY_EV
+from repro.errors import ParameterError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def dos_prefactor(hopping_ev: float = HOPPING_ENERGY_EV) -> float:
+    """Universal CNT DOS prefactor ``D0 = 8/(3 pi a_cc t)`` [1/(eV m)].
+
+    Equals the constant density of states of a metallic tube
+    (about 2.0e9 states per eV per metre for ``t = 3 eV``).
+    """
+    if hopping_ev <= 0.0:
+        raise ParameterError(f"hopping energy must be > 0: {hopping_ev!r}")
+    return 8.0 / (3.0 * np.pi * CC_BOND_LENGTH * hopping_ev)
+
+
+class DensityOfStates:
+    """Multi-subband CNT density of states.
+
+    Parameters
+    ----------
+    subband_minima_ev:
+        Ascending conduction-band minima (eV from mid-gap).  A value of
+        0 denotes the linear band of a metallic tube, which contributes
+        the constant ``D0``.
+    hopping_ev:
+        Tight-binding hopping energy; fixes the prefactor.
+    """
+
+    def __init__(
+        self,
+        subband_minima_ev: Sequence[float],
+        hopping_ev: float = HOPPING_ENERGY_EV,
+    ) -> None:
+        minima = [float(d) for d in subband_minima_ev]
+        if not minima:
+            raise ParameterError("at least one subband required")
+        if any(d < 0.0 for d in minima):
+            raise ParameterError(f"subband minima must be >= 0: {minima}")
+        if sorted(minima) != minima:
+            raise ParameterError(f"subband minima must ascend: {minima}")
+        self.subband_minima_ev = tuple(minima)
+        self.prefactor = dos_prefactor(hopping_ev)
+
+    def conduction(self, energy_ev: ArrayLike) -> ArrayLike:
+        """Total conduction-band DOS at absolute energy ``E`` (eV from
+        mid-gap), per eV per metre.  Zero below the first edge."""
+        e = np.asarray(energy_ev, dtype=float)
+        total = np.zeros_like(e)
+        for delta in self.subband_minima_ev:
+            total += self._single(e, delta)
+        if np.isscalar(energy_ev):
+            return float(total)
+        return total
+
+    def _single(self, e: np.ndarray, delta: float) -> np.ndarray:
+        if delta == 0.0:
+            return np.full_like(e, self.prefactor)
+        above = e > delta
+        out = np.zeros_like(e)
+        ee = e[above]
+        out[above] = self.prefactor * ee / np.sqrt(ee * ee - delta * delta)
+        return out
+
+    def relative_to_edge(self, energy_rel_ev: ArrayLike,
+                         delta: float) -> ArrayLike:
+        """DOS of one subband expressed against energy measured *from the
+        subband edge* (``E_rel >= 0``):
+
+        ``D(E_rel) = D0 (E_rel + delta)/sqrt(E_rel (E_rel + 2 delta))``.
+
+        Used by the charge integrals which work in band-edge-referenced
+        energies.
+        """
+        e = np.asarray(energy_rel_ev, dtype=float)
+        if delta < 0.0:
+            raise ParameterError(f"delta must be >= 0: {delta!r}")
+        if delta == 0.0:
+            out = np.full_like(e, self.prefactor)
+        else:
+            out = np.zeros_like(e)
+            pos = e > 0.0
+            ee = e[pos]
+            out[pos] = (
+                self.prefactor * (ee + delta) / np.sqrt(ee * (ee + 2.0 * delta))
+            )
+        out = np.where(e < 0.0, 0.0, out)
+        if np.isscalar(energy_rel_ev):
+            return float(out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DensityOfStates(minima={self.subband_minima_ev}, "
+            f"D0={self.prefactor:.4g}/eV/m)"
+        )

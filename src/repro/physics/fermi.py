@@ -1,0 +1,120 @@
+"""Fermi-Dirac statistics.
+
+Everything here is expressed in the reduced variable ``eta = (mu - E)/kT``
+or the plain occupation argument ``x = (E - mu)/kT``; callers convert
+energies to these dimensionless forms.  All functions are numerically
+stable over the full double range and accept scalars or numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def fermi_dirac(x: ArrayLike) -> ArrayLike:
+    """Occupation ``f(x) = 1 / (1 + exp(x))`` with ``x = (E - mu)/kT``.
+
+    Implemented in the overflow-free split form: for positive ``x`` the
+    equivalent ``exp(-x) / (1 + exp(-x))`` is used.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    out = np.empty_like(x_arr)
+    pos = x_arr >= 0.0
+    exp_neg = np.exp(-x_arr[pos])
+    out[pos] = exp_neg / (1.0 + exp_neg)
+    out[~pos] = 1.0 / (1.0 + np.exp(x_arr[~pos]))
+    if np.isscalar(x):
+        return float(out)
+    return out
+
+
+def fermi_dirac_derivative(x: ArrayLike) -> ArrayLike:
+    """``df/dx = -exp(x) / (1 + exp(x))^2 = -f(x) f(-x)``.
+
+    Always negative; peaks at ``x = 0`` with value ``-1/4``.
+    """
+    f = np.asarray(fermi_dirac(x), dtype=float)
+    out = -f * (1.0 - f)
+    if np.isscalar(x):
+        return float(out)
+    return out
+
+
+def fermi_dirac_integral_0(eta: ArrayLike) -> ArrayLike:
+    """Order-0 Fermi-Dirac integral ``F0(eta) = ln(1 + exp(eta))``.
+
+    This is the closed form used in eq. (13) of the paper; the
+    ``logaddexp`` formulation is exact for very negative eta (returns
+    ``exp(eta)``) and very positive eta (returns ``eta``).
+    """
+    out = np.logaddexp(0.0, np.asarray(eta, dtype=float))
+    if np.isscalar(eta):
+        return float(out)
+    return out
+
+
+def fermi_dirac_integral_m1(eta: ArrayLike) -> ArrayLike:
+    """Order ``-1`` integral, ``F_{-1}(eta) = dF0/deta = f(-eta)``."""
+    return fermi_dirac(-np.asarray(eta, dtype=float)) if not np.isscalar(eta) \
+        else fermi_dirac(-eta)
+
+
+def fermi_dirac_integral(order: float, eta: ArrayLike,
+                         nodes: int = 256) -> ArrayLike:
+    """Numerical Fermi-Dirac integral of real order ``j > -1``.
+
+    ``F_j(eta) = (1/Gamma(j+1)) * Int_0^inf  t^j / (1 + exp(t - eta)) dt``
+
+    Orders 0 and -1 dispatch to their closed forms.  Other orders use
+    Gauss-Legendre quadrature on ``[0, t_max]`` with
+    ``t_max = max(eta, 0) + 40`` — the integrand decays like
+    ``exp(eta - t)`` beyond that, contributing less than 4e-18
+    relative weight.
+
+    Only used for completeness/testing of the substrate (bulk-semiconductor
+    orders 1/2, -1/2); the CNT model itself needs only order 0.
+    """
+    if order == 0:
+        return fermi_dirac_integral_0(eta)
+    if order == -1:
+        return fermi_dirac_integral_m1(eta)
+    if order <= -1:
+        raise ParameterError(
+            f"numerical Fermi integral requires order > -1, got {order}"
+        )
+    if nodes < 8:
+        raise ParameterError(f"need at least 8 quadrature nodes: {nodes}")
+    eta_arr = np.atleast_1d(np.asarray(eta, dtype=float))
+    x_nodes, weights = np.polynomial.legendre.leggauss(nodes)
+    t_max = np.maximum(eta_arr, 0.0) + 40.0
+    # Map [-1, 1] -> [0, t_max] per eta value.
+    half = 0.5 * t_max[:, None]
+    t = half * (x_nodes[None, :] + 1.0)
+    ft = t**order * fermi_dirac(t - eta_arr[:, None])
+    vals = np.sum(ft * weights[None, :], axis=1) * half[:, 0]
+    vals /= math.gamma(order + 1.0)
+    if np.isscalar(eta):
+        return float(vals[0])
+    return vals.reshape(np.shape(eta))
+
+
+def inverse_fermi_dirac_integral_0(value: ArrayLike) -> ArrayLike:
+    """Invert ``F0``: returns eta with ``F0(eta) = value`` (value > 0).
+
+    Closed form: ``eta = ln(exp(value) - 1)``, evaluated stably via
+    ``value + log1p(-exp(-value))``.
+    """
+    v = np.asarray(value, dtype=float)
+    if np.any(v <= 0.0):
+        raise ParameterError("F0 is strictly positive; cannot invert <= 0")
+    out = v + np.log1p(-np.exp(-v))
+    if np.isscalar(value):
+        return float(out)
+    return out

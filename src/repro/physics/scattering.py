@@ -1,0 +1,75 @@
+"""Non-ballistic transport extension (paper §VII, future work).
+
+The paper's model is strictly ballistic; its conclusion names extension
+to non-ballistic transport as future work.  The standard first-order
+correction (Lundstrom's scattering theory) multiplies the ballistic
+current by a channel transmission
+
+``T = lambda / (lambda + L)``
+
+where ``lambda`` is the carrier mean free path and ``L`` the channel
+length.  A simple empirical temperature dependence
+``lambda(T) = lambda_300 * (300 / T)`` models acoustic-phonon-limited
+scattering.  This module supplies that hook so device and circuit code
+can be exercised in a quasi-ballistic regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class MeanFreePathModel:
+    """Acoustic-phonon mean free path with 1/T scaling.
+
+    Parameters
+    ----------
+    lambda_300_nm:
+        Mean free path at 300 K.  Reported values for high-quality CNTs
+        are hundreds of nm; 300 nm is a sensible default.
+    """
+
+    lambda_300_nm: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.lambda_300_nm <= 0.0:
+            raise ParameterError(
+                f"mean free path must be > 0: {self.lambda_300_nm!r}"
+            )
+
+    def mean_free_path_nm(self, temperature_k: float) -> float:
+        if temperature_k <= 0.0:
+            raise ParameterError(
+                f"temperature must be > 0: {temperature_k!r}"
+            )
+        return self.lambda_300_nm * (300.0 / temperature_k)
+
+
+def transmission(channel_length_nm: float, mean_free_path_nm: float) -> float:
+    """Lundstrom transmission ``T = lambda / (lambda + L)`` in (0, 1].
+
+    ``L = 0`` (or infinite mean free path) recovers the ballistic limit
+    ``T = 1``.
+    """
+    if channel_length_nm < 0.0:
+        raise ParameterError(
+            f"channel length must be >= 0: {channel_length_nm!r}"
+        )
+    if mean_free_path_nm <= 0.0:
+        raise ParameterError(
+            f"mean free path must be > 0: {mean_free_path_nm!r}"
+        )
+    return mean_free_path_nm / (mean_free_path_nm + channel_length_nm)
+
+
+def quasi_ballistic_factor(channel_length_nm: float,
+                           temperature_k: float,
+                           mfp_model: MeanFreePathModel | None = None) -> float:
+    """Convenience: transmission at ``T`` using a mean-free-path model."""
+    model = mfp_model if mfp_model is not None else MeanFreePathModel()
+    return transmission(
+        channel_length_nm, model.mean_free_path_nm(temperature_k)
+    )

@@ -1,0 +1,38 @@
+"""The paper's contribution: piecewise non-linear charge approximation.
+
+Pipeline
+--------
+1. :mod:`repro.pwl.fitting` samples the theoretical ``QS(VSC)`` curve
+   (from :mod:`repro.physics.charge`) and fits a C1-continuous piecewise
+   polynomial of order <= 3 per region, optionally optimising the region
+   boundaries to minimise RMS deviation (paper §IV).
+2. :mod:`repro.pwl.model1` / :mod:`repro.pwl.model2` provide the paper's
+   two concrete region layouts (3-piece and 4-piece).
+3. :mod:`repro.pwl.selfconsistent` solves the self-consistent-voltage
+   equation in closed form (linear/quadratic/Cardano-cubic per region
+   combination) — no Newton-Raphson, no Fermi integrals (paper §V).
+4. :mod:`repro.pwl.device` wraps everything into the public
+   :class:`CNFET` device.
+5. :mod:`repro.pwl.codegen` emits VHDL-AMS / Verilog-A / SPICE source
+   for a fitted device (paper §VII released a VHDL-AMS model).
+"""
+
+from repro.pwl.device import CNFET
+from repro.pwl.fitting import FitSpec, FittedCharge, fit_piecewise_charge
+from repro.pwl.model1 import MODEL1_SPEC, build_model1
+from repro.pwl.model2 import MODEL2_SPEC, build_model2
+from repro.pwl.regions import PiecewiseCharge
+from repro.pwl.selfconsistent import ClosedFormSolver
+
+__all__ = [
+    "CNFET",
+    "FitSpec",
+    "FittedCharge",
+    "fit_piecewise_charge",
+    "MODEL1_SPEC",
+    "MODEL2_SPEC",
+    "build_model1",
+    "build_model2",
+    "PiecewiseCharge",
+    "ClosedFormSolver",
+]

@@ -1,0 +1,23 @@
+"""HDL code generation for fitted CNFET models.
+
+The paper's §VII released a VHDL-AMS implementation of Model 2 through
+the Southampton VHDL-AMS validation suite; this package regenerates that
+artefact from any fitted device, plus Verilog-A and SPICE-subcircuit
+flavours for other simulators.
+
+All emitters consume a :class:`repro.pwl.device.CNFET` (or a
+:class:`repro.pwl.fitting.FittedCharge` + capacitances) and produce a
+self-contained source string: the piecewise charge polynomials, the
+closed-form current expression, and the terminal capacitance network of
+the paper's Fig. 1.
+"""
+
+from repro.pwl.codegen.spice_subckt import generate_spice_subcircuit
+from repro.pwl.codegen.verilog_a import generate_verilog_a
+from repro.pwl.codegen.vhdl_ams import generate_vhdl_ams
+
+__all__ = [
+    "generate_vhdl_ams",
+    "generate_verilog_a",
+    "generate_spice_subcircuit",
+]

@@ -1,0 +1,58 @@
+"""SPICE subcircuit emitter.
+
+Plain SPICE has no piecewise polynomial primitive, so the subcircuit
+uses behavioural sources (B elements, ngspice syntax): the inner node's
+charge balance becomes a behavioural current into a unit resistor and
+the drain current a behavioural source between drain and source.  Region
+selection uses the ternary operator available in ngspice/Xyce
+expressions.
+"""
+
+from __future__ import annotations
+
+from repro.pwl.codegen.common import (
+    check_supported,
+    header_comment,
+    model_regions,
+    polynomial_expression,
+)
+from repro.pwl.device import CNFET
+
+
+def _nested_ternary(device: CNFET, var: str) -> str:
+    """Region selection as a right-nested ternary expression."""
+    regions = model_regions(device)
+    expr = polynomial_expression(regions[-1][1], var)
+    for upper, coeffs in reversed(regions[:-1]):
+        branch = polynomial_expression(coeffs, var)
+        expr = f"({var} <= {upper:.10e}) ? ({branch}) : ({expr})"
+    return expr
+
+
+def generate_spice_subcircuit(device: CNFET,
+                              subckt_name: str = "cnfet") -> str:
+    """Emit an ngspice-flavoured behavioural subcircuit."""
+    check_supported(device)
+    caps = device.capacitances
+    kt = device.reference.kt_ev
+    ef = device.params.fermi_level_ev
+    prefactor = device._i_prefactor
+    header = "\n".join(f"* {line}" for line in header_comment(
+        device, "nodes: d g s; internal: sigma"))
+    qs_expr = _nested_ternary(device, "v(sigma)")
+    qd_expr = _nested_ternary(device, "(v(sigma)+v(d,s))")
+    return f"""{header}
+.subckt {subckt_name} d g s
+* Inner-node charge balance: drive sigma so the residual vanishes.
+* residual (C/m): csum*vsc + cg*vg + cd*vd - qs(vsc) - qd(vsc+vds)
+Bres sigma 0 I = ( {caps.csum:.10e}*v(sigma)
++   + {caps.cg:.10e}*v(g) + {caps.cd:.10e}*v(d)
++   - ({qs_expr})
++   - ({qd_expr}) ) * 1e6
+Rres sigma 0 1
+* Ballistic drain current, eq. (14):
+Bids d s I = {prefactor:.10e} *
++  ( ln(1 + exp(({ef:.10e} - v(sigma))/{kt:.10e}))
++  - ln(1 + exp(({ef:.10e} - v(sigma) - v(d,s))/{kt:.10e})) )
+.ends {subckt_name}
+"""

@@ -1,0 +1,86 @@
+"""Verilog-A emitter.
+
+Same equivalent circuit as the VHDL-AMS flavour, phrased for
+SPICE-class simulators that consume Verilog-A (Spectre, HSPICE, ngspice
+with ADMS).  The inner node is an internal electrical node; the charge
+balance is expressed as a contribution of charges so the simulator
+handles both DC and transient consistently.
+"""
+
+from __future__ import annotations
+
+from repro.pwl.codegen.common import (
+    check_supported,
+    header_comment,
+    model_regions,
+    polynomial_expression,
+)
+from repro.pwl.device import CNFET
+
+
+def _charge_blocks(device: CNFET, var: str, target: str,
+                   indent: str = "            ") -> str:
+    lines = []
+    first = True
+    for upper, coeffs in model_regions(device):
+        expr = polynomial_expression(coeffs, var)
+        if upper == float("inf"):
+            lines.append(f"{indent}else")
+            lines.append(f"{indent}    {target} = {expr};")
+        else:
+            keyword = "if" if first else "else if"
+            lines.append(f"{indent}{keyword} ({var} <= {upper:.10e})")
+            lines.append(f"{indent}    {target} = {expr};")
+            first = False
+    return "\n".join(lines)
+
+
+def generate_verilog_a(device: CNFET, module_name: str = "cnfet") -> str:
+    """Emit a Verilog-A module for a fitted device."""
+    check_supported(device)
+    caps = device.capacitances
+    kt = device.reference.kt_ev
+    ef = device.params.fermi_level_ev
+    prefactor = device._i_prefactor
+    header = "\n".join(f"// {line}" for line in header_comment(
+        device, "ports: (d, g, s); internal node: sigma"))
+    qs_block = _charge_blocks(device, "vsc", "qs_val")
+    qd_block = _charge_blocks(device, "vsd_arg", "qd_val")
+    return f"""{header}
+
+`include "constants.vams"
+`include "disciplines.vams"
+
+module {module_name}(d, g, s);
+    inout d, g, s;
+    electrical d, g, s;
+    electrical sigma;  // inner node: self-consistent potential
+
+    parameter real cg    = {caps.cg:.10e};  // F/m
+    parameter real cd    = {caps.cd:.10e};  // F/m
+    parameter real cs    = {caps.cs:.10e};  // F/m
+    parameter real ef    = {ef:.10e};       // eV
+    parameter real kt    = {kt:.10e};       // eV
+    parameter real ipref = {prefactor:.10e};  // A
+
+    real vsc, vsd_arg, qs_val, qd_val, eta_s, eta_d;
+
+    analog begin
+        vsc = V(sigma, s);
+        vsd_arg = vsc + V(d, s);
+{qs_block}
+{qd_block}
+        // Charge balance at the inner node (Fig. 1 equivalent circuit):
+        I(sigma) <+ ddt(cg*V(sigma, g) + cd*V(sigma, d) + cs*V(sigma, s)
+                        + qs_val + qd_val);
+        // Resistive tie so the DC operating point satisfies the same
+        // balance (scaled to conductance units):
+        I(sigma) <+ 1.0e3 * (cg*V(sigma, g) + cd*V(sigma, d)
+                             + cs*V(sigma, s) + qs_val + qd_val);
+        // Ballistic drain current, eq. (14):
+        eta_s = (ef - vsc)/kt;
+        eta_d = (ef - vsc - V(d, s))/kt;
+        I(d, s) <+ ipref * (ln(1.0 + exp(eta_s)) - ln(1.0 + exp(eta_d)));
+    end
+endmodule
+"""

@@ -1,0 +1,90 @@
+"""VHDL-AMS emitter (the paper's released artefact, §VII).
+
+Generates an ``entity`` + ``architecture`` pair implementing the Fig. 1
+equivalent circuit: the inner node ``vsc`` is a free quantity whose
+charge-balance equation is written directly (simultaneous statement);
+the drain-source branch carries the closed-form ballistic current.
+"""
+
+from __future__ import annotations
+
+from repro.pwl.codegen.common import (
+    check_supported,
+    header_comment,
+    model_regions,
+    polynomial_expression,
+)
+from repro.pwl.device import CNFET
+
+
+def _charge_function(name: str, device: CNFET, indent: str = "    ") -> str:
+    """A pure VHDL-AMS function evaluating the piecewise charge."""
+    lines = [
+        f"{indent}function {name}(v : real) return real is",
+        f"{indent}begin",
+    ]
+    first = True
+    for upper, coeffs in model_regions(device):
+        expr = polynomial_expression(coeffs, "v")
+        if upper == float("inf"):
+            lines.append(f"{indent}    else")
+            lines.append(f"{indent}        return {expr};")
+        else:
+            keyword = "if" if first else "elsif"
+            lines.append(f"{indent}    {keyword} v <= {upper:.10e} then")
+            lines.append(f"{indent}        return {expr};")
+            first = False
+    lines.append(f"{indent}    end if;")
+    lines.append(f"{indent}end function {name};")
+    return "\n".join(lines)
+
+
+def generate_vhdl_ams(device: CNFET, entity_name: str = "cnfet") -> str:
+    """Emit a complete VHDL-AMS model for a fitted device.
+
+    The generated architecture solves the same equations as the Python
+    device: charge balance at the inner node and eq. (14) for the drain
+    current.
+    """
+    check_supported(device)
+    caps = device.capacitances
+    kt = device.reference.kt_ev
+    ef = device.params.fermi_level_ev
+    prefactor = device._i_prefactor  # documented internal reuse
+    header = "\n".join(f"-- {line}" for line in header_comment(
+        device, "interface: terminal d, g, s (electrical)"))
+    charge_fn = _charge_function("q_mobile", device)
+    return f"""{header}
+
+library IEEE;
+use IEEE.MATH_REAL.all;
+use IEEE.ELECTRICAL_SYSTEMS.all;
+
+entity {entity_name} is
+    port (terminal d, g, s : electrical);
+end entity {entity_name};
+
+architecture pwl of {entity_name} is
+    constant CG    : real := {caps.cg:.10e};  -- F/m
+    constant CD    : real := {caps.cd:.10e};  -- F/m
+    constant CS    : real := {caps.cs:.10e};  -- F/m
+    constant CSUM  : real := {caps.csum:.10e};
+    constant EF    : real := {ef:.10e};       -- eV
+    constant KT    : real := {kt:.10e};       -- eV
+    constant IPREF : real := {prefactor:.10e};  -- A
+{charge_fn}
+    quantity vg_q across g to s;
+    quantity vd_q across d to s;
+    quantity ids_q through d to s;
+    quantity vsc : voltage;
+begin
+    -- Self-consistent charge balance at the inner node (closed under
+    -- the piecewise approximation; the simulator's DAE solver sees a
+    -- polynomial residual of degree <= 3):
+    0.0 == CSUM*vsc + CG*vg_q + CD*vd_q
+           - q_mobile(vsc) - q_mobile(vsc + vd_q);
+    -- Ballistic drain current, eq. (14):
+    ids_q == IPREF * (log(1.0 + exp((EF - vsc)/KT))
+                      - log(1.0 + exp((EF - vsc - vd_q)/KT)));
+end architecture pwl;
+"""

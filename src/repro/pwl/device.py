@@ -1,0 +1,224 @@
+"""Public CNFET device built on the piecewise charge approximation.
+
+:class:`CNFET` is the user-facing object: construct it from device
+parameters (same dataclass as the reference model, so the two are
+interchangeable), pick ``model="model1"`` or ``"model2"`` (or pass a
+custom :class:`~repro.pwl.fitting.FitSpec`), and evaluate currents —
+each bias point costs a closed-form polynomial solve plus two
+logarithms.
+
+The device also exposes small-signal quantities (gm, gds) and terminal
+charges (for the transient companion models of the circuit engine),
+matching the equivalent circuit of the paper's Fig. 1: linear
+capacitances CG/CD/CS from the terminals to the inner node Σ plus the
+non-linear mobile charges QS, QD at Σ.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.constants import BALLISTIC_CURRENT_PREFACTOR, thermal_voltage_ev
+from repro.errors import ParameterError
+from repro.pwl.fitting import FitSpec, FittedCharge, fit_piecewise_charge
+from repro.pwl.model1 import MODEL1_SPEC
+from repro.pwl.model2 import MODEL2_SPEC
+from repro.pwl.selfconsistent import ClosedFormSolver
+from repro.reference.fettoy import FETToyModel, FETToyParameters
+
+_NAMED_SPECS = {"model1": MODEL1_SPEC, "model2": MODEL2_SPEC}
+
+
+class CNFET:
+    """Fast ballistic CNFET using the piecewise charge approximation.
+
+    Parameters
+    ----------
+    params:
+        Physical device parameters (shared with the reference model).
+    model:
+        ``"model1"``, ``"model2"`` or a custom :class:`FitSpec`.
+    optimize_boundaries:
+        Refine region boundaries numerically during fitting.
+    fitted:
+        Skip fitting and use a pre-computed :class:`FittedCharge`
+        (e.g. from :mod:`repro.pwl.tables`).
+    polarity:
+        ``"n"`` (default) or ``"p"``.  A p-type device mirrors terminal
+        voltages (``IDS_p(VG, VD) = -IDS_n(-VG, -VD)``) — a standard
+        circuit-level convenience for complementary logic, documented as
+        an extension beyond the paper's n-type measurements.
+
+    Notes
+    -----
+    Construction runs the *theoretical* model once to sample the charge
+    curve and fit it (~tens of ms); evaluations afterwards never touch
+    the physics again, which is the paper's amortisation argument for
+    SPICE-class simulators.
+    """
+
+    def __init__(
+        self,
+        params: FETToyParameters = FETToyParameters(),
+        model: Union[str, FitSpec] = "model2",
+        optimize_boundaries: bool = True,
+        fitted: Optional[FittedCharge] = None,
+        polarity: str = "n",
+    ) -> None:
+        if polarity not in ("n", "p"):
+            raise ParameterError(f"polarity must be 'n' or 'p': {polarity!r}")
+        self.params = params
+        self.polarity = polarity
+        self.reference = FETToyModel(params)
+        if fitted is None:
+            if isinstance(model, str):
+                try:
+                    spec = _NAMED_SPECS[model]
+                except KeyError:
+                    raise ParameterError(
+                        f"unknown model {model!r}; expected one of "
+                        f"{sorted(_NAMED_SPECS)} or a FitSpec"
+                    ) from None
+            else:
+                spec = model
+            fitted = fit_piecewise_charge(
+                self.reference.charge, spec,
+                optimize_boundaries=optimize_boundaries,
+            )
+        self.fitted = fitted
+        self.solver = ClosedFormSolver(
+            fitted.curve, self.reference.capacitances
+        )
+        self.capacitances = self.reference.capacitances
+        self._kt = thermal_voltage_ev(params.temperature_k)
+        self._ef = params.fermi_level_ev
+        self._i_prefactor = (
+            BALLISTIC_CURRENT_PREFACTOR * params.temperature_k
+            * params.transmission
+        )
+
+    # ------------------------------------------------------------------
+    # Core evaluations
+    # ------------------------------------------------------------------
+
+    @property
+    def model_name(self) -> str:
+        return self.fitted.spec.name
+
+    def vsc(self, vg: float, vd: float, vs: float = 0.0) -> float:
+        """Self-consistent voltage [V], source-referenced — closed form,
+        no iteration."""
+        if self.polarity == "p":
+            return -self.solver.solve(-(vg - vs), -(vd - vs), 0.0)
+        return self.solver.solve(vg - vs, vd - vs, 0.0)
+
+    def ids_at_vsc(self, vsc: float, vds: float) -> float:
+        """Drain current given VSC (paper eq. (14)) [A]."""
+        kt = self._kt
+        eta_s = (self._ef - vsc) / kt
+        eta_d = eta_s - vds / kt
+        return self._i_prefactor * (_log1pexp(eta_s) - _log1pexp(eta_d))
+
+    def ids(self, vg: float, vd: float, vs: float = 0.0) -> float:
+        """Drain current at a terminal bias point [A].
+
+        For p-type devices the mirrored current is returned so that the
+        device conducts for negative gate drive, as expected in
+        complementary logic.
+        """
+        if self.polarity == "p":
+            return -self._ids_n(-vg, -vd, -vs)
+        return self._ids_n(vg, vd, vs)
+
+    def _ids_n(self, vg: float, vd: float, vs: float) -> float:
+        vsc = self.solver.solve(vg - vs, vd - vs, 0.0)
+        return self.ids_at_vsc(vsc, vd - vs)
+
+    def operating_point(self, vg: float, vd: float,
+                        vs: float = 0.0) -> Tuple[float, float]:
+        """``(IDS, VSC)`` at a bias point (VSC source-referenced)."""
+        vsc = self.vsc(vg, vd, vs)
+        if self.polarity == "p":
+            return self.ids(vg, vd, vs), vsc
+        return self.ids_at_vsc(vsc, vd - vs), vsc
+
+    def iv_family(self, vg_values: Sequence[float],
+                  vd_values: Sequence[float]) -> np.ndarray:
+        """Drain-current family ``IDS[i_vg, i_vd]`` [A]."""
+        vg_arr = [float(v) for v in vg_values]
+        vd_arr = [float(v) for v in vd_values]
+        out = np.empty((len(vg_arr), len(vd_arr)))
+        ids = self.ids
+        for i, vg in enumerate(vg_arr):
+            for j, vd in enumerate(vd_arr):
+                out[i, j] = ids(vg, vd)
+        return out
+
+    # ------------------------------------------------------------------
+    # Small-signal parameters (central differences on the fast model)
+    # ------------------------------------------------------------------
+
+    def gm(self, vg: float, vd: float, vs: float = 0.0,
+           delta: float = 1e-4) -> float:
+        """Transconductance ``dIDS/dVG`` [S]."""
+        return (
+            self.ids(vg + delta, vd, vs) - self.ids(vg - delta, vd, vs)
+        ) / (2.0 * delta)
+
+    def gds(self, vg: float, vd: float, vs: float = 0.0,
+            delta: float = 1e-4) -> float:
+        """Output conductance ``dIDS/dVD`` [S]."""
+        return (
+            self.ids(vg, vd + delta, vs) - self.ids(vg, vd - delta, vs)
+        ) / (2.0 * delta)
+
+    # ------------------------------------------------------------------
+    # Charges (per metre; multiply by an effective length for a discrete
+    # device — the circuit element handles that scaling)
+    # ------------------------------------------------------------------
+
+    def terminal_charges(self, vg: float, vd: float,
+                         vs: float = 0.0) -> Tuple[float, float, float]:
+        """Charges at (G, D, S) [C/m] per the Fig. 1 equivalent circuit.
+
+        Gate: ``CG (VG - VSC)``.  Drain: ``CD (VD - VSC)`` plus the
+        mobile drain charge ``-QD`` (electrons supplied by the drain
+        contact); source analogously.  The inner node carries the
+        balancing charge, which is how the self-consistent equation was
+        derived in the first place.
+        """
+        sign = 1.0
+        if self.polarity == "p":
+            vg, vd, vs = -vg, -vd, -vs
+            sign = -1.0
+        vgs, vds = vg - vs, vd - vs
+        vsc = self.solver.solve(vgs, vds, 0.0)
+        caps = self.capacitances
+        qs_mobile = float(self.fitted.curve.value(vsc))
+        qd_mobile = float(self.fitted.curve.value(vsc + vds))
+        # Inner-node potential is -VSC (see DESIGN.md §2), so the plate
+        # charges are C * (terminal + VSC).
+        qg = caps.cg * (vgs + vsc)
+        qd = caps.cd * (vds + vsc) - qd_mobile
+        qs = caps.cs * vsc - qs_mobile
+        return sign * qg, sign * qd, sign * qs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        p = self.params
+        return (
+            f"CNFET({self.model_name}, {self.polarity}-type, "
+            f"d={self.reference.bands.diameter_nm:.2f} nm, "
+            f"T={p.temperature_k} K, EF={p.fermi_level_ev} eV)"
+        )
+
+
+def _log1pexp(x: float) -> float:
+    """Stable ``log(1 + exp(x))`` for scalar floats (hot path)."""
+    if x > 35.0:
+        return x
+    if x < -35.0:
+        return math.exp(x)
+    return math.log1p(math.exp(x))

@@ -1,0 +1,44 @@
+"""Model 1 — the paper's three-piece approximation (Fig. 2).
+
+Regions (relative to ``EF/q``):
+
+1. linear for ``VSC - EF/q <= -0.08 V``,
+2. quadratic for ``-0.08 V < VSC - EF/q < +0.08 V``,
+3. zero for ``VSC - EF/q >= +0.08 V``.
+
+With C1 continuity this leaves a single free coefficient (the quadratic
+curvature), making Model 1 the fastest and least accurate of the two —
+the paper reports ~3400x speed-up and < 5% average RMS error.
+"""
+
+from __future__ import annotations
+
+from repro.physics.charge import ChargeModel
+from repro.pwl.fitting import FitSpec, FittedCharge, fit_piecewise_charge
+
+#: Paper's Model 1 region boundaries relative to EF/q [V].
+MODEL1_BOUNDARIES = (-0.08, 0.08)
+
+#: Fit window relative to EF/q — matches the VSC span of the paper's
+#: Fig. 2 (absolute -0.5..0 V at EF = -0.32 eV).
+MODEL1_WINDOW = (-0.18, 0.32)
+
+MODEL1_SPEC = FitSpec(
+    orders=(1, 2, 0),
+    boundaries_rel=MODEL1_BOUNDARIES,
+    window_rel=MODEL1_WINDOW,
+    name="model1",
+)
+
+
+def build_model1(charge: ChargeModel,
+                 optimize_boundaries: bool = False) -> FittedCharge:
+    """Fit Model 1 to a theoretical charge model.
+
+    ``optimize_boundaries=True`` refines the two breakpoints numerically
+    (the paper's boundary optimisation); the defaults are the paper's
+    published values.
+    """
+    return fit_piecewise_charge(
+        charge, MODEL1_SPEC, optimize_boundaries=optimize_boundaries
+    )

@@ -1,0 +1,40 @@
+"""Model 2 — the paper's four-piece approximation (Fig. 3).
+
+Regions (relative to ``EF/q``):
+
+1. linear for ``VSC - EF/q <= -0.28 V``,
+2. quadratic for ``-0.28 V < VSC - EF/q <= -0.03 V``,
+3. third order for ``-0.03 V < VSC - EF/q <= +0.12 V``,
+4. zero for ``VSC - EF/q > +0.12 V``.
+
+Three free coefficients (one quadratic curvature + two cubic); the paper
+reports ~1100x speed-up and < 2% average RMS error at T = 300 K,
+EF = -0.32 eV.
+"""
+
+from __future__ import annotations
+
+from repro.physics.charge import ChargeModel
+from repro.pwl.fitting import FitSpec, FittedCharge, fit_piecewise_charge
+
+#: Paper's Model 2 region boundaries relative to EF/q [V].
+MODEL2_BOUNDARIES = (-0.28, -0.03, 0.12)
+
+#: Fit window relative to EF/q — matches the VSC span of the paper's
+#: Fig. 3 (absolute -0.8..0 V at EF = -0.32 eV).
+MODEL2_WINDOW = (-0.48, 0.32)
+
+MODEL2_SPEC = FitSpec(
+    orders=(1, 2, 3, 0),
+    boundaries_rel=MODEL2_BOUNDARIES,
+    window_rel=MODEL2_WINDOW,
+    name="model2",
+)
+
+
+def build_model2(charge: ChargeModel,
+                 optimize_boundaries: bool = False) -> FittedCharge:
+    """Fit Model 2 to a theoretical charge model (see module docstring)."""
+    return fit_piecewise_charge(
+        charge, MODEL2_SPEC, optimize_boundaries=optimize_boundaries
+    )

@@ -1,0 +1,158 @@
+"""Piecewise-polynomial charge curve representation.
+
+A :class:`PiecewiseCharge` is the fitted approximation of the mobile
+charge ``QS(VSC)``: ``k`` breakpoints (absolute volts, ascending) divide
+the axis into ``k+1`` regions, each carrying an ascending-coefficient
+polynomial in the *absolute* ``VSC`` coordinate.  The rightmost region
+of the paper's models is identically zero, and the leftmost is linear so
+the curve extrapolates sanely under gate overdrive.
+
+The drain-side curve is the same function shifted by the drain bias,
+``QD(VSC) = QS(VSC + VDS)`` (both densities are the one universal
+function of the barrier potential, seen from the two contacts); the
+:meth:`shifted` method implements this exactly at polynomial level, which
+is what lets the closed-form solver treat both charges uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.pwl.polynomials import polyder, polyval, shift_polynomial
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class PiecewiseCharge:
+    """C1 piecewise polynomial ``Q(VSC)`` (charge per unit length, C/m).
+
+    Attributes
+    ----------
+    breakpoints:
+        Ascending absolute breakpoints ``b_1 < ... < b_k`` [V].
+    coefficients:
+        ``k + 1`` ascending-coefficient tuples; ``coefficients[i]`` is
+        valid on ``(b_{i-1}, b_i]`` (with ``b_0 = -inf``,
+        ``b_{k+1} = +inf``).
+    """
+
+    breakpoints: Tuple[float, ...]
+    coefficients: Tuple[Tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        bps = list(self.breakpoints)
+        if sorted(bps) != bps:
+            raise ParameterError(f"breakpoints must ascend: {bps}")
+        if len(self.coefficients) != len(bps) + 1:
+            raise ParameterError(
+                f"need {len(bps) + 1} regions for {len(bps)} breakpoints, "
+                f"got {len(self.coefficients)}"
+            )
+        for coeffs in self.coefficients:
+            if len(coeffs) == 0 or len(coeffs) > 4:
+                raise ParameterError(
+                    f"region polynomials must have 1..4 coefficients, "
+                    f"got {len(coeffs)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def region_index(self, vsc: float) -> int:
+        """Index of the region containing ``vsc`` (right-closed regions)."""
+        lo, hi = 0, len(self.breakpoints)
+        # binary search for first breakpoint >= vsc
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.breakpoints[mid] >= vsc:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def value(self, vsc: ArrayLike) -> ArrayLike:
+        """Evaluate ``Q(VSC)``; vectorised."""
+        if np.isscalar(vsc):
+            return polyval(self.coefficients[self.region_index(float(vsc))],
+                           float(vsc))
+        v = np.asarray(vsc, dtype=float)
+        idx = np.searchsorted(np.asarray(self.breakpoints), v, side="left")
+        out = np.empty_like(v)
+        for region, coeffs in enumerate(self.coefficients):
+            mask = idx == region
+            if np.any(mask):
+                out[mask] = _npolyval(coeffs, v[mask])
+        return out
+
+    def derivative(self, vsc: ArrayLike) -> ArrayLike:
+        """Evaluate ``dQ/dVSC``; vectorised."""
+        if np.isscalar(vsc):
+            coeffs = self.coefficients[self.region_index(float(vsc))]
+            dc = polyder(coeffs)
+            return polyval(dc, float(vsc)) if dc else 0.0
+        v = np.asarray(vsc, dtype=float)
+        idx = np.searchsorted(np.asarray(self.breakpoints), v, side="left")
+        out = np.zeros_like(v)
+        for region, coeffs in enumerate(self.coefficients):
+            mask = idx == region
+            dc = polyder(coeffs)
+            if np.any(mask) and dc:
+                out[mask] = _npolyval(dc, v[mask])
+        return out
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def shifted(self, dv: float) -> "PiecewiseCharge":
+        """The curve ``Q(VSC + dv)`` — breakpoints move by ``-dv`` and
+        each region polynomial is Taylor-shifted."""
+        new_bps = tuple(b - dv for b in self.breakpoints)
+        new_coeffs = tuple(
+            tuple(shift_polynomial(c, dv)) for c in self.coefficients
+        )
+        return PiecewiseCharge(new_bps, new_coeffs)
+
+    def continuity_defects(self) -> List[Tuple[float, float]]:
+        """Per-breakpoint ``(|value jump|, |slope jump|)`` — both should
+        be ~0 for a C1 construction; exposed for tests and validation."""
+        defects = []
+        for i, b in enumerate(self.breakpoints):
+            left, right = self.coefficients[i], self.coefficients[i + 1]
+            dv = abs(polyval(left, b) - polyval(right, b))
+            dl = polyder(left)
+            dr = polyder(right)
+            ds = abs((polyval(dl, b) if dl else 0.0)
+                     - (polyval(dr, b) if dr else 0.0))
+            defects.append((dv, ds))
+        return defects
+
+    @property
+    def max_order(self) -> int:
+        return max(len(c) - 1 for c in self.coefficients)
+
+    def describe(self) -> str:
+        """Human-readable region table (used by the CLI and reports)."""
+        lines = []
+        bounds = [-float("inf"), *self.breakpoints, float("inf")]
+        for i, coeffs in enumerate(self.coefficients):
+            rng = f"({bounds[i]:+.4f}, {bounds[i+1]:+.4f}]"
+            terms = " + ".join(
+                f"{c:.4e}*V^{p}" if p else f"{c:.4e}"
+                for p, c in enumerate(coeffs)
+            )
+            lines.append(f"region {i}: VSC in {rng}: Q = {terms}")
+        return "\n".join(lines)
+
+
+def _npolyval(coeffs: Sequence[float], x: np.ndarray) -> np.ndarray:
+    acc = np.zeros_like(x)
+    for c in reversed(list(coeffs)):
+        acc = acc * x + c
+    return acc

@@ -1,0 +1,216 @@
+"""Closed-form solution of the self-consistent-voltage equation (paper §V).
+
+With the piecewise charge approximation, the residual
+
+``g(VSC) = VSC + (Qt - QS(VSC) - QD(VSC)) / CSum``
+
+is piecewise polynomial of degree <= 3 (``QD`` is the same curve shifted
+by the drain bias).  The solver therefore:
+
+1. merges the source breakpoints with the VDS-shifted drain breakpoints
+   into at most ``2k`` axis points;
+2. evaluates ``g`` at each breakpoint (cheap Horner evaluations) and
+   locates the sign change — ``g`` is strictly increasing because each
+   fitted charge is non-increasing, so there is exactly one;
+3. solves that single interval's polynomial with the closed forms of
+   :mod:`repro.pwl.polynomials` — **no Newton-Raphson iterations and no
+   Fermi-Dirac integrals**, which is the entire point of the paper.
+
+A Brent fallback guards pathological fitted curves (e.g. a user-supplied
+fit that is locally increasing); it never triggers for the paper's
+models but keeps the solver total.
+
+The hot path is deliberately plain Python floats + tuples (no numpy):
+one solve costs a handful of Horner evaluations and one cubic formula,
+which is what produces the three-orders-of-magnitude speed-up measured
+in the Table I benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ParameterError, RootNotFoundError
+from repro.physics.capacitance import TerminalCapacitances
+from repro.pwl.polynomials import polyval, real_roots, shift_polynomial
+from repro.pwl.regions import PiecewiseCharge
+from repro.reference.solver import brent
+
+#: acceptance slack (volts) for a closed-form root at a region edge
+_EDGE_TOL = 1e-9
+
+
+class ClosedFormSolver:
+    """Closed-form VSC solver for a fitted charge curve.
+
+    Parameters
+    ----------
+    qs_curve:
+        Fitted source-side charge ``QS(VSC)`` [C/m].
+    capacitances:
+        Terminal capacitance partition (provides ``CSum`` and ``Qt``).
+
+    Notes
+    -----
+    Per distinct ``VDS`` the merged breakpoint table and summed
+    polynomial coefficients are cached — a family sweep revisits each
+    drain bias once per gate voltage, so caching removes ~half the
+    arithmetic of a sweep.
+    """
+
+    def __init__(self, qs_curve: PiecewiseCharge,
+                 capacitances: TerminalCapacitances) -> None:
+        self.qs_curve = qs_curve
+        self.capacitances = capacitances
+        self._csum = capacitances.csum
+        if self._csum <= 0.0:
+            raise ParameterError("CSum must be positive")
+        # Scaled source curve: QS / CSum, ascending tuples.
+        self._qs_bps: Tuple[float, ...] = qs_curve.breakpoints
+        self._qs_polys: Tuple[Tuple[float, ...], ...] = tuple(
+            tuple(c / self._csum for c in coeffs)
+            for coeffs in qs_curve.coefficients
+        )
+        self._vds_cache: Dict[float, Tuple[Tuple[float, ...],
+                                           Tuple[Tuple[float, ...], ...]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _segments_for_vds(self, vds: float):
+        """Merged breakpoints and per-interval polynomials of
+        ``(QS(V) + QS(V + VDS)) / CSum`` (ascending coefficients)."""
+        cached = self._vds_cache.get(vds)
+        if cached is not None:
+            return cached
+        qs_bps = self._qs_bps
+        qd_bps = tuple(b - vds for b in qs_bps)
+        merged = sorted(set(qs_bps) | set(qd_bps))
+        polys: List[Tuple[float, ...]] = []
+        for i in range(len(merged) + 1):
+            if i < len(merged):
+                probe = merged[i] - 1e-12 if i == 0 else \
+                    0.5 * (merged[i - 1] + merged[i])
+                if i == 0:
+                    probe = merged[0] - 1.0
+            else:
+                probe = merged[-1] + 1.0
+            qs_poly = self._qs_polys[_region_of(qs_bps, probe)]
+            qd_region = _region_of(qd_bps, probe)
+            qd_poly_src = self._qs_polys[qd_region]
+            # QD(V) = QS(V + vds): shift the source polynomial.
+            qd_poly = tuple(shift_polynomial(qd_poly_src, vds))
+            width = max(len(qs_poly), len(qd_poly))
+            total = [0.0] * width
+            for j, c in enumerate(qs_poly):
+                total[j] += c
+            for j, c in enumerate(qd_poly):
+                total[j] += c
+            polys.append(tuple(total))
+        result = (tuple(merged), tuple(polys))
+        if len(self._vds_cache) < 4096:
+            self._vds_cache[vds] = result
+        return result
+
+    # ------------------------------------------------------------------
+
+    def residual(self, vsc: float, vg: float, vd: float,
+                 vs: float = 0.0) -> float:
+        """``g(VSC)`` in volts (residual scaled by 1/CSum)."""
+        vds = vd - vs
+        qt_scaled = self.capacitances.terminal_charge(vg, vd, vs) / self._csum
+        merged, polys = self._segments_for_vds(vds)
+        poly = polys[_region_of(merged, vsc)]
+        return vsc + qt_scaled - polyval(poly, vsc)
+
+    def solve(self, vg: float, vd: float, vs: float = 0.0) -> float:
+        """Self-consistent voltage at a bias point — closed form.
+
+        Raises
+        ------
+        RootNotFoundError
+            Only if the fitted curve is so ill-behaved that no root is
+            found even by the safeguarded fallback.
+        """
+        vds = vd - vs
+        qt_scaled = self.capacitances.terminal_charge(vg, vd, vs) / self._csum
+        merged, polys = self._segments_for_vds(vds)
+
+        # Residual at each breakpoint; find the sign-change interval.
+        # g(V) = V + qt_scaled - poly(V) per interval.
+        n = len(merged)
+        prev_g = None
+        interval = None
+        for i in range(n):
+            b = merged[i]
+            g_b = b + qt_scaled - polyval(polys[i], b)
+            if g_b >= 0.0 and (prev_g is None or prev_g < 0.0):
+                interval = i
+                break
+            prev_g = g_b
+        if interval is None:
+            # Root is right of the last breakpoint (zero-charge region),
+            # where QS = QD = 0 and g is exactly linear.
+            interval = n
+        lo = merged[interval - 1] if interval > 0 else None
+        hi = merged[interval] if interval < n else None
+
+        poly = polys[interval]
+        # Equation: V + qt_scaled - poly(V) = 0.
+        eq = list(poly)
+        while len(eq) < 2:
+            eq.append(0.0)
+        eq = [-c for c in eq]
+        eq[0] += qt_scaled
+        eq[1] += 1.0
+        roots = real_roots(eq)
+        best = None
+        for r in roots:
+            if lo is not None and r < lo - _EDGE_TOL:
+                continue
+            if hi is not None and r > hi + _EDGE_TOL:
+                continue
+            if best is None or abs(self._residual_fast(
+                    r, qt_scaled, merged, polys)) < abs(self._residual_fast(
+                    best, qt_scaled, merged, polys)):
+                best = r
+        if best is not None:
+            return best
+        return self._fallback(vg, vd, vs, merged)
+
+    def _residual_fast(self, vsc: float, qt_scaled: float,
+                       merged: Sequence[float], polys) -> float:
+        poly = polys[_region_of(merged, vsc)]
+        return vsc + qt_scaled - polyval(poly, vsc)
+
+    def _fallback(self, vg: float, vd: float, vs: float,
+                  merged: Sequence[float]) -> float:
+        """Brent fallback on an expanded bracket (defensive path)."""
+        span = 1.0 + (merged[-1] - merged[0] if merged else 0.0)
+        lo = (merged[0] if merged else 0.0) - span
+        hi = (merged[-1] if merged else 0.0) + span
+
+        def g(v: float) -> float:
+            return self.residual(v, vg, vd, vs)
+
+        for _ in range(40):
+            if g(lo) < 0.0 and g(hi) > 0.0:
+                root, _iters = brent(g, lo, hi)
+                return root
+            lo -= span
+            hi += span
+            span *= 2.0
+        raise RootNotFoundError(
+            f"no self-consistent voltage found for VG={vg}, VD={vd}, "
+            f"VS={vs} in [{lo}, {hi}]"
+        )
+
+
+def _region_of(breakpoints: Sequence[float], x: float) -> int:
+    """First index whose breakpoint is >= x (right-closed regions),
+    via branch-light linear scan — breakpoint lists are tiny (<= 6)."""
+    i = 0
+    for b in breakpoints:
+        if x <= b:
+            return i
+        i += 1
+    return i

@@ -1,0 +1,281 @@
+"""Pre-fitted coefficient tables over a (temperature, Fermi level) grid.
+
+The paper fits its models "over the temperature range 150K <= T <= 450K
+and Fermi level range -0.5 eV <= EF <= 0 V".  A circuit simulator does
+not want to re-run the theoretical integrals for every device instance,
+so this module provides:
+
+* :class:`PrefittedLibrary` — fits a grid of (T, EF) points once and
+  serves :class:`~repro.pwl.fitting.FittedCharge` objects, either the
+  nearest grid entry or a bilinear interpolation of the region
+  coefficients (boundaries track EF exactly, so interpolating
+  *relative-coordinate* coefficients is well conditioned);
+* JSON (de)serialisation so a library can be shipped with a design kit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.pwl.fitting import FitSpec, FittedCharge, fit_piecewise_charge
+from repro.pwl.model1 import MODEL1_SPEC
+from repro.pwl.model2 import MODEL2_SPEC
+from repro.pwl.polynomials import shift_polynomial
+from repro.pwl.regions import PiecewiseCharge
+from repro.reference.fettoy import FETToyModel, FETToyParameters
+
+_NAMED = {"model1": MODEL1_SPEC, "model2": MODEL2_SPEC}
+
+
+def _to_relative(curve: PiecewiseCharge, ef: float) -> List[List[float]]:
+    """Region polynomials re-centred on EF (coefficients in x - EF)."""
+    return [list(shift_polynomial(c, ef)) for c in curve.coefficients]
+
+
+def _from_relative(coeffs_rel: Sequence[Sequence[float]],
+                   breakpoints_rel: Sequence[float],
+                   ef: float) -> PiecewiseCharge:
+    abs_coeffs = tuple(
+        tuple(shift_polynomial(c, -ef)) for c in coeffs_rel
+    )
+    abs_bps = tuple(b + ef for b in breakpoints_rel)
+    return PiecewiseCharge(abs_bps, abs_coeffs)
+
+
+@dataclass(frozen=True)
+class _GridEntry:
+    temperature_k: float
+    fermi_level_ev: float
+    breakpoints_rel: Tuple[float, ...]
+    coeffs_rel: Tuple[Tuple[float, ...], ...]
+    rms_error_relative: float
+
+
+class PrefittedLibrary:
+    """Grid of pre-fitted charge approximations for one device geometry.
+
+    Parameters
+    ----------
+    base_params:
+        Device geometry (diameter, oxide, alphas); temperature and Fermi
+        level are swept over the grid.
+    model:
+        ``"model1"``, ``"model2"`` or a custom spec.
+    temperatures_k, fermi_levels_ev:
+        Grid axes.  Defaults cover the paper's stated ranges.
+    optimize_boundaries:
+        Refine boundaries at each grid point (slower build, better fits).
+    """
+
+    def __init__(
+        self,
+        base_params: FETToyParameters = FETToyParameters(),
+        model: Union[str, FitSpec] = "model2",
+        temperatures_k: Sequence[float] = (150.0, 225.0, 300.0, 375.0, 450.0),
+        fermi_levels_ev: Sequence[float] = (-0.5, -0.375, -0.25, -0.125, 0.0),
+        optimize_boundaries: bool = True,
+        build: bool = True,
+    ) -> None:
+        self.base_params = base_params
+        self.spec = _NAMED[model] if isinstance(model, str) else model
+        self.temperatures_k = tuple(sorted(float(t) for t in temperatures_k))
+        self.fermi_levels_ev = tuple(sorted(float(e) for e in fermi_levels_ev))
+        if len(set(self.temperatures_k)) != len(self.temperatures_k):
+            raise ParameterError("duplicate grid temperatures")
+        if len(set(self.fermi_levels_ev)) != len(self.fermi_levels_ev):
+            raise ParameterError("duplicate grid Fermi levels")
+        self.optimize_boundaries = optimize_boundaries
+        self._entries: Dict[Tuple[float, float], _GridEntry] = {}
+        if build:
+            self.build()
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> None:
+        """Fit every grid point (idempotent)."""
+        for t in self.temperatures_k:
+            for ef in self.fermi_levels_ev:
+                if (t, ef) in self._entries:
+                    continue
+                self._entries[(t, ef)] = self._fit_point(t, ef)
+
+    def _fit_point(self, temperature_k: float,
+                   fermi_level_ev: float) -> _GridEntry:
+        params = self.base_params.with_updates(
+            temperature_k=temperature_k, fermi_level_ev=fermi_level_ev
+        )
+        reference = FETToyModel(params)
+        fitted = fit_piecewise_charge(
+            reference.charge, self.spec,
+            optimize_boundaries=self.optimize_boundaries,
+        )
+        return _GridEntry(
+            temperature_k=temperature_k,
+            fermi_level_ev=fermi_level_ev,
+            breakpoints_rel=tuple(
+                b - fermi_level_ev for b in fitted.curve.breakpoints
+            ),
+            coeffs_rel=tuple(
+                tuple(c) for c in _to_relative(fitted.curve, fermi_level_ev)
+            ),
+            rms_error_relative=fitted.rms_error_relative,
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def nearest(self, temperature_k: float,
+                fermi_level_ev: float) -> FittedCharge:
+        """Fitted curve of the nearest grid point, re-anchored at the
+        requested Fermi level."""
+        t = min(self.temperatures_k, key=lambda x: abs(x - temperature_k))
+        ef_grid = min(self.fermi_levels_ev,
+                      key=lambda x: abs(x - fermi_level_ev))
+        entry = self._entries[(t, ef_grid)]
+        return self._materialise(entry, temperature_k, fermi_level_ev)
+
+    def interpolated(self, temperature_k: float,
+                     fermi_level_ev: float) -> FittedCharge:
+        """Bilinear interpolation of relative-coordinate coefficients.
+
+        Requires the query point to lie inside the grid's bounding box.
+        Breakpoints and coefficients are interpolated independently —
+        valid because all grid entries share the same region layout.
+        """
+        t_axis, e_axis = self.temperatures_k, self.fermi_levels_ev
+        if not (t_axis[0] <= temperature_k <= t_axis[-1]):
+            raise ParameterError(
+                f"T={temperature_k} outside grid [{t_axis[0]}, {t_axis[-1]}]"
+            )
+        if not (e_axis[0] <= fermi_level_ev <= e_axis[-1]):
+            raise ParameterError(
+                f"EF={fermi_level_ev} outside grid "
+                f"[{e_axis[0]}, {e_axis[-1]}]"
+            )
+        t0, t1 = _bracket_axis(t_axis, temperature_k)
+        e0, e1 = _bracket_axis(e_axis, fermi_level_ev)
+        wt = 0.0 if t1 == t0 else (temperature_k - t0) / (t1 - t0)
+        we = 0.0 if e1 == e0 else (fermi_level_ev - e0) / (e1 - e0)
+        corners = [
+            (self._entries[(t0, e0)], (1 - wt) * (1 - we)),
+            (self._entries[(t1, e0)], wt * (1 - we)),
+            (self._entries[(t0, e1)], (1 - wt) * we),
+            (self._entries[(t1, e1)], wt * we),
+        ]
+        n_regions = len(corners[0][0].coeffs_rel)
+        bps = [0.0] * (n_regions - 1)
+        coeffs = [
+            [0.0] * len(corners[0][0].coeffs_rel[r]) for r in range(n_regions)
+        ]
+        rms = 0.0
+        for entry, w in corners:
+            rms += w * entry.rms_error_relative
+            for i, b in enumerate(entry.breakpoints_rel):
+                bps[i] += w * b
+            for r in range(n_regions):
+                for i, c in enumerate(entry.coeffs_rel[r]):
+                    coeffs[r][i] += w * c
+        synthetic = _GridEntry(
+            temperature_k=temperature_k,
+            fermi_level_ev=fermi_level_ev,
+            breakpoints_rel=tuple(bps),
+            coeffs_rel=tuple(tuple(c) for c in coeffs),
+            rms_error_relative=rms,
+        )
+        return self._materialise(synthetic, temperature_k, fermi_level_ev)
+
+    def _materialise(self, entry: _GridEntry, temperature_k: float,
+                     fermi_level_ev: float) -> FittedCharge:
+        curve = _from_relative(
+            entry.coeffs_rel, entry.breakpoints_rel, fermi_level_ev
+        )
+        return FittedCharge(
+            curve=curve,
+            spec=self.spec,
+            fermi_level_ev=fermi_level_ev,
+            temperature_k=temperature_k,
+            rms_error=float("nan"),
+            rms_error_relative=entry.rms_error_relative,
+            boundaries_abs=curve.breakpoints,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "spec": {
+                "orders": list(self.spec.orders),
+                "boundaries_rel": list(self.spec.boundaries_rel),
+                "window_rel": list(self.spec.window_rel),
+                "samples": self.spec.samples,
+                "name": self.spec.name,
+            },
+            "temperatures_k": list(self.temperatures_k),
+            "fermi_levels_ev": list(self.fermi_levels_ev),
+            "optimize_boundaries": self.optimize_boundaries,
+            "entries": [
+                {
+                    "t": e.temperature_k,
+                    "ef": e.fermi_level_ev,
+                    "breakpoints_rel": list(e.breakpoints_rel),
+                    "coeffs_rel": [list(c) for c in e.coeffs_rel],
+                    "rms": e.rms_error_relative,
+                }
+                for e in self._entries.values()
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str,
+                  base_params: FETToyParameters = FETToyParameters()
+                  ) -> "PrefittedLibrary":
+        payload = json.loads(text)
+        spec = FitSpec(
+            orders=tuple(payload["spec"]["orders"]),
+            boundaries_rel=tuple(payload["spec"]["boundaries_rel"]),
+            window_rel=tuple(payload["spec"]["window_rel"]),
+            samples=payload["spec"]["samples"],
+            name=payload["spec"]["name"],
+        )
+        lib = cls(
+            base_params=base_params,
+            model=spec,
+            temperatures_k=payload["temperatures_k"],
+            fermi_levels_ev=payload["fermi_levels_ev"],
+            optimize_boundaries=payload["optimize_boundaries"],
+            build=False,
+        )
+        for raw in payload["entries"]:
+            entry = _GridEntry(
+                temperature_k=raw["t"],
+                fermi_level_ev=raw["ef"],
+                breakpoints_rel=tuple(raw["breakpoints_rel"]),
+                coeffs_rel=tuple(tuple(c) for c in raw["coeffs_rel"]),
+                rms_error_relative=raw["rms"],
+            )
+            lib._entries[(entry.temperature_k, entry.fermi_level_ev)] = entry
+        return lib
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _bracket_axis(axis: Sequence[float], x: float) -> Tuple[float, float]:
+    arr = np.asarray(axis)
+    idx = int(np.searchsorted(arr, x))
+    if idx == 0:
+        return axis[0], axis[0]
+    if x == axis[idx - 1]:
+        return axis[idx - 1], axis[idx - 1]
+    if idx >= len(axis):
+        return axis[-1], axis[-1]
+    return axis[idx - 1], axis[idx]

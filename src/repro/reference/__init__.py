@@ -1,0 +1,22 @@
+"""Reference (baseline) implementation of the ballistic CNFET theory.
+
+``repro.reference.fettoy`` is a from-scratch Python equivalent of the
+nanoHUB FETToy MATLAB script: it solves the self-consistent-voltage
+equation with safeguarded Newton-Raphson, re-evaluating the
+Fermi-Dirac/DOS charge integrals at every iteration.  It is the accuracy
+and speed baseline that the piecewise models in :mod:`repro.pwl` are
+measured against.
+"""
+
+from repro.reference.fettoy import FETToyModel, FETToyParameters
+from repro.reference.solver import brent, newton_raphson
+from repro.reference.sweep import IVFamily, sweep_iv_family
+
+__all__ = [
+    "FETToyModel",
+    "FETToyParameters",
+    "newton_raphson",
+    "brent",
+    "IVFamily",
+    "sweep_iv_family",
+]

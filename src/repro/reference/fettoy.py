@@ -1,0 +1,251 @@
+"""FETToy-equivalent reference model of the ballistic CNFET.
+
+This is the baseline the paper compares against: the top-of-the-barrier
+ballistic theory of Rahman, Guo, Datta and Lundstrom (2003) solved with
+full numerics —
+
+1. for each bias point, solve the self-consistent-voltage equation
+
+   ``CSum * VSC + Qt - QS(VSC) - QD(VSC) = 0``
+
+   by safeguarded Newton-Raphson, where each residual evaluation
+   integrates the DOS against the Fermi function (two quadratures per
+   iteration, as in the MATLAB script);
+2. evaluate the drain current from the closed-form order-0 Fermi-Dirac
+   integral (eq. (12)/(14) of the paper).
+
+The residual is strictly monotone in ``VSC`` (slope
+``CSum + |QS'| + |QD'|``), so the solve is globally convergent once a
+sign-changing bracket is found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import BALLISTIC_CURRENT_PREFACTOR, thermal_voltage_ev
+from repro.errors import ParameterError
+from repro.physics.bandstructure import Chirality, NanotubeBands
+from repro.physics.capacitance import (
+    TerminalCapacitances,
+    backgate_capacitance,
+    coaxial_gate_capacitance,
+)
+from repro.physics.charge import ChargeModel
+from repro.physics.fermi import fermi_dirac_integral_0
+from repro.reference.solver import expand_bracket, newton_raphson
+
+
+@dataclass(frozen=True)
+class FETToyParameters:
+    """Device and numerical parameters of the reference model.
+
+    Defaults reproduce FETToy's stock CNT device: a (13, 0) tube
+    (d ≈ 1.02 nm), 1.5 nm ZrO2-class coaxial gate oxide, 300 K,
+    ``EF = -0.32 eV``, ``alpha_G = 0.88``, ``alpha_D = 0.035``.
+    """
+
+    diameter_nm: float = 1.0
+    tox_nm: float = 1.5
+    kappa: float = 3.9
+    temperature_k: float = 300.0
+    fermi_level_ev: float = -0.32
+    alpha_g: float = 0.88
+    alpha_d: float = 0.035
+    gate_geometry: str = "coaxial"
+    n_subbands: int = 1
+    #: optional channel transmission in (0, 1]; 1 = fully ballistic
+    transmission: float = 1.0
+    #: quadrature order of the charge integrals
+    nodes: int = 200
+    #: explicit chirality; when given it overrides ``diameter_nm``
+    chirality: Optional[Tuple[int, int]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.gate_geometry not in ("coaxial", "backgate"):
+            raise ParameterError(
+                f"gate_geometry must be 'coaxial' or 'backgate': "
+                f"{self.gate_geometry!r}"
+            )
+        if not 0.0 < self.transmission <= 1.0:
+            raise ParameterError(
+                f"transmission must be in (0, 1]: {self.transmission!r}"
+            )
+        if self.n_subbands < 1:
+            raise ParameterError(
+                f"n_subbands must be >= 1: {self.n_subbands!r}"
+            )
+
+    def resolve_chirality(self) -> Chirality:
+        if self.chirality is not None:
+            return Chirality(*self.chirality)
+        return Chirality.from_diameter(self.diameter_nm)
+
+    def with_updates(self, **kwargs) -> "FETToyParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+class FETToyModel:
+    """Reference ballistic CNFET (see module docstring).
+
+    The public surface mirrors what the fast model exposes so the two
+    are interchangeable in sweeps and in the circuit engine:
+    :meth:`solve_vsc`, :meth:`ids`, :meth:`iv_family`, plus access to the
+    theoretical charge curves for the fitter.
+    """
+
+    def __init__(self, params: FETToyParameters = FETToyParameters()) -> None:
+        self.params = params
+        chirality = params.resolve_chirality()
+        self.bands = NanotubeBands(chirality)
+        minima = self.bands.half_gaps(
+            min(params.n_subbands, len(self.bands.subband_minima_ev))
+        )
+        self.charge = ChargeModel(
+            minima,
+            params.temperature_k,
+            params.fermi_level_ev,
+            nodes=params.nodes,
+        )
+        if params.gate_geometry == "coaxial":
+            c_ins = coaxial_gate_capacitance(
+                self.bands.diameter_nm, params.tox_nm, params.kappa
+            )
+        else:
+            c_ins = backgate_capacitance(
+                self.bands.diameter_nm, params.tox_nm, params.kappa
+            )
+        self.capacitances = TerminalCapacitances.from_alphas(
+            c_ins, params.alpha_g, params.alpha_d
+        )
+        self.kt_ev = thermal_voltage_ev(params.temperature_k)
+        #: Newton iteration counter, cumulative (exposed for speed studies)
+        self.newton_iterations = 0
+
+    # ------------------------------------------------------------------
+    # Self-consistent voltage
+    # ------------------------------------------------------------------
+
+    def vsc_residual(self, vsc: float, vg: float, vd: float,
+                     vs: float = 0.0) -> float:
+        """``g(VSC) = CSum VSC + Qt - QS(VSC) - QD(VSC)`` [C/m]."""
+        caps = self.capacitances
+        qt = caps.terminal_charge(vg, vd, vs)
+        vds = vd - vs
+        return (
+            caps.csum * vsc
+            + qt
+            - float(self.charge.qs(vsc))
+            - float(self.charge.qd(vsc, vds))
+        )
+
+    def vsc_residual_derivative(self, vsc: float, vg: float, vd: float,
+                                vs: float = 0.0) -> float:
+        """``g'(VSC) = CSum - QS' - QD' > 0`` — strict monotonicity."""
+        vds = vd - vs
+        caps = self.capacitances
+        return (
+            caps.csum
+            - float(self.charge.dqs_dvsc(vsc))
+            - float(self.charge.dqs_dvsc(vsc + vds))
+        )
+
+    def solve_vsc(self, vg: float, vd: float, vs: float = 0.0,
+                  xtol: float = 1e-10) -> float:
+        """Solve the self-consistent voltage by safeguarded Newton.
+
+        The top-of-the-barrier equations are written for a grounded
+        source, so terminal voltages are converted to source-referenced
+        values first (``VSC`` is returned source-referenced as well).
+        Starts from the charge-free estimate ``VSC0 = -Qt/CSum`` and
+        expands a bracket around it (the residual is monotone, so a
+        bracket always exists).
+        """
+        vg, vd, vs = vg - vs, vd - vs, 0.0
+        caps = self.capacitances
+        qt = caps.terminal_charge(vg, vd, vs)
+        x0 = -qt / caps.csum
+
+        def g(v: float) -> float:
+            return self.vsc_residual(v, vg, vd, vs)
+
+        def dg(v: float) -> float:
+            return self.vsc_residual_derivative(v, vg, vd, vs)
+
+        lo, hi = expand_bracket(g, x0, initial_width=0.2)
+        if lo == hi:
+            return lo
+        root, iters = newton_raphson(
+            g, dg, 0.5 * (lo + hi), xtol=xtol, bracket=(lo, hi)
+        )
+        self.newton_iterations += iters
+        return root
+
+    # ------------------------------------------------------------------
+    # Drain current
+    # ------------------------------------------------------------------
+
+    def ids_at_vsc(self, vsc: float, vds: float) -> float:
+        """Drain current given a known ``VSC`` (eq. (14)) [A].
+
+        ``IDS = (2 q k T / pi hbar) [F0((EF - q VSC)/kT)
+                                     - F0((EF - q VSC - q VDS)/kT)]``
+        scaled by the channel transmission (1 in the ballistic limit).
+        """
+        ef = self.params.fermi_level_ev
+        kt = self.kt_ev
+        eta_s = (ef - vsc) / kt
+        eta_d = (ef - vsc - vds) / kt
+        current = (
+            BALLISTIC_CURRENT_PREFACTOR
+            * self.params.temperature_k
+            * (fermi_dirac_integral_0(eta_s) - fermi_dirac_integral_0(eta_d))
+        )
+        return self.params.transmission * current
+
+    def ids(self, vg: float, vd: float, vs: float = 0.0) -> float:
+        """Drain current at a terminal bias point [A]."""
+        vsc = self.solve_vsc(vg, vd, vs)
+        return self.ids_at_vsc(vsc, vd - vs)
+
+    def operating_point(self, vg: float, vd: float,
+                        vs: float = 0.0) -> Tuple[float, float]:
+        """``(IDS, VSC)`` at a bias point."""
+        vsc = self.solve_vsc(vg, vd, vs)
+        return self.ids_at_vsc(vsc, vd - vs), vsc
+
+    def iv_family(self, vg_values: Sequence[float],
+                  vd_values: Sequence[float]) -> np.ndarray:
+        """Drain-current family ``IDS[i_vg, i_vd]`` [A]."""
+        vg_arr = np.asarray(vg_values, dtype=float)
+        vd_arr = np.asarray(vd_values, dtype=float)
+        out = np.empty((vg_arr.size, vd_arr.size))
+        for i, vg in enumerate(vg_arr):
+            for j, vd in enumerate(vd_arr):
+                out[i, j] = self.ids(vg, vd)
+        return out
+
+    # ------------------------------------------------------------------
+    # Theoretical charge curves (consumed by the piecewise fitter)
+    # ------------------------------------------------------------------
+
+    def charge_curve(self, vsc_values: Sequence[float],
+                     vds: float = 0.0) -> Tuple[np.ndarray, np.ndarray]:
+        """``(QS, QD)`` along a VSC axis [C/m]."""
+        vsc = np.asarray(vsc_values, dtype=float)
+        return (
+            np.asarray(self.charge.qs(vsc), dtype=float),
+            np.asarray(self.charge.qd(vsc, vds), dtype=float),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        p = self.params
+        return (
+            f"FETToyModel(d={self.bands.diameter_nm:.2f} nm, "
+            f"T={p.temperature_k} K, EF={p.fermi_level_ev} eV, "
+            f"{p.gate_geometry})"
+        )

@@ -1,0 +1,245 @@
+"""Scalar root solvers used by the reference model.
+
+The self-consistent-voltage residual is smooth and strictly monotone
+(DESIGN.md §2), so a safeguarded Newton-Raphson is the workhorse; a
+from-scratch Brent implementation is provided both as a fallback and as
+an independently testable substrate component.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.errors import ConvergenceError, ParameterError
+
+
+def newton_raphson(
+    func: Callable[[float], float],
+    dfunc: Callable[[float], float],
+    x0: float,
+    *,
+    xtol: float = 1e-12,
+    ftol: float = 0.0,
+    max_iter: int = 100,
+    bracket: Optional[Tuple[float, float]] = None,
+) -> Tuple[float, int]:
+    """Newton-Raphson with optional bisection safeguard.
+
+    Parameters
+    ----------
+    func, dfunc:
+        Residual and its derivative.
+    x0:
+        Initial guess.
+    xtol, ftol:
+        Convergence on step size and/or residual magnitude.
+    bracket:
+        Optional ``(lo, hi)`` interval known to contain the root.  When
+        given, any Newton step leaving the interval is replaced by
+        bisection and the bracket is updated from the sign of the
+        residual, which makes the iteration globally convergent for
+        monotone residuals.
+
+    Returns
+    -------
+    (root, iterations)
+
+    Raises
+    ------
+    ConvergenceError
+        If ``max_iter`` is exhausted.
+    """
+    if max_iter < 1:
+        raise ParameterError(f"max_iter must be >= 1: {max_iter!r}")
+    lo = hi = None
+    flo = None
+    if bracket is not None:
+        lo, hi = (float(bracket[0]), float(bracket[1]))
+        if lo > hi:
+            lo, hi = hi, lo
+        flo = func(lo)
+        fhi = func(hi)
+        if flo == 0.0:
+            return lo, 0
+        if fhi == 0.0:
+            return hi, 0
+        if flo * fhi > 0.0:
+            raise ParameterError(
+                f"bracket [{lo}, {hi}] does not straddle a root "
+                f"(f(lo)={flo:.3e}, f(hi)={fhi:.3e})"
+            )
+        x0 = min(max(x0, lo), hi)
+
+    x = float(x0)
+    fx = func(x)
+    for iteration in range(1, max_iter + 1):
+        if abs(fx) <= ftol:
+            return x, iteration - 1
+        if lo is not None:
+            # Tighten the bracket with the current iterate so a rejected
+            # Newton step bisects a strictly smaller interval.
+            if flo * fx <= 0.0:
+                hi = x
+            else:
+                lo, flo = x, fx
+        dfx = dfunc(x)
+        if dfx != 0.0:
+            step = fx / dfx
+            x_new = x - step
+        else:
+            x_new = None
+        inside = (
+            x_new is not None
+            and (lo is None or (lo <= x_new <= hi))
+        )
+        if not inside:
+            if lo is None:
+                raise ConvergenceError(
+                    "Newton step failed (zero derivative) and no bracket "
+                    "to bisect",
+                    iterations=iteration, residual=abs(fx),
+                )
+            x_new = 0.5 * (lo + hi)
+        f_new = func(x_new)
+        if lo is not None:
+            # Maintain the bracket from residual signs.
+            if flo * f_new <= 0.0:
+                hi = x_new
+            else:
+                lo, flo = x_new, f_new
+        if abs(x_new - x) <= xtol * max(1.0, abs(x_new)):
+            return x_new, iteration
+        x, fx = x_new, f_new
+    raise ConvergenceError(
+        f"Newton-Raphson did not converge in {max_iter} iterations",
+        iterations=max_iter, residual=abs(fx),
+    )
+
+
+def bisection(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    xtol: float = 1e-12,
+    max_iter: int = 200,
+) -> Tuple[float, int]:
+    """Plain bisection on a sign-changing interval."""
+    flo, fhi = func(lo), func(hi)
+    if flo == 0.0:
+        return lo, 0
+    if fhi == 0.0:
+        return hi, 0
+    if flo * fhi > 0.0:
+        raise ParameterError(
+            f"bisection interval [{lo}, {hi}] has no sign change"
+        )
+    for iteration in range(1, max_iter + 1):
+        mid = 0.5 * (lo + hi)
+        fmid = func(mid)
+        if fmid == 0.0 or (hi - lo) <= xtol * max(1.0, abs(mid)):
+            return mid, iteration
+        if flo * fmid < 0.0:
+            hi = mid
+        else:
+            lo, flo = mid, fmid
+    raise ConvergenceError(
+        f"bisection did not converge in {max_iter} iterations",
+        iterations=max_iter,
+    )
+
+
+def brent(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    xtol: float = 1e-13,
+    max_iter: int = 200,
+) -> Tuple[float, int]:
+    """Brent's method (inverse quadratic interpolation + secant +
+    bisection) on a bracketing interval.
+
+    Classic Brent-Dekker bookkeeping; converges superlinearly on smooth
+    residuals while never leaving the bracket.
+    """
+    a, b = float(lo), float(hi)
+    fa, fb = func(a), func(b)
+    if fa == 0.0:
+        return a, 0
+    if fb == 0.0:
+        return b, 0
+    if fa * fb > 0.0:
+        raise ParameterError(f"brent interval [{lo}, {hi}] has no sign change")
+    if abs(fa) < abs(fb):
+        a, b, fa, fb = b, a, fb, fa
+    c, fc = a, fa
+    mflag = True
+    d = 0.0
+    for iteration in range(1, max_iter + 1):
+        if fb == 0.0 or abs(b - a) <= xtol * max(1.0, abs(b)):
+            return b, iteration
+        if fa != fc and fb != fc:
+            # Inverse quadratic interpolation.
+            s = (
+                a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+            )
+        else:
+            # Secant.
+            s = b - fb * (b - a) / (fb - fa)
+        cond_range = not (min((3 * a + b) / 4, b) < s < max((3 * a + b) / 4, b))
+        cond_mflag = mflag and abs(s - b) >= abs(b - c) / 2
+        cond_dflag = not mflag and abs(s - b) >= abs(c - d) / 2
+        cond_btol = mflag and abs(b - c) < xtol
+        cond_dtol = not mflag and abs(c - d) < xtol
+        if cond_range or cond_mflag or cond_dflag or cond_btol or cond_dtol:
+            s = 0.5 * (a + b)
+            mflag = True
+        else:
+            mflag = False
+        fs = func(s)
+        d, c, fc = c, b, fb
+        if fa * fs < 0.0:
+            b, fb = s, fs
+        else:
+            a, fa = s, fs
+        if abs(fa) < abs(fb):
+            a, b, fa, fb = b, a, fb, fa
+    raise ConvergenceError(
+        f"Brent did not converge in {max_iter} iterations",
+        iterations=max_iter,
+    )
+
+
+def expand_bracket(
+    func: Callable[[float], float],
+    x0: float,
+    *,
+    initial_width: float = 0.1,
+    growth: float = 2.0,
+    max_expansions: int = 60,
+) -> Tuple[float, float]:
+    """Grow an interval around ``x0`` until the residual changes sign.
+
+    Suitable for monotone residuals where a sign change is guaranteed to
+    exist somewhere on the real line.
+    """
+    width = initial_width
+    lo, hi = x0 - width, x0 + width
+    flo, fhi = func(lo), func(hi)
+    for _ in range(max_expansions):
+        if flo == 0.0:
+            return lo, lo
+        if fhi == 0.0:
+            return hi, hi
+        if flo * fhi < 0.0:
+            return lo, hi
+        width *= growth
+        lo, hi = x0 - width, x0 + width
+        flo, fhi = func(lo), func(hi)
+    raise ConvergenceError(
+        f"could not bracket a root around {x0} after "
+        f"{max_expansions} expansions"
+    )

@@ -1,0 +1,127 @@
+"""IV-sweep drivers and characteristic containers.
+
+The sweep utilities work with *any* object exposing
+``ids(vg, vd, vs=0.0) -> float`` — the reference model, the fast
+piecewise device, or a user model — so accuracy comparisons are a
+one-liner.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+class CurrentModel(Protocol):
+    """Anything that can produce a drain current at a bias point."""
+
+    def ids(self, vg: float, vd: float, vs: float = 0.0) -> float: ...
+
+
+@dataclass(frozen=True)
+class IVFamily:
+    """A family of output characteristics ``IDS(VDS)`` for several VG.
+
+    ``ids[i, j]`` is the current at ``vg_values[i]``, ``vd_values[j]``.
+    """
+
+    vg_values: np.ndarray
+    vd_values: np.ndarray
+    ids: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        expected = (len(self.vg_values), len(self.vd_values))
+        if self.ids.shape != expected:
+            raise ParameterError(
+                f"ids shape {self.ids.shape} != (n_vg, n_vd) {expected}"
+            )
+
+    def curve(self, vg: float) -> np.ndarray:
+        """The ``IDS(VDS)`` trace for the VG closest to ``vg``."""
+        idx = int(np.argmin(np.abs(self.vg_values - vg)))
+        return self.ids[idx]
+
+    @property
+    def max_current(self) -> float:
+        return float(np.max(self.ids))
+
+    def to_csv(self) -> str:
+        """Serialize as CSV with one row per (VG, VDS) point."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["vg", "vds", "ids"])
+        for i, vg in enumerate(self.vg_values):
+            for j, vd in enumerate(self.vd_values):
+                writer.writerow([f"{vg:.6g}", f"{vd:.6g}",
+                                 f"{self.ids[i, j]:.8e}"])
+        return buf.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str, label: str = "") -> "IVFamily":
+        """Inverse of :meth:`to_csv` (requires a full rectangular grid)."""
+        rows = list(csv.reader(io.StringIO(text)))
+        if not rows or rows[0] != ["vg", "vds", "ids"]:
+            raise ParameterError("CSV must start with header vg,vds,ids")
+        vg_list, vd_list, values = [], [], {}
+        for row in rows[1:]:
+            if not row:
+                continue
+            vg, vd, i = float(row[0]), float(row[1]), float(row[2])
+            if vg not in vg_list:
+                vg_list.append(vg)
+            if vd not in vd_list:
+                vd_list.append(vd)
+            values[(vg, vd)] = i
+        ids = np.empty((len(vg_list), len(vd_list)))
+        try:
+            for a, vg in enumerate(vg_list):
+                for b, vd in enumerate(vd_list):
+                    ids[a, b] = values[(vg, vd)]
+        except KeyError as exc:
+            raise ParameterError(f"CSV grid is not rectangular: {exc}") from exc
+        return cls(np.asarray(vg_list), np.asarray(vd_list), ids, label=label)
+
+
+def sweep_iv_family(
+    model: CurrentModel,
+    vg_values: Iterable[float],
+    vd_values: Iterable[float],
+    vs: float = 0.0,
+    label: str = "",
+) -> IVFamily:
+    """Run a full output-characteristic family on any current model."""
+    vg_arr = np.asarray(list(vg_values), dtype=float)
+    vd_arr = np.asarray(list(vd_values), dtype=float)
+    if vg_arr.size == 0 or vd_arr.size == 0:
+        raise ParameterError("sweep grids must be non-empty")
+    ids = np.empty((vg_arr.size, vd_arr.size))
+    for i, vg in enumerate(vg_arr):
+        for j, vd in enumerate(vd_arr):
+            ids[i, j] = model.ids(float(vg), float(vd), vs)
+    return IVFamily(vg_arr, vd_arr, ids, label=label)
+
+
+def sweep_transfer(
+    model: CurrentModel,
+    vg_values: Iterable[float],
+    vd: float,
+    vs: float = 0.0,
+) -> np.ndarray:
+    """Transfer characteristic ``IDS(VG)`` at fixed drain bias."""
+    return np.asarray(
+        [model.ids(float(vg), vd, vs) for vg in vg_values], dtype=float
+    )
+
+
+def linspace_sweep(start: float, stop: float, points: int) -> Sequence[float]:
+    """Inclusive linear sweep helper mirroring SPICE ``.dc`` semantics."""
+    if points < 2:
+        raise ParameterError(f"a sweep needs >= 2 points: {points!r}")
+    return np.linspace(start, stop, points).tolist()

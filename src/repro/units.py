@@ -1,0 +1,110 @@
+"""Small unit-handling helpers.
+
+The library keeps a strict internal convention (SI + energies in eV) and
+these helpers exist at the boundaries: engineering-notation parsing for
+netlists and human-readable formatting for reports.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+#: SPICE engineering suffixes, longest-match-first where ambiguous.
+#: Note SPICE tradition: ``m`` is milli and ``meg`` is mega.
+_SUFFIX_SCALE = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "x": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "mil": 25.4e-6,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+
+def parse_spice_number(text: str) -> float:
+    """Parse a SPICE-style number such as ``1.5k``, ``10u``, ``2meg``.
+
+    Trailing unit letters after a recognised suffix are ignored, as in
+    SPICE (``10uF`` == ``10u``).  Raises :class:`ValueError` when no
+    numeric prefix can be extracted.
+    """
+    s = text.strip().lower()
+    if not s:
+        raise ValueError("empty number")
+    # Split the leading float part (including scientific notation) from
+    # the alphabetic suffix tail.
+    match = re.match(r"[+-]?(\d+\.?\d*|\.\d+)(e[+-]?\d+)?", s)
+    if match is None or match.start() != 0 or match.end() == 0:
+        raise ValueError(f"cannot parse number from {text!r}")
+    head, tail = s[: match.end()], s[match.end():]
+    try:
+        value = float(head)
+    except ValueError as exc:
+        raise ValueError(f"cannot parse number from {text!r}") from exc
+    if not tail:
+        return value
+    # Longest-match: 'meg' and 'mil' take precedence over 'm'.
+    for suffix in ("meg", "mil"):
+        if tail.startswith(suffix):
+            return value * _SUFFIX_SCALE[suffix]
+    scale = _SUFFIX_SCALE.get(tail[0])
+    if scale is None:
+        # Unknown suffix letters are units, e.g. '5v' or '3ohm'.
+        return value
+    return value * scale
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(1.5e-9, 'A')
+    == '1.5 nA'``.
+
+    Zero, NaN and infinities are passed through without a prefix.
+    """
+    if value == 0.0 or not math.isfinite(value):
+        return f"{value:g} {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = _PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def ev_to_joule(energy_ev: float) -> float:
+    """Convert an energy from eV to joules."""
+    return energy_ev * 1.602176634e-19
+
+
+def joule_to_ev(energy_j: float) -> float:
+    """Convert an energy from joules to eV."""
+    return energy_j / 1.602176634e-19
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert Celsius to kelvin, rejecting temperatures below 0 K."""
+    kelvin = temp_c + 273.15
+    if kelvin < 0.0:
+        raise ValueError(f"{temp_c!r} C is below absolute zero")
+    return kelvin

@@ -1,0 +1,39 @@
+"""Shared fixtures.
+
+Expensive objects (reference model, fitted devices) are session-scoped;
+they are immutable after construction, so sharing them across tests is
+safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pwl.device import CNFET
+from repro.reference.fettoy import FETToyModel, FETToyParameters
+
+
+@pytest.fixture(scope="session")
+def ref300() -> FETToyModel:
+    """Reference model, stock device (T=300K, EF=-0.32 eV)."""
+    return FETToyModel(FETToyParameters())
+
+
+@pytest.fixture(scope="session")
+def charge300(ref300):
+    return ref300.charge
+
+
+@pytest.fixture(scope="session")
+def device_m1() -> CNFET:
+    return CNFET(FETToyParameters(), model="model1")
+
+
+@pytest.fixture(scope="session")
+def device_m2() -> CNFET:
+    return CNFET(FETToyParameters(), model="model2")
+
+
+@pytest.fixture(scope="session")
+def device_p() -> CNFET:
+    return CNFET(FETToyParameters(), model="model2", polarity="p")

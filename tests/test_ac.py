@@ -1,0 +1,92 @@
+"""AC small-signal analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Capacitor, Circuit, Resistor, VoltageSource
+from repro.circuit.ac import ac_analysis, decade_frequencies
+from repro.circuit.elements import CNFETElement
+from repro.errors import NetlistError, ParameterError
+
+
+def rc_lowpass(r=1000.0, c=1e-9) -> Circuit:
+    ckt = Circuit("rc lowpass")
+    ckt.add(VoltageSource("vin", "in", "0", 0.0))
+    ckt.add(Resistor("r1", "in", "out", r))
+    ckt.add(Capacitor("c1", "out", "0", c))
+    return ckt
+
+
+class TestRcLowpass:
+    f3db = 1.0 / (2.0 * np.pi * 1000.0 * 1e-9)  # ~159 kHz
+
+    def test_passband_unity(self):
+        ds = ac_analysis(rc_lowpass(), "vin", [self.f3db / 1000.0])
+        assert ds.trace("vm(out)")[0] == pytest.approx(1.0, abs=1e-5)
+
+    def test_minus_3db_at_pole(self):
+        ds = ac_analysis(rc_lowpass(), "vin", [self.f3db])
+        assert ds.trace("vm(out)")[0] == pytest.approx(
+            1.0 / np.sqrt(2.0), rel=1e-3
+        )
+
+    def test_phase_minus_45_at_pole(self):
+        ds = ac_analysis(rc_lowpass(), "vin", [self.f3db])
+        assert ds.trace("vp(out)")[0] == pytest.approx(-45.0, abs=0.5)
+
+    def test_rolloff_20db_per_decade(self):
+        ds = ac_analysis(rc_lowpass(), "vin",
+                         [10 * self.f3db, 100 * self.f3db])
+        vm = ds.trace("vm(out)")
+        assert 20 * np.log10(vm[0] / vm[1]) == pytest.approx(20.0, abs=0.5)
+
+    def test_input_node_pinned(self):
+        ds = ac_analysis(rc_lowpass(), "vin", [1e3, 1e6])
+        np.testing.assert_allclose(ds.trace("vm(in)"), 1.0, atol=1e-9)
+
+
+class TestCnfetStage:
+    def test_common_source_gain_and_pole(self, device_m2):
+        """CNFET common-source amp: low-frequency gain gm*(Rl || rds),
+        single pole from the load capacitor."""
+        ckt = Circuit("cs amp")
+        ckt.add(VoltageSource("vdd", "vdd", "0", 0.6))
+        ckt.add(VoltageSource("vin", "g", "0", 0.45))
+        ckt.add(Resistor("rl", "vdd", "out", 1e5))
+        ckt.add(CNFETElement("q1", "out", "g", "0", device=device_m2))
+        ckt.add(Capacitor("cl", "out", "0", 1e-15))
+        low = ac_analysis(ckt, "vin", [1e3])
+        gain_lf = low.trace("vm(out)")[0]
+        assert gain_lf > 1.0  # an amplifier, not an attenuator
+        # Beyond the output pole the gain must fall.
+        f_pole = 1.0 / (2 * np.pi * 1e5 * 1e-15)
+        high = ac_analysis(ckt, "vin", [100 * f_pole])
+        assert high.trace("vm(out)")[0] < 0.1 * gain_lf
+
+
+class TestValidation:
+    def test_bad_source(self):
+        with pytest.raises(NetlistError):
+            ac_analysis(rc_lowpass(), "r1", [1e3])
+
+    def test_bad_frequencies(self):
+        with pytest.raises(ParameterError):
+            ac_analysis(rc_lowpass(), "vin", [])
+        with pytest.raises(ParameterError):
+            ac_analysis(rc_lowpass(), "vin", [0.0])
+
+
+class TestDecadeGrid:
+    def test_endpoints(self):
+        grid = decade_frequencies(1e2, 1e5, 10)
+        assert grid[0] == pytest.approx(1e2)
+        assert grid[-1] == pytest.approx(1e5)
+        assert len(grid) == 31
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            decade_frequencies(0.0, 1e3)
+        with pytest.raises(ParameterError):
+            decade_frequencies(1e3, 1e2)
+        with pytest.raises(ParameterError):
+            decade_frequencies(1e2, 1e3, 0)

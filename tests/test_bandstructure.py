@@ -1,0 +1,108 @@
+"""CNT chirality and subband structure."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.physics.bandstructure import (
+    Chirality,
+    NanotubeBands,
+    band_gap_approx_ev,
+)
+
+
+class TestChirality:
+    def test_diameter_13_0(self):
+        assert Chirality(13, 0).diameter_nm == pytest.approx(1.018, abs=0.01)
+
+    def test_diameter_armchair(self):
+        # (10,10): d = a*sqrt(300)/pi ~ 1.356 nm
+        assert Chirality(10, 10).diameter_nm == pytest.approx(1.356,
+                                                              abs=0.01)
+
+    @pytest.mark.parametrize("n,m,metallic", [
+        (13, 0, False), (12, 0, True), (10, 10, True), (17, 0, False),
+        (9, 3, True), (9, 4, False),
+    ])
+    def test_metallicity_rule(self, n, m, metallic):
+        assert Chirality(n, m).is_metallic is metallic
+
+    def test_from_diameter_picks_semiconducting_zigzag(self):
+        ch = Chirality.from_diameter(1.0)
+        assert ch.m == 0
+        assert not ch.is_metallic
+        assert abs(ch.diameter_nm - 1.0) < 0.1
+
+    def test_from_diameter_16nm(self):
+        ch = Chirality.from_diameter(1.6)
+        assert abs(ch.diameter_nm - 1.6) < 0.08
+        assert not ch.is_metallic
+
+    @pytest.mark.parametrize("bad", [(0, 0), (-1, 0), (3, 5), (2, -1)])
+    def test_invalid_indices(self, bad):
+        with pytest.raises(ParameterError):
+            Chirality(*bad)
+
+    def test_from_diameter_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            Chirality.from_diameter(-1.0)
+
+    def test_flags(self):
+        assert Chirality(13, 0).is_zigzag
+        assert Chirality(8, 8).is_armchair
+
+
+class TestNanotubeBands:
+    def test_band_gap_13_0(self):
+        bands = NanotubeBands(Chirality(13, 0))
+        # Eg ~ 0.8/d[nm] eV for semiconducting tubes.
+        assert bands.band_gap_ev == pytest.approx(0.82, abs=0.05)
+
+    def test_gap_scales_inverse_diameter(self):
+        g13 = NanotubeBands(Chirality(13, 0)).band_gap_ev
+        g25 = NanotubeBands(Chirality(25, 0)).band_gap_ev
+        ratio = g13 / g25
+        d_ratio = (Chirality(25, 0).diameter_nm
+                   / Chirality(13, 0).diameter_nm)
+        assert ratio == pytest.approx(d_ratio, rel=0.10)
+
+    def test_metallic_zigzag_has_zero_gap(self):
+        bands = NanotubeBands(Chirality(12, 0))
+        assert bands.band_gap_ev == 0.0
+        assert bands.subband_minima_ev[0] == 0.0
+
+    def test_subband_minima_ascend(self):
+        minima = NanotubeBands(Chirality(13, 0)).subband_minima_ev
+        assert list(minima) == sorted(minima)
+        assert all(m > 0 for m in minima)
+
+    def test_second_subband_roughly_double(self):
+        minima = NanotubeBands(Chirality(13, 0)).subband_minima_ev
+        assert minima[1] / minima[0] == pytest.approx(2.0, rel=0.15)
+
+    def test_chiral_tube_uses_pattern(self):
+        bands = NanotubeBands(Chirality(9, 4))
+        approx = band_gap_approx_ev(Chirality(9, 4).diameter_nm)
+        assert bands.band_gap_ev == pytest.approx(approx, rel=1e-9)
+
+    def test_half_gaps_validation(self):
+        bands = NanotubeBands(Chirality(13, 0))
+        assert len(bands.half_gaps(2)) == 2
+        with pytest.raises(ParameterError):
+            bands.half_gaps(0)
+        with pytest.raises(ParameterError):
+            bands.half_gaps(100)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            NanotubeBands(Chirality(13, 0), hopping_ev=-1.0)
+        with pytest.raises(ParameterError):
+            NanotubeBands(Chirality(13, 0), max_subbands=0)
+
+
+def test_band_gap_approx_formula():
+    # 2 * 0.142 nm * 3 eV / 1 nm = 0.852 eV
+    assert band_gap_approx_ev(1.0) == pytest.approx(0.852, abs=1e-3)
+    with pytest.raises(ParameterError):
+        band_gap_approx_ev(0.0)

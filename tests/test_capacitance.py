@@ -1,0 +1,89 @@
+"""Gate electrostatics and terminal partitioning."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.physics.capacitance import (
+    TerminalCapacitances,
+    backgate_capacitance,
+    coaxial_gate_capacitance,
+)
+
+
+class TestGeometries:
+    def test_coaxial_magnitude(self):
+        # FETToy stock stack: d=1 nm, tox=1.5 nm, kappa=3.9 -> ~0.16 nF/m.
+        c = coaxial_gate_capacitance(1.0, 1.5, 3.9)
+        assert c == pytest.approx(1.57e-10, rel=0.05)
+
+    def test_coaxial_grows_with_kappa(self):
+        assert coaxial_gate_capacitance(1.0, 1.5, 16.0) > \
+            coaxial_gate_capacitance(1.0, 1.5, 3.9)
+
+    def test_coaxial_shrinks_with_tox(self):
+        assert coaxial_gate_capacitance(1.0, 10.0) < \
+            coaxial_gate_capacitance(1.0, 1.5)
+
+    def test_backgate_much_smaller_for_thick_oxide(self):
+        # The Javey device: 50 nm back oxide.
+        c_back = backgate_capacitance(1.6, 50.0, 3.9)
+        c_coax = coaxial_gate_capacitance(1.6, 1.5, 3.9)
+        assert c_back < 0.3 * c_coax
+
+    @pytest.mark.parametrize("args", [
+        (0.0, 1.5, 3.9), (1.0, 0.0, 3.9), (1.0, 1.5, 0.0),
+    ])
+    def test_geometry_validation(self, args):
+        with pytest.raises(ParameterError):
+            coaxial_gate_capacitance(*args)
+        with pytest.raises(ParameterError):
+            backgate_capacitance(*args)
+
+
+class TestTerminalCapacitances:
+    def test_from_alphas_fettoy_defaults(self):
+        c_ins = 1.58e-10
+        caps = TerminalCapacitances.from_alphas(c_ins)
+        assert caps.cg == pytest.approx(c_ins)
+        assert caps.alpha_g == pytest.approx(0.88)
+        assert caps.alpha_d == pytest.approx(0.035)
+        assert caps.csum == pytest.approx(c_ins / 0.88)
+
+    def test_alphas_sum_to_one(self):
+        caps = TerminalCapacitances.from_alphas(1e-10, 0.8, 0.1)
+        assert caps.alpha_g + caps.alpha_d + caps.alpha_s == \
+            pytest.approx(1.0)
+
+    def test_terminal_charge_eq8(self):
+        caps = TerminalCapacitances(cg=2e-10, cd=1e-11, cs=2e-11)
+        qt = caps.terminal_charge(0.5, 0.3, 0.1)
+        assert qt == pytest.approx(0.5 * 2e-10 + 0.3 * 1e-11 + 0.1 * 2e-11)
+
+    def test_coaxial_constructor(self):
+        caps = TerminalCapacitances.coaxial(1.0, 1.5)
+        assert caps.cg == pytest.approx(
+            coaxial_gate_capacitance(1.0, 1.5), rel=1e-12
+        )
+
+    def test_backgate_constructor(self):
+        caps = TerminalCapacitances.backgate(1.6, 50.0)
+        assert caps.cg == pytest.approx(
+            backgate_capacitance(1.6, 50.0), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(c_ins=-1e-10),
+        dict(c_ins=1e-10, alpha_g=0.0),
+        dict(c_ins=1e-10, alpha_g=1.2),
+        dict(c_ins=1e-10, alpha_d=-0.1),
+        dict(c_ins=1e-10, alpha_g=0.9, alpha_d=0.2),
+    ])
+    def test_from_alphas_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            TerminalCapacitances.from_alphas(**kwargs)
+
+    def test_direct_validation(self):
+        with pytest.raises(ParameterError):
+            TerminalCapacitances(cg=-1e-10, cd=0.0, cs=0.0)
+        with pytest.raises(ParameterError):
+            TerminalCapacitances(cg=0.0, cd=0.0, cs=0.0)

@@ -1,0 +1,124 @@
+"""Mobile-charge integrals: identities the paper's model relies on."""
+
+import numpy as np
+import pytest
+
+from repro.constants import ELEMENTARY_CHARGE
+from repro.errors import ParameterError
+from repro.physics.charge import ChargeModel
+
+
+@pytest.fixture(scope="module")
+def cm():
+    """Single-subband model at the paper's stock operating point."""
+    return ChargeModel([0.41], 300.0, -0.32)
+
+
+class TestHalfDensity:
+    def test_positive_and_increasing(self, cm):
+        u = np.linspace(-0.4, 0.4, 30)
+        n = cm.half_density(u)
+        assert np.all(n > 0.0)
+        assert np.all(np.diff(n) > 0.0)
+
+    def test_derivative_matches_finite_difference(self, cm):
+        u, h = 0.1, 1e-6
+        fd = (cm.half_density(u + h) - cm.half_density(u - h)) / (2 * h)
+        assert cm.half_density_derivative(u) == pytest.approx(fd, rel=1e-5)
+
+    def test_deep_subthreshold_is_tiny(self, cm):
+        # 1 eV below the band edge at 300 K: e^-40 suppression.
+        assert cm.half_density(-1.0) < 1e-6 * cm.half_density(0.3)
+
+    def test_quadrature_converged(self):
+        coarse = ChargeModel([0.41], 300.0, -0.32, nodes=64)
+        fine = ChargeModel([0.41], 300.0, -0.32, nodes=400)
+        u = 0.2
+        assert coarse.half_density(u) == pytest.approx(
+            fine.half_density(u), rel=1e-8
+        )
+
+    def test_scalar_and_array_agree(self, cm):
+        u = 0.05
+        scalar = cm.half_density(u)
+        array = cm.half_density(np.array([u]))
+        assert scalar == pytest.approx(float(array[0]))
+
+
+class TestPaperIdentities:
+    def test_n0_equals_twice_ns_at_zero_vsc(self, cm):
+        """NS(VSC=0) = N0/2 exactly — the identity behind QS(0) = 0."""
+        assert cm.n_equilibrium() == pytest.approx(
+            2.0 * float(cm.n_source(0.0)), rel=1e-12
+        )
+
+    def test_qs_zero_at_origin(self, cm):
+        assert abs(cm.qs(0.0)) < 1e-25
+
+    def test_qs_monotone_decreasing(self, cm):
+        vsc = np.linspace(-0.6, 0.3, 50)
+        qs = cm.qs(vsc)
+        assert np.all(np.diff(qs) < 0.0)
+
+    def test_qd_is_shifted_qs(self, cm):
+        vsc, vds = -0.3, 0.25
+        assert cm.qd(vsc, vds) == pytest.approx(
+            cm.qs(vsc + vds), rel=1e-12
+        )
+
+    def test_qs_saturates_to_minus_half_n0(self, cm):
+        expected = -0.5 * ELEMENTARY_CHARGE * cm.n_equilibrium()
+        assert cm.qs(2.0) == pytest.approx(expected, rel=1e-6)
+
+    def test_delta_n_decomposition(self, cm):
+        """q * delta_n == QS + QD (eq. (1) vs eqs. (10)-(11))."""
+        vsc, vds = -0.25, 0.4
+        lhs = ELEMENTARY_CHARGE * cm.delta_n(vsc, vds)
+        rhs = cm.qs(vsc) + cm.qd(vsc, vds)
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_dqs_dvsc_negative(self, cm):
+        vsc = np.linspace(-0.5, 0.2, 20)
+        assert np.all(np.asarray(cm.dqs_dvsc(vsc)) <= 0.0)
+
+    def test_quantum_capacitance_positive(self, cm):
+        assert cm.quantum_capacitance(-0.3, 0.2) > 0.0
+
+    def test_charge_magnitude_matches_paper_axis(self, cm):
+        """Fig. 2's y axis: QS ~ 1e-10 C/m at VSC = -0.5 V."""
+        qs = cm.qs(-0.5)
+        assert 2e-11 < qs < 3e-10
+
+
+class TestMultiSubband:
+    def test_second_subband_adds_charge(self):
+        one = ChargeModel([0.41], 300.0, -0.32)
+        two = ChargeModel([0.41, 0.82], 300.0, -0.32)
+        assert two.half_density(0.5) > one.half_density(0.5)
+
+    def test_negligible_when_far_above(self):
+        one = ChargeModel([0.41], 300.0, -0.32)
+        two = ChargeModel([0.41, 2.0], 300.0, -0.32)
+        assert two.half_density(0.1) == pytest.approx(
+            one.half_density(0.1), rel=1e-6
+        )
+
+
+class TestTemperature:
+    def test_kt_controls_tail_sharpness(self):
+        cold = ChargeModel([0.41], 150.0, -0.32)
+        hot = ChargeModel([0.41], 450.0, -0.32)
+        # Below the band edge the hot device holds far more charge.
+        assert hot.half_density(-0.15) > 10.0 * cold.half_density(-0.15)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ChargeModel([], 300.0, -0.32)
+        with pytest.raises(ParameterError):
+            ChargeModel([0.8, 0.4], 300.0, -0.32)
+        with pytest.raises(ParameterError):
+            ChargeModel([0.4], 300.0, -0.32, nodes=8)
+        with pytest.raises(ParameterError):
+            ChargeModel([0.4], 300.0, -0.32, tail_kt=5.0)
+        with pytest.raises(ValueError):
+            ChargeModel([0.4], -10.0, -0.32)

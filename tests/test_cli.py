@@ -1,0 +1,64 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_iv_defaults(self):
+        args = build_parser().parse_args(["iv"])
+        assert args.model == "model2"
+        assert args.vg_stop == 0.6
+
+
+class TestCommands:
+    def test_iv_prints_table(self, capsys):
+        rc = main(["iv", "--vg-start", "0.5", "--vg-stop", "0.6",
+                   "--vd-points", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "VDS [V]" in out
+        assert "VG=0.60" in out
+
+    def test_iv_reference_model(self, capsys):
+        rc = main(["iv", "--model", "reference", "--vg-start", "0.6",
+                   "--vg-stop", "0.6", "--vd-points", "2"])
+        assert rc == 0
+        assert "IDS" in capsys.readouterr().out
+
+    def test_fit_describes_regions(self, capsys):
+        rc = main(["fit", "--model", "model1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "region 0" in out
+        assert "charge-fit RMS" in out
+
+    def test_fit_rejects_reference(self, capsys):
+        rc = main(["fit", "--model", "reference"])
+        assert rc == 2
+
+    def test_codegen_vhdl(self, capsys):
+        rc = main(["codegen", "--language", "vhdl-ams"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "entity cnfet is" in out
+
+    def test_codegen_spice(self, capsys):
+        rc = main(["codegen", "--language", "spice"])
+        assert rc == 0
+        assert ".subckt" in capsys.readouterr().out
+
+    def test_figure_2(self, capsys):
+        rc = main(["figure", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "model1" in out
+
+    def test_invalid_table_number(self):
+        with pytest.raises(SystemExit):
+            main(["table", "7"])

@@ -1,0 +1,82 @@
+"""HDL emitters: structural checks on generated source."""
+
+import re
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.pwl.codegen import (
+    generate_spice_subcircuit,
+    generate_verilog_a,
+    generate_vhdl_ams,
+)
+from repro.pwl.device import CNFET
+from repro.reference.fettoy import FETToyParameters
+
+
+class TestVhdlAms:
+    def test_structure(self, device_m2):
+        code = generate_vhdl_ams(device_m2)
+        assert "entity cnfet is" in code
+        assert "architecture pwl of cnfet" in code
+        assert "function q_mobile" in code
+        assert code.count("elsif") >= 2  # 4 regions -> if/elsif/elsif/else
+        assert "end architecture" in code
+
+    def test_custom_entity_name(self, device_m2):
+        code = generate_vhdl_ams(device_m2, entity_name="my_tube")
+        assert "entity my_tube is" in code
+
+    def test_constants_embedded(self, device_m2):
+        code = generate_vhdl_ams(device_m2)
+        csum = device_m2.capacitances.csum
+        assert f"{csum:.10e}" in code
+
+    def test_header_provenance(self, device_m2):
+        code = generate_vhdl_ams(device_m2)
+        assert "DATE 2008" in code
+        assert "model2" in code
+
+    def test_model1_has_fewer_branches(self, device_m1, device_m2):
+        code1 = generate_vhdl_ams(device_m1)
+        code2 = generate_vhdl_ams(device_m2)
+        assert code1.count("elsif") < code2.count("elsif")
+
+
+class TestVerilogA:
+    def test_structure(self, device_m2):
+        code = generate_verilog_a(device_m2)
+        assert "module cnfet(d, g, s);" in code
+        assert "electrical sigma" in code
+        assert "analog begin" in code
+        assert "I(d, s) <+" in code
+        assert "endmodule" in code
+
+    def test_region_selection_present(self, device_m2):
+        code = generate_verilog_a(device_m2)
+        assert code.count("else if") >= 4  # two charge blocks
+
+
+class TestSpice:
+    def test_structure(self, device_m2):
+        code = generate_spice_subcircuit(device_m2)
+        assert ".subckt cnfet d g s" in code
+        assert ".ends cnfet" in code
+        assert "Bids d s" in code
+
+    def test_nested_ternaries(self, device_m2):
+        code = generate_spice_subcircuit(device_m2)
+        assert code.count("?") >= 6  # 3 breakpoints x 2 charge terms
+
+
+class TestGuards:
+    def test_p_type_rejected(self):
+        device = CNFET(FETToyParameters(), polarity="p")
+        with pytest.raises(CodegenError):
+            generate_vhdl_ams(device)
+
+    def test_numeric_literals_parse(self, device_m2):
+        """Every emitted numeric literal must be a valid float."""
+        code = generate_spice_subcircuit(device_m2)
+        for token in re.findall(r"-?\d+\.\d+e[+-]\d+", code):
+            float(token)

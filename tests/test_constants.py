@@ -1,0 +1,54 @@
+"""Physical-constant sanity and thermal-voltage helpers."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_thermal_voltage_300k():
+    assert constants.thermal_voltage_ev(300.0) == pytest.approx(
+        0.025852, rel=1e-3
+    )
+
+
+def test_thermal_voltage_scales_linearly():
+    assert constants.thermal_voltage_ev(600.0) == pytest.approx(
+        2.0 * constants.thermal_voltage_ev(300.0)
+    )
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0, -300.0])
+def test_thermal_voltage_rejects_nonpositive(bad):
+    with pytest.raises(ValueError):
+        constants.thermal_voltage_ev(bad)
+
+
+def test_thermal_voltage_v_matches_ev():
+    assert constants.thermal_voltage_v(273.0) == pytest.approx(
+        constants.thermal_voltage_ev(273.0)
+    )
+
+
+def test_conductance_quantum():
+    # 2 q^2/h ~ 77.5 uS
+    assert constants.CONDUCTANCE_QUANTUM == pytest.approx(77.48e-6, rel=1e-3)
+
+
+def test_ballistic_prefactor_magnitude():
+    # 2 q k / (pi hbar) * 300 K ~ 4e-6 A (per unit F0 difference).
+    value = constants.BALLISTIC_CURRENT_PREFACTOR * 300.0
+    assert value == pytest.approx(4.0e-6, rel=0.05)
+
+
+def test_lattice_relationship():
+    assert constants.GRAPHENE_LATTICE_CONSTANT == pytest.approx(
+        constants.CC_BOND_LENGTH * math.sqrt(3.0)
+    )
+
+
+def test_hbar_from_planck():
+    assert constants.HBAR == pytest.approx(
+        constants.PLANCK / (2.0 * math.pi)
+    )

@@ -1,0 +1,108 @@
+"""Public CNFET device."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.pwl.device import CNFET
+from repro.reference.fettoy import FETToyParameters
+
+
+class TestConstruction:
+    def test_named_models(self, device_m1, device_m2):
+        assert device_m1.model_name == "model1"
+        assert device_m2.model_name == "model2"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ParameterError):
+            CNFET(model="model3")
+
+    def test_invalid_polarity(self):
+        with pytest.raises(ParameterError):
+            CNFET(polarity="x")
+
+    def test_prefitted_reuse(self, device_m2):
+        clone = CNFET(device_m2.params, fitted=device_m2.fitted)
+        assert clone.ids(0.5, 0.5) == pytest.approx(
+            device_m2.ids(0.5, 0.5), rel=1e-12
+        )
+
+
+class TestAccuracy:
+    def test_tracks_reference(self, device_m2, ref300):
+        for vg, vd in [(0.3, 0.3), (0.5, 0.2), (0.6, 0.6)]:
+            assert device_m2.ids(vg, vd) == pytest.approx(
+                ref300.ids(vg, vd), rel=0.08
+            )
+
+    def test_iv_family_matches_scalar_calls(self, device_m2):
+        fam = device_m2.iv_family([0.4, 0.6], [0.1, 0.3])
+        assert fam[0, 1] == pytest.approx(device_m2.ids(0.4, 0.3))
+        assert fam[1, 0] == pytest.approx(device_m2.ids(0.6, 0.1))
+
+    def test_source_reference_invariance(self, device_m2):
+        a = device_m2.ids(0.5, 0.4, 0.0)
+        b = device_m2.ids(0.7, 0.6, 0.2)
+        assert a == pytest.approx(b, rel=1e-10)
+
+    def test_zero_vds_zero_current(self, device_m2):
+        assert device_m2.ids(0.5, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_operating_point(self, device_m2):
+        ids, vsc = device_m2.operating_point(0.5, 0.4)
+        assert ids == pytest.approx(device_m2.ids(0.5, 0.4))
+        assert vsc == pytest.approx(device_m2.vsc(0.5, 0.4))
+
+
+class TestSmallSignal:
+    def test_gm_positive_on_state(self, device_m2):
+        assert device_m2.gm(0.5, 0.4) > 0.0
+
+    def test_gds_nonnegative(self, device_m2):
+        assert device_m2.gds(0.5, 0.4) >= 0.0
+
+    def test_gm_matches_secant(self, device_m2):
+        d = 5e-3
+        secant = (device_m2.ids(0.5 + d, 0.4)
+                  - device_m2.ids(0.5 - d, 0.4)) / (2 * d)
+        assert device_m2.gm(0.5, 0.4) == pytest.approx(secant, rel=0.05)
+
+
+class TestPolarity:
+    def test_p_type_mirrors_n_type(self, device_m2, device_p):
+        vg, vd = 0.5, 0.4
+        assert device_p.ids(-vg, -vd) == pytest.approx(
+            -device_m2.ids(vg, vd), rel=1e-10
+        )
+
+    def test_p_type_off_for_positive_gate(self, device_p):
+        assert abs(device_p.ids(0.6, -0.4)) < abs(device_p.ids(-0.6, -0.4))
+
+    def test_p_type_vsc_mirrored(self, device_m2, device_p):
+        assert device_p.vsc(-0.5, -0.4) == pytest.approx(
+            -device_m2.vsc(0.5, 0.4), rel=1e-9
+        )
+
+
+class TestCharges:
+    def test_terminal_charges_sum(self, device_m2):
+        qg, qd, qs = device_m2.terminal_charges(0.5, 0.4)
+        # Gate charge positive under positive gate drive.
+        assert qg > 0.0
+        # All finite and of per-unit-length magnitude (C/m).
+        for q in (qg, qd, qs):
+            assert abs(q) < 1e-8
+
+    def test_gate_charge_increases_with_vg(self, device_m2):
+        qg1, _, _ = device_m2.terminal_charges(0.3, 0.4)
+        qg2, _, _ = device_m2.terminal_charges(0.6, 0.4)
+        assert qg2 > qg1
+
+
+class TestTransmissionScaling:
+    def test_quasi_ballistic_device(self):
+        full = CNFET(FETToyParameters())
+        scaled = CNFET(FETToyParameters(transmission=0.7))
+        assert scaled.ids(0.5, 0.5) == pytest.approx(
+            0.7 * full.ids(0.5, 0.5), rel=0.02
+        )

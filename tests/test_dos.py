@@ -1,0 +1,82 @@
+"""Density of states: van Hove structure and limits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.physics.dos import DensityOfStates, dos_prefactor
+
+
+def test_prefactor_magnitude():
+    # 8/(3 pi a_cc t) ~ 2e9 /(eV m) for t = 3 eV.
+    assert dos_prefactor(3.0) == pytest.approx(1.99e9, rel=0.01)
+
+
+def test_prefactor_rejects_bad_hopping():
+    with pytest.raises(ParameterError):
+        dos_prefactor(0.0)
+
+
+class TestSingleSubband:
+    dos = DensityOfStates([0.4])
+
+    def test_zero_inside_gap(self):
+        assert self.dos.conduction(0.2) == 0.0
+        assert self.dos.conduction(0.39) == 0.0
+
+    def test_diverges_at_edge(self):
+        just_above = self.dos.conduction(0.4 + 1e-9)
+        assert just_above > 100 * self.dos.prefactor
+
+    def test_asymptotes_to_prefactor(self):
+        far = self.dos.conduction(40.0)
+        assert far == pytest.approx(self.dos.prefactor, rel=1e-3)
+
+    def test_vectorised(self):
+        e = np.array([0.0, 0.5, 1.0])
+        out = self.dos.conduction(e)
+        assert out.shape == (3,)
+        assert out[0] == 0.0 and out[1] > out[2] > 0.0
+
+    def test_monotone_decreasing_above_edge(self):
+        e = np.linspace(0.401, 5.0, 200)
+        d = self.dos.conduction(e)
+        assert np.all(np.diff(d) < 0.0)
+
+
+class TestRelativeToEdge:
+    dos = DensityOfStates([0.4])
+
+    def test_zero_for_negative(self):
+        assert self.dos.relative_to_edge(-0.1, 0.4) == 0.0
+
+    def test_matches_absolute(self):
+        e_rel = 0.25
+        rel = self.dos.relative_to_edge(e_rel, 0.4)
+        absolute = self.dos.conduction(0.4 + e_rel)
+        assert rel == pytest.approx(absolute, rel=1e-12)
+
+    def test_metallic_is_flat(self):
+        metal = DensityOfStates([0.0])
+        assert metal.relative_to_edge(0.1, 0.0) == metal.prefactor
+        assert metal.conduction(-3.0) == metal.prefactor
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ParameterError):
+            self.dos.relative_to_edge(0.1, -0.4)
+
+
+class TestMultiSubband:
+    def test_second_edge_adds_dos(self):
+        dos = DensityOfStates([0.4, 0.8])
+        below = dos.conduction(0.79)
+        above = dos.conduction(0.81)
+        assert above > 3.0 * below
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DensityOfStates([])
+        with pytest.raises(ParameterError):
+            DensityOfStates([0.8, 0.4])
+        with pytest.raises(ParameterError):
+            DensityOfStates([-0.1])

@@ -1,0 +1,34 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("ParameterError", "ConvergenceError", "FittingError",
+                 "RootNotFoundError", "NetlistError", "ParseError",
+                 "AnalysisError", "CodegenError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_parameter_error_is_value_error():
+    assert issubclass(errors.ParameterError, ValueError)
+
+
+def test_convergence_error_carries_diagnostics():
+    exc = errors.ConvergenceError("nope", iterations=7, residual=1e-3)
+    assert exc.iterations == 7
+    assert exc.residual == 1e-3
+
+
+def test_parse_error_formats_line_number():
+    exc = errors.ParseError("bad token", line_number=12, line="R1 x")
+    assert "line 12" in str(exc)
+    assert exc.line == "R1 x"
+
+
+def test_parse_error_is_netlist_error():
+    with pytest.raises(errors.NetlistError):
+        raise errors.ParseError("x")

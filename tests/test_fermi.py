@@ -1,0 +1,132 @@
+"""Fermi-Dirac statistics, including property-based stability checks."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.physics.fermi import (
+    fermi_dirac,
+    fermi_dirac_derivative,
+    fermi_dirac_integral,
+    fermi_dirac_integral_0,
+    fermi_dirac_integral_m1,
+    inverse_fermi_dirac_integral_0,
+)
+
+
+class TestOccupation:
+    def test_half_at_zero(self):
+        assert fermi_dirac(0.0) == pytest.approx(0.5)
+
+    def test_limits(self):
+        assert fermi_dirac(800.0) == 0.0
+        assert fermi_dirac(-800.0) == 1.0
+
+    def test_symmetry(self):
+        x = 1.7
+        assert fermi_dirac(x) + fermi_dirac(-x) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_bounded_and_finite(self, x):
+        f = fermi_dirac(x)
+        assert 0.0 <= f <= 1.0
+        assert math.isfinite(f)
+
+    @given(st.floats(-50, 50), st.floats(1e-3, 10))
+    def test_monotone_decreasing(self, x, dx):
+        assert fermi_dirac(x + dx) <= fermi_dirac(x)
+
+    def test_vectorised(self):
+        out = fermi_dirac(np.array([-1.0, 0.0, 1.0]))
+        assert out.shape == (3,)
+        assert out[0] > out[1] > out[2]
+
+
+class TestDerivative:
+    def test_peak_at_zero(self):
+        assert fermi_dirac_derivative(0.0) == pytest.approx(-0.25)
+
+    @given(st.floats(-700, 700))
+    def test_always_nonpositive(self, x):
+        assert fermi_dirac_derivative(x) <= 0.0
+
+    def test_matches_finite_difference(self):
+        x, h = 0.7, 1e-6
+        fd = (fermi_dirac(x + h) - fermi_dirac(x - h)) / (2 * h)
+        assert fermi_dirac_derivative(x) == pytest.approx(fd, rel=1e-6)
+
+
+class TestIntegral0:
+    def test_degenerate_limit(self):
+        assert fermi_dirac_integral_0(50.0) == pytest.approx(50.0, rel=1e-12)
+
+    def test_nondegenerate_limit(self):
+        eta = -30.0
+        assert fermi_dirac_integral_0(eta) == pytest.approx(
+            math.exp(eta), rel=1e-10
+        )
+
+    def test_at_zero(self):
+        assert fermi_dirac_integral_0(0.0) == pytest.approx(math.log(2.0))
+
+    @given(st.floats(-700, 700))
+    def test_positive_finite(self, eta):
+        v = fermi_dirac_integral_0(eta)
+        assert v > 0.0 or eta < -700
+        assert math.isfinite(v)
+
+    @given(st.floats(-30, 30))
+    def test_derivative_is_order_m1(self, eta):
+        h = 1e-6
+        fd = (fermi_dirac_integral_0(eta + h)
+              - fermi_dirac_integral_0(eta - h)) / (2 * h)
+        assert fermi_dirac_integral_m1(eta) == pytest.approx(fd, rel=1e-4,
+                                                             abs=1e-10)
+
+    @given(st.floats(min_value=0.05, max_value=50.0))
+    def test_inverse_roundtrip(self, value):
+        eta = inverse_fermi_dirac_integral_0(value)
+        assert fermi_dirac_integral_0(eta) == pytest.approx(value, rel=1e-9)
+
+    def test_inverse_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            inverse_fermi_dirac_integral_0(0.0)
+
+
+class TestGenericIntegral:
+    def test_order_zero_dispatches_to_closed_form(self):
+        eta = 1.3
+        assert fermi_dirac_integral(0, eta) == pytest.approx(
+            fermi_dirac_integral_0(eta)
+        )
+
+    def test_half_order_nondegenerate_limit(self):
+        # F_j(eta) -> exp(eta) for eta << 0, independent of order.
+        eta = -15.0
+        assert fermi_dirac_integral(0.5, eta) == pytest.approx(
+            math.exp(eta), rel=1e-3
+        )
+
+    def test_half_order_degenerate_limit(self):
+        # F_{1/2}(eta) -> eta^{3/2}/Gamma(5/2) for eta >> 0.
+        eta = 80.0
+        expected = eta**1.5 / math.gamma(2.5)
+        assert fermi_dirac_integral(0.5, eta) == pytest.approx(
+            expected, rel=0.01
+        )
+
+    def test_rejects_low_order_and_few_nodes(self):
+        with pytest.raises(ParameterError):
+            fermi_dirac_integral(-1.5, 0.0)
+        with pytest.raises(ParameterError):
+            fermi_dirac_integral(0.5, 0.0, nodes=4)
+
+    def test_vectorised(self):
+        etas = np.array([-5.0, 0.0, 5.0])
+        out = fermi_dirac_integral(0.5, etas)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0.0)

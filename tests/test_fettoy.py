@@ -1,0 +1,148 @@
+"""Reference (FETToy-equivalent) model behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.reference.fettoy import FETToyModel, FETToyParameters
+
+
+class TestParameters:
+    def test_defaults_match_fettoy(self):
+        p = FETToyParameters()
+        assert p.temperature_k == 300.0
+        assert p.fermi_level_ev == -0.32
+        assert p.alpha_g == 0.88
+        assert p.alpha_d == 0.035
+
+    def test_with_updates(self):
+        p = FETToyParameters().with_updates(temperature_k=150.0)
+        assert p.temperature_k == 150.0
+        assert p.fermi_level_ev == -0.32
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FETToyParameters(gate_geometry="planar")
+        with pytest.raises(ParameterError):
+            FETToyParameters(transmission=0.0)
+        with pytest.raises(ParameterError):
+            FETToyParameters(n_subbands=0)
+
+    def test_explicit_chirality_overrides_diameter(self):
+        p = FETToyParameters(diameter_nm=2.0, chirality=(13, 0))
+        model = FETToyModel(p)
+        assert model.bands.diameter_nm == pytest.approx(1.018, abs=0.01)
+
+
+class TestSelfConsistency:
+    def test_residual_zero_at_solution(self, ref300):
+        vsc = ref300.solve_vsc(0.5, 0.4)
+        assert abs(ref300.vsc_residual(vsc, 0.5, 0.4)) < 1e-21
+
+    def test_residual_monotone(self, ref300):
+        v = np.linspace(-0.6, 0.1, 40)
+        g = [ref300.vsc_residual(x, 0.5, 0.4) for x in v]
+        assert all(b > a for a, b in zip(g, g[1:]))
+
+    def test_derivative_positive(self, ref300):
+        for v in (-0.5, -0.3, 0.0):
+            assert ref300.vsc_residual_derivative(v, 0.5, 0.4) > 0.0
+
+    def test_vsc_zero_bias(self, ref300):
+        assert ref300.solve_vsc(0.0, 0.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_vsc_negative_under_positive_gate(self, ref300):
+        assert ref300.solve_vsc(0.6, 0.3) < -0.1
+
+    def test_vsc_source_referenced(self, ref300):
+        """Shifting all terminals together must not change VSC or IDS."""
+        v1 = ref300.solve_vsc(0.5, 0.4, 0.0)
+        v2 = ref300.solve_vsc(0.8, 0.7, 0.3)
+        assert v1 == pytest.approx(v2, abs=1e-9)
+        assert ref300.ids(0.5, 0.4, 0.0) == pytest.approx(
+            ref300.ids(0.8, 0.7, 0.3), rel=1e-9
+        )
+
+    def test_charge_feedback_reduces_barrier_shift(self, ref300):
+        """|VSC| < |Qt|/CSum: mobile charge opposes the gate."""
+        qt = ref300.capacitances.terminal_charge(0.6, 0.6, 0.0)
+        vsc = ref300.solve_vsc(0.6, 0.6)
+        assert abs(vsc) < qt / ref300.capacitances.csum
+
+
+class TestCurrent:
+    def test_zero_at_zero_vds(self, ref300):
+        assert ref300.ids(0.5, 0.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_positive_and_increasing_with_vg(self, ref300):
+        i1 = ref300.ids(0.3, 0.5)
+        i2 = ref300.ids(0.5, 0.5)
+        assert 0.0 < i1 < i2
+
+    def test_saturates_with_vds(self, ref300):
+        i_mid = ref300.ids(0.5, 0.3)
+        i_high = ref300.ids(0.5, 0.6)
+        assert i_high > i_mid
+        assert (i_high - i_mid) < 0.5 * i_mid
+
+    def test_antisymmetric_in_vds_sign(self, ref300):
+        """Swapping drain and source reverses the current direction
+        (same magnitude by the model's source/drain symmetry)."""
+        forward = ref300.ids(0.5, 0.3)
+        reverse = ref300.ids_at_vsc(ref300.solve_vsc(0.5, 0.3), -0.3)
+        assert reverse < 0.0
+
+    def test_magnitude_matches_paper_fig6(self, ref300):
+        """~9 uA at VG = VD = 0.6 V on the paper's Fig. 6 axis."""
+        assert ref300.ids(0.6, 0.6) == pytest.approx(9e-6, rel=0.25)
+
+    def test_subthreshold_swing_physical(self, ref300):
+        """Near-ideal thermionic swing >= ~60 mV/dec at 300 K."""
+        i1 = ref300.ids(0.05, 0.3)
+        i2 = ref300.ids(0.15, 0.3)
+        decades = np.log10(i2 / i1)
+        swing = 100.0 / decades  # mV per decade
+        assert 55.0 < swing < 120.0
+
+    def test_iv_family_shape(self, ref300):
+        fam = ref300.iv_family([0.3, 0.6], [0.0, 0.3, 0.6])
+        assert fam.shape == (2, 3)
+        assert fam[1, 2] > fam[0, 2]
+
+    def test_operating_point_consistency(self, ref300):
+        ids, vsc = ref300.operating_point(0.45, 0.5)
+        assert ids == pytest.approx(ref300.ids_at_vsc(vsc, 0.5))
+
+
+class TestChargeCurve:
+    def test_curve_shapes(self, ref300):
+        vsc = np.linspace(-0.5, 0.0, 11)
+        qs, qd = ref300.charge_curve(vsc, vds=0.2)
+        assert qs.shape == qd.shape == (11,)
+        # QD is QS shifted right: smaller at equal VSC.
+        assert np.all(qd <= qs + 1e-18)
+
+    def test_newton_iteration_counter_increments(self):
+        model = FETToyModel(FETToyParameters())
+        before = model.newton_iterations
+        model.ids(0.5, 0.5)
+        assert model.newton_iterations > before
+
+
+class TestTemperatureAndFermi:
+    def test_higher_ef_gives_more_current(self):
+        low = FETToyModel(FETToyParameters(fermi_level_ev=-0.5))
+        high = FETToyModel(FETToyParameters(fermi_level_ev=0.0))
+        assert high.ids(0.4, 0.4) > 5.0 * low.ids(0.4, 0.4)
+
+    def test_subthreshold_current_grows_with_temperature(self):
+        cold = FETToyModel(FETToyParameters(temperature_k=150.0))
+        hot = FETToyModel(FETToyParameters(temperature_k=450.0))
+        assert hot.ids(0.1, 0.3) > 10.0 * cold.ids(0.1, 0.3)
+
+    def test_multi_subband_adds_current_at_high_bias(self):
+        one = FETToyModel(FETToyParameters(n_subbands=1))
+        # Second subband sits ~0.4 eV above the first: it only matters
+        # for charge, but must not *reduce* the current.
+        two = FETToyModel(FETToyParameters(n_subbands=2))
+        assert two.ids(0.6, 0.6) >= 0.5 * one.ids(0.6, 0.6)

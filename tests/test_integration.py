@@ -1,0 +1,148 @@
+"""End-to-end integration: paper pipeline and cross-module properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import metrics
+from repro.experiments.runners import (
+    build_models,
+    run_fig2_3,
+    run_rms_table,
+)
+from repro.experiments.workloads import default_device_parameters
+
+
+class TestPaperPipeline:
+    """The full headline claim in one test path per stage."""
+
+    def test_model2_beats_model1_everywhere_on_average(self):
+        result = run_rms_table(-0.32, temperatures_k=(300.0,))
+        m1 = np.mean(result.errors[(300.0, "model1")])
+        m2 = np.mean(result.errors[(300.0, "model2")])
+        assert m2 < m1
+
+    def test_fast_model_is_much_faster(self, ref300, device_m2):
+        import time
+
+        vgs, vds = [0.4, 0.6], np.linspace(0.0, 0.6, 7)
+        start = time.perf_counter()
+        ref300.iv_family(vgs, vds)
+        t_ref = time.perf_counter() - start
+        device_m2.iv_family(vgs, vds)  # warm cache
+        start = time.perf_counter()
+        for _ in range(5):
+            device_m2.iv_family(vgs, vds)
+        t_fast = (time.perf_counter() - start) / 5.0
+        assert t_ref / t_fast > 20.0
+
+    def test_no_newton_iterations_in_fast_path(self, device_m2):
+        """The paper's point: closed form means the reference Newton
+        counter never moves when evaluating the fast device."""
+        before = device_m2.reference.newton_iterations
+        device_m2.iv_family([0.4, 0.6], [0.1, 0.3, 0.6])
+        assert device_m2.reference.newton_iterations == before
+
+    def test_charge_figures_consistent_with_device(self):
+        fig = run_fig2_3("model2")
+        _, _, model2 = build_models(default_device_parameters())
+        probe = fig.vsc_axis[50]
+        assert fig.fitted_qs[50] == pytest.approx(
+            float(model2.fitted.curve.value(probe)), rel=1e-12
+        )
+
+
+class TestCrossModelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=0.7),
+           st.floats(min_value=0.05, max_value=0.7))
+    def test_fast_vs_reference_current_everywhere(self, ref300, device_m2,
+                                                  vg, vd):
+        """Property: the fast model tracks theory within a bounded
+        relative envelope over the whole bias box."""
+        i_ref = ref300.ids(vg, vd)
+        i_fast = device_m2.ids(vg, vd)
+        scale = max(abs(i_ref), 1e-9)  # absolute floor in deep off-state
+        assert abs(i_fast - i_ref) <= 0.15 * scale
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.7),
+           st.floats(min_value=0.0, max_value=0.7))
+    def test_fast_current_nonnegative_forward(self, device_m2, vg, vd):
+        assert device_m2.ids(vg, vd) >= -1e-15
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=0.6),
+           st.floats(min_value=0.05, max_value=0.6),
+           st.floats(min_value=0.01, max_value=0.1))
+    def test_monotone_in_gate_voltage(self, device_m2, vg, vd, dv):
+        assert device_m2.ids(vg + dv, vd) >= device_m2.ids(vg, vd) - 1e-15
+
+
+class TestCircuitIntegration:
+    def test_netlist_to_vtc(self):
+        """Netlist text -> parser -> MNA -> inverter-style transfer."""
+        from repro.circuit.dc import dc_sweep
+        from repro.circuit.parser import parse_netlist
+
+        deck = parse_netlist("""
+        * resistive-load cnfet stage
+        .model m2 cnfet model=model2
+        Vdd vdd 0 0.6
+        Vin in 0 0
+        Rl vdd out 200k
+        Q1 out in 0 m2
+        .dc Vin 0 0.6 7
+        """)
+        directive = deck.analyses[0]
+        values = np.linspace(
+            directive.params["start"], directive.params["stop"],
+            int(directive.params["points"]),
+        )
+        ds = dc_sweep(deck.circuit, directive.source, values)
+        v_out = ds.voltage("out")
+        assert v_out[0] > 0.55       # off -> pulled up
+        assert v_out[-1] < 0.15      # on -> pulled down
+        assert np.all(np.diff(v_out) <= 1e-9)
+
+    def test_codegen_matches_python_charge(self, device_m2):
+        """The VHDL-AMS polynomial literals evaluate to the Python
+        curve (Horner form is shared)."""
+        import re
+
+        from repro.pwl.codegen import generate_vhdl_ams
+
+        code = generate_vhdl_ams(device_m2)
+        # Evaluate the curve at the leftmost region via its linear form:
+        # extract the first "v <= X" breakpoint and compare values.
+        match = re.search(r"if v <= (-?\d\.\d+e[+-]\d+) then", code)
+        assert match is not None
+        b1 = float(match.group(1))
+        assert b1 == pytest.approx(device_m2.fitted.curve.breakpoints[0],
+                                   rel=1e-9)
+
+
+class TestNumericalRobustness:
+    def test_extreme_gate_overdrive(self, device_m2, ref300):
+        """Far outside the fit window the linear extrapolation still
+        produces finite, ordered currents."""
+        i1 = device_m2.ids(1.5, 0.5)
+        i2 = device_m2.ids(2.5, 0.5)
+        assert np.isfinite(i1) and np.isfinite(i2)
+        assert i2 > i1 > 0.0
+
+    def test_deep_negative_gate(self, device_m2):
+        i = device_m2.ids(-1.0, 0.5)
+        assert abs(i) < 1e-9
+
+    def test_tiny_vds(self, device_m2, ref300):
+        i_fast = device_m2.ids(0.5, 1e-6)
+        i_ref = ref300.ids(0.5, 1e-6)
+        assert i_fast == pytest.approx(i_ref, rel=0.2)
+
+    def test_reference_solver_low_vds_regression(self, ref300):
+        """Regression: VSC at VDS -> 0 must be continuous (the original
+        Newton safeguard bug produced a ~0.2 V jump)."""
+        v_at_0 = ref300.solve_vsc(0.6, 0.0)
+        v_at_eps = ref300.solve_vsc(0.6, 0.01)
+        assert abs(v_at_0 - v_at_eps) < 0.02

@@ -1,0 +1,132 @@
+"""Experiment metrics, synthetic experimental data, report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.experimental_data import generate_experimental_data
+from repro.experiments.metrics import (
+    average_rms_error_percent,
+    error_table,
+    rms_error_percent,
+)
+from repro.experiments.report import ascii_table, series_block, sparkline
+
+
+class TestRmsError:
+    def test_identical_is_zero(self):
+        r = np.array([1.0, 2.0, 3.0])
+        assert rms_error_percent(r, r) == 0.0
+
+    def test_peak_normalisation(self):
+        ref = np.array([0.0, 1.0, 2.0])
+        model = ref + 0.2
+        expected = 100.0 * 0.2 / 2.0
+        assert rms_error_percent(model, ref) == pytest.approx(expected)
+
+    def test_mean_vs_peak_ordering(self):
+        ref = np.array([0.1, 0.5, 2.0])
+        model = ref * 1.1
+        peak = rms_error_percent(model, ref, "peak")
+        mean = rms_error_percent(model, ref, "mean")
+        assert mean > peak  # mean |ref| < max |ref|
+
+    def test_pointwise_excludes_near_zero(self):
+        ref = np.array([1e-12, 1.0, 2.0])
+        model = np.array([5e-12, 1.1, 2.2])
+        err = rms_error_percent(model, ref, "pointwise")
+        assert err == pytest.approx(10.0, rel=0.01)
+
+    @pytest.mark.parametrize("bad", [
+        (np.ones(3), np.ones(4)),
+        (np.array([]), np.array([])),
+    ])
+    def test_shape_validation(self, bad):
+        with pytest.raises(ParameterError):
+            rms_error_percent(*bad)
+
+    def test_unknown_normalisation(self):
+        with pytest.raises(ParameterError):
+            rms_error_percent(np.ones(2), np.ones(2), "median")
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ParameterError):
+            rms_error_percent(np.ones(2), np.zeros(2))
+
+
+class TestFamilyMetrics:
+    def test_average_over_rows(self):
+        ref = np.array([[1.0, 2.0], [2.0, 4.0]])
+        model = ref * 1.1
+        avg = average_rms_error_percent(model, ref)
+        assert avg == pytest.approx(
+            np.mean([rms_error_percent(model[i], ref[i]) for i in range(2)])
+        )
+
+    def test_error_table_keys(self):
+        ref = np.array([[1.0, 2.0], [2.0, 4.0]])
+        table = error_table(ref * 1.05, ref, [0.3, 0.6])
+        assert set(table) == {0.3, 0.6}
+
+    def test_error_table_length_check(self):
+        with pytest.raises(ParameterError):
+            error_table(np.ones((2, 2)), np.ones((2, 2)), [0.3])
+
+    def test_dimension_check(self):
+        with pytest.raises(ParameterError):
+            average_rms_error_percent(np.ones(3), np.ones(3))
+
+
+class TestExperimentalData:
+    def test_deterministic(self):
+        a = generate_experimental_data([0.4], [0.0, 0.2, 0.4])
+        b = generate_experimental_data([0.4], [0.0, 0.2, 0.4])
+        np.testing.assert_array_equal(a.ids, b.ids)
+
+    def test_zero_vds_zero_current(self):
+        data = generate_experimental_data([0.4], [0.0, 0.2])
+        assert data.ids[0, 0] == 0.0
+
+    def test_degraded_below_ballistic(self):
+        from repro.experiments.workloads import javey_device_parameters
+        from repro.reference.fettoy import FETToyModel
+
+        model = FETToyModel(javey_device_parameters())
+        data = generate_experimental_data([0.6], [0.4],
+                                          ripple_amplitude=0.0)
+        assert data.ids[0, 0] < model.ids(0.6, 0.4)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            generate_experimental_data([0.4], [0.2], transmission=0.0)
+        with pytest.raises(ParameterError):
+            generate_experimental_data([0.4], [0.2],
+                                       series_resistance_ohm=-1.0)
+
+    def test_curve_lookup(self):
+        data = generate_experimental_data([0.2, 0.4], [0.0, 0.2])
+        np.testing.assert_array_equal(data.curve(0.41), data.ids[1])
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(("a", "bb"), [(1, 2.5), (3, 4.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert len(lines) == 5
+
+    def test_series_block_downsamples(self):
+        x = np.linspace(0, 1, 100)
+        text = series_block("S", "x", x, {"y": x**2}, max_points=5)
+        # Header + separator + 5 rows + title.
+        assert len(text.splitlines()) == 8
+
+    def test_sparkline(self):
+        s = sparkline([0.0, 0.5, 1.0])
+        assert len(s) == 3
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_sparkline_flat_and_empty(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "--"

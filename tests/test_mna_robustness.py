@@ -1,0 +1,104 @@
+"""Newton-loop robustness aids: damping, gmin stepping, source stepping."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Diode, Resistor, VoltageSource
+from repro.circuit.mna import (
+    NewtonOptions,
+    assemble,
+    newton_solve,
+    robust_dc_solve,
+)
+from repro.errors import AnalysisError
+
+
+def stiff_diode_chain() -> Circuit:
+    """Series diode string across a hard supply — a classic Newton
+    torture case (steep exponentials, poor zero-state guess)."""
+    c = Circuit("diode chain")
+    c.add(VoltageSource("v1", "n0", "0", 3.0))
+    for i in range(4):
+        c.add(Diode(f"d{i}", f"n{i}", f"n{i+1}"))
+    c.add(Resistor("r1", "n4", "0", 10.0))
+    return c
+
+
+class TestNewtonLoop:
+    def test_stiff_chain_converges(self):
+        c = stiff_diode_chain()
+        x = robust_dc_solve(c)
+        # Each junction drops ~0.7 V; the resistor takes the remainder.
+        v4 = x[c.node_index["n4"]]
+        assert 0.0 < v4 < 1.0
+
+    def test_damping_limits_step(self):
+        """With a huge max_step the loop may overshoot; the default
+        0.5 V clip must still converge on the diode chain."""
+        c = stiff_diode_chain()
+        x = newton_solve(c, np.zeros(c.dimension()),
+                         NewtonOptions(max_step=0.5))
+        assert np.all(np.isfinite(x))
+
+    def test_iteration_budget_respected(self):
+        c = stiff_diode_chain()
+        with pytest.raises(AnalysisError):
+            newton_solve(c, np.zeros(c.dimension()),
+                         NewtonOptions(max_iterations=2))
+
+    def test_gmin_changes_offstate_leakage(self):
+        c = Circuit("leak")
+        c.add(VoltageSource("v1", "in", "0", -1.0))
+        c.add(Resistor("r1", "in", "a", 1e3))
+        c.add(Diode("d1", "a", "0"))
+        x_small = newton_solve(c, np.zeros(c.dimension()),
+                               NewtonOptions(), gmin=1e-12)
+        x_large = newton_solve(c, np.zeros(c.dimension()),
+                               NewtonOptions(), gmin=1e-3)
+        va_small = x_small[c.node_index["a"]]
+        va_large = x_large[c.node_index["a"]]
+        # A large gmin shunt pulls the reverse-biased node toward 0.
+        assert abs(va_large) < abs(va_small)
+
+    def test_source_scale_scales_solution(self):
+        c = Circuit("lin")
+        c.add(VoltageSource("v1", "in", "0", 10.0))
+        c.add(Resistor("r1", "in", "0", 1e3))
+        x_half = newton_solve(c, np.zeros(c.dimension()),
+                              NewtonOptions(), source_scale=0.5)
+        assert x_half[c.node_index["in"]] == pytest.approx(5.0)
+
+    def test_fallbacks_disabled_raise(self):
+        c = Circuit("float")
+        c.add(VoltageSource("v1", "in", "0", 1.0))
+        c.add(Resistor("r1", "a", "b", 1.0))  # floating island
+        with pytest.raises(AnalysisError):
+            robust_dc_solve(c, None, NewtonOptions(
+                gmin_stepping=False, source_stepping=False,
+            ))
+
+
+class TestAssembly:
+    def test_matrix_shape(self):
+        c = stiff_diode_chain()
+        n = c.dimension()
+        ctx = assemble(c, np.zeros(n))
+        assert ctx.matrix.shape == (n, n)
+        assert ctx.rhs.shape == (n,)
+
+    def test_ground_rows_skipped(self):
+        c = Circuit("gnd")
+        c.add(VoltageSource("v1", "in", "0", 1.0))
+        c.add(Resistor("r1", "in", "0", 1e3))
+        n = c.dimension()
+        ctx = assemble(c, np.zeros(n))
+        # Conductance to ground appears only on the diagonal.
+        idx = c.node_index["in"]
+        assert ctx.matrix[idx, idx] >= 1e-3
+
+    def test_reporting_voltage_of_ground(self):
+        c = stiff_diode_chain()
+        n = c.dimension()
+        ctx = assemble(c, np.zeros(n))
+        assert ctx.voltage("0") == 0.0
+        assert ctx.previous_voltage("n1") == 0.0  # no x_prev

@@ -1,0 +1,179 @@
+"""SPICE-flavoured netlist parser."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import operating_point
+from repro.circuit.elements import (
+    Capacitor,
+    CNFETElement,
+    Diode,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.parser import parse_netlist
+from repro.circuit.waveforms import DC, Pulse, PWLWaveform, Sine
+from repro.errors import ParseError
+
+
+class TestBasicElements:
+    def test_divider_deck(self):
+        deck = parse_netlist("""
+        * a comment line
+        V1 in 0 DC 12
+        R1 in mid 2k
+        R2 mid 0 1k   ; trailing comment
+        .end
+        """)
+        op = operating_point(deck.circuit)
+        assert op.voltage("mid") == pytest.approx(4.0)
+
+    def test_engineering_suffixes(self):
+        deck = parse_netlist("R1 a 0 4.7meg\nV1 a 0 1\n")
+        r = deck.circuit.element("r1")
+        assert r.resistance == pytest.approx(4.7e6)
+
+    def test_capacitor_with_ic(self):
+        deck = parse_netlist("C1 a 0 10p ic=0.5\nV1 a 0 1\n")
+        cap = deck.circuit.element("c1")
+        assert isinstance(cap, Capacitor)
+        assert cap.capacitance == pytest.approx(10e-12)
+        assert cap.initial_voltage == pytest.approx(0.5)
+
+    def test_diode_parameters(self):
+        deck = parse_netlist("D1 a 0 is=1e-12 n=1.5\nV1 a 0 1\n")
+        d = deck.circuit.element("d1")
+        assert isinstance(d, Diode)
+        assert d.saturation_current == pytest.approx(1e-12)
+
+    def test_continuation_lines(self):
+        deck = parse_netlist("""
+        V1 in 0
+        + DC 3
+        R1 in 0 1k
+        """)
+        assert deck.circuit.element("v1").waveform.dc_value() == 3.0
+
+
+class TestWaveforms:
+    def test_pulse(self):
+        deck = parse_netlist(
+            "V1 in 0 PULSE(0 1 1n 0.1n 0.1n 5n 10n)\nR1 in 0 1k\n"
+        )
+        w = deck.circuit.element("v1").waveform
+        assert isinstance(w, Pulse)
+        assert w.v2 == 1.0
+        assert w.period == pytest.approx(10e-9)
+
+    def test_sin(self):
+        deck = parse_netlist("V1 in 0 SIN(0.3 0.1 1meg)\nR1 in 0 1k\n")
+        w = deck.circuit.element("v1").waveform
+        assert isinstance(w, Sine)
+        assert w.frequency == pytest.approx(1e6)
+
+    def test_pwl(self):
+        deck = parse_netlist("V1 in 0 PWL(0 0 1n 1 2n 0)\nR1 in 0 1k\n")
+        w = deck.circuit.element("v1").waveform
+        assert isinstance(w, PWLWaveform)
+        assert w.value(0.5e-9) == pytest.approx(0.5)
+
+    def test_bare_value_is_dc(self):
+        deck = parse_netlist("I1 0 out 2m\nR1 out 0 1k\n")
+        w = deck.circuit.element("i1").waveform
+        assert isinstance(w, DC)
+        assert w.level == pytest.approx(2e-3)
+
+
+class TestCnfetCards:
+    DECK = """
+    .model fast cnfet model=model2 temperature_k=300 fermi_level_ev=-0.32
+    Vd d 0 0.4
+    Vg g 0 0.5
+    Q1 d g 0 fast l=25n
+    """
+
+    def test_model_and_instance(self):
+        deck = parse_netlist(self.DECK)
+        q = deck.circuit.element("q1")
+        assert isinstance(q, CNFETElement)
+        assert q.length_m == pytest.approx(25e-9)
+        assert "fast" in deck.models
+
+    def test_instance_current_matches_device(self):
+        deck = parse_netlist(self.DECK)
+        op = operating_point(deck.circuit)
+        device = deck.models["fast"]
+        assert op.element_current("q1") == pytest.approx(
+            device.ids(0.5, 0.4), rel=1e-6
+        )
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ParseError):
+            parse_netlist("Q1 d g 0 ghost\nV1 d 0 1\n")
+
+    def test_unknown_model_parameter_rejected(self):
+        with pytest.raises(ParseError):
+            parse_netlist(".model m cnfet bogus_param=1\n")
+
+    def test_duplicate_model_rejected(self):
+        with pytest.raises(ParseError):
+            parse_netlist(
+                ".model m cnfet\n.model m cnfet\n"
+            )
+
+
+class TestDirectives:
+    def test_dc_directive(self):
+        deck = parse_netlist("""
+        V1 in 0 0
+        R1 in 0 1k
+        .dc V1 0 0.6 13
+        """)
+        assert len(deck.analyses) == 1
+        a = deck.analyses[0]
+        assert a.kind == "dc" and a.source == "V1"
+        assert a.params["points"] == 13
+
+    def test_tran_directive(self):
+        deck = parse_netlist("""
+        V1 in 0 1
+        R1 in 0 1k
+        .tran 1p 2n be
+        """)
+        a = deck.analyses[0]
+        assert a.kind == "tran"
+        assert a.method == "be"
+        assert a.params["tstop"] == pytest.approx(2e-9)
+
+    def test_end_stops_parsing(self):
+        deck = parse_netlist("""
+        V1 in 0 1
+        R1 in 0 1k
+        .end
+        R2 bogus syntax not parsed
+        """)
+        assert "r2" not in deck.circuit
+
+
+class TestErrors:
+    @pytest.mark.parametrize("deck", [
+        "Z1 a b 1k\n",                      # unknown element letter
+        ".dc V1 0 1\n",                     # wrong arity
+        ".tran 1p\n",                       # wrong arity
+        ".options reltol=1\n",              # unsupported directive
+        "+ continuation first\n",           # leading continuation
+        "Q1 d g 0\nV1 d 0 1\n",             # cnfet missing model
+        ".model m bjt\n",                   # unsupported model type
+        "R1 a 0\n",                         # missing value
+    ])
+    def test_parse_errors(self, deck):
+        with pytest.raises(ParseError):
+            parse_netlist(deck)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_netlist("V1 in 0 1\nZZZ\n")
+        except ParseError as exc:
+            assert exc.line_number == 2
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

@@ -1,0 +1,155 @@
+"""Closed-form polynomial solvers — the engine of the paper's speed-up."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.pwl.polynomials import (
+    polyder,
+    polyval,
+    real_roots,
+    shift_polynomial,
+    solve_cubic,
+    solve_linear,
+    solve_quadratic,
+)
+
+finite = st.floats(min_value=-1e3, max_value=1e3,
+                   allow_nan=False, allow_infinity=False)
+
+
+def test_polyval_horner():
+    assert polyval([1.0, 2.0, 3.0], 2.0) == 1 + 4 + 12
+
+
+def test_polyder():
+    assert polyder([5.0, 1.0, 2.0, 3.0]) == [1.0, 4.0, 9.0]
+    assert polyder([42.0]) == []
+
+
+class TestLinear:
+    def test_simple(self):
+        assert solve_linear(-6.0, 2.0) == [3.0]
+
+    def test_degenerate(self):
+        assert solve_linear(1.0, 0.0) == []
+
+
+class TestQuadratic:
+    def test_two_roots_sorted(self):
+        roots = solve_quadratic(-6.0, 1.0, 1.0)  # x^2 + x - 6
+        assert roots == pytest.approx([-3.0, 2.0])
+
+    def test_double_root(self):
+        roots = solve_quadratic(4.0, -4.0, 1.0)  # (x-2)^2
+        assert roots == pytest.approx([2.0])
+
+    def test_no_real_roots(self):
+        assert solve_quadratic(1.0, 0.0, 1.0) == []
+
+    def test_cancellation_hardened(self):
+        """Classic catastrophic-cancellation case: tiny root next to a
+        huge one."""
+        # (x - 1e-8)(x - 1e8) = x^2 - (1e8 + 1e-8) x + 1
+        roots = solve_quadratic(1.0, -(1e8 + 1e-8), 1.0)
+        assert roots[0] == pytest.approx(1e-8, rel=1e-6)
+        assert roots[1] == pytest.approx(1e8, rel=1e-12)
+
+    @given(finite, finite)
+    def test_roots_satisfy_equation(self, r1, r2):
+        c0, c1, c2 = r1 * r2, -(r1 + r2), 1.0
+        scale = max(abs(c0), abs(c1), 1.0)
+        for root in solve_quadratic(c0, c1, c2):
+            assert abs(polyval([c0, c1, c2], root)) < 1e-7 * scale * scale
+
+
+class TestCubic:
+    def test_three_real_roots(self):
+        # (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+        roots = solve_cubic(-6.0, 11.0, -6.0, 1.0)
+        assert roots == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_single_real_root(self):
+        # x^3 + x + 1: one real root near -0.6823
+        roots = solve_cubic(1.0, 1.0, 0.0, 1.0)
+        assert len(roots) == 1
+        assert roots[0] == pytest.approx(-0.6823278, abs=1e-6)
+
+    def test_triple_root(self):
+        # (x-2)^3 = x^3 - 6x^2 + 12x - 8
+        roots = solve_cubic(-8.0, 12.0, -6.0, 1.0)
+        assert roots == pytest.approx([2.0], abs=1e-7)
+
+    def test_double_plus_single(self):
+        # (x-1)^2 (x+2) = x^3 - 3x + 2
+        roots = solve_cubic(2.0, -3.0, 0.0, 1.0)
+        assert sorted(roots) == pytest.approx([-2.0, 1.0], abs=1e-7)
+
+    def test_falls_back_to_quadratic(self):
+        assert solve_cubic(-6.0, 1.0, 1.0, 0.0) == pytest.approx(
+            [-3.0, 2.0]
+        )
+
+    @given(st.floats(-50, 50), st.floats(-50, 50), st.floats(-50, 50))
+    def test_constructed_roots_recovered(self, r1, r2, r3):
+        # Build monic cubic from chosen roots; all must be recovered.
+        c2 = -(r1 + r2 + r3)
+        c1 = r1 * r2 + r1 * r3 + r2 * r3
+        c0 = -r1 * r2 * r3
+        roots = solve_cubic(c0, c1, c2, 1.0)
+        targets = sorted({round(r, 6) for r in (r1, r2, r3)})
+        assert len(roots) >= 1
+        # Clustered roots are ill-conditioned (~sqrt(eps) of the
+        # coefficient scale), so the tolerance is generous.
+        for target in targets:
+            assert min(abs(target - r) for r in roots) < 1e-2 + 1e-3 * abs(
+                target
+            )
+
+    @given(finite, finite, finite,
+           st.floats(min_value=0.1, max_value=10.0))
+    def test_roots_satisfy_equation(self, c0, c1, c2, c3):
+        coeffs = [c0, c1, c2, c3]
+        scale = max(abs(c) for c in coeffs)
+        dcoeffs = polyder(coeffs)
+        for root in solve_cubic(*coeffs):
+            # Residual small relative to local polynomial magnitude.
+            local = max(abs(polyval(dcoeffs, root)) * max(1.0, abs(root)),
+                        scale)
+            assert abs(polyval(coeffs, root)) < 1e-6 * local
+
+
+class TestRealRoots:
+    def test_degree_reduction_tolerance(self):
+        # Leading coefficient negligible relative to the rest.
+        roots = real_roots([-6.0, 1.0, 1.0, 1e-30])
+        assert roots == pytest.approx([-3.0, 2.0])
+
+    def test_all_zero(self):
+        assert real_roots([0.0, 0.0]) == []
+
+    def test_rejects_higher_degree(self):
+        with pytest.raises(ParameterError):
+            real_roots([1.0, 0.0, 0.0, 0.0, 1.0])
+
+    def test_pads_short_inputs(self):
+        assert real_roots([-4.0, 2.0]) == [2.0]
+
+
+class TestShift:
+    @given(finite, finite, finite, finite, st.floats(-5, 5), st.floats(-5, 5))
+    def test_shift_identity(self, c0, c1, c2, c3, dx, x):
+        coeffs = [c0, c1, c2, c3]
+        shifted = shift_polynomial(coeffs, dx)
+        expected = polyval(coeffs, x + dx)
+        scale = max(1.0, max(abs(c) for c in coeffs)) * max(
+            1.0, abs(x) + abs(dx)
+        ) ** 3
+        assert abs(polyval(shifted, x) - expected) < 1e-9 * scale
+
+    def test_shift_zero_is_identity(self):
+        coeffs = [1.0, -2.0, 0.5, 0.25]
+        assert shift_polynomial(coeffs, 0.0) == coeffs

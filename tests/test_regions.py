@@ -1,0 +1,109 @@
+"""Piecewise charge-curve container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.pwl.regions import PiecewiseCharge
+
+
+@pytest.fixture
+def simple_curve():
+    """Hand-built C1 curve: quadratic (x+1)^2 for x <= 0... actually:
+    regions: linear for x <= -1, quadratic on (-1, 0], zero above 0.
+    Quadratic q(x) = x^2 (value 0, slope 0 at x = 0); linear continues
+    value 1, slope -2 at x = -1: l(x) = 1 - 2(x+1)."""
+    return PiecewiseCharge(
+        breakpoints=(-1.0, 0.0),
+        coefficients=((-1.0, -2.0), (0.0, 0.0, 1.0), (0.0,)),
+    )
+
+
+class TestEvaluation:
+    def test_region_index(self, simple_curve):
+        assert simple_curve.region_index(-2.0) == 0
+        assert simple_curve.region_index(-1.0) == 0  # right-closed
+        assert simple_curve.region_index(-0.5) == 1
+        assert simple_curve.region_index(0.5) == 2
+
+    def test_values(self, simple_curve):
+        assert simple_curve.value(-0.5) == pytest.approx(0.25)
+        assert simple_curve.value(-2.0) == pytest.approx(3.0)
+        assert simple_curve.value(1.0) == 0.0
+
+    def test_vectorised_matches_scalar(self, simple_curve):
+        x = np.linspace(-3.0, 1.0, 41)
+        vec = simple_curve.value(x)
+        scalars = [simple_curve.value(float(v)) for v in x]
+        np.testing.assert_allclose(vec, scalars, rtol=1e-14)
+
+    def test_derivative(self, simple_curve):
+        assert simple_curve.derivative(-0.5) == pytest.approx(-1.0)
+        assert simple_curve.derivative(-2.0) == pytest.approx(-2.0)
+        assert simple_curve.derivative(0.5) == 0.0
+
+    def test_derivative_vectorised(self, simple_curve):
+        x = np.array([-2.0, -0.5, 0.5])
+        np.testing.assert_allclose(
+            simple_curve.derivative(x), [-2.0, -1.0, 0.0], atol=1e-14
+        )
+
+
+class TestContinuity:
+    def test_c1_curve_has_no_defects(self, simple_curve):
+        for dv, ds in simple_curve.continuity_defects():
+            assert dv < 1e-14
+            assert ds < 1e-14
+
+    def test_detects_value_jump(self):
+        broken = PiecewiseCharge(
+            breakpoints=(0.0,), coefficients=((1.0,), (0.0,)),
+        )
+        dv, _ds = broken.continuity_defects()[0]
+        assert dv == pytest.approx(1.0)
+
+
+class TestShift:
+    def test_shifted_value_identity(self, simple_curve):
+        shifted = simple_curve.shifted(0.3)
+        x = np.linspace(-3.0, 1.0, 17)
+        np.testing.assert_allclose(
+            shifted.value(x), simple_curve.value(x + 0.3), rtol=1e-12,
+            atol=1e-15,
+        )
+
+    def test_shifted_breakpoints_move_opposite(self, simple_curve):
+        shifted = simple_curve.shifted(0.3)
+        np.testing.assert_allclose(
+            shifted.breakpoints, [-1.3, -0.3], rtol=1e-12
+        )
+
+    def test_double_shift_roundtrip(self, simple_curve):
+        back = simple_curve.shifted(0.4).shifted(-0.4)
+        x = np.linspace(-2.0, 1.0, 9)
+        np.testing.assert_allclose(
+            back.value(x), simple_curve.value(x), rtol=1e-12, atol=1e-16
+        )
+
+
+class TestValidation:
+    def test_breakpoints_must_ascend(self):
+        with pytest.raises(ParameterError):
+            PiecewiseCharge((1.0, 0.0), ((0.0,), (0.0,), (0.0,)))
+
+    def test_region_count(self):
+        with pytest.raises(ParameterError):
+            PiecewiseCharge((0.0,), ((0.0,),))
+
+    def test_coefficient_arity(self):
+        with pytest.raises(ParameterError):
+            PiecewiseCharge((0.0,), ((), (0.0,)))
+        with pytest.raises(ParameterError):
+            PiecewiseCharge((0.0,), ((1, 2, 3, 4, 5), (0.0,)))
+
+    def test_max_order(self, simple_curve):
+        assert simple_curve.max_order == 2
+
+    def test_describe_mentions_regions(self, simple_curve):
+        text = simple_curve.describe()
+        assert "region 0" in text and "region 2" in text

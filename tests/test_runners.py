@@ -1,0 +1,61 @@
+"""Experiment runners: light smoke coverage (full runs live in
+benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runners import (
+    build_models,
+    run_fig2_3,
+    run_table1,
+)
+from repro.experiments.workloads import (
+    default_device_parameters,
+    javey_device_parameters,
+)
+
+
+class TestBuildModels:
+    def test_cache_returns_same_objects(self):
+        a = build_models(default_device_parameters())
+        b = build_models(default_device_parameters())
+        assert a[0] is b[0] and a[2] is b[2]
+
+    def test_distinct_configurations_not_shared(self):
+        a = build_models(default_device_parameters())
+        b = build_models(default_device_parameters(temperature_k=150.0))
+        assert a[0] is not b[0]
+
+    def test_javey_device_is_backgate(self):
+        params = javey_device_parameters()
+        assert params.gate_geometry == "backgate"
+        assert params.diameter_nm == pytest.approx(1.6)
+
+
+class TestTable1Runner:
+    def test_timing_rows_positive_and_ordered(self):
+        result = run_table1(loops=(1, 2))
+        assert all(t > 0 for t in result.fettoy_s)
+        assert all(t > 0 for t in result.model1_s)
+        assert result.speedup_model1 > 1.0
+        assert result.speedup_model2 > 1.0
+
+    def test_render_contains_paper_reference(self):
+        result = run_table1(loops=(1,))
+        text = result.render()
+        assert "Table I" in text
+        assert "speed-up" in text
+
+
+class TestChargeFigureRunner:
+    def test_axes_match_paper_windows(self):
+        r2 = run_fig2_3("model1")
+        assert r2.vsc_axis[0] == pytest.approx(-0.5)
+        assert r2.vsc_axis[-1] == pytest.approx(0.0)
+        r3 = run_fig2_3("model2")
+        assert r3.vsc_axis[0] == pytest.approx(-0.8)
+
+    def test_render_reports_rms(self):
+        text = run_fig2_3("model2").render()
+        assert "charge-fit RMS" in text
+        assert "QS theory" in text

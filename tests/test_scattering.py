@@ -1,0 +1,58 @@
+"""Non-ballistic transmission extension."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.physics.scattering import (
+    MeanFreePathModel,
+    quasi_ballistic_factor,
+    transmission,
+)
+
+
+def test_ballistic_limit():
+    assert transmission(0.0, 300.0) == 1.0
+
+
+def test_half_transmission_at_mfp():
+    assert transmission(300.0, 300.0) == pytest.approx(0.5)
+
+
+def test_long_channel_limit():
+    assert transmission(3e6, 300.0) < 1e-3
+
+
+def test_transmission_validation():
+    with pytest.raises(ParameterError):
+        transmission(-1.0, 300.0)
+    with pytest.raises(ParameterError):
+        transmission(100.0, 0.0)
+
+
+def test_mfp_scales_inverse_temperature():
+    model = MeanFreePathModel(300.0)
+    assert model.mean_free_path_nm(150.0) == pytest.approx(600.0)
+    assert model.mean_free_path_nm(600.0) == pytest.approx(150.0)
+
+
+def test_mfp_validation():
+    with pytest.raises(ParameterError):
+        MeanFreePathModel(0.0)
+    with pytest.raises(ParameterError):
+        MeanFreePathModel(300.0).mean_free_path_nm(-1.0)
+
+
+def test_quasi_ballistic_factor_default_model():
+    t = quasi_ballistic_factor(100.0, 300.0)
+    assert t == pytest.approx(300.0 / 400.0)
+
+
+def test_transmission_scales_reference_current():
+    """The FETToy parameter hook: IDS scales linearly with transmission."""
+    from repro.reference.fettoy import FETToyModel, FETToyParameters
+
+    full = FETToyModel(FETToyParameters())
+    half = FETToyModel(FETToyParameters(transmission=0.5))
+    assert half.ids(0.5, 0.5) == pytest.approx(
+        0.5 * full.ids(0.5, 0.5), rel=1e-9
+    )

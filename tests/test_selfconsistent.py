@@ -1,0 +1,90 @@
+"""Closed-form VSC solver vs the reference Newton solver.
+
+The central correctness property of the paper: solving the piecewise
+equation in closed form must agree with iterating the *same* piecewise
+equation numerically — and with the full theory to within the fit error.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.pwl.model2 import build_model2
+from repro.pwl.selfconsistent import ClosedFormSolver
+from repro.reference.solver import brent
+
+
+@pytest.fixture(scope="module")
+def solver(ref300):
+    fitted = build_model2(ref300.charge, optimize_boundaries=True)
+    return ClosedFormSolver(fitted.curve, ref300.capacitances)
+
+
+class TestResidual:
+    def test_residual_zero_at_solution(self, solver):
+        vsc = solver.solve(0.5, 0.4)
+        assert abs(solver.residual(vsc, 0.5, 0.4)) < 1e-10
+
+    def test_residual_monotone(self, solver):
+        v = np.linspace(-0.8, 0.2, 60)
+        g = [solver.residual(x, 0.5, 0.4) for x in v]
+        assert all(b >= a - 1e-12 for a, b in zip(g, g[1:]))
+
+
+class TestClosedFormAgainstBrent:
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.8),
+           st.floats(min_value=0.0, max_value=0.8))
+    def test_matches_numerical_root_of_same_equation(self, solver, vg, vd):
+        """Property: closed form == Brent on the identical residual."""
+        closed = solver.solve(vg, vd)
+        root, _ = brent(lambda v: solver.residual(v, vg, vd),
+                        closed - 0.5, closed + 0.5)
+        assert closed == pytest.approx(root, abs=1e-8)
+
+    def test_zero_bias(self, solver):
+        assert solver.solve(0.0, 0.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_negative_gate_lands_in_tail_region(self, solver):
+        """Strong negative gate: both charges sit in the constant tail,
+        where the equation is exactly linear."""
+        vsc = solver.solve(-0.5, 0.1)
+        assert vsc > 0.2
+
+    def test_strong_overdrive_lands_in_linear_region(self, solver):
+        vsc = solver.solve(1.5, 0.1)
+        assert vsc < solver.qs_curve.breakpoints[0]
+
+
+class TestAgainstFullTheory:
+    @pytest.mark.parametrize("vg", [0.2, 0.4, 0.6])
+    @pytest.mark.parametrize("vd", [0.05, 0.3, 0.6])
+    def test_vsc_close_to_reference(self, solver, ref300, vg, vd):
+        v_closed = solver.solve(vg, vd)
+        v_ref = ref300.solve_vsc(vg, vd)
+        assert v_closed == pytest.approx(v_ref, abs=0.01)
+
+
+class TestCaching:
+    def test_vds_cache_consistency(self, solver):
+        # First call populates; second must return the identical value.
+        a = solver.solve(0.45, 0.37)
+        b = solver.solve(0.45, 0.37)
+        assert a == b
+
+    def test_cache_does_not_leak_across_vds(self, solver):
+        v1 = solver.solve(0.45, 0.10)
+        v2 = solver.solve(0.45, 0.60)
+        assert v1 != v2
+
+
+class TestValidation:
+    def test_rejects_zero_csum(self, ref300):
+        fitted = build_model2(ref300.charge)
+
+        class FakeCaps:
+            csum = 0.0
+
+        with pytest.raises((ParameterError, AttributeError)):
+            ClosedFormSolver(fitted.curve, FakeCaps())

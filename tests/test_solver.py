@@ -1,0 +1,128 @@
+"""Scalar root solvers, including the bracket-tightening regression."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConvergenceError, ParameterError
+from repro.reference.solver import (
+    bisection,
+    brent,
+    expand_bracket,
+    newton_raphson,
+)
+
+
+def test_newton_quadratic():
+    root, iters = newton_raphson(lambda x: x * x - 2.0,
+                                 lambda x: 2.0 * x, 1.0)
+    assert root == pytest.approx(math.sqrt(2.0), rel=1e-12)
+    assert iters < 10
+
+
+def test_newton_with_bracket():
+    root, _ = newton_raphson(
+        lambda x: math.tanh(x) - 0.5, lambda x: 1.0 / math.cosh(x) ** 2,
+        5.0, bracket=(-10.0, 10.0),
+    )
+    assert root == pytest.approx(math.atanh(0.5), rel=1e-10)
+
+
+def test_newton_bracket_tightening_regression():
+    """A Newton step leaving the bracket must still make progress.
+
+    Regression for the bug where the bisection fallback returned the
+    unchanged midpoint and falsely reported convergence (caught against
+    the reference model's VSC solve at low VDS).
+    """
+    # Steep-then-flat residual: Newton from the flat side overshoots.
+    def f(x):
+        return x**3 - x - 2.0
+
+    def df(x):
+        return 3.0 * x**2 - 1.0
+
+    # Start at the midpoint of a wide bracket where the first Newton
+    # step exits it.
+    root, _ = newton_raphson(f, df, 0.0, bracket=(-3.0, 3.0))
+    assert f(root) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_newton_rejects_bad_bracket():
+    with pytest.raises(ParameterError):
+        newton_raphson(lambda x: x + 10.0, lambda x: 1.0, 0.0,
+                       bracket=(1.0, 2.0))
+
+
+def test_newton_zero_derivative_without_bracket():
+    with pytest.raises(ConvergenceError):
+        newton_raphson(lambda x: x * x + 1.0, lambda x: 0.0, 0.0,
+                       max_iter=5)
+
+
+def test_newton_max_iter_exhaustion():
+    with pytest.raises(ConvergenceError) as info:
+        newton_raphson(lambda x: math.exp(x), lambda x: math.exp(x),
+                       0.0, max_iter=3)
+    assert info.value.iterations == 3
+
+
+def test_bisection_simple():
+    root, _ = bisection(lambda x: x - 0.3, 0.0, 1.0)
+    assert root == pytest.approx(0.3, abs=1e-10)
+
+
+def test_bisection_endpoint_root():
+    root, iters = bisection(lambda x: x, 0.0, 1.0)
+    assert root == 0.0 and iters == 0
+
+
+def test_bisection_no_sign_change():
+    with pytest.raises(ParameterError):
+        bisection(lambda x: x * x + 1.0, -1.0, 1.0)
+
+
+def test_brent_polynomial():
+    root, _ = brent(lambda x: (x - 1.5) * (x + 4.0), 0.0, 3.0)
+    assert root == pytest.approx(1.5, abs=1e-10)
+
+
+def test_brent_transcendental():
+    root, _ = brent(lambda x: math.cos(x) - x, 0.0, 1.0)
+    assert root == pytest.approx(0.7390851332, abs=1e-8)
+
+
+def test_brent_rejects_bad_interval():
+    with pytest.raises(ParameterError):
+        brent(lambda x: x * x + 1.0, -1.0, 1.0)
+
+
+@given(st.floats(min_value=-100.0, max_value=100.0),
+       st.floats(min_value=0.1, max_value=10.0))
+def test_brent_finds_known_root(root_target, scale):
+    def f(x):
+        return scale * (x - root_target)
+
+    found, _ = brent(f, root_target - 7.3, root_target + 11.1)
+    assert found == pytest.approx(root_target, abs=1e-7)
+
+
+@given(st.floats(min_value=-50.0, max_value=50.0))
+def test_expand_bracket_monotone(shift):
+    def f(x):
+        return math.tanh(x - shift) + 0.3 * (x - shift)
+
+    lo, hi = expand_bracket(f, 0.0)
+    if lo != hi:
+        assert f(lo) * f(hi) < 0.0
+
+
+def test_expand_bracket_failure():
+    with pytest.raises(ConvergenceError):
+        expand_bracket(lambda x: 1.0, 0.0, max_expansions=5)
+
+
+def test_newton_invalid_max_iter():
+    with pytest.raises(ParameterError):
+        newton_raphson(lambda x: x, lambda x: 1.0, 0.0, max_iter=0)

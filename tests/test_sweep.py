@@ -1,0 +1,77 @@
+"""IV sweep drivers and containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.reference.sweep import (
+    IVFamily,
+    linspace_sweep,
+    sweep_iv_family,
+    sweep_transfer,
+)
+
+
+class StubModel:
+    """ids = vg * vd, enough to check plumbing."""
+
+    def ids(self, vg, vd, vs=0.0):
+        return vg * vd
+
+
+class TestSweepDrivers:
+    def test_family_values(self):
+        fam = sweep_iv_family(StubModel(), [1.0, 2.0], [0.5, 1.0])
+        np.testing.assert_allclose(fam.ids, [[0.5, 1.0], [1.0, 2.0]])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ParameterError):
+            sweep_iv_family(StubModel(), [], [1.0])
+
+    def test_transfer(self):
+        out = sweep_transfer(StubModel(), [1.0, 2.0, 3.0], vd=2.0)
+        np.testing.assert_allclose(out, [2.0, 4.0, 6.0])
+
+    def test_linspace_sweep(self):
+        values = linspace_sweep(0.0, 0.6, 13)
+        assert len(values) == 13
+        assert values[0] == 0.0 and values[-1] == pytest.approx(0.6)
+        with pytest.raises(ParameterError):
+            linspace_sweep(0.0, 1.0, 1)
+
+
+class TestIVFamily:
+    def test_shape_validation(self):
+        with pytest.raises(ParameterError):
+            IVFamily(np.array([1.0]), np.array([1.0, 2.0]),
+                     np.zeros((2, 2)))
+
+    def test_curve_selects_nearest_vg(self):
+        fam = sweep_iv_family(StubModel(), [0.3, 0.6], [1.0])
+        np.testing.assert_allclose(fam.curve(0.58), [0.6])
+
+    def test_max_current(self):
+        fam = sweep_iv_family(StubModel(), [1.0, 2.0], [3.0])
+        assert fam.max_current == 6.0
+
+    def test_csv_roundtrip(self):
+        fam = sweep_iv_family(StubModel(), [0.3, 0.6], [0.1, 0.2],
+                              label="stub")
+        text = fam.to_csv()
+        loaded = IVFamily.from_csv(text, label="stub")
+        np.testing.assert_allclose(loaded.ids, fam.ids)
+        np.testing.assert_allclose(loaded.vg_values, fam.vg_values)
+
+    def test_csv_header_required(self):
+        with pytest.raises(ParameterError):
+            IVFamily.from_csv("x,y,z\n1,2,3\n")
+
+    def test_csv_rectangularity_check(self):
+        text = "vg,vds,ids\n0.3,0.1,1e-6\n0.6,0.2,2e-6\n"
+        with pytest.raises(ParameterError):
+            IVFamily.from_csv(text)
+
+    def test_real_device_family(self, device_m2):
+        fam = sweep_iv_family(device_m2, [0.4, 0.6], [0.0, 0.3],
+                              label="m2")
+        assert fam.ids[1, 1] > fam.ids[0, 1] > 0.0

@@ -1,0 +1,103 @@
+"""Pre-fitted coefficient library over the (T, EF) grid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.pwl.device import CNFET
+from repro.pwl.tables import PrefittedLibrary
+from repro.reference.fettoy import FETToyModel, FETToyParameters
+
+
+@pytest.fixture(scope="module")
+def small_library():
+    """2x2 grid, unoptimised boundaries — fast to build, exact layout."""
+    return PrefittedLibrary(
+        temperatures_k=(200.0, 400.0),
+        fermi_levels_ev=(-0.4, -0.2),
+        optimize_boundaries=False,
+    )
+
+
+class TestBuild:
+    def test_grid_size(self, small_library):
+        assert len(small_library) == 4
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ParameterError):
+            PrefittedLibrary(temperatures_k=(300.0, 300.0), build=False)
+
+
+class TestNearest:
+    def test_nearest_exact_gridpoint(self, small_library):
+        fitted = small_library.nearest(200.0, -0.4)
+        assert fitted.temperature_k == 200.0
+        assert fitted.fermi_level_ev == -0.4
+
+    def test_nearest_snaps(self, small_library):
+        fitted = small_library.nearest(210.0, -0.39)
+        # Breakpoints re-anchored at the REQUESTED Fermi level.
+        rel = [b - fitted.fermi_level_ev for b in fitted.curve.breakpoints]
+        assert fitted.fermi_level_ev == -0.39
+        assert min(rel) < 0 < max(rel)
+
+    def test_nearest_device_usable(self, small_library):
+        fitted = small_library.nearest(200.0, -0.4)
+        device = CNFET(
+            FETToyParameters(temperature_k=200.0, fermi_level_ev=-0.4),
+            fitted=fitted,
+        )
+        reference = FETToyModel(
+            FETToyParameters(temperature_k=200.0, fermi_level_ev=-0.4)
+        )
+        # Unoptimised-boundary fits carry ~10% worst-case IDS error.
+        assert device.ids(0.5, 0.4) == pytest.approx(
+            reference.ids(0.5, 0.4), rel=0.20
+        )
+
+
+class TestInterpolation:
+    def test_midpoint_interpolation_usable(self, small_library):
+        fitted = small_library.interpolated(300.0, -0.3)
+        device = CNFET(
+            FETToyParameters(temperature_k=300.0, fermi_level_ev=-0.3),
+            fitted=fitted,
+        )
+        reference = FETToyModel(
+            FETToyParameters(temperature_k=300.0, fermi_level_ev=-0.3)
+        )
+        # Interpolation across 200 K / 0.2 eV cells is coarse; require
+        # the right magnitude and monotone behaviour rather than
+        # percent-level accuracy.
+        i_dev = device.ids(0.5, 0.4)
+        i_ref = reference.ids(0.5, 0.4)
+        assert i_dev == pytest.approx(i_ref, rel=0.5)
+        assert device.ids(0.6, 0.4) > i_dev
+
+    def test_corner_equals_grid_fit(self, small_library):
+        direct = small_library.nearest(200.0, -0.4)
+        interp = small_library.interpolated(200.0, -0.4)
+        x = np.linspace(-0.7, -0.1, 20)
+        np.testing.assert_allclose(
+            interp.curve.value(x), direct.curve.value(x), rtol=1e-9,
+            atol=1e-18,
+        )
+
+    def test_outside_grid_rejected(self, small_library):
+        with pytest.raises(ParameterError):
+            small_library.interpolated(100.0, -0.3)
+        with pytest.raises(ParameterError):
+            small_library.interpolated(300.0, -0.9)
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, small_library):
+        text = small_library.to_json()
+        loaded = PrefittedLibrary.from_json(text)
+        assert len(loaded) == len(small_library)
+        a = small_library.nearest(200.0, -0.4)
+        b = loaded.nearest(200.0, -0.4)
+        x = np.linspace(-0.7, -0.1, 10)
+        np.testing.assert_allclose(
+            a.curve.value(x), b.curve.value(x), rtol=1e-12, atol=1e-20
+        )

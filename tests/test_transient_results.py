@@ -1,0 +1,136 @@
+"""Transient integration and the Dataset measurement helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Inductor,
+    Resistor,
+    VoltageSource,
+    transient,
+)
+from repro.circuit.results import Dataset
+from repro.circuit.waveforms import DC, Pulse, Sine
+from repro.errors import AnalysisError, ParameterError
+
+
+def rc_circuit(tau_r=1000.0, tau_c=1e-12) -> Circuit:
+    c = Circuit("rc")
+    c.add(VoltageSource("v1", "in", "0",
+                        Pulse(0.0, 1.0, delay=0.0, rise=1e-15,
+                              width=1e-6, period=2e-6)))
+    c.add(Resistor("r1", "in", "out", tau_r))
+    c.add(Capacitor("c1", "out", "0", tau_c))
+    return c
+
+
+class TestTransientRC:
+    @pytest.mark.parametrize("method", ["be", "trap"])
+    def test_exponential_charge(self, method):
+        ds = transient(rc_circuit(), tstop=5e-9, dt=1e-11, method=method)
+        tau = 1e-9
+        for t_probe in (1e-9, 2e-9, 3e-9):
+            expected = 1.0 - math.exp(-t_probe / tau)
+            assert ds.at("v(out)", t_probe) == pytest.approx(
+                expected, abs=0.02
+            )
+
+    def test_trap_more_accurate_than_be(self):
+        tau = 1e-9
+        errs = {}
+        for method in ("be", "trap"):
+            ds = transient(rc_circuit(), tstop=3e-9, dt=5e-11,
+                           method=method)
+            expected = 1.0 - math.exp(-2e-9 / tau)
+            errs[method] = abs(ds.at("v(out)", 2e-9) - expected)
+        assert errs["trap"] < errs["be"]
+
+    def test_source_current_recorded(self):
+        ds = transient(rc_circuit(), tstop=1e-9, dt=1e-11)
+        assert "i(v1)" in ds
+        # Initial inrush ~ 1 V / 1 kOhm = 1 mA (sink convention).
+        assert abs(ds.current("v1")[1]) == pytest.approx(1e-3, rel=0.2)
+
+
+class TestTransientRL:
+    def test_rl_rise(self):
+        c = Circuit("rl")
+        c.add(VoltageSource("v1", "in", "0",
+                            Pulse(0.0, 1.0, rise=1e-15, width=1e-3,
+                                  period=2e-3)))
+        c.add(Resistor("r1", "in", "mid", 1000.0))
+        c.add(Inductor("l1", "mid", "0", 1e-6))
+        ds = transient(c, tstop=5e-9, dt=2e-11)
+        tau = 1e-6 / 1000.0  # L/R = 1 ns
+        i_expected = (1.0 / 1000.0) * (1.0 - math.exp(-2e-9 / tau))
+        v_mid = ds.at("v(mid)", 2e-9)
+        # v_mid = V - i R
+        i_actual = (1.0 - v_mid) / 1000.0
+        assert i_actual == pytest.approx(i_expected, rel=0.10)
+
+
+class TestTransientSine:
+    def test_amplitude_preserved_through_follower(self):
+        c = Circuit("sine")
+        c.add(VoltageSource("v1", "in", "0", Sine(0.0, 0.5, 1e9)))
+        c.add(Resistor("r1", "in", "0", 1000.0))
+        ds = transient(c, tstop=2e-9, dt=1e-11)
+        assert ds.swing("v(in)") == pytest.approx(1.0, rel=0.02)
+
+
+class TestValidation:
+    def test_bad_arguments(self):
+        c = rc_circuit()
+        with pytest.raises(ParameterError):
+            transient(c, tstop=0.0, dt=1e-12)
+        with pytest.raises(ParameterError):
+            transient(c, tstop=1e-9, dt=0.0)
+        with pytest.raises(ParameterError):
+            transient(c, tstop=1e-9, dt=1e-11, method="euler")
+
+    def test_x0_shape_checked(self):
+        c = rc_circuit()
+        with pytest.raises(ParameterError):
+            transient(c, tstop=1e-9, dt=1e-11, x0=np.zeros(99))
+
+
+class TestDataset:
+    def setup_method(self):
+        t = np.linspace(0.0, 1.0, 101)
+        self.ds = Dataset("time", t)
+        self.ds.add_trace("v(a)", np.sin(2 * np.pi * 2.0 * t))
+
+    def test_trace_lookup_case_insensitive(self):
+        assert self.ds.trace("V(A)") is not None
+
+    def test_missing_trace(self):
+        with pytest.raises(AnalysisError):
+            self.ds.trace("v(b)")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            self.ds.add_trace("bad", [1.0, 2.0])
+
+    def test_crossings_count(self):
+        ups = self.ds.crossings("v(a)", 0.0, rising=True)
+        downs = self.ds.crossings("v(a)", 0.0, rising=False)
+        assert len(ups) == 2
+        assert len(downs) == 2
+
+    def test_period_estimate(self):
+        period = self.ds.period_estimate("v(a)", 0.0)
+        assert period == pytest.approx(0.5, rel=0.02)
+
+    def test_period_estimate_needs_two_crossings(self):
+        flat = Dataset("time", [0.0, 1.0])
+        flat.add_trace("v(x)", [0.0, 0.0])
+        with pytest.raises(AnalysisError):
+            flat.period_estimate("v(x)", 0.5)
+
+    def test_swing_and_at(self):
+        assert self.ds.swing("v(a)") == pytest.approx(2.0, rel=0.01)
+        assert self.ds.at("v(a)", 0.125) == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,70 @@
+"""SPICE number parsing and SI formatting."""
+
+import pytest
+
+from repro.units import (
+    celsius_to_kelvin,
+    ev_to_joule,
+    format_si,
+    joule_to_ev,
+    parse_spice_number,
+)
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("1.5k", 1.5e3),
+    ("10u", 10e-6),
+    ("2meg", 2e6),
+    ("3m", 3e-3),
+    ("100n", 100e-9),
+    ("4p", 4e-12),
+    ("7f", 7e-15),
+    ("1t", 1e12),
+    ("2g", 2e9),
+    ("5", 5.0),
+    ("-2.5u", -2.5e-6),
+    ("1e-3", 1e-3),
+    ("1E3", 1e3),
+])
+def test_parse_suffixes(text, expected):
+    assert parse_spice_number(text) == pytest.approx(expected)
+
+
+def test_parse_unit_letters_after_suffix_ignored():
+    assert parse_spice_number("10uF") == pytest.approx(10e-6)
+    assert parse_spice_number("5kohm") == pytest.approx(5e3)
+
+
+def test_parse_bare_unit_is_not_a_suffix():
+    # 'v' is not a scale suffix; value passes through.
+    assert parse_spice_number("5v") == pytest.approx(5.0)
+
+
+def test_parse_mil():
+    assert parse_spice_number("2mil") == pytest.approx(2 * 25.4e-6)
+
+
+@pytest.mark.parametrize("bad", ["", "   ", "abc", "k1"])
+def test_parse_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        parse_spice_number(bad)
+
+
+def test_format_si_basic():
+    assert format_si(1.5e-9, "A") == "1.5 nA"
+    assert format_si(2.2e3, "Ohm") == "2.2 kOhm"
+
+
+def test_format_si_zero_and_nonfinite():
+    assert format_si(0.0, "V") == "0 V"
+    assert "inf" in format_si(float("inf"), "V")
+
+
+def test_energy_roundtrip():
+    assert joule_to_ev(ev_to_joule(1.234)) == pytest.approx(1.234)
+
+
+def test_celsius_conversion():
+    assert celsius_to_kelvin(26.85) == pytest.approx(300.0)
+    with pytest.raises(ValueError):
+        celsius_to_kelvin(-300.0)

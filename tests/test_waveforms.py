@@ -1,0 +1,95 @@
+"""Source waveforms (SPICE semantics)."""
+
+import pytest
+
+from repro.circuit.waveforms import DC, Pulse, PWLWaveform, Sine
+from repro.errors import ParameterError
+
+
+class TestDC:
+    def test_constant(self):
+        w = DC(1.5)
+        assert w.value(0.0) == 1.5
+        assert w.value(1e9) == 1.5
+        assert w.dc_value() == 1.5
+
+
+class TestPulse:
+    w = Pulse(0.0, 1.0, delay=1e-9, rise=1e-10, fall=2e-10,
+              width=1e-9, period=4e-9)
+
+    def test_before_delay(self):
+        assert self.w.value(0.5e-9) == 0.0
+
+    def test_mid_rise(self):
+        assert self.w.value(1e-9 + 0.5e-10) == pytest.approx(0.5)
+
+    def test_flat_top(self):
+        assert self.w.value(1e-9 + 1e-10 + 0.5e-9) == 1.0
+
+    def test_mid_fall(self):
+        t = 1e-9 + 1e-10 + 1e-9 + 1e-10
+        assert self.w.value(t) == pytest.approx(0.5)
+
+    def test_periodicity(self):
+        t = 1e-9 + 0.5e-10
+        assert self.w.value(t + 4e-9) == pytest.approx(self.w.value(t))
+
+    def test_dc_value_is_v1(self):
+        assert self.w.dc_value() == 0.0
+
+    def test_zero_rise_is_step(self):
+        w = Pulse(0.0, 1.0, rise=0.0, fall=0.0, width=1e-9, period=2e-9)
+        assert w.value(1e-15) == 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(rise=-1e-12), dict(period=0.0),
+        dict(rise=1e-9, width=1e-9, fall=1e-9, period=2e-9),
+    ])
+    def test_validation(self, kwargs):
+        base = dict(v1=0.0, v2=1.0)
+        base.update(kwargs)
+        with pytest.raises(ParameterError):
+            Pulse(**base)
+
+
+class TestSine:
+    def test_offset_before_delay(self):
+        w = Sine(0.5, 0.2, 1e6, delay=1e-6)
+        assert w.value(0.0) == 0.5
+
+    def test_quarter_period_peak(self):
+        w = Sine(0.0, 1.0, 1e6)
+        assert w.value(0.25e-6) == pytest.approx(1.0, abs=1e-9)
+
+    def test_damping(self):
+        w = Sine(0.0, 1.0, 1e6, damping=1e6)
+        assert abs(w.value(2.25e-6)) < 1.0 * 0.2
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Sine(0.0, 1.0, 0.0)
+
+
+class TestPWL:
+    w = PWLWaveform(((0.0, 0.0), (1e-9, 1.0), (2e-9, 0.5)))
+
+    def test_interpolation(self):
+        assert self.w.value(0.5e-9) == pytest.approx(0.5)
+        assert self.w.value(1.5e-9) == pytest.approx(0.75)
+
+    def test_clamping(self):
+        assert self.w.value(-1.0) == 0.0
+        assert self.w.value(10.0) == 0.5
+
+    def test_from_pairs(self):
+        w = PWLWaveform.from_pairs([0.0, 0.0, 1e-9, 1.0])
+        assert w.value(0.5e-9) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PWLWaveform(((0.0, 0.0),))
+        with pytest.raises(ParameterError):
+            PWLWaveform(((1.0, 0.0), (0.0, 1.0)))
+        with pytest.raises(ParameterError):
+            PWLWaveform.from_pairs([0.0, 1.0, 2.0])
