@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-report examples
+
+## tier-1 test suite (fast; what CI gates on)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## full paper-reproduction benchmark suite + perf snapshot.
+## Fails when the Table I speed-up assertions regress (pytest) or the
+## ISSUE 1 batch/transient floors regress (bench_report --check).
+bench:
+	$(PYTHON) -m pytest benchmarks -q \
+		--benchmark-json=.benchmarks/bench_latest.json
+	$(PYTHON) benchmarks/bench_report.py --name perf --check
+
+## refresh the committed BENCH_perf.json without the pass/fail gate
+bench-report:
+	$(PYTHON) benchmarks/bench_report.py --name perf
+
+examples:
+	$(PYTHON) examples/quickstart.py

@@ -17,6 +17,7 @@ A deliberately compact but real modified-nodal-analysis (MNA) simulator:
 
 from repro.circuit.ac import ac_analysis, decade_frequencies
 from repro.circuit.dc import dc_sweep, operating_point
+from repro.circuit.mna import NewtonOptions, TwoPhaseAssembler
 from repro.circuit.elements import (
     Capacitor,
     CNFETElement,
@@ -50,4 +51,6 @@ __all__ = [
     "Pulse",
     "Sine",
     "PWLWaveform",
+    "NewtonOptions",
+    "TwoPhaseAssembler",
 ]

@@ -10,7 +10,11 @@ from repro.circuit.elements.base import GROUND_NAMES, StampContext
 from repro.circuit.elements.cnfet import CNFETElement
 from repro.circuit.elements.resistor import Resistor
 from repro.circuit.elements.sources import CurrentSource, VoltageSource
-from repro.circuit.mna import NewtonOptions, robust_dc_solve
+from repro.circuit.mna import (
+    NewtonOptions,
+    TwoPhaseAssembler,
+    robust_dc_solve,
+)
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import Dataset
 from repro.circuit.waveforms import DC
@@ -75,11 +79,13 @@ def _reporting_context(circuit: Circuit, x: np.ndarray) -> StampContext:
 
 def operating_point(circuit: Circuit,
                     options: NewtonOptions = NewtonOptions(),
-                    x0: Optional[np.ndarray] = None) -> OperatingPoint:
+                    x0: Optional[np.ndarray] = None,
+                    assembler: Optional[TwoPhaseAssembler] = None
+                    ) -> OperatingPoint:
     """Solve the DC operating point (with fallbacks; see
     :func:`repro.circuit.mna.robust_dc_solve`)."""
     circuit.reset_state()
-    x = robust_dc_solve(circuit, x0, options)
+    x = robust_dc_solve(circuit, x0, options, assembler)
     return OperatingPoint(circuit, x)
 
 
@@ -109,10 +115,14 @@ def dc_sweep(circuit: Circuit, source_name: str, values: Sequence[float],
         for el in circuit.iter_elements(CNFETElement)
     }
     x_prev: Optional[np.ndarray] = None
+    # Shared buffers across the whole sweep (continuation reuses the
+    # previous solution *and* the previous allocations).
+    assembler = TwoPhaseAssembler(circuit)
     try:
         for value in values:
             source.waveform = DC(float(value))
-            op = operating_point(circuit, options, x0=x_prev)
+            op = operating_point(circuit, options, x0=x_prev,
+                                 assembler=assembler)
             x_prev = op.x
             for n in nodes:
                 voltages[n].append(op.voltage(n))

@@ -143,7 +143,10 @@ class Element:
 
     #: number of auxiliary (branch-current) unknowns
     n_aux: int = 0
-    #: True when the stamp depends on the current iterate
+    #: True when the stamp depends on the current iterate.  The
+    #: two-phase assembler relies on this flag: elements left at False
+    #: are stamped once per step (their ``stamp`` must not read
+    #: ``ctx.x``), nonlinear ones are re-stamped per Newton iteration.
     nonlinear: bool = False
 
     def __init__(self, name: str, nodes: Sequence[str]) -> None:

@@ -16,17 +16,23 @@ engine costs a handful of polynomial evaluations per device.
 
 Transient: terminal charges (gate / drain, with the source taking the
 balance so the three displacement currents sum to zero) are companion-
-modelled with numerical charge partials.
+modelled with *analytic* charge partials derived from the same
+implicit-function solve — one closed-form solve per Newton iteration
+covers current, small-signal and charge stamps (the previous-step
+charges are memoised per accepted step, since ``x_prev`` is frozen
+while a step iterates).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
+
+import numpy as np
 
 from repro.circuit.elements.base import Element, StampContext
 from repro.errors import ParameterError
-from repro.pwl.device import CNFET
+from repro.pwl.device import CNFET, _log1pexp_many
 from repro.reference.fettoy import FETToyModel
 
 
@@ -83,6 +89,19 @@ class _Backend:
     def evaluate(self, vgs: float, vds: float
                  ) -> Tuple[float, float, float, float]:
         """``(ids, gm, gds, vsc)`` at a source-referenced bias point."""
+        return self.evaluate_full(vgs, vds)[:4]
+
+    def evaluate_full(self, vgs: float, vds: float,
+                      with_charge: bool = False) -> Tuple[
+            float, float, float, float, float, float, float, float]:
+        """One solve, every stamp ingredient.
+
+        Returns ``(ids, gm, gds, vsc, dvsc_dvgs, dvsc_dvds, q_d, dq_d)``
+        where ``q_d = Q(VSC + VDS)`` is the mobile drain charge and
+        ``dq_d`` its derivative.  ``q_d`` is only evaluated when
+        ``with_charge`` (the transient companion stamps); DC iterations
+        skip that extra charge-curve evaluation and receive 0.0 there.
+        """
         vsc = self._solve(vgs, vds)
         kt = self.kt
         eta_s = (self.ef - vsc) / kt
@@ -99,7 +118,8 @@ class _Backend:
         dvsc_dvds = -(self.caps.cd - dq_d) / denominator
         gm = di_dvsc * dvsc_dvgs
         gds = di_dvds_direct + di_dvsc * dvsc_dvds
-        return ids, gm, gds, vsc
+        q_d = self._q(vsc + vds) if with_charge else 0.0
+        return ids, gm, gds, vsc, dvsc_dvgs, dvsc_dvds, q_d, dq_d
 
     def charges(self, vgs: float, vds: float,
                 length_m: float) -> Tuple[float, float, float]:
@@ -111,6 +131,22 @@ class _Backend:
         qg = length_m * caps.cg * (vgs + vsc)
         qd = length_m * (caps.cd * (vds + vsc) - self._q(vsc + vds))
         return qg, qd, -(qg + qd)
+
+    def ids_many(self, vgs: np.ndarray, vds: np.ndarray) -> np.ndarray:
+        """Vectorized drain currents (n-frame), for waveform post-
+        processing; mirrors :meth:`evaluate`'s current arithmetic."""
+        device = self.device
+        if isinstance(device, CNFET):
+            vsc = device.solver.solve_many(vgs, vds, 0.0)
+            eta_s = (self.ef - vsc) / self.kt
+            eta_d = eta_s - vds / self.kt
+            return self.pref * (
+                _log1pexp_many(eta_s) - _log1pexp_many(eta_d)
+            )
+        return np.asarray([
+            self.evaluate(float(g), float(d))[0]
+            for g, d in zip(vgs, vds)
+        ])
 
 
 class CNFETElement(Element):
@@ -151,7 +187,12 @@ class CNFETElement(Element):
         if polarity not in ("n", "p"):
             raise ParameterError(f"{name}: polarity must be 'n' or 'p'")
         self.polarity = polarity
-        self._charge_delta = 1e-4  # V, for numeric charge partials
+        #: memoised previous-step charges: (vgs_prev, vds_prev, charges)
+        self._prev_charges: Optional[Tuple[float, float, Tuple[
+            float, float, float]]] = None
+
+    def reset_state(self) -> None:
+        self._prev_charges = None
 
     # -- bias helpers ----------------------------------------------------
 
@@ -174,7 +215,9 @@ class CNFETElement(Element):
     def stamp(self, ctx: StampContext) -> None:
         d, g, s = self.nodes
         vgs, vds = self._bias(ctx)
-        ids, gm, gds, _vsc = self.backend.evaluate(vgs, vds)
+        tran = ctx.analysis == "tran" and ctx.dt is not None
+        full = self.backend.evaluate_full(vgs, vds, with_charge=tran)
+        ids, gm, gds = full[0], full[1], full[2]
         # Mirroring flips both the controlling voltages and the current
         # direction; the conductance signs are invariant (d(-I)/d(-V)).
         sign = 1.0 if self.polarity == "n" else -1.0
@@ -185,30 +228,48 @@ class CNFETElement(Element):
         ctx.add_conductance(g, s, ctx.gmin)
         residual = sign * ids - gm * sign * vgs - gds * sign * vds
         ctx.add_current(d, s, residual)
-        if ctx.analysis == "tran" and ctx.dt is not None:
-            self._stamp_charges(ctx)
+        if tran:
+            self._stamp_charges(ctx, vgs, vds, full)
 
-    def _stamp_charges(self, ctx: StampContext) -> None:
+    def _stamp_charges(self, ctx: StampContext, vgs: float, vds: float,
+                       full: Tuple) -> None:
+        """Charge companion stamps from the already-computed solve.
+
+        The charges and their partials come analytically from the
+        implicit-function derivatives ``dVSC/dVGS``, ``dVSC/dVDS`` (no
+        perturbed re-solves); the previous-step charges are memoised
+        because ``x_prev`` is constant across a step's Newton
+        iterations.
+        """
         d, g, s = self.nodes
-        vgs, vds = self._bias(ctx)
         sign = 1.0 if self.polarity == "n" else -1.0
-        delta = self._charge_delta
-        q0 = self.backend.charges(vgs, vds, self.length_m)
-        qg_p, qd_p, qs_p = self.backend.charges(vgs + delta, vds,
-                                                self.length_m)
-        qg_d, qd_d, qs_d = self.backend.charges(vgs, vds + delta,
-                                                self.length_m)
-        # Partials w.r.t. vgs / vds (n-frame).
-        dq_dvgs = [(qg_p - q0[0]) / delta, (qd_p - q0[1]) / delta,
-                   (qs_p - q0[2]) / delta]
-        dq_dvds = [(qg_d - q0[0]) / delta, (qd_d - q0[1]) / delta,
-                   (qs_d - q0[2]) / delta]
-        # Previous-step charges.
+        _ids, _gm, _gds, vsc, dvsc_g, dvsc_d, q_d, dq_d = full
+        length = self.length_m
+        caps = self.backend.caps
+        qg = length * caps.cg * (vgs + vsc)
+        qd = length * (caps.cd * (vds + vsc) - q_d)
+        q0 = (qg, qd, -(qg + qd))
+        # Analytic partials (n-frame): the mobile drain charge moves
+        # with Q'(VSC+VDS) times the inner-node sensitivity.
+        dg_gs = length * caps.cg * (1.0 + dvsc_g)
+        dg_ds = length * caps.cg * dvsc_d
+        dd_gs = length * dvsc_g * (caps.cd - dq_d)
+        dd_ds = length * (1.0 + dvsc_d) * (caps.cd - dq_d)
+        dq_dvgs = (dg_gs, dd_gs, -(dg_gs + dd_gs))
+        dq_dvds = (dg_ds, dd_ds, -(dg_ds + dd_ds))
+        # Previous-step charges (memoised per accepted step).
         vgs_prev = ctx.previous_voltage(g) - ctx.previous_voltage(s)
         vds_prev = ctx.previous_voltage(d) - ctx.previous_voltage(s)
         if self.polarity == "p":
             vgs_prev, vds_prev = -vgs_prev, -vds_prev
-        q_prev = self.backend.charges(vgs_prev, vds_prev, self.length_m)
+        memo = self._prev_charges
+        if memo is not None and memo[0] == vgs_prev \
+                and memo[1] == vds_prev:
+            q_prev = memo[2]
+        else:
+            q_prev = self.backend.charges(vgs_prev, vds_prev,
+                                          self.length_m)
+            self._prev_charges = (vgs_prev, vds_prev, q_prev)
         dt = ctx.dt
         terminals = (g, d, s)
         for t_idx, terminal in enumerate(terminals):

@@ -1,8 +1,20 @@
-"""MNA assembly and the damped Newton solver.
+"""MNA assembly (two-phase) and the damped Newton solver.
 
-``solve_system`` runs Newton-Raphson on the assembled companion system:
-each iteration re-stamps every element around the current iterate and
-solves the dense linear system.  Robustness aids, in escalation order:
+Assembly is split into two phases per Newton solve:
+
+* **static phase** — every linear element (``nonlinear = False``:
+  resistors, sources, capacitor/inductor companions) is stamped once
+  per step context into a preallocated static matrix/rhs pair.  These
+  stamps depend on ``(time, dt, x_prev, method, source_scale)`` but not
+  on the Newton iterate, so re-stamping them every iteration — as the
+  one-phase assembler did — is pure waste.
+* **dynamic phase** — each Newton iteration copies the static system
+  into preallocated work buffers and stamps only the nonlinear elements
+  (CNFETs, diodes) around the current iterate.
+
+:class:`TwoPhaseAssembler` owns the four buffers and can be reused
+across Newton solves and transient steps, eliminating the per-iteration
+matrix allocations as well.  Robustness aids, in escalation order:
 
 1. per-iteration voltage step damping (clipped to ``max_step`` volts);
 2. gmin stepping (decade sweep of the nonlinear shunt conductance);
@@ -49,7 +61,11 @@ def assemble(circuit: Circuit, x: np.ndarray, *, analysis: str = "dc",
              gmin: float = 1e-12, source_scale: float = 1.0
              ) -> StampContext:
     """Stamp every element around iterate ``x``; returns the context
-    whose ``matrix``/``rhs`` hold the companion system."""
+    whose ``matrix``/``rhs`` hold the companion system.
+
+    One-phase convenience used by the AC linearisation and tests; the
+    Newton loop goes through :class:`TwoPhaseAssembler` instead.
+    """
     n = circuit.dimension()
     ctx = StampContext(
         matrix=np.zeros((n, n)),
@@ -69,23 +85,105 @@ def assemble(circuit: Circuit, x: np.ndarray, *, analysis: str = "dc",
     return ctx
 
 
+class TwoPhaseAssembler:
+    """Preallocated two-phase assembly for one circuit.
+
+    Create once per analysis (or let :func:`newton_solve` make a
+    throwaway one), call :meth:`begin_step` whenever the step context —
+    ``(analysis, time, dt, x_prev, method, source_scale)`` — changes,
+    then :meth:`iterate` per Newton iteration.
+
+    Elements whose stamp reads the Newton iterate must declare
+    ``nonlinear = True`` (the documented contract of
+    :attr:`Element.nonlinear`); everything else is stamped once per
+    step.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        n = circuit.dimension()
+        self.n = n
+        self._static = [el for el in circuit.elements if not el.nonlinear]
+        self._dynamic = [el for el in circuit.elements if el.nonlinear]
+        self._static_matrix = np.zeros((n, n))
+        self._static_rhs = np.zeros(n)
+        self._matrix = np.zeros((n, n))
+        self._rhs = np.zeros(n)
+        self._x_static = np.zeros(n)  # placeholder iterate for phase 1
+        self._ctx: Optional[StampContext] = None
+
+    def begin_step(self, *, analysis: str = "dc",
+                   time: Optional[float] = None, dt: Optional[float] = None,
+                   x_prev: Optional[np.ndarray] = None, method: str = "be",
+                   gmin: float = 1e-12,
+                   source_scale: float = 1.0) -> None:
+        """Stamp the static (iterate-independent) part of the system."""
+        ctx = StampContext(
+            matrix=self._static_matrix,
+            rhs=self._static_rhs,
+            node_index=self.circuit.node_index,
+            x=self._x_static,  # placeholder; static stamps never read x
+            analysis=analysis,
+            time=time,
+            dt=dt,
+            x_prev=x_prev,
+            method=method,
+            gmin=gmin,
+            source_scale=source_scale,
+        )
+        self._static_matrix[:] = 0.0
+        self._static_rhs[:] = 0.0
+        for el in self._static:
+            el.stamp(ctx)
+        self._ctx = ctx
+
+    def iterate(self, x: np.ndarray) -> StampContext:
+        """Companion system around iterate ``x``: static copy plus
+        nonlinear stamps."""
+        ctx = self._ctx
+        if ctx is None:
+            raise AnalysisError("begin_step must be called before iterate")
+        np.copyto(self._matrix, self._static_matrix)
+        np.copyto(self._rhs, self._static_rhs)
+        ctx.matrix = self._matrix
+        ctx.rhs = self._rhs
+        ctx.x = x
+        for el in self._dynamic:
+            el.stamp(ctx)
+        return ctx
+
+
 def newton_solve(circuit: Circuit, x0: np.ndarray,
                  options: NewtonOptions = NewtonOptions(), *,
                  analysis: str = "dc", time: Optional[float] = None,
                  dt: Optional[float] = None,
                  x_prev: Optional[np.ndarray] = None, method: str = "be",
                  gmin: Optional[float] = None,
-                 source_scale: float = 1.0) -> np.ndarray:
-    """Damped Newton iteration; raises :class:`AnalysisError` on failure."""
+                 source_scale: float = 1.0,
+                 assembler: Optional[TwoPhaseAssembler] = None,
+                 stats: Optional[dict] = None) -> np.ndarray:
+    """Damped Newton iteration; raises :class:`AnalysisError` on failure.
+
+    Pass a reusable ``assembler`` (transient does, once per analysis) to
+    amortise buffer allocation across steps.  When a ``stats`` dict is
+    supplied, ``"iterations"`` and ``"solves"`` counters are accumulated
+    into it (the benchmark report reads them).
+    """
     x = x0.copy()
     n_nodes = len(circuit.node_index)
     use_gmin = options.gmin if gmin is None else gmin
+    if assembler is None:
+        assembler = TwoPhaseAssembler(circuit)
+    assembler.begin_step(
+        analysis=analysis, time=time, dt=dt, x_prev=x_prev, method=method,
+        gmin=use_gmin, source_scale=source_scale,
+    )
+    if stats is not None:
+        stats["solves"] = stats.get("solves", 0) + 1
     for _ in range(options.max_iterations):
-        ctx = assemble(
-            circuit, x, analysis=analysis, time=time, dt=dt,
-            x_prev=x_prev, method=method, gmin=use_gmin,
-            source_scale=source_scale,
-        )
+        if stats is not None:
+            stats["iterations"] = stats.get("iterations", 0) + 1
+        ctx = assembler.iterate(x)
         try:
             x_new = np.linalg.solve(ctx.matrix, ctx.rhs)
         except np.linalg.LinAlgError as exc:
@@ -112,12 +210,17 @@ def newton_solve(circuit: Circuit, x0: np.ndarray,
 
 
 def robust_dc_solve(circuit: Circuit, x0: Optional[np.ndarray] = None,
-                    options: NewtonOptions = NewtonOptions()) -> np.ndarray:
+                    options: NewtonOptions = NewtonOptions(),
+                    assembler: Optional[TwoPhaseAssembler] = None
+                    ) -> np.ndarray:
     """DC solve with gmin/source-stepping fallbacks."""
     n = circuit.dimension()
     x_start = np.zeros(n) if x0 is None else x0.copy()
+    if assembler is None:
+        assembler = TwoPhaseAssembler(circuit)
     try:
-        return newton_solve(circuit, x_start, options, analysis="dc")
+        return newton_solve(circuit, x_start, options, analysis="dc",
+                            assembler=assembler)
     except AnalysisError:
         pass
     if options.gmin_stepping:
@@ -126,9 +229,10 @@ def robust_dc_solve(circuit: Circuit, x0: Optional[np.ndarray] = None,
             for exponent in range(3, 13):
                 x = newton_solve(
                     circuit, x, options, analysis="dc",
-                    gmin=10.0 ** (-exponent),
+                    gmin=10.0 ** (-exponent), assembler=assembler,
                 )
-            return newton_solve(circuit, x, options, analysis="dc")
+            return newton_solve(circuit, x, options, analysis="dc",
+                                assembler=assembler)
         except AnalysisError:
             pass
     if options.source_stepping:
@@ -137,6 +241,7 @@ def robust_dc_solve(circuit: Circuit, x0: Optional[np.ndarray] = None,
             for scale in (0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0):
                 x = newton_solve(
                     circuit, x, options, analysis="dc", source_scale=scale,
+                    assembler=assembler,
                 )
             return x
         except AnalysisError:

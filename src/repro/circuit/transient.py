@@ -15,7 +15,12 @@ import numpy as np
 from repro.circuit.elements.base import StampContext
 from repro.circuit.elements.cnfet import CNFETElement
 from repro.circuit.elements.sources import VoltageSource
-from repro.circuit.mna import NewtonOptions, newton_solve, robust_dc_solve
+from repro.circuit.mna import (
+    NewtonOptions,
+    TwoPhaseAssembler,
+    newton_solve,
+    robust_dc_solve,
+)
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import Dataset
 from repro.errors import AnalysisError, ParameterError
@@ -30,6 +35,7 @@ def transient(
     record_currents: bool = True,
     x0: Optional[np.ndarray] = None,
     max_halvings: int = 8,
+    stats: Optional[dict] = None,
 ) -> Dataset:
     """Integrate the circuit from its DC operating point to ``tstop``.
 
@@ -75,13 +81,17 @@ def transient(
     t = 0.0
     current_dt = dt
     halvings = 0
+    # One assembler for the whole run: matrix/rhs buffers live across
+    # steps; only the static stamps are refreshed per step.
+    assembler = TwoPhaseAssembler(circuit)
     while t < tstop - 1e-15 * tstop:
         step = min(current_dt, tstop - t)
         t_next = t + step
         try:
             x_next = newton_solve(
                 circuit, x, options, analysis="tran", time=t_next,
-                dt=step, x_prev=x, method=method,
+                dt=step, x_prev=x, method=method, assembler=assembler,
+                stats=stats,
             )
         except AnalysisError:
             if halvings >= max_halvings:
@@ -104,6 +114,8 @@ def transient(
         x = x_next
         times.append(t)
         solutions.append(x.copy())
+        if stats is not None:
+            stats["steps"] = stats.get("steps", 0) + 1
         if halvings and current_dt < dt:
             current_dt = min(dt, current_dt * 2.0)
             halvings = max(0, halvings - 1)
@@ -115,15 +127,26 @@ def transient(
     if record_currents:
         for el in circuit.iter_elements(VoltageSource):
             dataset.add_trace(f"i({el.name})", data[:, el.aux_index])
+        # CNFET current traces in one vectorized post-pass per element
+        # (the per-row scalar re-evaluation used to rival the Newton
+        # loop itself on long runs).
+        node_index = circuit.node_index
+        zeros = np.zeros(data.shape[0])
+
+        def node_trace(node: str) -> np.ndarray:
+            idx = node_index.get(node, -1)
+            return data[:, idx] if idx >= 0 else zeros
+
         for el in circuit.iter_elements(CNFETElement):
-            series = []
-            for row in data:
-                ctx = StampContext(
-                    matrix=np.zeros((0, 0)), rhs=np.zeros(0),
-                    node_index=circuit.node_index, x=row, analysis="tran",
-                    time=None, dt=None, x_prev=None, method=method,
-                )
-                series.append(el.ids(ctx))
+            d_node, g_node, s_node = el.nodes
+            vs_col = node_trace(s_node)
+            vgs = node_trace(g_node) - vs_col
+            vds = node_trace(d_node) - vs_col
+            if el.polarity == "p":
+                vgs, vds = -vgs, -vds
+            series = el.backend.ids_many(vgs, vds)
+            if el.polarity == "p":
+                series = -series
             dataset.add_trace(f"i({el.name})", series)
     return dataset
 

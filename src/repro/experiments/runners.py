@@ -84,6 +84,8 @@ class Table1Result:
     fettoy_s: Tuple[float, ...]
     model1_s: Tuple[float, ...]
     model2_s: Tuple[float, ...]
+    #: bias points evaluated per family invocation (throughput metric)
+    points_per_family: int = 0
 
     @property
     def speedup_model1(self) -> float:
@@ -92,6 +94,12 @@ class Table1Result:
     @property
     def speedup_model2(self) -> float:
         return self.fettoy_s[-1] / self.model2_s[-1]
+
+    def points_per_second(self, model: str = "model2") -> float:
+        """Sustained bias-point throughput at the largest loop count."""
+        seconds = {"fettoy": self.fettoy_s, "model1": self.model1_s,
+                   "model2": self.model2_s}[model][-1]
+        return self.points_per_family * self.loops[-1] / seconds
 
     def render(self) -> str:
         rows = [
@@ -102,12 +110,21 @@ class Table1Result:
             ("Loops", "FETToy [s]", "Model 1 [s]", "Model 2 [s]"), rows,
             title="Table I — average CPU time (full IV family per loop)",
         )
+        throughput = ""
+        if self.points_per_family:
+            throughput = (
+                f"\nthroughput @ {self.loops[-1]} loops: "
+                f"Model 1 = {self.points_per_second('model1'):,.0f} pts/s, "
+                f"Model 2 = {self.points_per_second('model2'):,.0f} pts/s "
+                f"(batched evaluation path)"
+            )
         return (
             f"{table}\n"
             f"speed-up @ {self.loops[-1]} loops: "
             f"Model 1 = {self.speedup_model1:.0f}x, "
             f"Model 2 = {self.speedup_model2:.0f}x "
             f"(paper: ~3400x / ~1100x on a 2008 Pentium IV + MATLAB)"
+            f"{throughput}"
         )
 
 
@@ -137,7 +154,8 @@ def run_table1(loops: Sequence[int] = TABLE1_LOOPS,
         model1_s.append(time_model(model1, n))
         model2_s.append(time_model(model2, n))
     return Table1Result(tuple(loops), tuple(fettoy_s), tuple(model1_s),
-                        tuple(model2_s))
+                        tuple(model2_s),
+                        points_per_family=len(vg_values) * len(vd_values))
 
 
 # ----------------------------------------------------------------------

@@ -147,15 +147,44 @@ class CNFET:
 
     def iv_family(self, vg_values: Sequence[float],
                   vd_values: Sequence[float]) -> np.ndarray:
-        """Drain-current family ``IDS[i_vg, i_vd]`` [A]."""
-        vg_arr = [float(v) for v in vg_values]
-        vd_arr = [float(v) for v in vd_values]
-        out = np.empty((len(vg_arr), len(vd_arr)))
-        ids = self.ids
-        for i, vg in enumerate(vg_arr):
-            for j, vd in enumerate(vd_arr):
-                out[i, j] = ids(vg, vd)
-        return out
+        """Drain-current family ``IDS[i_vg, i_vd]`` [A] — batched."""
+        vg_arr = np.asarray(vg_values, dtype=float)
+        vd_arr = np.asarray(vd_values, dtype=float)
+        return self.ids_batch(vg_arr[:, None], vd_arr[None, :])
+
+    # ------------------------------------------------------------------
+    # Batched evaluations (one numpy pass over arrays of bias points;
+    # per-lane arithmetic mirrors the scalar methods, so results agree
+    # with a loop of scalar calls to floating noise)
+    # ------------------------------------------------------------------
+
+    def vsc_batch(self, vg, vd, vs=0.0) -> np.ndarray:
+        """Batched :meth:`vsc`; inputs broadcast against each other."""
+        vg = np.asarray(vg, dtype=float)
+        vd = np.asarray(vd, dtype=float)
+        vs = np.asarray(vs, dtype=float)
+        if self.polarity == "p":
+            return -self.solver.solve_many(-(vg - vs), -(vd - vs), 0.0)
+        return self.solver.solve_many(vg - vs, vd - vs, 0.0)
+
+    def ids_batch(self, vg, vd, vs=0.0) -> np.ndarray:
+        """Batched :meth:`ids`; inputs broadcast against each other."""
+        vg = np.asarray(vg, dtype=float)
+        vd = np.asarray(vd, dtype=float)
+        vs = np.asarray(vs, dtype=float)
+        if self.polarity == "p":
+            return -self._ids_n_batch(-vg, -vd, -vs)
+        return self._ids_n_batch(vg, vd, vs)
+
+    def _ids_n_batch(self, vg, vd, vs) -> np.ndarray:
+        vds = vd - vs
+        vsc = self.solver.solve_many(vg - vs, vds, 0.0)
+        kt = self._kt
+        eta_s = (self._ef - vsc) / kt
+        eta_d = eta_s - vds / kt
+        return self._i_prefactor * (
+            _log1pexp_many(eta_s) - _log1pexp_many(eta_d)
+        )
 
     # ------------------------------------------------------------------
     # Small-signal parameters (central differences on the fast model)
@@ -173,6 +202,22 @@ class CNFET:
         """Output conductance ``dIDS/dVD`` [S]."""
         return (
             self.ids(vg, vd + delta, vs) - self.ids(vg, vd - delta, vs)
+        ) / (2.0 * delta)
+
+    def gm_batch(self, vg, vd, vs=0.0, delta: float = 1e-4) -> np.ndarray:
+        """Batched :meth:`gm` (same central difference)."""
+        vg = np.asarray(vg, dtype=float)
+        return (
+            self.ids_batch(vg + delta, vd, vs)
+            - self.ids_batch(vg - delta, vd, vs)
+        ) / (2.0 * delta)
+
+    def gds_batch(self, vg, vd, vs=0.0, delta: float = 1e-4) -> np.ndarray:
+        """Batched :meth:`gds` (same central difference)."""
+        vd = np.asarray(vd, dtype=float)
+        return (
+            self.ids_batch(vg, vd + delta, vs)
+            - self.ids_batch(vg, vd - delta, vs)
         ) / (2.0 * delta)
 
     # ------------------------------------------------------------------
@@ -206,6 +251,27 @@ class CNFET:
         qs = caps.cs * vsc - qs_mobile
         return sign * qg, sign * qd, sign * qs
 
+    def terminal_charges_batch(self, vg, vd, vs=0.0
+                               ) -> Tuple[np.ndarray, np.ndarray,
+                                          np.ndarray]:
+        """Batched :meth:`terminal_charges`; inputs broadcast."""
+        vg = np.asarray(vg, dtype=float)
+        vd = np.asarray(vd, dtype=float)
+        vs = np.asarray(vs, dtype=float)
+        sign = 1.0
+        if self.polarity == "p":
+            vg, vd, vs = -vg, -vd, -vs
+            sign = -1.0
+        vgs, vds = vg - vs, vd - vs
+        vsc = self.solver.solve_many(vgs, vds, 0.0)
+        caps = self.capacitances
+        qs_mobile = self.fitted.curve.value(vsc)
+        qd_mobile = self.fitted.curve.value(vsc + vds)
+        qg = caps.cg * (vgs + vsc)
+        qd = caps.cd * (vds + vsc) - qd_mobile
+        qs = caps.cs * vsc - qs_mobile
+        return sign * qg, sign * qd, sign * qs
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         p = self.params
         return (
@@ -222,3 +288,9 @@ def _log1pexp(x: float) -> float:
     if x < -35.0:
         return math.exp(x)
     return math.log1p(math.exp(x))
+
+
+def _log1pexp_many(x: np.ndarray) -> np.ndarray:
+    """Vectorized twin of :func:`_log1pexp` (same branch thresholds)."""
+    e = np.exp(np.minimum(x, 35.0))
+    return np.where(x > 35.0, x, np.where(x < -35.0, e, np.log1p(e)))

@@ -41,7 +41,10 @@ def _polish(coeffs: Sequence[float], root: float, steps: int = 2) -> float:
     the residual.  Near multiple roots a raw Newton step can blow up
     (residual and derivative both ~0 with a garbage quotient), which
     would *degrade* an already-exact closed-form root."""
-    dcoeffs = polyder(coeffs)
+    # Hand-rolled derivative of the (always length-4) cubic caller:
+    # value-identical to polyder but allocation-free on the hot path.
+    dcoeffs = (coeffs[1], 2 * coeffs[2], 3 * coeffs[3]) \
+        if len(coeffs) == 4 else polyder(coeffs)
     x = root
     fx = abs(polyval(coeffs, x))
     for _ in range(steps):
@@ -182,10 +185,11 @@ def real_roots(coeffs: Sequence[float]) -> List[float]:
         )
     while len(cs) < 4:
         cs.append(0.0)
-    scale = max(abs(c) for c in cs)
+    c0, c1, c2, c3 = cs
+    # max of four floats beats a generator expression on this hot path
+    scale = max(abs(c0), abs(c1), abs(c2), abs(c3))
     if scale == 0.0:
         return []
-    c0, c1, c2, c3 = cs
     if abs(c3) < _DEGREE_TOL * scale:
         c3 = 0.0
     if c3 == 0.0 and abs(c2) < _DEGREE_TOL * scale:

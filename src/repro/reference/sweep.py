@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass
-from typing import Iterable, Protocol, Sequence
+from typing import Iterable, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -95,16 +95,33 @@ def sweep_iv_family(
     vd_values: Iterable[float],
     vs: float = 0.0,
     label: str = "",
+    use_batch: Optional[bool] = None,
 ) -> IVFamily:
-    """Run a full output-characteristic family on any current model."""
+    """Run a full output-characteristic family on any current model.
+
+    Models exposing ``ids_batch`` (the piecewise :class:`repro.pwl.CNFET`)
+    are evaluated in one vectorized pass; anything else falls back to the
+    scalar point-by-point loop.  ``use_batch=False`` forces the scalar
+    loop (the benchmarks use it to measure the batch-path speed-up).
+    """
     vg_arr = np.asarray(list(vg_values), dtype=float)
     vd_arr = np.asarray(list(vd_values), dtype=float)
     if vg_arr.size == 0 or vd_arr.size == 0:
         raise ParameterError("sweep grids must be non-empty")
-    ids = np.empty((vg_arr.size, vd_arr.size))
-    for i, vg in enumerate(vg_arr):
-        for j, vd in enumerate(vd_arr):
-            ids[i, j] = model.ids(float(vg), float(vd), vs)
+    batch = getattr(model, "ids_batch", None) if use_batch is not False \
+        else None
+    if use_batch and batch is None:
+        raise ParameterError(
+            f"{type(model).__name__} has no ids_batch; cannot force the "
+            "batch path"
+        )
+    if batch is not None:
+        ids = np.asarray(batch(vg_arr[:, None], vd_arr[None, :], vs))
+    else:
+        ids = np.empty((vg_arr.size, vd_arr.size))
+        for i, vg in enumerate(vg_arr):
+            for j, vd in enumerate(vd_arr):
+                ids[i, j] = model.ids(float(vg), float(vd), vs)
     return IVFamily(vg_arr, vd_arr, ids, label=label)
 
 
@@ -113,10 +130,26 @@ def sweep_transfer(
     vg_values: Iterable[float],
     vd: float,
     vs: float = 0.0,
+    use_batch: Optional[bool] = None,
 ) -> np.ndarray:
-    """Transfer characteristic ``IDS(VG)`` at fixed drain bias."""
+    """Transfer characteristic ``IDS(VG)`` at fixed drain bias.
+
+    Batched for models exposing ``ids_batch`` (same ``use_batch``
+    semantics as :func:`sweep_iv_family`, including the error on
+    forcing the batch path for a scalar-only model).
+    """
+    vg_arr = np.asarray(list(vg_values), dtype=float)
+    batch = getattr(model, "ids_batch", None) if use_batch is not False \
+        else None
+    if use_batch and batch is None:
+        raise ParameterError(
+            f"{type(model).__name__} has no ids_batch; cannot force the "
+            "batch path"
+        )
+    if batch is not None:
+        return np.asarray(batch(vg_arr, vd, vs), dtype=float)
     return np.asarray(
-        [model.ids(float(vg), vd, vs) for vg in vg_values], dtype=float
+        [model.ids(float(vg), vd, vs) for vg in vg_arr], dtype=float
     )
 
 
