@@ -1,11 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-report examples
+.PHONY: test bench bench-report examples smoke
 
 ## tier-1 test suite (fast; what CI gates on)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## tiny end-to-end variability campaigns (CI smoke; <= 64 samples):
+## a seeded device-metric MC with TT/FF/SS corners, then the same run
+## again against the run directory to exercise resume, then a small
+## circuit-level (inverter VTC) campaign.
+smoke:
+	rm -rf .smoke-mc
+	$(PYTHON) -m repro mc --samples 64 --seed 7 --chunk-size 32 \
+		--run-dir .smoke-mc --corners
+	$(PYTHON) -m repro mc --samples 64 --seed 7 --chunk-size 32 \
+		--run-dir .smoke-mc --json > /dev/null
+	$(PYTHON) -m repro mc --samples 8 --seed 7 --workload inverter
+	rm -rf .smoke-mc
 
 ## full paper-reproduction benchmark suite + perf snapshot.
 ## Fails when the Table I speed-up assertions regress (pytest) or the

@@ -2,7 +2,9 @@
 """Dump a ``BENCH_<name>.json`` perf snapshot so the trajectory is
 tracked across PRs.
 
-Measures the two headline workloads of the perf overhaul (ISSUE 1):
+Measures the two headline workloads of the perf overhaul (ISSUE 1) and
+the Monte-Carlo campaign throughput of the variability subsystem
+(ISSUE 2):
 
 * **Fig. 6/7 IV families** — the batched ``iv_family`` path against the
   seed-style scalar loop (``model.ids`` point by point), same run, same
@@ -11,16 +13,21 @@ Measures the two headline workloads of the perf overhaul (ISSUE 1):
   iterations/step, and the number of closed-form solves consumed
   (machine-independent work metric; the seed engine spent ~5 scalar
   solves per CNFET per iteration plus one per CNFET per recorded row).
+* **MC device metrics** — a 2000-sample Ion/Ioff/Vth/gm campaign
+  through the grouped ``ids_batch`` fast path (cold: includes the
+  handful of shared fits; warm: fit cache populated) against the
+  seed-style naive loop (one freshly fitted device per sample, scalar
+  bias evaluation).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_report.py [--name NAME]
         [--check]
 
-``--check`` exits non-zero when the measured batch speed-up or the
-transient work reduction regress below the ISSUE 1 acceptance floors
-(the Table I speed-up assertions live in the pytest suite that `make
-bench` runs first).
+``--check`` exits non-zero when the measured batch speed-up, the
+transient work reduction, or the MC campaign throughput/speed-up
+regress below the ISSUE 1/2 acceptance floors (the Table I speed-up
+assertions live in the pytest suite that `make bench` runs first).
 """
 
 from __future__ import annotations
@@ -47,6 +54,11 @@ from repro.reference.sweep import sweep_iv_family
 #: acceptance floors from ISSUE 1
 FAMILY_SPEEDUP_FLOOR = 5.0
 TRANSIENT_WORK_REDUCTION_FLOOR = 1.5
+
+#: acceptance floors from ISSUE 2 (variability campaigns)
+MC_SAMPLES = 2000
+MC_SPEEDUP_FLOOR = 10.0          # campaign vs naive per-sample loop
+MC_SAMPLES_PER_S_FLOOR = 300.0   # cold-campaign device-metric throughput
 
 
 def _best_of(fn, repeats: int, inner: int) -> float:
@@ -160,6 +172,63 @@ def bench_ring_transient() -> dict:
     }
 
 
+def bench_mc_device() -> dict:
+    """2000-sample device-metric MC campaign vs the naive loop.
+
+    The naive baseline is measured on a subset: its cost is strictly
+    per-sample (every sample refits its own device — the pre-cache
+    construction behaviour — then walks the bias grid with scalar
+    ``ids`` calls), so the per-sample rate extrapolates without bias
+    and the benchmark stays under a minute.
+    """
+    from repro.pwl.device import clear_fit_cache, fit_cache_info
+    from repro.variability.campaign import DeviceMetricsEvaluator
+    from repro.variability.params import default_device_space
+    from repro.variability.sampling import monte_carlo
+
+    space = default_device_space()
+    samples = monte_carlo(space, MC_SAMPLES, seed=7)
+
+    clear_fit_cache()
+    evaluator = DeviceMetricsEvaluator(space)
+    start = time.perf_counter()
+    evaluator.evaluate(samples)
+    cold_s = time.perf_counter() - start
+    fits = fit_cache_info()["misses"]
+
+    warm_evaluator = DeviceMetricsEvaluator(space)
+    start = time.perf_counter()
+    warm_evaluator.evaluate(samples)
+    warm_s = time.perf_counter() - start
+
+    naive_n = 200
+    start = time.perf_counter()
+    evaluator.evaluate_naive(samples[:naive_n])
+    naive_per_sample_s = (time.perf_counter() - start) / naive_n
+    start = time.perf_counter()
+    evaluator.evaluate_naive(samples[:naive_n], use_fit_cache=True)
+    cached_scalar_per_sample_s = (time.perf_counter() - start) / naive_n
+
+    naive_total_s = naive_per_sample_s * MC_SAMPLES
+    return {
+        "workload": f"{MC_SAMPLES}-sample Ion/Ioff/Vth/gm campaign, "
+                    f"default device space",
+        "samples": MC_SAMPLES,
+        "fits": fits,
+        "distinct_devices": len(evaluator._memo),
+        "campaign_cold_s": cold_s,
+        "campaign_warm_s": warm_s,
+        "samples_per_s_cold": MC_SAMPLES / cold_s,
+        "samples_per_s_warm": MC_SAMPLES / warm_s,
+        "naive_per_sample_s": naive_per_sample_s,
+        "naive_projected_s": naive_total_s,
+        "naive_cached_scalar_per_sample_s": cached_scalar_per_sample_s,
+        "speedup_vs_naive": naive_total_s / cold_s,
+        "speedup_vs_cached_scalar":
+            cached_scalar_per_sample_s * MC_SAMPLES / warm_s,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--name", default="perf",
@@ -181,6 +250,7 @@ def main(argv=None) -> int:
         },
         "iv_family": bench_iv_family(),
         "transient_ring": bench_ring_transient(),
+        "mc_device": bench_mc_device(),
     }
 
     path = Path(args.out_dir) / f"BENCH_{args.name}.json"
@@ -196,6 +266,12 @@ def main(argv=None) -> int:
     print(f"  ring transient: {ring['wall_s']*1e3:.1f} ms, "
           f"{ring['iterations_per_step']:.2f} Newton iters/step, "
           f"work reduction {ring['work_reduction']:.2f}x")
+    mc = report["mc_device"]
+    print(f"  MC device metrics: {mc['samples_per_s_cold']:,.0f} "
+          f"samples/s cold ({mc['fits']} fits, "
+          f"{mc['distinct_devices']} devices), "
+          f"{mc['samples_per_s_warm']:,.0f} warm; "
+          f"{mc['speedup_vs_naive']:.1f}x vs naive loop")
 
     if args.check:
         failures = []
@@ -207,6 +283,14 @@ def main(argv=None) -> int:
             failures.append(
                 f"transient work reduction {ring['work_reduction']:.2f}x "
                 f"< {TRANSIENT_WORK_REDUCTION_FLOOR}x")
+        if mc["speedup_vs_naive"] < MC_SPEEDUP_FLOOR:
+            failures.append(
+                f"MC campaign speedup {mc['speedup_vs_naive']:.1f}x < "
+                f"{MC_SPEEDUP_FLOOR}x")
+        if mc["samples_per_s_cold"] < MC_SAMPLES_PER_S_FLOOR:
+            failures.append(
+                f"MC throughput {mc['samples_per_s_cold']:.0f} samples/s "
+                f"< {MC_SAMPLES_PER_S_FLOOR}")
         if failures:
             print("BENCH CHECK FAILED: " + "; ".join(failures))
             return 1

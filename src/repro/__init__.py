@@ -15,6 +15,10 @@ Public entry points
     SPICE-like MNA engine with a CNFET element.
 ``repro.experiments``
     Runners that regenerate every table and figure of the paper.
+``repro.variability``
+    Monte-Carlo campaign engine: parameter distributions, corner
+    presets, seeded samplers, resumable run tables and circuit-level
+    statistics (the ``mc`` CLI subcommand).
 """
 
 __version__ = "1.0.0"

@@ -7,11 +7,19 @@ Subcommands
 ``table``    regenerate a paper table (1, 2, 3, 4 or 5)
 ``figure``   regenerate a paper figure (2-11)
 ``codegen``  emit VHDL-AMS / Verilog-A / SPICE for a fitted device
+``mc``       run a variability Monte-Carlo campaign
+
+``iv``, ``table`` and ``mc`` accept ``--seed`` and ``--json`` so
+one-off runs and campaign runs are scriptable the same way (``--json``
+prints a machine-readable payload; the seed is echoed in it and, where
+an experiment is stochastic, drives its random stream).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 from typing import Optional, Sequence
 
@@ -28,6 +36,30 @@ def _device_arguments(parser: argparse.ArgumentParser) -> None:
                         default="coaxial")
     parser.add_argument("--model", choices=("model1", "model2", "reference"),
                         default="model2")
+
+
+def _script_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the scriptable subcommands (iv/table/mc)."""
+    parser.add_argument("--seed", type=int, default=None,
+                        help="seed for any stochastic ingredient "
+                             "(echoed in --json output)")
+    parser.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON payload")
+
+
+def _dump_json(payload) -> str:
+    """Strict RFC 8259 output: non-finite floats (failed runs report
+    NaN metrics) become ``null`` so any consumer can parse it."""
+    def sanitize(obj):
+        if isinstance(obj, float):
+            return obj if math.isfinite(obj) else None
+        if isinstance(obj, dict):
+            return {k: sanitize(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [sanitize(v) for v in obj]
+        return obj
+
+    return json.dumps(sanitize(payload), indent=1, allow_nan=False)
 
 
 def _build_device(args):
@@ -54,6 +86,16 @@ def _cmd_iv(args) -> int:
     vgs = np.arange(args.vg_start, args.vg_stop + 1e-9, args.vg_step)
     vds = np.linspace(0.0, args.vd_stop, args.vd_points)
     family = device.iv_family(vgs, vds)
+    if args.json:
+        print(_dump_json({
+            "command": "iv",
+            "model": args.model,
+            "seed": args.seed,
+            "vg": [float(v) for v in vgs],
+            "vds": [float(v) for v in vds],
+            "ids": family.tolist(),
+        }))
+        return 0
     rows = []
     for j, vd in enumerate(vds):
         rows.append([float(vd)] + [float(family[i, j])
@@ -79,14 +121,70 @@ def _cmd_fit(args) -> int:
 
 def _cmd_table(args) -> int:
     from repro.experiments import runners
+    from repro.experiments.report import jsonify
 
     if args.number == 1:
-        print(runners.run_table1().render())
+        result = runners.run_table1()
     elif args.number in (2, 3, 4):
         fermi = {2: -0.32, 3: -0.5, 4: 0.0}[args.number]
-        print(runners.run_rms_table(fermi).render())
+        result = runners.run_rms_table(fermi)
     else:
-        print(runners.run_table5().render())
+        # Table V compares against the synthetic measurement set, whose
+        # ripple is the one stochastic ingredient — the seed re-rolls it.
+        result = runners.run_table5(seed=args.seed)
+    if args.json:
+        print(_dump_json({"command": "table", "number": args.number,
+                          "seed": args.seed, "result": jsonify(result)}))
+    else:
+        print(result.render())
+    return 0
+
+
+def _cmd_mc(args) -> int:
+    from repro.experiments.report import ascii_table
+    from repro.experiments.workloads import variability_workload
+    from repro.variability.campaign import Campaign, CampaignConfig
+    from repro.variability.params import CORNERS, corner_sample
+
+    space, evaluator = variability_workload(
+        args.workload, sigma_scale=args.sigma_scale, vdd=args.vdd,
+        model=args.model, stages=args.stages, workers=args.workers,
+        metrics=args.metric,
+    )
+    config = CampaignConfig(
+        name=args.workload, n_samples=args.samples,
+        seed=0 if args.seed is None else args.seed,
+        sampler=args.sampler, chunk_size=args.chunk_size,
+    )
+    campaign = Campaign(config, space, evaluator, run_dir=args.run_dir)
+    result = campaign.run(resume=not args.no_resume)
+
+    corners = None
+    if args.corners:
+        corners = {}
+        for corner in sorted(CORNERS):
+            sample = corner_sample(space, corner)
+            corners[corner] = evaluator.evaluate([sample])[0]
+
+    if args.json:
+        payload = result.to_json_dict()
+        if corners is not None:
+            payload["corners"] = corners
+        print(_dump_json(payload))
+        return 0
+    print(result.render(histograms=args.histograms))
+    if corners is not None:
+        metric_names = result.metric_names
+        rows = [[corner] + [corners[corner].get(m, float("nan"))
+                            for m in metric_names]
+                for corner in sorted(corners)]
+        print()
+        print(ascii_table(["corner"] + metric_names, rows,
+                          title="Process corners"))
+    if result.run_dir:
+        print(f"\nrun directory: {result.run_dir} "
+              f"({result.resumed_chunks} chunks resumed, "
+              f"{result.computed_chunks} computed)")
     return 0
 
 
@@ -152,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_iv.add_argument("--vg-step", type=float, default=0.1)
     p_iv.add_argument("--vd-stop", type=float, default=0.6)
     p_iv.add_argument("--vd-points", type=int, default=13)
+    _script_arguments(p_iv)
     p_iv.set_defaults(func=_cmd_iv)
 
     p_fit = sub.add_parser("fit", help="fit and describe a model")
@@ -160,7 +259,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    _script_arguments(p_table)
     p_table.set_defaults(func=_cmd_table)
+
+    p_mc = sub.add_parser(
+        "mc", help="run a variability Monte-Carlo campaign")
+    p_mc.add_argument("--workload", default="device",
+                      choices=("device", "device-chirality", "inverter",
+                               "ringosc"))
+    p_mc.add_argument("--samples", type=int, default=256)
+    p_mc.add_argument("--sampler", choices=("mc", "lhs"), default="mc")
+    p_mc.add_argument("--chunk-size", type=int, default=256)
+    p_mc.add_argument("--run-dir", default=None,
+                      help="persist per-chunk records here (resumable)")
+    p_mc.add_argument("--no-resume", action="store_true",
+                      help="ignore existing chunks in --run-dir")
+    p_mc.add_argument("--metric", action="append",
+                      choices=("ion", "ioff", "vth", "gm",
+                               "ion_ioff_ratio"),
+                      help="restrict device metrics (repeatable)")
+    p_mc.add_argument("--sigma-scale", type=float, default=1.0,
+                      help="widen/narrow every knob spread at once")
+    p_mc.add_argument("--vdd", type=float, default=0.6)
+    p_mc.add_argument("--model", choices=("model1", "model2"),
+                      default="model2")
+    p_mc.add_argument("--stages", type=int, default=3,
+                      help="ring-oscillator stages (ringosc workload)")
+    p_mc.add_argument("--workers", type=int, default=1,
+                      help="multiprocessing pool size for circuit "
+                           "workloads")
+    p_mc.add_argument("--corners", action="store_true",
+                      help="also evaluate the TT/FF/SS corner devices")
+    p_mc.add_argument("--histograms", action="store_true",
+                      help="append per-metric ASCII histograms")
+    _script_arguments(p_mc)
+    p_mc.set_defaults(func=_cmd_mc)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, choices=tuple(range(2, 12)))
@@ -177,7 +310,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    from repro.errors import ReproError
+
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

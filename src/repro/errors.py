@@ -76,3 +76,8 @@ class AnalysisError(ReproError, RuntimeError):
 
 class CodegenError(ReproError, RuntimeError):
     """HDL code generation failed (unsupported model structure)."""
+
+
+class CampaignError(ReproError, RuntimeError):
+    """A variability campaign could not run or resume (corrupt run
+    directory, manifest/config mismatch, unknown workload)."""

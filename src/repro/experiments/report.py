@@ -1,7 +1,9 @@
-"""ASCII rendering of experiment results (tables and figure series)."""
+"""ASCII rendering of experiment results (tables and figure series),
+plus JSON conversion for scriptable CLI output."""
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, List, Sequence
 
 import numpy as np
@@ -53,6 +55,32 @@ def series_block(title: str, x_label: str, x: Sequence[float],
         rows.append([float(x_arr[i])]
                     + [float(np.asarray(v)[i]) for v in series.values()])
     return ascii_table(headers, rows, title=title)
+
+
+def jsonify(obj):
+    """Recursively convert a result object to JSON-able primitives.
+
+    Handles the experiment-result dataclasses (numpy arrays become
+    lists, tuple dict keys become ``"a/b"`` strings) so every CLI
+    subcommand can offer ``--json`` without per-result serialisers.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: jsonify(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {
+            (k if isinstance(k, str)
+             else "/".join(str(p) for p in k) if isinstance(k, tuple)
+             else str(k)): jsonify(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(v) for v in obj]
+    return obj
 
 
 def sparkline(values: Sequence[float], width: int = 40) -> str:

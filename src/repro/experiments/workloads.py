@@ -82,3 +82,77 @@ FIG1011_VG_VALUES = (0.0, 0.2, 0.4, 0.6)
 
 #: Drain sweep of Figs. 10/11 (0..0.4 V).
 FIG1011_VDS_SWEEP = tuple(np.linspace(0.0, 0.4, 17))
+
+
+# ----------------------------------------------------------------------
+# Named variability workloads (the `mc` CLI subcommand and the smoke
+# campaign reference these by name; see docs/variability.md)
+# ----------------------------------------------------------------------
+
+#: Supply voltage of the variability workloads [V] (the logic family's
+#: default, and the bias at which Ion/gm are quoted).
+VARIABILITY_VDD = 0.6
+
+#: name -> short description, for --help and docs.
+VARIABILITY_WORKLOADS = {
+    "device": "Ion/Ioff/Vth/gm over diameter, t_ox and E_F variation",
+    "device-chirality": "device metrics with the tube drawn from the "
+                        "discrete (n,0) family around (13,0)",
+    "inverter": "complementary-inverter VTC: VM, gain, noise margins",
+    "ringosc": "ring-oscillator period / frequency / stage delay",
+}
+
+
+def variability_workload(name: str, sigma_scale: float = 1.0,
+                         vdd: float = VARIABILITY_VDD,
+                         model: str = "model2", stages: int = 3,
+                         workers: int = 1, metrics=None):
+    """``(space, evaluator)`` for a named variability workload.
+
+    Imported lazily so the paper-table runners don't pay for the
+    variability subsystem (and vice versa).
+    """
+    from repro.variability.campaign import DeviceMetricsEvaluator
+    from repro.variability.circuits import (
+        InverterVTCEvaluator,
+        RingOscillatorEvaluator,
+    )
+    from repro.variability.params import (
+        chirality_device_space,
+        default_device_space,
+    )
+
+    from repro.errors import CampaignError
+
+    if name in ("device", "device-chirality"):
+        if workers != 1:
+            raise CampaignError(
+                "--workers applies to the circuit workloads only; the "
+                "device workload is already batched in-process"
+            )
+        device_kwargs = {"vdd": vdd, "model": model}
+        if metrics is not None:
+            device_kwargs["metrics"] = tuple(metrics)
+        space = (default_device_space(sigma_scale) if name == "device"
+                 else chirality_device_space(sigma_scale))
+        return space, DeviceMetricsEvaluator(space, **device_kwargs)
+    if metrics is not None:
+        raise CampaignError(
+            f"--metric applies to the device workloads only; "
+            f"{name!r} reports its fixed circuit metrics"
+        )
+    if name == "inverter":
+        space = default_device_space(sigma_scale)
+        return space, InverterVTCEvaluator(
+            space, vdd=vdd, model=model, workers=workers,
+            spec_limits={"nml": (0.25 * vdd, None),
+                         "nmh": (0.25 * vdd, None)},
+        )
+    if name == "ringosc":
+        space = default_device_space(sigma_scale)
+        return space, RingOscillatorEvaluator(
+            space, vdd=vdd, model=model, stages=stages, workers=workers)
+    raise CampaignError(
+        f"unknown variability workload {name!r}; expected one of "
+        f"{sorted(VARIABILITY_WORKLOADS)}"
+    )

@@ -16,8 +16,10 @@ non-linear mobile charges QS, QD at Σ.
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from typing import Optional, Sequence, Tuple, Union
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,10 +28,90 @@ from repro.errors import ParameterError
 from repro.pwl.fitting import FitSpec, FittedCharge, fit_piecewise_charge
 from repro.pwl.model1 import MODEL1_SPEC
 from repro.pwl.model2 import MODEL2_SPEC
+from repro.physics.bandstructure import NanotubeBands
 from repro.pwl.selfconsistent import ClosedFormSolver
-from repro.reference.fettoy import FETToyModel, FETToyParameters
+from repro.reference.fettoy import (
+    FETToyModel,
+    FETToyParameters,
+    terminal_capacitances,
+)
 
 _NAMED_SPECS = {"model1": MODEL1_SPEC, "model2": MODEL2_SPEC}
+
+# ----------------------------------------------------------------------
+# Module-level fit cache
+#
+# Fitting a charge curve costs tens of milliseconds (it samples the
+# theoretical model hundreds of times and optionally optimises the
+# region boundaries); evaluating a fitted device costs microseconds.
+# Monte-Carlo campaigns construct thousands of near-identical devices,
+# so fitted charges are memoised on the parameters the fit actually
+# depends on: the resolved chirality (diameter is snapped to a discrete
+# tube anyway), temperature, and the subband/quadrature/spec settings.
+# Gate geometry and oxide parameters only enter the capacitances, which
+# are recomputed exactly per device.
+#
+# The Fermi level is deliberately NOT part of the key: the theoretical
+# charge is ``QS(V; EF) = q (h(EF - V) - h(EF))`` with the half-density
+# ``h`` independent of EF (see ``ChargeModel``), and the fit spec's
+# window, boundaries and weighting are all EF-relative — so the fit at
+# ``EF'`` equals the fit at ``EF`` shifted by ``EF' - EF`` along the
+# VSC axis plus the constant ``q (h(EF) - h(EF'))`` from the
+# equilibrium term.  Both pieces are applied exactly (the anchor's
+# charge model is kept alive to price the constant), which makes one
+# fit serve every Fermi level of a tube/temperature combination to
+# boundary-optimiser tolerance (~1e-6 of the charge peak).
+# ----------------------------------------------------------------------
+
+#: key -> (fitted at anchor EF, anchor charge model)
+_FIT_CACHE: "OrderedDict[Tuple, Tuple[FittedCharge, object]]" = OrderedDict()
+_FIT_CACHE_MAX = 256
+_FIT_CACHE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def _fit_cache_key(params: FETToyParameters, spec: FitSpec,
+                   optimize_boundaries: bool) -> Tuple:
+    chirality = params.resolve_chirality()
+    return (
+        chirality.n, chirality.m,
+        round(params.temperature_k, 9),
+        params.n_subbands, params.nodes,
+        spec, bool(optimize_boundaries),
+    )
+
+
+def _shift_fitted(fitted: FittedCharge, charge_model,
+                  fermi_level_ev: float) -> FittedCharge:
+    """The fit re-anchored at another Fermi level (exact EF covariance:
+    a VSC shift plus the equilibrium-density constant)."""
+    ef0 = fitted.fermi_level_ev
+    delta = fermi_level_ev - ef0
+    if delta == 0.0:
+        return fitted
+    from repro.constants import ELEMENTARY_CHARGE
+
+    dq = ELEMENTARY_CHARGE * (
+        float(charge_model.half_density(ef0))
+        - float(charge_model.half_density(fermi_level_ev))
+    )
+    return dataclasses.replace(
+        fitted,
+        curve=fitted.curve.shifted(-delta).with_offset(dq),
+        fermi_level_ev=fermi_level_ev,
+        boundaries_abs=tuple(b + delta for b in fitted.boundaries_abs),
+    )
+
+
+def fit_cache_info() -> Dict[str, int]:
+    """``{"hits", "misses", "size"}`` counters of the shared fit cache."""
+    return {**_FIT_CACHE_STATS, "size": len(_FIT_CACHE)}
+
+
+def clear_fit_cache() -> None:
+    """Drop all memoised fits and reset the hit/miss counters."""
+    _FIT_CACHE.clear()
+    _FIT_CACHE_STATS["hits"] = 0
+    _FIT_CACHE_STATS["misses"] = 0
 
 
 class CNFET:
@@ -46,6 +128,10 @@ class CNFET:
     fitted:
         Skip fitting and use a pre-computed :class:`FittedCharge`
         (e.g. from :mod:`repro.pwl.tables`).
+    use_fit_cache:
+        Reuse fitted charges from the module-level memo (default).
+        Constructing the same device twice never refits; pass ``False``
+        to force a fresh fit (benchmarking, cache-bypass tests).
     polarity:
         ``"n"`` (default) or ``"p"``.  A p-type device mirrors terminal
         voltages (``IDS_p(VG, VD) = -IDS_n(-VG, -VD)``) — a standard
@@ -67,12 +153,21 @@ class CNFET:
         optimize_boundaries: bool = True,
         fitted: Optional[FittedCharge] = None,
         polarity: str = "n",
+        use_fit_cache: bool = True,
     ) -> None:
         if polarity not in ("n", "p"):
             raise ParameterError(f"polarity must be 'n' or 'p': {polarity!r}")
         self.params = params
         self.polarity = polarity
-        self.reference = FETToyModel(params)
+        # The reference model (charge quadrature setup) is built lazily:
+        # on a fit-cache hit only the band structure and the closed-form
+        # capacitances are needed, which keeps cached construction ~10x
+        # cheaper than the full theoretical-model setup.
+        self._reference: Optional[FETToyModel] = None
+        self.bands = NanotubeBands(params.resolve_chirality())
+        self.capacitances = terminal_capacitances(
+            params, self.bands.diameter_nm
+        )
         if fitted is None:
             if isinstance(model, str):
                 try:
@@ -84,15 +179,25 @@ class CNFET:
                     ) from None
             else:
                 spec = model
-            fitted = fit_piecewise_charge(
-                self.reference.charge, spec,
-                optimize_boundaries=optimize_boundaries,
-            )
+            key = _fit_cache_key(params, spec, optimize_boundaries)
+            entry = _FIT_CACHE.get(key) if use_fit_cache else None
+            if entry is None:
+                _FIT_CACHE_STATS["misses"] += 1
+                fitted = fit_piecewise_charge(
+                    self.reference.charge, spec,
+                    optimize_boundaries=optimize_boundaries,
+                )
+                if use_fit_cache:
+                    _FIT_CACHE[key] = (fitted, self.reference.charge)
+                    if len(_FIT_CACHE) > _FIT_CACHE_MAX:
+                        _FIT_CACHE.popitem(last=False)
+            else:
+                _FIT_CACHE_STATS["hits"] += 1
+                _FIT_CACHE.move_to_end(key)
+                fitted = _shift_fitted(entry[0], entry[1],
+                                       params.fermi_level_ev)
         self.fitted = fitted
-        self.solver = ClosedFormSolver(
-            fitted.curve, self.reference.capacitances
-        )
-        self.capacitances = self.reference.capacitances
+        self.solver = ClosedFormSolver(fitted.curve, self.capacitances)
         self._kt = thermal_voltage_ev(params.temperature_k)
         self._ef = params.fermi_level_ev
         self._i_prefactor = (
@@ -103,6 +208,13 @@ class CNFET:
     # ------------------------------------------------------------------
     # Core evaluations
     # ------------------------------------------------------------------
+
+    @property
+    def reference(self) -> FETToyModel:
+        """The full-numerics theoretical model (built on first access)."""
+        if self._reference is None:
+            self._reference = FETToyModel(self.params)
+        return self._reference
 
     @property
     def model_name(self) -> str:
@@ -276,7 +388,7 @@ class CNFET:
         p = self.params
         return (
             f"CNFET({self.model_name}, {self.polarity}-type, "
-            f"d={self.reference.bands.diameter_nm:.2f} nm, "
+            f"d={self.bands.diameter_nm:.2f} nm, "
             f"T={p.temperature_k} K, EF={p.fermi_level_ev} eV)"
         )
 

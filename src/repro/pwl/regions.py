@@ -119,6 +119,20 @@ class PiecewiseCharge:
         )
         return PiecewiseCharge(new_bps, new_coeffs)
 
+    def with_offset(self, dq: float) -> "PiecewiseCharge":
+        """The curve ``Q(VSC) + dq`` (constant charge offset).
+
+        Used when re-anchoring a fit at another Fermi level: the
+        theoretical charge is a pure shift *plus* a constant from the
+        EF-dependent equilibrium density (``QS = q (NS - N0/2)``)."""
+        if dq == 0.0:
+            return self
+        return PiecewiseCharge(
+            self.breakpoints,
+            tuple((coeffs[0] + dq,) + tuple(coeffs[1:])
+                  for coeffs in self.coefficients),
+        )
+
     def continuity_defects(self) -> List[Tuple[float, float]]:
         """Per-breakpoint ``(|value jump|, |slope jump|)`` — both should
         be ~0 for a C1 construction; exposed for tests and validation."""

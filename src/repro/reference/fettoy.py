@@ -89,6 +89,27 @@ class FETToyParameters:
         return replace(self, **kwargs)
 
 
+def terminal_capacitances(params: FETToyParameters,
+                          diameter_nm: float) -> TerminalCapacitances:
+    """Terminal capacitances of a device (closed forms, no quadrature).
+
+    Split out of :class:`FETToyModel` so the fast device can build its
+    equivalent circuit without paying for the charge-model setup when a
+    fitted charge comes from the cache.
+    """
+    if params.gate_geometry == "coaxial":
+        c_ins = coaxial_gate_capacitance(
+            diameter_nm, params.tox_nm, params.kappa
+        )
+    else:
+        c_ins = backgate_capacitance(
+            diameter_nm, params.tox_nm, params.kappa
+        )
+    return TerminalCapacitances.from_alphas(
+        c_ins, params.alpha_g, params.alpha_d
+    )
+
+
 class FETToyModel:
     """Reference ballistic CNFET (see module docstring).
 
@@ -111,16 +132,8 @@ class FETToyModel:
             params.fermi_level_ev,
             nodes=params.nodes,
         )
-        if params.gate_geometry == "coaxial":
-            c_ins = coaxial_gate_capacitance(
-                self.bands.diameter_nm, params.tox_nm, params.kappa
-            )
-        else:
-            c_ins = backgate_capacitance(
-                self.bands.diameter_nm, params.tox_nm, params.kappa
-            )
-        self.capacitances = TerminalCapacitances.from_alphas(
-            c_ins, params.alpha_g, params.alpha_d
+        self.capacitances = terminal_capacitances(
+            params, self.bands.diameter_nm
         )
         self.kt_ev = thermal_voltage_ev(params.temperature_k)
         #: Newton iteration counter, cumulative (exposed for speed studies)

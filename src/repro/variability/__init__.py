@@ -1,0 +1,61 @@
+"""Variability analysis: Monte-Carlo campaigns over CNFET parameters.
+
+The paper's argument is that the piecewise closed-form CNFET is fast
+enough for SPICE-class simulation *at scale*; the workload that needs
+that speed is statistical — CNT diameter/chirality spread, oxide
+variation and temperature sweeps over thousands of device instances and
+circuit corners.  This subsystem provides:
+
+``params``
+    Parameter distributions over the device knobs (diameter, discrete
+    chirality, t_ox, kappa, E_F, temperature) plus TT/FF/SS corner
+    presets.
+``sampling``
+    Seeded Monte-Carlo and Latin-hypercube samplers with deterministic,
+    reproducible streams.
+``campaign``
+    A run-table campaign engine (factors x repetitions, chunked
+    execution, per-run records + aggregate table, resumable via an
+    on-disk run directory) whose device-metric evaluator goes through
+    the existing ``ids_batch``/``solve_many`` fast path and shares
+    fitted PWL models between quantised-identical samples.
+``circuits``
+    Circuit-level Monte Carlo: inverter VTC noise margins and
+    ring-oscillator period distributions through the two-phase MNA
+    engine, optionally across a ``multiprocessing`` pool.
+``stats``
+    Percentile / sigma / yield aggregation of metric distributions.
+"""
+
+from repro.variability.campaign import (  # noqa: F401
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    DeviceMetricsEvaluator,
+)
+from repro.variability.circuits import (  # noqa: F401
+    InverterVTCEvaluator,
+    RingOscillatorEvaluator,
+)
+from repro.variability.params import (  # noqa: F401
+    CORNERS,
+    Choice,
+    Distribution,
+    Fixed,
+    Normal,
+    ParameterSpace,
+    Uniform,
+    chirality_device_space,
+    corner_sample,
+    default_device_space,
+)
+from repro.variability.sampling import (  # noqa: F401
+    latin_hypercube,
+    monte_carlo,
+    sample_space,
+)
+from repro.variability.stats import (  # noqa: F401
+    histogram_ascii,
+    summarize,
+    yield_fraction,
+)

@@ -1,0 +1,206 @@
+"""Circuit-level Monte-Carlo evaluators.
+
+Device samples become complementary logic cells (the sampled parameters
+feed both the n- and the mirrored p-device) and are simulated through
+the two-phase MNA engine:
+
+* :class:`InverterVTCEvaluator` — DC transfer curve per sample:
+  switching threshold, peak gain and the unity-gain noise margins.
+* :class:`RingOscillatorEvaluator` — transient per sample: oscillation
+  period, frequency and per-stage delay.
+
+Both evaluators deduplicate samples by quantised device key (a circuit
+simulation is ~10^4 times costlier than a device-metric batch lane, so
+collapsing near-identical samples matters even more here) and can fan
+the distinct keys out over a ``multiprocessing`` pool: the evaluator
+object is pickled to the workers, each of which builds its own devices
+behind its own per-process fit cache.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError, ReproError
+from repro.variability.campaign import quantize_sample
+from repro.variability.params import ParameterSpace
+
+__all__ = ["InverterVTCEvaluator", "RingOscillatorEvaluator"]
+
+
+class _CircuitEvaluatorBase:
+    """Shared dedup + pool plumbing; subclasses implement
+    ``_evaluate_key`` and ``_nan_metrics``."""
+
+    def __init__(self, space: ParameterSpace, vdd: float, model: str,
+                 workers: int,
+                 quantize: Optional[Mapping[str, int]],
+                 spec_limits: Optional[Mapping[str, Tuple]]) -> None:
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1: {workers}")
+        self.space = space
+        self.vdd = float(vdd)
+        self.model = model
+        self.workers = int(workers)
+        self.quantize = dict(quantize) if quantize is not None else None
+        self.spec_limits = dict(spec_limits) if spec_limits else None
+        #: metric memo per quantised key, shared across chunks
+        self._memo: Dict[Tuple, Dict[str, float]] = {}
+
+    def _family(self, key: Tuple):
+        from repro.circuit.logic import LogicFamily
+        from repro.pwl.device import CNFET
+
+        params = self.space.to_parameters(dict(key))
+        return LogicFamily(
+            n_device=CNFET(params, model=self.model, polarity="n"),
+            p_device=CNFET(params, model=self.model, polarity="p"),
+            vdd=self.vdd,
+        )
+
+    def _evaluate_key(self, key: Tuple) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def _nan_metrics(self) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def _evaluate_key_safe(self, key: Tuple) -> Dict[str, float]:
+        try:
+            return self._evaluate_key(key)
+        except ReproError:
+            # A failed run (non-convergent bias point, no oscillation)
+            # is a data point — NaN metrics count as yield losses.
+            return self._nan_metrics()
+
+    def evaluate(self, samples: Sequence[Mapping]
+                 ) -> List[Dict[str, float]]:
+        keys = [quantize_sample(s, self.quantize) for s in samples]
+        pending = [k for k in dict.fromkeys(keys) if k not in self._memo]
+        if self.workers > 1 and len(pending) > 1:
+            import multiprocessing as mp
+
+            with mp.get_context("fork").Pool(
+                    min(self.workers, len(pending))) as pool:
+                results = pool.map(self._evaluate_key_safe, pending)
+        else:
+            results = [self._evaluate_key_safe(key) for key in pending]
+        self._memo.update(zip(pending, results))
+        return [dict(self._memo[key]) for key in keys]
+
+
+class InverterVTCEvaluator(_CircuitEvaluatorBase):
+    """Complementary-inverter DC transfer metrics per device sample.
+
+    Metrics: ``vm`` (switching threshold, VOUT = VDD/2 crossing),
+    ``gain`` (peak |dVOUT/dVIN|), ``nml``/``nmh`` (noise margins from
+    the unity-gain points).
+    """
+
+    METRICS = ("vm", "gain", "nml", "nmh")
+
+    def __init__(self, space: ParameterSpace, vdd: float = 0.6,
+                 model: str = "model2", points: int = 41,
+                 workers: int = 1,
+                 quantize: Optional[Mapping[str, int]] = None,
+                 spec_limits: Optional[Mapping[str, Tuple]] = None) -> None:
+        super().__init__(space, vdd, model, workers, quantize, spec_limits)
+        if points < 11:
+            raise ParameterError(f"need >= 11 VTC points: {points}")
+        self.points = int(points)
+
+    def describe(self) -> Dict:
+        return {"kind": "inverter-vtc", "vdd": self.vdd,
+                "model": self.model, "points": self.points,
+                "quantize": self.quantize,
+                "spec_limits": {k: list(v)
+                                for k, v in self.spec_limits.items()}
+                if self.spec_limits else None}
+
+    def _nan_metrics(self) -> Dict[str, float]:
+        return {m: math.nan for m in self.METRICS}
+
+    def _evaluate_key(self, key: Tuple) -> Dict[str, float]:
+        from repro.circuit import dc_sweep
+        from repro.circuit.logic import build_inverter
+
+        family = self._family(key)
+        circuit, _vin, vout = build_inverter(family)
+        sweep = np.linspace(0.0, self.vdd, self.points)
+        dataset = dc_sweep(circuit, "vin_src", sweep)
+        v_out = dataset.voltage(vout)
+
+        crossings = dataset.crossings(f"v({vout})", self.vdd / 2)
+        vm = crossings[0] if crossings else math.nan
+        slope = -np.gradient(v_out, sweep)
+        gain = float(np.max(slope))
+        above = np.where(slope > 1.0)[0]
+        if above.size:
+            vil, vih = float(sweep[above[0]]), float(sweep[above[-1]])
+            voh, vol = float(v_out[above[0]]), float(v_out[above[-1]])
+            nmh, nml = voh - vih, vil - vol
+        else:
+            nmh = nml = math.nan
+        return {"vm": vm, "gain": gain, "nml": nml, "nmh": nmh}
+
+
+class RingOscillatorEvaluator(_CircuitEvaluatorBase):
+    """Ring-oscillator transient metrics per device sample.
+
+    Metrics: ``period`` [s], ``frequency`` [Hz], ``stage_delay`` [s].
+    """
+
+    METRICS = ("period", "frequency", "stage_delay")
+
+    def __init__(self, space: ParameterSpace, vdd: float = 0.6,
+                 model: str = "model2", stages: int = 3,
+                 tstop: float = 2.5e-10, dt: float = 2e-12,
+                 workers: int = 1,
+                 quantize: Optional[Mapping[str, int]] = None,
+                 spec_limits: Optional[Mapping[str, Tuple]] = None) -> None:
+        super().__init__(space, vdd, model, workers, quantize, spec_limits)
+        if stages < 3 or stages % 2 == 0:
+            raise ParameterError(
+                f"a ring oscillator needs an odd stage count >= 3: {stages}"
+            )
+        if not 0.0 < dt < tstop:
+            raise ParameterError(
+                f"need 0 < dt < tstop: dt={dt}, tstop={tstop}"
+            )
+        self.stages = int(stages)
+        self.tstop = float(tstop)
+        self.dt = float(dt)
+
+    def describe(self) -> Dict:
+        return {"kind": "ring-oscillator", "vdd": self.vdd,
+                "model": self.model, "stages": self.stages,
+                "tstop": self.tstop, "dt": self.dt,
+                "quantize": self.quantize,
+                "spec_limits": {k: list(v)
+                                for k, v in self.spec_limits.items()}
+                if self.spec_limits else None}
+
+    def _nan_metrics(self) -> Dict[str, float]:
+        return {m: math.nan for m in self.METRICS}
+
+    def _evaluate_key(self, key: Tuple) -> Dict[str, float]:
+        from repro.circuit.logic import build_ring_oscillator
+        from repro.circuit.transient import (
+            initial_conditions_from_op,
+            transient,
+        )
+
+        family = self._family(key)
+        circuit, nodes = build_ring_oscillator(family, stages=self.stages)
+        x0 = initial_conditions_from_op(
+            circuit, {nodes[0]: 0.0, nodes[1]: family.vdd})
+        dataset = transient(circuit, tstop=self.tstop, dt=self.dt, x0=x0,
+                            method="be")
+        period = dataset.period_estimate(f"v({nodes[0]})", family.vdd / 2)
+        return {
+            "period": float(period),
+            "frequency": 1.0 / period,
+            "stage_delay": period / (2 * self.stages),
+        }

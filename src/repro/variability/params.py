@@ -1,0 +1,456 @@
+"""Parameter distributions over CNFET device knobs and corner presets.
+
+A :class:`ParameterSpace` is an ordered mapping from knob name (a
+:class:`~repro.reference.fettoy.FETToyParameters` field) to a
+:class:`Distribution`.  Samplers draw points in the unit hypercube and
+map them through each distribution's inverse CDF (:meth:`ppf`), so a
+given seed always produces the same run table regardless of which knobs
+are varied together.
+
+Process corners follow the usual foundry convention: TT is the nominal
+device; FF ("fast") shifts every varied knob ``k`` sigmas in the
+direction that *increases* drive current, SS the opposite.  The fast
+directions were established empirically on the reference model: Ion
+grows with diameter (smaller band gap), thinner oxide, higher kappa,
+a Fermi level closer to the band edge, and (mildly) temperature.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.physics.bandstructure import Chirality
+from repro.reference.fettoy import FETToyParameters
+
+__all__ = [
+    "Distribution", "Fixed", "Uniform", "Normal", "Choice",
+    "ParameterSpace", "CORNERS", "FAST_DIRECTIONS", "corner_sample",
+    "default_device_space", "chirality_device_space",
+    "inverse_normal_cdf",
+]
+
+
+# ----------------------------------------------------------------------
+# Inverse standard-normal CDF (Acklam's rational approximation,
+# |relative error| < 1.15e-9 — dependency-free; scipy is not assumed)
+# ----------------------------------------------------------------------
+
+_A = (-3.969683028665376e+01, 2.209460984245205e+02,
+      -2.759285104469687e+02, 1.383577518672690e+02,
+      -3.066479806614716e+01, 2.506628277459239e+00)
+_B = (-5.447609879822406e+01, 1.615858368580409e+02,
+      -1.556989798598866e+02, 6.680131188771972e+01,
+      -1.328068155288572e+01)
+_C = (-7.784894002430293e-03, -3.223964580411365e-01,
+      -2.400758277161838e+00, -2.549732539343734e+00,
+      4.374664141464968e+00, 2.938163982698783e+00)
+_D = (7.784695709041462e-03, 3.224671290700398e-01,
+      2.445134137142996e+00, 3.754408661907416e+00)
+
+
+def inverse_normal_cdf(u) -> np.ndarray:
+    """Standard-normal quantile function, vectorised over ``u`` in (0, 1)."""
+    u = np.asarray(u, dtype=float)
+    if np.any((u <= 0.0) | (u >= 1.0)):
+        raise ParameterError("inverse_normal_cdf needs u in the open (0, 1)")
+    out = np.empty_like(u)
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+
+    lo = u < p_low
+    hi = u > p_high
+    mid = ~(lo | hi)
+
+    if np.any(mid):
+        q = u[mid] - 0.5
+        r = q * q
+        num = ((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r
+               + _A[4]) * r + _A[5]
+        den = ((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r
+               + _B[4]) * r + 1.0
+        out[mid] = num * q / den
+    if np.any(lo):
+        q = np.sqrt(-2.0 * np.log(u[lo]))
+        num = ((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q
+               + _C[4]) * q + _C[5]
+        den = (((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0
+        out[lo] = num / den
+    if np.any(hi):
+        q = np.sqrt(-2.0 * np.log(1.0 - u[hi]))
+        num = ((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q
+               + _C[4]) * q + _C[5]
+        den = (((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0
+        out[hi] = -num / den
+    return out
+
+
+# ----------------------------------------------------------------------
+# Distributions
+# ----------------------------------------------------------------------
+
+class Distribution:
+    """Maps unit-hypercube coordinates to knob values.
+
+    Subclasses implement :meth:`ppf` (the inverse CDF, vectorised),
+    :meth:`nominal` (the TT value) and :meth:`at_sigma` (the value ``k``
+    standard deviations from nominal, used by corner presets).
+    :meth:`describe` returns a JSON-able fingerprint for run manifests.
+    """
+
+    def ppf(self, u: np.ndarray):
+        raise NotImplementedError
+
+    def nominal(self):
+        raise NotImplementedError
+
+    def at_sigma(self, k: float):
+        raise NotImplementedError
+
+    def describe(self) -> Dict:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Fixed(Distribution):
+    """A knob held constant (still recorded in the run table)."""
+
+    value: float
+
+    def ppf(self, u):
+        return np.full(np.shape(u), self.value, dtype=float)
+
+    def nominal(self):
+        return self.value
+
+    def at_sigma(self, k: float):
+        return self.value
+
+    def describe(self):
+        return {"kind": "fixed", "value": self.value}
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not self.low < self.high:
+            raise ParameterError(
+                f"Uniform needs low < high: [{self.low}, {self.high}]"
+            )
+
+    def ppf(self, u):
+        return self.low + np.asarray(u, dtype=float) * (self.high - self.low)
+
+    def nominal(self):
+        return 0.5 * (self.low + self.high)
+
+    def at_sigma(self, k: float):
+        sigma = (self.high - self.low) / math.sqrt(12.0)
+        return float(np.clip(self.nominal() + k * sigma, self.low, self.high))
+
+    def describe(self):
+        return {"kind": "uniform", "low": self.low, "high": self.high}
+
+
+@dataclass(frozen=True)
+class Normal(Distribution):
+    """Gaussian with optional truncation bounds (values are clipped;
+    for the few-sigma bounds used here the distortion is negligible and
+    the sampler stays a pure ppf map, which LHS stratification needs)."""
+
+    mean: float
+    sigma: float
+    low: Optional[float] = None
+    high: Optional[float] = None
+
+    def __post_init__(self):
+        if self.sigma < 0.0:
+            raise ParameterError(f"Normal needs sigma >= 0: {self.sigma}")
+        if (self.low is not None and self.high is not None
+                and not self.low < self.high):
+            raise ParameterError(
+                f"Normal needs low < high: [{self.low}, {self.high}]"
+            )
+
+    def ppf(self, u):
+        if self.sigma == 0.0:
+            return np.full(np.shape(u), self.mean, dtype=float)
+        x = self.mean + self.sigma * inverse_normal_cdf(u)
+        if self.low is not None or self.high is not None:
+            x = np.clip(x, self.low, self.high)
+        return x
+
+    def nominal(self):
+        return self.mean
+
+    def at_sigma(self, k: float):
+        x = self.mean + k * self.sigma
+        if self.low is not None or self.high is not None:
+            x = float(np.clip(x, self.low, self.high))
+        return float(x)
+
+    def describe(self):
+        return {"kind": "normal", "mean": self.mean, "sigma": self.sigma,
+                "low": self.low, "high": self.high}
+
+
+@dataclass(frozen=True)
+class Choice(Distribution):
+    """Discrete distribution over explicit values (e.g. chiralities).
+
+    ``values`` should be ordered along the knob's "fast" direction so
+    corner presets can step through them: :meth:`at_sigma` moves
+    ``round(k)`` positions from the nominal (highest-weight) entry.
+    """
+
+    values: Tuple
+    weights: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self):
+        if len(self.values) == 0:
+            raise ParameterError("Choice needs at least one value")
+        if self.weights is not None:
+            if len(self.weights) != len(self.values):
+                raise ParameterError(
+                    f"{len(self.values)} values but "
+                    f"{len(self.weights)} weights"
+                )
+            if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+                raise ParameterError(
+                    f"weights must be non-negative and sum > 0: "
+                    f"{self.weights}"
+                )
+
+    def _cumulative(self) -> np.ndarray:
+        if self.weights is None:
+            w = np.full(len(self.values), 1.0 / len(self.values))
+        else:
+            w = np.asarray(self.weights, dtype=float)
+            w = w / w.sum()
+        return np.cumsum(w)
+
+    def ppf(self, u):
+        idx = np.searchsorted(self._cumulative(),
+                              np.asarray(u, dtype=float), side="right")
+        idx = np.clip(idx, 0, len(self.values) - 1)
+        flat = [self.values[i] for i in np.ravel(idx)]
+        if np.ndim(idx) == 0:
+            return flat[0]
+        # Tuples as elements: fill an object array explicitly so numpy
+        # doesn't try to broadcast them into a 2-D array.
+        out = np.empty(np.shape(idx), dtype=object)
+        out_flat = out.reshape(-1)
+        for i, v in enumerate(flat):
+            out_flat[i] = v
+        return out
+
+    def _nominal_index(self) -> int:
+        if self.weights is None:
+            return len(self.values) // 2
+        return int(np.argmax(self.weights))
+
+    def nominal(self):
+        return self.values[self._nominal_index()]
+
+    def at_sigma(self, k: float):
+        idx = self._nominal_index() + int(round(k))
+        return self.values[int(np.clip(idx, 0, len(self.values) - 1))]
+
+    def describe(self):
+        return {"kind": "choice",
+                "values": [list(v) if isinstance(v, tuple) else v
+                           for v in self.values],
+                "weights": list(self.weights) if self.weights else None}
+
+
+# ----------------------------------------------------------------------
+# Parameter space
+# ----------------------------------------------------------------------
+
+#: Knobs a space may vary, in canonical order.
+KNOWN_KNOBS = ("diameter_nm", "chirality", "tox_nm", "kappa",
+               "fermi_level_ev", "temperature_k", "transmission")
+
+#: Sign of each knob's effect on drive current (used by FF/SS corners).
+FAST_DIRECTIONS: Dict[str, float] = {
+    "diameter_nm": +1.0,
+    "chirality": +1.0,        # Choice values ordered by diameter
+    "tox_nm": -1.0,
+    "kappa": +1.0,
+    "fermi_level_ev": +1.0,   # toward the band edge (less negative)
+    "temperature_k": +1.0,
+    "transmission": +1.0,
+}
+
+#: Corner name -> sigma multiplier applied along the fast direction.
+CORNERS: Dict[str, float] = {"TT": 0.0, "FF": +3.0, "SS": -3.0}
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """Ordered knob -> distribution mapping over device parameters."""
+
+    distributions: Tuple[Tuple[str, Distribution], ...]
+    base: FETToyParameters = field(default_factory=FETToyParameters)
+
+    @classmethod
+    def from_dict(cls, dists: Mapping[str, Distribution],
+                  base: Optional[FETToyParameters] = None
+                  ) -> "ParameterSpace":
+        for name in dists:
+            if name not in KNOWN_KNOBS:
+                raise ParameterError(
+                    f"unknown device knob {name!r}; expected one of "
+                    f"{KNOWN_KNOBS}"
+                )
+        ordered = tuple((n, dists[n]) for n in KNOWN_KNOBS if n in dists)
+        return cls(ordered, base or FETToyParameters())
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(n for n, _ in self.distributions)
+
+    @property
+    def dims(self) -> int:
+        return len(self.distributions)
+
+    def materialize(self, unit: np.ndarray) -> List[Dict]:
+        """Map an ``(n, dims)`` unit-hypercube matrix to sample dicts."""
+        unit = np.asarray(unit, dtype=float)
+        if unit.ndim != 2 or unit.shape[1] != self.dims:
+            raise ParameterError(
+                f"unit matrix shape {unit.shape} != (n, {self.dims})"
+            )
+        columns = [dist.ppf(unit[:, j])
+                   for j, (_, dist) in enumerate(self.distributions)]
+        out = []
+        for i in range(unit.shape[0]):
+            sample = {}
+            for j, (name, _) in enumerate(self.distributions):
+                v = columns[j][i]
+                sample[name] = v if isinstance(v, tuple) else float(v)
+            out.append(sample)
+        return out
+
+    def nominal_sample(self) -> Dict:
+        return {name: dist.nominal() for name, dist in self.distributions}
+
+    def to_parameters(self, sample: Mapping) -> FETToyParameters:
+        """Build :class:`FETToyParameters` for one sample.
+
+        A sampled ``chirality`` (n, m) tuple overrides ``diameter_nm``
+        (matching :meth:`FETToyParameters.resolve_chirality`).
+        """
+        updates = {}
+        for name, value in sample.items():
+            if name == "chirality":
+                updates["chirality"] = tuple(int(x) for x in value)
+            else:
+                updates[name] = float(value)
+        return self.base.with_updates(**updates)
+
+    def describe(self) -> Dict:
+        """JSON-able fingerprint (order matters — it is part of the
+        run-table identity recorded in campaign manifests)."""
+        return {
+            "knobs": [{"name": n, **d.describe()}
+                      for n, d in self.distributions],
+            "base": {
+                "diameter_nm": self.base.diameter_nm,
+                "tox_nm": self.base.tox_nm,
+                "kappa": self.base.kappa,
+                "temperature_k": self.base.temperature_k,
+                "fermi_level_ev": self.base.fermi_level_ev,
+                "alpha_g": self.base.alpha_g,
+                "alpha_d": self.base.alpha_d,
+                "gate_geometry": self.base.gate_geometry,
+                "n_subbands": self.base.n_subbands,
+                "transmission": self.base.transmission,
+                "chirality": list(self.base.chirality)
+                if self.base.chirality else None,
+            },
+        }
+
+
+def corner_sample(space: ParameterSpace, corner: str) -> Dict:
+    """TT/FF/SS sample: every knob at ``CORNERS[corner]`` sigmas along
+    its fast direction."""
+    try:
+        k = CORNERS[corner.upper()]
+    except KeyError:
+        raise ParameterError(
+            f"unknown corner {corner!r}; expected one of {sorted(CORNERS)}"
+        ) from None
+    return {
+        name: dist.at_sigma(k * FAST_DIRECTIONS.get(name, 1.0))
+        for name, dist in space.distributions
+    }
+
+
+# ----------------------------------------------------------------------
+# Stock spaces
+# ----------------------------------------------------------------------
+
+def default_device_space(sigma_scale: float = 1.0,
+                         base: Optional[FETToyParameters] = None
+                         ) -> ParameterSpace:
+    """Continuous-diameter variability around the paper's stock device.
+
+    Spreads follow the usual CNT-process assumptions: ~6% diameter
+    sigma (CVD growth spread), ~5% oxide-thickness sigma, 10 meV Fermi
+    level sigma (doping/contact variation); kappa and temperature stay
+    fixed.  ``sigma_scale`` widens or narrows everything at once.
+    """
+    s = float(sigma_scale)
+    if s < 0.0:
+        raise ParameterError(f"sigma_scale must be >= 0: {sigma_scale}")
+    return ParameterSpace.from_dict({
+        "diameter_nm": Normal(1.0, 0.06 * s, low=0.6, high=2.0),
+        "tox_nm": Normal(1.5, 0.075 * s, low=0.8, high=3.0),
+        "kappa": Fixed(3.9),
+        "fermi_level_ev": Normal(-0.32, 0.010 * s, low=-0.5, high=-0.1),
+        "temperature_k": Fixed(300.0),
+    }, base=base)
+
+
+#: Semiconducting zigzag tubes bracketing the stock (13, 0) device,
+#: ordered by diameter (the corner-preset fast direction).
+STOCK_CHIRALITIES = ((10, 0), (11, 0), (13, 0), (14, 0), (16, 0), (17, 0))
+
+
+def chirality_device_space(sigma_scale: float = 1.0,
+                           base: Optional[FETToyParameters] = None
+                           ) -> ParameterSpace:
+    """Discrete-chirality variability: the tube is drawn from the
+    semiconducting zigzag family around (13, 0), weighted toward the
+    nominal tube, alongside the continuous oxide/Fermi-level knobs."""
+    s = float(sigma_scale)
+    if s < 0.0:
+        raise ParameterError(f"sigma_scale must be >= 0: {sigma_scale}")
+    return ParameterSpace.from_dict({
+        "chirality": Choice(STOCK_CHIRALITIES,
+                            weights=(0.05, 0.15, 0.40, 0.20, 0.12, 0.08)),
+        "tox_nm": Normal(1.5, 0.075 * s, low=0.8, high=3.0),
+        "kappa": Fixed(3.9),
+        "fermi_level_ev": Normal(-0.32, 0.010 * s, low=-0.5, high=-0.1),
+        "temperature_k": Fixed(300.0),
+    }, base=base)
+
+
+def resolve_chirality_label(sample: Mapping) -> str:
+    """Human-readable tube label of a sample (for run-table rendering)."""
+    if "chirality" in sample:
+        n, m = sample["chirality"]
+        return f"({int(n)},{int(m)})"
+    if "diameter_nm" in sample:
+        ch = Chirality.from_diameter(float(sample["diameter_nm"]))
+        return f"({ch.n},{ch.m})"
+    return "(13,0)"

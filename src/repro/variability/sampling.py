@@ -1,0 +1,68 @@
+"""Seeded Monte-Carlo and Latin-hypercube samplers.
+
+Both samplers draw an ``(n, dims)`` matrix in the unit hypercube from a
+``numpy`` PCG64 generator seeded explicitly, then map it through the
+space's inverse CDFs — the same seed therefore always yields the same
+run table, independent of process, platform or chunking.
+
+Latin-hypercube sampling stratifies each dimension into ``n`` equal
+probability bins and places exactly one point per bin (at a uniformly
+jittered position), with independent random bin permutations per
+dimension.  For the same budget it covers distribution tails far more
+evenly than plain Monte Carlo, which matters for yield estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.variability.params import ParameterSpace
+
+__all__ = ["monte_carlo", "latin_hypercube", "sample_space", "unit_matrix"]
+
+#: Registered sampler names (CLI / campaign configs reference these).
+SAMPLERS = ("mc", "lhs")
+
+
+def unit_matrix(method: str, n: int, dims: int, seed: int) -> np.ndarray:
+    """``(n, dims)`` unit-hypercube draw for the named sampler."""
+    if n < 1:
+        raise ParameterError(f"need at least one sample: {n}")
+    if dims < 1:
+        raise ParameterError(f"need at least one dimension: {dims}")
+    rng = np.random.Generator(np.random.PCG64(seed))
+    if method == "mc":
+        u = rng.random((n, dims))
+    elif method == "lhs":
+        # One point per stratum per dimension, independently permuted.
+        u = np.empty((n, dims))
+        for j in range(dims):
+            strata = (np.arange(n) + rng.random(n)) / n
+            u[:, j] = rng.permutation(strata)
+    else:
+        raise ParameterError(
+            f"unknown sampler {method!r}; expected one of {SAMPLERS}"
+        )
+    # ppf maps are defined on the open interval.
+    return np.clip(u, 1e-12, 1.0 - 1e-12)
+
+
+def sample_space(space: ParameterSpace, n: int, seed: int,
+                 method: str = "mc") -> List[Dict]:
+    """Draw ``n`` samples from a parameter space (list of knob dicts)."""
+    u = unit_matrix(method, n, space.dims, seed)
+    return space.materialize(u)
+
+
+def monte_carlo(space: ParameterSpace, n: int, seed: int) -> List[Dict]:
+    """Plain seeded Monte Carlo."""
+    return sample_space(space, n, seed, method="mc")
+
+
+def latin_hypercube(space: ParameterSpace, n: int, seed: int) -> List[Dict]:
+    """Seeded Latin-hypercube sampling (one point per stratum and
+    dimension)."""
+    return sample_space(space, n, seed, method="lhs")

@@ -1,0 +1,116 @@
+"""Distribution summaries for campaign aggregation.
+
+Per-metric aggregation over run records: moments, percentiles and
+spec-limit yield, plus a small ASCII histogram for terminal reports
+(rendered with the same look as :mod:`repro.experiments.report`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["summarize", "yield_fraction", "aggregate_metrics",
+           "histogram_ascii"]
+
+#: Percentiles reported in every aggregate table.
+PERCENTILES = (1.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Moments + percentiles of one metric distribution.
+
+    NaNs (failed runs) are excluded but counted in ``n_failed``.
+    """
+    arr = np.asarray(values, dtype=float)
+    finite = arr[np.isfinite(arr)]
+    out: Dict[str, float] = {
+        "n": int(arr.size),
+        "n_failed": int(arr.size - finite.size),
+    }
+    if finite.size == 0:
+        for key in ("mean", "std", "min", "max", "cv"):
+            out[key] = math.nan
+        for p in PERCENTILES:
+            out[f"p{p:g}"] = math.nan
+        return out
+    out["mean"] = float(np.mean(finite))
+    out["std"] = float(np.std(finite, ddof=1)) if finite.size > 1 else 0.0
+    out["min"] = float(np.min(finite))
+    out["max"] = float(np.max(finite))
+    out["cv"] = (out["std"] / abs(out["mean"])
+                 if out["mean"] != 0.0 else math.nan)
+    for p, v in zip(PERCENTILES, np.percentile(finite, PERCENTILES)):
+        out[f"p{p:g}"] = float(v)
+    return out
+
+
+def yield_fraction(values: Sequence[float],
+                   low: Optional[float] = None,
+                   high: Optional[float] = None) -> float:
+    """Fraction of finite samples inside ``[low, high]`` (either bound
+    may be ``None`` for one-sided specs).  Failed (NaN) runs count as
+    yield losses."""
+    if low is None and high is None:
+        raise ParameterError("yield_fraction needs at least one bound")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return math.nan
+    ok = np.isfinite(arr)
+    if low is not None:
+        ok &= arr >= low
+    if high is not None:
+        ok &= arr <= high
+    return float(np.count_nonzero(ok) / arr.size)
+
+
+def aggregate_metrics(records: Sequence[Mapping],
+                      spec_limits: Optional[Mapping[str, Tuple]] = None
+                      ) -> Dict[str, Dict[str, float]]:
+    """Aggregate a run table: one summary dict per metric name.
+
+    ``records`` are per-run dicts with a ``"metrics"`` mapping.
+    ``spec_limits`` maps metric name to ``(low, high)`` (``None`` for an
+    open bound); matching metrics gain a ``"yield"`` entry.
+    """
+    names: List[str] = []
+    for rec in records:
+        for name in rec["metrics"]:
+            if name not in names:
+                names.append(name)
+    out: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        values = [rec["metrics"].get(name, math.nan) for rec in records]
+        summary = summarize(values)
+        if spec_limits and name in spec_limits:
+            low, high = spec_limits[name]
+            summary["spec_low"] = low
+            summary["spec_high"] = high
+            summary["yield"] = yield_fraction(values, low, high)
+        out[name] = summary
+    return out
+
+
+def histogram_ascii(values: Sequence[float], bins: int = 12,
+                    width: int = 40, title: str = "") -> str:
+    """Horizontal-bar histogram for terminal reports."""
+    if bins < 1:
+        raise ParameterError(f"need at least one bin: {bins}")
+    arr = np.asarray(values, dtype=float)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return f"{title}\n(no finite samples)" if title else "(no finite samples)"
+    counts, edges = np.histogram(finite, bins=bins)
+    peak = max(int(np.max(counts)), 1)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(
+            f"  [{edges[i]:+.4g}, {edges[i + 1]:+.4g})  "
+            f"{bar}{' ' if bar else ''}{count}"
+        )
+    return "\n".join(lines)

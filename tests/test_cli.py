@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -62,3 +64,100 @@ class TestCommands:
     def test_invalid_table_number(self):
         with pytest.raises(SystemExit):
             main(["table", "7"])
+
+
+class TestScriptableFlags:
+    def test_iv_json(self, capsys):
+        rc = main(["iv", "--vg-start", "0.6", "--vg-stop", "0.6",
+                   "--vd-points", "3", "--json", "--seed", "5"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "iv"
+        assert payload["seed"] == 5
+        assert len(payload["ids"]) == 1
+        assert len(payload["ids"][0]) == 3
+
+    def test_table5_json_seed_changes_experiment(self, capsys):
+        rc = main(["table", "5", "--json", "--seed", "1"])
+        assert rc == 0
+        first = json.loads(capsys.readouterr().out)
+        rc = main(["table", "5", "--json", "--seed", "2"])
+        assert rc == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["result"]["model2_err"] != second["result"]["model2_err"]
+
+
+class TestMonteCarlo:
+    def test_device_campaign_table(self, capsys):
+        rc = main(["mc", "--samples", "12", "--seed", "3",
+                   "--chunk-size", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "12 samples" in out
+        for metric in ("ion", "ioff", "vth", "gm"):
+            assert metric in out
+
+    def test_json_and_metric_filter(self, capsys):
+        rc = main(["mc", "--samples", "6", "--seed", "3",
+                   "--metric", "ion", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["n_samples"] == 6
+        assert list(payload["aggregate"]) == ["ion"]
+        assert len(payload["records"]) == 6
+
+    def test_seeded_runs_reproduce(self, capsys):
+        main(["mc", "--samples", "6", "--seed", "9", "--json"])
+        a = json.loads(capsys.readouterr().out)
+        main(["mc", "--samples", "6", "--seed", "9", "--json"])
+        b = json.loads(capsys.readouterr().out)
+        assert a["records"] == b["records"]
+
+    def test_corners(self, capsys):
+        rc = main(["mc", "--samples", "4", "--seed", "1", "--corners"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Process corners" in out
+        for corner in ("TT", "FF", "SS"):
+            assert corner in out
+
+    def test_run_dir_resume_message(self, capsys, tmp_path):
+        d = str(tmp_path / "mcrun")
+        main(["mc", "--samples", "8", "--seed", "2", "--chunk-size", "4",
+              "--run-dir", d])
+        capsys.readouterr()
+        rc = main(["mc", "--samples", "8", "--seed", "2",
+                   "--chunk-size", "4", "--run-dir", d])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 chunks resumed" in out
+
+    def test_lhs_sampler(self, capsys):
+        rc = main(["mc", "--samples", "6", "--seed", "4",
+                   "--sampler", "lhs"])
+        assert rc == 0
+        assert "sampler=lhs" in capsys.readouterr().out
+
+    def test_metric_filter_rejected_for_circuit_workload(self, capsys):
+        rc = main(["mc", "--samples", "4", "--workload", "inverter",
+                   "--metric", "ion"])
+        assert rc == 2
+        assert "--metric" in capsys.readouterr().err
+
+    def test_workers_rejected_for_device_workload(self, capsys):
+        rc = main(["mc", "--samples", "4", "--workers", "4"])
+        assert rc == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_json_output_is_strict_rfc8259(self, capsys):
+        """Failed runs report NaN metrics; the JSON surface must emit
+        null, not bare NaN tokens."""
+        from repro.cli import _dump_json
+
+        text = _dump_json({"metrics": {"vth": float("nan"),
+                                       "ion": 1.0},
+                           "rows": [float("inf"), 2.0]})
+        assert "NaN" not in text and "Infinity" not in text
+        payload = json.loads(text)
+        assert payload["metrics"]["vth"] is None
+        assert payload["rows"] == [None, 2.0]

@@ -1,0 +1,263 @@
+"""Campaign engine: device metrics, chunked persistence and resume."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignError, ParameterError
+from repro.variability.campaign import (
+    Campaign,
+    CampaignConfig,
+    DeviceMetricsEvaluator,
+    _constant_current_vth,
+    quantize_sample,
+)
+from repro.variability.params import (
+    Fixed,
+    Normal,
+    ParameterSpace,
+    default_device_space,
+)
+from repro.variability.stats import (
+    aggregate_metrics,
+    histogram_ascii,
+    summarize,
+    yield_fraction,
+)
+
+
+def tiny_space() -> ParameterSpace:
+    return ParameterSpace.from_dict({
+        "diameter_nm": Normal(1.0, 0.06, low=0.6, high=2.0),
+        "tox_nm": Normal(1.5, 0.075, low=0.8, high=3.0),
+        "kappa": Fixed(3.9),
+        "fermi_level_ev": Normal(-0.32, 0.01, low=-0.5, high=-0.1),
+    })
+
+
+class CountingEvaluator(DeviceMetricsEvaluator):
+    """Counts how many samples are (re)computed — for resume tests."""
+
+    def __init__(self, space, **kwargs):
+        super().__init__(space, **kwargs)
+        self.evaluated_chunks = 0
+
+    def evaluate(self, samples):
+        self.evaluated_chunks += 1
+        return super().evaluate(samples)
+
+
+class TestQuantize:
+    def test_diameter_snaps_to_chirality(self):
+        a = quantize_sample({"diameter_nm": 1.00, "tox_nm": 1.5})
+        b = quantize_sample({"diameter_nm": 1.03, "tox_nm": 1.5})
+        assert a == b
+        assert a[0] == ("chirality", (13, 0))
+
+    def test_chirality_wins_over_diameter(self):
+        key = quantize_sample({"diameter_nm": 1.0, "chirality": (16, 0)})
+        assert key == (("chirality", (16, 0)),)
+
+    def test_analog_knob_rounding(self):
+        a = quantize_sample({"tox_nm": 1.5004})
+        b = quantize_sample({"tox_nm": 1.4996})
+        assert a == b == (("tox_nm", 1.5),)
+
+    def test_custom_decimals(self):
+        a = quantize_sample({"fermi_level_ev": -0.324},
+                            {"fermi_level_ev": 2})
+        b = quantize_sample({"fermi_level_ev": -0.316},
+                            {"fermi_level_ev": 2})
+        assert a == b
+
+
+class TestVthExtraction:
+    def test_interpolates_crossing(self):
+        vg = np.linspace(0.0, 0.6, 13)
+        ids = 1e-9 * np.exp((vg - 0.3) / 0.03)
+        vth = _constant_current_vth(vg, ids, 1e-7)
+        # analytic crossing: 0.3 + 0.03 * ln(100)
+        assert vth == pytest.approx(0.3 + 0.03 * math.log(100), abs=2e-3)
+
+    def test_no_crossing_is_nan(self):
+        vg = np.linspace(0.0, 0.6, 5)
+        assert math.isnan(_constant_current_vth(vg, np.full(5, 1e-12),
+                                                1e-7))
+        assert math.isnan(_constant_current_vth(vg, np.full(5, 1e-3),
+                                                1e-7))
+
+
+class TestDeviceMetrics:
+    def test_batch_matches_naive_scalar_loop(self):
+        space = tiny_space()
+        from repro.variability.sampling import monte_carlo
+
+        samples = monte_carlo(space, 8, seed=1)
+        ev = DeviceMetricsEvaluator(space)
+        fast = ev.evaluate(samples)
+        naive = ev.evaluate_naive(samples, use_fit_cache=True)
+        for f, n in zip(fast, naive):
+            for name in f:
+                if math.isnan(f[name]):
+                    assert math.isnan(n[name])
+                else:
+                    # fast path evaluates the quantised device; the bound
+                    # is the documented quantisation tolerance
+                    assert f[name] == pytest.approx(n[name], rel=0.05)
+
+    def test_metric_subset(self):
+        space = tiny_space()
+        ev = DeviceMetricsEvaluator(space, metrics=("ion", "vth"))
+        out = ev.evaluate([space.nominal_sample()])
+        assert sorted(out[0]) == ["ion", "vth"]
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ParameterError):
+            DeviceMetricsEvaluator(tiny_space(), metrics=("beta",))
+
+    def test_physical_sanity(self):
+        space = tiny_space()
+        out = DeviceMetricsEvaluator(space).evaluate(
+            [space.nominal_sample()])[0]
+        assert out["ion"] > 1e-6
+        assert 0.0 < out["ioff"] < 1e-9
+        assert 0.2 < out["vth"] < 0.5
+        assert out["gm"] > 0.0
+
+
+class TestCampaignEngine:
+    def make(self, tmp_path=None, n=24, chunk=8, seed=11):
+        space = tiny_space()
+        ev = CountingEvaluator(space)
+        cfg = CampaignConfig(name="t", n_samples=n, seed=seed,
+                             chunk_size=chunk)
+        return Campaign(cfg, space, ev,
+                        run_dir=tmp_path), ev
+
+    def test_deterministic_records(self, tmp_path):
+        r1 = self.make(tmp_path / "a")[0].run()
+        r2 = self.make(tmp_path / "b")[0].run()
+        assert r1.records == r2.records
+        assert r1.aggregate == r2.aggregate
+
+    def test_memoryless_equals_persistent(self, tmp_path):
+        in_memory = self.make(None)[0].run()
+        on_disk = self.make(tmp_path / "c")[0].run()
+        assert in_memory.records == on_disk.records
+
+    def test_run_dir_layout(self, tmp_path):
+        d = tmp_path / "run"
+        result = self.make(d)[0].run()
+        assert (d / "manifest.json").exists()
+        assert (d / "aggregate.json").exists()
+        chunks = sorted(p.name for p in (d / "chunks").iterdir())
+        assert chunks == ["chunk_0000.json", "chunk_0001.json",
+                          "chunk_0002.json"]
+        table = (d / "run_table.csv").read_text().strip().splitlines()
+        assert len(table) == 1 + 24
+        assert table[0].startswith("run,diameter_nm,tox_nm")
+        assert result.computed_chunks == 3
+
+    def test_resume_from_partial_run_directory(self, tmp_path):
+        d = tmp_path / "run"
+        campaign, ev = self.make(d)
+        full = campaign.run()
+        assert ev.evaluated_chunks == 3
+
+        # Simulate an interrupted campaign: drop the middle chunk.
+        (d / "chunks" / "chunk_0001.json").unlink()
+        campaign2, ev2 = self.make(d)
+        resumed = campaign2.run()
+        assert ev2.evaluated_chunks == 1          # only the missing chunk
+        assert resumed.resumed_chunks == 2
+        assert resumed.computed_chunks == 1
+        assert resumed.records == full.records
+
+    def test_resume_rejects_different_campaign(self, tmp_path):
+        d = tmp_path / "run"
+        self.make(d, seed=11)[0].run()
+        other, _ = self.make(d, seed=12)
+        with pytest.raises(CampaignError):
+            other.run()
+
+    def test_no_resume_recomputes(self, tmp_path):
+        d = tmp_path / "run"
+        self.make(d)[0].run()
+        campaign, ev = self.make(d)
+        campaign.run(resume=False)
+        assert ev.evaluated_chunks == 3
+
+    def test_corrupt_chunk_recomputed(self, tmp_path):
+        d = tmp_path / "run"
+        campaign, _ = self.make(d)
+        full = campaign.run()
+        (d / "chunks" / "chunk_0002.json").write_text("{not json")
+        campaign2, ev2 = self.make(d)
+        resumed = campaign2.run()
+        assert ev2.evaluated_chunks == 1
+        assert resumed.records == full.records
+
+    def test_render_and_json(self, tmp_path):
+        result = self.make(tmp_path / "r", n=8, chunk=8)[0].run()
+        text = result.render()
+        assert "ion" in text and "p95" in text
+        payload = result.to_json_dict()
+        assert payload["config"]["n_samples"] == 8
+        assert len(payload["records"]) == 8
+
+    def test_config_validation(self):
+        with pytest.raises(ParameterError):
+            CampaignConfig(n_samples=0)
+        with pytest.raises(ParameterError):
+            CampaignConfig(chunk_size=0)
+        with pytest.raises(ParameterError):
+            CampaignConfig(sampler="sobol")
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, float("nan")])
+        assert s["n"] == 5 and s["n_failed"] == 1
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["p50"] == pytest.approx(2.5)
+        assert s["min"] == 1.0 and s["max"] == 4.0
+
+    def test_summarize_all_failed(self):
+        s = summarize([float("nan")] * 3)
+        assert s["n_failed"] == 3 and math.isnan(s["mean"])
+
+    def test_yield_fraction(self):
+        values = [0.1, 0.2, 0.3, float("nan")]
+        assert yield_fraction(values, low=0.15) == pytest.approx(0.5)
+        assert yield_fraction(values, low=0.0, high=1.0) == pytest.approx(
+            0.75)
+        with pytest.raises(ParameterError):
+            yield_fraction(values)
+
+    def test_aggregate_with_spec_limits(self):
+        records = [{"metrics": {"ion": 1.0}}, {"metrics": {"ion": 3.0}}]
+        agg = aggregate_metrics(records, {"ion": (2.0, None)})
+        assert agg["ion"]["yield"] == pytest.approx(0.5)
+        assert agg["ion"]["spec_low"] == 2.0
+
+    def test_histogram(self):
+        text = histogram_ascii(np.linspace(0, 1, 100), bins=5,
+                               title="demo")
+        assert text.startswith("demo")
+        assert text.count("\n") == 5
+
+    def test_histogram_empty(self):
+        assert "no finite samples" in histogram_ascii([float("nan")])
+
+
+class TestManifestRoundTrip:
+    def test_manifest_written_and_fingerprint_stable(self, tmp_path):
+        d = tmp_path / "m"
+        campaign, _ = TestCampaignEngine().make(d, n=8, chunk=8)
+        campaign.run()
+        manifest = json.loads((d / "manifest.json").read_text())
+        assert manifest["fingerprint"] == campaign.fingerprint()
+        assert manifest["config"]["n_samples"] == 8
+        assert manifest["space"]["knobs"][0]["name"] == "diameter_nm"

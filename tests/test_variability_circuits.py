@@ -1,0 +1,106 @@
+"""Circuit-level Monte-Carlo evaluators (inverter VTC, ring osc)."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.variability.circuits import (
+    InverterVTCEvaluator,
+    RingOscillatorEvaluator,
+)
+from repro.variability.params import (
+    Fixed,
+    Normal,
+    ParameterSpace,
+)
+from repro.variability.sampling import monte_carlo
+
+
+def tiny_space() -> ParameterSpace:
+    return ParameterSpace.from_dict({
+        "diameter_nm": Normal(1.0, 0.06, low=0.6, high=2.0),
+        "tox_nm": Normal(1.5, 0.075, low=0.8, high=3.0),
+        "kappa": Fixed(3.9),
+        "fermi_level_ev": Normal(-0.32, 0.01, low=-0.5, high=-0.1),
+    })
+
+
+class TestInverter:
+    def test_nominal_metrics(self):
+        space = tiny_space()
+        ev = InverterVTCEvaluator(space, points=31)
+        out = ev.evaluate([space.nominal_sample()])[0]
+        # n and p share the sampled parameters, so the pair is matched
+        # and VM sits at VDD/2.
+        assert out["vm"] == pytest.approx(0.3, abs=0.02)
+        assert out["gain"] > 5.0
+        assert out["nml"] > 0.05
+        assert out["nmh"] > 0.05
+
+    def test_dedup_memo(self):
+        space = tiny_space()
+        calls = []
+        ev = InverterVTCEvaluator(space, points=21)
+        original = ev._evaluate_key
+
+        def counting(key):
+            calls.append(key)
+            return original(key)
+
+        ev._evaluate_key = counting
+        sample = space.nominal_sample()
+        results = ev.evaluate([sample, dict(sample), dict(sample)])
+        assert len(calls) == 1
+        assert results[0] == results[1] == results[2]
+        # second evaluate() round reuses the cross-chunk memo
+        ev.evaluate([sample])
+        assert len(calls) == 1
+
+    def test_variation_moves_metrics(self):
+        space = tiny_space()
+        ev = InverterVTCEvaluator(space, points=21)
+        samples = monte_carlo(space, 3, seed=5)
+        rows = ev.evaluate(samples)
+        gains = {round(r["gain"], 6) for r in rows}
+        assert len(gains) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            InverterVTCEvaluator(tiny_space(), points=5)
+        with pytest.raises(ParameterError):
+            InverterVTCEvaluator(tiny_space(), workers=0)
+
+
+class TestRingOscillator:
+    def test_nominal_period(self):
+        space = tiny_space()
+        ev = RingOscillatorEvaluator(space, stages=3)
+        out = ev.evaluate([space.nominal_sample()])[0]
+        assert out["period"] > 0.0
+        assert out["frequency"] == pytest.approx(1.0 / out["period"])
+        assert out["stage_delay"] == pytest.approx(out["period"] / 6.0)
+
+    def test_workers_pool_matches_serial(self):
+        space = tiny_space()
+        samples = monte_carlo(space, 3, seed=2)
+        serial = RingOscillatorEvaluator(space, stages=3).evaluate(samples)
+        pooled = RingOscillatorEvaluator(space, stages=3,
+                                         workers=2).evaluate(samples)
+        for s, p in zip(serial, pooled):
+            for name in s:
+                assert s[name] == pytest.approx(p[name], rel=1e-9)
+
+    def test_failed_run_yields_nan(self):
+        space = tiny_space()
+        # Far too short a window to see two rising crossings.
+        ev = RingOscillatorEvaluator(space, stages=3, tstop=8e-12,
+                                     dt=2e-12)
+        out = ev.evaluate([space.nominal_sample()])[0]
+        assert all(math.isnan(v) for v in out.values())
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RingOscillatorEvaluator(tiny_space(), stages=4)
+        with pytest.raises(ParameterError):
+            RingOscillatorEvaluator(tiny_space(), tstop=1e-12, dt=2e-12)

@@ -1,0 +1,159 @@
+"""Distributions, parameter spaces and corner presets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.variability.params import (
+    CORNERS,
+    Choice,
+    Fixed,
+    Normal,
+    ParameterSpace,
+    Uniform,
+    chirality_device_space,
+    corner_sample,
+    default_device_space,
+    inverse_normal_cdf,
+)
+
+
+class TestInverseNormal:
+    def test_known_quantiles(self):
+        # Reference values of the standard normal quantile function.
+        assert inverse_normal_cdf(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert inverse_normal_cdf(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert inverse_normal_cdf(0.025) == pytest.approx(-1.959964,
+                                                          abs=1e-5)
+        assert inverse_normal_cdf(0.8413447) == pytest.approx(1.0, abs=1e-4)
+
+    def test_symmetry(self):
+        u = np.linspace(0.01, 0.99, 25)
+        z = inverse_normal_cdf(u)
+        assert np.allclose(z, -inverse_normal_cdf(1.0 - u), atol=1e-8)
+
+    def test_tail_branches(self):
+        # Acklam's approximation switches branches at p = 0.02425.
+        assert inverse_normal_cdf(1e-6) == pytest.approx(-4.753424, abs=1e-4)
+        assert inverse_normal_cdf(1 - 1e-6) == pytest.approx(4.753424,
+                                                             abs=1e-4)
+
+    def test_domain(self):
+        with pytest.raises(ParameterError):
+            inverse_normal_cdf(0.0)
+        with pytest.raises(ParameterError):
+            inverse_normal_cdf(np.array([0.5, 1.0]))
+
+
+class TestDistributions:
+    def test_normal_ppf_and_clip(self):
+        d = Normal(1.0, 0.1, low=0.9, high=1.1)
+        u = np.linspace(0.001, 0.999, 101)
+        x = d.ppf(u)
+        assert np.all((x >= 0.9) & (x <= 1.1))
+        assert d.ppf(np.array([0.5]))[0] == pytest.approx(1.0, abs=1e-9)
+        assert d.nominal() == 1.0
+        assert d.at_sigma(1.0) == pytest.approx(1.1)   # clipped at high
+        assert d.at_sigma(-0.5) == pytest.approx(0.95)
+
+    def test_zero_sigma_normal_is_constant(self):
+        d = Normal(2.0, 0.0)
+        assert np.all(d.ppf(np.array([0.1, 0.9])) == 2.0)
+
+    def test_uniform(self):
+        d = Uniform(1.0, 3.0)
+        assert d.ppf(np.array([0.0, 0.5, 1.0])) == pytest.approx(
+            [1.0, 2.0, 3.0])
+        assert d.nominal() == 2.0
+        with pytest.raises(ParameterError):
+            Uniform(3.0, 1.0)
+
+    def test_fixed(self):
+        d = Fixed(3.9)
+        assert np.all(d.ppf(np.zeros(4)) == 3.9)
+        assert d.at_sigma(5.0) == 3.9
+
+    def test_choice_weights_and_sigma_steps(self):
+        d = Choice(((10, 0), (13, 0), (16, 0)), weights=(0.2, 0.6, 0.2))
+        assert d.nominal() == (13, 0)
+        assert d.at_sigma(+1.0) == (16, 0)
+        assert d.at_sigma(-1.0) == (10, 0)
+        assert d.at_sigma(-5.0) == (10, 0)   # clipped to the ends
+        values = d.ppf(np.array([0.05, 0.5, 0.95]))
+        assert list(values) == [(10, 0), (13, 0), (16, 0)]
+
+    def test_choice_ppf_2d(self):
+        d = Choice(((10, 0), (13, 0), (17, 0)))
+        out = d.ppf(np.array([[0.1, 0.9], [0.5, 0.2]]))
+        assert out.shape == (2, 2)
+        assert out[0, 0] == (10, 0)
+        assert out[0, 1] == (17, 0)
+
+    def test_choice_validation(self):
+        with pytest.raises(ParameterError):
+            Choice((), None)
+        with pytest.raises(ParameterError):
+            Choice(((13, 0),), weights=(0.2, 0.8))
+
+
+class TestParameterSpace:
+    def test_rejects_unknown_knob(self):
+        with pytest.raises(ParameterError):
+            ParameterSpace.from_dict({"threshold_v": Fixed(0.3)})
+
+    def test_to_parameters_chirality_override(self):
+        space = chirality_device_space()
+        params = space.to_parameters({"chirality": (14, 0),
+                                      "tox_nm": 1.4,
+                                      "fermi_level_ev": -0.3})
+        assert params.chirality == (14, 0)
+        assert params.resolve_chirality().n == 14
+        assert params.tox_nm == 1.4
+
+    def test_materialize_shape_check(self):
+        space = default_device_space()
+        with pytest.raises(ParameterError):
+            space.materialize(np.zeros((4, space.dims + 1)))
+
+    def test_describe_is_jsonable_and_ordered(self):
+        import json
+
+        desc = default_device_space().describe()
+        names = [k["name"] for k in desc["knobs"]]
+        assert names == ["diameter_nm", "tox_nm", "kappa",
+                         "fermi_level_ev", "temperature_k"]
+        json.dumps(desc)
+
+
+class TestCorners:
+    def test_tt_is_nominal(self):
+        space = default_device_space()
+        tt = corner_sample(space, "TT")
+        assert tt["diameter_nm"] == pytest.approx(1.0)
+        assert tt["tox_nm"] == pytest.approx(1.5)
+        assert tt["fermi_level_ev"] == pytest.approx(-0.32)
+
+    def test_fast_and_slow_move_in_drive_direction(self):
+        """FF increases Ion-favourable knobs, SS decreases them (thinner
+        oxide is faster, hence the inverted t_ox ordering)."""
+        space = default_device_space()
+        tt, ff, ss = (corner_sample(space, c) for c in ("TT", "FF", "SS"))
+        assert ss["diameter_nm"] < tt["diameter_nm"] < ff["diameter_nm"]
+        assert ff["tox_nm"] < tt["tox_nm"] < ss["tox_nm"]
+        assert ss["fermi_level_ev"] < tt["fermi_level_ev"] \
+            < ff["fermi_level_ev"]
+
+    def test_corner_ion_ordering(self):
+        """The presets actually order the drive current FF > TT > SS."""
+        from repro.pwl.device import CNFET
+
+        space = default_device_space()
+        ion = {}
+        for corner in CORNERS:
+            params = space.to_parameters(corner_sample(space, corner))
+            ion[corner] = CNFET(params).ids(0.6, 0.6)
+        assert ion["FF"] > ion["TT"] > ion["SS"]
+
+    def test_unknown_corner(self):
+        with pytest.raises(ParameterError):
+            corner_sample(default_device_space(), "FS")

@@ -1,0 +1,106 @@
+"""Sampler determinism and Latin-hypercube stratification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.variability.params import (
+    Choice,
+    Fixed,
+    Normal,
+    ParameterSpace,
+    Uniform,
+)
+from repro.variability.sampling import (
+    latin_hypercube,
+    monte_carlo,
+    sample_space,
+    unit_matrix,
+)
+
+
+def small_space() -> ParameterSpace:
+    return ParameterSpace.from_dict({
+        "diameter_nm": Normal(1.0, 0.06, low=0.6, high=2.0),
+        "tox_nm": Uniform(1.2, 1.8),
+        "kappa": Fixed(3.9),
+        "fermi_level_ev": Normal(-0.32, 0.01),
+    })
+
+
+class TestDeterminism:
+    def test_same_seed_identical_run_table(self):
+        space = small_space()
+        assert monte_carlo(space, 50, seed=42) == monte_carlo(
+            space, 50, seed=42)
+        assert latin_hypercube(space, 50, seed=42) == latin_hypercube(
+            space, 50, seed=42)
+
+    def test_different_seed_differs(self):
+        space = small_space()
+        assert monte_carlo(space, 50, seed=1) != monte_carlo(
+            space, 50, seed=2)
+        assert latin_hypercube(space, 50, seed=1) != latin_hypercube(
+            space, 50, seed=2)
+
+    def test_mc_and_lhs_streams_differ(self):
+        space = small_space()
+        assert monte_carlo(space, 50, seed=3) != latin_hypercube(
+            space, 50, seed=3)
+
+    def test_chunking_invariance(self):
+        """The run table is generated up-front, so chunked consumption
+        can never change the samples."""
+        space = small_space()
+        full = monte_carlo(space, 40, seed=9)
+        again = monte_carlo(space, 40, seed=9)
+        assert full[13:29] == again[13:29]
+
+    def test_discrete_choice_deterministic(self):
+        space = ParameterSpace.from_dict({
+            "chirality": Choice(((10, 0), (13, 0), (14, 0)),
+                                weights=(0.2, 0.6, 0.2)),
+        })
+        a = sample_space(space, 30, seed=5)
+        b = sample_space(space, 30, seed=5)
+        assert a == b
+        assert {s["chirality"] for s in a} <= {(10, 0), (13, 0), (14, 0)}
+
+
+class TestLatinHypercube:
+    def test_one_point_per_stratum_every_dimension(self):
+        n, dims = 64, 3
+        u = unit_matrix("lhs", n, dims, seed=11)
+        for j in range(dims):
+            strata = np.floor(u[:, j] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    def test_values_in_open_unit_interval(self):
+        u = unit_matrix("lhs", 200, 4, seed=0)
+        assert np.all(u > 0.0) and np.all(u < 1.0)
+
+    def test_mapped_samples_respect_distribution_bounds(self):
+        space = small_space()
+        for sample in latin_hypercube(space, 100, seed=2):
+            assert 0.6 <= sample["diameter_nm"] <= 2.0
+            assert 1.2 <= sample["tox_nm"] <= 1.8
+            assert sample["kappa"] == 3.9
+
+    def test_lhs_covers_tails_better_than_its_strata_promise(self):
+        """With n strata the extreme bins are always populated."""
+        n = 50
+        u = unit_matrix("lhs", n, 1, seed=4)
+        assert np.min(u) < 1.0 / n
+        assert np.max(u) > 1.0 - 1.0 / n
+
+
+class TestValidation:
+    def test_unknown_sampler(self):
+        with pytest.raises(ParameterError):
+            unit_matrix("sobol", 10, 2, seed=0)
+
+    def test_bad_counts(self):
+        with pytest.raises(ParameterError):
+            unit_matrix("mc", 0, 2, seed=0)
+        with pytest.raises(ParameterError):
+            unit_matrix("mc", 10, 0, seed=0)
