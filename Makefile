@@ -1,16 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-report examples smoke
+.PHONY: test bench bench-report examples smoke docs-check
 
-## tier-1 test suite (fast; what CI gates on)
+## tier-1 test suite (fast; what CI gates on) — includes the doc
+## coverage and docs link-checker gates
 test:
 	$(PYTHON) -m pytest -x -q
 
-## tiny end-to-end variability campaigns (CI smoke; <= 64 samples):
-## a seeded device-metric MC with TT/FF/SS corners, then the same run
-## again against the run directory to exercise resume, then a small
-## circuit-level (inverter VTC) campaign.
+## docs gates only: markdown cross-links + public-API doc coverage
+docs-check:
+	$(PYTHON) -m pytest tests/test_docs_links.py \
+		tests/test_doc_coverage.py -q
+
+## tiny end-to-end campaigns + example scripts (CI smoke):
+## a seeded device-metric MC with TT/FF/SS corners, the same run again
+## against the run directory to exercise resume, a small circuit-level
+## (inverter VTC) campaign, a gate-characterization run, and the two
+## transient/characterization example scripts.
 smoke:
 	rm -rf .smoke-mc
 	$(PYTHON) -m repro mc --samples 64 --seed 7 --chunk-size 32 \
@@ -18,6 +25,10 @@ smoke:
 	$(PYTHON) -m repro mc --samples 64 --seed 7 --chunk-size 32 \
 		--run-dir .smoke-mc --json > /dev/null
 	$(PYTHON) -m repro mc --samples 8 --seed 7 --workload inverter
+	$(PYTHON) -m repro characterize --gate nand2 --loads 0.01,0.04 \
+		--slews 1,4 --json > /dev/null
+	$(PYTHON) examples/ring_oscillator.py
+	$(PYTHON) examples/gate_characterization.py
 	rm -rf .smoke-mc
 
 ## full paper-reproduction benchmark suite + perf snapshot.

@@ -2,9 +2,9 @@
 """Dump a ``BENCH_<name>.json`` perf snapshot so the trajectory is
 tracked across PRs.
 
-Measures the two headline workloads of the perf overhaul (ISSUE 1) and
-the Monte-Carlo campaign throughput of the variability subsystem
-(ISSUE 2):
+Measures the headline workloads of the perf overhaul (ISSUE 1), the
+Monte-Carlo campaign throughput of the variability subsystem (ISSUE 2)
+and the adaptive-transient engine gate (ISSUE 3):
 
 * **Fig. 6/7 IV families** — the batched ``iv_family`` path against the
   seed-style scalar loop (``model.ids`` point by point), same run, same
@@ -18,6 +18,13 @@ the Monte-Carlo campaign throughput of the variability subsystem
   handful of shared fits; warm: fit cache populated) against the
   seed-style naive loop (one freshly fitted device per sample, scalar
   bias evaluation).
+* **Adaptive transient** — two gates on the ring oscillator: (a)
+  *parity*: the adaptive engine pinned to the legacy grid
+  (``dt_min == dt_max == dt``) must reproduce the fixed-step
+  regression waveform within 1e-9 V (the residual is Newton
+  convergence noise); (b) *work*: at matched waveform accuracy against
+  a converged reference, the adaptive trapezoidal engine must need
+  >= 2x fewer Newton iterations than the legacy fixed-step BE engine.
 
 Usage::
 
@@ -59,6 +66,10 @@ TRANSIENT_WORK_REDUCTION_FLOOR = 1.5
 MC_SAMPLES = 2000
 MC_SPEEDUP_FLOOR = 10.0          # campaign vs naive per-sample loop
 MC_SAMPLES_PER_S_FLOOR = 300.0   # cold-campaign device-metric throughput
+
+#: acceptance floors from ISSUE 3 (adaptive transient)
+ADAPTIVE_PARITY_TOL_V = 1e-9     # pinned-grid waveform deviation
+ADAPTIVE_ITER_RATIO_FLOOR = 2.0  # legacy iterations / adaptive iterations
 
 
 def _best_of(fn, repeats: int, inner: int) -> float:
@@ -172,6 +183,96 @@ def bench_ring_transient() -> dict:
     }
 
 
+def bench_adaptive_transient() -> dict:
+    """ISSUE 3 gates on the 3-stage ring oscillator.
+
+    *Parity*: pinned to the legacy fixed grid the adaptive engine must
+    reproduce the legacy waveform within ``ADAPTIVE_PARITY_TOL_V``
+    (both runs under tight Newton tolerances so the comparison
+    measures the engines, not the Newton stop criterion).
+
+    *Work*: an adaptive trapezoidal run at default-ish tolerance is
+    scored against a converged reference, then the legacy fixed-step
+    BE engine's dt is walked down until it matches that accuracy; the
+    Newton-iteration ratio at the match point is the gated speed-up.
+    """
+    from repro.circuit.mna import NewtonOptions
+
+    family = LogicFamily.default(vdd=0.6)
+    ring, nodes = build_ring_oscillator(family, stages=3)
+    x0 = initial_conditions_from_op(ring, {"n0": 0.0, "n1": 0.6})
+
+    # -- (a) pinned-grid parity ---------------------------------------
+    tight = NewtonOptions(vtol=1e-12, reltol=1e-10)
+    legacy = transient(ring, tstop=1.5e-10, dt=2e-12, x0=x0,
+                       method="be", options=tight)
+    pinned = transient(ring, tstop=1.5e-10, dt=2e-12, x0=x0,
+                       method="be", options=tight, adaptive=True,
+                       dt_min=2e-12, dt_max=2e-12)
+    parity_v = max(
+        float(np.max(np.abs(legacy.trace(f"v({n})")
+                            - pinned.trace(f"v({n})"))))
+        for n in nodes
+    )
+
+    # -- (b) iterations at matched accuracy ---------------------------
+    tstop = 1e-11
+    reference = transient(ring, tstop=tstop, dt=2.5e-15, x0=x0,
+                          method="trap")
+    tgrid = np.linspace(0.0, tstop, 801)
+
+    def waveform_error(ds) -> float:
+        return max(
+            float(np.max(np.abs(
+                np.interp(tgrid, ds.axis, ds.trace(f"v({n})"))
+                - np.interp(tgrid, reference.axis,
+                            reference.trace(f"v({n})"))
+            )))
+            for n in nodes
+        )
+
+    adaptive_stats: dict = {}
+    adaptive = transient(ring, tstop=tstop, x0=x0, method="trap",
+                         rtol=3e-4, stats=adaptive_stats)
+    err_adaptive = waveform_error(adaptive)
+
+    matched = False
+    fixed_dt = fixed_iters = err_fixed = float("nan")
+    for dt in (1.6e-13, 8e-14, 4e-14, 2e-14, 1e-14, 5e-15, 2.5e-15):
+        fixed_stats: dict = {}
+        fixed = transient(ring, tstop=tstop, dt=dt, x0=x0, method="be",
+                          stats=fixed_stats)
+        fixed_dt, fixed_iters = dt, fixed_stats["iterations"]
+        err_fixed = waveform_error(fixed)
+        if err_fixed <= err_adaptive:
+            matched = True
+            break
+    # If even the finest dt stays less accurate, the ratio at the
+    # finest dt *understates* the true equal-accuracy ratio — still a
+    # valid lower bound for the gate.
+    ratio = fixed_iters / adaptive_stats["iterations"]
+    return {
+        "workload": "3-stage CNFET ring oscillator (ISSUE 3 gates)",
+        "parity_pinned_grid_v": parity_v,
+        "parity_tol_v": ADAPTIVE_PARITY_TOL_V,
+        "reference": {"method": "trap", "dt": 2.5e-15, "tstop": tstop},
+        "adaptive": {
+            "method": "trap", "rtol": 3e-4,
+            "steps": adaptive_stats["steps"],
+            "iterations": adaptive_stats["iterations"],
+            "rejected_lte": adaptive_stats.get("rejected_lte", 0),
+            "waveform_error_v": err_adaptive,
+        },
+        "fixed_at_match": {
+            "method": "be", "dt": fixed_dt,
+            "iterations": fixed_iters,
+            "waveform_error_v": err_fixed,
+            "matched_accuracy": matched,
+        },
+        "iteration_ratio": ratio,
+    }
+
+
 def bench_mc_device() -> dict:
     """2000-sample device-metric MC campaign vs the naive loop.
 
@@ -250,6 +351,7 @@ def main(argv=None) -> int:
         },
         "iv_family": bench_iv_family(),
         "transient_ring": bench_ring_transient(),
+        "transient_adaptive": bench_adaptive_transient(),
         "mc_device": bench_mc_device(),
     }
 
@@ -266,6 +368,11 @@ def main(argv=None) -> int:
     print(f"  ring transient: {ring['wall_s']*1e3:.1f} ms, "
           f"{ring['iterations_per_step']:.2f} Newton iters/step, "
           f"work reduction {ring['work_reduction']:.2f}x")
+    ada = report["transient_adaptive"]
+    print(f"  adaptive transient: pinned-grid parity "
+          f"{ada['parity_pinned_grid_v']:.1e} V, "
+          f"{ada['iteration_ratio']:.1f}x fewer Newton iterations than "
+          f"legacy fixed-step at matched accuracy")
     mc = report["mc_device"]
     print(f"  MC device metrics: {mc['samples_per_s_cold']:,.0f} "
           f"samples/s cold ({mc['fits']} fits, "
@@ -291,6 +398,15 @@ def main(argv=None) -> int:
             failures.append(
                 f"MC throughput {mc['samples_per_s_cold']:.0f} samples/s "
                 f"< {MC_SAMPLES_PER_S_FLOOR}")
+        if ada["parity_pinned_grid_v"] > ADAPTIVE_PARITY_TOL_V:
+            failures.append(
+                f"adaptive pinned-grid parity "
+                f"{ada['parity_pinned_grid_v']:.2e} V > "
+                f"{ADAPTIVE_PARITY_TOL_V:.0e} V")
+        if ada["iteration_ratio"] < ADAPTIVE_ITER_RATIO_FLOOR:
+            failures.append(
+                f"adaptive iteration ratio {ada['iteration_ratio']:.2f}x "
+                f"< {ADAPTIVE_ITER_RATIO_FLOOR}x")
         if failures:
             print("BENCH CHECK FAILED: " + "; ".join(failures))
             return 1

@@ -2,7 +2,9 @@
 
 The paper's future work names "practical logic circuit structures based
 on CNT devices"; this example builds a 3- and 5-stage ring from the fast
-Model 2 devices and measures oscillation frequency and stage delay.
+Model 2 devices, measures oscillation frequency and stage delay, and
+compares the fixed-step engine against the adaptive LTE-controlled one
+(docs/transient.md) on the same circuit.
 
 Run:  python examples/ring_oscillator.py
 """
@@ -12,14 +14,19 @@ from repro.circuit.transient import initial_conditions_from_op, transient
 from repro.experiments.report import ascii_table, sparkline
 
 
-def run_ring(family: LogicFamily, stages: int):
+def run_ring(family: LogicFamily, stages: int, adaptive: bool,
+             stats: dict):
     circuit, nodes = build_ring_oscillator(family, stages=stages)
     # Kick the ring off its metastable symmetric point.
     x0 = initial_conditions_from_op(
         circuit, {nodes[0]: 0.0, nodes[1]: family.vdd}
     )
-    dataset = transient(circuit, tstop=2.5e-10, dt=2e-12, x0=x0,
-                        method="be")
+    if adaptive:
+        dataset = transient(circuit, tstop=2.5e-10, x0=x0, method="trap",
+                            rtol=3e-3, stats=stats)
+    else:
+        dataset = transient(circuit, tstop=2.5e-10, dt=2e-12, x0=x0,
+                            method="be", stats=stats)
     period = dataset.period_estimate(f"v({nodes[0]})", family.vdd / 2)
     return dataset, nodes, period
 
@@ -28,22 +35,34 @@ def main() -> None:
     family = LogicFamily.default(vdd=0.6, model="model2")
     rows = []
     for stages in (3, 5):
-        dataset, nodes, period = run_ring(family, stages)
-        freq_ghz = 1e-9 / period
-        stage_delay_ps = period / (2 * stages) * 1e12
-        rows.append((stages, f"{period*1e12:.1f} ps",
-                     f"{freq_ghz:.1f} GHz", f"{stage_delay_ps:.2f} ps"))
-        trace = dataset.voltage(nodes[0])
-        print(f"{stages}-stage ring, v({nodes[0]}): {sparkline(trace, 60)}")
+        for adaptive in (False, True):
+            stats: dict = {}
+            dataset, nodes, period = run_ring(family, stages, adaptive,
+                                              stats)
+            label = "adaptive trap" if adaptive else "fixed BE 2 ps"
+            rows.append((
+                stages, label, stats["steps"], stats["iterations"],
+                f"{period*1e12:.1f} ps",
+                f"{period / (2 * stages) * 1e12:.2f} ps",
+            ))
+            if adaptive:
+                trace = dataset.voltage(nodes[0])
+                print(f"{stages}-stage ring (adaptive), v({nodes[0]}): "
+                      f"{sparkline(trace, 60)}")
     print()
     print(ascii_table(
-        ("stages", "period", "frequency", "stage delay"),
-        rows, title="CNFET ring oscillators (model2 devices, BE, 2 ps step)",
+        ("stages", "engine", "steps", "newton iters", "period",
+         "stage delay"),
+        rows, title="CNFET ring oscillators: fixed vs adaptive stepping",
     ))
-    print("\nNote: per-stage delay reflects the tiny per-unit-length "
-          "device charges\nand the 1e-17 F load of the logic family — "
-          "the point is the engine runs\nmulti-device nonlinear "
-          "transients built on the paper's fast model.")
+    print(
+        "\nNote: the adaptive engine resolves the ring's real ~5 ps "
+        "oscillation\n(the 2 ps fixed-BE march over-damps it into a much "
+        "slower artifact —\nsee docs/transient.md), which is why its "
+        "period differs and its step\ncount is higher at equal tstop.  "
+        "At matched accuracy it needs ~5x fewer\nNewton iterations than "
+        "fixed-step BE; `make bench` gates that ratio."
+    )
 
 
 if __name__ == "__main__":

@@ -19,8 +19,15 @@ Public entry points
     Monte-Carlo campaign engine: parameter distributions, corner
     presets, seeded samplers, resumable run tables and circuit-level
     statistics (the ``mc`` CLI subcommand).
+``repro.characterize``
+    Standard-cell style gate characterization: delay/slew/energy
+    lookup tables over load x slew grids (the ``characterize`` CLI
+    subcommand).
+
+The documentation set under ``docs/`` (start at ``docs/index.md``)
+covers each subsystem in depth.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,37 @@
+"""Standard-cell style gate characterization (delay / slew / energy).
+
+The paper's future work names "practical logic circuit structures based
+on CNT devices"; the workload that makes a compact model *useful* for
+them is library characterization — timing a cell over an input-slew x
+output-load grid the way a Liberty flow does.  This subsystem does that
+on top of the adaptive transient engine:
+
+``gates``
+    :class:`GateSpec` registry: inverter, NAND2/NAND3, NOR2 and a
+    transmission-gate buffer, each with its driven test-circuit
+    builder and side-input conventions.
+``engine``
+    :func:`characterize_gate`: one adaptive transient per grid point
+    (both output arcs from a single input pulse), measuring 50%-50%
+    delay, 20%-80% output slew and supply switching energy.
+``table``
+    :class:`CharTable` lookup tables with JSON / CSV / Liberty-style
+    export and ASCII rendering.
+``variability``
+    :class:`GateDelayEvaluator`: plugs gate timing into the
+    Monte-Carlo campaign engine (``python -m repro mc --workload
+    gate``).
+
+See ``docs/characterization.md`` for the measurement definitions and a
+worked example, and ``python -m repro characterize --help`` for the
+CLI.
+"""
+
+from repro.characterize.engine import (  # noqa: F401
+    DEFAULT_LOADS,
+    DEFAULT_SLEWS,
+    characterize_gate,
+)
+from repro.characterize.gates import GATES, GateSpec, gate_spec  # noqa: F401
+from repro.characterize.table import ArcTable, CharTable  # noqa: F401
+from repro.characterize.variability import GateDelayEvaluator  # noqa: F401

@@ -1,0 +1,221 @@
+"""Gate characterization engine: transient timing over a load x slew grid.
+
+For every ``(input slew, output load)`` grid point one adaptive
+transient simulates a full input pulse (rise edge, settled high, fall
+edge, settled low) through the gate's driven test circuit, and three
+metrics are measured per output arc:
+
+* **delay** — 50% input crossing to 50% output crossing [s];
+* **out_slew** — output 20%-80% transition time [s];
+* **energy** — charge drawn from the VDD supply over the transition
+  window times VDD, with the pre-edge leakage baseline subtracted [J].
+
+The input edges are exact waveform breakpoints, so the adaptive
+stepper lands on them and refines around the transition while coasting
+through the settled plateaus — the workload the adaptive engine was
+built for.  Simulation horizons are auto-scaled from the family's
+drive strength (``load x VDD / Ion``), so one code path characterizes
+femto-farad logic loads and much larger fan-out equivalents alike.
+
+Failed measurements (output never crosses a threshold — e.g. a
+degraded transmission-gate level) yield ``NaN`` cells rather than
+aborting the table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # numpy >= 2.0
+    from numpy import trapezoid as _trapezoid
+except ImportError:  # pragma: no cover - numpy 1.x
+    from numpy import trapz as _trapezoid
+
+from repro.characterize.gates import GateSpec, gate_spec
+from repro.characterize.table import ArcTable, CharTable
+from repro.circuit.logic import LogicFamily
+from repro.circuit.results import Dataset
+from repro.circuit.transient import transient
+from repro.circuit.waveforms import Pulse
+from repro.errors import AnalysisError, ParameterError
+
+__all__ = ["characterize_gate", "DEFAULT_LOADS", "DEFAULT_SLEWS"]
+
+#: Default output-load grid [F] (logic-family load to ~8x fan-out).
+DEFAULT_LOADS = (1e-17, 4e-17, 8e-17)
+#: Default input-slew grid [s] (0-100% ramp time).
+DEFAULT_SLEWS = (1e-12, 4e-12, 1e-11)
+
+#: Output-slew measurement thresholds (fractions of VDD).
+SLEW_LO = 0.2
+SLEW_HI = 0.8
+#: Settling margin in units of the estimated drive time constant.
+_SETTLE_TAUS = 40.0
+
+
+def _drive_tau(family: LogicFamily, load_f: float) -> float:
+    """Crude output time-constant estimate ``load x VDD / Ion`` [s]."""
+    ion = abs(family.n_device.ids(family.vdd, family.vdd))
+    if ion <= 0.0:
+        return 1e-12
+    return load_f * family.vdd / ion
+
+
+def _first_crossing_in(dataset: Dataset, trace: str, level: float,
+                       t0: float, t1: float,
+                       rising: Optional[bool] = None) -> float:
+    """First crossing of ``level`` inside ``[t0, t1)``; NaN if none."""
+    for t in dataset.crossings(trace, level, rising=rising):
+        if t0 <= t < t1:
+            return t
+    return math.nan
+
+
+def _supply_energy(dataset: Dataset, vdd: float, t0: float,
+                   t1: float) -> float:
+    """Energy delivered by the VDD source over ``[t0, t1]`` [J].
+
+    The branch current of ``vdd_src`` follows the SPICE sink
+    convention (positive into the + terminal), so delivered power is
+    ``-vdd * i``; the leakage baseline just before ``t0`` is
+    subtracted so plateau leakage does not bill the transition.
+    """
+    t = dataset.axis
+    i = dataset.current("vdd_src")
+    mask = (t >= t0) & (t <= t1)
+    if mask.sum() < 2:
+        return math.nan
+    i_leak = float(np.interp(t0, t, i))
+    return float(-vdd * _trapezoid(i[mask] - i_leak, t[mask]))
+
+
+def _measure_arc(dataset: Dataset, out: str, vdd: float,
+                 t_in_50: float, window: Tuple[float, float],
+                 out_rising: bool) -> Dict[str, float]:
+    """Delay / output slew / energy of one transition window."""
+    t0, t1 = window
+    trace = f"v({out})"
+    t_out_50 = _first_crossing_in(dataset, trace, 0.5 * vdd, t0, t1,
+                                  rising=out_rising)
+    lo, hi = SLEW_LO * vdd, SLEW_HI * vdd
+    if out_rising:
+        t_a = _first_crossing_in(dataset, trace, lo, t0, t1, rising=True)
+        t_b = _first_crossing_in(dataset, trace, hi, t0, t1, rising=True)
+    else:
+        t_a = _first_crossing_in(dataset, trace, hi, t0, t1, rising=False)
+        t_b = _first_crossing_in(dataset, trace, lo, t0, t1, rising=False)
+    return {
+        "delay": t_out_50 - t_in_50,
+        "out_slew": t_b - t_a,
+        "energy": _supply_energy(dataset, vdd, t0, t1),
+    }
+
+
+def characterize_gate(family: LogicFamily, gate: str = "nand2",
+                      loads: Sequence[float] = DEFAULT_LOADS,
+                      slews: Sequence[float] = DEFAULT_SLEWS,
+                      method: str = "trap",
+                      rtol: Optional[float] = None,
+                      atol: Optional[float] = None) -> CharTable:
+    """Characterize ``gate`` over a ``loads x slews`` grid.
+
+    Parameters
+    ----------
+    family : LogicFamily
+        Device pair and supply; ``family.load_f`` is overridden by each
+        grid load.
+    gate : str
+        A :data:`repro.characterize.GATES` key (``nand2``, ``nor2``,
+        ``nand3``, ``inverter``, ``tgate``).
+    loads : sequence of float
+        Output load capacitances [F].
+    slews : sequence of float
+        Input 0-100% transition times [s].
+    method : {"trap", "be"}
+        Integration method for the adaptive transients.
+    rtol, atol : float, optional
+        LTE tolerances forwarded to :func:`repro.circuit.transient`.
+
+    Returns
+    -------
+    CharTable
+        Grids ``[i_slew][j_load]`` per output arc (``rise``/``fall``).
+    """
+    spec = gate_spec(gate)
+    loads = tuple(float(c) for c in loads)
+    slews = tuple(float(s) for s in slews)
+    if not loads or any(c <= 0.0 for c in loads):
+        raise ParameterError(f"loads must be positive: {loads}")
+    if not slews or any(s <= 0.0 for s in slews):
+        raise ParameterError(f"slews must be positive: {slews}")
+    vdd = family.vdd
+    arcs = {"rise": ArcTable(), "fall": ArcTable()}
+    for slew in slews:
+        rows: Dict[str, Dict[str, list]] = {
+            name: {m: [] for m in ("delay", "out_slew", "energy")}
+            for name in arcs
+        }
+        for load in loads:
+            point = _characterize_point(spec, family, slew, load,
+                                        method, rtol, atol)
+            for arc_name, metrics in point.items():
+                for metric, value in metrics.items():
+                    rows[arc_name][metric].append(value)
+        for arc_name, metrics in rows.items():
+            arcs[arc_name].delay.append(metrics["delay"])
+            arcs[arc_name].out_slew.append(metrics["out_slew"])
+            arcs[arc_name].energy.append(metrics["energy"])
+    return CharTable(
+        gate=gate, vdd=vdd, slews=slews, loads=loads, arcs=arcs,
+        meta={
+            "model": family.n_device.model_name
+            if hasattr(family.n_device, "model_name") else "reference",
+            "method": method,
+            "rtol": rtol,
+            "atol": atol,
+            "slew_thresholds": [SLEW_LO, SLEW_HI],
+            "inverting": spec.inverting,
+        },
+    )
+
+
+def _characterize_point(spec: GateSpec, family: LogicFamily, slew: float,
+                        load: float, method: str,
+                        rtol: Optional[float],
+                        atol: Optional[float]) -> Dict[str, Dict]:
+    """One transient covering both arcs of a single grid point."""
+    vdd = family.vdd
+    tau = _drive_tau(family, load)
+    settle = max(_SETTLE_TAUS * tau, 10.0 * slew, 2e-12)
+    t0 = max(2.0 * tau, 1e-12)
+    width = settle
+    wave = Pulse(0.0, vdd, delay=t0, rise=slew, fall=slew,
+                 width=width, period=4.0 * (t0 + 2 * slew + width))
+    circuit, _vin, vout = spec.build(family, wave, load)
+    tstop = t0 + slew + width + slew + settle
+    nan = {m: math.nan for m in ("delay", "out_slew", "energy")}
+    try:
+        dataset = transient(circuit, tstop=tstop, method=method,
+                            rtol=rtol, atol=atol)
+    except AnalysisError:
+        return {"rise": dict(nan), "fall": dict(nan)}
+    # Input 50% crossings are analytic (the Pulse is exact).
+    t_in_rise_50 = t0 + 0.5 * slew
+    t_in_fall_50 = t0 + slew + width + 0.5 * slew
+    window_a = (t0, t0 + slew + width)      # input rising edge
+    window_b = (t0 + slew + width, tstop)   # input falling edge
+    # Output arc direction per window depends on gate polarity.
+    if spec.inverting:
+        fall = _measure_arc(dataset, vout, vdd, t_in_rise_50, window_a,
+                            out_rising=False)
+        rise = _measure_arc(dataset, vout, vdd, t_in_fall_50, window_b,
+                            out_rising=True)
+    else:
+        rise = _measure_arc(dataset, vout, vdd, t_in_rise_50, window_a,
+                            out_rising=True)
+        fall = _measure_arc(dataset, vout, vdd, t_in_fall_50, window_b,
+                            out_rising=False)
+    return {"rise": rise, "fall": fall}

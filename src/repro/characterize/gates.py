@@ -1,0 +1,123 @@
+"""Gate registry for the characterization engine.
+
+A :class:`GateSpec` describes everything the engine needs to time a
+gate: how to build the driven test circuit from a
+:class:`~repro.circuit.logic.LogicFamily`, which node switches, whether
+the output inverts, and what the non-switching inputs are tied to
+(their *non-controlling* level, so the switching input alone decides
+the output).
+
+Available gates (:data:`GATES`): ``inverter``, ``nand2``, ``nor2``,
+``nand3`` and the non-inverting transmission-gate buffer ``tgate``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.circuit.logic import (
+    LogicFamily,
+    build_inverter,
+    build_nand2,
+    build_nand3,
+    build_nor2,
+    build_tgate_buffer,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Waveform
+from repro.errors import ParameterError
+
+__all__ = ["GateSpec", "GATES", "gate_spec"]
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Characterization recipe of one logic gate.
+
+    Attributes
+    ----------
+    name : str
+        Registry key (also the CLI ``--gate`` value).
+    n_inputs : int
+        Logical input count (the switching input is always the first).
+    inverting : bool
+        Whether the output transitions opposite to the input.
+    non_controlling : float
+        Side-input level as a fraction of VDD (1.0 for NAND-style
+        gates, 0.0 for NOR-style); irrelevant for single-input gates.
+    builder : callable
+        ``builder(family, wave) -> (circuit, in_node, out_node)`` —
+        the driven test circuit with the switching input attached to
+        ``wave`` and every side input tied to its non-controlling
+        level.
+    description : str
+        One-line summary for ``--help`` and docs.
+    """
+
+    name: str
+    n_inputs: int
+    inverting: bool
+    non_controlling: float
+    builder: Callable[[LogicFamily, Waveform],
+                      Tuple[Circuit, str, str]]
+    description: str
+
+    def build(self, family: LogicFamily, wave: Waveform,
+              load_f: float) -> Tuple[Circuit, str, str]:
+        """Driven test circuit with the output loaded by ``load_f`` [F].
+
+        Returns ``(circuit, input_node, output_node)``.
+        """
+        loaded = dataclasses.replace(family, load_f=float(load_f))
+        return self.builder(loaded, wave)
+
+
+def _build_nand2(family, wave):
+    circuit, vout = build_nand2(family, wave_a=wave, wave_b=family.vdd)
+    return circuit, "a", vout
+
+
+def _build_nor2(family, wave):
+    circuit, vout = build_nor2(family, wave_a=wave, wave_b=0.0)
+    return circuit, "a", vout
+
+
+def _build_nand3(family, wave):
+    circuit, vout = build_nand3(family, wave_a=wave, wave_b=family.vdd,
+                                wave_c=family.vdd)
+    return circuit, "a", vout
+
+
+def _build_tgate(family, wave):
+    circuit, vout = build_tgate_buffer(family, vin_wave=wave)
+    return circuit, "in", vout
+
+
+#: name -> GateSpec of every characterizable gate.
+GATES: Dict[str, GateSpec] = {
+    spec.name: spec for spec in (
+        GateSpec("inverter", 1, True, 0.0, build_inverter,
+                 "complementary inverter (n + p CNFET)"),
+        GateSpec("nand2", 2, True, 1.0, _build_nand2,
+                 "2-input NAND, input A switching, B tied high"),
+        GateSpec("nor2", 2, True, 0.0, _build_nor2,
+                 "2-input NOR, input A switching, B tied low"),
+        GateSpec("nand3", 3, True, 1.0, _build_nand3,
+                 "3-input NAND, input A switching, B/C tied high"),
+        GateSpec("tgate", 1, False, 0.0, _build_tgate,
+                 "enabled transmission-gate buffer (non-inverting)"),
+    )
+}
+
+
+def gate_spec(name: str) -> GateSpec:
+    """Look up a gate by name; raises
+    :class:`~repro.errors.ParameterError` for unknown names."""
+    try:
+        return GATES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown gate {name!r}; expected one of {sorted(GATES)}"
+        ) from None

@@ -1,0 +1,169 @@
+"""Characterization result container and exporters.
+
+A :class:`CharTable` holds delay / output-slew / switching-energy
+lookup tables over an input-slew x output-load grid — the same shape a
+Liberty ``timing()`` / ``internal_power()`` group uses — and exports
+them as JSON (machine-readable, the CLI ``--json`` payload), CSV (one
+row per grid point and arc) or a Liberty-flavoured text block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.report import ascii_table
+
+__all__ = ["ArcTable", "CharTable"]
+
+#: Metric keys stored per arc.
+ARC_METRICS = ("delay", "out_slew", "energy")
+
+
+@dataclass
+class ArcTable:
+    """One timing arc: 2-D grids indexed ``[i_slew][j_load]``.
+
+    Attributes
+    ----------
+    delay : list of list of float
+        50%-input to 50%-output propagation delay [s].
+    out_slew : list of list of float
+        Output 20%-80% transition time [s].
+    energy : list of list of float
+        Energy drawn from the supply during the transition [J]
+        (leakage-baseline subtracted).
+    """
+
+    delay: List[List[float]] = field(default_factory=list)
+    out_slew: List[List[float]] = field(default_factory=list)
+    energy: List[List[float]] = field(default_factory=list)
+
+    def to_json_dict(self) -> Dict:
+        """JSON-ready per-arc grids."""
+        return {"delay": self.delay, "out_slew": self.out_slew,
+                "energy": self.energy}
+
+
+@dataclass
+class CharTable:
+    """Delay / slew / energy characterization of one gate.
+
+    Attributes
+    ----------
+    gate : str
+        Gate name (a :data:`repro.characterize.GATES` key).
+    vdd : float
+        Supply voltage [V].
+    slews : tuple of float
+        Input transition times (0-100% ramp) of the grid [s].
+    loads : tuple of float
+        Output load capacitances of the grid [F].
+    arcs : dict
+        ``{"rise": ArcTable, "fall": ArcTable}`` keyed by the *output*
+        transition direction.
+    meta : dict
+        Engine settings (model, tolerances, thresholds) for
+        reproducibility.
+    """
+
+    gate: str
+    vdd: float
+    slews: Tuple[float, ...]
+    loads: Tuple[float, ...]
+    arcs: Dict[str, ArcTable]
+    meta: Dict = field(default_factory=dict)
+
+    # -- exports -------------------------------------------------------
+
+    def to_json_dict(self) -> Dict:
+        """JSON-ready payload (see ``docs/characterization.md``)."""
+        return {
+            "gate": self.gate,
+            "vdd": self.vdd,
+            "slews_s": list(self.slews),
+            "loads_f": list(self.loads),
+            "arcs": {name: arc.to_json_dict()
+                     for name, arc in self.arcs.items()},
+            "meta": dict(self.meta),
+        }
+
+    def to_csv(self) -> str:
+        """One CSV row per ``(arc, slew, load)`` grid point."""
+        lines = ["arc,slew_s,load_f,delay_s,out_slew_s,energy_j"]
+        for arc_name in sorted(self.arcs):
+            arc = self.arcs[arc_name]
+            for i, slew in enumerate(self.slews):
+                for j, load in enumerate(self.loads):
+                    lines.append(
+                        f"{arc_name},{slew:.6g},{load:.6g},"
+                        f"{arc.delay[i][j]:.8g},"
+                        f"{arc.out_slew[i][j]:.8g},"
+                        f"{arc.energy[i][j]:.8g}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def to_liberty(self) -> str:
+        """Liberty-flavoured text block (indices in ns, loads in pF,
+        energies folded into ``internal_power`` in fJ — the unit
+        conventions of a typical ``.lib``)."""
+        slews_ns = ", ".join(f"{s * 1e9:.6g}" for s in self.slews)
+        loads_pf = ", ".join(f"{c * 1e12:.6g}" for c in self.loads)
+
+        def grid(values, scale):
+            rows = []
+            for row in values:
+                cells = ", ".join(f"{v * scale:.6g}" if math.isfinite(v)
+                                  else "nan" for v in row)
+                rows.append(f'        "{cells}"')
+            return ", \\\n".join(rows)
+
+        blocks = [f"cell ({self.gate}) {{"]
+        for arc_name in sorted(self.arcs):
+            arc = self.arcs[arc_name]
+            direction = arc_name
+            blocks.append(
+                f"  timing () {{ /* output {direction} */\n"
+                f"    cell_{direction} (delay_template) {{\n"
+                f"      index_1 (\"{slews_ns}\"); /* input slew, ns */\n"
+                f"      index_2 (\"{loads_pf}\"); /* load, pF */\n"
+                f"      values ( \\\n{grid(arc.delay, 1e9)} );\n"
+                f"    }}\n"
+                f"    {direction}_transition (delay_template) {{\n"
+                f"      values ( \\\n{grid(arc.out_slew, 1e9)} );\n"
+                f"    }}\n"
+                f"  }}"
+            )
+            blocks.append(
+                f"  internal_power () {{ /* output {direction}, fJ */\n"
+                f"    {direction}_power (energy_template) {{\n"
+                f"      values ( \\\n{grid(arc.energy, 1e15)} );\n"
+                f"    }}\n"
+                f"  }}"
+            )
+        blocks.append("}")
+        return "\n".join(blocks) + "\n"
+
+    def render(self) -> str:
+        """ASCII tables (ps / fJ units), one block per arc."""
+        blocks = []
+        headers = ["slew \\ load"] + [f"{c * 1e15:.2f} fF"
+                                      for c in self.loads]
+        for arc_name in sorted(self.arcs):
+            arc = self.arcs[arc_name]
+            for metric, unit, scale in (("delay", "ps", 1e12),
+                                        ("out_slew", "ps", 1e12),
+                                        ("energy", "fJ", 1e15)):
+                rows = []
+                values = getattr(arc, metric)
+                for i, slew in enumerate(self.slews):
+                    rows.append([f"{slew * 1e12:.1f} ps"]
+                                + [values[i][j] * scale
+                                   for j in range(len(self.loads))])
+                blocks.append(ascii_table(
+                    headers, rows,
+                    title=f"{self.gate} output-{arc_name} "
+                          f"{metric} [{unit}]",
+                ))
+        return "\n\n".join(blocks)

@@ -1,0 +1,96 @@
+"""Gate-delay Monte-Carlo evaluator: characterization meets variability.
+
+Bridges :mod:`repro.characterize` into the campaign engine of
+:mod:`repro.variability`: every sampled device pair is characterized at
+one nominal ``(input slew, output load)`` point and reports
+
+``delay_rise`` / ``delay_fall``
+    50%-to-50% propagation delays of the two output arcs [s];
+``out_slew``
+    mean of the two output 20%-80% transition times [s];
+``energy``
+    total supply energy of a full output cycle (both arcs) [J].
+
+Like the other circuit evaluators it deduplicates samples by quantised
+device key and can fan distinct keys out over a multiprocessing pool
+(``workers``).  Use it through ``python -m repro mc --workload gate``
+or :func:`repro.experiments.workloads.variability_workload`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.characterize.engine import characterize_gate
+from repro.characterize.gates import gate_spec
+from repro.errors import ParameterError
+from repro.variability.circuits import _CircuitEvaluatorBase
+from repro.variability.params import ParameterSpace
+
+__all__ = ["GateDelayEvaluator"]
+
+
+class GateDelayEvaluator(_CircuitEvaluatorBase):
+    """Per-sample gate timing/energy at one nominal slew/load point.
+
+    Parameters
+    ----------
+    space : ParameterSpace
+        Sampled device knobs (shared by the n and mirrored p device).
+    gate : str
+        Gate to characterize (a :data:`repro.characterize.GATES` key).
+    slew : float
+        Input 0-100% transition time [s].
+    load : float
+        Output load capacitance [F].
+    vdd : float
+        Supply voltage [V].
+    model : str
+        Fast-model name (``model1``/``model2``).
+    workers : int
+        Multiprocessing pool size for distinct device keys.
+    """
+
+    METRICS = ("delay_rise", "delay_fall", "out_slew", "energy")
+
+    def __init__(self, space: ParameterSpace, gate: str = "nand2",
+                 slew: float = 4e-12, load: float = 4e-17,
+                 vdd: float = 0.6, model: str = "model2",
+                 workers: int = 1,
+                 quantize: Optional[Mapping[str, int]] = None,
+                 spec_limits: Optional[Mapping[str, Tuple]] = None) -> None:
+        super().__init__(space, vdd, model, workers, quantize, spec_limits)
+        gate_spec(gate)  # validate early
+        if slew <= 0.0 or load <= 0.0:
+            raise ParameterError(
+                f"slew and load must be > 0: slew={slew!r}, load={load!r}"
+            )
+        self.gate = gate
+        self.slew = float(slew)
+        self.load = float(load)
+
+    def describe(self) -> Dict:
+        """JSON-able evaluator fingerprint (campaign manifests)."""
+        return {"kind": "gate-delay", "gate": self.gate,
+                "slew": self.slew, "load": self.load, "vdd": self.vdd,
+                "model": self.model, "quantize": self.quantize,
+                "spec_limits": {k: list(v)
+                                for k, v in self.spec_limits.items()}
+                if self.spec_limits else None}
+
+    def _nan_metrics(self) -> Dict[str, float]:
+        return {m: math.nan for m in self.METRICS}
+
+    def _evaluate_key(self, key: Tuple) -> Dict[str, float]:
+        family = self._family(key)
+        table = characterize_gate(family, self.gate,
+                                  loads=(self.load,), slews=(self.slew,))
+        rise, fall = table.arcs["rise"], table.arcs["fall"]
+        return {
+            "delay_rise": rise.delay[0][0],
+            "delay_fall": fall.delay[0][0],
+            "out_slew": 0.5 * (rise.out_slew[0][0]
+                               + fall.out_slew[0][0]),
+            "energy": rise.energy[0][0] + fall.energy[0][0],
+        }

@@ -8,11 +8,14 @@ A deliberately compact but real modified-nodal-analysis (MNA) simulator:
 * :mod:`repro.circuit.mna` — assembly and the damped Newton loop with
   gmin/source stepping fallbacks;
 * :mod:`repro.circuit.dc` — operating point and DC sweeps;
-* :mod:`repro.circuit.transient` — backward-Euler / trapezoidal
-  integration with Newton per step;
+* :mod:`repro.circuit.transient` — adaptive LTE-controlled
+  backward-Euler / trapezoidal integration with event-aware waveform
+  breakpoints (plus the legacy fixed-step mode; see
+  ``docs/transient.md``);
 * :mod:`repro.circuit.parser` — SPICE-flavoured netlist text front end;
-* :mod:`repro.circuit.logic` — CNFET gate builders (inverter, NAND,
-  ring oscillator) used by the examples.
+* :mod:`repro.circuit.logic` — CNFET gate builders (inverter,
+  NAND2/NAND3, NOR2, transmission gate, ring oscillator) used by the
+  examples and :mod:`repro.characterize`.
 """
 
 from repro.circuit.ac import ac_analysis, decade_frequencies

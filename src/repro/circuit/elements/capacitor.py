@@ -30,6 +30,8 @@ class Capacitor(Element):
         self._i_prev = 0.0
 
     def stamp(self, ctx: StampContext) -> None:
+        """Stamp the BE/trapezoidal companion conductance and
+        history current (no DC stamp: a capacitor is open)."""
         if ctx.analysis != "tran" or ctx.dt is None:
             return
         a, b = self.nodes

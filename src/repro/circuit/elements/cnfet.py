@@ -213,6 +213,8 @@ class CNFETElement(Element):
     # -- stamping ---------------------------------------------------------
 
     def stamp(self, ctx: StampContext) -> None:
+        """Stamp the linearised current companion (gm, gds,
+        residual) plus, in transient, the charge companions."""
         d, g, s = self.nodes
         vgs, vds = self._bias(ctx)
         tran = ctx.analysis == "tran" and ctx.dt is not None

@@ -48,6 +48,8 @@ class Diode(Element):
         return i, g
 
     def stamp(self, ctx: StampContext) -> None:
+        """Stamp the linearised Shockley companion (conductance +
+        residual current) around the current iterate."""
         a, c = self.nodes
         v = ctx.voltage(a) - ctx.voltage(c)
         i, g = self.current_and_conductance(v)

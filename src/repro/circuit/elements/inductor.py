@@ -29,6 +29,8 @@ class Inductor(Element):
         self._v_prev = 0.0
 
     def stamp(self, ctx: StampContext) -> None:
+        """Stamp the branch equation (DC short; transient
+        companion voltage source behind the branch current)."""
         a, b = self.nodes
         ia, ib = ctx.idx(a), ctx.idx(b)
         k = self.aux_index

@@ -28,9 +28,11 @@ class Resistor(Element):
 
     @property
     def conductance(self) -> float:
+        """Conductance ``1/R`` [S]."""
         return 1.0 / self.resistance
 
     def stamp(self, ctx: StampContext) -> None:
+        """Stamp the conductance four-pattern."""
         a, b = self.nodes
         ctx.add_conductance(a, b, self.conductance)
 

@@ -30,11 +30,13 @@ class VoltageSource(Element):
         self.waveform = _as_waveform(value)
 
     def source_value(self, ctx: StampContext) -> float:
+        """Waveform value at the context time (DC value in DC) [V]."""
         if ctx.analysis == "tran" and ctx.time is not None:
             return self.waveform.value(ctx.time)
         return self.waveform.dc_value()
 
     def stamp(self, ctx: StampContext) -> None:
+        """Stamp the branch constraint rows and the source value."""
         a, b = self.nodes
         ia, ib = ctx.idx(a), ctx.idx(b)
         k = self.aux_index
@@ -55,10 +57,12 @@ class CurrentSource(Element):
         self.waveform = _as_waveform(value)
 
     def source_value(self, ctx: StampContext) -> float:
+        """Waveform value at the context time (DC value in DC) [A]."""
         if ctx.analysis == "tran" and ctx.time is not None:
             return self.waveform.value(ctx.time)
         return self.waveform.dc_value()
 
     def stamp(self, ctx: StampContext) -> None:
+        """Inject the source current from node a to node b."""
         a, b = self.nodes
         ctx.add_current(a, b, self.source_value(ctx) * ctx.source_scale)

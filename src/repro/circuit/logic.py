@@ -3,10 +3,12 @@
 The paper motivates the fast model with "simulations of circuits that
 might involve very large numbers of CNT devices" and names logic
 structures as future work; these builders create the canonical test
-circuits used by the examples and integration tests:
+circuits used by the examples, the gate-characterization subsystem
+(:mod:`repro.characterize`) and the integration tests:
 
 * complementary inverter (n + p CNFET),
-* 2-input NAND,
+* 2-input NAND / NOR, 3-input NAND,
+* transmission-gate buffer,
 * N-stage ring oscillator with load capacitors.
 
 The p-type device is the voltage-mirrored n-type model (see
@@ -85,6 +87,73 @@ def add_nand2(circuit: Circuit, family: LogicFamily, name: str,
     ))
 
 
+def add_nor2(circuit: Circuit, family: LogicFamily, name: str,
+             in_a: str, in_b: str, vout: str,
+             vdd_node: str = "vdd") -> None:
+    """2-input NOR: stacked p pull-ups, parallel n pull-downs."""
+    mid = f"{name}_mid"
+    circuit.add(CNFETElement(
+        f"{name}_pa", mid, in_a, vdd_node, device=family.p_device,
+        length_nm=family.length_nm,
+    ))
+    circuit.add(CNFETElement(
+        f"{name}_pb", vout, in_b, mid, device=family.p_device,
+        length_nm=family.length_nm,
+    ))
+    circuit.add(CNFETElement(
+        f"{name}_na", vout, in_a, "0", device=family.n_device,
+        length_nm=family.length_nm,
+    ))
+    circuit.add(CNFETElement(
+        f"{name}_nb", vout, in_b, "0", device=family.n_device,
+        length_nm=family.length_nm,
+    ))
+
+
+def add_nand3(circuit: Circuit, family: LogicFamily, name: str,
+              in_a: str, in_b: str, in_c: str, vout: str,
+              vdd_node: str = "vdd") -> None:
+    """3-input NAND: three parallel p pull-ups, three stacked n
+    pull-downs."""
+    mid1, mid2 = f"{name}_mid1", f"{name}_mid2"
+    for tag, node in (("pa", in_a), ("pb", in_b), ("pc", in_c)):
+        circuit.add(CNFETElement(
+            f"{name}_{tag}", vout, node, vdd_node,
+            device=family.p_device, length_nm=family.length_nm,
+        ))
+    circuit.add(CNFETElement(
+        f"{name}_na", vout, in_a, mid1, device=family.n_device,
+        length_nm=family.length_nm,
+    ))
+    circuit.add(CNFETElement(
+        f"{name}_nb", mid1, in_b, mid2, device=family.n_device,
+        length_nm=family.length_nm,
+    ))
+    circuit.add(CNFETElement(
+        f"{name}_nc", mid2, in_c, "0", device=family.n_device,
+        length_nm=family.length_nm,
+    ))
+
+
+def add_tgate_buffer(circuit: Circuit, family: LogicFamily, name: str,
+                     vin: str, vout: str, enable: str,
+                     enable_bar: str) -> None:
+    """Transmission gate passing ``vin`` to ``vout`` while enabled.
+
+    The n-device conducts for ``enable`` high, the mirrored p-device
+    for ``enable_bar`` low; together they pass both logic levels
+    (each device alone degrades one rail by its threshold).
+    """
+    circuit.add(CNFETElement(
+        f"{name}_n", vout, enable, vin, device=family.n_device,
+        length_nm=family.length_nm,
+    ))
+    circuit.add(CNFETElement(
+        f"{name}_p", vout, enable_bar, vin, device=family.p_device,
+        length_nm=family.length_nm,
+    ))
+
+
 def build_inverter(family: LogicFamily,
                    vin_wave: Waveform | float = 0.0
                    ) -> Tuple[Circuit, str, str]:
@@ -109,6 +178,51 @@ def build_nand2(family: LogicFamily,
     circuit.add(VoltageSource("va_src", "a", "0", wave_a))
     circuit.add(VoltageSource("vb_src", "b", "0", wave_b))
     add_nand2(circuit, family, "nand", "a", "b", "out")
+    circuit.add(Capacitor("cload", "out", "0", family.load_f))
+    return circuit, "out"
+
+
+def build_nor2(family: LogicFamily,
+               wave_a: Waveform | float = 0.0,
+               wave_b: Waveform | float = 0.0) -> Tuple[Circuit, str]:
+    """2-input NOR with driven inputs; returns ``(circuit, out_node)``."""
+    circuit = Circuit("cnfet nor2")
+    circuit.add(VoltageSource("vdd_src", "vdd", "0", family.vdd))
+    circuit.add(VoltageSource("va_src", "a", "0", wave_a))
+    circuit.add(VoltageSource("vb_src", "b", "0", wave_b))
+    add_nor2(circuit, family, "nor", "a", "b", "out")
+    circuit.add(Capacitor("cload", "out", "0", family.load_f))
+    return circuit, "out"
+
+
+def build_nand3(family: LogicFamily,
+                wave_a: Waveform | float = 0.0,
+                wave_b: Waveform | float = 0.0,
+                wave_c: Waveform | float = 0.0) -> Tuple[Circuit, str]:
+    """3-input NAND with driven inputs; returns ``(circuit, out_node)``."""
+    circuit = Circuit("cnfet nand3")
+    circuit.add(VoltageSource("vdd_src", "vdd", "0", family.vdd))
+    circuit.add(VoltageSource("va_src", "a", "0", wave_a))
+    circuit.add(VoltageSource("vb_src", "b", "0", wave_b))
+    circuit.add(VoltageSource("vc_src", "c", "0", wave_c))
+    add_nand3(circuit, family, "nand", "a", "b", "c", "out")
+    circuit.add(Capacitor("cload", "out", "0", family.load_f))
+    return circuit, "out"
+
+
+def build_tgate_buffer(family: LogicFamily,
+                       vin_wave: Waveform | float = 0.0
+                       ) -> Tuple[Circuit, str]:
+    """Enabled transmission-gate buffer driven by ``vin_wave``.
+
+    Returns ``(circuit, out_node)``; the enables are tied active
+    (``en = VDD``, ``enb = 0``).
+    """
+    circuit = Circuit("cnfet tgate buffer")
+    circuit.add(VoltageSource("vdd_src", "vdd", "0", family.vdd))
+    circuit.add(VoltageSource("ven_src", "en", "0", family.vdd))
+    circuit.add(VoltageSource("vin_src", "in", "0", vin_wave))
+    add_tgate_buffer(circuit, family, "tg", "in", "out", "en", "0")
     circuit.add(Capacitor("cload", "out", "0", family.load_f))
     return circuit, "out"
 

@@ -37,6 +37,7 @@ class Circuit:
         return element
 
     def element(self, name: str) -> Element:
+        """Look up an element by (case-insensitive) name."""
         try:
             return self._by_name[name.lower()]
         except KeyError:
@@ -89,6 +90,7 @@ class Circuit:
 
     @property
     def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
         return len(self.nodes)
 
     def reset_state(self) -> None:
@@ -97,6 +99,7 @@ class Circuit:
             el.reset_state()
 
     def iter_elements(self, cls: Optional[type] = None) -> Iterable[Element]:
+        """Iterate elements, optionally filtered by class."""
         for el in self.elements:
             if cls is None or isinstance(el, cls):
                 yield el

@@ -22,6 +22,7 @@ class Dataset:
         self._traces: Dict[str, np.ndarray] = {}
 
     def add_trace(self, name: str, values: Sequence[float]) -> None:
+        """Attach a trace (same length as the axis)."""
         arr = np.asarray(values, dtype=float)
         if arr.shape != self.axis.shape:
             raise ParameterError(
@@ -31,6 +32,7 @@ class Dataset:
         self._traces[name.lower()] = arr
 
     def trace(self, name: str) -> np.ndarray:
+        """A trace by (case-insensitive) name."""
         try:
             return self._traces[name.lower()]
         except KeyError:
@@ -43,12 +45,15 @@ class Dataset:
 
     @property
     def names(self) -> List[str]:
+        """Sorted trace names."""
         return sorted(self._traces)
 
     def voltage(self, node: str) -> np.ndarray:
+        """Voltage trace ``v(node)`` [V]."""
         return self.trace(f"v({node})")
 
     def current(self, element: str) -> np.ndarray:
+        """Current trace ``i(element)`` [A]."""
         return self.trace(f"i({element})")
 
     # ------------------------------------------------------------------
@@ -99,6 +104,7 @@ class Dataset:
         return float(np.mean(diffs))
 
     def swing(self, name: str) -> float:
+        """Peak-to-peak excursion of a trace."""
         y = self.trace(name)
         return float(np.max(y) - np.min(y))
 

@@ -1,14 +1,33 @@
-"""Transient analysis: fixed-step BE/trapezoidal with Newton per step.
+"""Transient analysis: adaptive LTE-controlled BE/trapezoidal engine.
 
-The step size is fixed (``dt``) but the engine halves it locally (up to
-``max_halvings`` times) when a step's Newton iteration fails to
-converge, then re-doubles — a simple, predictable robustness scheme
-adequate for the strongly-damped logic circuits this library simulates.
+Two stepping modes share one Newton back end (the two-phase assembler,
+so static stamps are refreshed once per step attempt, never per
+iteration):
+
+* **fixed-step** (``dt`` given) — the legacy engine: march at ``dt``,
+  halve locally (up to ``max_halvings`` times) when a step's Newton
+  iteration fails to converge, then re-double.  Byte-for-byte the
+  historical behaviour for circuits without source breakpoints.
+* **adaptive** (``dt`` omitted or ``adaptive=True``) — variable-step
+  integration with per-step local-truncation-error (LTE) control: a
+  polynomial predictor extrapolates the solution history, the implicit
+  corrector (BE or trapezoidal) solves the step, and the scaled
+  predictor–corrector difference estimates the LTE.  A PI controller
+  picks the next step; steps whose error exceeds ``rtol``/``atol`` are
+  rejected and retried smaller, and Newton failures feed the same
+  rejection path (shrink by 4x).  ``dt_min``/``dt_max`` bound the step.
+
+Both modes are **event-aware**: waveform breakpoints (PULSE edges, PWL
+corners — see :meth:`Waveform.breakpoints`) are landed on exactly, so a
+source edge falling between two natural steps is never smeared.
+
+See ``docs/transient.md`` for the integrator theory, the controller
+constants, and tuning guidance.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,46 +44,240 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.results import Dataset
 from repro.errors import AnalysisError, ParameterError
 
+__all__ = ["transient", "initial_conditions_from_op",
+           "DEFAULT_RTOL", "DEFAULT_ATOL"]
+
+#: Default relative LTE tolerance of the adaptive controller.
+DEFAULT_RTOL = 1e-3
+#: Default absolute LTE tolerance [V].
+DEFAULT_ATOL = 1e-6
+
+#: PI controller safety factor and per-step growth/shrink clamps.
+_SAFETY = 0.9
+_FAC_MIN = 0.2
+_FAC_MAX = 5.0
+#: Growth cap when no LTE estimate exists (first step, post-breakpoint).
+_FAC_BLIND = 2.0
+#: Step shrink on a Newton convergence failure.
+_NEWTON_SHRINK = 0.25
+#: Step shrink when landing on a breakpoint (integration restarts).
+_BREAKPOINT_SHRINK = 0.1
+#: Hard cap on accepted steps (keeps a runaway dt_min from hanging).
+_MAX_ACCEPTED_STEPS = 2_000_000
+
+
+def _collect_breakpoints(circuit: Circuit, tstop: float) -> List[float]:
+    """Sorted, deduplicated source-waveform corner times in (0, tstop)."""
+    times = set()
+    for el in circuit.elements:
+        waveform = getattr(el, "waveform", None)
+        if waveform is not None:
+            times.update(waveform.breakpoints(0.0, tstop))
+    return sorted(times)
+
+
+def _quadratic_extrapolate(ts: Sequence[float], xs: Sequence[np.ndarray],
+                           t: float) -> np.ndarray:
+    """Lagrange extrapolation of three history points at time ``t``."""
+    t0, t1, t2 = ts
+    l0 = (t - t1) * (t - t2) / ((t0 - t1) * (t0 - t2))
+    l1 = (t - t0) * (t - t2) / ((t1 - t0) * (t1 - t2))
+    l2 = (t - t0) * (t - t1) / ((t2 - t0) * (t2 - t1))
+    return l0 * xs[0] + l1 * xs[1] + l2 * xs[2]
+
+
+def _predict(hist_t: List[float], hist_x: List[np.ndarray], t_next: float,
+             method: str) -> Tuple[Optional[np.ndarray], float]:
+    """Predictor and LTE divisor for the step ending at ``t_next``.
+
+    Returns ``(x_pred, divisor)`` where the method's local truncation
+    error is estimated as ``|x_corrector - x_pred| / divisor``; the
+    divisors come from the uniform-step error constants (trapezoidal
+    LTE ``-h^3 x'''/12`` vs quadratic-extrapolation error ``h^3 x'''``;
+    BE LTE ``h^2 x''/2`` vs linear-extrapolation error ``h^2 x''``).
+    ``(None, 1.0)`` when there is not enough smooth history.
+    """
+    if method == "trap" and len(hist_t) >= 3:
+        pred = _quadratic_extrapolate(hist_t[-3:], hist_x[-3:], t_next)
+        return pred, 11.0
+    if len(hist_t) >= 2:
+        t0, t1 = hist_t[-2], hist_t[-1]
+        x0, x1 = hist_x[-2], hist_x[-1]
+        pred = x1 + (x1 - x0) * ((t_next - t1) / (t1 - t0))
+        # Linear predictor under a 2nd-order corrector overestimates
+        # the LTE (conservative); only used while history warms up.
+        return pred, 3.0 if method == "be" else 2.0
+    return None, 1.0
+
+
+class _StepRecorder:
+    """Accumulates accepted steps and finalises the Dataset."""
+
+    def __init__(self, circuit: Circuit, x0: np.ndarray) -> None:
+        self.circuit = circuit
+        self.times = [0.0]
+        self.solutions = [x0.copy()]
+
+    def accept(self, t: float, x: np.ndarray, x_prev: np.ndarray,
+               dt: float, method: str) -> None:
+        """Commit a converged step: element state update + recording."""
+        circuit = self.circuit
+        ctx = StampContext(
+            matrix=np.zeros((0, 0)), rhs=np.zeros(0),
+            node_index=circuit.node_index, x=x, analysis="tran",
+            time=t, dt=dt, x_prev=x_prev, method=method,
+        )
+        for el in circuit.elements:
+            el.accept_step(ctx)
+        self.times.append(t)
+        self.solutions.append(x.copy())
+
+    def dataset(self, record_currents: bool) -> Dataset:
+        circuit = self.circuit
+        data = np.asarray(self.solutions)
+        dataset = Dataset("time", self.times)
+        for node, idx in circuit.node_index.items():
+            dataset.add_trace(f"v({node})", data[:, idx])
+        if record_currents:
+            for el in circuit.iter_elements(VoltageSource):
+                dataset.add_trace(f"i({el.name})", data[:, el.aux_index])
+            # CNFET current traces in one vectorized post-pass per
+            # element (the per-row scalar re-evaluation used to rival
+            # the Newton loop itself on long runs).
+            node_index = circuit.node_index
+            zeros = np.zeros(data.shape[0])
+
+            def node_trace(node: str) -> np.ndarray:
+                idx = node_index.get(node, -1)
+                return data[:, idx] if idx >= 0 else zeros
+
+            for el in circuit.iter_elements(CNFETElement):
+                d_node, g_node, s_node = el.nodes
+                vs_col = node_trace(s_node)
+                vgs = node_trace(g_node) - vs_col
+                vds = node_trace(d_node) - vs_col
+                if el.polarity == "p":
+                    vgs, vds = -vgs, -vds
+                series = el.backend.ids_many(vgs, vds)
+                if el.polarity == "p":
+                    series = -series
+                dataset.add_trace(f"i({el.name})", series)
+        return dataset
+
 
 def transient(
     circuit: Circuit,
     tstop: float,
-    dt: float,
+    dt: Optional[float] = None,
     method: str = "trap",
     options: NewtonOptions = NewtonOptions(),
     record_currents: bool = True,
     x0: Optional[np.ndarray] = None,
-    max_halvings: int = 8,
+    max_halvings: Optional[int] = None,
     stats: Optional[dict] = None,
+    *,
+    adaptive: Optional[bool] = None,
+    rtol: Optional[float] = None,
+    atol: Optional[float] = None,
+    dt_min: Optional[float] = None,
+    dt_max: Optional[float] = None,
 ) -> Dataset:
     """Integrate the circuit from its DC operating point to ``tstop``.
 
     Parameters
     ----------
-    circuit:
+    circuit : Circuit
         The circuit; transient element state is reset first.
-    tstop, dt:
-        Stop time and nominal step [s].
-    method:
-        ``"be"`` (backward Euler, L-stable, more damping) or ``"trap"``
-        (trapezoidal, 2nd order, SPICE default).
-    record_currents:
+    tstop : float
+        Stop time [s].
+    dt : float, optional
+        Fixed step [s].  Giving ``dt`` selects the legacy fixed-step
+        mode (unless ``adaptive=True``, where it seeds the initial
+        step); omitting it selects the adaptive engine.
+    method : {"trap", "be"}
+        ``"trap"`` (trapezoidal, 2nd order, SPICE default) or ``"be"``
+        (backward Euler, L-stable, more damping).
+    options : NewtonOptions
+        Newton-loop tuning knobs.
+    record_currents : bool
         Also record voltage-source branch currents and CNFET drain
         currents.
-    x0:
-        Optional initial solution (defaults to the DC operating point
-        at t = 0).
+    x0 : numpy.ndarray, optional
+        Initial solution (defaults to the DC operating point at t = 0).
+    max_halvings : int, optional
+        **Fixed-step only** — how many times a non-convergent step may
+        be halved before the run aborts (default 8).  In adaptive mode
+        step rejection is owned by the LTE controller (``rtol``/
+        ``atol``/``dt_min``), so passing ``max_halvings`` there raises
+        :class:`~repro.errors.ParameterError` rather than being
+        silently ignored.
+    stats : dict, optional
+        Accumulates step statistics: ``steps`` (accepted), ``solves``,
+        ``iterations`` (Newton), and in adaptive mode additionally
+        ``rejected_lte``, ``rejected_newton``, ``breakpoints_hit``,
+        ``dt_smallest``, ``dt_largest``.
+    adaptive : bool, optional
+        Force the stepping mode; default ``dt is None``.
+    rtol, atol : float, optional
+        **Adaptive only** — relative / absolute [V] LTE tolerances per
+        step (defaults 1e-3 / 1e-6 V).  Tightening them buys waveform
+        accuracy with smaller steps; see ``docs/transient.md``.
+    dt_min, dt_max : float, optional
+        **Adaptive only** — hard step bounds [s].  Defaults:
+        ``tstop * 1e-9`` and ``tstop / 50``.
 
     Returns
     -------
-    Dataset with axis ``time`` and traces ``v(node)`` / ``i(element)``.
+    Dataset
+        Axis ``time`` plus traces ``v(node)`` / ``i(element)``.  In
+        adaptive mode the time axis is non-uniform; use
+        :meth:`Dataset.at` for interpolation.
     """
     if tstop <= 0.0:
         raise ParameterError(f"tstop must be > 0: {tstop!r}")
-    if dt <= 0.0 or dt > tstop:
-        raise ParameterError(f"dt must be in (0, tstop]: {dt!r}")
     if method not in ("be", "trap"):
         raise ParameterError(f"method must be 'be' or 'trap': {method!r}")
+    if adaptive is None:
+        adaptive = dt is None
+    if not adaptive:
+        if dt is None:
+            raise ParameterError(
+                "fixed-step mode needs dt (omit it or pass adaptive=True "
+                "for the adaptive engine)"
+            )
+        if dt <= 0.0 or dt > tstop:
+            raise ParameterError(f"dt must be in (0, tstop]: {dt!r}")
+        for name, value in (("rtol", rtol), ("atol", atol),
+                            ("dt_min", dt_min), ("dt_max", dt_max)):
+            if value is not None:
+                raise ParameterError(
+                    f"{name} is an adaptive-mode option; fixed-step "
+                    f"accuracy is set by dt alone"
+                )
+        max_halvings = 8 if max_halvings is None else max_halvings
+    else:
+        if max_halvings is not None:
+            raise ParameterError(
+                "max_halvings is a fixed-step option; adaptive step "
+                "rejection is governed by rtol/atol/dt_min"
+            )
+        rtol = DEFAULT_RTOL if rtol is None else float(rtol)
+        atol = DEFAULT_ATOL if atol is None else float(atol)
+        if rtol < 0.0 or atol < 0.0 or rtol + atol <= 0.0:
+            raise ParameterError(
+                f"need rtol, atol >= 0 and rtol + atol > 0: "
+                f"rtol={rtol!r}, atol={atol!r}"
+            )
+        dt_max = tstop / 50.0 if dt_max is None else float(dt_max)
+        dt_min = tstop * 1e-9 if dt_min is None else float(dt_min)
+        if not 0.0 < dt_min <= dt_max <= tstop:
+            raise ParameterError(
+                f"need 0 < dt_min <= dt_max <= tstop: dt_min={dt_min!r}, "
+                f"dt_max={dt_max!r}"
+            )
+        if dt is not None and dt <= 0.0:
+            raise ParameterError(f"initial dt must be > 0: {dt!r}")
+
     circuit.reset_state()
     n = circuit.dimension()
     if x0 is None:
@@ -76,17 +289,56 @@ def transient(
                 f"x0 has shape {x.shape}, expected ({n},)"
             )
 
-    times = [0.0]
-    solutions = [x.copy()]
-    t = 0.0
-    current_dt = dt
-    halvings = 0
+    recorder = _StepRecorder(circuit, x)
+    breakpoints = _collect_breakpoints(circuit, tstop)
     # One assembler for the whole run: matrix/rhs buffers live across
     # steps; only the static stamps are refreshed per step.
     assembler = TwoPhaseAssembler(circuit)
-    while t < tstop - 1e-15 * tstop:
+    if adaptive:
+        _adaptive_loop(circuit, tstop, method, options, x, recorder,
+                       assembler, breakpoints, rtol, atol, dt_min, dt_max,
+                       dt, stats)
+    else:
+        _fixed_loop(circuit, tstop, dt, method, options, x, recorder,
+                    assembler, breakpoints, max_halvings, stats)
+    return recorder.dataset(record_currents)
+
+
+def _next_breakpoint(breakpoints: List[float], bp_idx: int, t: float,
+                     eps: float) -> int:
+    """Index of the first breakpoint strictly after ``t`` (+ eps)."""
+    n = len(breakpoints)
+    while bp_idx < n and breakpoints[bp_idx] <= t + eps:
+        bp_idx += 1
+    return bp_idx
+
+
+def _fixed_loop(circuit: Circuit, tstop: float, dt: float, method: str,
+                options: NewtonOptions, x: np.ndarray,
+                recorder: _StepRecorder, assembler: TwoPhaseAssembler,
+                breakpoints: List[float], max_halvings: int,
+                stats: Optional[dict]) -> None:
+    """Legacy fixed-step march with local halving on Newton failure.
+
+    Byte-for-byte the historical engine when the circuit has no source
+    breakpoints; otherwise steps are truncated to land exactly on each
+    breakpoint before resuming the ``dt`` cadence.
+    """
+    t = 0.0
+    current_dt = dt
+    halvings = 0
+    bp_idx = 0
+    eps = 1e-15 * tstop
+    while t < tstop - eps:
+        bp_idx = _next_breakpoint(breakpoints, bp_idx, t, eps)
         step = min(current_dt, tstop - t)
-        t_next = t + step
+        landing = (bp_idx < len(breakpoints)
+                   and breakpoints[bp_idx] - t <= step * (1.0 + 1e-12))
+        if landing:
+            t_next = breakpoints[bp_idx]
+            step = t_next - t
+        else:
+            t_next = t + step
         try:
             x_next = newton_solve(
                 circuit, x, options, analysis="tran", time=t_next,
@@ -102,63 +354,181 @@ def transient(
             current_dt = step / 2.0
             halvings += 1
             continue
-        # Let elements with memory accept the step.
-        ctx = StampContext(
-            matrix=np.zeros((0, 0)), rhs=np.zeros(0),
-            node_index=circuit.node_index, x=x_next, analysis="tran",
-            time=t_next, dt=step, x_prev=x, method=method,
-        )
-        for el in circuit.elements:
-            el.accept_step(ctx)
+        recorder.accept(t_next, x_next, x, step, method)
         t = t_next
         x = x_next
-        times.append(t)
-        solutions.append(x.copy())
+        if landing:
+            bp_idx += 1
+            if stats is not None:
+                stats["breakpoints_hit"] = \
+                    stats.get("breakpoints_hit", 0) + 1
         if stats is not None:
             stats["steps"] = stats.get("steps", 0) + 1
-        if halvings and current_dt < dt:
+        # Re-double after reductions.  Gating on current_dt (not the
+        # halvings counter) matters with breakpoints: one Newton
+        # failure on a breakpoint-sliver step can cut current_dt far
+        # below dt/2, and recovery must not be capped at 2^halvings.
+        # Without breakpoints step always equals current_dt mid-run,
+        # halvings > 0 iff current_dt < dt, and this is byte-for-byte
+        # the legacy behaviour.
+        if current_dt < dt:
             current_dt = min(dt, current_dt * 2.0)
             halvings = max(0, halvings - 1)
 
-    data = np.asarray(solutions)
-    dataset = Dataset("time", times)
-    for node, idx in circuit.node_index.items():
-        dataset.add_trace(f"v({node})", data[:, idx])
-    if record_currents:
-        for el in circuit.iter_elements(VoltageSource):
-            dataset.add_trace(f"i({el.name})", data[:, el.aux_index])
-        # CNFET current traces in one vectorized post-pass per element
-        # (the per-row scalar re-evaluation used to rival the Newton
-        # loop itself on long runs).
-        node_index = circuit.node_index
-        zeros = np.zeros(data.shape[0])
 
-        def node_trace(node: str) -> np.ndarray:
-            idx = node_index.get(node, -1)
-            return data[:, idx] if idx >= 0 else zeros
+def _adaptive_loop(circuit: Circuit, tstop: float, method: str,
+                   options: NewtonOptions, x: np.ndarray,
+                   recorder: _StepRecorder, assembler: TwoPhaseAssembler,
+                   breakpoints: List[float], rtol: float, atol: float,
+                   dt_min: float, dt_max: float, dt0: Optional[float],
+                   stats: Optional[dict]) -> None:
+    """Variable-step LTE-controlled integration (see module docstring).
 
-        for el in circuit.iter_elements(CNFETElement):
-            d_node, g_node, s_node = el.nodes
-            vs_col = node_trace(s_node)
-            vgs = node_trace(g_node) - vs_col
-            vds = node_trace(d_node) - vs_col
-            if el.polarity == "p":
-                vgs, vds = -vgs, -vds
-            series = el.backend.ids_many(vgs, vds)
-            if el.polarity == "p":
-                series = -series
-            dataset.add_trace(f"i({el.name})", series)
-    return dataset
+    Controller: predictor–corrector LTE estimate over the voltage
+    unknowns, weighted by ``atol + rtol * |v|``; accept when the scaled
+    error ``err <= 1``; PI step update ``h *= 0.9 err^(-0.7/k)
+    err_prev^(0.4/k)`` with ``k = order + 1``.  Newton failures shrink
+    the step 4x through the same rejection path.  Breakpoints are
+    landed on exactly; the solution history (and so the predictor) is
+    restarted across them because the derivative is discontinuous.
+    """
+    n_nodes = len(circuit.node_index)
+    k_order = 2 if method == "be" else 3
+    t = 0.0
+    h = min(dt_max, tstop / 1000.0) if dt0 is None else min(dt0, dt_max)
+    err_prev = 1.0
+    bp_idx = 0
+    eps = 1e-15 * tstop
+    accepted = 0
+    hist_t: List[float] = [0.0]
+    hist_x: List[np.ndarray] = [x.copy()]
+    while t < tstop - eps:
+        bp_idx = _next_breakpoint(breakpoints, bp_idx, t, eps)
+        h = min(max(h, dt_min), dt_max)
+        step = min(h, tstop - t)
+        landing = (bp_idx < len(breakpoints)
+                   and breakpoints[bp_idx] - t <= step * (1.0 + 1e-12))
+        if landing:
+            t_next = breakpoints[bp_idx]
+            step = t_next - t
+        else:
+            t_next = t + step
+        x_pred, divisor = _predict(hist_t, hist_x, t_next, method)
+        # The predictor doubles as the Newton starting point: an
+        # extrapolated start typically converges in 1-2 iterations
+        # where restarting from x_prev needs several.
+        x_start = x if x_pred is None else x_pred
+        try:
+            x_next = newton_solve(
+                circuit, x_start, options, analysis="tran", time=t_next,
+                dt=step, x_prev=x, method=method, assembler=assembler,
+                stats=stats,
+            )
+        except AnalysisError:
+            if stats is not None:
+                stats["rejected_newton"] = \
+                    stats.get("rejected_newton", 0) + 1
+            # A retry is only meaningful if the next attempt can be
+            # genuinely smaller; dt_min floors the controller, and a
+            # breakpoint sliver shorter than dt_min cannot shrink at
+            # all (the landing time is fixed), so both stall here.
+            shrunk = max(step * _NEWTON_SHRINK, dt_min)
+            if shrunk >= step * (1.0 - 1e-12):
+                raise AnalysisError(
+                    f"transient stalled at t={t:.3e} s: Newton failed "
+                    f"at an irreducible step ({step:.3e} s, dt_min="
+                    f"{dt_min:.3e} s)"
+                ) from None
+            h = shrunk
+            continue
+
+        err = None
+        if x_pred is not None:
+            v_now = np.abs(x[:n_nodes])
+            v_next = np.abs(x_next[:n_nodes])
+            weight = atol + rtol * np.maximum(v_now, v_next)
+            diff = np.abs(x_next[:n_nodes] - x_pred[:n_nodes])
+            err = float(np.max(diff / weight)) / divisor if n_nodes \
+                else 0.0
+        if err is not None and err > 1.0:
+            shrunk = max(
+                step * min(0.5, max(0.1,
+                                    _SAFETY * err ** (-1.0 / k_order))),
+                dt_min,
+            )
+            if shrunk < step * (1.0 - 1e-12):
+                if stats is not None:
+                    stats["rejected_lte"] = \
+                        stats.get("rejected_lte", 0) + 1
+                h = shrunk
+                continue
+            # The step cannot shrink (dt_min floor or an irreducible
+            # breakpoint sliver): accept it as the best available.
+
+        recorder.accept(t_next, x_next, x, step, method)
+        t = t_next
+        x = x_next
+        accepted += 1
+        if accepted > _MAX_ACCEPTED_STEPS:
+            raise AnalysisError(
+                f"transient exceeded {_MAX_ACCEPTED_STEPS} accepted "
+                f"steps; loosen rtol/atol or raise dt_min"
+            )
+        if stats is not None:
+            stats["steps"] = stats.get("steps", 0) + 1
+            stats["dt_smallest"] = min(stats.get("dt_smallest", step),
+                                       step)
+            stats["dt_largest"] = max(stats.get("dt_largest", step), step)
+        if err is None or err <= 0.0:
+            fac = _FAC_BLIND
+        else:
+            fac = _SAFETY * err ** (-0.7 / k_order) \
+                * err_prev ** (0.4 / k_order)
+            fac = min(_FAC_MAX, max(_FAC_MIN, fac))
+            err_prev = max(err, 1e-4)
+        h = step * fac
+        if landing:
+            bp_idx += 1
+            if stats is not None:
+                stats["breakpoints_hit"] = \
+                    stats.get("breakpoints_hit", 0) + 1
+            # The source derivative is discontinuous here: restart the
+            # predictor history and re-enter cautiously (the first
+            # post-breakpoint step has no LTE estimate).
+            hist_t = [t]
+            hist_x = [x.copy()]
+            h = max(dt_min, h * _BREAKPOINT_SHRINK)
+            err_prev = 1.0
+        else:
+            hist_t.append(t)
+            hist_x.append(x.copy())
+            if len(hist_t) > 3:
+                hist_t.pop(0)
+                hist_x.pop(0)
 
 
 def initial_conditions_from_op(circuit: Circuit,
                                overrides: Optional[dict] = None,
                                options: NewtonOptions = NewtonOptions()
                                ) -> np.ndarray:
-    """DC operating point with optional per-node voltage overrides.
+    """DC operating point with optional per-node voltage overrides [V].
 
     Useful to kick oscillators out of their unstable symmetric point:
     ``initial_conditions_from_op(ckt, {"n1": 0.0})``.
+
+    Parameters
+    ----------
+    circuit : Circuit
+        The circuit (transient state is reset).
+    overrides : dict, optional
+        ``{node_name: voltage}`` values forced onto the DC solution.
+    options : NewtonOptions
+        Newton-loop tuning knobs for the DC solve.
+
+    Returns
+    -------
+    numpy.ndarray
+        A solution vector usable as ``x0`` for :func:`transient`.
     """
     circuit.reset_state()
     x = robust_dc_solve(circuit, None, options)

@@ -10,6 +10,12 @@ import math
 from repro.errors import ParameterError
 
 
+#: Safety cap on the number of breakpoints one waveform may report
+#: (a short-period pulse over a long transient would otherwise flood
+#: the stepper with millions of corner times).
+MAX_BREAKPOINTS = 100_000
+
+
 class Waveform:
     """Base class: a scalar function of time."""
 
@@ -20,6 +26,17 @@ class Waveform:
         """Value used for the DC operating point (t = 0)."""
         return self.value(0.0)
 
+    def breakpoints(self, t0: float, t1: float) -> Tuple[float, ...]:
+        """Times in ``(t0, t1)`` where the waveform has a slope
+        discontinuity [s].
+
+        The transient engine lands a step *exactly* on every reported
+        breakpoint (both fixed- and adaptive-step modes), so sharp
+        source edges are never smeared across a step.  Smooth waveforms
+        return an empty tuple.
+        """
+        return ()
+
 
 @dataclass(frozen=True)
 class DC(Waveform):
@@ -28,6 +45,7 @@ class DC(Waveform):
     level: float = 0.0
 
     def value(self, t: float) -> float:
+        """The constant level [V or A]."""
         return self.level
 
 
@@ -52,6 +70,7 @@ class Pulse(Waveform):
             raise ParameterError("pulse rise+width+fall exceeds period")
 
     def value(self, t: float) -> float:
+        """Pulse level at time ``t`` [s] (periodic SPICE semantics)."""
         if t < self.delay:
             return self.v1
         tau = math.fmod(t - self.delay, self.period)
@@ -72,6 +91,25 @@ class Pulse(Waveform):
     def dc_value(self) -> float:
         return self.v1
 
+    def breakpoints(self, t0: float, t1: float) -> Tuple[float, ...]:
+        """Pulse corners (edge starts/ends) within ``(t0, t1)``."""
+        corners = []
+        offsets = (0.0, self.rise, self.rise + self.width,
+                   self.rise + self.width + self.fall)
+        k = max(0, int(math.floor((t0 - self.delay) / self.period)))
+        while True:
+            base = self.delay + k * self.period
+            if base > t1:
+                break
+            for off in offsets:
+                t = base + off
+                if t0 < t < t1:
+                    corners.append(t)
+            if len(corners) >= MAX_BREAKPOINTS:
+                break
+            k += 1
+        return tuple(dict.fromkeys(corners))
+
 
 @dataclass(frozen=True)
 class Sine(Waveform):
@@ -88,6 +126,7 @@ class Sine(Waveform):
             raise ParameterError(f"frequency must be > 0: {self.frequency}")
 
     def value(self, t: float) -> float:
+        """Damped sine level at time ``t`` [s]."""
         if t < self.delay:
             return self.offset
         dt = t - self.delay
@@ -97,6 +136,12 @@ class Sine(Waveform):
 
     def dc_value(self) -> float:
         return self.offset
+
+    def breakpoints(self, t0: float, t1: float) -> Tuple[float, ...]:
+        """The turn-on instant (slope discontinuity at ``delay``)."""
+        if t0 < self.delay < t1:
+            return (self.delay,)
+        return ()
 
 
 @dataclass(frozen=True)
@@ -124,6 +169,7 @@ class PWLWaveform(Waveform):
         return cls(pts)
 
     def value(self, t: float) -> float:
+        """Linear interpolation at ``t`` [s] (clamped at the ends)."""
         pts = self.points
         if t <= pts[0][0]:
             return pts[0][1]
@@ -135,3 +181,7 @@ class PWLWaveform(Waveform):
                     return v1
                 return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
         return pts[-1][1]  # pragma: no cover - unreachable
+
+    def breakpoints(self, t0: float, t1: float) -> Tuple[float, ...]:
+        """Every PWL corner time within ``(t0, t1)``."""
+        return tuple(t for t, _v in self.points if t0 < t < t1)

@@ -2,17 +2,19 @@
 
 Subcommands
 -----------
-``iv``       print an IV family for the fast or reference model
-``fit``      fit a model and print its piecewise regions
-``table``    regenerate a paper table (1, 2, 3, 4 or 5)
-``figure``   regenerate a paper figure (2-11)
-``codegen``  emit VHDL-AMS / Verilog-A / SPICE for a fitted device
-``mc``       run a variability Monte-Carlo campaign
+``iv``           print an IV family for the fast or reference model
+``fit``          fit a model and print its piecewise regions
+``table``        regenerate a paper table (1, 2, 3, 4 or 5)
+``figure``       regenerate a paper figure (2-11)
+``codegen``      emit VHDL-AMS / Verilog-A / SPICE for a fitted device
+``mc``           run a variability Monte-Carlo campaign
+``characterize`` delay/slew/energy tables for a logic gate
 
-``iv``, ``table`` and ``mc`` accept ``--seed`` and ``--json`` so
-one-off runs and campaign runs are scriptable the same way (``--json``
-prints a machine-readable payload; the seed is echoed in it and, where
-an experiment is stochastic, drives its random stream).
+``iv``, ``table``, ``mc`` and ``characterize`` accept ``--seed`` and
+``--json`` so one-off runs and campaign runs are scriptable the same
+way (``--json`` prints a machine-readable payload; the seed is echoed
+in it and, where an experiment is stochastic, drives its random
+stream).
 """
 
 from __future__ import annotations
@@ -149,7 +151,7 @@ def _cmd_mc(args) -> int:
     space, evaluator = variability_workload(
         args.workload, sigma_scale=args.sigma_scale, vdd=args.vdd,
         model=args.model, stages=args.stages, workers=args.workers,
-        metrics=args.metric,
+        metrics=args.metric, gate=args.gate,
     )
     config = CampaignConfig(
         name=args.workload, n_samples=args.samples,
@@ -185,6 +187,29 @@ def _cmd_mc(args) -> int:
         print(f"\nrun directory: {result.run_dir} "
               f"({result.resumed_chunks} chunks resumed, "
               f"{result.computed_chunks} computed)")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.characterize import characterize_gate
+    from repro.circuit.logic import LogicFamily
+
+    family = LogicFamily.default(vdd=args.vdd, model=args.model)
+    loads = tuple(float(c) * 1e-15 for c in args.loads.split(","))
+    slews = tuple(float(s) * 1e-12 for s in args.slews.split(","))
+    table = characterize_gate(family, args.gate, loads=loads,
+                              slews=slews)
+    if args.json:
+        payload = table.to_json_dict()
+        payload["command"] = "characterize"
+        payload["seed"] = args.seed
+        print(_dump_json(payload))
+    elif args.format == "csv":
+        print(table.to_csv(), end="")
+    elif args.format == "liberty":
+        print(table.to_liberty(), end="")
+    else:
+        print(table.render())
     return 0
 
 
@@ -266,7 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
         "mc", help="run a variability Monte-Carlo campaign")
     p_mc.add_argument("--workload", default="device",
                       choices=("device", "device-chirality", "inverter",
-                               "ringosc"))
+                               "ringosc", "gate"))
     p_mc.add_argument("--samples", type=int, default=256)
     p_mc.add_argument("--sampler", choices=("mc", "lhs"), default="mc")
     p_mc.add_argument("--chunk-size", type=int, default=256)
@@ -285,6 +310,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default="model2")
     p_mc.add_argument("--stages", type=int, default=3,
                       help="ring-oscillator stages (ringosc workload)")
+    p_mc.add_argument("--gate", default="nand2",
+                      help="gate name for the gate workload "
+                           "(see `characterize --help`)")
     p_mc.add_argument("--workers", type=int, default=1,
                       help="multiprocessing pool size for circuit "
                            "workloads")
@@ -294,6 +322,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="append per-metric ASCII histograms")
     _script_arguments(p_mc)
     p_mc.set_defaults(func=_cmd_mc)
+
+    p_char = sub.add_parser(
+        "characterize",
+        help="delay/slew/energy lookup tables for a logic gate")
+    p_char.add_argument("--gate", default="nand2",
+                        choices=("inverter", "nand2", "nor2", "nand3",
+                                 "tgate"))
+    p_char.add_argument("--loads", default="0.01,0.04,0.08",
+                        help="output loads, comma-separated [fF]")
+    p_char.add_argument("--slews", default="1,4,10",
+                        help="input slews, comma-separated [ps]")
+    p_char.add_argument("--vdd", type=float, default=0.6)
+    p_char.add_argument("--model", choices=("model1", "model2"),
+                        default="model2")
+    p_char.add_argument("--format", choices=("ascii", "csv", "liberty"),
+                        default="ascii",
+                        help="text output format (--json overrides)")
+    _script_arguments(p_char)
+    p_char.set_defaults(func=_cmd_characterize)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, choices=tuple(range(2, 12)))

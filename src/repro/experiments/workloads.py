@@ -100,13 +100,16 @@ VARIABILITY_WORKLOADS = {
                         "discrete (n,0) family around (13,0)",
     "inverter": "complementary-inverter VTC: VM, gain, noise margins",
     "ringosc": "ring-oscillator period / frequency / stage delay",
+    "gate": "gate timing/energy at a nominal slew/load point "
+            "(see repro.characterize)",
 }
 
 
 def variability_workload(name: str, sigma_scale: float = 1.0,
                          vdd: float = VARIABILITY_VDD,
                          model: str = "model2", stages: int = 3,
-                         workers: int = 1, metrics=None):
+                         workers: int = 1, metrics=None,
+                         gate: str = "nand2"):
     """``(space, evaluator)`` for a named variability workload.
 
     Imported lazily so the paper-table runners don't pay for the
@@ -152,6 +155,12 @@ def variability_workload(name: str, sigma_scale: float = 1.0,
         space = default_device_space(sigma_scale)
         return space, RingOscillatorEvaluator(
             space, vdd=vdd, model=model, stages=stages, workers=workers)
+    if name == "gate":
+        from repro.characterize import GateDelayEvaluator
+
+        space = default_device_space(sigma_scale)
+        return space, GateDelayEvaluator(
+            space, gate=gate, vdd=vdd, model=model, workers=workers)
     raise CampaignError(
         f"unknown variability workload {name!r}; expected one of "
         f"{sorted(VARIABILITY_WORKLOADS)}"

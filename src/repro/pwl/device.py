@@ -218,6 +218,7 @@ class CNFET:
 
     @property
     def model_name(self) -> str:
+        """Name of the fitted piecewise spec (model1/model2/custom)."""
         return self.fitted.spec.name
 
     def vsc(self, vg: float, vd: float, vs: float = 0.0) -> float:

@@ -144,6 +144,7 @@ class DeviceMetricsEvaluator:
     # -- identity ------------------------------------------------------
 
     def describe(self) -> Dict:
+        """JSON-able evaluator fingerprint (campaign manifests)."""
         return {
             "kind": "device-metrics",
             "metrics": list(self.metrics),
@@ -275,6 +276,7 @@ class CampaignConfig:
             )
 
     def describe(self) -> Dict:
+        """JSON-able config fingerprint (campaign manifests)."""
         return {"name": self.name, "n_samples": self.n_samples,
                 "seed": self.seed, "sampler": self.sampler,
                 "chunk_size": self.chunk_size}
@@ -293,13 +295,16 @@ class CampaignResult:
 
     @property
     def metric_names(self) -> List[str]:
+        """Aggregated metric names, in evaluator order."""
         return list(self.aggregate)
 
     def values(self, metric: str) -> np.ndarray:
+        """Per-run values of one metric (NaN where a run failed)."""
         return np.array([rec["metrics"].get(metric, math.nan)
                          for rec in self.records], dtype=float)
 
     def render(self, histograms: bool = False) -> str:
+        """ASCII summary table (plus optional per-metric histograms)."""
         headers = ["metric", "n", "mean", "std", "cv", "min", "p5",
                    "p50", "p95", "max"]
         has_yield = any("yield" in s for s in self.aggregate.values())
@@ -325,6 +330,7 @@ class CampaignResult:
         return text
 
     def to_json_dict(self) -> Dict:
+        """JSON payload: config, aggregate, per-run records."""
         return {
             "config": self.config.describe(),
             "aggregate": self.aggregate,
@@ -348,6 +354,7 @@ class Campaign:
     # -- identity ------------------------------------------------------
 
     def manifest(self) -> Dict:
+        """Config + space + evaluator description (what is run)."""
         return {
             "config": self.config.describe(),
             "space": self.space.describe(),
@@ -355,6 +362,7 @@ class Campaign:
         }
 
     def fingerprint(self) -> str:
+        """SHA-256 of the canonical manifest (resume safety check)."""
         canonical = json.dumps(self.manifest(), sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()
 

@@ -112,6 +112,7 @@ class InverterVTCEvaluator(_CircuitEvaluatorBase):
         self.points = int(points)
 
     def describe(self) -> Dict:
+        """JSON-able evaluator fingerprint (campaign manifests)."""
         return {"kind": "inverter-vtc", "vdd": self.vdd,
                 "model": self.model, "points": self.points,
                 "quantize": self.quantize,
@@ -174,6 +175,7 @@ class RingOscillatorEvaluator(_CircuitEvaluatorBase):
         self.dt = float(dt)
 
     def describe(self) -> Dict:
+        """JSON-able evaluator fingerprint (campaign manifests)."""
         return {"kind": "ring-oscillator", "vdd": self.vdd,
                 "model": self.model, "stages": self.stages,
                 "tstop": self.tstop, "dt": self.dt,

@@ -102,15 +102,19 @@ class Distribution:
     """
 
     def ppf(self, u: np.ndarray):
+        """Inverse CDF: unit-hypercube coordinates to knob values."""
         raise NotImplementedError
 
     def nominal(self):
+        """The typical (TT-corner) knob value."""
         raise NotImplementedError
 
     def at_sigma(self, k: float):
+        """Knob value ``k`` standard deviations from nominal."""
         raise NotImplementedError
 
     def describe(self) -> Dict:
+        """JSON-able fingerprint for campaign manifests."""
         raise NotImplementedError
 
 
@@ -316,10 +320,12 @@ class ParameterSpace:
 
     @property
     def names(self) -> Tuple[str, ...]:
+        """Varied knob names, in declaration order."""
         return tuple(n for n, _ in self.distributions)
 
     @property
     def dims(self) -> int:
+        """Number of varied knobs (unit-hypercube dimensions)."""
         return len(self.distributions)
 
     def materialize(self, unit: np.ndarray) -> List[Dict]:
@@ -341,6 +347,7 @@ class ParameterSpace:
         return out
 
     def nominal_sample(self) -> Dict:
+        """The TT-corner sample (every knob at nominal)."""
         return {name: dist.nominal() for name, dist in self.distributions}
 
     def to_parameters(self, sample: Mapping) -> FETToyParameters:

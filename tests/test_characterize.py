@@ -1,0 +1,211 @@
+"""Gate-characterization subsystem: gates, engine, tables, MC bridge."""
+
+import json
+import math
+
+import pytest
+
+from repro.characterize import (
+    GATES,
+    GateDelayEvaluator,
+    characterize_gate,
+    gate_spec,
+)
+from repro.circuit.dc import operating_point
+from repro.circuit.logic import (
+    LogicFamily,
+    build_nand3,
+    build_nor2,
+    build_tgate_buffer,
+)
+from repro.errors import ParameterError
+from repro.variability.params import default_device_space
+from repro.variability.sampling import monte_carlo
+
+
+@pytest.fixture(scope="module")
+def family():
+    return LogicFamily.default(vdd=0.6)
+
+
+class TestNewGateBuilders:
+    def _dc_out(self, circuit, out):
+        return operating_point(circuit).voltage(out)
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0.0, 0.0, 1.0), (0.6, 0.0, 0.0), (0.0, 0.6, 0.0),
+        (0.6, 0.6, 0.0),
+    ])
+    def test_nor2_truth_table(self, family, a, b, expected):
+        circuit, out = build_nor2(family, wave_a=a, wave_b=b)
+        level = self._dc_out(circuit, out)
+        assert level == pytest.approx(0.6 * expected, abs=0.1)
+
+    @pytest.mark.parametrize("a,b,c,expected", [
+        (0.0, 0.6, 0.6, 1.0), (0.6, 0.6, 0.6, 0.0), (0.6, 0.0, 0.6, 1.0),
+    ])
+    def test_nand3_truth_table(self, family, a, b, c, expected):
+        circuit, out = build_nand3(family, wave_a=a, wave_b=b, wave_c=c)
+        level = self._dc_out(circuit, out)
+        assert level == pytest.approx(0.6 * expected, abs=0.1)
+
+    @pytest.mark.parametrize("vin", [0.0, 0.6])
+    def test_tgate_passes_both_levels(self, family, vin):
+        circuit, out = build_tgate_buffer(family, vin_wave=vin)
+        level = self._dc_out(circuit, out)
+        assert level == pytest.approx(vin, abs=0.1)
+
+
+class TestGateRegistry:
+    def test_known_gates(self):
+        assert set(GATES) == {"inverter", "nand2", "nor2", "nand3",
+                              "tgate"}
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(ParameterError, match="unknown gate"):
+            gate_spec("xor9")
+
+    def test_specs_are_consistent(self):
+        for spec in GATES.values():
+            assert spec.n_inputs >= 1
+            assert 0.0 <= spec.non_controlling <= 1.0
+
+
+class TestCharacterizeEngine:
+    @pytest.fixture(scope="class")
+    def nand2_table(self, family):
+        return characterize_gate(family, "nand2",
+                                 loads=(1e-17, 4e-17),
+                                 slews=(1e-12, 4e-12))
+
+    def test_grid_shape(self, nand2_table):
+        assert nand2_table.slews == (1e-12, 4e-12)
+        assert nand2_table.loads == (1e-17, 4e-17)
+        for arc in nand2_table.arcs.values():
+            assert len(arc.delay) == 2
+            assert all(len(row) == 2 for row in arc.delay)
+
+    def test_delays_finite_positive(self, nand2_table):
+        for arc in nand2_table.arcs.values():
+            for row in arc.delay:
+                for value in row:
+                    assert math.isfinite(value) and value > 0.0
+
+    def test_delay_monotone_in_load(self, nand2_table):
+        for arc in nand2_table.arcs.values():
+            for row in arc.delay:
+                assert row[1] > row[0]
+
+    def test_rise_energy_tracks_cv2(self, nand2_table):
+        # The output-rise arc charges the load: E >= C * VDD^2 and of
+        # that order (internal charge adds some).
+        for j, load in enumerate(nand2_table.loads):
+            cv2 = load * 0.6 ** 2
+            energy = nand2_table.arcs["rise"].energy[0][j]
+            assert cv2 * 0.8 < energy < cv2 * 30.0
+
+    def test_stacked_gate_slower_than_inverter(self, family):
+        inv = characterize_gate(family, "inverter", loads=(4e-17,),
+                                slews=(4e-12,))
+        nand3 = characterize_gate(family, "nand3", loads=(4e-17,),
+                                  slews=(4e-12,))
+        assert (nand3.arcs["fall"].delay[0][0]
+                > inv.arcs["fall"].delay[0][0])
+
+    def test_tgate_characterizes(self, family):
+        table = characterize_gate(family, "tgate", loads=(2e-17,),
+                                  slews=(2e-12,))
+        for arc in table.arcs.values():
+            assert math.isfinite(arc.delay[0][0])
+
+    def test_input_validation(self, family):
+        with pytest.raises(ParameterError):
+            characterize_gate(family, "nand2", loads=())
+        with pytest.raises(ParameterError):
+            characterize_gate(family, "nand2", slews=(-1e-12,))
+
+
+class TestCharTableExports:
+    @pytest.fixture(scope="class")
+    def table(self, family):
+        return characterize_gate(family, "inverter", loads=(1e-17,),
+                                 slews=(1e-12, 4e-12))
+
+    def test_json_round_trip(self, table):
+        payload = json.loads(json.dumps(table.to_json_dict()))
+        assert payload["gate"] == "inverter"
+        assert len(payload["arcs"]["rise"]["delay"]) == 2
+
+    def test_csv_shape(self, table):
+        lines = table.to_csv().strip().split("\n")
+        # header + arcs * slews * loads
+        assert len(lines) == 1 + 2 * 2 * 1
+        assert lines[0].startswith("arc,slew_s,load_f")
+
+    def test_liberty_block(self, table):
+        text = table.to_liberty()
+        assert text.startswith("cell (inverter)")
+        assert "cell_rise" in text and "cell_fall" in text
+
+    def test_render_ascii(self, table):
+        text = table.render()
+        assert "inverter output-rise delay [ps]" in text
+
+
+class TestGateDelayEvaluator:
+    def test_metrics_and_dedup(self):
+        space = default_device_space()
+        evaluator = GateDelayEvaluator(space, gate="inverter")
+        samples = monte_carlo(space, 3, seed=11)
+        rows = evaluator.evaluate(samples)
+        assert len(rows) == 3
+        for row in rows:
+            assert set(row) == set(GateDelayEvaluator.METRICS)
+            assert math.isfinite(row["delay_rise"])
+        # Memoised keys are reused on re-evaluation.
+        memo_size = len(evaluator._memo)
+        evaluator.evaluate(samples)
+        assert len(evaluator._memo) == memo_size
+
+    def test_describe_fingerprintable(self):
+        space = default_device_space()
+        evaluator = GateDelayEvaluator(space, gate="nand2")
+        desc = evaluator.describe()
+        assert desc["kind"] == "gate-delay"
+        json.dumps(desc)
+
+    def test_validation(self):
+        space = default_device_space()
+        with pytest.raises(ParameterError):
+            GateDelayEvaluator(space, gate="nope")
+        with pytest.raises(ParameterError):
+            GateDelayEvaluator(space, slew=-1.0)
+
+
+class TestCharacterizeCLI:
+    def test_json_payload(self, capsys):
+        from repro.cli import main
+
+        assert main(["characterize", "--gate", "nand2", "--loads",
+                     "0.01", "--slews", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gate"] == "nand2"
+        assert payload["command"] == "characterize"
+        delay = payload["arcs"]["rise"]["delay"][0][0]
+        assert 0.0 < delay < 1e-9
+
+    def test_csv_format(self, capsys):
+        from repro.cli import main
+
+        assert main(["characterize", "--gate", "inverter", "--loads",
+                     "0.01", "--slews", "1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("arc,slew_s,load_f")
+
+    def test_mc_gate_workload(self, capsys):
+        from repro.cli import main
+
+        assert main(["mc", "--workload", "gate", "--gate", "inverter",
+                     "--samples", "2", "--seed", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "delay_rise" in payload["aggregate"]

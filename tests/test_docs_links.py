@@ -1,0 +1,66 @@
+"""Markdown link checker for ``docs/`` and the README.
+
+Keeps the documentation set from rotting: every relative link must
+resolve to a real file (with an existing anchor-less target), every
+page in ``docs/`` must be reachable from ``docs/index.md``, and the
+README must link into the docs set.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _markdown_files():
+    return sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+
+
+def _links(path: Path):
+    for match in _LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("page", _markdown_files(),
+                         ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_resolve(page):
+    broken = []
+    for target in _links(page):
+        if not target:
+            continue  # pure-anchor link
+        if not (page.parent / target).exists():
+            broken.append(target)
+    assert not broken, f"{page.name}: broken links {broken}"
+
+
+def test_every_docs_page_reachable_from_index():
+    index = DOCS / "index.md"
+    linked = {str((index.parent / t).resolve())
+              for t in _links(index) if t}
+    missing = [p.name for p in DOCS.glob("*.md")
+               if p.name != "index.md" and str(p.resolve()) not in linked]
+    assert not missing, (
+        f"docs pages not linked from index.md: {missing}"
+    )
+
+
+def test_readme_links_into_docs():
+    targets = set(_links(REPO / "README.md"))
+    assert "docs/index.md" in targets, (
+        "README must link to docs/index.md"
+    )
+
+
+def test_expected_docs_pages_exist():
+    expected = {"index.md", "architecture.md", "transient.md",
+                "characterization.md", "codegen.md", "variability.md"}
+    present = {p.name for p in DOCS.glob("*.md")}
+    assert expected <= present, expected - present
