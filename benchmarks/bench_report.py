@@ -3,8 +3,9 @@
 tracked across PRs.
 
 Measures the headline workloads of the perf overhaul (ISSUE 1), the
-Monte-Carlo campaign throughput of the variability subsystem (ISSUE 2)
-and the adaptive-transient engine gate (ISSUE 3):
+Monte-Carlo campaign throughput of the variability subsystem (ISSUE 2),
+the adaptive-transient engine gate (ISSUE 3) and the lane-batched
+transient engine (ISSUE 4):
 
 * **Fig. 6/7 IV families** — the batched ``iv_family`` path against the
   seed-style scalar loop (``model.ids`` point by point), same run, same
@@ -25,16 +26,24 @@ and the adaptive-transient engine gate (ISSUE 3):
   convergence noise); (b) *work*: at matched waveform accuracy against
   a converged reference, the adaptive trapezoidal engine must need
   >= 2x fewer Newton iterations than the legacy fixed-step BE engine.
+* **Batch transient** — the lane-batched engine against sequential
+  per-instance loops: a 7x7 gate-characterization grid and a
+  256-sample MC ring campaign must each run >= 3x faster, and the
+  per-lane waveforms of a heterogeneous fixed-grid ring batch must
+  match the scalar engine within 1e-9 V.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_report.py [--name NAME]
         [--check]
 
-``--check`` exits non-zero when the measured batch speed-up, the
-transient work reduction, or the MC campaign throughput/speed-up
-regress below the ISSUE 1/2 acceptance floors (the Table I speed-up
-assertions live in the pytest suite that `make bench` runs first).
+``--check`` exits non-zero when any measured figure regresses below
+its acceptance floor: the ISSUE 1 batch speed-up / transient work
+reduction, the ISSUE 2 MC campaign throughput/speed-up, the ISSUE 3
+adaptive-transient parity and iteration ratio, or the ISSUE 4
+lane-batched speed-ups and per-lane waveform parity (the Table I
+speed-up assertions live in the pytest suite that `make bench` runs
+first).
 """
 
 from __future__ import annotations
@@ -70,6 +79,11 @@ MC_SAMPLES_PER_S_FLOOR = 300.0   # cold-campaign device-metric throughput
 #: acceptance floors from ISSUE 3 (adaptive transient)
 ADAPTIVE_PARITY_TOL_V = 1e-9     # pinned-grid waveform deviation
 ADAPTIVE_ITER_RATIO_FLOOR = 2.0  # legacy iterations / adaptive iterations
+
+#: acceptance floors from ISSUE 4 (lane-batched transient engine)
+BATCH_CHAR_SPEEDUP_FLOOR = 3.0   # 7x7 characterization grid
+BATCH_MC_SPEEDUP_FLOOR = 3.0     # 256-sample MC ring campaign
+BATCH_PARITY_TOL_V = 1e-9        # per-lane waveform parity, shared grid
 
 
 def _best_of(fn, repeats: int, inner: int) -> float:
@@ -330,6 +344,121 @@ def bench_mc_device() -> dict:
     }
 
 
+def bench_batch_transient() -> dict:
+    """ISSUE 4 gates: the lane-batched engine vs per-instance loops.
+
+    * **Characterization grid** — a 7x7 load x slew ``nand2`` grid as
+      one lock-step batch (every grid point a lane) against the
+      sequential per-point scalar loop.
+    * **MC ring campaign** — a 256-sample ring-oscillator Monte-Carlo
+      through :class:`RingOscillatorEvaluator` with ``use_batch`` on
+      vs off (identical dedup, so both simulate the same distinct
+      device keys).
+    * **Parity** — per-lane waveforms of a heterogeneous-device
+      fixed-grid ring batch against the scalar engine on the same
+      grid under tight Newton tolerances: the residual is closed-form
+      solver noise, gated at ``BATCH_PARITY_TOL_V``.
+    """
+    from repro.circuit.batch_sim import (
+        batch_operating_points,
+        batch_transient,
+    )
+    from repro.circuit.mna import NewtonOptions
+    from repro.circuit.transient import initial_conditions_from_op
+    from repro.characterize import characterize_gate
+    from repro.variability.campaign import quantize_sample
+    from repro.variability.circuits import RingOscillatorEvaluator
+    from repro.variability.params import default_device_space
+    from repro.variability.sampling import monte_carlo
+
+    # -- (a) 7x7 characterization grid --------------------------------
+    family = LogicFamily.default(vdd=0.6)
+    loads = tuple(np.geomspace(1e-17, 8e-17, 7))
+    slews = tuple(np.geomspace(1e-12, 1e-11, 7))
+    start = time.perf_counter()
+    characterize_gate(family, "nand2", loads, slews, use_batch=True)
+    char_batch_s = time.perf_counter() - start
+    start = time.perf_counter()
+    characterize_gate(family, "nand2", loads, slews, use_batch=False)
+    char_scalar_s = time.perf_counter() - start
+
+    # -- (b) 256-sample MC ring campaign -------------------------------
+    space = default_device_space()
+    samples = monte_carlo(space, 256, seed=7)
+    batch_eval = RingOscillatorEvaluator(space, use_batch=True)
+    start = time.perf_counter()
+    rows_batch = batch_eval.evaluate(samples)
+    mc_batch_s = time.perf_counter() - start
+    scalar_eval = RingOscillatorEvaluator(space, use_batch=False)
+    start = time.perf_counter()
+    rows_scalar = scalar_eval.evaluate(samples)
+    mc_scalar_s = time.perf_counter() - start
+    periods_b = np.array([r["period"] for r in rows_batch])
+    periods_s = np.array([r["period"] for r in rows_scalar])
+    valid = ~np.isnan(periods_b) & ~np.isnan(periods_s)
+    metric_rel = float(np.max(np.abs(
+        periods_b[valid] - periods_s[valid]) / periods_s[valid])) \
+        if valid.any() else float("nan")
+
+    # -- (c) per-lane waveform parity on the shared grid ---------------
+    tight = NewtonOptions(vtol=1e-12, reltol=1e-10)
+    keys = list(dict.fromkeys(
+        quantize_sample(s, None) for s in samples))[:16]
+    evaluator = RingOscillatorEvaluator(space)
+    circuits, nodes = [], ()
+    for key in keys:
+        ring, nodes = build_ring_oscillator(evaluator._family(key),
+                                            stages=3)
+        circuits.append(ring)
+    x0 = batch_operating_points(circuits, tight)
+    x0[:, circuits[0].node_index[nodes[0]]] = 0.0
+    x0[:, circuits[0].node_index[nodes[1]]] = 0.6
+    result = batch_transient(circuits, 1.5e-10, dt=2e-12, method="be",
+                             options=tight, x0=x0,
+                             record_currents=False)
+    parity_v = 0.0
+    for lane, key in enumerate(keys):
+        ring, nodes = build_ring_oscillator(evaluator._family(key),
+                                            stages=3)
+        x_lane = initial_conditions_from_op(
+            ring, {nodes[0]: 0.0, nodes[1]: 0.6}, tight)
+        ref = transient(ring, tstop=1.5e-10, dt=2e-12, x0=x_lane,
+                        method="be", options=tight,
+                        record_currents=False)
+        lane_v = max(
+            float(np.max(np.abs(result[lane].trace(f"v({n})")
+                                - ref.trace(f"v({n})"))))
+            for n in nodes
+        )
+        parity_v = max(parity_v, lane_v)
+
+    return {
+        "characterization_grid": {
+            "workload": "nand2 7x7 load x slew grid, adaptive trap",
+            "lanes": len(loads) * len(slews),
+            "batch_s": char_batch_s,
+            "sequential_s": char_scalar_s,
+            "speedup": char_scalar_s / char_batch_s,
+        },
+        "mc_ring": {
+            "workload": "256-sample 3-stage ring MC "
+                        "(RingOscillatorEvaluator)",
+            "samples": 256,
+            "distinct_keys": len(batch_eval._memo),
+            "batch_s": mc_batch_s,
+            "sequential_s": mc_scalar_s,
+            "speedup": mc_scalar_s / mc_batch_s,
+            "period_metric_max_rel_diff": metric_rel,
+        },
+        "parity": {
+            "workload": "16 heterogeneous MC ring lanes, fixed grid, "
+                        "tight Newton",
+            "max_waveform_dv_v": parity_v,
+            "tol_v": BATCH_PARITY_TOL_V,
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--name", default="perf",
@@ -353,6 +482,7 @@ def main(argv=None) -> int:
         "transient_ring": bench_ring_transient(),
         "transient_adaptive": bench_adaptive_transient(),
         "mc_device": bench_mc_device(),
+        "batch_transient": bench_batch_transient(),
     }
 
     path = Path(args.out_dir) / f"BENCH_{args.name}.json"
@@ -379,6 +509,11 @@ def main(argv=None) -> int:
           f"{mc['distinct_devices']} devices), "
           f"{mc['samples_per_s_warm']:,.0f} warm; "
           f"{mc['speedup_vs_naive']:.1f}x vs naive loop")
+    bt = report["batch_transient"]
+    print(f"  batch transient: characterization grid "
+          f"{bt['characterization_grid']['speedup']:.1f}x, MC ring "
+          f"{bt['mc_ring']['speedup']:.1f}x vs sequential; per-lane "
+          f"parity {bt['parity']['max_waveform_dv_v']:.1e} V")
 
     if args.check:
         failures = []
@@ -407,6 +542,22 @@ def main(argv=None) -> int:
             failures.append(
                 f"adaptive iteration ratio {ada['iteration_ratio']:.2f}x "
                 f"< {ADAPTIVE_ITER_RATIO_FLOOR}x")
+        if bt["characterization_grid"]["speedup"] \
+                < BATCH_CHAR_SPEEDUP_FLOOR:
+            failures.append(
+                f"batched characterization grid speedup "
+                f"{bt['characterization_grid']['speedup']:.2f}x < "
+                f"{BATCH_CHAR_SPEEDUP_FLOOR}x")
+        if bt["mc_ring"]["speedup"] < BATCH_MC_SPEEDUP_FLOOR:
+            failures.append(
+                f"batched MC ring speedup "
+                f"{bt['mc_ring']['speedup']:.2f}x < "
+                f"{BATCH_MC_SPEEDUP_FLOOR}x")
+        if bt["parity"]["max_waveform_dv_v"] > BATCH_PARITY_TOL_V:
+            failures.append(
+                f"batch per-lane waveform parity "
+                f"{bt['parity']['max_waveform_dv_v']:.2e} V > "
+                f"{BATCH_PARITY_TOL_V:.0e} V")
         if failures:
             print("BENCH CHECK FAILED: " + "; ".join(failures))
             return 1

@@ -25,7 +25,7 @@ aborting the table.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,13 +36,15 @@ except ImportError:  # pragma: no cover - numpy 1.x
 
 from repro.characterize.gates import GateSpec, gate_spec
 from repro.characterize.table import ArcTable, CharTable
+from repro.circuit.batch_sim import batch_transient
 from repro.circuit.logic import LogicFamily
 from repro.circuit.results import Dataset
 from repro.circuit.transient import transient
 from repro.circuit.waveforms import Pulse
 from repro.errors import AnalysisError, ParameterError
 
-__all__ = ["characterize_gate", "DEFAULT_LOADS", "DEFAULT_SLEWS"]
+__all__ = ["characterize_gate", "characterize_points_batched",
+           "DEFAULT_LOADS", "DEFAULT_SLEWS"]
 
 #: Default output-load grid [F] (logic-family load to ~8x fan-out).
 DEFAULT_LOADS = (1e-17, 4e-17, 8e-17)
@@ -119,7 +121,8 @@ def characterize_gate(family: LogicFamily, gate: str = "nand2",
                       slews: Sequence[float] = DEFAULT_SLEWS,
                       method: str = "trap",
                       rtol: Optional[float] = None,
-                      atol: Optional[float] = None) -> CharTable:
+                      atol: Optional[float] = None,
+                      use_batch: bool = True) -> CharTable:
     """Characterize ``gate`` over a ``loads x slews`` grid.
 
     Parameters
@@ -138,6 +141,14 @@ def characterize_gate(family: LogicFamily, gate: str = "nand2",
         Integration method for the adaptive transients.
     rtol, atol : float, optional
         LTE tolerances forwarded to :func:`repro.circuit.transient`.
+    use_batch : bool
+        Run the whole grid as one lane-batched transient (default):
+        every grid point is a lane of a single lock-step integration
+        (see :mod:`repro.circuit.batch_sim`) instead of its own scalar
+        transient — several times faster on realistic grids.  Metrics
+        agree with the scalar path to well below measurement
+        resolution (both waveform sets satisfy the same LTE
+        tolerance); ``False`` forces the per-point scalar loop.
 
     Returns
     -------
@@ -152,16 +163,28 @@ def characterize_gate(family: LogicFamily, gate: str = "nand2",
     if not slews or any(s <= 0.0 for s in slews):
         raise ParameterError(f"slews must be positive: {slews}")
     vdd = family.vdd
+    engine = "scalar"
+    if use_batch and len(loads) * len(slews) > 1:
+        run_stats: Dict[str, str] = {}
+        points = _characterize_grid_batched(spec, family, slews, loads,
+                                            method, rtol, atol,
+                                            run_stats)
+        engine = run_stats.get("engine", "batch")
+    else:
+        points = {
+            (i, j): _characterize_point(spec, family, slew, load,
+                                        method, rtol, atol)
+            for i, slew in enumerate(slews)
+            for j, load in enumerate(loads)
+        }
     arcs = {"rise": ArcTable(), "fall": ArcTable()}
-    for slew in slews:
+    for i in range(len(slews)):
         rows: Dict[str, Dict[str, list]] = {
             name: {m: [] for m in ("delay", "out_slew", "energy")}
             for name in arcs
         }
-        for load in loads:
-            point = _characterize_point(spec, family, slew, load,
-                                        method, rtol, atol)
-            for arc_name, metrics in point.items():
+        for j in range(len(loads)):
+            for arc_name, metrics in points[(i, j)].items():
                 for metric, value in metrics.items():
                     rows[arc_name][metric].append(value)
         for arc_name, metrics in rows.items():
@@ -178,30 +201,55 @@ def characterize_gate(family: LogicFamily, gate: str = "nand2",
             "atol": atol,
             "slew_thresholds": [SLEW_LO, SLEW_HI],
             "inverting": spec.inverting,
+            #: the engine that actually produced the table — "scalar"
+            #: also covers single-point grids and the whole-batch
+            #: fallback, so provenance is never mislabelled
+            "engine": engine,
         },
     )
 
 
-def _characterize_point(spec: GateSpec, family: LogicFamily, slew: float,
-                        load: float, method: str,
-                        rtol: Optional[float],
-                        atol: Optional[float]) -> Dict[str, Dict]:
-    """One transient covering both arcs of a single grid point."""
-    vdd = family.vdd
+def _point_timing(family: LogicFamily, slew: float,
+                  load: float) -> Tuple[float, float, float]:
+    """Auto-scaled pulse timing of one grid point: ``(t0, width,
+    settle)`` from the family's drive strength at this load."""
     tau = _drive_tau(family, load)
     settle = max(_SETTLE_TAUS * tau, 10.0 * slew, 2e-12)
     t0 = max(2.0 * tau, 1e-12)
-    width = settle
+    return t0, settle, settle
+
+
+def _point_setup(spec: GateSpec, family: LogicFamily, slew: float,
+                 load: float,
+                 timing: Optional[Tuple[float, float, float]] = None):
+    """Driven test circuit and pulse timing for one grid point.
+
+    ``timing`` overrides the per-point ``(t0, width, settle)`` — the
+    batched grid shares one timing envelope (the grid maximum) so every
+    lane's pulse corners align and the lock-step grid stays sparse;
+    the measurements are unchanged because the shared envelope only
+    ever *extends* the settled plateaus.
+
+    Returns ``(circuit, vout, t0, width, tstop)``.
+    """
+    vdd = family.vdd
+    if timing is None:
+        timing = _point_timing(family, slew, load)
+    t0, width, settle = timing
     wave = Pulse(0.0, vdd, delay=t0, rise=slew, fall=slew,
                  width=width, period=4.0 * (t0 + 2 * slew + width))
     circuit, _vin, vout = spec.build(family, wave, load)
     tstop = t0 + slew + width + slew + settle
-    nan = {m: math.nan for m in ("delay", "out_slew", "energy")}
-    try:
-        dataset = transient(circuit, tstop=tstop, method=method,
-                            rtol=rtol, atol=atol)
-    except AnalysisError:
-        return {"rise": dict(nan), "fall": dict(nan)}
+    return circuit, vout, t0, width, tstop
+
+
+_NAN_POINT = {m: math.nan for m in ("delay", "out_slew", "energy")}
+
+
+def _measure_point(dataset: Dataset, spec: GateSpec, vout: str,
+                   vdd: float, slew: float, t0: float, width: float,
+                   tstop: float) -> Dict[str, Dict]:
+    """Both arc measurements of one grid point's waveform set."""
     # Input 50% crossings are analytic (the Pulse is exact).
     t_in_rise_50 = t0 + 0.5 * slew
     t_in_fall_50 = t0 + slew + width + 0.5 * slew
@@ -219,3 +267,126 @@ def _characterize_point(spec: GateSpec, family: LogicFamily, slew: float,
         fall = _measure_arc(dataset, vout, vdd, t_in_fall_50, window_b,
                             out_rising=False)
     return {"rise": rise, "fall": fall}
+
+
+#: interior points forced into each input ramp of a scalar
+#: characterization transient.  The ramp is exactly linear, so
+#: voltage-LTE control never refines it — but the supply *current*
+#: spikes there (gate-coupling displacement), and integrating it on an
+#: unrefined ramp under-counts the energy metric by ~2x at fF loads.
+#: Forcing sub-steps bounds that error to ~10% of the (near-
+#: cancelling) edge integral; the lane-batched path resolves the ramp
+#: through its denser shared grid instead.
+_RAMP_SUBDIVISIONS = 8
+
+
+def _characterize_point(spec: GateSpec, family: LogicFamily, slew: float,
+                        load: float, method: str,
+                        rtol: Optional[float],
+                        atol: Optional[float]) -> Dict[str, Dict]:
+    """One scalar transient covering both arcs of a single grid point."""
+    circuit, vout, t0, width, tstop = _point_setup(spec, family, slew,
+                                                   load)
+    ramps = ((t0, t0 + slew),
+             (t0 + slew + width, t0 + slew + width + slew))
+    forced = [
+        a + (b - a) * k / (_RAMP_SUBDIVISIONS + 1)
+        for a, b in ramps for k in range(1, _RAMP_SUBDIVISIONS + 1)
+    ]
+    try:
+        dataset = transient(circuit, tstop=tstop, method=method,
+                            rtol=rtol, atol=atol,
+                            extra_breakpoints=forced,
+                            record_currents="sources")
+    except AnalysisError:
+        return {"rise": dict(_NAN_POINT), "fall": dict(_NAN_POINT)}
+    return _measure_point(dataset, spec, vout, family.vdd, slew, t0,
+                          width, tstop)
+
+
+def characterize_points_batched(spec: GateSpec,
+                                lanes: Sequence[Tuple[LogicFamily,
+                                                      float, float]],
+                                method: str = "trap",
+                                rtol: Optional[float] = None,
+                                atol: Optional[float] = None,
+                                stats: Optional[dict] = None
+                                ) -> List[Dict[str, Dict]]:
+    """Characterize many ``(family, slew, load)`` points as one
+    lane-batched transient; one arc-metrics dict per lane.
+
+    Serves both grid characterization (one family, many slew/load
+    points) and Monte-Carlo gate timing (many sampled families, one
+    nominal point).  All lanes share one pulse-timing envelope (the
+    element-wise maximum of the per-point auto-scaled timings): every
+    lane's pulse corners align, so the union breakpoint schedule of
+    the lock-step grid stays sparse — and extending a settled plateau
+    never changes a measurement.
+
+    Failure semantics match the scalar path point for point: lanes
+    that fail in lock-step are re-run scalar-side by the batch engine
+    itself; a whole-batch failure falls back to the per-point scalar
+    loop; a point that fails even scalar-side reports NaN metrics.
+    ``stats`` (optional dict) records which ``"engine"`` produced the
+    results (``"batch"`` or ``"scalar"`` after a whole-batch
+    fallback).
+    """
+    timings = [_point_timing(family, slew, load)
+               for family, slew, load in lanes]
+    shared = (max(t[0] for t in timings), max(t[1] for t in timings),
+              max(t[2] for t in timings))
+    setups = [
+        _point_setup(spec, family, slew, load, timing=shared)
+        for family, slew, load in lanes
+    ]
+    tstops = [s[4] for s in setups]
+    try:
+        result = batch_transient(
+            [s[0] for s in setups], tstops, method=method, rtol=rtol,
+            atol=atol, dt_min=min(tstops) * 1e-9,
+            record_currents="sources",
+        )
+    except AnalysisError:
+        if stats is not None:
+            stats["engine"] = "scalar"
+        return [
+            _characterize_point(spec, family, slew, load, method,
+                                rtol, atol)
+            for family, slew, load in lanes
+        ]
+    if stats is not None:
+        stats["engine"] = "batch"
+    fallback = set(result.fallback_lanes)
+    points = []
+    for lane, (family, slew, load) in enumerate(lanes):
+        if lane in fallback or result.datasets[lane] is None:
+            # The batch engine's internal scalar re-run integrates the
+            # lane without the forced ramp sub-steps, which would
+            # silently degrade that cell's energy metric relative to
+            # its neighbours; re-measure it through the ramp-forced
+            # scalar point path instead (NaN if it fails there too).
+            points.append(_characterize_point(spec, family, slew, load,
+                                              method, rtol, atol))
+            continue
+        _circuit, vout, t0, width, tstop = setups[lane]
+        points.append(_measure_point(result.datasets[lane], spec, vout,
+                                     family.vdd, slew, t0, width,
+                                     tstop))
+    return points
+
+
+def _characterize_grid_batched(spec: GateSpec, family: LogicFamily,
+                               slews: Sequence[float],
+                               loads: Sequence[float], method: str,
+                               rtol: Optional[float],
+                               atol: Optional[float],
+                               stats: Optional[dict] = None
+                               ) -> Dict[Tuple[int, int], Dict]:
+    """The whole load x slew grid as one lane-batched transient."""
+    cells = [(i, j) for i in range(len(slews))
+             for j in range(len(loads))]
+    points = characterize_points_batched(
+        spec, [(family, slews[i], loads[j]) for i, j in cells],
+        method, rtol, atol, stats,
+    )
+    return dict(zip(cells, points))

@@ -20,11 +20,14 @@ or :func:`repro.experiments.workloads.variability_workload`.
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.characterize.engine import characterize_gate
+from repro.characterize.engine import (
+    characterize_gate,
+    characterize_points_batched,
+)
 from repro.characterize.gates import gate_spec
-from repro.errors import ParameterError
+from repro.errors import ParameterError, ReproError
 from repro.variability.circuits import _CircuitEvaluatorBase
 from repro.variability.params import ParameterSpace
 
@@ -59,8 +62,10 @@ class GateDelayEvaluator(_CircuitEvaluatorBase):
                  vdd: float = 0.6, model: str = "model2",
                  workers: int = 1,
                  quantize: Optional[Mapping[str, int]] = None,
-                 spec_limits: Optional[Mapping[str, Tuple]] = None) -> None:
-        super().__init__(space, vdd, model, workers, quantize, spec_limits)
+                 spec_limits: Optional[Mapping[str, Tuple]] = None,
+                 use_batch: bool = True) -> None:
+        super().__init__(space, vdd, model, workers, quantize,
+                         spec_limits, use_batch)
         gate_spec(gate)  # validate early
         if slew <= 0.0 or load <= 0.0:
             raise ParameterError(
@@ -87,10 +92,37 @@ class GateDelayEvaluator(_CircuitEvaluatorBase):
         table = characterize_gate(family, self.gate,
                                   loads=(self.load,), slews=(self.slew,))
         rise, fall = table.arcs["rise"], table.arcs["fall"]
+        return self._point_metrics({"rise": {
+            "delay": rise.delay[0][0], "out_slew": rise.out_slew[0][0],
+            "energy": rise.energy[0][0],
+        }, "fall": {
+            "delay": fall.delay[0][0], "out_slew": fall.out_slew[0][0],
+            "energy": fall.energy[0][0],
+        }})
+
+    @staticmethod
+    def _point_metrics(point: Dict[str, Dict[str, float]]
+                       ) -> Dict[str, float]:
+        rise, fall = point["rise"], point["fall"]
         return {
-            "delay_rise": rise.delay[0][0],
-            "delay_fall": fall.delay[0][0],
-            "out_slew": 0.5 * (rise.out_slew[0][0]
-                               + fall.out_slew[0][0]),
-            "energy": rise.energy[0][0] + fall.energy[0][0],
+            "delay_rise": rise["delay"],
+            "delay_fall": fall["delay"],
+            "out_slew": 0.5 * (rise["out_slew"] + fall["out_slew"]),
+            "energy": rise["energy"] + fall["energy"],
         }
+
+    def _evaluate_keys_batch(self, keys: Sequence[Tuple]
+                             ) -> List[Dict[str, float]]:
+        """One lock-step characterization: every distinct sampled
+        device pair is a lane of a single batched transient at the
+        evaluator's nominal slew/load point."""
+        spec = gate_spec(self.gate)
+        try:
+            points = characterize_points_batched(
+                spec,
+                [(self._family(key), self.slew, self.load)
+                 for key in keys],
+            )
+        except ReproError:
+            return [self._evaluate_key_safe(key) for key in keys]
+        return [self._point_metrics(point) for point in points]

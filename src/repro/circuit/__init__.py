@@ -12,6 +12,9 @@ A deliberately compact but real modified-nodal-analysis (MNA) simulator:
   backward-Euler / trapezoidal integration with event-aware waveform
   breakpoints (plus the legacy fixed-step mode; see
   ``docs/transient.md``);
+* :mod:`repro.circuit.batch_sim` — the lane-batched engine: many
+  instances of one circuit topology advanced in lock-step through
+  stacked MNA solves (see ``docs/performance.md``);
 * :mod:`repro.circuit.parser` — SPICE-flavoured netlist text front end;
 * :mod:`repro.circuit.logic` — CNFET gate builders (inverter,
   NAND2/NAND3, NOR2, transmission gate, ring oscillator) used by the
@@ -19,6 +22,13 @@ A deliberately compact but real modified-nodal-analysis (MNA) simulator:
 """
 
 from repro.circuit.ac import ac_analysis, decade_frequencies
+from repro.circuit.batch_sim import (
+    BatchTransientResult,
+    LaneBatch,
+    batch_dc_sweep,
+    batch_operating_points,
+    batch_transient,
+)
 from repro.circuit.dc import dc_sweep, operating_point
 from repro.circuit.mna import NewtonOptions, TwoPhaseAssembler
 from repro.circuit.elements import (
@@ -56,4 +66,9 @@ __all__ = [
     "PWLWaveform",
     "NewtonOptions",
     "TwoPhaseAssembler",
+    "LaneBatch",
+    "BatchTransientResult",
+    "batch_transient",
+    "batch_operating_points",
+    "batch_dc_sweep",
 ]

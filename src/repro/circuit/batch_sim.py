@@ -1,0 +1,946 @@
+"""Lane-batched MNA + transient engine: many circuit instances, one
+stacked solve.
+
+The scalar engine advances one circuit through one Python-level Newton/
+transient loop.  Multi-scenario workloads — a gate-characterization
+load x slew grid, a Monte-Carlo ring-oscillator campaign — run many
+*instances of the same topology* that differ only in parameters (load
+caps, source waveforms, per-lane CNFET geometry).  This module advances
+``B`` such instances (*lanes*) in lock-step:
+
+* :class:`LaneBatch` stacks assembly into ``(B, n+1, n+1)`` matrix /
+  ``(B, n+1)`` rhs stacks (the extra row/column is a ground pad), with
+  the same static/dynamic split as :class:`TwoPhaseAssembler`: linear
+  element groups are stamped once per step, nonlinear groups per Newton
+  iteration.  Element classes provide vectorized
+  :class:`~repro.circuit.elements.base.LaneGroup` implementations
+  (CNFETs route all lanes through the stacked closed forms of
+  :mod:`repro.pwl.batch`); anything else falls back to a per-lane
+  scalar loop, so every circuit is batchable.
+* the lock-step Newton iteration solves all active lanes through one
+  batched ``np.linalg.solve`` on the stack, damps and checks
+  convergence per lane, and *freezes* converged lanes while stragglers
+  iterate; lanes whose Newton fails are retried (step shrink) and
+  ultimately re-simulated through the scalar engine (exact per-lane
+  fallback).
+* :func:`batch_transient` steppers: fixed-step mode marches every lane
+  on a shared grid (the union of all lanes' waveform breakpoints is
+  landed on exactly); adaptive mode drives the scalar engine's LTE/PI
+  controller from the **worst-lane** error and retires lanes that reach
+  their per-lane ``tstop`` early.
+
+Waveform parity with the scalar engine is a few closed-form residuals
+(~1e-12 V) per step — see ``tests/test_batch_sim.py`` and the
+``batch_transient`` section of ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuit.elements.base import LaneContext
+from repro.circuit.elements.cnfet import CNFETElement
+from repro.circuit.elements.sources import CurrentSource, VoltageSource
+from repro.circuit.mna import NewtonOptions, robust_dc_solve
+from repro.circuit.netlist import Circuit
+from repro.circuit.results import Dataset
+from repro.circuit.transient import (
+    DEFAULT_ATOL,
+    DEFAULT_RTOL,
+    _BREAKPOINT_SHRINK,
+    _FAC_BLIND,
+    _FAC_MAX,
+    _FAC_MIN,
+    _MAX_ACCEPTED_STEPS,
+    _NEWTON_SHRINK,
+    _SAFETY,
+    _collect_breakpoints,
+    transient,
+)
+from repro.circuit.waveforms import DC
+from repro.errors import AnalysisError, NetlistError, ParameterError
+
+__all__ = ["LaneBatch", "BatchTransientResult", "batch_transient",
+           "batch_operating_points", "batch_dc_sweep"]
+
+
+class LaneBatch:
+    """Stacked two-phase assembler over ``B`` same-topology circuits.
+
+    Validates that every circuit shares the template's topology (same
+    element order, types, names, terminal nodes and system layout),
+    groups each element slot through
+    :meth:`~repro.circuit.elements.base.Element.lane_group`, and owns
+    the preallocated matrix/rhs stacks.
+    """
+
+    def __init__(self, circuits: Sequence[Circuit]) -> None:
+        if not circuits:
+            raise ParameterError("need at least one lane circuit")
+        self.circuits = list(circuits)
+        self.n_lanes = len(self.circuits)
+        template = self.circuits[0]
+        dim = template.dimension()
+        for lane, circuit in enumerate(self.circuits[1:], start=1):
+            if circuit.dimension() != dim \
+                    or circuit.node_index != template.node_index:
+                raise NetlistError(
+                    f"lane {lane} does not match the template system "
+                    f"layout (same-topology circuits required)"
+                )
+            if len(circuit.elements) != len(template.elements):
+                raise NetlistError(
+                    f"lane {lane} has {len(circuit.elements)} elements, "
+                    f"template has {len(template.elements)}"
+                )
+            for el, ref in zip(circuit.elements, template.elements):
+                if type(el) is not type(ref) or el.nodes != ref.nodes \
+                        or el.name != ref.name \
+                        or el.aux_index != ref.aux_index:
+                    raise NetlistError(
+                        f"lane {lane} element {el.name!r} does not "
+                        f"match the template topology"
+                    )
+        self.dim = dim
+        self.n_nodes = len(template.node_index)
+        self.node_index = template.node_index
+        # Slots grouped per element class: classes whose vectorization
+        # spans slots (CNFET) stack them into one wide group.
+        by_class: Dict[type, List[List]] = {}
+        for slot in range(len(template.elements)):
+            elements = [c.elements[slot] for c in self.circuits]
+            by_class.setdefault(type(elements[0]), []).append(elements)
+        self.groups = []
+        for cls, slots in by_class.items():
+            self.groups.extend(cls.lane_groups(slots))
+        self._static = [g for g in self.groups if not g.nonlinear]
+        self._dynamic = [g for g in self.groups if g.nonlinear]
+        pad = dim + 1
+        b = self.n_lanes
+        self._static_matrix = np.zeros((b, pad, pad))
+        self._static_rhs = np.zeros((b, pad))
+        self._matrix = np.zeros((b, pad, pad))
+        self._rhs = np.zeros((b, pad))
+        self._ctx: Optional[LaneContext] = None
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset per-lane transient state in every group (run start)."""
+        for group in self.groups:
+            group.reset()
+
+    def context(self, x: np.ndarray, lanes: np.ndarray,
+                **kwargs) -> LaneContext:
+        """A :class:`LaneContext` over the work buffers (reporting /
+        group-state priming; stamping goes through
+        :meth:`begin_step` / :meth:`iterate`)."""
+        return LaneContext(
+            matrix=self._matrix, rhs=self._rhs,
+            node_index=self.node_index, x=x, lanes=lanes, **kwargs,
+        )
+
+    def begin_step(self, x_sample: np.ndarray, lanes: np.ndarray, *,
+                   analysis: str = "dc", time: Optional[float] = None,
+                   dt: Optional[float] = None,
+                   x_prev: Optional[np.ndarray] = None,
+                   method: str = "be", gmin: float = 1e-12,
+                   source_scale: float = 1.0) -> None:
+        """Stamp the iterate-independent groups for the active lanes."""
+        self._static_matrix[lanes] = 0.0
+        self._static_rhs[lanes] = 0.0
+        ctx = LaneContext(
+            matrix=self._static_matrix, rhs=self._static_rhs,
+            node_index=self.node_index, x=x_sample, lanes=lanes,
+            analysis=analysis, time=time, dt=dt, x_prev=x_prev,
+            method=method, gmin=gmin, source_scale=source_scale,
+        )
+        for group in self._static:
+            group.stamp(ctx)
+        self._ctx = ctx
+
+    def iterate(self, x: np.ndarray, lanes: np.ndarray) -> LaneContext:
+        """Stacked companion system around iterate stack ``x`` for the
+        active ``lanes``."""
+        ctx = self._ctx
+        if ctx is None:
+            raise AnalysisError("begin_step must be called before iterate")
+        self._matrix[lanes] = self._static_matrix[lanes]
+        self._rhs[lanes] = self._static_rhs[lanes]
+        ctx.matrix = self._matrix
+        ctx.rhs = self._rhs
+        ctx.x = x
+        ctx.lanes = lanes
+        for group in self._dynamic:
+            group.stamp(ctx)
+        return ctx
+
+    def accept_context(self, x: np.ndarray, x_prev: np.ndarray,
+                       lanes: np.ndarray, time: float, dt: float,
+                       method: str) -> LaneContext:
+        """Context for committing a converged step (group state)."""
+        return LaneContext(
+            matrix=self._matrix, rhs=self._rhs,
+            node_index=self.node_index, x=x, lanes=lanes,
+            analysis="tran", time=time, dt=dt, x_prev=x_prev,
+            method=method,
+        )
+
+
+# ----------------------------------------------------------------------
+# Lock-step Newton
+# ----------------------------------------------------------------------
+
+def _lockstep_newton(batch: LaneBatch, x: np.ndarray,
+                     lanes: np.ndarray,
+                     options: NewtonOptions, *,
+                     analysis: str = "dc",
+                     time: Optional[float] = None,
+                     dt: Optional[float] = None,
+                     x_prev: Optional[np.ndarray] = None,
+                     method: str = "be",
+                     gmin: Optional[float] = None,
+                     source_scale: float = 1.0,
+                     x_start: Optional[np.ndarray] = None,
+                     stats: Optional[dict] = None
+                     ) -> Tuple[np.ndarray, List[int]]:
+    """One lock-step damped-Newton solve across ``lanes``.
+
+    Converged lanes freeze while stragglers iterate.  Returns
+    ``(x_new, failed)`` where ``x_new`` is the full ``(B, dim)`` stack
+    (failed lanes keep their incoming value) and ``failed`` lists lanes
+    whose Newton did not converge (singular system, non-finite update,
+    or iteration cap).
+    """
+    n_nodes = batch.n_nodes
+    use_gmin = options.gmin if gmin is None else gmin
+    x_new = x.copy()
+    if x_start is not None:
+        x_new[lanes] = x_start[lanes]
+    batch.begin_step(
+        x_new, lanes, analysis=analysis, time=time, dt=dt, x_prev=x_prev,
+        method=method, gmin=use_gmin, source_scale=source_scale,
+    )
+    active = np.array(lanes, dtype=int, copy=True)
+    failed: List[int] = []
+    local_iter = local_lane_iter = local_solves = 0
+    for _ in range(options.max_iterations):
+        if active.size == 0:
+            break
+        local_iter += 1
+        local_lane_iter += active.size
+        ctx = batch.iterate(x_new, active)
+        a = ctx.matrix[active][:, :batch.dim, :batch.dim]
+        z = ctx.rhs[active][:, :batch.dim]
+        local_solves += 1
+        try:
+            solved = np.linalg.solve(a, z[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError:
+            solved = np.empty_like(z)
+            singular = np.zeros(active.size, dtype=bool)
+            for i in range(active.size):
+                try:
+                    solved[i] = np.linalg.solve(a[i], z[i])
+                except np.linalg.LinAlgError:
+                    singular[i] = True
+            if singular.any():
+                failed.extend(int(l) for l in active[singular])
+                keep = ~singular
+                active = active[keep]
+                solved = solved[keep]
+                if active.size == 0:
+                    break
+        delta = solved - x_new[active]
+        bad = ~np.isfinite(delta).all(axis=1)
+        if bad.any():
+            failed.extend(int(l) for l in active[bad])
+            active = active[~bad]
+            delta = delta[~bad]
+            if active.size == 0:
+                break
+        v_delta = delta[:, :n_nodes]
+        max_dv = np.abs(v_delta).max(axis=1) if n_nodes \
+            else np.zeros(active.size)
+        over = max_dv > options.max_step
+        if over.any():
+            scale = np.where(over, options.max_step
+                             / np.where(over, max_dv, 1.0), 1.0)
+            delta = delta * scale[:, None]
+        x_new[active] += delta
+        tol = options.vtol + options.reltol \
+            * np.abs(x_new[active][:, :n_nodes])
+        converged = (np.abs(delta[:, :n_nodes]) <= tol).all(axis=1) \
+            & ~over
+        active = active[~converged]
+    else:
+        failed.extend(int(l) for l in active)
+    if stats is not None:
+        stats["solves"] = stats.get("solves", 0) + 1
+        stats["iterations"] = stats.get("iterations", 0) + local_iter
+        stats["lane_iterations"] = \
+            stats.get("lane_iterations", 0) + local_lane_iter
+        stats["stacked_solves"] = \
+            stats.get("stacked_solves", 0) + local_solves
+    for lane in failed:
+        x_new[lane] = x[lane]
+    return x_new, failed
+
+
+# ----------------------------------------------------------------------
+# DC
+# ----------------------------------------------------------------------
+
+def batch_operating_points(circuits: Sequence[Circuit],
+                           options: NewtonOptions = NewtonOptions(),
+                           batch: Optional[LaneBatch] = None,
+                           stats: Optional[dict] = None) -> np.ndarray:
+    """Stacked DC operating points; ``(B, dim)`` solution stack.
+
+    Lock-step plain Newton first; lanes that fail re-run through the
+    scalar :func:`robust_dc_solve` (gmin/source stepping), so the
+    result matches the scalar path lane by lane.  Raises
+    :class:`AnalysisError` only if a lane fails even scalar-side.
+    """
+    if batch is None:
+        batch = LaneBatch(circuits)
+    for circuit in batch.circuits:
+        circuit.reset_state()
+    batch.reset()
+    lanes = np.arange(batch.n_lanes)
+    x = np.zeros((batch.n_lanes, batch.dim))
+    x, failed = _lockstep_newton(batch, x, lanes, options,
+                                 analysis="dc", stats=stats)
+    for lane in failed:
+        x[lane] = robust_dc_solve(batch.circuits[lane], None, options)
+    if stats is not None and failed:
+        stats["dc_scalar_fallbacks"] = \
+            stats.get("dc_scalar_fallbacks", 0) + len(failed)
+    return x
+
+
+def batch_dc_sweep(circuits: Sequence[Circuit], source_name: str,
+                   values: Sequence[float],
+                   options: NewtonOptions = NewtonOptions(),
+                   stats: Optional[dict] = None) -> List[Dataset]:
+    """Lane-batched :func:`repro.circuit.dc.dc_sweep`.
+
+    Sweeps the named independent source of *every* lane through the
+    shared ``values`` grid, one lock-step DC solve per grid point with
+    continuation from the previous point.  Per lane the returned
+    :class:`Dataset` carries ``v(node)`` traces plus voltage-source
+    branch currents (CNFET current traces, which the MC consumers do
+    not read, are omitted).
+    """
+    batch = LaneBatch(circuits)
+    sources = [c.element(source_name) for c in batch.circuits]
+    for source in sources:
+        if not isinstance(source, (VoltageSource, CurrentSource)):
+            raise NetlistError(
+                f"{source_name!r} is not an independent source"
+            )
+    originals = [s.waveform for s in sources]
+    lanes = np.arange(batch.n_lanes)
+    values = [float(v) for v in values]
+    rows = np.empty((len(values), batch.n_lanes, batch.dim))
+    try:
+        for circuit in batch.circuits:
+            circuit.reset_state()
+        batch.reset()
+        x = np.zeros((batch.n_lanes, batch.dim))
+        for i, value in enumerate(values):
+            for source in sources:
+                source.waveform = DC(value)
+            x, failed = _lockstep_newton(batch, x, lanes, options,
+                                         analysis="dc", stats=stats)
+            for lane in failed:
+                x[lane] = robust_dc_solve(
+                    batch.circuits[lane],
+                    rows[i - 1, lane].copy() if i else None, options)
+            rows[i] = x
+    finally:
+        for source, original in zip(sources, originals):
+            source.waveform = original
+    datasets = []
+    for lane in range(batch.n_lanes):
+        dataset = Dataset(source_name, values)
+        for node, idx in batch.node_index.items():
+            dataset.add_trace(f"v({node})", rows[:, lane, idx])
+        for el in batch.circuits[lane].iter_elements(VoltageSource):
+            dataset.add_trace(f"i({el.name})", rows[:, lane, el.aux_index])
+        datasets.append(dataset)
+    return datasets
+
+
+# ----------------------------------------------------------------------
+# Transient
+# ----------------------------------------------------------------------
+
+@dataclass
+class BatchTransientResult:
+    """Per-lane outcome of a :func:`batch_transient` run.
+
+    ``datasets[lane]`` is the lane's waveform set (``None`` when the
+    lane failed even scalar-side; ``errors[lane]`` then holds the
+    message).  ``fallback_lanes`` lists lanes that left the batch and
+    were re-simulated through the scalar engine.
+    """
+
+    datasets: List[Optional[Dataset]]
+    errors: Dict[int, str] = field(default_factory=dict)
+    fallback_lanes: Tuple[int, ...] = ()
+    stats: dict = field(default_factory=dict)
+
+    def __getitem__(self, lane: int) -> Dataset:
+        dataset = self.datasets[lane]
+        if dataset is None:
+            raise AnalysisError(
+                f"lane {lane} failed: {self.errors.get(lane, 'unknown')}"
+            )
+        return dataset
+
+
+class _BatchRecorder:
+    """Shared-axis recorder: one time list, per-lane live spans."""
+
+    def __init__(self, x0: np.ndarray) -> None:
+        self.times: List[float] = [0.0]
+        self.solutions: List[np.ndarray] = [x0.copy()]
+        self.length = np.full(x0.shape[0], 1, dtype=int)
+
+    def accept(self, t: float, x: np.ndarray,
+               alive: np.ndarray) -> None:
+        self.times.append(t)
+        self.solutions.append(x.copy())
+        self.length[alive] = len(self.times)
+
+    def dataset(self, batch: LaneBatch, lane: int,
+                record_currents) -> Dataset:
+        k = int(self.length[lane])
+        data = np.asarray([s[lane] for s in self.solutions[:k]])
+        dataset = Dataset("time", self.times[:k])
+        for node, idx in batch.node_index.items():
+            dataset.add_trace(f"v({node})", data[:, idx])
+        if record_currents:
+            circuit = batch.circuits[lane]
+            for el in circuit.iter_elements(VoltageSource):
+                dataset.add_trace(f"i({el.name})", data[:, el.aux_index])
+        if record_currents is True:
+            circuit = batch.circuits[lane]
+            zeros = np.zeros(data.shape[0])
+
+            def node_trace(node: str) -> np.ndarray:
+                idx = batch.node_index.get(node, -1)
+                return data[:, idx] if idx >= 0 else zeros
+
+            for el in circuit.iter_elements(CNFETElement):
+                d_node, g_node, s_node = el.nodes
+                vs_col = node_trace(s_node)
+                vgs = node_trace(g_node) - vs_col
+                vds = node_trace(d_node) - vs_col
+                if el.polarity == "p":
+                    vgs, vds = -vgs, -vds
+                series = el.backend.ids_many(vgs, vds)
+                if el.polarity == "p":
+                    series = -series
+                dataset.add_trace(f"i({el.name})", series)
+        return dataset
+
+
+def batch_transient(
+    circuits: Sequence[Circuit],
+    tstop: Union[float, Sequence[float]],
+    dt: Optional[float] = None,
+    method: str = "trap",
+    options: NewtonOptions = NewtonOptions(),
+    record_currents: Union[bool, str] = True,
+    x0: Optional[np.ndarray] = None,
+    max_halvings: Optional[int] = None,
+    stats: Optional[dict] = None,
+    *,
+    adaptive: Optional[bool] = None,
+    rtol: Optional[float] = None,
+    atol: Optional[float] = None,
+    dt_min: Optional[float] = None,
+    dt_max: Optional[float] = None,
+    scalar_fallback: bool = True,
+    batch: Optional[LaneBatch] = None,
+) -> BatchTransientResult:
+    """Integrate ``B`` same-topology circuit instances in lock-step.
+
+    Parameters mirror :func:`repro.circuit.transient.transient`;
+    differences:
+
+    tstop : float or sequence of float
+        Shared or per-lane stop times [s].  Lanes whose stop time is
+        shorter than the longest *retire* once reached (their waveforms
+        end there) while the remaining lanes keep integrating.
+    x0 : numpy.ndarray, optional
+        ``(B, dim)`` initial solution stack (default: stacked DC
+        operating points via :func:`batch_operating_points`).
+    record_currents : bool or "sources"
+        ``True`` mirrors the scalar engine (source branch currents
+        plus a CNFET drain-current post-pass); ``"sources"`` records
+        only the branch currents, which are free columns of the
+        solution stack — the CNFET post-pass re-solves every recorded
+        row per device, which on a batch's dense shared axis can cost
+        more than the integration itself.
+    scalar_fallback : bool
+        Re-simulate lanes whose lock-step Newton fails irreducibly
+        through the scalar engine (default).  With ``False`` such
+        lanes report an error instead.
+    batch : LaneBatch, optional
+        A prebuilt assembler over the same circuits — callers that
+        already built one (e.g. for :func:`batch_operating_points`)
+        skip the duplicate topology validation and stacked-table
+        construction.
+
+    Stepping modes (shared grid):
+
+    * **fixed** (``dt`` given) — every lane advances at ``dt``; the
+      union of all lanes' waveform breakpoints is landed on exactly;
+      Newton failures halve the shared step up to ``max_halvings``.
+    * **adaptive** — the scalar LTE/PI controller driven by the
+      worst-lane scaled error; per-lane predictor history restarts at
+      that lane's own waveform breakpoints; rejection (LTE or Newton)
+      shrinks the shared step.
+
+    Returns
+    -------
+    BatchTransientResult
+        Per-lane datasets (shared, possibly non-uniform time axis),
+        scalar-fallback lanes, per-lane errors, run stats.
+    """
+    if batch is None:
+        batch = LaneBatch(circuits)
+    n_lanes = batch.n_lanes
+    if np.isscalar(tstop):
+        tstops = np.full(n_lanes, float(tstop))
+    else:
+        tstops = np.asarray(tstop, dtype=float)
+        if tstops.shape != (n_lanes,):
+            raise ParameterError(
+                f"tstop must be a scalar or one value per lane; got "
+                f"shape {tstops.shape} for {n_lanes} lanes"
+            )
+    if (tstops <= 0.0).any():
+        raise ParameterError(f"tstop must be > 0: {tstops!r}")
+    t_end = float(tstops.max())
+    if method not in ("be", "trap"):
+        raise ParameterError(f"method must be 'be' or 'trap': {method!r}")
+    if adaptive is None:
+        adaptive = dt is None
+    if not adaptive:
+        if dt is None:
+            raise ParameterError(
+                "fixed-step mode needs dt (omit it or pass adaptive=True "
+                "for the adaptive engine)"
+            )
+        if dt <= 0.0 or dt > t_end:
+            raise ParameterError(f"dt must be in (0, tstop]: {dt!r}")
+        for name, value in (("rtol", rtol), ("atol", atol),
+                            ("dt_min", dt_min), ("dt_max", dt_max)):
+            if value is not None:
+                raise ParameterError(
+                    f"{name} is an adaptive-mode option; fixed-step "
+                    f"accuracy is set by dt alone"
+                )
+        max_halvings = 8 if max_halvings is None else max_halvings
+    else:
+        if max_halvings is not None:
+            raise ParameterError(
+                "max_halvings is a fixed-step option; adaptive step "
+                "rejection is governed by rtol/atol/dt_min"
+            )
+        rtol = DEFAULT_RTOL if rtol is None else float(rtol)
+        atol = DEFAULT_ATOL if atol is None else float(atol)
+        if rtol < 0.0 or atol < 0.0 or rtol + atol <= 0.0:
+            raise ParameterError(
+                f"need rtol, atol >= 0 and rtol + atol > 0: "
+                f"rtol={rtol!r}, atol={atol!r}"
+            )
+        dt_max = t_end / 50.0 if dt_max is None else float(dt_max)
+        dt_min = t_end * 1e-9 if dt_min is None else float(dt_min)
+        if not 0.0 < dt_min <= dt_max <= t_end:
+            raise ParameterError(
+                f"need 0 < dt_min <= dt_max <= tstop: dt_min={dt_min!r}, "
+                f"dt_max={dt_max!r}"
+            )
+        if dt is not None and dt <= 0.0:
+            raise ParameterError(f"initial dt must be > 0: {dt!r}")
+
+    run_stats: dict = stats if stats is not None else {}
+    for group in batch.groups:
+        if hasattr(group, "stats"):
+            group.stats = run_stats
+    for circuit in batch.circuits:
+        circuit.reset_state()
+    batch.reset()
+    if x0 is None:
+        x = batch_operating_points(batch.circuits, options, batch=batch,
+                                   stats=run_stats)
+    else:
+        x = np.asarray(x0, dtype=float).copy()
+        if x.shape != (n_lanes, batch.dim):
+            raise ParameterError(
+                f"x0 has shape {x.shape}, expected "
+                f"({n_lanes}, {batch.dim})"
+            )
+
+    # Union breakpoint schedule: waveform corners per lane (history
+    # restarts apply to the owning lanes only) plus every distinct
+    # per-lane stop time (so retirement lands exactly).
+    eps = 1e-15 * t_end
+    bp_lanes: Dict[float, List[int]] = {}
+    for lane, circuit in enumerate(batch.circuits):
+        for t in _collect_breakpoints(circuit, float(tstops[lane])):
+            bp_lanes.setdefault(t, []).append(lane)
+    bp_times = sorted(set(bp_lanes) | {
+        float(t) for t in tstops if t < t_end - eps
+    })
+
+    state = _RunState(batch, x, tstops, run_stats, record_currents,
+                      options, method, scalar_fallback)
+    # Prime per-lane group state (previous-step charges) at x0.
+    prime_ctx = batch.accept_context(x, x, np.arange(n_lanes), 0.0,
+                                     1.0, method)
+    for group in batch.groups:
+        if hasattr(group, "begin_run"):
+            group.begin_run(prime_ctx)
+    if adaptive:
+        _adaptive_lockstep(state, t_end, bp_times, bp_lanes, rtol, atol,
+                           dt_min, dt_max, dt)
+    else:
+        _fixed_lockstep(state, t_end, bp_times, bp_lanes, dt,
+                        max_halvings)
+    return state.finish(dt=dt, adaptive=adaptive, rtol=rtol, atol=atol,
+                        dt_min=dt_min, dt_max=dt_max,
+                        max_halvings=max_halvings)
+
+
+class _RunState:
+    """Shared bookkeeping of both lock-step stepping loops."""
+
+    def __init__(self, batch: LaneBatch, x: np.ndarray,
+                 tstops: np.ndarray, stats: dict, record_currents: bool,
+                 options: NewtonOptions, method: str,
+                 scalar_fallback: bool) -> None:
+        self.batch = batch
+        self.x = x
+        self.x0 = x.copy()
+        self.tstops = tstops
+        self.stats = stats
+        self.record_currents = record_currents
+        self.options = options
+        self.method = method
+        self.scalar_fallback = scalar_fallback
+        self.alive = np.ones(batch.n_lanes, dtype=bool)
+        self.recorder = _BatchRecorder(x)
+        self.dropped: List[int] = []
+
+    @property
+    def alive_lanes(self) -> np.ndarray:
+        return np.flatnonzero(self.alive)
+
+    def drop(self, lanes: Sequence[int]) -> None:
+        """Remove lanes from the batch (scalar fallback at finish)."""
+        for lane in lanes:
+            self.alive[lane] = False
+            self.dropped.append(int(lane))
+
+    def retire(self, t: float, eps: float) -> None:
+        done = self.alive & (self.tstops <= t + eps)
+        if done.any():
+            self.alive &= ~done
+            self.stats["retired_lanes"] = \
+                self.stats.get("retired_lanes", 0) + int(done.sum())
+
+    def accept(self, t: float, x_new: np.ndarray, step: float) -> None:
+        alive = self.alive_lanes
+        ctx = self.batch.accept_context(x_new, self.x, alive, t, step,
+                                        self.method)
+        for group in self.batch.groups:
+            group.accept(ctx)
+        self.recorder.accept(t, x_new, alive)
+        self.x = x_new
+        self.stats["steps"] = self.stats.get("steps", 0) + 1
+
+    def finish(self, **run_kwargs) -> BatchTransientResult:
+        batch = self.batch
+        datasets: List[Optional[Dataset]] = [None] * batch.n_lanes
+        errors: Dict[int, str] = {}
+        for lane in range(batch.n_lanes):
+            if lane not in self.dropped:
+                datasets[lane] = self.recorder.dataset(
+                    batch, lane, self.record_currents)
+        fallback: List[int] = []
+        for lane in self.dropped:
+            if not self.scalar_fallback:
+                errors[lane] = "lock-step Newton failed (scalar " \
+                    "fallback disabled)"
+                continue
+            fallback.append(lane)
+            try:
+                datasets[lane] = self._scalar_rerun(lane, run_kwargs)
+            except AnalysisError as exc:
+                errors[lane] = str(exc)
+        self.stats["fallback_lanes"] = len(fallback)
+        return BatchTransientResult(
+            datasets=datasets, errors=errors,
+            fallback_lanes=tuple(fallback), stats=self.stats,
+        )
+
+    def _scalar_rerun(self, lane: int, run_kwargs: dict) -> Dataset:
+        """Exact per-lane fallback: the scalar engine, same settings."""
+        kwargs = dict(
+            tstop=float(self.tstops[lane]), method=self.method,
+            options=self.options,
+            record_currents=self.record_currents,
+            x0=self.x0[lane].copy(),
+        )
+        if run_kwargs["adaptive"]:
+            fb_dt_max = min(run_kwargs["dt_max"], kwargs["tstop"] / 2.0)
+            kwargs.update(
+                adaptive=True, rtol=run_kwargs["rtol"],
+                atol=run_kwargs["atol"],
+                dt_min=min(run_kwargs["dt_min"], fb_dt_max),
+                dt_max=fb_dt_max,
+            )
+            if run_kwargs["dt"] is not None:
+                kwargs["dt"] = run_kwargs["dt"]
+        else:
+            kwargs.update(dt=run_kwargs["dt"],
+                          max_halvings=run_kwargs["max_halvings"])
+        return transient(self.batch.circuits[lane], **kwargs)
+
+
+def _next_bp(bp_times: List[float], bp_idx: int, t: float,
+             eps: float) -> int:
+    n = len(bp_times)
+    while bp_idx < n and bp_times[bp_idx] <= t + eps:
+        bp_idx += 1
+    return bp_idx
+
+
+def _fixed_lockstep(state: _RunState, t_end: float,
+                    bp_times: List[float], bp_lanes: Dict[float, List[int]],
+                    dt: float, max_halvings: int) -> None:
+    """Shared-grid fixed-step march (lock-step twin of
+    :func:`repro.circuit.transient._fixed_loop`)."""
+    batch = state.batch
+    options = state.options
+    t = 0.0
+    current_dt = dt
+    halvings = 0
+    bp_idx = 0
+    eps = 1e-15 * t_end
+    while state.alive.any() and t < t_end - eps:
+        bp_idx = _next_bp(bp_times, bp_idx, t, eps)
+        step = min(current_dt, t_end - t)
+        landing = (bp_idx < len(bp_times)
+                   and bp_times[bp_idx] - t <= step * (1.0 + 1e-12))
+        if landing:
+            t_next = bp_times[bp_idx]
+            step = t_next - t
+        else:
+            t_next = t + step
+        alive = state.alive_lanes
+        x_new, failed = _lockstep_newton(
+            batch, state.x, alive, options, analysis="tran",
+            time=t_next, dt=step, x_prev=state.x, method=state.method,
+            stats=state.stats,
+        )
+        if failed:
+            state.stats["rejected_newton"] = \
+                state.stats.get("rejected_newton", 0) + 1
+            if halvings >= max_halvings:
+                # The shared step cannot shrink further: the failing
+                # lanes leave the batch, everyone else retries.
+                state.drop(failed)
+                if not state.alive.any():
+                    return
+                continue
+            current_dt = step / 2.0
+            halvings += 1
+            continue
+        state.accept(t_next, x_new, step)
+        t = t_next
+        state.retire(t, eps)
+        if landing:
+            bp_idx += 1
+            state.stats["breakpoints_hit"] = \
+                state.stats.get("breakpoints_hit", 0) + 1
+        if current_dt < dt:
+            current_dt = min(dt, current_dt * 2.0)
+            halvings = max(0, halvings - 1)
+
+
+def _adaptive_lockstep(state: _RunState, t_end: float,
+                       bp_times: List[float],
+                       bp_lanes: Dict[float, List[int]],
+                       rtol: float, atol: float, dt_min: float,
+                       dt_max: float, dt0: Optional[float]) -> None:
+    """Worst-lane LTE-controlled lock-step integration.
+
+    The per-step controller is the scalar adaptive loop verbatim —
+    predictor, divisors, PI update, rejection paths — except that the
+    accept/reject decision is made once for the whole batch from the
+    *largest* per-lane scaled error, and the predictor history is
+    per-lane (a source breakpoint restarts only the lanes whose
+    waveform owns it).
+    """
+    batch = state.batch
+    options = state.options
+    method = state.method
+    n_nodes = batch.n_nodes
+    n_lanes = batch.n_lanes
+    k_order = 2 if method == "be" else 3
+    t = 0.0
+    h = min(dt_max, t_end / 1000.0) if dt0 is None else min(dt0, dt_max)
+    err_prev = 1.0
+    bp_idx = 0
+    eps = 1e-15 * t_end
+    accepted = 0
+    hist: List[Tuple[float, np.ndarray]] = [(0.0, state.x.copy())]
+    hist_count = np.ones(n_lanes, dtype=int)
+    while state.alive.any() and t < t_end - eps:
+        bp_idx = _next_bp(bp_times, bp_idx, t, eps)
+        h = min(max(h, dt_min), dt_max)
+        step = min(h, t_end - t)
+        landing = (bp_idx < len(bp_times)
+                   and bp_times[bp_idx] - t <= step * (1.0 + 1e-12))
+        if landing:
+            t_next = bp_times[bp_idx]
+            step = t_next - t
+        else:
+            t_next = t + step
+        x_pred, divisor, has_pred = _predict_lanes(
+            hist, hist_count, t_next, method, state.x)
+        alive = state.alive_lanes
+        x_new, failed = _lockstep_newton(
+            batch, state.x, alive, options, analysis="tran",
+            time=t_next, dt=step, x_prev=state.x, method=method,
+            x_start=x_pred, stats=state.stats,
+        )
+        if failed:
+            state.stats["rejected_newton"] = \
+                state.stats.get("rejected_newton", 0) + 1
+            shrunk = max(step * _NEWTON_SHRINK, dt_min)
+            if shrunk >= step * (1.0 - 1e-12):
+                # Irreducible step: the failing lanes leave the batch,
+                # the remaining lanes retry the same step.
+                state.drop(failed)
+                if not state.alive.any():
+                    return
+            else:
+                h = shrunk
+            continue
+
+        # Worst-lane scaled LTE over alive lanes with a predictor.
+        err = None
+        scoring = state.alive & has_pred
+        if scoring.any():
+            lanes = np.flatnonzero(scoring)
+            v_now = np.abs(state.x[lanes][:, :n_nodes])
+            v_next = np.abs(x_new[lanes][:, :n_nodes])
+            weight = atol + rtol * np.maximum(v_now, v_next)
+            diff = np.abs(x_new[lanes][:, :n_nodes]
+                          - x_pred[lanes][:, :n_nodes])
+            lane_err = (diff / weight).max(axis=1) / divisor[lanes] \
+                if n_nodes else np.zeros(lanes.size)
+            err = float(lane_err.max())
+        if err is not None and err > 1.0:
+            shrunk = max(
+                step * min(0.5, max(0.1,
+                                    _SAFETY * err ** (-1.0 / k_order))),
+                dt_min,
+            )
+            if shrunk < step * (1.0 - 1e-12):
+                state.stats["rejected_lte"] = \
+                    state.stats.get("rejected_lte", 0) + 1
+                h = shrunk
+                continue
+            # Irreducible: accept as the best available (scalar twin).
+
+        state.accept(t_next, x_new, step)
+        t = t_next
+        accepted += 1
+        if accepted > _MAX_ACCEPTED_STEPS:
+            raise AnalysisError(
+                f"batch transient exceeded {_MAX_ACCEPTED_STEPS} "
+                f"accepted steps; loosen rtol/atol or raise dt_min"
+            )
+        state.stats["dt_smallest"] = min(
+            state.stats.get("dt_smallest", step), step)
+        state.stats["dt_largest"] = max(
+            state.stats.get("dt_largest", step), step)
+        state.retire(t, eps)
+        if err is None or err <= 0.0:
+            fac = _FAC_BLIND
+        else:
+            fac = _SAFETY * err ** (-0.7 / k_order) \
+                * err_prev ** (0.4 / k_order)
+            fac = min(_FAC_MAX, max(_FAC_MIN, fac))
+            err_prev = max(err, 1e-4)
+        if (state.alive & (hist_count < 2)).any():
+            # Some lane is predictor-blind (its history just restarted
+            # at a breakpoint): its error is invisible to the worst-
+            # lane controller, so growth is capped exactly like the
+            # scalar engine's no-estimate steps — otherwise the other
+            # lanes' plateau-small errors would quintuple the shared
+            # step right through the restarting lane's edge.
+            fac = min(fac, _FAC_BLIND)
+        h = step * fac
+        hist.append((t, state.x.copy()))
+        if len(hist) > 3:
+            hist.pop(0)
+        hist_count = np.minimum(hist_count + 1, 3)
+        if landing:
+            bp_idx += 1
+            state.stats["breakpoints_hit"] = \
+                state.stats.get("breakpoints_hit", 0) + 1
+            restart = [lane for lane in bp_lanes.get(t_next, ())
+                       if state.alive[lane]]
+            if restart:
+                # Source derivative discontinuity: restart the
+                # predictor for the owning lanes and re-enter
+                # cautiously (worst-lane controller, so the shared
+                # step shrinks once for the whole batch).
+                hist_count[restart] = 1
+                h = max(dt_min, h * _BREAKPOINT_SHRINK)
+                err_prev = 1.0
+
+
+def _predict_lanes(hist: List[Tuple[float, np.ndarray]],
+                   hist_count: np.ndarray, t_next: float, method: str,
+                   x: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-lane predictor stack, LTE divisors, and a has-predictor mask
+    (vectorized :func:`repro.circuit.transient._predict`)."""
+    n_lanes = hist_count.shape[0]
+    divisor = np.ones(n_lanes)
+    has_pred = hist_count >= 2
+    x_pred = x.copy()
+    if len(hist) >= 2:
+        (t1, x1), (t2, x2) = hist[-2], hist[-1]
+        linear = x2 + (x2 - x1) * ((t_next - t2) / (t2 - t1))
+        lin_mask = has_pred if method != "trap" \
+            else has_pred & (hist_count < 3)
+        if method == "trap":
+            divisor[has_pred & (hist_count < 3)] = 2.0
+        else:
+            divisor[has_pred] = 3.0
+        x_pred[lin_mask] = linear[lin_mask]
+    if method == "trap" and len(hist) >= 3:
+        quad_mask = hist_count >= 3
+        if quad_mask.any():
+            (t0, x0), (t1, x1), (t2, x2) = hist[-3], hist[-2], hist[-1]
+            l0 = (t_next - t1) * (t_next - t2) / ((t0 - t1) * (t0 - t2))
+            l1 = (t_next - t0) * (t_next - t2) / ((t1 - t0) * (t1 - t2))
+            l2 = (t_next - t0) * (t_next - t1) / ((t2 - t0) * (t2 - t1))
+            quad = l0 * x0 + l1 * x1 + l2 * x2
+            x_pred[quad_mask] = quad[quad_mask]
+            divisor[quad_mask] = 11.0
+    return x_pred, divisor, has_pred

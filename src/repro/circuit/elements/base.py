@@ -74,6 +74,11 @@ class StampContext:
         self.method = method
         self.gmin = gmin
         self.source_scale = source_scale
+        #: Jacobian-reuse tolerance [V] of the current Newton iteration
+        #: (see :attr:`NewtonOptions.jacobian_reuse_tol`); elements may
+        #: restamp a frozen linearisation when their controlling
+        #: voltages moved less than this.  0 disables reuse.
+        self.reuse_tol = 0.0
 
     # -- index helpers --------------------------------------------------
 
@@ -132,6 +137,175 @@ class StampContext:
         self.add_rhs(ib, i)
 
 
+class LaneContext:
+    """Stacked assembly context of the lane-batched engine.
+
+    ``B`` independent instances (*lanes*) of one circuit topology are
+    assembled into a ``(B, n + 1, n + 1)`` matrix stack and a
+    ``(B, n + 1)`` rhs stack, where ``n`` is the scalar system
+    dimension; row/column ``n`` is a *ground pad* that absorbs stamps
+    whose node is ground, so vectorized scatter-adds never need per-
+    entry sign checks (the pad is sliced off before the stacked solve).
+
+    ``x``/``x_prev`` are ``(B, n)`` per-lane iterate / previous-step
+    stacks; ``lanes`` holds the indices of the *active* lanes (Newton
+    freezes converged lanes, the stepper retires finished ones).  The
+    remaining fields mirror :class:`StampContext`.
+    """
+
+    def __init__(self, matrix: np.ndarray, rhs: np.ndarray,
+                 node_index: Dict[str, int], x: np.ndarray,
+                 lanes: np.ndarray, analysis: str = "dc",
+                 time: Optional[float] = None, dt: Optional[float] = None,
+                 x_prev: Optional[np.ndarray] = None, method: str = "be",
+                 gmin: float = 1e-12, source_scale: float = 1.0) -> None:
+        self.matrix = matrix
+        self.rhs = rhs
+        self.node_index = node_index
+        self.x = x
+        self.lanes = lanes
+        self.analysis = analysis
+        self.time = time
+        self.dt = dt
+        self.x_prev = x_prev
+        self.method = method
+        self.gmin = gmin
+        self.source_scale = source_scale
+
+    @property
+    def n_lanes(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Scalar system dimension (the stacks carry one pad row more)."""
+        return self.matrix.shape[1] - 1
+
+    def idx(self, node: str) -> int:
+        """Matrix row of a node; the ground pad row for ground."""
+        if node in GROUND_NAMES:
+            return self.dim
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    def voltages(self, node: str, x: Optional[np.ndarray] = None
+                 ) -> np.ndarray:
+        """Per-active-lane node voltages from ``x`` (default: the
+        current iterate stack); zeros for ground."""
+        source = self.x if x is None else x
+        i = self.idx(node)
+        if i >= self.dim:
+            return np.zeros(len(self.lanes))
+        return source[self.lanes, i]
+
+    def scalar_context(self, lane: int) -> "StampContext":
+        """Scalar :class:`StampContext` viewing one lane's system
+        (the generic per-lane fallback of :meth:`Element.lane_group`)."""
+        dim = self.dim
+        return StampContext(
+            matrix=self.matrix[lane, :dim, :dim],
+            rhs=self.rhs[lane, :dim],
+            node_index=self.node_index,
+            x=self.x[lane],
+            analysis=self.analysis,
+            time=self.time,
+            dt=self.dt,
+            x_prev=None if self.x_prev is None else self.x_prev[lane],
+            method=self.method,
+            gmin=self.gmin,
+            source_scale=self.source_scale,
+        )
+
+
+class LaneGroup:
+    """Batched stamping unit: one element *slot* across all lanes.
+
+    The lane-batched assembler collects, for every element position of
+    the shared topology, the ``B`` per-lane element objects ("slot")
+    and asks the element class for a group via
+    :meth:`Element.lane_group`.  The group owns whatever stacked
+    parameter arrays and per-lane transient state the slot needs:
+
+    * :meth:`stamp` adds the slot's contribution for the *active* lanes
+      (``ctx.lanes``) into the stacks — vectorized implementations
+      gather per-lane values and scatter-add; the generic fallback
+      loops the scalar ``Element.stamp``.
+    * :meth:`accept` commits a converged step (per-lane state update).
+    * :meth:`reset` forgets transient state at the start of a run.
+
+    ``nonlinear`` mirrors :attr:`Element.nonlinear`: ``False`` groups
+    are stamped once per step into the static stack, ``True`` groups
+    per Newton iteration.
+    """
+
+    nonlinear = False
+
+    def __init__(self, elements: Sequence["Element"]) -> None:
+        self.elements = list(elements)
+
+    def stamp(self, ctx: LaneContext) -> None:
+        raise NotImplementedError
+
+    def accept(self, ctx: LaneContext) -> None:
+        """Commit a converged step for the active lanes."""
+
+    def reset(self) -> None:
+        """Forget per-lane transient state (new run starting)."""
+
+
+class GenericLaneGroup(LaneGroup):
+    """Per-lane scalar fallback group (correct for any element).
+
+    Elements without a vectorized group implementation — and any
+    user-defined element — are stamped lane by lane through their
+    scalar :meth:`Element.stamp` on a one-lane view of the stacks.
+    The per-lane scalar contexts are cached per underlying buffer
+    stack and mutated in place, so the dynamic-stamp hot path does
+    not allocate a context (and two matrix/rhs views) per lane per
+    Newton iteration.
+    """
+
+    def __init__(self, elements: Sequence["Element"]) -> None:
+        super().__init__(elements)
+        self.nonlinear = elements[0].nonlinear
+        #: (id(matrix stack), lane) -> reusable scalar context
+        self._scalar_ctx: Dict[Tuple[int, int], StampContext] = {}
+
+    def _lane_context(self, ctx: LaneContext,
+                      lane: int) -> "StampContext":
+        key = (id(ctx.matrix), lane)
+        cached = self._scalar_ctx.get(key)
+        if cached is None:
+            cached = ctx.scalar_context(lane)
+            if len(self._scalar_ctx) < 4 * len(self.elements):
+                self._scalar_ctx[key] = cached
+            return cached
+        cached.x = ctx.x[lane]
+        cached.x_prev = None if ctx.x_prev is None else ctx.x_prev[lane]
+        cached.analysis = ctx.analysis
+        cached.time = ctx.time
+        cached.dt = ctx.dt
+        cached.method = ctx.method
+        cached.gmin = ctx.gmin
+        cached.source_scale = ctx.source_scale
+        return cached
+
+    def stamp(self, ctx: LaneContext) -> None:
+        for lane in ctx.lanes:
+            self.elements[lane].stamp(self._lane_context(ctx, int(lane)))
+
+    def accept(self, ctx: LaneContext) -> None:
+        for lane in ctx.lanes:
+            self.elements[lane].accept_step(
+                self._lane_context(ctx, int(lane)))
+
+    def reset(self) -> None:
+        for el in self.elements:
+            el.reset_state()
+
+
 class Element:
     """Base class of all circuit elements.
 
@@ -139,6 +313,12 @@ class Element:
     :meth:`stamp`, and declare ``n_aux`` auxiliary unknowns (branch
     currents).  ``aux_index`` is assigned by the circuit when the system
     is dimensioned.
+
+    The lane-batched engine additionally asks the class for a
+    :class:`LaneGroup` per element slot via :meth:`lane_group`; the
+    default returns the scalar-loop fallback, so every element is
+    batchable out of the box and vectorized groups are a pure
+    optimisation.
     """
 
     #: number of auxiliary (branch-current) unknowns
@@ -158,6 +338,24 @@ class Element:
 
     def stamp(self, ctx: StampContext) -> None:
         raise NotImplementedError
+
+    @classmethod
+    def lane_group(cls, elements: Sequence["Element"]) -> LaneGroup:
+        """Batched stamping group for one slot (``elements[b]`` is the
+        slot's element in lane ``b``).  Override to vectorize."""
+        return GenericLaneGroup(elements)
+
+    @classmethod
+    def lane_groups(cls, slots: Sequence[Sequence["Element"]]
+                    ) -> Sequence[LaneGroup]:
+        """Batched stamping groups for *all* of this class's slots.
+
+        The default is one :meth:`lane_group` per slot; classes whose
+        vectorization spans slots (CNFETs stack every device of the
+        batch into one evaluation) override this to return fewer,
+        wider groups.
+        """
+        return [cls.lane_group(slot) for slot in slots]
 
     def accept_step(self, ctx: StampContext) -> None:
         """Called once after a transient step converges; elements with

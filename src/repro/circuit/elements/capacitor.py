@@ -2,8 +2,70 @@
 
 from __future__ import annotations
 
-from repro.circuit.elements.base import Element, StampContext
+import numpy as np
+
+from repro.circuit.elements.base import (
+    Element,
+    LaneContext,
+    LaneGroup,
+    StampContext,
+)
 from repro.errors import ParameterError
+
+
+class _CapacitorLaneGroup(LaneGroup):
+    """Vectorized BE/trap companion across lanes.
+
+    The per-lane trapezoidal branch-current state lives in the group
+    (one array), not in the element objects, so a scalar re-run of a
+    fallback lane starts from its own clean element state.
+    """
+
+    def __init__(self, elements) -> None:
+        super().__init__(elements)
+        self.c = np.array([el.capacitance for el in elements])
+        self.i_prev = np.zeros(len(elements))
+
+    def reset(self) -> None:
+        self.i_prev[:] = 0.0
+
+    def _v(self, ctx: LaneContext, x) -> np.ndarray:
+        a, b = self.elements[0].nodes
+        return ctx.voltages(a, x) - ctx.voltages(b, x)
+
+    def stamp(self, ctx: LaneContext) -> None:
+        if ctx.analysis != "tran" or ctx.dt is None:
+            return
+        a, b = self.elements[0].nodes
+        ia, ib = ctx.idx(a), ctx.idx(b)
+        lanes = ctx.lanes
+        c = self.c[lanes]
+        v_prev = self._v(ctx, ctx.x_prev)
+        if ctx.method == "trap":
+            geq = 2.0 * c / ctx.dt
+            ieq = -(geq * v_prev + self.i_prev[lanes])
+        else:  # backward Euler
+            geq = c / ctx.dt
+            ieq = -geq * v_prev
+        matrix = ctx.matrix
+        matrix[lanes, ia, ia] += geq
+        matrix[lanes, ib, ib] += geq
+        matrix[lanes, ia, ib] -= geq
+        matrix[lanes, ib, ia] -= geq
+        ctx.rhs[lanes, ia] -= ieq
+        ctx.rhs[lanes, ib] += ieq
+
+    def accept(self, ctx: LaneContext) -> None:
+        if ctx.dt is None:
+            return
+        lanes = ctx.lanes
+        c = self.c[lanes]
+        dv = self._v(ctx, ctx.x) - self._v(ctx, ctx.x_prev)
+        if ctx.method == "trap":
+            self.i_prev[lanes] = (2.0 * c / ctx.dt) * dv \
+                - self.i_prev[lanes]
+        else:
+            self.i_prev[lanes] = c * dv / ctx.dt
 
 
 class Capacitor(Element):
@@ -58,3 +120,7 @@ class Capacitor(Element):
             self._i_prev = geq * (v_now - v_prev) - self._i_prev
         else:
             self._i_prev = self.capacitance * (v_now - v_prev) / ctx.dt
+
+    @classmethod
+    def lane_group(cls, elements):
+        return _CapacitorLaneGroup(elements)

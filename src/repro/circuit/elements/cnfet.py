@@ -30,10 +30,27 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.circuit.elements.base import Element, StampContext
+from repro.circuit.elements.base import (
+    Element,
+    GenericLaneGroup,
+    LaneContext,
+    LaneGroup,
+    StampContext,
+)
 from repro.errors import ParameterError
+from repro.pwl.batch import StackedCurves, StackedVscSolver
 from repro.pwl.device import CNFET, _log1pexp_many
 from repro.reference.fettoy import FETToyModel
+
+
+def _logistic_many(x: np.ndarray) -> np.ndarray:
+    """Vectorized twin of :func:`_logistic` (same branch at 0)."""
+    out = np.empty_like(x)
+    pos = x >= 0.0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    e = np.exp(x[~pos])
+    out[~pos] = e / (1.0 + e)
+    return out
 
 
 def _log1pexp(x: float) -> float:
@@ -149,6 +166,243 @@ class _Backend:
         ])
 
 
+class _CNFETLaneGroup(LaneGroup):
+    """Stacked CNFET stamping: *every* CNFET slot of the batch, all
+    lanes, one vectorized pass per Newton iteration.
+
+    The hot path of the lane-batched engine.  A *devlane* is one
+    (element slot, lane) pair; the group flattens all ``S`` CNFET
+    slots x ``B`` lanes into ``P = S * B`` devlanes whose devices may
+    all be different (a Monte-Carlo batch).  Per iteration:
+
+    * the inner self-consistent voltages go through
+      :class:`~repro.pwl.batch.StackedVscSolver` (hint-warmed closed
+      forms, scalar fallback on region drift) in one call;
+    * charge-curve values/derivatives through
+      :class:`~repro.pwl.batch.StackedCurves`;
+    * every downstream quantity — currents, analytic small-signal and
+      charge partials, companion residuals — is the scalar
+      :meth:`_Backend.evaluate_full` arithmetic on ``(P,)`` arrays;
+    * the stamp entries land through two ``np.bincount`` scatter-adds
+      against precomputed flat matrix/rhs indices (the ground pad
+      row/column absorbs grounded terminals).
+
+    Previous-step terminal charges are group state, refreshed once per
+    accepted step (the batch twin of the element's per-step memo).
+    """
+
+    nonlinear = True
+
+    def __init__(self, slots) -> None:
+        elements = [el for slot in slots for el in slot]
+        super().__init__(elements)
+        self.n_lanes = len(slots[0])
+        backends = [el.backend for el in elements]
+        self.sign = np.array([
+            1.0 if el.polarity == "n" else -1.0 for el in elements])
+        self.length = np.array([el.length_m for el in elements])
+        self.kt = np.array([b.kt for b in backends])
+        self.ef = np.array([b.ef for b in backends])
+        self.pref = np.array([b.pref for b in backends])
+        self.cg = np.array([b.caps.cg for b in backends])
+        self.cd = np.array([b.caps.cd for b in backends])
+        self.csum = np.array([b.caps.csum for b in backends])
+        self.solver = StackedVscSolver(
+            [b.device.solver for b in backends])
+        self.curves = StackedCurves(
+            [b.device.fitted.curve for b in backends])
+        p = len(elements)
+        #: lane of each devlane (slot-major flattening)
+        self.lane_of = np.array([
+            lane for slot in slots for lane in range(len(slot))])
+        #: warm-start VSC hints: Newton iterates / accepted biases
+        self.hint = np.zeros(p)
+        #: previous-step terminal charges (gate, drain, source), [C]
+        self.q_prev = np.zeros((3, p))
+        self.stats: Optional[dict] = None
+        self._slots = slots
+        self._indices: Optional[Tuple] = None
+
+    def reset(self) -> None:
+        self.hint[:] = 0.0
+        self.q_prev[:] = 0.0
+
+    def _build_indices(self, ctx: LaneContext) -> Tuple:
+        """Precomputed flat scatter indices (constant per topology).
+
+        Matrix entry kinds (row, col) and rhs kinds per devlane — the
+        exact per-entry sums of the scalar ``stamp``:
+
+        ======== ======================  ========================
+        kind     entry                   value
+        ======== ======================  ========================
+        0        (d, g)                  ``+gm``
+        1        (s, g)                  ``-(gm + gmin)``
+        2        (d, d)                  ``+(gds + gmin)``
+        3        (s, s)                  ``+(gm + gds + 2 gmin)``
+        4        (d, s)                  ``-(gm + gds + gmin)``
+        5        (s, d)                  ``-(gds + gmin)``
+        6        (g, g)                  ``+gmin``
+        7        (g, s)                  ``-gmin``
+        8..16    (t, g|d|s), t=g,d,s     charge companions
+        ======== ======================  ========================
+        """
+        if self._indices is not None:
+            return self._indices
+        pad = ctx.dim + 1
+        lane = self.lane_of
+        i_d = np.empty(len(self.elements), dtype=np.intp)
+        i_g = np.empty_like(i_d)
+        i_s = np.empty_like(i_d)
+        pos = 0
+        for slot in self._slots:
+            d, g, s = slot[0].nodes
+            i_d[pos:pos + len(slot)] = ctx.idx(d)
+            i_g[pos:pos + len(slot)] = ctx.idx(g)
+            i_s[pos:pos + len(slot)] = ctx.idx(s)
+            pos += len(slot)
+        base = lane * (pad * pad)
+
+        def m_idx(row, col):
+            return base + row * pad + col
+
+        matrix_rows = [
+            m_idx(i_d, i_g), m_idx(i_s, i_g), m_idx(i_d, i_d),
+            m_idx(i_s, i_s), m_idx(i_d, i_s), m_idx(i_s, i_d),
+            m_idx(i_g, i_g), m_idx(i_g, i_s),
+        ]
+        for it in (i_g, i_d, i_s):
+            matrix_rows.extend(
+                [m_idx(it, i_g), m_idx(it, i_d), m_idx(it, i_s)])
+        rhs_base = lane * pad
+        rhs_rows = [rhs_base + i_d, rhs_base + i_s,
+                    rhs_base + i_g, rhs_base + i_d, rhs_base + i_s]
+        self._indices = (np.stack(matrix_rows), np.stack(rhs_rows),
+                         i_g, i_d, i_s)
+        return self._indices
+
+    def _active(self, ctx: LaneContext) -> np.ndarray:
+        """Devlane indices whose lane is active in ``ctx``."""
+        mask = np.zeros(self.n_lanes, dtype=bool)
+        mask[ctx.lanes] = True
+        return np.flatnonzero(mask[self.lane_of])
+
+    def _bias(self, ctx: LaneContext, x: np.ndarray, didx: np.ndarray
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """n-frame (mirrored) VGS/VDS per active devlane."""
+        _m, _r, i_g, i_d, i_s = self._build_indices(ctx)
+        xp = np.concatenate(
+            [x, np.zeros((x.shape[0], 1))], axis=1)
+        lane = self.lane_of[didx]
+        vs = xp[lane, i_s[didx]]
+        sign = self.sign[didx]
+        return (sign * (xp[lane, i_g[didx]] - vs),
+                sign * (xp[lane, i_d[didx]] - vs))
+
+    def _charges(self, ctx: LaneContext, x: np.ndarray,
+                 didx: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Terminal charges (G, D, S) at the biases in ``x`` [C] —
+        vectorized :meth:`_Backend.charges`."""
+        vgs, vds = self._bias(ctx, x, didx)
+        vsc = self.solver.solve(vgs, vds, self.hint, idx=didx,
+                                stats=self.stats)
+        length = self.length[didx]
+        qg = length * self.cg[didx] * (vgs + vsc)
+        qd = length * (self.cd[didx] * (vds + vsc)
+                       - self.curves.value(vsc + vds, idx=didx))
+        return qg, qd, -(qg + qd)
+
+    def begin_run(self, ctx: LaneContext) -> None:
+        """Prime the previous-step charge state at the initial
+        solution (the scalar element computes the same values lazily on
+        its first transient stamp)."""
+        self.accept(ctx)
+
+    def accept(self, ctx: LaneContext) -> None:
+        didx = self._active(ctx)
+        qg, qd, qs = self._charges(ctx, ctx.x, didx)
+        self.q_prev[0, didx] = qg
+        self.q_prev[1, didx] = qd
+        self.q_prev[2, didx] = qs
+
+    def stamp(self, ctx: LaneContext) -> None:
+        matrix_idx, rhs_idx, _ig, _id, _is = self._build_indices(ctx)
+        didx = self._active(ctx)
+        sign = self.sign[didx]
+        tran = ctx.analysis == "tran" and ctx.dt is not None
+        vgs, vds = self._bias(ctx, ctx.x, didx)
+        vsc = self.solver.solve(vgs, vds, self.hint, idx=didx,
+                                stats=self.stats)
+        kt = self.kt[didx]
+        eta_s = (self.ef[didx] - vsc) / kt
+        eta_d = eta_s - vds / kt
+        pref = self.pref[didx]
+        ids = pref * (_log1pexp_many(eta_s) - _log1pexp_many(eta_d))
+        sig_s = _logistic_many(eta_s)
+        sig_d = _logistic_many(eta_d)
+        di_dvsc = (pref / kt) * (sig_d - sig_s)
+        dq_s = self.curves.derivative(vsc, idx=didx)
+        dq_d = self.curves.derivative(vsc + vds, idx=didx)
+        cg, cd = self.cg[didx], self.cd[didx]
+        denominator = self.csum[didx] - dq_s - dq_d
+        dvsc_g = -cg / denominator
+        dvsc_d = -(cd - dq_d) / denominator
+        gm = di_dvsc * dvsc_g
+        gds = (pref / kt) * sig_d + di_dvsc * dvsc_d
+        gmin = ctx.gmin
+        residual = sign * ids - gm * sign * vgs - gds * sign * vds
+        n_kinds = 17 if tran else 8
+        values = np.empty((n_kinds, didx.size))
+        values[0] = gm
+        values[1] = -(gm + gmin)
+        values[2] = gds + gmin
+        values[3] = gm + gds + 2.0 * gmin
+        values[4] = -(gm + gds + gmin)
+        values[5] = -(gds + gmin)
+        values[6] = gmin
+        values[7] = -gmin
+        rhs_values = np.empty((5 if tran else 2, didx.size))
+        rhs_values[0] = -residual
+        rhs_values[1] = residual
+        if tran:
+            # Charge companions (vectorized ``_stamp_charges``).
+            length = self.length[didx]
+            q_d_mobile = self.curves.value(vsc + vds, idx=didx)
+            qg = length * cg * (vgs + vsc)
+            qd = length * (cd * (vds + vsc) - q_d_mobile)
+            q0 = (qg, qd, -(qg + qd))
+            dg_gs = length * cg * (1.0 + dvsc_g)
+            dg_ds = length * cg * dvsc_d
+            dd_gs = length * dvsc_g * (cd - dq_d)
+            dd_ds = length * (1.0 + dvsc_d) * (cd - dq_d)
+            dq_dvgs = (dg_gs, dd_gs, -(dg_gs + dd_gs))
+            dq_dvds = (dg_ds, dd_ds, -(dg_ds + dd_ds))
+            dt = ctx.dt
+            for t_idx in range(3):
+                geq_gs = dq_dvgs[t_idx] / dt
+                geq_ds = dq_dvds[t_idx] / dt
+                i_now = (q0[t_idx] - self.q_prev[t_idx, didx]) / dt
+                row = 8 + 3 * t_idx
+                values[row] = geq_gs
+                values[row + 1] = geq_ds
+                values[row + 2] = -(geq_gs + geq_ds)
+                rhs_values[2 + t_idx] = -(
+                    sign * i_now - geq_gs * sign * vgs
+                    - geq_ds * sign * vds
+                )
+        # Two scatter-adds against the precomputed flat indices; the
+        # ground pad row/column absorbs grounded terminals.
+        flat_m = ctx.matrix.reshape(-1)
+        flat_m += np.bincount(
+            matrix_idx[:n_kinds, didx].ravel(),
+            weights=values.ravel(), minlength=flat_m.size)
+        flat_r = ctx.rhs.reshape(-1)
+        flat_r += np.bincount(
+            rhs_idx[:rhs_values.shape[0], didx].ravel(),
+            weights=rhs_values.ravel(), minlength=flat_r.size)
+
+
 class CNFETElement(Element):
     """Three-terminal CNFET for the MNA engine.
 
@@ -190,9 +444,40 @@ class CNFETElement(Element):
         #: memoised previous-step charges: (vgs_prev, vds_prev, charges)
         self._prev_charges: Optional[Tuple[float, float, Tuple[
             float, float, float]]] = None
+        #: memoised last evaluation for the Jacobian-reuse fast path:
+        #: (vgs, vds, full-tuple, was_transient)
+        self._eval_memo: Optional[Tuple[float, float, Tuple, bool]] = None
 
     def reset_state(self) -> None:
         self._prev_charges = None
+        self._eval_memo = None
+
+    @classmethod
+    def lane_group(cls, elements):
+        """Stacked lane group when every lane runs the fast piecewise
+        backend; the reference backend falls back to the scalar loop."""
+        if all(isinstance(el.backend.device, CNFET) for el in elements):
+            return _CNFETLaneGroup([elements])
+        return GenericLaneGroup(elements)
+
+    @classmethod
+    def lane_groups(cls, slots):
+        """One merged stacked group across every fast-backend CNFET
+        slot (all devices of the batch evaluate in a single pass);
+        reference-backend slots fall back to per-lane scalar groups."""
+        stacked = [
+            slot for slot in slots
+            if all(isinstance(el.backend.device, CNFET) for el in slot)
+        ]
+        groups = []
+        if stacked:
+            groups.append(_CNFETLaneGroup(stacked))
+        groups.extend(
+            GenericLaneGroup(slot) for slot in slots
+            if not all(isinstance(el.backend.device, CNFET)
+                       for el in slot)
+        )
+        return groups
 
     # -- bias helpers ----------------------------------------------------
 
@@ -218,7 +503,20 @@ class CNFETElement(Element):
         d, g, s = self.nodes
         vgs, vds = self._bias(ctx)
         tran = ctx.analysis == "tran" and ctx.dt is not None
-        full = self.backend.evaluate_full(vgs, vds, with_charge=tran)
+        # Jacobian-reuse fast path: when the bias moved less than the
+        # reuse tolerance since the last evaluation, restamp from that
+        # frozen linearisation (companion values at the memoised bias,
+        # so the stamp stays a self-consistent Newton-chord step whose
+        # solution error is O(curvature * tol^2)).
+        memo = self._eval_memo
+        if ctx.reuse_tol > 0.0 and memo is not None \
+                and memo[3] == tran \
+                and abs(vgs - memo[0]) <= ctx.reuse_tol \
+                and abs(vds - memo[1]) <= ctx.reuse_tol:
+            vgs, vds, full = memo[0], memo[1], memo[2]
+        else:
+            full = self.backend.evaluate_full(vgs, vds, with_charge=tran)
+            self._eval_memo = (vgs, vds, full, tran)
         ids, gm, gds = full[0], full[1], full[2]
         # Mirroring flips both the controlling voltages and the current
         # direction; the conductance signs are invariant (d(-I)/d(-V)).

@@ -2,8 +2,34 @@
 
 from __future__ import annotations
 
-from repro.circuit.elements.base import Element, StampContext
+import numpy as np
+
+from repro.circuit.elements.base import (
+    Element,
+    LaneContext,
+    LaneGroup,
+    StampContext,
+)
 from repro.errors import ParameterError
+
+
+class _ResistorLaneGroup(LaneGroup):
+    """Vectorized conductance four-pattern across lanes."""
+
+    def __init__(self, elements) -> None:
+        super().__init__(elements)
+        self.g = np.array([el.conductance for el in elements])
+
+    def stamp(self, ctx: LaneContext) -> None:
+        a, b = self.elements[0].nodes
+        ia, ib = ctx.idx(a), ctx.idx(b)
+        lanes = ctx.lanes
+        g = self.g[lanes]
+        matrix = ctx.matrix
+        matrix[lanes, ia, ia] += g
+        matrix[lanes, ib, ib] += g
+        matrix[lanes, ia, ib] -= g
+        matrix[lanes, ib, ia] -= g
 
 
 class Resistor(Element):
@@ -35,6 +61,10 @@ class Resistor(Element):
         """Stamp the conductance four-pattern."""
         a, b = self.nodes
         ctx.add_conductance(a, b, self.conductance)
+
+    @classmethod
+    def lane_group(cls, elements):
+        return _ResistorLaneGroup(elements)
 
     def current(self, va: float, vb: float) -> float:
         """Branch current a -> b for reporting."""

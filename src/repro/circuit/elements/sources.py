@@ -4,7 +4,14 @@ from __future__ import annotations
 
 from typing import Union
 
-from repro.circuit.elements.base import Element, StampContext
+import numpy as np
+
+from repro.circuit.elements.base import (
+    Element,
+    LaneContext,
+    LaneGroup,
+    StampContext,
+)
 from repro.circuit.waveforms import DC, Waveform
 
 
@@ -12,6 +19,61 @@ def _as_waveform(value: Union[float, Waveform]) -> Waveform:
     if isinstance(value, Waveform):
         return value
     return DC(float(value))
+
+
+class _SourceLaneGroup(LaneGroup):
+    """Shared plumbing: per-lane source values at the context time.
+
+    Waveform evaluation is a scalar call per lane (waveforms are cheap
+    plain-Python objects and may differ per lane); the all-DC common
+    case short-circuits to a cached value vector.  The DC cache is
+    rebuilt per stamp when any lane's waveform object was swapped
+    (``dc_sweep``-style mutation).
+    """
+
+    def __init__(self, elements) -> None:
+        super().__init__(elements)
+        self._dc_cache = None
+
+    def _values(self, ctx: LaneContext) -> np.ndarray:
+        lanes = ctx.lanes
+        elements = self.elements
+        if ctx.analysis == "tran" and ctx.time is not None:
+            time = ctx.time
+            return np.array([
+                elements[lane].waveform.value(time) for lane in lanes
+            ])
+        cache = self._dc_cache
+        waveforms = [elements[lane].waveform for lane in lanes]
+        if cache is None or cache[0] != [id(w) for w in waveforms]:
+            values = np.array([w.dc_value() for w in waveforms])
+            self._dc_cache = ([id(w) for w in waveforms], values)
+            return values
+        return cache[1]
+
+
+class _VoltageSourceLaneGroup(_SourceLaneGroup):
+    def stamp(self, ctx: LaneContext) -> None:
+        a, b = self.elements[0].nodes
+        ia, ib = ctx.idx(a), ctx.idx(b)
+        k = self.elements[0].aux_index
+        lanes = ctx.lanes
+        matrix = ctx.matrix
+        matrix[lanes, ia, k] += 1.0
+        matrix[lanes, ib, k] -= 1.0
+        matrix[lanes, k, ia] += 1.0
+        matrix[lanes, k, ib] -= 1.0
+        ctx.rhs[lanes, k] += self._values(ctx) * ctx.source_scale
+
+
+class _CurrentSourceLaneGroup(_SourceLaneGroup):
+    def stamp(self, ctx: LaneContext) -> None:
+        a, b = self.elements[0].nodes
+        ia, ib = ctx.idx(a), ctx.idx(b)
+        lanes = ctx.lanes
+        i = self._values(ctx) * ctx.source_scale
+        ctx.rhs[lanes, ia] -= i
+        ctx.rhs[lanes, ib] += i
 
 
 class VoltageSource(Element):
@@ -46,6 +108,10 @@ class VoltageSource(Element):
         ctx.add_entry(k, ib, -1.0)
         ctx.add_rhs(k, self.source_value(ctx) * ctx.source_scale)
 
+    @classmethod
+    def lane_group(cls, elements):
+        return _VoltageSourceLaneGroup(elements)
+
 
 class CurrentSource(Element):
     """Independent current source pushing ``value(t)`` from a to b
@@ -66,3 +132,7 @@ class CurrentSource(Element):
         """Inject the source current from node a to node b."""
         a, b = self.nodes
         ctx.add_current(a, b, self.source_value(ctx) * ctx.source_scale)
+
+    @classmethod
+    def lane_group(cls, elements):
+        return _CurrentSourceLaneGroup(elements)

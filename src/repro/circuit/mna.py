@@ -53,6 +53,16 @@ class NewtonOptions:
     gmin_stepping: bool = True
     #: enable source stepping fallback
     source_stepping: bool = True
+    #: Jacobian-reuse fast path: when > 0, a Newton iteration whose
+    #: iterate moved less than this many volts (inf-norm) since the
+    #: last nonlinear assembly reuses that assembly's stamps instead of
+    #: re-evaluating every nonlinear element.  The static phase is
+    #: still refreshed per step, so across transient steps this is a
+    #: frozen-linearisation (chord) iteration; the approximation error
+    #: is O(curvature * tol^2), and a stalling solve falls back to full
+    #: assemblies for its remaining iterations.  0 (default) preserves
+    #: the exact legacy iteration.
+    jacobian_reuse_tol: float = 0.0
 
 
 def assemble(circuit: Circuit, x: np.ndarray, *, analysis: str = "dc",
@@ -137,9 +147,17 @@ class TwoPhaseAssembler:
             el.stamp(ctx)
         self._ctx = ctx
 
-    def iterate(self, x: np.ndarray) -> StampContext:
+    def iterate(self, x: np.ndarray,
+                reuse_tol: float = 0.0) -> StampContext:
         """Companion system around iterate ``x``: static copy plus
-        nonlinear stamps."""
+        nonlinear stamps.
+
+        ``reuse_tol`` > 0 enables the Jacobian-reuse fast path for
+        elements that support it (see
+        :attr:`NewtonOptions.jacobian_reuse_tol`): an element whose
+        controlling voltages moved less than the tolerance since its
+        last evaluation may restamp from that frozen linearisation.
+        """
         ctx = self._ctx
         if ctx is None:
             raise AnalysisError("begin_step must be called before iterate")
@@ -148,6 +166,7 @@ class TwoPhaseAssembler:
         ctx.matrix = self._matrix
         ctx.rhs = self._rhs
         ctx.x = x
+        ctx.reuse_tol = reuse_tol
         for el in self._dynamic:
             el.stamp(ctx)
         return ctx
@@ -178,31 +197,44 @@ def newton_solve(circuit: Circuit, x0: np.ndarray,
         analysis=analysis, time=time, dt=dt, x_prev=x_prev, method=method,
         gmin=use_gmin, source_scale=source_scale,
     )
-    if stats is not None:
-        stats["solves"] = stats.get("solves", 0) + 1
-    for _ in range(options.max_iterations):
+    reuse_tol = options.jacobian_reuse_tol
+    # Convergence-stall fallback for the reuse fast path: past half the
+    # iteration budget every assembly is forced fresh.
+    stall_cap = options.max_iterations // 2
+    # Local counters, flushed once per solve — the per-iteration
+    # ``stats.get`` dict churn used to show up on long transients.
+    iterations = 0
+    try:
+        for iterations in range(1, options.max_iterations + 1):
+            ctx = assembler.iterate(
+                x,
+                reuse_tol if iterations <= stall_cap else 0.0,
+            )
+            try:
+                x_new = np.linalg.solve(ctx.matrix, ctx.rhs)
+            except np.linalg.LinAlgError as exc:
+                raise AnalysisError(
+                    f"singular MNA matrix ({exc}); check for floating "
+                    f"nodes"
+                ) from exc
+            delta = x_new - x
+            # Damp voltage unknowns only; branch currents may move
+            # freely.
+            v_delta = delta[:n_nodes]
+            max_dv = float(np.max(np.abs(v_delta))) if n_nodes else 0.0
+            if max_dv > options.max_step:
+                delta = delta * (options.max_step / max_dv)
+            x = x + delta
+            converged = np.all(
+                np.abs(delta[:n_nodes])
+                <= options.vtol + options.reltol * np.abs(x[:n_nodes])
+            )
+            if converged and max_dv <= options.max_step:
+                return x
+    finally:
         if stats is not None:
-            stats["iterations"] = stats.get("iterations", 0) + 1
-        ctx = assembler.iterate(x)
-        try:
-            x_new = np.linalg.solve(ctx.matrix, ctx.rhs)
-        except np.linalg.LinAlgError as exc:
-            raise AnalysisError(
-                f"singular MNA matrix ({exc}); check for floating nodes"
-            ) from exc
-        delta = x_new - x
-        # Damp voltage unknowns only; branch currents may move freely.
-        v_delta = delta[:n_nodes]
-        max_dv = float(np.max(np.abs(v_delta))) if n_nodes else 0.0
-        if max_dv > options.max_step:
-            delta = delta * (options.max_step / max_dv)
-        x = x + delta
-        converged = np.all(
-            np.abs(delta[:n_nodes])
-            <= options.vtol + options.reltol * np.abs(x[:n_nodes])
-        )
-        if converged and max_dv <= options.max_step:
-            return x
+            stats["solves"] = stats.get("solves", 0) + 1
+            stats["iterations"] = stats.get("iterations", 0) + iterations
     raise AnalysisError(
         f"Newton did not converge in {options.max_iterations} iterations "
         f"(analysis={analysis}, t={time})"

@@ -88,12 +88,27 @@ class Dataset:
                                      / (y1 - y0)))
         return out
 
-    def period_estimate(self, name: str, level: float) -> float:
-        """Average spacing of same-direction crossings (for oscillators).
+    def period_estimate(self, name: str, level: float,
+                        method: str = "mean") -> float:
+        """Spacing of same-direction crossings (for oscillators).
+
+        ``method="mean"`` (default) averages every rising-crossing
+        spacing — the historical estimator.  ``method="median"`` is
+        robust to spurious crossing pairs: a waveform grazing the
+        level contributes one near-zero and one near-period spacing,
+        which shift the mean by ~1/n but leave the median untouched.
+        (The Monte-Carlo ring evaluator needs even stronger
+        protection — it validates each cycle's excursion before
+        taking the median itself; see
+        ``RingOscillatorEvaluator._period_metrics``.)
 
         Raises :class:`AnalysisError` with a clear message when fewer
         than two rising crossings exist.
         """
+        if method not in ("mean", "median"):
+            raise ParameterError(
+                f"method must be 'mean' or 'median': {method!r}"
+            )
         rising = self.crossings(name, level, rising=True)
         if len(rising) < 2:
             raise AnalysisError(
@@ -101,6 +116,8 @@ class Dataset:
                 f"{level}; cannot estimate a period"
             )
         diffs = np.diff(rising)
+        if method == "median":
+            return float(np.median(diffs))
         return float(np.mean(diffs))
 
     def swing(self, name: str) -> float:

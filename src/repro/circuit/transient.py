@@ -27,7 +27,7 @@ constants, and tuning guidance.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -117,22 +117,30 @@ class _StepRecorder:
         self.circuit = circuit
         self.times = [0.0]
         self.solutions = [x0.copy()]
+        # One reusable context for the whole run: ``accept`` used to
+        # build a throwaway StampContext per accepted step, which on
+        # long adaptive runs was allocator churn for no benefit (the
+        # empty matrix/rhs are never stamped during acceptance).
+        self._ctx = StampContext(
+            matrix=np.zeros((0, 0)), rhs=np.zeros(0),
+            node_index=circuit.node_index, x=x0, analysis="tran",
+        )
 
     def accept(self, t: float, x: np.ndarray, x_prev: np.ndarray,
                dt: float, method: str) -> None:
         """Commit a converged step: element state update + recording."""
-        circuit = self.circuit
-        ctx = StampContext(
-            matrix=np.zeros((0, 0)), rhs=np.zeros(0),
-            node_index=circuit.node_index, x=x, analysis="tran",
-            time=t, dt=dt, x_prev=x_prev, method=method,
-        )
-        for el in circuit.elements:
+        ctx = self._ctx
+        ctx.x = x
+        ctx.time = t
+        ctx.dt = dt
+        ctx.x_prev = x_prev
+        ctx.method = method
+        for el in self.circuit.elements:
             el.accept_step(ctx)
         self.times.append(t)
         self.solutions.append(x.copy())
 
-    def dataset(self, record_currents: bool) -> Dataset:
+    def dataset(self, record_currents) -> Dataset:
         circuit = self.circuit
         data = np.asarray(self.solutions)
         dataset = Dataset("time", self.times)
@@ -141,9 +149,12 @@ class _StepRecorder:
         if record_currents:
             for el in circuit.iter_elements(VoltageSource):
                 dataset.add_trace(f"i({el.name})", data[:, el.aux_index])
+        if record_currents is True:
             # CNFET current traces in one vectorized post-pass per
             # element (the per-row scalar re-evaluation used to rival
-            # the Newton loop itself on long runs).
+            # the Newton loop itself on long runs); skipped in the
+            # "sources" mode, whose branch currents above are free
+            # columns of the solution.
             node_index = circuit.node_index
             zeros = np.zeros(data.shape[0])
 
@@ -171,7 +182,7 @@ def transient(
     dt: Optional[float] = None,
     method: str = "trap",
     options: NewtonOptions = NewtonOptions(),
-    record_currents: bool = True,
+    record_currents: Union[bool, str] = True,
     x0: Optional[np.ndarray] = None,
     max_halvings: Optional[int] = None,
     stats: Optional[dict] = None,
@@ -181,6 +192,7 @@ def transient(
     atol: Optional[float] = None,
     dt_min: Optional[float] = None,
     dt_max: Optional[float] = None,
+    extra_breakpoints: Sequence[float] = (),
 ) -> Dataset:
     """Integrate the circuit from its DC operating point to ``tstop``.
 
@@ -199,9 +211,11 @@ def transient(
         (backward Euler, L-stable, more damping).
     options : NewtonOptions
         Newton-loop tuning knobs.
-    record_currents : bool
-        Also record voltage-source branch currents and CNFET drain
-        currents.
+    record_currents : bool or "sources"
+        ``True`` also records voltage-source branch currents and CNFET
+        drain currents; ``"sources"`` records only the branch currents
+        (free columns of the solution, skipping the per-device CNFET
+        current post-pass); ``False`` records voltages only.
     x0 : numpy.ndarray, optional
         Initial solution (defaults to the DC operating point at t = 0).
     max_halvings : int, optional
@@ -225,6 +239,11 @@ def transient(
     dt_min, dt_max : float, optional
         **Adaptive only** — hard step bounds [s].  Defaults:
         ``tstop * 1e-9`` and ``tstop / 50``.
+    extra_breakpoints : sequence of float, optional
+        Additional time points in ``(0, tstop)`` to land on exactly,
+        merged with the source-waveform breakpoints (user-forced
+        events; also how the parity suite replays a lane-batched run's
+        shared grid, which carries *every* lane's breakpoints).
 
     Returns
     -------
@@ -291,6 +310,11 @@ def transient(
 
     recorder = _StepRecorder(circuit, x)
     breakpoints = _collect_breakpoints(circuit, tstop)
+    if extra_breakpoints:
+        merged = set(breakpoints)
+        merged.update(t for t in map(float, extra_breakpoints)
+                      if 0.0 < t < tstop)
+        breakpoints = sorted(merged)
     # One assembler for the whole run: matrix/rhs buffers live across
     # steps; only the static stamps are refreshed per step.
     assembler = TwoPhaseAssembler(circuit)

@@ -152,6 +152,7 @@ def _cmd_mc(args) -> int:
         args.workload, sigma_scale=args.sigma_scale, vdd=args.vdd,
         model=args.model, stages=args.stages, workers=args.workers,
         metrics=args.metric, gate=args.gate,
+        use_batch=not args.no_batch,
     )
     config = CampaignConfig(
         name=args.workload, n_samples=args.samples,
@@ -198,7 +199,8 @@ def _cmd_characterize(args) -> int:
     loads = tuple(float(c) * 1e-15 for c in args.loads.split(","))
     slews = tuple(float(s) * 1e-12 for s in args.slews.split(","))
     table = characterize_gate(family, args.gate, loads=loads,
-                              slews=slews)
+                              slews=slews,
+                              use_batch=not args.no_batch)
     if args.json:
         payload = table.to_json_dict()
         payload["command"] = "characterize"
@@ -316,6 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--workers", type=int, default=1,
                       help="multiprocessing pool size for circuit "
                            "workloads")
+    p_mc.add_argument("--no-batch", action="store_true",
+                      help="disable the lane-batched circuit engine "
+                           "for the circuit workloads (per-sample "
+                           "scalar loop, optionally pooled)")
     p_mc.add_argument("--corners", action="store_true",
                       help="also evaluate the TT/FF/SS corner devices")
     p_mc.add_argument("--histograms", action="store_true",
@@ -339,6 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--format", choices=("ascii", "csv", "liberty"),
                         default="ascii",
                         help="text output format (--json overrides)")
+    p_char.add_argument("--no-batch", action="store_true",
+                        help="characterize each grid point with its "
+                             "own scalar transient instead of one "
+                             "lane-batched run")
     _script_arguments(p_char)
     p_char.set_defaults(func=_cmd_characterize)
 

@@ -109,7 +109,7 @@ def variability_workload(name: str, sigma_scale: float = 1.0,
                          vdd: float = VARIABILITY_VDD,
                          model: str = "model2", stages: int = 3,
                          workers: int = 1, metrics=None,
-                         gate: str = "nand2"):
+                         gate: str = "nand2", use_batch: bool = True):
     """``(space, evaluator)`` for a named variability workload.
 
     Imported lazily so the paper-table runners don't pay for the
@@ -148,19 +148,22 @@ def variability_workload(name: str, sigma_scale: float = 1.0,
         space = default_device_space(sigma_scale)
         return space, InverterVTCEvaluator(
             space, vdd=vdd, model=model, workers=workers,
+            use_batch=use_batch,
             spec_limits={"nml": (0.25 * vdd, None),
                          "nmh": (0.25 * vdd, None)},
         )
     if name == "ringosc":
         space = default_device_space(sigma_scale)
         return space, RingOscillatorEvaluator(
-            space, vdd=vdd, model=model, stages=stages, workers=workers)
+            space, vdd=vdd, model=model, stages=stages, workers=workers,
+            use_batch=use_batch)
     if name == "gate":
         from repro.characterize import GateDelayEvaluator
 
         space = default_device_space(sigma_scale)
         return space, GateDelayEvaluator(
-            space, gate=gate, vdd=vdd, model=model, workers=workers)
+            space, gate=gate, vdd=vdd, model=model, workers=workers,
+            use_batch=use_batch)
     raise CampaignError(
         f"unknown variability workload {name!r}; expected one of "
         f"{sorted(VARIABILITY_WORKLOADS)}"

@@ -30,6 +30,7 @@ residual is order-free.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
@@ -319,6 +320,221 @@ def real_roots_batch(c0: np.ndarray, c1: np.ndarray, c2: np.ndarray,
         idx = np.flatnonzero(lin)
         roots[idx, 0] = -c0[idx] / c1[idx]
     return roots
+
+
+# ----------------------------------------------------------------------
+# Stacked per-lane device tables (the circuit-lane batching layer)
+# ----------------------------------------------------------------------
+
+#: residual [V] beyond which a stacked root falls back to the scalar
+#: solver (same bound as ``ClosedFormSolver``: g' >= 1 bounds the root
+#: error by the residual).
+_STACK_RESIDUAL_TOL = 1e-12
+#: acceptance slack (volts) for a root at a region edge (scalar twin).
+_STACK_EDGE_TOL = 1e-9
+#: VDS quantization grid shared with ``ClosedFormSolver``.
+_STACK_VDS_QUANTUM = 1e-12
+_STACK_VDS_SCALE = 1.0 / _STACK_VDS_QUANTUM
+
+
+class StackedCurves:
+    """Piecewise-cubic curve bank: one curve *per lane*, evaluated for
+    all lanes in one numpy pass.
+
+    The lane-batched circuit engine simulates many circuit instances at
+    once; in a Monte-Carlo batch every lane carries its own fitted
+    charge curve, so the single-device vectorization of
+    :meth:`~repro.pwl.regions.PiecewiseCharge.value` (one curve, many
+    points) does not apply.  This bank stacks the per-lane breakpoints
+    (padded with ``+inf``) and ascending coefficients (zero-padded to
+    cubic) into rectangular arrays so region lookup is one comparison
+    matrix and evaluation one gathered Horner pass, whatever mix of
+    devices the lanes hold.
+    """
+
+    __slots__ = ("bps", "coeffs", "dcoeffs", "n_lanes", "_lanes")
+
+    def __init__(self, curves) -> None:
+        n_lanes = len(curves)
+        n_bps = max(len(c.breakpoints) for c in curves)
+        self.n_lanes = n_lanes
+        #: (L, K) breakpoints, padded with +inf (pad regions unused)
+        self.bps = np.full((n_lanes, n_bps), np.inf)
+        #: (L, K + 1, 4) ascending region coefficients, zero-padded
+        self.coeffs = np.zeros((n_lanes, n_bps + 1, 4))
+        #: (L, K + 1, 3) ascending derivative coefficients
+        self.dcoeffs = np.zeros((n_lanes, n_bps + 1, 3))
+        for lane, curve in enumerate(curves):
+            k = len(curve.breakpoints)
+            self.bps[lane, :k] = curve.breakpoints
+            # Pad regions replicate the last real region so an +inf
+            # padded breakpoint can never route a lane to zeros.
+            for region in range(n_bps + 1):
+                coeffs = curve.coefficients[min(region, k)]
+                for j, c in enumerate(coeffs):
+                    self.coeffs[lane, region, j] = c
+                    if j:
+                        self.dcoeffs[lane, region, j - 1] = j * c
+        self._lanes = np.arange(n_lanes)
+
+    def value(self, v: np.ndarray,
+              idx: Optional[np.ndarray] = None) -> np.ndarray:
+        """``Q(v)`` per lane; ``idx`` selects a lane subset (``v`` then
+        carries one entry per selected lane)."""
+        rows = self._lanes if idx is None else idx
+        region = (self.bps[rows] < v[:, None]).sum(axis=1)
+        c = self.coeffs[rows, region]
+        return ((c[:, 3] * v + c[:, 2]) * v + c[:, 1]) * v + c[:, 0]
+
+    def derivative(self, v: np.ndarray,
+                   idx: Optional[np.ndarray] = None) -> np.ndarray:
+        """``dQ/dv`` per lane; ``idx`` selects a lane subset."""
+        rows = self._lanes if idx is None else idx
+        region = (self.bps[rows] < v[:, None]).sum(axis=1)
+        c = self.dcoeffs[rows, region]
+        return (c[:, 2] * v + c[:, 1]) * v + c[:, 0]
+
+
+class StackedVscSolver:
+    """Hint-warmed vectorized self-consistent-voltage solve across
+    lanes with *per-lane* devices.
+
+    :meth:`ClosedFormSolver.solve_many` batches many bias points of one
+    device; a lane-batched transient needs the transpose — one bias
+    point each for many different devices, every Newton iteration.
+    Rebuilding each device's merged (VDS, interval) tables per iterate
+    is what makes the scalar path expensive (~2/3 of a scalar solve is
+    table construction whenever VDS moves), so this solver skips the
+    table entirely:
+
+    1. each lane remembers the VSC it solved last time (the *hint*;
+       Newton iterates and successive time steps move VSC by far less
+       than a region width, so the hinted region pair is almost always
+       still correct);
+    2. the source region of the hint and the drain region of
+       ``hint + VDS`` select one source polynomial and one (Taylor-
+       shifted) drain polynomial per lane — a gather, not a scan;
+    3. the combined cubic ``V + Qt/CSum - (QS(V) + QS(V+VDS))/CSum``
+       is solved for all lanes by :func:`real_roots_batch`;
+    4. a root inside the intersection of both regions' windows with a
+       closed-form residual below ``1e-12`` V *proves* the region pair
+       was right (the residual equals the true piecewise residual
+       inside the window, and g is strictly increasing), so the root is
+       the unique solution;
+    5. lanes that fail get one refinement pass re-deriving the regions
+       from the best candidate root, then fall back to the scalar
+       solver (region drift across a breakpoint; rare and exact).
+
+    The hint arrays are owned by the caller (one per CNFET element
+    slot), so one solver instance serves any number of slots.
+    """
+
+    def __init__(self, solvers) -> None:
+        self.solvers = list(solvers)
+        n_lanes = len(self.solvers)
+        n_bps = max(len(s._qs_bps) for s in self.solvers)
+        self.n_lanes = n_lanes
+        #: (L, K) source-curve breakpoints, padded with +inf
+        self.bps = np.full((n_lanes, n_bps), np.inf)
+        #: (L, K + 1) left edge of each region (-inf, b_0, ..., b_k)
+        self.lo_edges = np.full((n_lanes, n_bps + 1), np.inf)
+        self.lo_edges[:, 0] = -np.inf
+        #: (L, K + 1, 4) scaled region coefficients (QS / CSum)
+        self.polys = np.zeros((n_lanes, n_bps + 1, 4))
+        self.csum = np.array([s._csum for s in self.solvers])
+        caps = [s.capacitances for s in self.solvers]
+        self.cg = np.array([c.cg for c in caps])
+        self.cd = np.array([c.cd for c in caps])
+        self.cs = np.array([c.cs for c in caps])
+        for lane, s in enumerate(self.solvers):
+            k = len(s._qs_bps)
+            self.bps[lane, :k] = s._qs_bps
+            self.lo_edges[lane, 1:k + 1] = s._qs_bps
+            self.lo_edges[lane, k + 1:] = np.inf
+            for region in range(n_bps + 1):
+                poly = s._qs_polys[min(region, k)]
+                for j, c in enumerate(poly):
+                    self.polys[lane, region, j] = c
+        #: right edge per region: b_i, or +inf past the last breakpoint
+        self.hi_edges = np.concatenate(
+            [self.bps, np.full((n_lanes, 1), np.inf)], axis=1)
+        self._lanes = np.arange(n_lanes)
+
+    def solve(self, vgs: np.ndarray, vds: np.ndarray, hint: np.ndarray,
+              idx: Optional[np.ndarray] = None,
+              stats=None) -> np.ndarray:
+        """VSC per lane (source-referenced, n-frame biases).
+
+        ``idx`` selects a lane subset (``vgs``/``vds`` then carry one
+        entry per selected lane).  ``hint`` is the full per-lane hint
+        array, updated in place at the solved entries.  ``stats``
+        (optional dict) accumulates ``"stacked_lanes"`` and
+        ``"stacked_fallbacks"`` counters.
+        """
+        rows = self._lanes if idx is None else idx
+        bps = self.bps[rows] if idx is not None else self.bps
+        sub = np.arange(len(rows)) if idx is not None else rows
+        n = len(rows)
+        vds_q = np.floor(vds * _STACK_VDS_SCALE + 0.5) * _STACK_VDS_QUANTUM
+        qt = (self.cg[rows] * vgs + self.cd[rows] * vds) / self.csum[rows]
+        out = np.empty(n)
+        ok = np.zeros(n, dtype=bool)
+        probe_s = hint[rows]
+        probe_d = probe_s + vds_q
+        old_err = np.seterr(invalid="ignore", divide="ignore",
+                            over="ignore")
+        try:
+            for _attempt in range(2):
+                i_s = (bps < probe_s[:, None]).sum(axis=1)
+                i_d = (bps < probe_d[:, None]).sum(axis=1)
+                qs = self.polys[rows, i_s]
+                qd = self.polys[rows, i_d]
+                # Taylor shift of the drain polynomial by the quantized
+                # VDS (the scalar path shifts by the same quantized
+                # value inside ``_segments_for_vds``).
+                d = vds_q
+                s0 = qd[:, 0] + d * (qd[:, 1] + d * (qd[:, 2]
+                                                     + d * qd[:, 3]))
+                s1 = qd[:, 1] + d * (2.0 * qd[:, 2] + 3.0 * d * qd[:, 3])
+                s2 = qd[:, 2] + 3.0 * d * qd[:, 3]
+                s3 = qd[:, 3]
+                e0 = qt - (qs[:, 0] + s0)
+                e1 = 1.0 - (qs[:, 1] + s1)
+                e2 = -(qs[:, 2] + s2)
+                e3 = -(qs[:, 3] + s3)
+                roots = real_roots_batch(e0, e1, e2, e3)
+                lo = np.maximum(self.lo_edges[rows, i_s],
+                                self.lo_edges[rows, i_d] - vds_q)
+                hi = np.minimum(self.hi_edges[rows, i_s],
+                                self.hi_edges[rows, i_d] - vds_q)
+                inside = (roots >= (lo - _STACK_EDGE_TOL)[:, None]) \
+                    & (roots <= (hi + _STACK_EDGE_TOL)[:, None])
+                res = np.abs(polyval4(e0[:, None], e1[:, None],
+                                      e2[:, None], e3[:, None], roots))
+                res = np.where(inside & np.isfinite(res), res, np.inf)
+                pick = res.argmin(axis=1)
+                best = roots[sub, pick]
+                good = ~ok & (res[sub, pick] <= _STACK_RESIDUAL_TOL)
+                out[good] = best[good]
+                ok |= good
+                if ok.all():
+                    break
+                # Refinement: re-derive the region pair from the best
+                # candidate (handles single-region drift in one pass).
+                probe_s = np.where(np.isfinite(best) & ~ok, best, probe_s)
+                probe_d = probe_s + vds_q
+        finally:
+            np.seterr(**old_err)
+        bad = np.flatnonzero(~ok)
+        for k in bad:
+            out[k] = self.solvers[int(rows[k])].solve(
+                float(vgs[k]), float(vds[k]), 0.0)
+        if stats is not None:
+            stats["stacked_lanes"] = stats.get("stacked_lanes", 0) + n
+            stats["stacked_fallbacks"] = \
+                stats.get("stacked_fallbacks", 0) + bad.size
+        hint[rows] = out
+        return out
 
 
 def _cubic_generic(c0, c1, c2, c3, roots) -> None:

@@ -1,0 +1,110 @@
+"""Jacobian-reuse fast path and Newton stats accounting."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.logic import LogicFamily, build_inverter
+from repro.circuit.mna import NewtonOptions, newton_solve
+from repro.circuit.netlist import Circuit
+from repro.circuit.elements import Capacitor, Resistor, VoltageSource
+from repro.circuit.transient import transient
+from repro.circuit.waveforms import Pulse
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def family():
+    return LogicFamily.default(vdd=0.6)
+
+
+def _inverter_pulse(family):
+    wave = Pulse(0.0, 0.6, delay=2e-12, rise=1e-12, fall=1e-12,
+                 width=1e-11, period=1e-9)
+    circuit, _vin, _vout = build_inverter(family, wave)
+    return circuit
+
+
+def _count_evals(circuit):
+    """Instrument every CNFET backend; returns the counter cell."""
+    cell = [0]
+    for el in circuit.elements:
+        if not hasattr(el, "backend"):
+            continue
+        original = el.backend.evaluate_full
+
+        def counting(vgs, vds, with_charge=False, _orig=original):
+            cell[0] += 1
+            return _orig(vgs, vds, with_charge)
+
+        el.backend.evaluate_full = counting
+    return cell
+
+
+class TestJacobianReuse:
+    def test_reuse_skips_evaluations_and_stays_accurate(self, family):
+        exact_circuit = _inverter_pulse(family)
+        exact = transient(exact_circuit, tstop=3e-11, dt=2e-13,
+                          method="trap")
+
+        baseline_circuit = _inverter_pulse(family)
+        baseline_count = _count_evals(baseline_circuit)
+        transient(baseline_circuit, tstop=3e-11, dt=2e-13,
+                  method="trap")
+
+        reuse_circuit = _inverter_pulse(family)
+        reuse_count = _count_evals(reuse_circuit)
+        reused = transient(
+            reuse_circuit, tstop=3e-11, dt=2e-13, method="trap",
+            options=NewtonOptions(jacobian_reuse_tol=1e-6),
+        )
+
+        # The plateaus barely move the iterate, so a healthy fraction
+        # of the per-iteration device evaluations is skipped...
+        assert reuse_count[0] < 0.8 * baseline_count[0]
+        # ... at a waveform cost far below the reuse tolerance's
+        # frozen-linearisation error bound.
+        dv = np.abs(reused.trace("v(out)") - exact.trace("v(out)"))
+        assert float(np.max(dv)) < 1e-6
+
+    def test_default_is_exact_legacy_path(self, family):
+        a = transient(_inverter_pulse(family), tstop=1e-11, dt=2e-13,
+                      method="trap")
+        b = transient(_inverter_pulse(family), tstop=1e-11, dt=2e-13,
+                      method="trap",
+                      options=NewtonOptions(jacobian_reuse_tol=0.0))
+        assert np.array_equal(a.trace("v(out)"), b.trace("v(out)"))
+
+
+class TestNewtonStatsFlush:
+    def _rc(self):
+        c = Circuit("rc")
+        c.add(VoltageSource("v1", "in", "0", 1.0))
+        c.add(Resistor("r1", "in", "out", 1e3))
+        c.add(Capacitor("c1", "out", "0", 1e-12))
+        return c
+
+    def test_counters_accumulate_once_per_solve(self):
+        circuit = self._rc()
+        circuit.dimension()
+        stats = {}
+        x = newton_solve(circuit, np.zeros(circuit.dimension()),
+                         stats=stats)
+        assert stats["solves"] == 1
+        assert stats["iterations"] >= 1
+        newton_solve(circuit, x, stats=stats)
+        assert stats["solves"] == 2
+
+    def test_counters_flushed_on_failure(self, family):
+        # Force a failure by starving the iteration budget on a
+        # nonlinear solve (a cold CNFET inverter needs more than two
+        # damped iterations); the counters must still be flushed.
+        circuit, _vin, _vout = build_inverter(family, 0.3)
+        circuit.dimension()
+        stats = {}
+        options = NewtonOptions(max_iterations=2, vtol=1e-15,
+                                reltol=1e-15)
+        with pytest.raises(AnalysisError):
+            newton_solve(circuit, np.zeros(circuit.dimension()),
+                         options, stats=stats)
+        assert stats["solves"] == 1
+        assert stats["iterations"] == 2

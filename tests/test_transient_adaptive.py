@@ -217,3 +217,28 @@ class TestAdaptiveAccuracy:
         assert stats["solves"] >= stats["steps"]
         assert stats["iterations"] >= stats["solves"]
         assert stats["dt_smallest"] <= stats["dt_largest"] <= 4e-9 / 50
+
+
+class TestExtraBreakpoints:
+    def test_forced_points_are_landed_on(self):
+        forced = [3.7e-10, 1.21e-9, 2.9e-9]
+        ds = transient(rc_pulse(delay=0.0, rise=1e-12), tstop=4e-9,
+                       extra_breakpoints=forced)
+        for t in forced:
+            assert np.min(np.abs(np.asarray(ds.axis) - t)) < 1e-20
+
+    def test_fixed_mode_grid_gains_only_forced_points(self):
+        forced = [3.3e-10]
+        base = transient(rc_pulse(delay=0.0, rise=1e-12), tstop=1e-9,
+                         dt=1e-10)
+        ds = transient(rc_pulse(delay=0.0, rise=1e-12), tstop=1e-9,
+                       dt=1e-10, extra_breakpoints=forced)
+        assert len(ds.axis) == len(base.axis) + 1
+        assert np.min(np.abs(np.asarray(ds.axis) - 3.3e-10)) < 1e-20
+
+    def test_outside_range_ignored(self):
+        ds = transient(rc_pulse(delay=0.0, rise=1e-12), tstop=1e-9,
+                       dt=1e-10, extra_breakpoints=[-1e-10, 0.0, 5e-9])
+        base = transient(rc_pulse(delay=0.0, rise=1e-12), tstop=1e-9,
+                         dt=1e-10)
+        assert len(ds.axis) == len(base.axis)

@@ -134,3 +134,28 @@ class TestDataset:
     def test_swing_and_at(self):
         assert self.ds.swing("v(a)") == pytest.approx(2.0, rel=0.01)
         assert self.ds.at("v(a)", 0.125) == pytest.approx(1.0, abs=0.01)
+
+
+class TestPeriodEstimateMedian:
+    def _grazing_dataset(self):
+        # Regular 0.5 s rising crossings plus one grazing wiggle that
+        # injects a spurious crossing pair around t = 1.6.
+        t = np.linspace(0.0, 3.0, 3001)
+        v = np.sin(2 * np.pi * 2.0 * t)
+        wiggle = 1.2 * np.exp(-((t - 1.55) / 0.008) ** 2)
+        ds = Dataset("time", t)
+        ds.add_trace("v(a)", v - wiggle)
+        return ds
+
+    def test_median_ignores_grazing_pair(self):
+        ds = self._grazing_dataset()
+        mean = ds.period_estimate("v(a)", 0.0, method="mean")
+        median = ds.period_estimate("v(a)", 0.0, method="median")
+        assert median == pytest.approx(0.5, rel=0.02)
+        # The spurious pair shifts the mean-of-diffs noticeably.
+        assert abs(mean - 0.5) > abs(median - 0.5)
+
+    def test_unknown_method_rejected(self):
+        ds = self._grazing_dataset()
+        with pytest.raises(ParameterError):
+            ds.period_estimate("v(a)", 0.0, method="mode")
