@@ -16,8 +16,9 @@ docs-check:
 ## tiny end-to-end campaigns + example scripts (CI smoke):
 ## a seeded device-metric MC with TT/FF/SS corners, the same run again
 ## against the run directory to exercise resume, a small circuit-level
-## (inverter VTC) campaign, a gate-characterization run, and the two
-## transient/characterization example scripts.
+## (inverter VTC) campaign, a gate-characterization run, the
+## hierarchical 4-bit adder deck through both solver backends, and the
+## transient/characterization/netlist example scripts.
 smoke:
 	rm -rf .smoke-mc
 	$(PYTHON) -m repro mc --samples 64 --seed 7 --chunk-size 32 \
@@ -27,8 +28,13 @@ smoke:
 	$(PYTHON) -m repro mc --samples 8 --seed 7 --workload inverter
 	$(PYTHON) -m repro characterize --gate nand2 --loads 0.01,0.04 \
 		--slews 1,4 --json > /dev/null
+	$(PYTHON) -m repro netlist examples/decks/adder4.cir \
+		--backend sparse --nodes s0,s3,cout
+	$(PYTHON) -m repro netlist examples/decks/adder4.cir \
+		--backend dense --json > /dev/null
 	$(PYTHON) examples/ring_oscillator.py
 	$(PYTHON) examples/gate_characterization.py
+	$(PYTHON) examples/netlist_simulation.py
 	rm -rf .smoke-mc
 
 ## full paper-reproduction benchmark suite + perf snapshot.

@@ -4,8 +4,9 @@ tracked across PRs.
 
 Measures the headline workloads of the perf overhaul (ISSUE 1), the
 Monte-Carlo campaign throughput of the variability subsystem (ISSUE 2),
-the adaptive-transient engine gate (ISSUE 3) and the lane-batched
-transient engine (ISSUE 4):
+the adaptive-transient engine gate (ISSUE 3), the lane-batched
+transient engine (ISSUE 4) and the hierarchy + sparse-backend layer
+(ISSUE 5):
 
 * **Fig. 6/7 IV families** — the batched ``iv_family`` path against the
   seed-style scalar loop (``model.ids`` point by point), same run, same
@@ -31,6 +32,11 @@ transient engine (ISSUE 4):
   256-sample MC ring campaign must each run >= 3x faster, and the
   per-lane waveforms of a heterogeneous fixed-grid ring batch must
   match the scalar engine within 1e-9 V.
+* **Large circuit** — hierarchical blocks through both linear-solver
+  backends: a 32-bit ripple-carry adder (DC + carry-ripple transient,
+  sparse >= 3x dense on the transient, node-voltage parity <= 1e-9 V)
+  and a 101-stage inverter-chain DC sweep (parity-gated; documents
+  the dense-favoured side of the crossover).
 
 Usage::
 
@@ -84,6 +90,10 @@ ADAPTIVE_ITER_RATIO_FLOOR = 2.0  # legacy iterations / adaptive iterations
 BATCH_CHAR_SPEEDUP_FLOOR = 3.0   # 7x7 characterization grid
 BATCH_MC_SPEEDUP_FLOOR = 3.0     # 256-sample MC ring campaign
 BATCH_PARITY_TOL_V = 1e-9        # per-lane waveform parity, shared grid
+
+#: acceptance floors from ISSUE 5 (hierarchy + sparse backend)
+LARGE_SPARSE_SPEEDUP_FLOOR = 3.0  # sparse vs dense, 32-bit RCA transient
+LARGE_PARITY_TOL_V = 1e-9         # dense-vs-sparse node-voltage parity
 
 
 def _best_of(fn, repeats: int, inner: int) -> float:
@@ -459,6 +469,140 @@ def bench_batch_transient() -> dict:
     }
 
 
+def bench_large_circuit() -> dict:
+    """ISSUE 5 gates: hierarchical blocks through both solver backends.
+
+    * **32-bit ripple-carry adder** (1152 CNFETs, ~700 unknowns, built
+      from NAND2 subcircuits three hierarchy levels deep): DC from
+      zeros and a carry-ripple transient (``A = all ones, B = 0``,
+      pulse on ``cin`` — the worst-case transition walks the carry
+      through every stage) through the dense and sparse backends.  The
+      transient is the adaptive engine pinned to a shared grid
+      (``dt_min == dt_max``) so both backends integrate the same time
+      points and the node-voltage comparison measures the backends,
+      not interpolation.  Gates: sparse >= ``LARGE_SPARSE_SPEEDUP_FLOOR``
+      x dense on the transient (the largest bench circuit), DC and
+      waveform parity <= ``LARGE_PARITY_TOL_V``.
+    * **101-stage inverter chain DC sweep** (202 CNFETs, ~100
+      unknowns): 21-point input sweep through both backends.  Below
+      the sparse crossover dimension dense is expected to win — the
+      numbers are recorded to document the crossover; only parity is
+      gated.
+    """
+    from repro.circuit.dc import dc_sweep
+    from repro.circuit.logic import (
+        build_inverter_chain,
+        build_ripple_carry_adder,
+    )
+    from repro.circuit.mna import NewtonOptions, robust_dc_solve
+    from repro.circuit.transient import transient
+    from repro.circuit.waveforms import Pulse
+
+    tight = NewtonOptions(vtol=1e-12, reltol=1e-10)
+    family = LogicFamily.default(vdd=0.6)
+
+    # -- (a) 32-bit ripple-carry adder ---------------------------------
+    bits = 32
+    cin = Pulse(0.0, 0.6, 5e-12, 1e-12, 1e-12, 4e-11, 1e-10)
+    adder, info = build_ripple_carry_adder(
+        family, bits, a_value=(1 << bits) - 1, b_value=0, cin_wave=cin)
+    dim = adder.dimension()
+    n_nodes = adder.n_nodes
+
+    start = time.perf_counter()
+    x_dense = robust_dc_solve(adder, None, tight, backend="dense")
+    dc_dense_s = time.perf_counter() - start
+    start = time.perf_counter()
+    x_sparse = robust_dc_solve(adder, None, tight, backend="sparse")
+    dc_sparse_s = time.perf_counter() - start
+    dc_parity = float(np.max(np.abs(
+        x_dense[:n_nodes] - x_sparse[:n_nodes])))
+
+    tran_kwargs = dict(
+        tstop=3e-11, method="trap", options=tight, adaptive=True,
+        dt_min=5e-13, dt_max=5e-13, record_currents=False,
+    )
+    stats_dense: dict = {}
+    start = time.perf_counter()
+    ds_dense = transient(adder, x0=x_dense.copy(), backend="dense",
+                         stats=stats_dense, **tran_kwargs)
+    tran_dense_s = time.perf_counter() - start
+    stats_sparse: dict = {}
+    start = time.perf_counter()
+    ds_sparse = transient(adder, x0=x_dense.copy(), backend="sparse",
+                          stats=stats_sparse, **tran_kwargs)
+    tran_sparse_s = time.perf_counter() - start
+    tran_parity = max(
+        float(np.max(np.abs(ds_dense.trace(f"v({node})")
+                            - ds_sparse.trace(f"v({node})"))))
+        for node in adder.nodes
+    )
+
+    # -- (b) 101-stage inverter chain DC sweep -------------------------
+    # The supply is ramped with the input at a rail: every sweep point
+    # keeps all 101 stages in well-conditioned saturated states.  (An
+    # *input* sweep would cross the chain's metastable threshold,
+    # where the 25^101 gain product makes the DC map steeper than
+    # float64 can represent — no solver converges there honestly.)
+    chain_opts = NewtonOptions(vtol=1e-11, reltol=1e-9)
+    chain, out_node = build_inverter_chain(family, 101)
+    values = np.linspace(0.0, family.vdd, 21)
+    start = time.perf_counter()
+    sweep_dense = dc_sweep(chain, "vdd_src", values, chain_opts,
+                           backend="dense")
+    chain_dense_s = time.perf_counter() - start
+    start = time.perf_counter()
+    sweep_sparse = dc_sweep(chain, "vdd_src", values, chain_opts,
+                            backend="sparse")
+    chain_sparse_s = time.perf_counter() - start
+    chain_parity = max(
+        float(np.max(np.abs(sweep_dense.trace(f"v({node})")
+                            - sweep_sparse.trace(f"v({node})"))))
+        for node in chain.nodes
+    )
+
+    return {
+        "rca32": {
+            "workload": "32-bit CNFET ripple-carry adder, carry "
+                        "ripple transient (pinned adaptive grid)",
+            "dimension": dim,
+            # 9 NAND2 per full adder x 4 transistors = 36 per bit
+            "cnfets": 36 * bits,
+            "dc": {
+                "dense_s": dc_dense_s,
+                "sparse_s": dc_sparse_s,
+                "speedup": dc_dense_s / dc_sparse_s,
+                "parity_v": dc_parity,
+            },
+            "transient": {
+                "steps": stats_dense.get("steps", 0),
+                "newton_iterations": stats_dense.get("iterations", 0),
+                "dense_s": tran_dense_s,
+                "sparse_s": tran_sparse_s,
+                "speedup": tran_dense_s / tran_sparse_s,
+                "parity_v": tran_parity,
+            },
+        },
+        "inverter_chain101": {
+            "workload": "101-stage CNFET inverter chain, 21-point DC "
+                        "supply-ramp sweep",
+            "dimension": chain.dimension(),
+            "dense_s": chain_dense_s,
+            "sparse_s": chain_sparse_s,
+            "dense_points_per_s": len(values) / chain_dense_s,
+            "sparse_points_per_s": len(values) / chain_sparse_s,
+            "parity_v": chain_parity,
+            "note": "below the sparse crossover dimension; dense is "
+                    "expected to win here (documented, not gated)",
+        },
+        "out_node": out_node,
+        # Sanity: with A=ones, B=0 the rising cin flips s0 from VDD to
+        # 0 within a few ps, so the carry ripple genuinely launched.
+        "carry_launched_ok": bool(
+            ds_dense.trace(f"v({info['sum_nodes'][0]})")[-1] < 0.3),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--name", default="perf",
@@ -483,6 +627,7 @@ def main(argv=None) -> int:
         "transient_adaptive": bench_adaptive_transient(),
         "mc_device": bench_mc_device(),
         "batch_transient": bench_batch_transient(),
+        "large_circuit": bench_large_circuit(),
     }
 
     path = Path(args.out_dir) / f"BENCH_{args.name}.json"
@@ -514,6 +659,14 @@ def main(argv=None) -> int:
           f"{bt['characterization_grid']['speedup']:.1f}x, MC ring "
           f"{bt['mc_ring']['speedup']:.1f}x vs sequential; per-lane "
           f"parity {bt['parity']['max_waveform_dv_v']:.1e} V")
+    lc = report["large_circuit"]
+    rca = lc["rca32"]
+    chain = lc["inverter_chain101"]
+    print(f"  large circuit: rca32 (dim {rca['dimension']}) transient "
+          f"sparse {rca['transient']['speedup']:.1f}x dense "
+          f"(parity {rca['transient']['parity_v']:.1e} V), DC "
+          f"{rca['dc']['speedup']:.1f}x; 101-chain sweep parity "
+          f"{chain['parity_v']:.1e} V")
 
     if args.check:
         failures = []
@@ -558,6 +711,22 @@ def main(argv=None) -> int:
                 f"batch per-lane waveform parity "
                 f"{bt['parity']['max_waveform_dv_v']:.2e} V > "
                 f"{BATCH_PARITY_TOL_V:.0e} V")
+        if rca["transient"]["speedup"] < LARGE_SPARSE_SPEEDUP_FLOOR:
+            failures.append(
+                f"rca32 sparse transient speedup "
+                f"{rca['transient']['speedup']:.2f}x < "
+                f"{LARGE_SPARSE_SPEEDUP_FLOOR}x")
+        for label, parity in (
+                ("rca32 DC", rca["dc"]["parity_v"]),
+                ("rca32 transient", rca["transient"]["parity_v"]),
+                ("101-chain sweep", chain["parity_v"])):
+            if parity > LARGE_PARITY_TOL_V:
+                failures.append(
+                    f"{label} dense-vs-sparse parity {parity:.2e} V > "
+                    f"{LARGE_PARITY_TOL_V:.0e} V")
+        if not lc["carry_launched_ok"]:
+            failures.append("rca32 carry ripple did not launch "
+                            "(s0 failed to fall)")
         if failures:
             print("BENCH CHECK FAILED: " + "; ".join(failures))
             return 1

@@ -1,7 +1,13 @@
 """Drive the engine from a SPICE-flavoured netlist file.
 
-A CNFET common-source stage with a resistive load, exercised through
-the text front end: DC transfer sweep plus a pulse transient.
+Two decks exercised through the text front end:
+
+* a CNFET common-source stage with a resistive load — DC transfer
+  sweep plus a pulse transient;
+* a hierarchical ``.subckt`` deck — an inverter definition instanced
+  twice inside a buffer definition, instanced at top level (two
+  hierarchy levels, flattened with dot-separated names like
+  ``Xbuf.X1.Qp``).
 
 Run:  python examples/netlist_simulation.py
 """
@@ -25,6 +31,42 @@ Cload out 0 5e-17
 .tran 0.5p 120p be
 .end
 """
+
+SUBCKT_DECK = """
+* Hierarchical deck: inverter -> buffer -> top level
+.model fast cnfet model=model2 temperature_k=300 fermi_level_ev=-0.32
+.subckt inv a y vdd
+Qp y a vdd fast polarity=p
+Qn y a 0 fast
+.ends inv
+.subckt buf a y vdd
+X1 a w vdd inv
+X2 w y vdd inv
+.ends buf
+Vdd vdd 0 0.6
+Vin in 0 PULSE(0 0.6 5p 1p 1p 30p 60p)
+Xbuf in out vdd buf
+Cload out 0 2e-17
+.tran 0.25p 60p trap
+.end
+"""
+
+
+def run_subckt_deck() -> None:
+    """Parse and run the hierarchical buffer deck."""
+    deck = parse_netlist(SUBCKT_DECK, title="hierarchical buffer")
+    circuit = deck.circuit
+    print(f"\nhierarchical deck: {len(circuit.elements)} elements "
+          f"after flattening, subcircuits: {sorted(deck.subcircuits)}")
+    print(f"  flattened names: "
+          f"{[el.name for el in circuit.elements if '.' in el.name]}")
+    directive = deck.analyses[0]
+    ds = transient(circuit, tstop=directive.params["tstop"],
+                   dt=directive.params["tstep"],
+                   method=directive.method)
+    print(f"  v(in)    : {sparkline(ds.voltage('in'), 50)}")
+    print(f"  v(Xbuf.w): {sparkline(ds.voltage('Xbuf.w'), 50)}")
+    print(f"  v(out)   : {sparkline(ds.voltage('out'), 50)}")
 
 
 def main() -> None:
@@ -63,6 +105,7 @@ def main() -> None:
             print(f"  pulse gain: {swing_out/swing_in:.2f} V/V "
                   f"(input {swing_in*1e3:.0f} mV -> output "
                   f"{swing_out*1e3:.0f} mV, inverted)")
+    run_subckt_deck()
 
 
 if __name__ == "__main__":

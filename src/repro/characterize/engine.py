@@ -37,6 +37,7 @@ except ImportError:  # pragma: no cover - numpy 1.x
 from repro.characterize.gates import GateSpec, gate_spec
 from repro.characterize.table import ArcTable, CharTable
 from repro.circuit.batch_sim import batch_transient
+from repro.circuit.solvers import BackendLike
 from repro.circuit.logic import LogicFamily
 from repro.circuit.results import Dataset
 from repro.circuit.transient import transient
@@ -122,7 +123,8 @@ def characterize_gate(family: LogicFamily, gate: str = "nand2",
                       method: str = "trap",
                       rtol: Optional[float] = None,
                       atol: Optional[float] = None,
-                      use_batch: bool = True) -> CharTable:
+                      use_batch: bool = True,
+                      backend: BackendLike = None) -> CharTable:
     """Characterize ``gate`` over a ``loads x slews`` grid.
 
     Parameters
@@ -149,6 +151,10 @@ def characterize_gate(family: LogicFamily, gate: str = "nand2",
         agree with the scalar path to well below measurement
         resolution (both waveform sets satisfy the same LTE
         tolerance); ``False`` forces the per-point scalar loop.
+    backend : None, str or LinearSolverBackend, optional
+        Linear-solver backend for every transient of the run
+        (``"auto"`` / ``"dense"`` / ``"sparse"``; see
+        :func:`repro.circuit.solvers.resolve_backend`).
 
     Returns
     -------
@@ -168,12 +174,13 @@ def characterize_gate(family: LogicFamily, gate: str = "nand2",
         run_stats: Dict[str, str] = {}
         points = _characterize_grid_batched(spec, family, slews, loads,
                                             method, rtol, atol,
-                                            run_stats)
+                                            run_stats, backend=backend)
         engine = run_stats.get("engine", "batch")
     else:
         points = {
             (i, j): _characterize_point(spec, family, slew, load,
-                                        method, rtol, atol)
+                                        method, rtol, atol,
+                                        backend=backend)
             for i, slew in enumerate(slews)
             for j, load in enumerate(loads)
         }
@@ -283,7 +290,8 @@ _RAMP_SUBDIVISIONS = 8
 def _characterize_point(spec: GateSpec, family: LogicFamily, slew: float,
                         load: float, method: str,
                         rtol: Optional[float],
-                        atol: Optional[float]) -> Dict[str, Dict]:
+                        atol: Optional[float],
+                        backend: BackendLike = None) -> Dict[str, Dict]:
     """One scalar transient covering both arcs of a single grid point."""
     circuit, vout, t0, width, tstop = _point_setup(spec, family, slew,
                                                    load)
@@ -297,7 +305,8 @@ def _characterize_point(spec: GateSpec, family: LogicFamily, slew: float,
         dataset = transient(circuit, tstop=tstop, method=method,
                             rtol=rtol, atol=atol,
                             extra_breakpoints=forced,
-                            record_currents="sources")
+                            record_currents="sources",
+                            backend=backend)
     except AnalysisError:
         return {"rise": dict(_NAN_POINT), "fall": dict(_NAN_POINT)}
     return _measure_point(dataset, spec, vout, family.vdd, slew, t0,
@@ -310,7 +319,8 @@ def characterize_points_batched(spec: GateSpec,
                                 method: str = "trap",
                                 rtol: Optional[float] = None,
                                 atol: Optional[float] = None,
-                                stats: Optional[dict] = None
+                                stats: Optional[dict] = None,
+                                backend: BackendLike = None
                                 ) -> List[Dict[str, Dict]]:
     """Characterize many ``(family, slew, load)`` points as one
     lane-batched transient; one arc-metrics dict per lane.
@@ -344,7 +354,7 @@ def characterize_points_batched(spec: GateSpec,
         result = batch_transient(
             [s[0] for s in setups], tstops, method=method, rtol=rtol,
             atol=atol, dt_min=min(tstops) * 1e-9,
-            record_currents="sources",
+            record_currents="sources", backend=backend,
         )
     except AnalysisError:
         if stats is not None:
@@ -366,7 +376,8 @@ def characterize_points_batched(spec: GateSpec,
             # its neighbours; re-measure it through the ramp-forced
             # scalar point path instead (NaN if it fails there too).
             points.append(_characterize_point(spec, family, slew, load,
-                                              method, rtol, atol))
+                                              method, rtol, atol,
+                                              backend=backend))
             continue
         _circuit, vout, t0, width, tstop = setups[lane]
         points.append(_measure_point(result.datasets[lane], spec, vout,
@@ -380,13 +391,14 @@ def _characterize_grid_batched(spec: GateSpec, family: LogicFamily,
                                loads: Sequence[float], method: str,
                                rtol: Optional[float],
                                atol: Optional[float],
-                               stats: Optional[dict] = None
+                               stats: Optional[dict] = None,
+                               backend: BackendLike = None
                                ) -> Dict[Tuple[int, int], Dict]:
     """The whole load x slew grid as one lane-batched transient."""
     cells = [(i, j) for i in range(len(slews))
              for j in range(len(loads))]
     points = characterize_points_batched(
         spec, [(family, slews[i], loads[j]) for i, j in cells],
-        method, rtol, atol, stats,
+        method, rtol, atol, stats, backend=backend,
     )
     return dict(zip(cells, points))

@@ -63,9 +63,10 @@ class GateDelayEvaluator(_CircuitEvaluatorBase):
                  workers: int = 1,
                  quantize: Optional[Mapping[str, int]] = None,
                  spec_limits: Optional[Mapping[str, Tuple]] = None,
-                 use_batch: bool = True) -> None:
+                 use_batch: bool = True,
+                 backend: Optional[str] = None) -> None:
         super().__init__(space, vdd, model, workers, quantize,
-                         spec_limits, use_batch)
+                         spec_limits, use_batch, backend)
         gate_spec(gate)  # validate early
         if slew <= 0.0 or load <= 0.0:
             raise ParameterError(
@@ -90,7 +91,8 @@ class GateDelayEvaluator(_CircuitEvaluatorBase):
     def _evaluate_key(self, key: Tuple) -> Dict[str, float]:
         family = self._family(key)
         table = characterize_gate(family, self.gate,
-                                  loads=(self.load,), slews=(self.slew,))
+                                  loads=(self.load,), slews=(self.slew,),
+                                  backend=self.backend)
         rise, fall = table.arcs["rise"], table.arcs["fall"]
         return self._point_metrics({"rise": {
             "delay": rise.delay[0][0], "out_slew": rise.out_slew[0][0],
@@ -122,6 +124,7 @@ class GateDelayEvaluator(_CircuitEvaluatorBase):
                 spec,
                 [(self._family(key), self.slew, self.load)
                  for key in keys],
+                backend=self.backend,
             )
         except ReproError:
             return [self._evaluate_key_safe(key) for key in keys]

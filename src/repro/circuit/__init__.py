@@ -2,7 +2,12 @@
 
 A deliberately compact but real modified-nodal-analysis (MNA) simulator:
 
-* :mod:`repro.circuit.netlist` — circuit container and node bookkeeping;
+* :mod:`repro.circuit.netlist` — circuit container, node bookkeeping,
+  and the :class:`SubCircuit`/:class:`Instance` hierarchy layer
+  (flattened with dot-separated instance paths);
+* :mod:`repro.circuit.solvers` — pluggable dense/sparse linear-solver
+  backends (``backend="auto"|"dense"|"sparse"`` on every analysis;
+  see ``docs/hierarchy.md``);
 * :mod:`repro.circuit.elements` — R, L, C, sources, diode and the CNFET
   device element (fast piecewise backend or reference backend);
 * :mod:`repro.circuit.mna` — assembly and the damped Newton loop with
@@ -15,10 +20,13 @@ A deliberately compact but real modified-nodal-analysis (MNA) simulator:
 * :mod:`repro.circuit.batch_sim` — the lane-batched engine: many
   instances of one circuit topology advanced in lock-step through
   stacked MNA solves (see ``docs/performance.md``);
-* :mod:`repro.circuit.parser` — SPICE-flavoured netlist text front end;
-* :mod:`repro.circuit.logic` — CNFET gate builders (inverter,
-  NAND2/NAND3, NOR2, transmission gate, ring oscillator) used by the
-  examples and :mod:`repro.characterize`.
+* :mod:`repro.circuit.parser` — SPICE-flavoured netlist text front end
+  (``.subckt``/``.ends``/``X`` hierarchy cards included);
+* :mod:`repro.circuit.logic` — CNFET gate primitives (inverter,
+  NAND2/NAND3, NOR2, transmission gate, ring oscillator) plus
+  hierarchical blocks (full adder, N-bit ripple-carry adder, inverter
+  chains, 6T SRAM cell, mux trees) used by the examples and
+  :mod:`repro.characterize`.
 """
 
 from repro.circuit.ac import ac_analysis, decade_frequencies
@@ -31,6 +39,13 @@ from repro.circuit.batch_sim import (
 )
 from repro.circuit.dc import dc_sweep, operating_point
 from repro.circuit.mna import NewtonOptions, TwoPhaseAssembler
+from repro.circuit.netlist import Instance, SubCircuit
+from repro.circuit.solvers import (
+    DenseBackend,
+    LinearSolverBackend,
+    SparseBackend,
+    resolve_backend,
+)
 from repro.circuit.elements import (
     Capacitor,
     CNFETElement,
@@ -47,6 +62,12 @@ from repro.circuit.waveforms import DC, Pulse, PWLWaveform, Sine
 
 __all__ = [
     "Circuit",
+    "SubCircuit",
+    "Instance",
+    "LinearSolverBackend",
+    "DenseBackend",
+    "SparseBackend",
+    "resolve_backend",
     "ac_analysis",
     "decade_frequencies",
     "Resistor",

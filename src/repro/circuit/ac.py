@@ -12,6 +12,13 @@ complex MNA system ``(G + j w C) x = b`` per frequency:
 * one independent source is designated as the AC input with unit
   magnitude, SPICE-style.
 
+The ``G`` and ``C`` buffers are stamped **once** for the whole sweep;
+per frequency only the scaled sum ``G + j w C`` changes, written into
+one preallocated complex work matrix (dense) or re-summed on the
+shared sparsity pattern (sparse backend).  A circuit with no
+energy-storage stamps (``C == 0``) is frequency-independent, so it is
+factorised and solved exactly once.
+
 This covers the classic compact-model use cases — gain/bandwidth of a
 CNFET stage, input capacitance extraction — without any element needing
 a dedicated AC stamp.
@@ -27,7 +34,8 @@ from repro.circuit.elements.sources import CurrentSource, VoltageSource
 from repro.circuit.mna import NewtonOptions, assemble, robust_dc_solve
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import Dataset
-from repro.errors import NetlistError, ParameterError
+from repro.circuit.solvers import BackendLike, resolve_backend
+from repro.errors import AnalysisError, NetlistError, ParameterError
 
 
 def ac_analysis(
@@ -35,11 +43,15 @@ def ac_analysis(
     source_name: str,
     frequencies_hz: Sequence[float],
     options: NewtonOptions = NewtonOptions(),
+    backend: BackendLike = None,
 ) -> Dataset:
     """Frequency sweep with a unit AC excitation on ``source_name``.
 
     Returns a :class:`Dataset` with axis ``frequency`` and complex-
     magnitude/phase traces ``vm(node)`` [V], ``vp(node)`` [degrees].
+    ``backend`` selects the linear-solver backend (``"auto"`` /
+    ``"dense"`` / ``"sparse"``) for the operating point and the
+    per-frequency complex solves.
 
     Raises
     ------
@@ -59,18 +71,26 @@ def ac_analysis(
 
     # 1. DC operating point.
     circuit.reset_state()
-    x_op = robust_dc_solve(circuit, None, options)
+    x_op = robust_dc_solve(circuit, None, options, backend=backend)
     n = circuit.dimension()
+    solver = resolve_backend(backend, n)
 
     # 2. Small-signal conductance matrix at the operating point.
     ctx_dc = assemble(circuit, x_op, analysis="dc")
     g_matrix = ctx_dc.matrix.copy()
 
     # 3. Capacitance matrix: the BE companion adds exactly C/dt to the
-    #    Jacobian, so one transient assembly at dt = 1 isolates C.
-    ctx_tr = assemble(circuit, x_op, analysis="tran", time=0.0, dt=1.0,
-                      x_prev=x_op, method="be")
-    c_matrix = ctx_tr.matrix - g_matrix
+    #    Jacobian, so one transient assembly isolates C.  The probe dt
+    #    is chosen so C/dt lands on the same order as the conductance
+    #    stamps: extracting at dt = 1 (as this pass historically did)
+    #    left the fF-scale charge companions ~12 orders below the gm
+    #    stamps, and the subtraction returned C with only ~4
+    #    significant digits — visible as 1e-4-relative noise in the
+    #    capacitance-dominated end of the sweep.
+    probe_dt = 1e-12
+    ctx_tr = assemble(circuit, x_op, analysis="tran", time=0.0,
+                      dt=probe_dt, x_prev=x_op, method="be")
+    c_matrix = (ctx_tr.matrix - g_matrix) * probe_dt
 
     # 4. Unit excitation vector on the chosen source.
     b = np.zeros(n, dtype=complex)
@@ -86,18 +106,63 @@ def ac_analysis(
             b[ib] += 1.0
 
     dataset = Dataset("frequency", freqs)
-    nodes = circuit.nodes
-    solutions = np.empty((len(freqs), n), dtype=complex)
-    for k, f in enumerate(freqs):
-        omega = 2.0 * np.pi * f
-        solutions[k] = np.linalg.solve(g_matrix + 1j * omega * c_matrix, b)
+    solutions = _solve_frequency_sweep(solver, g_matrix, c_matrix, b,
+                                       freqs)
     for node, idx in circuit.node_index.items():
         dataset.add_trace(f"vm({node})", np.abs(solutions[:, idx]))
         dataset.add_trace(
             f"vp({node})", np.degrees(np.angle(solutions[:, idx]))
         )
-    _ = nodes
     return dataset
+
+
+def _solve_frequency_sweep(solver, g_matrix: np.ndarray,
+                           c_matrix: np.ndarray, b: np.ndarray,
+                           freqs: Sequence[float]) -> np.ndarray:
+    """Solve ``(G + j w C) x = b`` per frequency through ``solver``.
+
+    The stamped ``G``/``C`` buffers are shared by every point; the
+    dense path re-sums into one preallocated complex work matrix, the
+    sparse path converts ``G``/``C`` to sparse once and re-sums on the
+    shared pattern.  With ``C == 0`` the system is frequency-
+    independent: one factorise-and-solve serves the whole sweep.
+    """
+    n = b.size
+    solutions = np.empty((len(freqs), n), dtype=complex)
+    static = not c_matrix.any()
+    if static:
+        solutions[:] = solver.solve_dense(
+            g_matrix.astype(complex), b)
+        return solutions
+    if solver.is_sparse:
+        # One structural pass: the union sparsity pattern of G and C
+        # in CSC order, with both stamped buffers gathered onto it.
+        # Each frequency then only combines the two aligned data
+        # vectors and hands the shared structure to the backend — no
+        # per-point matrix addition or format conversion.
+        mask = (g_matrix != 0.0) | (c_matrix != 0.0)
+        cols, rows = np.nonzero(mask.T)  # column-major entry order
+        indptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(np.bincount(cols, minlength=n), out=indptr[1:])
+        g_data = g_matrix[rows, cols].astype(complex)
+        c_data = c_matrix[rows, cols].astype(complex)
+        for k, f in enumerate(freqs):
+            omega = 2.0 * np.pi * f
+            try:
+                solutions[k] = solver.solve_csc(
+                    n, g_data + (1j * omega) * c_data, rows, indptr, b)
+            except AnalysisError as exc:
+                raise AnalysisError(
+                    f"singular AC system at f={f:g} Hz ({exc})"
+                ) from exc
+        return solutions
+    work = np.empty((n, n), dtype=complex)
+    for k, f in enumerate(freqs):
+        omega = 2.0 * np.pi * f
+        np.multiply(c_matrix, 1j * omega, out=work)
+        work += g_matrix
+        solutions[k] = solver.solve_dense(work, b)
+    return solutions
 
 
 def decade_frequencies(f_start: float, f_stop: float,

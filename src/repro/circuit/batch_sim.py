@@ -47,6 +47,7 @@ from repro.circuit.elements.sources import CurrentSource, VoltageSource
 from repro.circuit.mna import NewtonOptions, robust_dc_solve
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import Dataset
+from repro.circuit.solvers import BackendLike, resolve_backend
 from repro.circuit.transient import (
     DEFAULT_ATOL,
     DEFAULT_RTOL,
@@ -77,13 +78,18 @@ class LaneBatch:
     the preallocated matrix/rhs stacks.
     """
 
-    def __init__(self, circuits: Sequence[Circuit]) -> None:
+    def __init__(self, circuits: Sequence[Circuit],
+                 backend: BackendLike = None) -> None:
         if not circuits:
             raise ParameterError("need at least one lane circuit")
         self.circuits = list(circuits)
         self.n_lanes = len(self.circuits)
         template = self.circuits[0]
         dim = template.dimension()
+        #: linear-solver backend for the stacked solves (``"auto"``
+        #: keeps the batched dense solve below the sparse crossover
+        #: dimension — see :func:`repro.circuit.solvers.resolve_backend`)
+        self.backend = resolve_backend(backend, dim)
         for lane, circuit in enumerate(self.circuits[1:], start=1):
             if circuit.dimension() != dim \
                     or circuit.node_index != template.node_index:
@@ -236,23 +242,9 @@ def _lockstep_newton(batch: LaneBatch, x: np.ndarray,
         a = ctx.matrix[active][:, :batch.dim, :batch.dim]
         z = ctx.rhs[active][:, :batch.dim]
         local_solves += 1
-        try:
-            solved = np.linalg.solve(a, z[:, :, None])[:, :, 0]
-        except np.linalg.LinAlgError:
-            solved = np.empty_like(z)
-            singular = np.zeros(active.size, dtype=bool)
-            for i in range(active.size):
-                try:
-                    solved[i] = np.linalg.solve(a[i], z[i])
-                except np.linalg.LinAlgError:
-                    singular[i] = True
-            if singular.any():
-                failed.extend(int(l) for l in active[singular])
-                keep = ~singular
-                active = active[keep]
-                solved = solved[keep]
-                if active.size == 0:
-                    break
+        # Singular lanes come back as NaN rows from the backend and
+        # fall into the non-finite failure path right below.
+        solved = batch.backend.solve_stacked(a, z)
         delta = solved - x_new[active]
         bad = ~np.isfinite(delta).all(axis=1)
         if bad.any():
@@ -296,7 +288,8 @@ def _lockstep_newton(batch: LaneBatch, x: np.ndarray,
 def batch_operating_points(circuits: Sequence[Circuit],
                            options: NewtonOptions = NewtonOptions(),
                            batch: Optional[LaneBatch] = None,
-                           stats: Optional[dict] = None) -> np.ndarray:
+                           stats: Optional[dict] = None,
+                           backend: BackendLike = None) -> np.ndarray:
     """Stacked DC operating points; ``(B, dim)`` solution stack.
 
     Lock-step plain Newton first; lanes that fail re-run through the
@@ -305,7 +298,7 @@ def batch_operating_points(circuits: Sequence[Circuit],
     :class:`AnalysisError` only if a lane fails even scalar-side.
     """
     if batch is None:
-        batch = LaneBatch(circuits)
+        batch = LaneBatch(circuits, backend=backend)
     for circuit in batch.circuits:
         circuit.reset_state()
     batch.reset()
@@ -324,7 +317,8 @@ def batch_operating_points(circuits: Sequence[Circuit],
 def batch_dc_sweep(circuits: Sequence[Circuit], source_name: str,
                    values: Sequence[float],
                    options: NewtonOptions = NewtonOptions(),
-                   stats: Optional[dict] = None) -> List[Dataset]:
+                   stats: Optional[dict] = None,
+                   backend: BackendLike = None) -> List[Dataset]:
     """Lane-batched :func:`repro.circuit.dc.dc_sweep`.
 
     Sweeps the named independent source of *every* lane through the
@@ -334,7 +328,7 @@ def batch_dc_sweep(circuits: Sequence[Circuit], source_name: str,
     branch currents (CNFET current traces, which the MC consumers do
     not read, are omitted).
     """
-    batch = LaneBatch(circuits)
+    batch = LaneBatch(circuits, backend=backend)
     sources = [c.element(source_name) for c in batch.circuits]
     for source in sources:
         if not isinstance(source, (VoltageSource, CurrentSource)):
@@ -467,6 +461,7 @@ def batch_transient(
     dt_max: Optional[float] = None,
     scalar_fallback: bool = True,
     batch: Optional[LaneBatch] = None,
+    backend: BackendLike = None,
 ) -> BatchTransientResult:
     """Integrate ``B`` same-topology circuit instances in lock-step.
 
@@ -496,6 +491,11 @@ def batch_transient(
         already built one (e.g. for :func:`batch_operating_points`)
         skip the duplicate topology validation and stacked-table
         construction.
+    backend : None, str or LinearSolverBackend, optional
+        Linear-solver backend for the stacked solves when no prebuilt
+        ``batch`` is passed; ``"auto"`` (default) keeps the batched
+        dense solve below the sparse crossover dimension and switches
+        to per-lane SuperLU above it.
 
     Stepping modes (shared grid):
 
@@ -514,7 +514,7 @@ def batch_transient(
         scalar-fallback lanes, per-lane errors, run stats.
     """
     if batch is None:
-        batch = LaneBatch(circuits)
+        batch = LaneBatch(circuits, backend=backend)
     n_lanes = batch.n_lanes
     if np.isscalar(tstop):
         tstops = np.full(n_lanes, float(tstop))

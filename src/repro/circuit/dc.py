@@ -17,6 +17,7 @@ from repro.circuit.mna import (
 )
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import Dataset
+from repro.circuit.solvers import BackendLike
 from repro.circuit.waveforms import DC
 from repro.errors import NetlistError
 
@@ -80,22 +81,29 @@ def _reporting_context(circuit: Circuit, x: np.ndarray) -> StampContext:
 def operating_point(circuit: Circuit,
                     options: NewtonOptions = NewtonOptions(),
                     x0: Optional[np.ndarray] = None,
-                    assembler: Optional[TwoPhaseAssembler] = None
-                    ) -> OperatingPoint:
+                    assembler: Optional[TwoPhaseAssembler] = None,
+                    backend: BackendLike = None) -> OperatingPoint:
     """Solve the DC operating point (with fallbacks; see
-    :func:`repro.circuit.mna.robust_dc_solve`)."""
+    :func:`repro.circuit.mna.robust_dc_solve`).
+
+    ``backend`` selects the linear-solver backend when no reusable
+    ``assembler`` is passed (``"auto"`` / ``"dense"`` / ``"sparse"``).
+    """
     circuit.reset_state()
-    x = robust_dc_solve(circuit, x0, options, assembler)
+    x = robust_dc_solve(circuit, x0, options, assembler, backend=backend)
     return OperatingPoint(circuit, x)
 
 
 def dc_sweep(circuit: Circuit, source_name: str, values: Sequence[float],
-             options: NewtonOptions = NewtonOptions()) -> Dataset:
+             options: NewtonOptions = NewtonOptions(),
+             backend: BackendLike = None) -> Dataset:
     """Sweep an independent source and record all node voltages (and
     every voltage-source branch current).
 
     The previous solution seeds each step's Newton iteration, which is
     both faster and more robust than cold starts (continuation).
+    ``backend`` selects the linear-solver backend shared by every
+    point of the sweep.
     """
     source = circuit.element(source_name)
     if not isinstance(source, (VoltageSource, CurrentSource)):
@@ -116,8 +124,9 @@ def dc_sweep(circuit: Circuit, source_name: str, values: Sequence[float],
     }
     x_prev: Optional[np.ndarray] = None
     # Shared buffers across the whole sweep (continuation reuses the
-    # previous solution *and* the previous allocations).
-    assembler = TwoPhaseAssembler(circuit)
+    # previous solution *and* the previous allocations; the sparse
+    # backend additionally reuses its symbolic pattern).
+    assembler = TwoPhaseAssembler(circuit, backend=backend)
     try:
         for value in values:
             source.waveform = DC(float(value))

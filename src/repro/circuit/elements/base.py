@@ -19,6 +19,7 @@ Sign conventions
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -135,6 +136,96 @@ class StampContext:
         ia, ib = self.idx(a), self.idx(b)
         self.add_rhs(ia, -i)
         self.add_rhs(ib, i)
+
+    # -- vectorized stamping (CNFET slab / stacked groups) --------------
+
+    def add_flat(self, m_idx: np.ndarray, m_val: np.ndarray,
+                 r_idx: np.ndarray, r_val: np.ndarray) -> None:
+        """Bulk scatter-add of precomputed stamp entries.
+
+        ``m_idx`` holds flattened matrix positions ``row * dim + col``
+        with ``dim * dim`` as a discard pad for grounded entries;
+        ``r_idx`` holds rhs rows with ``dim`` as the pad.  The dense
+        implementation lands everything with two ``np.bincount``
+        scatter-adds; :class:`TripletStampContext` overrides this to
+        record COO triplets instead.
+        """
+        matrix, rhs = self.matrix, self.rhs
+        n2 = matrix.size
+        flat = matrix.reshape(-1)
+        flat += np.bincount(m_idx, weights=m_val, minlength=n2 + 1)[:n2]
+        rhs += np.bincount(r_idx, weights=r_val,
+                           minlength=rhs.size + 1)[:rhs.size]
+
+
+class TripletStampContext(StampContext):
+    """Stamping context that records COO triplets (sparse assembly).
+
+    Elements stamp through the same ``add_entry`` / ``add_rhs``
+    primitives; matrix entries are appended to growing flat-index /
+    value arrays instead of written into a dense buffer (the rhs stays
+    a dense vector — it is O(n)).  The sparse backend of
+    :class:`repro.circuit.mna.TwoPhaseAssembler` turns the recorded
+    triplets into a sparse system once per run and re-scatters only the
+    values on subsequent steps/iterations.
+    """
+
+    def __init__(self, dim: int, node_index: Dict[str, int],
+                 **kwargs) -> None:
+        super().__init__(
+            matrix=np.zeros((0, 0)), rhs=np.zeros(dim),
+            node_index=node_index, x=np.zeros(dim), **kwargs,
+        )
+        self.dim = dim
+        self._cap = 256
+        #: flattened matrix positions ``row * dim + col``
+        self.m_idx = np.empty(self._cap, dtype=np.intp)
+        #: matrix entry values, parallel to :attr:`m_idx`
+        self.m_val = np.empty(self._cap)
+        #: number of recorded triplets
+        self.count = 0
+
+    def clear(self) -> None:
+        """Forget the recorded triplets and zero the rhs (new stamp
+        pass starting)."""
+        self.count = 0
+        self.rhs[:] = 0.0
+
+    def _grow(self, need: int) -> None:
+        while self._cap < need:
+            self._cap *= 2
+        self.m_idx = np.resize(self.m_idx, self._cap)
+        self.m_val = np.resize(self.m_val, self._cap)
+
+    def triplets(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Views of the recorded ``(flat_index, value)`` triplets."""
+        return self.m_idx[:self.count], self.m_val[:self.count]
+
+    def add_entry(self, row: int, col: int, value: float) -> None:
+        """Record one matrix triplet (ground rows/columns skipped)."""
+        if row >= 0 and col >= 0:
+            count = self.count
+            if count == self._cap:
+                self._grow(count + 1)
+            self.m_idx[count] = row * self.dim + col
+            self.m_val[count] = value
+            self.count = count + 1
+
+    def add_flat(self, m_idx: np.ndarray, m_val: np.ndarray,
+                 r_idx: np.ndarray, r_val: np.ndarray) -> None:
+        """Bulk-append matrix triplets (pad entries dropped) and
+        scatter the rhs contributions."""
+        keep = m_idx < self.dim * self.dim
+        idx, val = m_idx[keep], m_val[keep]
+        count = self.count
+        if count + idx.size > self._cap:
+            self._grow(count + idx.size)
+        self.m_idx[count:count + idx.size] = idx
+        self.m_val[count:count + idx.size] = val
+        self.count = count + idx.size
+        rhs = self.rhs
+        rhs += np.bincount(r_idx, weights=r_val,
+                           minlength=rhs.size + 1)[:rhs.size]
 
 
 class LaneContext:
@@ -338,6 +429,26 @@ class Element:
 
     def stamp(self, ctx: StampContext) -> None:
         raise NotImplementedError
+
+    def clone(self, name: str, nodes: Sequence[str]) -> "Element":
+        """Shallow copy bound to a new name and terminal nodes.
+
+        Used by subcircuit flattening: parameters and heavyweight
+        shared objects (CNFET devices, fitted curves, waveforms) stay
+        shared with the prototype, while identity (name, nodes, matrix
+        indices) and transient state are per-clone.
+        """
+        if len(nodes) != len(self.nodes):
+            raise NetlistError(
+                f"{self.name}: clone needs {len(self.nodes)} nodes, "
+                f"got {len(nodes)}"
+            )
+        dup = copy.copy(self)
+        dup.name = name
+        dup.nodes = tuple(nodes)
+        dup.aux_index = -1
+        dup.reset_state()
+        return dup
 
     @classmethod
     def lane_group(cls, elements: Sequence["Element"]) -> LaneGroup:

@@ -31,6 +31,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.circuit.elements.base import (
+    GROUND_NAMES,
     Element,
     GenericLaneGroup,
     LaneContext,
@@ -166,37 +167,23 @@ class _Backend:
         ])
 
 
-class _CNFETLaneGroup(LaneGroup):
-    """Stacked CNFET stamping: *every* CNFET slot of the batch, all
-    lanes, one vectorized pass per Newton iteration.
+class _StackedCNFETBank:
+    """Per-device parameter arrays plus the vectorized companion-stamp
+    arithmetic shared by the lane-batched group and the single-circuit
+    slab.
 
-    The hot path of the lane-batched engine.  A *devlane* is one
-    (element slot, lane) pair; the group flattens all ``S`` CNFET
-    slots x ``B`` lanes into ``P = S * B`` devlanes whose devices may
-    all be different (a Monte-Carlo batch).  Per iteration:
-
-    * the inner self-consistent voltages go through
-      :class:`~repro.pwl.batch.StackedVscSolver` (hint-warmed closed
-      forms, scalar fallback on region drift) in one call;
-    * charge-curve values/derivatives through
-      :class:`~repro.pwl.batch.StackedCurves`;
-    * every downstream quantity — currents, analytic small-signal and
-      charge partials, companion residuals — is the scalar
-      :meth:`_Backend.evaluate_full` arithmetic on ``(P,)`` arrays;
-    * the stamp entries land through two ``np.bincount`` scatter-adds
-      against precomputed flat matrix/rhs indices (the ground pad
-      row/column absorbs grounded terminals).
-
-    Previous-step terminal charges are group state, refreshed once per
-    accepted step (the batch twin of the element's per-step memo).
+    ``P`` devices (all fast piecewise backends, possibly all
+    different) evaluate as one stacked pass: inner self-consistent
+    voltages through :class:`~repro.pwl.batch.StackedVscSolver`
+    (hint-warmed closed forms, scalar fallback on region drift),
+    charge-curve values/derivatives through
+    :class:`~repro.pwl.batch.StackedCurves`, and every downstream
+    quantity — currents, analytic small-signal and charge partials,
+    companion residuals — is the scalar :meth:`_Backend.evaluate_full`
+    arithmetic on ``(P,)`` arrays.
     """
 
-    nonlinear = True
-
-    def __init__(self, slots) -> None:
-        elements = [el for slot in slots for el in slot]
-        super().__init__(elements)
-        self.n_lanes = len(slots[0])
+    def _init_bank(self, elements) -> None:
         backends = [el.backend for el in elements]
         self.sign = np.array([
             1.0 if el.polarity == "n" else -1.0 for el in elements])
@@ -212,20 +199,133 @@ class _CNFETLaneGroup(LaneGroup):
         self.curves = StackedCurves(
             [b.device.fitted.curve for b in backends])
         p = len(elements)
-        #: lane of each devlane (slot-major flattening)
-        self.lane_of = np.array([
-            lane for slot in slots for lane in range(len(slot))])
         #: warm-start VSC hints: Newton iterates / accepted biases
         self.hint = np.zeros(p)
         #: previous-step terminal charges (gate, drain, source), [C]
         self.q_prev = np.zeros((3, p))
         self.stats: Optional[dict] = None
+
+    def _bank_reset(self) -> None:
+        self.hint[:] = 0.0
+        self.q_prev[:] = 0.0
+
+    def _charges_arrays(self, vgs: np.ndarray, vds: np.ndarray,
+                        didx: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Terminal charges (G, D, S) at n-frame biases [C] —
+        vectorized :meth:`_Backend.charges`."""
+        vsc = self.solver.solve(vgs, vds, self.hint, idx=didx,
+                                stats=self.stats)
+        length = self.length[didx]
+        qg = length * self.cg[didx] * (vgs + vsc)
+        qd = length * (self.cd[didx] * (vds + vsc)
+                       - self.curves.value(vsc + vds, idx=didx))
+        return qg, qd, -(qg + qd)
+
+    def _companion(self, vgs: np.ndarray, vds: np.ndarray,
+                   didx: np.ndarray, gmin: float, tran: bool,
+                   dt: Optional[float]
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked companion stamp values around the given biases.
+
+        Returns ``(values, rhs_values)`` with one row per entry kind
+        (see :meth:`_CNFETLaneGroup._build_indices` for the kind
+        table): 8 matrix / 2 rhs kinds in DC, 17 / 5 in transient
+        (charge companions around the bank's ``q_prev`` state).
+        """
+        sign = self.sign[didx]
+        vsc = self.solver.solve(vgs, vds, self.hint, idx=didx,
+                                stats=self.stats)
+        kt = self.kt[didx]
+        eta_s = (self.ef[didx] - vsc) / kt
+        eta_d = eta_s - vds / kt
+        pref = self.pref[didx]
+        ids = pref * (_log1pexp_many(eta_s) - _log1pexp_many(eta_d))
+        sig_s = _logistic_many(eta_s)
+        sig_d = _logistic_many(eta_d)
+        di_dvsc = (pref / kt) * (sig_d - sig_s)
+        dq_s = self.curves.derivative(vsc, idx=didx)
+        dq_d = self.curves.derivative(vsc + vds, idx=didx)
+        cg, cd = self.cg[didx], self.cd[didx]
+        denominator = self.csum[didx] - dq_s - dq_d
+        dvsc_g = -cg / denominator
+        dvsc_d = -(cd - dq_d) / denominator
+        gm = di_dvsc * dvsc_g
+        gds = (pref / kt) * sig_d + di_dvsc * dvsc_d
+        residual = sign * ids - gm * sign * vgs - gds * sign * vds
+        n_kinds = 17 if tran else 8
+        values = np.empty((n_kinds, didx.size))
+        values[0] = gm
+        values[1] = -(gm + gmin)
+        values[2] = gds + gmin
+        values[3] = gm + gds + 2.0 * gmin
+        values[4] = -(gm + gds + gmin)
+        values[5] = -(gds + gmin)
+        values[6] = gmin
+        values[7] = -gmin
+        rhs_values = np.empty((5 if tran else 2, didx.size))
+        rhs_values[0] = -residual
+        rhs_values[1] = residual
+        if tran:
+            # Charge companions (vectorized ``_stamp_charges``).
+            length = self.length[didx]
+            q_d_mobile = self.curves.value(vsc + vds, idx=didx)
+            qg = length * cg * (vgs + vsc)
+            qd = length * (cd * (vds + vsc) - q_d_mobile)
+            q0 = (qg, qd, -(qg + qd))
+            dg_gs = length * cg * (1.0 + dvsc_g)
+            dg_ds = length * cg * dvsc_d
+            dd_gs = length * dvsc_g * (cd - dq_d)
+            dd_ds = length * (1.0 + dvsc_d) * (cd - dq_d)
+            dq_dvgs = (dg_gs, dd_gs, -(dg_gs + dd_gs))
+            dq_dvds = (dg_ds, dd_ds, -(dg_ds + dd_ds))
+            for t_idx in range(3):
+                geq_gs = dq_dvgs[t_idx] / dt
+                geq_ds = dq_dvds[t_idx] / dt
+                i_now = (q0[t_idx] - self.q_prev[t_idx, didx]) / dt
+                row = 8 + 3 * t_idx
+                values[row] = geq_gs
+                values[row + 1] = geq_ds
+                values[row + 2] = -(geq_gs + geq_ds)
+                rhs_values[2 + t_idx] = -(
+                    sign * i_now - geq_gs * sign * vgs
+                    - geq_ds * sign * vds
+                )
+        return values, rhs_values
+
+
+class _CNFETLaneGroup(_StackedCNFETBank, LaneGroup):
+    """Stacked CNFET stamping: *every* CNFET slot of the batch, all
+    lanes, one vectorized pass per Newton iteration.
+
+    The hot path of the lane-batched engine.  A *devlane* is one
+    (element slot, lane) pair; the group flattens all ``S`` CNFET
+    slots x ``B`` lanes into ``P = S * B`` devlanes whose devices may
+    all be different (a Monte-Carlo batch).  The companion arithmetic
+    lives in :class:`_StackedCNFETBank`; the stamp entries land
+    through two ``np.bincount`` scatter-adds against precomputed flat
+    matrix/rhs indices (the ground pad row/column absorbs grounded
+    terminals).
+
+    Previous-step terminal charges are group state, refreshed once per
+    accepted step (the batch twin of the element's per-step memo).
+    """
+
+    nonlinear = True
+
+    def __init__(self, slots) -> None:
+        elements = [el for slot in slots for el in slot]
+        LaneGroup.__init__(self, elements)
+        self._init_bank(elements)
+        self.n_lanes = len(slots[0])
+        #: lane of each devlane (slot-major flattening)
+        self.lane_of = np.array([
+            lane for slot in slots for lane in range(len(slot))])
         self._slots = slots
         self._indices: Optional[Tuple] = None
 
     def reset(self) -> None:
-        self.hint[:] = 0.0
-        self.q_prev[:] = 0.0
+        self._bank_reset()
 
     def _build_indices(self, ctx: LaneContext) -> Tuple:
         """Precomputed flat scatter indices (constant per topology).
@@ -302,16 +402,9 @@ class _CNFETLaneGroup(LaneGroup):
     def _charges(self, ctx: LaneContext, x: np.ndarray,
                  didx: np.ndarray
                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Terminal charges (G, D, S) at the biases in ``x`` [C] —
-        vectorized :meth:`_Backend.charges`."""
+        """Terminal charges (G, D, S) at the biases in ``x`` [C]."""
         vgs, vds = self._bias(ctx, x, didx)
-        vsc = self.solver.solve(vgs, vds, self.hint, idx=didx,
-                                stats=self.stats)
-        length = self.length[didx]
-        qg = length * self.cg[didx] * (vgs + vsc)
-        qd = length * (self.cd[didx] * (vds + vsc)
-                       - self.curves.value(vsc + vds, idx=didx))
-        return qg, qd, -(qg + qd)
+        return self._charges_arrays(vgs, vds, didx)
 
     def begin_run(self, ctx: LaneContext) -> None:
         """Prime the previous-step charge state at the initial
@@ -329,78 +422,121 @@ class _CNFETLaneGroup(LaneGroup):
     def stamp(self, ctx: LaneContext) -> None:
         matrix_idx, rhs_idx, _ig, _id, _is = self._build_indices(ctx)
         didx = self._active(ctx)
-        sign = self.sign[didx]
         tran = ctx.analysis == "tran" and ctx.dt is not None
         vgs, vds = self._bias(ctx, ctx.x, didx)
-        vsc = self.solver.solve(vgs, vds, self.hint, idx=didx,
-                                stats=self.stats)
-        kt = self.kt[didx]
-        eta_s = (self.ef[didx] - vsc) / kt
-        eta_d = eta_s - vds / kt
-        pref = self.pref[didx]
-        ids = pref * (_log1pexp_many(eta_s) - _log1pexp_many(eta_d))
-        sig_s = _logistic_many(eta_s)
-        sig_d = _logistic_many(eta_d)
-        di_dvsc = (pref / kt) * (sig_d - sig_s)
-        dq_s = self.curves.derivative(vsc, idx=didx)
-        dq_d = self.curves.derivative(vsc + vds, idx=didx)
-        cg, cd = self.cg[didx], self.cd[didx]
-        denominator = self.csum[didx] - dq_s - dq_d
-        dvsc_g = -cg / denominator
-        dvsc_d = -(cd - dq_d) / denominator
-        gm = di_dvsc * dvsc_g
-        gds = (pref / kt) * sig_d + di_dvsc * dvsc_d
-        gmin = ctx.gmin
-        residual = sign * ids - gm * sign * vgs - gds * sign * vds
-        n_kinds = 17 if tran else 8
-        values = np.empty((n_kinds, didx.size))
-        values[0] = gm
-        values[1] = -(gm + gmin)
-        values[2] = gds + gmin
-        values[3] = gm + gds + 2.0 * gmin
-        values[4] = -(gm + gds + gmin)
-        values[5] = -(gds + gmin)
-        values[6] = gmin
-        values[7] = -gmin
-        rhs_values = np.empty((5 if tran else 2, didx.size))
-        rhs_values[0] = -residual
-        rhs_values[1] = residual
-        if tran:
-            # Charge companions (vectorized ``_stamp_charges``).
-            length = self.length[didx]
-            q_d_mobile = self.curves.value(vsc + vds, idx=didx)
-            qg = length * cg * (vgs + vsc)
-            qd = length * (cd * (vds + vsc) - q_d_mobile)
-            q0 = (qg, qd, -(qg + qd))
-            dg_gs = length * cg * (1.0 + dvsc_g)
-            dg_ds = length * cg * dvsc_d
-            dd_gs = length * dvsc_g * (cd - dq_d)
-            dd_ds = length * (1.0 + dvsc_d) * (cd - dq_d)
-            dq_dvgs = (dg_gs, dd_gs, -(dg_gs + dd_gs))
-            dq_dvds = (dg_ds, dd_ds, -(dg_ds + dd_ds))
-            dt = ctx.dt
-            for t_idx in range(3):
-                geq_gs = dq_dvgs[t_idx] / dt
-                geq_ds = dq_dvds[t_idx] / dt
-                i_now = (q0[t_idx] - self.q_prev[t_idx, didx]) / dt
-                row = 8 + 3 * t_idx
-                values[row] = geq_gs
-                values[row + 1] = geq_ds
-                values[row + 2] = -(geq_gs + geq_ds)
-                rhs_values[2 + t_idx] = -(
-                    sign * i_now - geq_gs * sign * vgs
-                    - geq_ds * sign * vds
-                )
+        values, rhs_values = self._companion(
+            vgs, vds, didx, ctx.gmin, tran, ctx.dt)
         # Two scatter-adds against the precomputed flat indices; the
         # ground pad row/column absorbs grounded terminals.
         flat_m = ctx.matrix.reshape(-1)
         flat_m += np.bincount(
-            matrix_idx[:n_kinds, didx].ravel(),
+            matrix_idx[:values.shape[0], didx].ravel(),
             weights=values.ravel(), minlength=flat_m.size)
         flat_r = ctx.rhs.reshape(-1)
         flat_r += np.bincount(
             rhs_idx[:rhs_values.shape[0], didx].ravel(),
             weights=rhs_values.ravel(), minlength=flat_r.size)
+
+
+class CNFETSlab(_StackedCNFETBank):
+    """Every fast-backend CNFET of *one* circuit, stamped as a single
+    stacked evaluation per Newton iteration.
+
+    The single-circuit twin of :class:`_CNFETLaneGroup`: above a
+    handful of devices, looping the scalar ``CNFETElement.stamp`` —
+    one Python-level closed-form solve per device per iteration — is
+    what dominates large-circuit assembly, so the two-phase assembler
+    (see :class:`repro.circuit.mna.TwoPhaseAssembler`) hands all fast
+    CNFETs to one slab.  Per iteration the slab gathers every device's
+    bias from the iterate, runs one
+    :class:`~repro.pwl.batch.StackedVscSolver` pass, and lands the
+    companion entries through :meth:`StampContext.add_flat` — a dense
+    bincount scatter-add or a sparse triplet append, depending on the
+    active backend.
+
+    Previous-step terminal charges are recomputed vectorized once per
+    ``begin_step`` from ``x_prev`` (the scalar element memoises the
+    same values per step).  The Jacobian-reuse fast path
+    (``NewtonOptions.jacobian_reuse_tol``) is a scalar-element
+    optimisation and does not apply here — the stacked evaluation is
+    already far cheaper than the re-use bookkeeping it would save.
+    """
+
+    nonlinear = True
+
+    def __init__(self, elements, dim: int, node_index) -> None:
+        self.elements = list(elements)
+        self._init_bank(self.elements)
+        p = len(self.elements)
+        self.dim = dim
+        self._all = np.arange(p)
+        pad = dim  # xp gather pad: x extended with one zero for ground
+        i_d = np.empty(p, dtype=np.intp)
+        i_g = np.empty(p, dtype=np.intp)
+        i_s = np.empty(p, dtype=np.intp)
+        for k, el in enumerate(self.elements):
+            d, g, s = el.nodes
+            i_d[k] = node_index.get(d, pad) if d not in GROUND_NAMES \
+                else pad
+            i_g[k] = node_index.get(g, pad) if g not in GROUND_NAMES \
+                else pad
+            i_s[k] = node_index.get(s, pad) if s not in GROUND_NAMES \
+                else pad
+        self._i_d, self._i_g, self._i_s = i_d, i_g, i_s
+
+        def m_idx(row, col):
+            # Flattened (row, col) with dim*dim as the grounded-entry
+            # discard pad (row/col == dim means ground here).
+            grounded = (row >= dim) | (col >= dim)
+            return np.where(grounded, dim * dim, row * dim + col)
+
+        matrix_rows = [
+            m_idx(i_d, i_g), m_idx(i_s, i_g), m_idx(i_d, i_d),
+            m_idx(i_s, i_s), m_idx(i_d, i_s), m_idx(i_s, i_d),
+            m_idx(i_g, i_g), m_idx(i_g, i_s),
+        ]
+        for it in (i_g, i_d, i_s):
+            matrix_rows.extend(
+                [m_idx(it, i_g), m_idx(it, i_d), m_idx(it, i_s)])
+        self._m_idx = np.stack(matrix_rows)
+        self._r_idx = np.stack([i_d, i_s, i_g, i_d, i_s])
+
+    def reset(self) -> None:
+        """Forget warm-start hints and previous-step charges."""
+        self._bank_reset()
+
+    def _biases(self, x: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        """n-frame (mirrored) per-device VGS/VDS gathered from ``x``."""
+        xp = np.append(x, 0.0)  # ground pad
+        vs = xp[self._i_s]
+        return (self.sign * (xp[self._i_g] - vs),
+                self.sign * (xp[self._i_d] - vs))
+
+    def begin_step(self, ctx: StampContext) -> None:
+        """Refresh the previous-step charge state from ``ctx.x_prev``
+        (transient steps only; DC never reads it)."""
+        if ctx.analysis != "tran" or ctx.dt is None \
+                or ctx.x_prev is None:
+            return
+        vgs, vds = self._biases(ctx.x_prev)
+        qg, qd, qs = self._charges_arrays(vgs, vds, self._all)
+        self.q_prev[0] = qg
+        self.q_prev[1] = qd
+        self.q_prev[2] = qs
+
+    def stamp(self, ctx: StampContext) -> None:
+        """One stacked companion stamp for all devices around
+        ``ctx.x``."""
+        tran = ctx.analysis == "tran" and ctx.dt is not None
+        vgs, vds = self._biases(ctx.x)
+        values, rhs_values = self._companion(
+            vgs, vds, self._all, ctx.gmin, tran, ctx.dt)
+        ctx.add_flat(
+            self._m_idx[:values.shape[0]].ravel(), values.ravel(),
+            self._r_idx[:rhs_values.shape[0]].ravel(),
+            rhs_values.ravel(),
+        )
 
 
 class CNFETElement(Element):

@@ -12,16 +12,31 @@ Assembly is split into two phases per Newton solve:
   into preallocated work buffers and stamps only the nonlinear elements
   (CNFETs, diodes) around the current iterate.
 
-:class:`TwoPhaseAssembler` owns the four buffers and can be reused
-across Newton solves and transient steps, eliminating the per-iteration
-matrix allocations as well.  Robustness aids, in escalation order:
+:class:`TwoPhaseAssembler` owns the buffers and can be reused across
+Newton solves and transient steps, eliminating the per-iteration
+matrix allocations as well.  Two orthogonal scaling layers sit on the
+same two-phase split:
+
+* **Linear-solver backends** (:mod:`repro.circuit.solvers`): the dense
+  path stamps/solves exactly as the engine always has; the sparse
+  path has the elements emit COO triplets through a
+  :class:`~repro.circuit.elements.base.TripletStampContext`, builds
+  the symbolic sparsity pattern (CSC layout) and the static/dynamic
+  scatter index maps
+  once per run (positions depend only on topology and analysis mode —
+  the pattern self-heals if a mode switch changes them), and
+  factorises with SuperLU per Newton iteration.
+* **The CNFET slab** (:class:`~repro.circuit.elements.cnfet.CNFETSlab`):
+  at :data:`CNFET_SLAB_MIN_DEVICES` fast-backend CNFETs and above,
+  all of them evaluate as one stacked closed-form pass per iteration
+  instead of a Python loop of scalar solves.  Circuits below the
+  threshold keep the byte-for-byte historical scalar path.
+
+Robustness aids, in escalation order:
 
 1. per-iteration voltage step damping (clipped to ``max_step`` volts);
 2. gmin stepping (decade sweep of the nonlinear shunt conductance);
 3. source stepping (ramping all independent sources from 0).
-
-Dense numpy is entirely adequate for the circuit sizes this library
-targets (tens to hundreds of nodes).
 """
 
 from __future__ import annotations
@@ -31,9 +46,19 @@ from typing import Optional
 
 import numpy as np
 
-from repro.circuit.elements.base import StampContext
+from repro.circuit.elements.base import StampContext, TripletStampContext
+from repro.circuit.elements.cnfet import CNFETElement, CNFETSlab
 from repro.circuit.netlist import Circuit
+from repro.circuit.solvers import BackendLike, resolve_backend
 from repro.errors import AnalysisError
+from repro.pwl.device import CNFET
+
+#: Fast-backend CNFET count at which the assembler switches from the
+#: per-element scalar stamp loop to the stacked
+#: :class:`~repro.circuit.elements.cnfet.CNFETSlab`.  Below this the
+#: stacked pass's fixed costs are not worth it and the historical
+#: scalar path is kept bit-for-bit.
+CNFET_SLAB_MIN_DEVICES = 16
 
 
 @dataclass(frozen=True)
@@ -101,26 +126,76 @@ class TwoPhaseAssembler:
     Create once per analysis (or let :func:`newton_solve` make a
     throwaway one), call :meth:`begin_step` whenever the step context —
     ``(analysis, time, dt, x_prev, method, source_scale)`` — changes,
-    then :meth:`iterate` per Newton iteration.
+    then :meth:`iterate` per Newton iteration and :meth:`solve` for
+    the linear solve through the active backend.
 
     Elements whose stamp reads the Newton iterate must declare
     ``nonlinear = True`` (the documented contract of
     :attr:`Element.nonlinear`); everything else is stamped once per
     step.
+
+    Parameters
+    ----------
+    circuit : Circuit
+        The circuit to assemble.
+    backend : None, str or LinearSolverBackend
+        Linear-solver backend (see
+        :func:`repro.circuit.solvers.resolve_backend`); ``None`` /
+        ``"auto"`` picks dense below
+        :data:`~repro.circuit.solvers.SPARSE_AUTO_MIN_DIM` unknowns.
+    cnfet_slab : bool, optional
+        Force the stacked CNFET evaluation on/off; default (``None``)
+        enables it at :data:`CNFET_SLAB_MIN_DEVICES` fast-backend
+        devices.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit,
+                 backend: BackendLike = None,
+                 cnfet_slab: Optional[bool] = None) -> None:
         self.circuit = circuit
         n = circuit.dimension()
         self.n = n
+        self.backend = resolve_backend(backend, n)
         self._static = [el for el in circuit.elements if not el.nonlinear]
-        self._dynamic = [el for el in circuit.elements if el.nonlinear]
-        self._static_matrix = np.zeros((n, n))
-        self._static_rhs = np.zeros(n)
-        self._matrix = np.zeros((n, n))
-        self._rhs = np.zeros(n)
-        self._x_static = np.zeros(n)  # placeholder iterate for phase 1
-        self._ctx: Optional[StampContext] = None
+        dynamic = [el for el in circuit.elements if el.nonlinear]
+        slab_els = [
+            el for el in dynamic
+            if isinstance(el, CNFETElement)
+            and isinstance(el.backend.device, CNFET)
+        ]
+        if cnfet_slab is None:
+            cnfet_slab = len(slab_els) >= CNFET_SLAB_MIN_DEVICES
+        if cnfet_slab and slab_els:
+            self.slab: Optional[CNFETSlab] = CNFETSlab(
+                slab_els, n, circuit.node_index)
+            slab_ids = {id(el) for el in slab_els}
+            self._dynamic = [el for el in dynamic
+                             if id(el) not in slab_ids]
+        else:
+            self.slab = None
+            self._dynamic = dynamic
+        if self.backend.is_sparse:
+            self._static_ctx = TripletStampContext(n, circuit.node_index)
+            self._dyn_ctx = TripletStampContext(n, circuit.node_index)
+            #: sorted unique flat matrix positions (the pattern key;
+            #: _indices/_indptr hold its CSC form)
+            self._pattern_flat: Optional[np.ndarray] = None
+            self._indices: Optional[np.ndarray] = None
+            self._indptr: Optional[np.ndarray] = None
+            self._static_flat: Optional[np.ndarray] = None
+            self._static_map: Optional[np.ndarray] = None
+            self._static_data: Optional[np.ndarray] = None
+            self._static_dirty = True
+            self._dyn_flat: Optional[np.ndarray] = None
+            self._dyn_map: Optional[np.ndarray] = None
+            self._begun = False
+        else:
+            self._static_matrix = np.zeros((n, n))
+            self._static_rhs = np.zeros(n)
+            self._matrix = np.zeros((n, n))
+            self._rhs = np.zeros(n)
+            self._x_static = np.zeros(n)  # placeholder for phase 1
+            self._ctx: Optional[StampContext] = None
 
     def begin_step(self, *, analysis: str = "dc",
                    time: Optional[float] = None, dt: Optional[float] = None,
@@ -128,6 +203,23 @@ class TwoPhaseAssembler:
                    gmin: float = 1e-12,
                    source_scale: float = 1.0) -> None:
         """Stamp the static (iterate-independent) part of the system."""
+        if self.backend.is_sparse:
+            ctx = self._static_ctx
+            ctx.clear()
+            ctx.analysis = analysis
+            ctx.time = time
+            ctx.dt = dt
+            ctx.x_prev = x_prev
+            ctx.method = method
+            ctx.gmin = gmin
+            ctx.source_scale = source_scale
+            for el in self._static:
+                el.stamp(ctx)
+            if self.slab is not None:
+                self.slab.begin_step(ctx)
+            self._static_dirty = True
+            self._begun = True
+            return
         ctx = StampContext(
             matrix=self._static_matrix,
             rhs=self._static_rhs,
@@ -145,6 +237,8 @@ class TwoPhaseAssembler:
         self._static_rhs[:] = 0.0
         for el in self._static:
             el.stamp(ctx)
+        if self.slab is not None:
+            self.slab.begin_step(ctx)
         self._ctx = ctx
 
     def iterate(self, x: np.ndarray,
@@ -158,6 +252,27 @@ class TwoPhaseAssembler:
         controlling voltages moved less than the tolerance since its
         last evaluation may restamp from that frozen linearisation.
         """
+        if self.backend.is_sparse:
+            if not self._begun:
+                raise AnalysisError(
+                    "begin_step must be called before iterate")
+            src = self._static_ctx
+            ctx = self._dyn_ctx
+            ctx.clear()
+            ctx.x = x
+            ctx.analysis = src.analysis
+            ctx.time = src.time
+            ctx.dt = src.dt
+            ctx.x_prev = src.x_prev
+            ctx.method = src.method
+            ctx.gmin = src.gmin
+            ctx.source_scale = src.source_scale
+            ctx.reuse_tol = reuse_tol
+            for el in self._dynamic:
+                el.stamp(ctx)
+            if self.slab is not None:
+                self.slab.stamp(ctx)
+            return ctx
         ctx = self._ctx
         if ctx is None:
             raise AnalysisError("begin_step must be called before iterate")
@@ -169,7 +284,75 @@ class TwoPhaseAssembler:
         ctx.reuse_tol = reuse_tol
         for el in self._dynamic:
             el.stamp(ctx)
+        if self.slab is not None:
+            self.slab.stamp(ctx)
         return ctx
+
+    # -- sparse pattern bookkeeping -------------------------------------
+
+    def _rebuild_pattern(self, s_flat: np.ndarray,
+                         d_flat: np.ndarray) -> None:
+        """Symbolic CSC pattern + static/dynamic scatter maps.
+
+        Positions depend only on the topology and the analysis mode
+        (each element emits a fixed entry sequence per mode), so this
+        runs once per run in steady state; a mode switch (dc -> tran
+        adds capacitor and charge-companion entries) is detected by
+        the flat-position comparison in :meth:`_sparse_system` and
+        rebuilds automatically.  The pattern is stored directly in the
+        CSC layout SuperLU consumes and the scatter maps compose the
+        row-major -> column-major permutation, so per-iteration work
+        is two value scatters — no matrix construction or format
+        conversion.
+        """
+        n = self.n
+        union = np.unique(np.concatenate([s_flat, d_flat]))
+        rows = union // n
+        cols = union % n
+        self._pattern_flat = union
+        # union is sorted by (row, col); a stable argsort on the
+        # column takes it to (col, row) — the CSC entry order.
+        perm = np.argsort(cols, kind="stable")
+        self._indices = rows[perm].astype(np.intp)
+        indptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(np.bincount(cols, minlength=n), out=indptr[1:])
+        self._indptr = indptr
+        csc_pos = np.empty(union.size, dtype=np.intp)
+        csc_pos[perm] = np.arange(union.size)
+        self._static_flat = s_flat.copy()
+        self._dyn_flat = d_flat.copy()
+        self._static_map = csc_pos[np.searchsorted(union, s_flat)]
+        self._dyn_map = csc_pos[np.searchsorted(union, d_flat)]
+        self._static_dirty = True
+
+    def _sparse_system(self):
+        """Scatter the recorded triplets into CSC data + rhs."""
+        s_flat, s_val = self._static_ctx.triplets()
+        d_flat, d_val = self._dyn_ctx.triplets()
+        if (self._pattern_flat is None
+                or self._static_flat.size != s_flat.size
+                or self._dyn_flat.size != d_flat.size
+                or not np.array_equal(s_flat, self._static_flat)
+                or not np.array_equal(d_flat, self._dyn_flat)):
+            self._rebuild_pattern(s_flat, d_flat)
+        nnz = self._pattern_flat.size
+        if self._static_dirty:
+            self._static_data = np.bincount(
+                self._static_map, weights=s_val, minlength=nnz)
+            self._static_dirty = False
+        data = self._static_data + np.bincount(
+            self._dyn_map, weights=d_val, minlength=nnz)
+        rhs = self._static_ctx.rhs + self._dyn_ctx.rhs
+        return data, rhs
+
+    def solve(self) -> np.ndarray:
+        """Solve the assembled system through the active backend
+        (raises :class:`~repro.errors.AnalysisError` when singular)."""
+        if self.backend.is_sparse:
+            data, rhs = self._sparse_system()
+            return self.backend.solve_csc(
+                self.n, data, self._indices, self._indptr, rhs)
+        return self.backend.solve_dense(self._matrix, self._rhs)
 
 
 def newton_solve(circuit: Circuit, x0: np.ndarray,
@@ -180,19 +363,21 @@ def newton_solve(circuit: Circuit, x0: np.ndarray,
                  gmin: Optional[float] = None,
                  source_scale: float = 1.0,
                  assembler: Optional[TwoPhaseAssembler] = None,
-                 stats: Optional[dict] = None) -> np.ndarray:
+                 stats: Optional[dict] = None,
+                 backend: BackendLike = None) -> np.ndarray:
     """Damped Newton iteration; raises :class:`AnalysisError` on failure.
 
     Pass a reusable ``assembler`` (transient does, once per analysis) to
-    amortise buffer allocation across steps.  When a ``stats`` dict is
-    supplied, ``"iterations"`` and ``"solves"`` counters are accumulated
-    into it (the benchmark report reads them).
+    amortise buffer allocation across steps; ``backend`` selects the
+    linear-solver backend when no assembler is given.  When a ``stats``
+    dict is supplied, ``"iterations"`` and ``"solves"`` counters are
+    accumulated into it (the benchmark report reads them).
     """
     x = x0.copy()
     n_nodes = len(circuit.node_index)
     use_gmin = options.gmin if gmin is None else gmin
     if assembler is None:
-        assembler = TwoPhaseAssembler(circuit)
+        assembler = TwoPhaseAssembler(circuit, backend=backend)
     assembler.begin_step(
         analysis=analysis, time=time, dt=dt, x_prev=x_prev, method=method,
         gmin=use_gmin, source_scale=source_scale,
@@ -206,17 +391,11 @@ def newton_solve(circuit: Circuit, x0: np.ndarray,
     iterations = 0
     try:
         for iterations in range(1, options.max_iterations + 1):
-            ctx = assembler.iterate(
+            assembler.iterate(
                 x,
                 reuse_tol if iterations <= stall_cap else 0.0,
             )
-            try:
-                x_new = np.linalg.solve(ctx.matrix, ctx.rhs)
-            except np.linalg.LinAlgError as exc:
-                raise AnalysisError(
-                    f"singular MNA matrix ({exc}); check for floating "
-                    f"nodes"
-                ) from exc
+            x_new = assembler.solve()
             delta = x_new - x
             # Damp voltage unknowns only; branch currents may move
             # freely.
@@ -243,13 +422,17 @@ def newton_solve(circuit: Circuit, x0: np.ndarray,
 
 def robust_dc_solve(circuit: Circuit, x0: Optional[np.ndarray] = None,
                     options: NewtonOptions = NewtonOptions(),
-                    assembler: Optional[TwoPhaseAssembler] = None
-                    ) -> np.ndarray:
-    """DC solve with gmin/source-stepping fallbacks."""
+                    assembler: Optional[TwoPhaseAssembler] = None,
+                    backend: BackendLike = None) -> np.ndarray:
+    """DC solve with gmin/source-stepping fallbacks.
+
+    ``backend`` selects the linear-solver backend when no reusable
+    ``assembler`` is supplied.
+    """
     n = circuit.dimension()
     x_start = np.zeros(n) if x0 is None else x0.copy()
     if assembler is None:
-        assembler = TwoPhaseAssembler(circuit)
+        assembler = TwoPhaseAssembler(circuit, backend=backend)
     try:
         return newton_solve(circuit, x_start, options, analysis="dc",
                             assembler=assembler)

@@ -1,11 +1,35 @@
-"""Circuit container: elements, nodes, system dimensioning."""
+"""Circuit container, hierarchical subcircuits, system dimensioning.
+
+Two layers live here:
+
+* :class:`Circuit` — the flat netlist the analyses consume: a list of
+  elements, implicit nodes, matrix-index assignment.
+* :class:`SubCircuit` / :class:`Instance` — the hierarchy front end.
+  A ``SubCircuit`` is a reusable block with an ordered port list,
+  containing elements and instances of other subcircuits;
+  :meth:`SubCircuit.instantiate` *flattens* it into an existing
+  ``Circuit``.  Flattening binds ports to parent nets, prefixes every
+  internal net and element name with the dot-separated instance path
+  (``Xadd0.Xfa1.carry``), and raises
+  :class:`~repro.errors.ParameterError` instead of silently merging
+  when a generated hierarchical name collides with a pre-existing net.
+
+Node matrix indices are assigned in sorted-name order (insertion-
+stable for ties is moot — names are unique), so the index map depends
+only on the *set* of nets, not on element insertion order: a
+hierarchical circuit and its manually flattened equivalent get
+bit-identical systems.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.circuit.elements.base import GROUND_NAMES, Element
-from repro.errors import NetlistError
+from repro.errors import NetlistError, ParameterError
+
+#: Separator of hierarchical instance paths (``Xadd0.Xfa1.carry``).
+HIER_SEP = "."
 
 
 class Circuit:
@@ -21,6 +45,10 @@ class Circuit:
         self.elements: List[Element] = []
         self._by_name: Dict[str, Element] = {}
         self.node_index: Dict[str, int] = {}
+        #: incrementally maintained non-ground net set (kept so
+        #: ``nodes`` and the flattening collision check never have to
+        #: re-scan every element's terminals)
+        self._node_set: Set[str] = set()
         self._n_aux = 0
         self._dimensioned = False
 
@@ -33,6 +61,9 @@ class Circuit:
             raise NetlistError(f"duplicate element name {element.name!r}")
         self._by_name[key] = element
         self.elements.append(element)
+        for node in element.nodes:
+            if node not in GROUND_NAMES:
+                self._node_set.add(node)
         self._dimensioned = False
         return element
 
@@ -50,13 +81,14 @@ class Circuit:
 
     @property
     def nodes(self) -> List[str]:
-        """All non-ground nodes, in first-appearance order."""
-        seen: Dict[str, None] = {}
-        for el in self.elements:
-            for node in el.nodes:
-                if node not in GROUND_NAMES and node not in seen:
-                    seen[node] = None
-        return list(seen)
+        """All non-ground nodes, sorted by name.
+
+        Sorted order makes index assignment a function of the net
+        *set* alone: circuits built in different element orders (e.g.
+        a flattened hierarchy vs. its hand-built equivalent) receive
+        identical matrix layouts.
+        """
+        return sorted(self._node_set)
 
     def dimension(self) -> int:
         """Assign matrix indices; returns the system size.
@@ -108,4 +140,214 @@ class Circuit:
         return (
             f"Circuit({self.title!r}, {len(self.elements)} elements, "
             f"{self.n_nodes} nodes)"
+        )
+
+
+class Instance:
+    """A named binding of a :class:`SubCircuit`'s ports to parent nets.
+
+    ``connections[i]`` is the parent-scope net bound to
+    ``subcircuit.ports[i]`` — a port of the enclosing subcircuit, an
+    internal net, or ground.
+    """
+
+    def __init__(self, name: str, subcircuit: "SubCircuit",
+                 connections: Sequence[str]) -> None:
+        if not name:
+            raise ParameterError("instance name must be non-empty")
+        if HIER_SEP in name:
+            raise ParameterError(
+                f"instance name {name!r} must not contain "
+                f"{HIER_SEP!r} (the hierarchy separator)"
+            )
+        connections = tuple(connections)
+        if len(connections) != len(subcircuit.ports):
+            raise ParameterError(
+                f"instance {name!r} of {subcircuit.name!r}: "
+                f"{len(connections)} connections for "
+                f"{len(subcircuit.ports)} ports {subcircuit.ports}"
+            )
+        if not all(connections):
+            raise ParameterError(
+                f"instance {name!r}: empty net name in connections"
+            )
+        self.name = name
+        self.subcircuit = subcircuit
+        self.connections = connections
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Instance({self.name!r}, {self.subcircuit.name!r}, "
+                f"{self.connections})")
+
+
+class SubCircuit:
+    """A reusable hierarchical block with an ordered port list.
+
+    A definition holds prototype elements (node names are ports,
+    internal nets, or ground) and nested :class:`Instance` records.
+    :meth:`instantiate` flattens the whole tree into a target
+    :class:`Circuit`: element clones get the dot-separated instance
+    path as a name prefix, internal nets get the same prefix
+    (``Xadd0.Xfa1.carry``), port references resolve to the parent
+    nets, and ground stays ground at every level.
+    """
+
+    def __init__(self, name: str, ports: Sequence[str]) -> None:
+        if not name:
+            raise ParameterError("subcircuit name must be non-empty")
+        ports = tuple(ports)
+        if not ports:
+            raise ParameterError(
+                f"subcircuit {name!r} needs at least one port"
+            )
+        seen = set()
+        for port in ports:
+            if not port:
+                raise ParameterError(
+                    f"subcircuit {name!r}: empty port name")
+            if port in GROUND_NAMES:
+                raise ParameterError(
+                    f"subcircuit {name!r}: port {port!r} is a ground "
+                    f"name; ground is global, not a port"
+                )
+            if HIER_SEP in port:
+                raise ParameterError(
+                    f"subcircuit {name!r}: port {port!r} must not "
+                    f"contain {HIER_SEP!r} (the hierarchy separator)"
+                )
+            if port in seen:
+                raise ParameterError(
+                    f"subcircuit {name!r}: duplicate port {port!r}")
+            seen.add(port)
+        self.name = name
+        self.ports = ports
+        self.elements: List[Element] = []
+        self.instances: List[Instance] = []
+        self._names: Set[str] = set()
+
+    def _claim_name(self, name: str, kind: str) -> None:
+        key = name.lower()
+        if key in self._names:
+            raise NetlistError(
+                f"subcircuit {self.name!r}: duplicate {kind} name "
+                f"{name!r}"
+            )
+        self._names.add(key)
+
+    def _check_scope_net(self, net: str, owner: str) -> None:
+        # Definition-scope nets must be separator-free: generated
+        # hierarchical names then decompose uniquely into
+        # (instance path, local net), so two distinct nets can never
+        # flatten to the same name (top-level nets, which may be
+        # dotted, are guarded separately by the instantiate-time
+        # collision set).
+        if HIER_SEP in net and net not in GROUND_NAMES:
+            raise ParameterError(
+                f"subcircuit {self.name!r}: {owner} references net "
+                f"{net!r}; nets inside a definition must not contain "
+                f"{HIER_SEP!r} (the hierarchy separator)"
+            )
+
+    def add(self, element: Element) -> Element:
+        """Add a prototype element (returns it for chaining)."""
+        self._claim_name(element.name, "element")
+        for net in element.nodes:
+            self._check_scope_net(net, f"element {element.name!r}")
+        self.elements.append(element)
+        return element
+
+    def add_instance(self, instance: Instance) -> Instance:
+        """Add a nested subcircuit instance."""
+        self._claim_name(instance.name, "instance")
+        for net in instance.connections:
+            self._check_scope_net(net, f"instance {instance.name!r}")
+        self.instances.append(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+
+    def instantiate(self, circuit: Circuit, name: str,
+                    connections: Sequence[str]) -> None:
+        """Flatten this subcircuit into ``circuit`` as instance
+        ``name`` with its ports bound to ``connections``.
+
+        Raises
+        ------
+        ParameterError
+            On port/connection count mismatch, on recursive
+            definitions, or when a generated hierarchical net name
+            collides with a net that already exists in ``circuit``
+            (silent merging would quietly short two nets).
+        NetlistError
+            When a flattened element name is already taken.
+        """
+        instance = Instance(name, self, connections)  # validates
+        # Nets that generated hierarchical names must not merge with:
+        # everything already in the circuit plus the connection nets
+        # themselves (a connection may name a net that does not exist
+        # in the circuit yet).  Snapshot the incrementally maintained
+        # set — the live one grows as this very expansion adds
+        # elements, and an internal net must be free to be referenced
+        # more than once.
+        taken = set(circuit._node_set)
+        taken.update(n for n in instance.connections
+                     if n not in GROUND_NAMES)
+        self._expand(circuit, instance.name,
+                     dict(zip(self.ports, instance.connections)),
+                     taken, ())
+        circuit._dimensioned = False
+
+    def _expand(self, circuit: Circuit, path: str,
+                binding: Dict[str, str], taken: Set[str],
+                stack: Tuple["SubCircuit", ...]) -> None:
+        # Cycle detection is by definition *identity*: two distinct
+        # definitions may legitimately share a name along one path.
+        if any(ancestor is self for ancestor in stack):
+            chain = " -> ".join(
+                s.name for s in stack + (self,))
+            raise ParameterError(
+                f"recursive subcircuit definition: {chain}"
+            )
+        stack = stack + (self,)
+
+        def map_node(node: str) -> str:
+            if node in GROUND_NAMES:
+                return node
+            bound = binding.get(node)
+            if bound is not None:
+                return bound
+            internal = f"{path}{HIER_SEP}{node}"
+            if internal in taken:
+                raise ParameterError(
+                    f"flattening {path!r} ({self.name}): internal net "
+                    f"{internal!r} collides with an existing net; "
+                    f"rename the conflicting top-level net or instance"
+                )
+            return internal
+
+        for el in self.elements:
+            clone = el.clone(f"{path}{HIER_SEP}{el.name}",
+                             [map_node(n) for n in el.nodes])
+            try:
+                circuit.add(clone)
+            except NetlistError as exc:
+                raise NetlistError(
+                    f"flattening {path!r} ({self.name}): {exc}"
+                ) from exc
+        for inst in self.instances:
+            child_binding = {
+                port: map_node(net)
+                for port, net in zip(inst.subcircuit.ports,
+                                     inst.connections)
+            }
+            inst.subcircuit._expand(
+                circuit, f"{path}{HIER_SEP}{inst.name}",
+                child_binding, taken, stack,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SubCircuit({self.name!r}, ports={self.ports}, "
+            f"{len(self.elements)} elements, "
+            f"{len(self.instances)} instances)"
         )

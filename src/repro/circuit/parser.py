@@ -11,21 +11,40 @@ continuations):
 ``D<name> a c [is=..] [n=..]``   diode
 ``Q<name> d g s model [l=30n] [polarity=n|p]``  CNFET instance
 ``.model <name> cnfet [param=value ...]``       CNFET model card
+``.subckt <name> port [port ...]``              begin definition
+``.ends [name]``                                end definition
+``X<name> net [net ...] <subckt>``              subcircuit instance
+``X<name> d g s model [l=30n]``                 CNFET (legacy X form)
 ``.dc <source> start stop points``
 ``.tran tstep tstop [method]``
 ``.end``
 
+Hierarchy: ``.subckt`` bodies may contain element cards and ``X``
+instances of other subcircuits (nested to any depth; definitions
+themselves do not nest).  Top-level ``X`` instances are flattened into
+the returned circuit with dot-separated hierarchical names
+(``Xadd0.Xfa1.carry`` — see
+:class:`repro.circuit.netlist.SubCircuit`); errors raised during
+flattening carry the line number of the offending ``X`` card.  An
+``X`` card is a subcircuit instance when its last bare token names a
+``.subckt`` (which wins over a same-named ``.model``), a CNFET
+instance when its fifth token names a ``.model``.
+
+Duplicate element/instance names within one scope are rejected at
+parse time with both line numbers (continuation-joined cards report
+the line the card started on).
+
 The parser returns a :class:`ParsedDeck` holding the circuit plus any
-analysis directives.  CNFET model cards accept the
-:class:`repro.reference.fettoy.FETToyParameters` field names plus
-``model=model1|model2``.
+analysis directives, models and subcircuit definitions.  CNFET model
+cards accept the :class:`repro.reference.fettoy.FETToyParameters`
+field names plus ``model=model1|model2``.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.circuit.elements import (
     Capacitor,
@@ -36,9 +55,9 @@ from repro.circuit.elements import (
     Resistor,
     VoltageSource,
 )
-from repro.circuit.netlist import Circuit
+from repro.circuit.netlist import Circuit, Instance, SubCircuit
 from repro.circuit.waveforms import DC, Pulse, PWLWaveform, Sine, Waveform
-from repro.errors import ParseError
+from repro.errors import ParseError, ReproError
 from repro.pwl.device import CNFET
 from repro.reference.fettoy import FETToyParameters
 from repro.units import parse_spice_number
@@ -59,6 +78,7 @@ class ParsedDeck:
     circuit: Circuit
     analyses: List[AnalysisDirective]
     models: Dict[str, CNFET]
+    subcircuits: Dict[str, SubCircuit] = field(default_factory=dict)
 
 
 _FLOAT_FIELDS = {
@@ -127,21 +147,116 @@ def _keyword_args(tokens: List[str]) -> Dict[str, str]:
     return out
 
 
+def _add_cnfet(target: Union[Circuit, SubCircuit], tokens: List[str],
+               models: Dict[str, CNFET], number: int,
+               line: str) -> None:
+    """Resolve one CNFET instance card into ``target``."""
+    device = models.get(tokens[4].lower())
+    if device is None:
+        raise ParseError(
+            f"unknown CNFET model {tokens[4]!r}",
+            line_number=number, line=line,
+        )
+    kwargs = _keyword_args(tokens[5:])
+    length_nm = (parse_spice_number(kwargs["l"]) * 1e9
+                 if "l" in kwargs else 30.0)
+    polarity = kwargs.get("polarity")
+    try:
+        target.add(CNFETElement(
+            tokens[0], tokens[1], tokens[2], tokens[3],
+            device=device, length_nm=length_nm, polarity=polarity,
+        ))
+    except ReproError as exc:
+        raise ParseError(str(exc), line_number=number, line=line) from exc
+
+
 def parse_netlist(text: str, title: str = "") -> ParsedDeck:
     """Parse a netlist deck; see module docstring for the dialect."""
     circuit = Circuit(title)
     analyses: List[AnalysisDirective] = []
     models: Dict[str, CNFET] = {}
-    pending_cnfets: List[Tuple[int, str, List[str]]] = []
+    subcircuits: Dict[str, SubCircuit] = {}
+    #: cards resolved after the whole deck is read:
+    #: (line number, raw line, tokens, enclosing SubCircuit or None)
+    pending_cnfets: List[Tuple[int, str, List[str],
+                               Optional[SubCircuit]]] = []
+    pending_x: List[Tuple[int, str, List[str],
+                          Optional[SubCircuit]]] = []
+    current: Optional[SubCircuit] = None
+    current_line = 0
+    #: per-scope duplicate tracking (scope id -> name -> first line)
+    seen_names: Dict[int, Dict[str, int]] = {}
+
+    def claim_name(name: str, number: int, line: str) -> None:
+        scope = seen_names.setdefault(
+            0 if current is None else id(current), {})
+        key = name.lower()
+        first = scope.get(key)
+        if first is not None:
+            raise ParseError(
+                f"duplicate element name {name!r} (first defined at "
+                f"line {first})",
+                line_number=number, line=line,
+            )
+        scope[key] = number
 
     for number, line in _join_continuations(text):
         tokens = line.split()
         head = tokens[0]
         lower = head.lower()
+        target: Union[Circuit, SubCircuit] = \
+            circuit if current is None else current
         try:
-            if lower.startswith(".model"):
+            if lower == ".subckt":
+                if current is not None:
+                    raise ParseError(
+                        f"nested .subckt definitions are not supported "
+                        f"(inside {current.name!r} from line "
+                        f"{current_line})",
+                        line_number=number, line=line,
+                    )
+                if len(tokens) < 3:
+                    raise ParseError(
+                        ".subckt needs: name port [port ...]",
+                        line_number=number, line=line,
+                    )
+                if tokens[1].lower() in subcircuits:
+                    raise ParseError(
+                        f"duplicate subcircuit {tokens[1]!r}",
+                        line_number=number, line=line,
+                    )
+                current = SubCircuit(tokens[1], tokens[2:])
+                current_line = number
+                subcircuits[tokens[1].lower()] = current
+            elif lower == ".ends":
+                if current is None:
+                    raise ParseError(
+                        ".ends without a matching .subckt",
+                        line_number=number, line=line,
+                    )
+                if len(tokens) > 1 \
+                        and tokens[1].lower() != current.name.lower():
+                    raise ParseError(
+                        f".ends {tokens[1]!r} does not match .subckt "
+                        f"{current.name!r} (line {current_line})",
+                        line_number=number, line=line,
+                    )
+                current = None
+            elif lower.startswith(".model"):
+                if current is not None:
+                    raise ParseError(
+                        ".model cards are global; define them outside "
+                        ".subckt",
+                        line_number=number, line=line,
+                    )
                 _parse_model_card(tokens, models, number, line)
             elif lower == ".dc":
+                if current is not None:
+                    raise ParseError(
+                        "analysis directives are not allowed inside "
+                        ".subckt",
+                        line_number=number, line=line,
+                    )
                 if len(tokens) != 5:
                     raise ParseError(
                         ".dc needs: source start stop points",
@@ -157,6 +272,12 @@ def parse_netlist(text: str, title: str = "") -> ParsedDeck:
                     },
                 ))
             elif lower == ".tran":
+                if current is not None:
+                    raise ParseError(
+                        "analysis directives are not allowed inside "
+                        ".subckt",
+                        line_number=number, line=line,
+                    )
                 if len(tokens) < 3:
                     raise ParseError(
                         ".tran needs: tstep tstop [method]",
@@ -178,39 +299,55 @@ def parse_netlist(text: str, title: str = "") -> ParsedDeck:
                     line_number=number, line=line,
                 )
             elif lower[0] == "r":
-                circuit.add(Resistor(head, tokens[1], tokens[2],
-                                     parse_spice_number(tokens[3])))
+                claim_name(head, number, line)
+                target.add(Resistor(head, tokens[1], tokens[2],
+                                    parse_spice_number(tokens[3])))
             elif lower[0] == "c":
+                claim_name(head, number, line)
                 kwargs = _keyword_args(tokens[4:])
                 ic = (parse_spice_number(kwargs["ic"])
                       if "ic" in kwargs else None)
-                circuit.add(Capacitor(head, tokens[1], tokens[2],
-                                      parse_spice_number(tokens[3]), ic=ic))
+                target.add(Capacitor(head, tokens[1], tokens[2],
+                                     parse_spice_number(tokens[3]), ic=ic))
             elif lower[0] == "l":
-                circuit.add(Inductor(head, tokens[1], tokens[2],
-                                     parse_spice_number(tokens[3])))
+                claim_name(head, number, line)
+                target.add(Inductor(head, tokens[1], tokens[2],
+                                    parse_spice_number(tokens[3])))
             elif lower[0] == "v":
+                claim_name(head, number, line)
                 wave = _parse_waveform(tokens[3:], line)
-                circuit.add(VoltageSource(head, tokens[1], tokens[2], wave))
+                target.add(VoltageSource(head, tokens[1], tokens[2], wave))
             elif lower[0] == "i":
+                claim_name(head, number, line)
                 wave = _parse_waveform(tokens[3:], line)
-                circuit.add(CurrentSource(head, tokens[1], tokens[2], wave))
+                target.add(CurrentSource(head, tokens[1], tokens[2], wave))
             elif lower[0] == "d":
+                claim_name(head, number, line)
                 kwargs = _keyword_args(tokens[3:])
-                circuit.add(Diode(
+                target.add(Diode(
                     head, tokens[1], tokens[2],
                     saturation_current=parse_spice_number(
                         kwargs.get("is", "1e-14")),
                     emission_coefficient=parse_spice_number(
                         kwargs.get("n", "1")),
                 ))
-            elif lower[0] in ("q", "x", "m"):
+            elif lower[0] in ("q", "m"):
                 if len(tokens) < 5:
                     raise ParseError(
                         "CNFET instance needs: d g s model",
                         line_number=number, line=line,
                     )
-                pending_cnfets.append((number, line, tokens))
+                claim_name(head, number, line)
+                pending_cnfets.append((number, line, tokens, current))
+            elif lower[0] == "x":
+                if len(tokens) < 3:
+                    raise ParseError(
+                        "X card needs: net [net ...] subckt | d g s "
+                        "model",
+                        line_number=number, line=line,
+                    )
+                claim_name(head, number, line)
+                pending_x.append((number, line, tokens, current))
             else:
                 raise ParseError(
                     f"unrecognised element {head!r}",
@@ -221,24 +358,63 @@ def parse_netlist(text: str, title: str = "") -> ParsedDeck:
         except (IndexError, ValueError) as exc:
             raise ParseError(str(exc), line_number=number, line=line) from exc
 
-    # CNFET instances resolve after all .model cards are read.
-    for number, line, tokens in pending_cnfets:
-        model_name = tokens[4].lower()
-        device = models.get(model_name)
-        if device is None:
+    if current is not None:
+        raise ParseError(
+            f"unterminated .subckt {current.name!r} (missing .ends)",
+            line_number=current_line,
+        )
+
+    # Q/M CNFET instances resolve once all .model cards are read.
+    for number, line, tokens, scope in pending_cnfets:
+        _add_cnfet(circuit if scope is None else scope, tokens, models,
+                   number, line)
+    # X cards: a subcircuit instance when the last bare token names a
+    # .subckt, a legacy CNFET instance when token 5 names a .model.
+    # Nested instances register into their definitions first; the
+    # top-level ones flatten afterwards, so in-body X cards may
+    # reference subcircuits defined anywhere in the deck.
+    top_instances: List[Tuple[int, str, str, SubCircuit, List[str]]] = []
+    for number, line, tokens, scope in pending_x:
+        bare = [t for t in tokens[1:] if "=" not in t]
+        sub = subcircuits.get(bare[-1].lower()) if bare else None
+        if sub is not None:
+            if len(bare) != len(tokens) - 1:
+                raise ParseError(
+                    "subcircuit instances take no key=value "
+                    "parameters",
+                    line_number=number, line=line,
+                )
+            nets = bare[:-1]
+            try:
+                if scope is None:
+                    # Validation happens in sub.instantiate (below),
+                    # whose errors carry this card's line number.
+                    top_instances.append(
+                        (number, line, tokens[0], sub, nets))
+                else:
+                    scope.add_instance(Instance(tokens[0], sub, nets))
+            except ReproError as exc:
+                raise ParseError(
+                    str(exc), line_number=number, line=line) from exc
+        elif len(tokens) >= 5 and tokens[4].lower() in models:
+            _add_cnfet(circuit if scope is None else scope, tokens,
+                       models, number, line)
+        else:
+            last = bare[-1] if bare else "?"
+            fifth = tokens[4] if len(tokens) > 4 else "?"
             raise ParseError(
-                f"unknown CNFET model {tokens[4]!r}",
+                f"{tokens[0]!r}: {last!r} names no .subckt and "
+                f"{fifth!r} names no .model",
                 line_number=number, line=line,
             )
-        kwargs = _keyword_args(tokens[5:])
-        length_nm = (parse_spice_number(kwargs["l"]) * 1e9
-                     if "l" in kwargs else 30.0)
-        polarity = kwargs.get("polarity")
-        circuit.add(CNFETElement(
-            tokens[0], tokens[1], tokens[2], tokens[3],
-            device=device, length_nm=length_nm, polarity=polarity,
-        ))
-    return ParsedDeck(circuit=circuit, analyses=analyses, models=models)
+    for number, line, name, sub, nets in top_instances:
+        try:
+            sub.instantiate(circuit, name, nets)
+        except ReproError as exc:
+            raise ParseError(
+                str(exc), line_number=number, line=line) from exc
+    return ParsedDeck(circuit=circuit, analyses=analyses, models=models,
+                      subcircuits=subcircuits)
 
 
 def _parse_model_card(tokens: List[str], models: Dict[str, CNFET],

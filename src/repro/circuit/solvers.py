@@ -1,0 +1,256 @@
+"""Pluggable linear-solver backends for the MNA engine.
+
+Every analysis solves ``A x = z`` systems produced by the two-phase
+assembler.  Historically that solve was a hard-wired dense
+``np.linalg.solve`` — adequate for tens of nodes, cubic-wall-time
+suicide for the thousand-node blocks the hierarchy layer can now
+build.  This module abstracts the solve (and, for the sparse backend,
+the matrix *representation*) behind :class:`LinearSolverBackend`:
+
+* :class:`DenseBackend` — the historical path, byte-for-byte: dense
+  preallocated stamping buffers, ``np.linalg.solve``.  Fastest below a
+  couple hundred unknowns where LAPACK's constant factors win.
+* :class:`SparseBackend` — the assembler emits COO triplets instead of
+  writing a dense matrix, the symbolic sparsity pattern (stored in
+  the CSC layout SuperLU consumes) and the static/dynamic scatter
+  index maps are built **once per run** (they only depend on the
+  circuit topology and the analysis mode, mirroring the
+  static/dynamic split of the two-phase assembler), and each Newton
+  iteration scatters values and factorises with
+  ``scipy.sparse.linalg.splu``.  When scipy is absent the same
+  triplets are scattered into a dense matrix and solved with pure
+  numpy, so the backend stays importable and correct everywhere.
+
+:func:`resolve_backend` picks a backend: explicit ``"dense"`` /
+``"sparse"`` strings (or instances) are honoured, ``"auto"`` /
+``None`` selects sparse at or above :data:`SPARSE_AUTO_MIN_DIM`
+unknowns when scipy is importable — the measured dense/sparse
+crossover for MNA-shaped matrices on this codebase's workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import AnalysisError, ParameterError
+
+try:  # pragma: no cover - exercised via the scipy-absent fallback test
+    from scipy.sparse import csc_matrix
+    from scipy.sparse.linalg import splu
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    csc_matrix = None
+    splu = None
+    HAVE_SCIPY = False
+
+__all__ = [
+    "LinearSolverBackend",
+    "DenseBackend",
+    "SparseBackend",
+    "resolve_backend",
+    "SPARSE_AUTO_MIN_DIM",
+    "HAVE_SCIPY",
+]
+
+#: ``"auto"`` switches from dense to sparse at this system dimension.
+#: Measured crossover for this engine's MNA matrices: a dense
+#: ``np.linalg.solve`` beats SuperLU below ~250 unknowns (LAPACK
+#: constant factors), loses by an order of magnitude at 800+.
+SPARSE_AUTO_MIN_DIM = 256
+
+
+class LinearSolverBackend:
+    """Interface of a linear-solver backend.
+
+    A backend owns the *solve* of the assembled MNA system; the sparse
+    backend additionally changes how the assembler represents the
+    matrix (COO triplets instead of a dense buffer — see
+    :class:`repro.circuit.mna.TwoPhaseAssembler`).  Backends are
+    stateless across solves and may be shared between assemblers.
+    """
+
+    #: registry name (``"dense"`` / ``"sparse"``)
+    name: str = "?"
+    #: True when the assembler should emit COO triplets for this
+    #: backend instead of stamping a dense matrix.
+    is_sparse: bool = False
+
+    def solve_dense(self, matrix: np.ndarray, rhs: np.ndarray
+                    ) -> np.ndarray:
+        """Solve one dense system (raises
+        :class:`~repro.errors.AnalysisError` when singular)."""
+        raise NotImplementedError
+
+    def solve_csc(self, n: int, data: np.ndarray, indices: np.ndarray,
+                  indptr: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve one CSC-represented system (sparse assembly path).
+
+        The assembler hands over its cached symbolic structure
+        (``indices``/``indptr``, constant per run) with a freshly
+        scattered ``data`` vector — already in the column-major order
+        SuperLU consumes, so no format conversion happens here.
+        """
+        raise NotImplementedError
+
+    def solve_stacked(self, matrices: np.ndarray, rhs: np.ndarray
+                      ) -> np.ndarray:
+        """Solve a ``(B, n, n)`` stack of dense systems lane by lane.
+
+        Singular lanes come back as NaN rows (the lane-batched engine
+        routes non-finite lanes through its per-lane failure path)
+        rather than poisoning the whole stack.
+        """
+        raise NotImplementedError
+
+
+def _nan_fill_singular(matrices: np.ndarray, rhs: np.ndarray
+                       ) -> np.ndarray:
+    """Per-lane dense solves with NaN rows for singular lanes."""
+    out = np.empty_like(rhs)
+    for i in range(matrices.shape[0]):
+        try:
+            out[i] = np.linalg.solve(matrices[i], rhs[i])
+        except np.linalg.LinAlgError:
+            out[i] = np.nan
+    return out
+
+
+class DenseBackend(LinearSolverBackend):
+    """Dense LAPACK solves on the assembler's preallocated buffers.
+
+    The historical engine behaviour, byte for byte — every analysis
+    that predates the backend layer ran exactly this path.
+    """
+
+    name = "dense"
+    is_sparse = False
+
+    def solve_dense(self, matrix: np.ndarray, rhs: np.ndarray
+                    ) -> np.ndarray:
+        """``np.linalg.solve`` with the singular-matrix diagnosis."""
+        try:
+            return np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise AnalysisError(
+                f"singular MNA matrix ({exc}); check for floating nodes"
+            ) from exc
+
+    def solve_stacked(self, matrices: np.ndarray, rhs: np.ndarray
+                      ) -> np.ndarray:
+        """One batched LAPACK call; singular lanes re-solved one by
+        one so a single bad lane cannot fail the stack."""
+        try:
+            return np.linalg.solve(matrices, rhs[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError:
+            return _nan_fill_singular(matrices, rhs)
+
+
+class SparseBackend(LinearSolverBackend):
+    """SuperLU factorisation of the triplet-assembled CSC system.
+
+    The assembler hands over the (per-run constant) CSC pattern plus a
+    freshly scattered data vector each Newton iteration;
+    ``scipy.sparse.linalg.splu`` factorises and solves.  Without scipy
+    the triplets are scattered into a dense matrix and solved with
+    numpy — same answers, none of the asymptotic win, zero hard
+    dependency.
+    """
+
+    name = "sparse"
+    is_sparse = True
+
+    def solve_csc(self, n: int, data: np.ndarray, indices: np.ndarray,
+                  indptr: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Factorise-and-solve one CSC system."""
+        if not HAVE_SCIPY:  # pure-numpy fallback: scatter dense
+            matrix = np.zeros((n, n), dtype=data.dtype)
+            for col in range(n):
+                matrix[indices[indptr[col]:indptr[col + 1]], col] = \
+                    data[indptr[col]:indptr[col + 1]]
+            return DenseBackend().solve_dense(matrix, rhs)
+        try:
+            lu = splu(csc_matrix(
+                (data, indices, indptr), shape=(n, n)))
+            return lu.solve(rhs)
+        except RuntimeError as exc:  # "Factor is exactly singular"
+            raise AnalysisError(
+                f"singular MNA matrix ({exc}); check for floating nodes"
+            ) from exc
+
+    def solve_dense(self, matrix: np.ndarray, rhs: np.ndarray
+                    ) -> np.ndarray:
+        """Dense systems still solve (AC hands the backend dense
+        ``G``/``C`` buffers); scipy converts, numpy falls back."""
+        if not HAVE_SCIPY:
+            return DenseBackend().solve_dense(matrix, rhs)
+        try:
+            lu = splu(csc_matrix(matrix))
+            return lu.solve(rhs)
+        except RuntimeError as exc:
+            raise AnalysisError(
+                f"singular MNA matrix ({exc}); check for floating nodes"
+            ) from exc
+
+    def solve_stacked(self, matrices: np.ndarray, rhs: np.ndarray
+                      ) -> np.ndarray:
+        """Per-lane SuperLU solves of a dense-stamped stack.
+
+        The lane-batched engine stamps dense stacks (vectorized
+        scatter-adds need rectangular buffers); converting one lane's
+        ``(n, n)`` buffer to CSC is O(n^2) against the O(n^3) dense
+        solve it replaces, so the conversion pays for itself from a
+        few hundred unknowns — exactly where :func:`resolve_backend`
+        starts picking this backend.
+        """
+        if not HAVE_SCIPY:
+            return DenseBackend().solve_stacked(matrices, rhs)
+        out = np.empty_like(rhs)
+        for i in range(matrices.shape[0]):
+            try:
+                out[i] = splu(csc_matrix(matrices[i])).solve(rhs[i])
+            except RuntimeError:
+                out[i] = np.nan
+        return out
+
+
+_DENSE = DenseBackend()
+_SPARSE = SparseBackend()
+
+BackendLike = Union[None, str, LinearSolverBackend]
+
+
+def resolve_backend(backend: BackendLike,
+                    dimension: Optional[int] = None
+                    ) -> LinearSolverBackend:
+    """Resolve a backend spec to an instance.
+
+    Parameters
+    ----------
+    backend : None, str or LinearSolverBackend
+        ``None`` / ``"auto"`` — dense below
+        :data:`SPARSE_AUTO_MIN_DIM` unknowns or when scipy is missing,
+        sparse otherwise.  ``"dense"`` / ``"sparse"`` force a backend
+        (``"sparse"`` works without scipy through its numpy fallback).
+        Instances pass through.
+    dimension : int, optional
+        System size used by the auto rule (``None`` means unknown and
+        resolves dense).
+    """
+    if isinstance(backend, LinearSolverBackend):
+        return backend
+    if backend is None or backend == "auto":
+        if HAVE_SCIPY and dimension is not None \
+                and dimension >= SPARSE_AUTO_MIN_DIM:
+            return _SPARSE
+        return _DENSE
+    if backend == "dense":
+        return _DENSE
+    if backend == "sparse":
+        return _SPARSE
+    raise ParameterError(
+        f"unknown linear-solver backend {backend!r}; expected 'auto', "
+        f"'dense', 'sparse' or a LinearSolverBackend instance"
+    )

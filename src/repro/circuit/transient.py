@@ -41,6 +41,7 @@ from repro.circuit.mna import (
     robust_dc_solve,
 )
 from repro.circuit.netlist import Circuit
+from repro.circuit.solvers import BackendLike
 from repro.circuit.results import Dataset
 from repro.errors import AnalysisError, ParameterError
 
@@ -193,6 +194,7 @@ def transient(
     dt_min: Optional[float] = None,
     dt_max: Optional[float] = None,
     extra_breakpoints: Sequence[float] = (),
+    backend: BackendLike = None,
 ) -> Dataset:
     """Integrate the circuit from its DC operating point to ``tstop``.
 
@@ -244,6 +246,11 @@ def transient(
         merged with the source-waveform breakpoints (user-forced
         events; also how the parity suite replays a lane-batched run's
         shared grid, which carries *every* lane's breakpoints).
+    backend : None, str or LinearSolverBackend, optional
+        Linear-solver backend for every solve of the run (the initial
+        DC operating point included) — ``"auto"`` (default),
+        ``"dense"`` or ``"sparse"``; see
+        :func:`repro.circuit.solvers.resolve_backend`.
 
     Returns
     -------
@@ -300,7 +307,7 @@ def transient(
     circuit.reset_state()
     n = circuit.dimension()
     if x0 is None:
-        x = robust_dc_solve(circuit, None, options)
+        x = robust_dc_solve(circuit, None, options, backend=backend)
     else:
         x = np.asarray(x0, dtype=float).copy()
         if x.shape != (n,):
@@ -315,9 +322,10 @@ def transient(
         merged.update(t for t in map(float, extra_breakpoints)
                       if 0.0 < t < tstop)
         breakpoints = sorted(merged)
-    # One assembler for the whole run: matrix/rhs buffers live across
-    # steps; only the static stamps are refreshed per step.
-    assembler = TwoPhaseAssembler(circuit)
+    # One assembler for the whole run: matrix/rhs buffers (and, for
+    # the sparse backend, the symbolic pattern) live across steps;
+    # only the static stamps are refreshed per step.
+    assembler = TwoPhaseAssembler(circuit, backend=backend)
     if adaptive:
         _adaptive_loop(circuit, tstop, method, options, x, recorder,
                        assembler, breakpoints, rtol, atol, dt_min, dt_max,

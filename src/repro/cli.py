@@ -9,12 +9,16 @@ Subcommands
 ``codegen``      emit VHDL-AMS / Verilog-A / SPICE for a fitted device
 ``mc``           run a variability Monte-Carlo campaign
 ``characterize`` delay/slew/energy tables for a logic gate
+``netlist``      parse a SPICE-flavoured deck and run its analyses
 
 ``iv``, ``table``, ``mc`` and ``characterize`` accept ``--seed`` and
 ``--json`` so one-off runs and campaign runs are scriptable the same
 way (``--json`` prints a machine-readable payload; the seed is echoed
 in it and, where an experiment is stochastic, drives its random
-stream).
+stream).  ``netlist``, ``mc`` and ``characterize`` accept
+``--backend {auto,dense,sparse}`` to pick the linear-solver backend
+(auto switches to sparse at the measured dense/sparse crossover
+dimension; see ``docs/hierarchy.md``).
 """
 
 from __future__ import annotations
@@ -47,6 +51,15 @@ def _script_arguments(parser: argparse.ArgumentParser) -> None:
                              "(echoed in --json output)")
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable JSON payload")
+
+
+def _backend_argument(parser: argparse.ArgumentParser) -> None:
+    """The linear-solver backend flag shared by circuit subcommands."""
+    parser.add_argument("--backend", choices=("auto", "dense", "sparse"),
+                        default="auto",
+                        help="linear-solver backend for the circuit "
+                             "engine (auto picks sparse above the "
+                             "dense/sparse crossover dimension)")
 
 
 def _dump_json(payload) -> str:
@@ -152,7 +165,7 @@ def _cmd_mc(args) -> int:
         args.workload, sigma_scale=args.sigma_scale, vdd=args.vdd,
         model=args.model, stages=args.stages, workers=args.workers,
         metrics=args.metric, gate=args.gate,
-        use_batch=not args.no_batch,
+        use_batch=not args.no_batch, backend=args.backend,
     )
     config = CampaignConfig(
         name=args.workload, n_samples=args.samples,
@@ -200,7 +213,8 @@ def _cmd_characterize(args) -> int:
     slews = tuple(float(s) * 1e-12 for s in args.slews.split(","))
     table = characterize_gate(family, args.gate, loads=loads,
                               slews=slews,
-                              use_batch=not args.no_batch)
+                              use_batch=not args.no_batch,
+                              backend=args.backend)
     if args.json:
         payload = table.to_json_dict()
         payload["command"] = "characterize"
@@ -212,6 +226,87 @@ def _cmd_characterize(args) -> int:
         print(table.to_liberty(), end="")
     else:
         print(table.render())
+    return 0
+
+
+def _cmd_netlist(args) -> int:
+    from repro.circuit.dc import dc_sweep, operating_point
+    from repro.circuit.parser import parse_netlist
+    from repro.circuit.transient import transient
+    from repro.experiments.report import sparkline
+
+    if args.deck == "-":
+        text = sys.stdin.read()
+        title = "<stdin>"
+    else:
+        with open(args.deck) as handle:
+            text = handle.read()
+        title = args.deck
+    deck = parse_netlist(text, title=title)
+    circuit = deck.circuit
+    payload = {
+        "command": "netlist", "deck": title, "backend": args.backend,
+        "elements": len(circuit.elements), "nodes": circuit.n_nodes,
+        "subcircuits": sorted(deck.subcircuits), "analyses": [],
+    }
+    if not args.json:
+        print(f"parsed {title}: {len(circuit.elements)} elements, "
+              f"{circuit.n_nodes} nodes, {len(deck.subcircuits)} "
+              f"subcircuit definitions, {len(deck.analyses)} analyses "
+              f"[backend={args.backend}]")
+    shown = args.nodes.split(",") if args.nodes else circuit.nodes[:4]
+    if not deck.analyses:
+        op = operating_point(circuit, backend=args.backend)
+        entry = {"kind": "op",
+                 "voltages": {n: op.voltage(n) for n in circuit.nodes}}
+        payload["analyses"].append(entry)
+        if not args.json:
+            print("\noperating point:")
+            for node in shown:
+                print(f"  v({node}) = {op.voltage(node):.6g} V")
+    for directive in deck.analyses:
+        if directive.kind == "dc":
+            values = np.linspace(
+                directive.params["start"], directive.params["stop"],
+                int(directive.params["points"]),
+            )
+            ds = dc_sweep(circuit, directive.source, values,
+                          backend=args.backend)
+            entry = {"kind": "dc", "source": directive.source,
+                     "points": len(values),
+                     "final": {f"v({n})": float(ds.voltage(n)[-1])
+                               for n in shown}}
+            payload["analyses"].append(entry)
+            if not args.json:
+                print(f"\n.dc sweep of {directive.source} "
+                      f"({len(values)} points):")
+                for node in shown:
+                    print(f"  v({node}): "
+                          f"{sparkline(ds.voltage(node), 50)}")
+        else:
+            stats: dict = {}
+            ds = transient(
+                circuit, tstop=directive.params["tstop"],
+                dt=directive.params["tstep"], method=directive.method,
+                record_currents="sources", stats=stats,
+                backend=args.backend,
+            )
+            entry = {"kind": "tran", "method": directive.method,
+                     "steps": stats.get("steps", 0),
+                     "newton_iterations": stats.get("iterations", 0),
+                     "final": {f"v({n})": float(ds.voltage(n)[-1])
+                               for n in shown}}
+            payload["analyses"].append(entry)
+            if not args.json:
+                print(f"\n.tran ({directive.method}), "
+                      f"{len(ds.axis)} time points, "
+                      f"{stats.get('iterations', 0)} Newton "
+                      f"iterations:")
+                for node in shown:
+                    print(f"  v({node}): "
+                          f"{sparkline(ds.voltage(node), 50)}")
+    if args.json:
+        print(_dump_json(payload))
     return 0
 
 
@@ -322,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="disable the lane-batched circuit engine "
                            "for the circuit workloads (per-sample "
                            "scalar loop, optionally pooled)")
+    _backend_argument(p_mc)
     p_mc.add_argument("--corners", action="store_true",
                       help="also evaluate the TT/FF/SS corner devices")
     p_mc.add_argument("--histograms", action="store_true",
@@ -349,8 +445,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="characterize each grid point with its "
                              "own scalar transient instead of one "
                              "lane-batched run")
+    _backend_argument(p_char)
     _script_arguments(p_char)
     p_char.set_defaults(func=_cmd_characterize)
+
+    p_net = sub.add_parser(
+        "netlist",
+        help="parse a SPICE-flavoured deck (with .subckt hierarchy) "
+             "and run its analyses")
+    p_net.add_argument("deck", help="netlist file path, or '-' for stdin")
+    p_net.add_argument("--nodes", default=None,
+                       help="comma-separated nodes to report "
+                            "(default: first few, sorted)")
+    _backend_argument(p_net)
+    p_net.add_argument("--json", action="store_true",
+                       help="print a machine-readable JSON payload")
+    p_net.set_defaults(func=_cmd_netlist)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, choices=tuple(range(2, 12)))

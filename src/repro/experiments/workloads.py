@@ -109,7 +109,8 @@ def variability_workload(name: str, sigma_scale: float = 1.0,
                          vdd: float = VARIABILITY_VDD,
                          model: str = "model2", stages: int = 3,
                          workers: int = 1, metrics=None,
-                         gate: str = "nand2", use_batch: bool = True):
+                         gate: str = "nand2", use_batch: bool = True,
+                         backend=None):
     """``(space, evaluator)`` for a named variability workload.
 
     Imported lazily so the paper-table runners don't pay for the
@@ -148,7 +149,7 @@ def variability_workload(name: str, sigma_scale: float = 1.0,
         space = default_device_space(sigma_scale)
         return space, InverterVTCEvaluator(
             space, vdd=vdd, model=model, workers=workers,
-            use_batch=use_batch,
+            use_batch=use_batch, backend=backend,
             spec_limits={"nml": (0.25 * vdd, None),
                          "nmh": (0.25 * vdd, None)},
         )
@@ -156,14 +157,14 @@ def variability_workload(name: str, sigma_scale: float = 1.0,
         space = default_device_space(sigma_scale)
         return space, RingOscillatorEvaluator(
             space, vdd=vdd, model=model, stages=stages, workers=workers,
-            use_batch=use_batch)
+            use_batch=use_batch, backend=backend)
     if name == "gate":
         from repro.characterize import GateDelayEvaluator
 
         space = default_device_space(sigma_scale)
         return space, GateDelayEvaluator(
             space, gate=gate, vdd=vdd, model=model, workers=workers,
-            use_batch=use_batch)
+            use_batch=use_batch, backend=backend)
     raise CampaignError(
         f"unknown variability workload {name!r}; expected one of "
         f"{sorted(VARIABILITY_WORKLOADS)}"

@@ -52,7 +52,8 @@ class _CircuitEvaluatorBase:
                  workers: int,
                  quantize: Optional[Mapping[str, int]],
                  spec_limits: Optional[Mapping[str, Tuple]],
-                 use_batch: bool = True) -> None:
+                 use_batch: bool = True,
+                 backend: Optional[str] = None) -> None:
         if workers < 1:
             raise ParameterError(f"workers must be >= 1: {workers}")
         self.space = space
@@ -60,6 +61,9 @@ class _CircuitEvaluatorBase:
         self.model = model
         self.workers = int(workers)
         self.use_batch = bool(use_batch)
+        #: linear-solver backend spec forwarded to every analysis
+        #: (None/"auto"/"dense"/"sparse")
+        self.backend = backend
         self.quantize = dict(quantize) if quantize is not None else None
         self.spec_limits = dict(spec_limits) if spec_limits else None
         #: metric memo per quantised key, shared across chunks
@@ -130,9 +134,10 @@ class InverterVTCEvaluator(_CircuitEvaluatorBase):
                  workers: int = 1,
                  quantize: Optional[Mapping[str, int]] = None,
                  spec_limits: Optional[Mapping[str, Tuple]] = None,
-                 use_batch: bool = True) -> None:
+                 use_batch: bool = True,
+                 backend: Optional[str] = None) -> None:
         super().__init__(space, vdd, model, workers, quantize,
-                         spec_limits, use_batch)
+                         spec_limits, use_batch, backend)
         if points < 11:
             raise ParameterError(f"need >= 11 VTC points: {points}")
         self.points = int(points)
@@ -172,7 +177,8 @@ class InverterVTCEvaluator(_CircuitEvaluatorBase):
         family = self._family(key)
         circuit, _vin, vout = build_inverter(family)
         sweep = np.linspace(0.0, self.vdd, self.points)
-        dataset = dc_sweep(circuit, "vin_src", sweep)
+        dataset = dc_sweep(circuit, "vin_src", sweep,
+                           backend=self.backend)
         return self._vtc_metrics(dataset, vout, sweep)
 
     def _evaluate_keys_batch(self, keys: Sequence[Tuple]
@@ -188,7 +194,8 @@ class InverterVTCEvaluator(_CircuitEvaluatorBase):
             circuits.append(circuit)
         sweep = np.linspace(0.0, self.vdd, self.points)
         try:
-            datasets = batch_dc_sweep(circuits, "vin_src", sweep)
+            datasets = batch_dc_sweep(circuits, "vin_src", sweep,
+                                      backend=self.backend)
         except ReproError:
             return [self._evaluate_key_safe(key) for key in keys]
         out = []
@@ -214,9 +221,10 @@ class RingOscillatorEvaluator(_CircuitEvaluatorBase):
                  workers: int = 1,
                  quantize: Optional[Mapping[str, int]] = None,
                  spec_limits: Optional[Mapping[str, Tuple]] = None,
-                 use_batch: bool = True) -> None:
+                 use_batch: bool = True,
+                 backend: Optional[str] = None) -> None:
         super().__init__(space, vdd, model, workers, quantize,
-                         spec_limits, use_batch)
+                         spec_limits, use_batch, backend)
         if stages < 3 or stages % 2 == 0:
             raise ParameterError(
                 f"a ring oscillator needs an odd stage count >= 3: {stages}"
@@ -263,7 +271,7 @@ class RingOscillatorEvaluator(_CircuitEvaluatorBase):
         x0 = initial_conditions_from_op(
             circuit, {nodes[0]: 0.0, nodes[1]: family.vdd})
         dataset = transient(circuit, tstop=self.tstop, dt=self.dt, x0=x0,
-                            method="be")
+                            method="be", backend=self.backend)
         return self._period_metrics(dataset, nodes[0])
 
     def _period_metrics(self, dataset, node: str) -> Dict[str, float]:
@@ -333,7 +341,7 @@ class RingOscillatorEvaluator(_CircuitEvaluatorBase):
         try:
             # One assembler serves both the stacked DC solve and the
             # transient (the stacked device tables are built once).
-            batch = LaneBatch(circuits)
+            batch = LaneBatch(circuits, backend=self.backend)
             x0 = batch_operating_points(circuits, batch=batch)
             template = circuits[0]
             x0[:, template.node_index[nodes[0]]] = 0.0

@@ -161,3 +161,73 @@ class TestMonteCarlo:
         payload = json.loads(text)
         assert payload["metrics"]["vth"] is None
         assert payload["rows"] == [None, 2.0]
+
+
+NETLIST_DECK = """
+.model fast cnfet model=model2 fermi_level_ev=-0.32
+.subckt inv a y vdd
+Qp y a vdd fast polarity=p
+Qn y a 0 fast
+.ends inv
+Vdd vdd 0 0.6
+Vin in 0 PULSE(0 0.6 2p 0.5p 0.5p 10p 20p)
+X1 in out vdd inv
+Cl out 0 1e-17
+.dc Vin 0 0.6 5
+.tran 0.5p 10p be
+.end
+"""
+
+
+class TestNetlistCommand:
+    def _deck(self, tmp_path):
+        path = tmp_path / "deck.cir"
+        path.write_text(NETLIST_DECK)
+        return str(path)
+
+    def test_runs_analyses(self, capsys, tmp_path):
+        rc = main(["netlist", self._deck(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 subcircuit definitions" in out
+        assert ".dc sweep" in out and ".tran" in out
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_backend_flag_json(self, capsys, tmp_path, backend):
+        rc = main(["netlist", self._deck(tmp_path), "--backend",
+                   backend, "--nodes", "out", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == backend
+        kinds = [a["kind"] for a in payload["analyses"]]
+        assert kinds == ["dc", "tran"]
+        # input high at t=10p -> inverter output low
+        assert payload["analyses"][1]["final"]["v(out)"] < 0.1
+
+    def test_operating_point_fallback(self, capsys, tmp_path):
+        path = tmp_path / "op.cir"
+        path.write_text("V1 in 0 2\nR1 in mid 1k\nR2 mid 0 1k\n.end\n")
+        rc = main(["netlist", str(path), "--nodes", "mid"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "operating point" in out and "v(mid) = 1" in out
+
+    def test_parse_error_reported(self, capsys, tmp_path):
+        path = tmp_path / "bad.cir"
+        path.write_text("R1 a 0 1k\nR1 a 0 2k\n")
+        rc = main(["netlist", str(path)])
+        assert rc == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_backend_flag_on_characterize(self, capsys):
+        rc = main(["characterize", "--gate", "inverter", "--loads",
+                   "0.01", "--slews", "2", "--backend", "dense",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gate"] == "inverter"
+
+    def test_backend_flag_on_mc(self, capsys):
+        rc = main(["mc", "--samples", "4", "--seed", "3",
+                   "--workload", "inverter", "--backend", "dense"])
+        assert rc == 0

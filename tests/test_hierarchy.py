@@ -1,0 +1,342 @@
+"""SubCircuit/Instance hierarchy: flattening, naming, collisions."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Instance,
+    NewtonOptions,
+    Resistor,
+    SubCircuit,
+    VoltageSource,
+    operating_point,
+    transient,
+)
+from repro.circuit.logic import (
+    LogicFamily,
+    add_inverter,
+    add_nand2,
+    build_inverter_chain,
+    build_ripple_carry_adder,
+    full_adder_subcircuit,
+    inverter_chain_subcircuit,
+    inverter_subcircuit,
+    mux_tree_subcircuit,
+    nand2_subcircuit,
+    ripple_carry_adder_subcircuit,
+    sram_cell_subcircuit,
+)
+from repro.errors import NetlistError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def family():
+    return LogicFamily.default(vdd=0.6)
+
+
+TIGHT = NewtonOptions(vtol=1e-12, reltol=1e-10)
+
+
+class TestSubCircuitDefinition:
+    def test_ports_validated(self):
+        with pytest.raises(ParameterError):
+            SubCircuit("s", ())
+        with pytest.raises(ParameterError):
+            SubCircuit("s", ("a", "a"))
+        with pytest.raises(ParameterError):
+            SubCircuit("s", ("a", "0"))
+        with pytest.raises(ParameterError):
+            SubCircuit("", ("a",))
+
+    def test_duplicate_element_names_rejected(self):
+        sub = SubCircuit("s", ("a",))
+        sub.add(Resistor("R1", "a", "0", 1e3))
+        with pytest.raises(NetlistError, match="duplicate"):
+            sub.add(Resistor("r1", "a", "0", 2e3))
+
+    def test_duplicate_instance_names_rejected(self):
+        inner = SubCircuit("i", ("a",))
+        inner.add(Resistor("R1", "a", "0", 1e3))
+        sub = SubCircuit("s", ("a",))
+        sub.add_instance(Instance("X1", inner, ("a",)))
+        with pytest.raises(NetlistError, match="duplicate"):
+            sub.add_instance(Instance("x1", inner, ("a",)))
+
+    def test_connection_count_mismatch(self):
+        sub = SubCircuit("s", ("a", "b"))
+        with pytest.raises(ParameterError, match="ports"):
+            Instance("X1", sub, ("a",))
+
+    def test_instance_name_must_not_contain_separator(self):
+        sub = SubCircuit("s", ("a",))
+        with pytest.raises(ParameterError, match="separator"):
+            Instance("X.1", sub, ("n",))
+
+
+class TestFlattening:
+    def test_hierarchical_names(self, family):
+        inv = inverter_subcircuit(family)
+        buf = SubCircuit("buf", ("a", "y", "vdd"))
+        buf.add_instance(Instance("X1", inv, ("a", "w", "vdd")))
+        buf.add_instance(Instance("X2", inv, ("w", "y", "vdd")))
+        circuit = Circuit("t")
+        circuit.add(VoltageSource("vdd_src", "vdd", "0", 0.6))
+        circuit.add(VoltageSource("vin", "in", "0", 0.0))
+        buf.instantiate(circuit, "Xb", ("in", "out", "vdd"))
+        names = [el.name for el in circuit.elements]
+        assert "Xb.X1.m_p" in names and "Xb.X2.m_n" in names
+        assert "Xb.w" in circuit.nodes          # internal net prefixed
+        assert "out" in circuit.nodes           # port bound to parent
+
+    def test_ground_stays_global(self, family):
+        inv = inverter_subcircuit(family)
+        circuit = Circuit("t")
+        circuit.add(VoltageSource("vdd_src", "vdd", "0", 0.6))
+        circuit.add(VoltageSource("vin", "in", "0", 0.0))
+        inv.instantiate(circuit, "Xi", ("in", "out", "vdd"))
+        # the pull-down source terminal must still be ground, not a
+        # prefixed net
+        pulldown = circuit.element("Xi.m_n")
+        assert pulldown.nodes[2] == "0"
+
+    def test_port_bound_to_ground(self):
+        sub = SubCircuit("s", ("a", "b"))
+        sub.add(Resistor("R1", "a", "b", 1e3))
+        circuit = Circuit("t")
+        circuit.add(VoltageSource("v1", "top", "0", 1.0))
+        sub.instantiate(circuit, "Xs", ("top", "0"))
+        op = operating_point(circuit)
+        assert op.element_current("Xs.R1") == pytest.approx(1e-3)
+
+    def test_net_collision_raises(self, family):
+        inv = inverter_subcircuit(family)
+        circuit = Circuit("t")
+        circuit.add(VoltageSource("vdd_src", "vdd", "0", 0.6))
+        # Pre-existing net that matches the instance's internal
+        # element naming is fine; a *net* named like a would-be
+        # internal net must refuse to merge.  The inverter has no
+        # internal nets, so use a NAND (internal "m_mid").
+        nand = nand2_subcircuit(family)
+        circuit.add(Resistor("rx", "Xg.m_mid", "0", 1e3))
+        with pytest.raises(ParameterError, match="collides"):
+            nand.instantiate(circuit, "Xg", ("a", "b", "y", "vdd"))
+
+    def test_duplicate_flat_element_name_raises(self, family):
+        inv = inverter_subcircuit(family)
+        circuit = Circuit("t")
+        circuit.add(VoltageSource("vdd_src", "vdd", "0", 0.6))
+        circuit.add(Resistor("Xi.m_p", "a", "0", 1e3))
+        with pytest.raises(NetlistError, match="duplicate"):
+            inv.instantiate(circuit, "Xi", ("a", "y", "vdd"))
+
+    def test_recursion_detected(self):
+        a = SubCircuit("a", ("p",))
+        b = SubCircuit("b", ("p",))
+        a.add_instance(Instance("Xb", b, ("p",)))
+        b.add_instance(Instance("Xa", a, ("p",)))
+        circuit = Circuit("t")
+        circuit.add(VoltageSource("v1", "n", "0", 1.0))
+        with pytest.raises(ParameterError, match="recursive"):
+            a.instantiate(circuit, "Xtop", ("n",))
+
+    def test_clone_state_is_per_instance(self):
+        sub = SubCircuit("s", ("a",))
+        sub.add(Capacitor("C1", "a", "0", 1e-15))
+        circuit = Circuit("t")
+        circuit.add(VoltageSource("v1", "n1", "0", 1.0))
+        circuit.add(Resistor("r1", "n1", "n2", 1e3))
+        circuit.add(Resistor("r2", "n1", "n3", 1e3))
+        sub.instantiate(circuit, "X1", ("n2",))
+        sub.instantiate(circuit, "X2", ("n3",))
+        c1, c2 = circuit.element("X1.C1"), circuit.element("X2.C1")
+        assert c1 is not c2
+        c1._i_prev = 42.0
+        assert c2._i_prev == 0.0
+        # prototype untouched
+        assert sub.elements[0]._i_prev == 0.0
+
+
+class TestFlattenParity:
+    def test_hierarchical_adder_matches_manual_flat(self, family):
+        """A 2-bit hierarchical RCA vs the same circuit hand-built
+        flat with identical names: identical solutions (the sorted
+        node mapping makes the systems bit-comparable)."""
+        bits, a_val, b_val = 2, 0b01, 0b11
+        hier, info = build_ripple_carry_adder(
+            family, bits, a_value=a_val, b_value=b_val)
+
+        flat = Circuit("manual")
+        flat.add(VoltageSource("vdd_src", "vdd", "0", family.vdd))
+        for i in range(bits):
+            flat.add(VoltageSource(
+                f"va{i}", f"a{i}", "0",
+                family.vdd if (a_val >> i) & 1 else 0.0))
+            flat.add(VoltageSource(
+                f"vb{i}", f"b{i}", "0",
+                family.vdd if (b_val >> i) & 1 else 0.0))
+        flat.add(VoltageSource("vcin", "cin", "0", 0.0))
+        wires = [
+            ("Xn1", "a", "b", "n1"),
+            ("Xn2", "a", "n1", "n2"),
+            ("Xn3", "b", "n1", "n3"),
+            ("Xn4", "n2", "n3", "h"),
+            ("Xn5", "h", "cin", "n4"),
+            ("Xn6", "h", "n4", "n5"),
+            ("Xn7", "cin", "n4", "n6"),
+            ("Xn8", "n5", "n6", "sum"),
+            ("Xn9", "n1", "n4", "cout"),
+        ]
+        for i in range(bits):
+            fa = f"Xrca.Xfa{i}"
+            bind = {"a": f"a{i}", "b": f"b{i}",
+                    "cin": "cin" if i == 0 else f"Xrca.c{i}",
+                    "sum": f"s{i}",
+                    "cout": "cout" if i == bits - 1
+                    else f"Xrca.c{i + 1}",
+                    "vdd": "vdd"}
+            for inst, in_a, in_b, out in wires:
+                gate = f"{fa}.{inst}"
+                nets = {
+                    "a": bind.get(in_a, f"{fa}.{in_a}"),
+                    "b": bind.get(in_b, f"{fa}.{in_b}"),
+                    "y": bind.get(out, f"{fa}.{out}"),
+                }
+                add_nand2(flat, family, f"{gate}.m", nets["a"],
+                          nets["b"], nets["y"], "vdd")
+        for i in range(bits):
+            flat.add(Capacitor(f"cs{i}", f"s{i}", "0", family.load_f))
+        flat.add(Capacitor("ccout", "cout", "0", family.load_f))
+
+        assert hier.node_index == flat.node_index
+        op_h = operating_point(hier, TIGHT)
+        op_f = operating_point(flat, TIGHT)
+        deviation = max(
+            abs(op_h.voltage(n) - op_f.voltage(n)) for n in hier.nodes
+        )
+        assert deviation <= 1e-12
+
+    def test_adder_truth_table_dc(self, family):
+        bits = 3
+        for a_val, b_val, cin in ((0b101, 0b011, 0), (0b111, 0b001, 1)):
+            circuit, info = build_ripple_carry_adder(
+                family, bits, a_value=a_val, b_value=b_val,
+                cin_wave=family.vdd if cin else 0.0)
+            op = operating_point(circuit)
+            total = a_val + b_val + cin
+            got = sum(
+                (1 if op.voltage(n) > family.vdd / 2 else 0) << i
+                for i, n in enumerate(info["sum_nodes"])
+            )
+            got |= (1 if op.voltage(info["cout"]) > family.vdd / 2
+                    else 0) << bits
+            assert got == total
+
+
+class TestBlocks:
+    def test_full_adder_ports(self, family):
+        fa = full_adder_subcircuit(family)
+        assert fa.ports == ("a", "b", "cin", "sum", "cout", "vdd")
+        assert len(fa.instances) == 9
+
+    def test_shared_prototype_reused(self, family):
+        nand = nand2_subcircuit(family)
+        fa = full_adder_subcircuit(family, nand2=nand)
+        assert all(inst.subcircuit is nand for inst in fa.instances)
+
+    def test_rca_validation(self, family):
+        with pytest.raises(ParameterError):
+            ripple_carry_adder_subcircuit(family, 0)
+
+    def test_inverter_chain_logic(self, family):
+        # even chain: buffer; odd chain: inverter
+        for stages, expect_high in ((4, False), (5, True)):
+            circuit, out = build_inverter_chain(
+                family, stages, vin_wave=0.0)
+            op = operating_point(circuit)
+            assert (op.voltage(out) > family.vdd / 2) == expect_high
+
+    def test_chain_subcircuit_internal_nodes(self, family):
+        chain = inverter_chain_subcircuit(family, 3)
+        assert len(chain.instances) == 3
+
+    def test_mux_tree_selects(self, family):
+        mux = mux_tree_subcircuit(family, 2)
+        assert mux.ports[:4] == ("d0", "d1", "d2", "d3")
+        vdd = family.vdd
+        for select, want in ((0, 0.0), (1, vdd), (2, vdd), (3, 0.0)):
+            circuit = Circuit("mux bench")
+            circuit.add(VoltageSource("vdd_src", "vdd", "0", vdd))
+            data = (0.0, vdd, vdd, 0.0)
+            for i, v in enumerate(data):
+                circuit.add(VoltageSource(f"vd{i}", f"d{i}", "0", v))
+            circuit.add(VoltageSource(
+                "vs0", "s0", "0", vdd if select & 1 else 0.0))
+            circuit.add(VoltageSource(
+                "vs1", "s1", "0", vdd if select & 2 else 0.0))
+            mux.instantiate(circuit, "Xm", ("d0", "d1", "d2", "d3",
+                                            "s0", "s1", "y", "vdd"))
+            circuit.add(Capacitor("cl", "y", "0", 1e-17))
+            op = operating_point(circuit)
+            assert op.voltage("y") == pytest.approx(want, abs=0.05)
+
+    def test_sram_cell_holds_state(self, family):
+        sram = sram_cell_subcircuit(family)
+        vdd = family.vdd
+        circuit = Circuit("sram bench")
+        circuit.add(VoltageSource("vdd_src", "vdd", "0", vdd))
+        circuit.add(VoltageSource("vbl", "bl", "0", vdd))
+        circuit.add(VoltageSource("vblb", "blb", "0", 0.0))
+        circuit.add(VoltageSource("vwl", "wl", "0", vdd))
+        sram.instantiate(circuit, "Xc", ("bl", "blb", "wl", "q", "qb",
+                                         "vdd"))
+        # wordline high, bitlines driven: the cell is written to q=1
+        op = operating_point(circuit)
+        assert op.voltage("q") > 0.8 * vdd
+        assert op.voltage("qb") < 0.2 * vdd
+
+
+class TestHierarchicalTransient(object):
+    def test_chain_propagates_edge(self, family):
+        from repro.circuit.waveforms import Pulse
+
+        circuit, out = build_inverter_chain(
+            family, 4, vin_wave=Pulse(0.0, family.vdd, 2e-12, 5e-13,
+                                      5e-13, 2e-11, 4e-11))
+        ds = transient(circuit, tstop=1.5e-11, record_currents=False)
+        v_out = ds.voltage(out)
+        # buffer chain: output follows input high after 4 gate delays
+        assert v_out[0] < 0.1 * family.vdd
+        assert v_out[-1] > 0.9 * family.vdd
+
+
+class TestCollisionEdgeCases:
+    """Regression coverage for review findings on the collision and
+    recursion checks."""
+
+    def test_connection_net_colliding_with_internal_raises(self):
+        """A port bound to a net named like a generated hierarchical
+        name must raise, even when that net does not exist in the
+        circuit yet (it would otherwise silently short the two)."""
+        sub = SubCircuit("s", ("a",))
+        sub.add(Resistor("r1", "a", "n1", 1e3))
+        sub.add(Resistor("r2", "n1", "0", 1e3))
+        circuit = Circuit("t")
+        circuit.add(VoltageSource("v1", "drive", "0", 1.0))
+        with pytest.raises(ParameterError, match="collides"):
+            sub.instantiate(circuit, "X1", ("X1.n1",))
+
+    def test_distinct_same_named_definitions_allowed(self):
+        """Two different definitions sharing a name along one
+        instantiation path are not recursion."""
+        inner_inv = SubCircuit("inv", ("p",))
+        inner_inv.add(Resistor("r1", "p", "0", 1e3))
+        mid = SubCircuit("mid", ("p",))
+        mid.add_instance(Instance("Xi", inner_inv, ("p",)))
+        outer = SubCircuit("inv", ("p",))  # same name, distinct object
+        outer.add_instance(Instance("Xm", mid, ("p",)))
+        circuit = Circuit("t")
+        circuit.add(VoltageSource("v1", "n", "0", 1.0))
+        outer.instantiate(circuit, "Xtop", ("n",))
+        assert "Xtop.Xm.Xi.r1" in [el.name for el in circuit.elements]

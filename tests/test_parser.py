@@ -177,3 +177,178 @@ class TestErrors:
             assert exc.line_number == 2
         else:  # pragma: no cover
             pytest.fail("expected ParseError")
+
+
+NAND2_DEF = """
+.model fast cnfet model=model2 fermi_level_ev=-0.32
+.subckt nand2 a b y vdd
+Qpa y a vdd fast polarity=p
+Qpb y b vdd fast polarity=p
+Qna y a mid fast
+Qnb mid b 0 fast
+.ends nand2
+"""
+
+
+class TestSubcircuits:
+    def test_two_level_round_trip(self):
+        """Definitions nested two levels deep flatten with
+        dot-separated hierarchical names and simulate correctly."""
+        deck = parse_netlist(NAND2_DEF + """
+        .subckt and2 a b y vdd
+        Xn a b w vdd nand2
+        Xinvp y w vdd fast polarity=p
+        Xinvn y w 0 fast
+        .ends and2
+        Vdd vdd 0 0.6
+        Va a 0 0.6
+        Vb b 0 0.6
+        Xg a b out vdd and2
+        Cl out 0 1e-17
+        .end
+        """)
+        assert sorted(deck.subcircuits) == ["and2", "nand2"]
+        names = [el.name for el in deck.circuit.elements]
+        assert "Xg.Xn.Qna" in names          # two-level prefix
+        assert "Xg.Xinvp" in names           # one-level prefix
+        assert "Xg.Xn.mid" in deck.circuit.nodes
+        assert "Xg.w" in deck.circuit.nodes
+        op = operating_point(deck.circuit)
+        assert op.voltage("out") > 0.5       # AND(1, 1) = 1
+
+    def test_forward_reference_between_definitions(self):
+        """A subckt body may instance a subckt defined later."""
+        deck = parse_netlist("""
+        .subckt outer a
+        X1 a inner
+        .ends
+        .subckt inner a
+        R1 a 0 1k
+        .ends
+        V1 n 0 1
+        Xo n outer
+        .end
+        """)
+        assert "Xo.X1.R1" in [el.name for el in deck.circuit.elements]
+
+    def test_x_prefers_subckt_over_model(self):
+        """An X card whose last token names both resolves as an
+        instance (documented precedence)."""
+        deck = parse_netlist("""
+        .model fast cnfet
+        .subckt fast a
+        R1 a 0 1k
+        .ends
+        V1 n 0 1
+        X1 n fast
+        .end
+        """)
+        assert "X1.R1" in [el.name for el in deck.circuit.elements]
+
+    def test_subckt_error_cards(self):
+        cases = {
+            ".subckt\n": "needs",
+            ".subckt s a\n.subckt t b\n.ends\n.ends\n": "nested",
+            ".ends\n": "without",
+            ".subckt s a\nR1 a 0 1k\n.ends t\n": "match",
+            ".subckt s a\nR1 a 0 1k\n.end\n": "unterminated",
+            ".subckt s a\n.model m cnfet\n.ends\n": "global",
+            ".subckt s a\n.dc V1 0 1 5\n.ends\n": "inside",
+            ".subckt s a\n.ends\n.subckt s a\n.ends\nV1 a 0 1\n":
+                "duplicate subcircuit",
+            "V1 a 0 1\nX1 a b nosuch\n": "no .subckt",
+        }
+        for deck, needle in cases.items():
+            with pytest.raises(ParseError, match=needle):
+                parse_netlist(deck)
+
+    def test_instance_params_rejected(self):
+        with pytest.raises(ParseError, match="parameters"):
+            parse_netlist("""
+            .subckt s a
+            R1 a 0 1k
+            .ends
+            V1 n 0 1
+            X1 n s l=30n
+            .end
+            """)
+
+    def test_port_count_mismatch_carries_line(self):
+        try:
+            parse_netlist("""
+            .subckt s a b
+            R1 a b 1k
+            .ends
+            V1 n 0 1
+            X1 n s
+            .end
+            """)
+        except ParseError as exc:
+            assert exc.line_number == 6
+            assert "ports" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_flatten_collision_carries_line(self):
+        """Errors raised while expanding a top-level instance report
+        the X card's source line."""
+        try:
+            parse_netlist("""
+            .subckt s a
+            R1 a w 1k
+            R2 w 0 1k
+            .ends
+            V1 n 0 1
+            Rpre Xs.w 0 1k
+            Xs n s
+            .end
+            """)
+        except ParseError as exc:
+            assert exc.line_number == 8
+            assert "collides" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestDuplicateNames:
+    def test_duplicate_reports_both_lines(self):
+        try:
+            parse_netlist("R1 a 0 1k\nV1 a 0 1\nr1 a 0 2k\n")
+        except ParseError as exc:
+            assert exc.line_number == 3
+            assert "line 1" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_duplicate_across_continuation_join(self):
+        """A card assembled from continuation lines reports the line
+        it started on."""
+        try:
+            parse_netlist("R1 a 0\n+ 1k\nR1 b 0 1k\n")
+        except ParseError as exc:
+            assert exc.line_number == 3
+            assert "line 1" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_duplicate_cnfet_instances(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_netlist("""
+            .model m cnfet
+            Q1 d g 0 m
+            Q1 d g 0 m
+            .end
+            """)
+
+    def test_same_name_in_different_scopes_allowed(self):
+        deck = parse_netlist("""
+        .subckt s a
+        R1 a 0 1k
+        .ends
+        R1 n 0 1k
+        V1 n 0 1
+        Xs n s
+        .end
+        """)
+        names = [el.name for el in deck.circuit.elements]
+        assert "R1" in names and "Xs.R1" in names

@@ -1,0 +1,317 @@
+"""Linear-solver backend layer: resolution, parity, fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    CNFETElement,
+    DenseBackend,
+    NewtonOptions,
+    Resistor,
+    SparseBackend,
+    VoltageSource,
+    ac_analysis,
+    dc_sweep,
+    operating_point,
+    resolve_backend,
+    transient,
+)
+from repro.circuit.logic import (
+    LogicFamily,
+    build_inverter_chain,
+    build_ripple_carry_adder,
+)
+from repro.circuit.mna import (
+    CNFET_SLAB_MIN_DEVICES,
+    TwoPhaseAssembler,
+    robust_dc_solve,
+)
+from repro.circuit.solvers import SPARSE_AUTO_MIN_DIM
+from repro.circuit.waveforms import Pulse
+from repro.errors import AnalysisError, ParameterError
+
+TIGHT = NewtonOptions(vtol=1e-12, reltol=1e-10)
+
+
+@pytest.fixture(scope="module")
+def family():
+    return LogicFamily.default(vdd=0.6)
+
+
+@pytest.fixture(scope="module")
+def adder(family):
+    """4-bit RCA with a carry-ripple pulse: 144 CNFETs (slab active),
+    ~90 unknowns."""
+    circuit, info = build_ripple_carry_adder(
+        family, 4, a_value=0b1111, b_value=0,
+        cin_wave=Pulse(0.0, 0.6, 2e-12, 5e-13, 5e-13, 2e-11, 4e-11))
+    return circuit, info
+
+
+class TestResolution:
+    def test_explicit_names(self):
+        assert isinstance(resolve_backend("dense", 10), DenseBackend)
+        assert isinstance(resolve_backend("sparse", 10), SparseBackend)
+        backend = DenseBackend()
+        assert resolve_backend(backend, 10) is backend
+
+    def test_auto_by_dimension(self):
+        assert isinstance(
+            resolve_backend("auto", SPARSE_AUTO_MIN_DIM - 1),
+            DenseBackend)
+        assert isinstance(
+            resolve_backend("auto", SPARSE_AUTO_MIN_DIM),
+            SparseBackend)
+        assert isinstance(resolve_backend(None, None), DenseBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError, match="backend"):
+            resolve_backend("umfpack", 10)
+
+    def test_auto_without_scipy_is_dense(self, monkeypatch):
+        import repro.circuit.solvers as solvers
+
+        monkeypatch.setattr(solvers, "HAVE_SCIPY", False)
+        assert isinstance(
+            solvers.resolve_backend("auto", 10_000), DenseBackend)
+
+
+class TestLinearParity:
+    def test_divider_sparse(self):
+        circuit = Circuit("div")
+        circuit.add(VoltageSource("v1", "in", "0", 12.0))
+        circuit.add(Resistor("r1", "in", "mid", 2e3))
+        circuit.add(Resistor("r2", "mid", "0", 1e3))
+        op = operating_point(circuit, backend="sparse")
+        assert op.voltage("mid") == pytest.approx(4.0)
+
+    def test_rlc_transient_parity(self):
+        from repro.circuit import Inductor
+
+        def build():
+            circuit = Circuit("rlc")
+            circuit.add(VoltageSource(
+                "v1", "in", "0",
+                Pulse(0.0, 1.0, 1e-9, 1e-10, 1e-10, 5e-8, 1e-7)))
+            circuit.add(Resistor("r1", "in", "a", 50.0))
+            circuit.add(Inductor("l1", "a", "b", 1e-7))
+            circuit.add(Capacitor("c1", "b", "0", 1e-11))
+            return circuit
+
+        kwargs = dict(tstop=2e-8, dt=1e-10, method="trap",
+                      options=TIGHT)
+        dense = transient(build(), backend="dense", **kwargs)
+        sparse = transient(build(), backend="sparse", **kwargs)
+        assert np.max(np.abs(dense.voltage("b")
+                             - sparse.voltage("b"))) <= 1e-9
+
+    def test_diode_dc_parity(self):
+        from repro.circuit import Diode
+
+        def build():
+            circuit = Circuit("d")
+            circuit.add(VoltageSource("v1", "in", "0", 5.0))
+            circuit.add(Resistor("r1", "in", "a", 1e3))
+            circuit.add(Diode("d1", "a", "0"))
+            return circuit
+
+        vd = robust_dc_solve(build(), None, TIGHT, backend="dense")
+        vs = robust_dc_solve(build(), None, TIGHT, backend="sparse")
+        assert np.max(np.abs(vd - vs)) <= 1e-9
+
+
+class TestCnfetCircuitParity:
+    def test_dc_parity(self, adder):
+        circuit, _info = adder
+        xd = robust_dc_solve(circuit, None, TIGHT, backend="dense")
+        xs = robust_dc_solve(circuit, None, TIGHT, backend="sparse")
+        n = len(circuit.node_index)
+        assert np.max(np.abs(xd[:n] - xs[:n])) <= 1e-9
+
+    def test_adaptive_transient_parity(self, adder):
+        """Adaptive engine pinned to a shared grid through both
+        backends: identical time points, node voltages <= 1e-9 V."""
+        circuit, info = adder
+        kwargs = dict(tstop=1e-11, method="trap", options=TIGHT,
+                      adaptive=True, dt_min=2.5e-13, dt_max=2.5e-13,
+                      record_currents=False)
+        dense = transient(circuit, backend="dense", **kwargs)
+        sparse = transient(circuit, backend="sparse", **kwargs)
+        assert np.array_equal(dense.axis, sparse.axis)
+        deviation = max(
+            float(np.max(np.abs(dense.trace(f"v({node})")
+                                - sparse.trace(f"v({node})"))))
+            for node in circuit.nodes
+        )
+        assert deviation <= 1e-9
+
+    def test_free_adaptive_transient_runs_sparse(self, adder):
+        """The genuinely adaptive controller (no pinning) must run to
+        completion on the sparse backend and settle to the DC-correct
+        final state."""
+        circuit, info = adder
+        ds = transient(circuit, tstop=4e-12, method="trap",
+                       backend="sparse", record_currents=False)
+        assert ds.axis[-1] == pytest.approx(4e-12)
+
+    def test_ac_parity_cnfet(self, family):
+        from repro.circuit.logic import build_inverter
+
+        circuit, _vin, _vout = build_inverter(family, vin_wave=0.3)
+        freqs = [1e6, 1e9, 1e12]
+        dense = ac_analysis(circuit, "vin_src", freqs, TIGHT,
+                            backend="dense")
+        sparse = ac_analysis(circuit, "vin_src", freqs, TIGHT,
+                             backend="sparse")
+        vm_d = np.asarray(dense.trace("vm(out)"))
+        vm_s = np.asarray(sparse.trace("vm(out)"))
+        # vm is a gain (tens of V per unit excitation); gate the
+        # deviation relative to the magnitude, 1e-9 V per volt.
+        assert np.max(np.abs(vm_d - vm_s)
+                      / np.maximum(vm_d, 1.0)) <= 1e-9
+
+    def test_dc_sweep_parity_chain(self, family):
+        # Supply ramp with the input at a rail: every point keeps the
+        # chain in well-conditioned saturated states.  (An input sweep
+        # would cross the metastable threshold, where the gain^N
+        # product exceeds what float64 can represent and no backend
+        # converges.)
+        options = NewtonOptions(vtol=1e-11, reltol=1e-9)
+        circuit, out = build_inverter_chain(family, 17)
+        values = np.linspace(0.0, family.vdd, 7)
+        dense = dc_sweep(circuit, "vdd_src", values, options,
+                         backend="dense")
+        sparse = dc_sweep(circuit, "vdd_src", values, options,
+                          backend="sparse")
+        deviation = max(
+            float(np.max(np.abs(dense.trace(f"v({node})")
+                                - sparse.trace(f"v({node})"))))
+            for node in circuit.nodes
+        )
+        assert deviation <= 1e-9
+
+
+class TestSlab:
+    def test_slab_activation_threshold(self, family, adder):
+        circuit, _ = adder
+        assembler = TwoPhaseAssembler(circuit, backend="dense")
+        n_fast = sum(1 for el in circuit.elements
+                     if isinstance(el, CNFETElement))
+        assert n_fast >= CNFET_SLAB_MIN_DEVICES
+        assert assembler.slab is not None
+        assert len(assembler.slab.elements) == n_fast
+
+    def test_small_circuits_keep_scalar_path(self, family):
+        from repro.circuit.logic import build_inverter
+
+        circuit, _, _ = build_inverter(family)
+        assembler = TwoPhaseAssembler(circuit)
+        assert assembler.slab is None
+
+    def test_slab_vs_scalar_stamping_parity(self, adder):
+        """Forcing the slab off must reproduce the slab waveforms to
+        closed-form solver noise."""
+        circuit, _ = adder
+        x0 = robust_dc_solve(circuit, None, TIGHT, backend="dense")
+
+        def run(cnfet_slab):
+            assembler = TwoPhaseAssembler(circuit, backend="dense",
+                                          cnfet_slab=cnfet_slab)
+            from repro.circuit.mna import newton_solve
+
+            circuit.reset_state()
+            return newton_solve(circuit, x0.copy(), TIGHT,
+                                analysis="dc", assembler=assembler)
+
+        x_slab = run(True)
+        x_scalar = run(False)
+        assert np.max(np.abs(x_slab - x_scalar)) <= 1e-9
+
+
+class TestSparseInternals:
+    def test_pattern_reused_across_iterations(self, adder):
+        circuit, _ = adder
+        assembler = TwoPhaseAssembler(circuit, backend="sparse")
+        assembler.begin_step(analysis="dc")
+        x = np.zeros(assembler.n)
+        assembler.iterate(x)
+        assembler.solve()
+        pattern = assembler._pattern_flat
+        assembler.iterate(x + 1e-3)
+        assembler.solve()
+        assert assembler._pattern_flat is pattern  # no rebuild
+
+    def test_pattern_rebuilds_on_mode_switch(self, adder):
+        circuit, _ = adder
+        assembler = TwoPhaseAssembler(circuit, backend="sparse")
+        assembler.begin_step(analysis="dc")
+        x = np.zeros(assembler.n)
+        assembler.iterate(x)
+        assembler.solve()
+        dc_pattern = assembler._pattern_flat
+        assembler.begin_step(analysis="tran", time=1e-12, dt=1e-12,
+                             x_prev=x, method="be")
+        assembler.iterate(x)
+        assembler.solve()
+        assert assembler._pattern_flat is not dc_pattern
+        assert assembler._pattern_flat.size > dc_pattern.size
+
+    def test_singular_matrix_diagnosed(self):
+        circuit = Circuit("floating")
+        circuit.add(VoltageSource("v1", "in", "0", 1.0))
+        circuit.add(Resistor("r1", "in", "a", 1e3))
+        circuit.add(Capacitor("c1", "b", "0", 1e-12))  # b floats in DC
+        assembler = TwoPhaseAssembler(circuit, backend="sparse")
+        assembler.begin_step(analysis="dc")
+        assembler.iterate(np.zeros(assembler.n))
+        with pytest.raises(AnalysisError, match="singular"):
+            assembler.solve()
+
+    def test_scipy_absent_fallback(self, adder, monkeypatch):
+        """SparseBackend without scipy scatters dense and still
+        solves correctly."""
+        import repro.circuit.solvers as solvers
+
+        circuit, _ = adder
+        xs = robust_dc_solve(circuit, None, TIGHT, backend="sparse")
+        monkeypatch.setattr(solvers, "HAVE_SCIPY", False)
+        xf = robust_dc_solve(circuit, None, TIGHT, backend="sparse")
+        n = len(circuit.node_index)
+        assert np.max(np.abs(xs[:n] - xf[:n])) <= 1e-9
+
+
+class TestBatchBackend:
+    def test_batch_transient_sparse_parity(self, family):
+        from repro.circuit.batch_sim import batch_transient
+        from repro.circuit.logic import build_ring_oscillator
+        from repro.circuit.transient import initial_conditions_from_op
+
+        rings, nodes = [], ()
+        for _ in range(3):
+            ring, nodes = build_ring_oscillator(family, stages=3)
+            rings.append(ring)
+        x_lane = initial_conditions_from_op(
+            rings[0], {nodes[0]: 0.0, nodes[1]: 0.6}, TIGHT)
+        x0 = np.tile(x_lane, (3, 1))
+        kwargs = dict(dt=2e-12, method="be", options=TIGHT, x0=x0,
+                      record_currents=False)
+        dense = batch_transient(rings, 3e-11, backend="dense",
+                                **kwargs)
+        sparse = batch_transient(rings, 3e-11, backend="sparse",
+                                 **kwargs)
+        deviation = max(
+            float(np.max(np.abs(dense[lane].trace(f"v({n})")
+                                - sparse[lane].trace(f"v({n})"))))
+            for lane in range(3) for n in nodes
+        )
+        assert deviation <= 1e-9
+
+    def test_stacked_singular_lane_nan(self):
+        backend = SparseBackend()
+        a = np.stack([np.eye(3), np.zeros((3, 3))])
+        z = np.ones((2, 3))
+        solved = backend.solve_stacked(a, z)
+        assert np.allclose(solved[0], 1.0)
+        assert np.isnan(solved[1]).all()
