@@ -146,16 +146,15 @@ class StampContext:
         ``m_idx`` holds flattened matrix positions ``row * dim + col``
         with ``dim * dim`` as a discard pad for grounded entries;
         ``r_idx`` holds rhs rows with ``dim`` as the pad.  The dense
-        implementation lands everything with two ``np.bincount``
-        scatter-adds; :class:`TripletStampContext` overrides this to
-        record COO triplets instead.
+        implementation lands everything with two padded scatter-adds
+        through the active kernel tier (numpy bincount or a compiled
+        loop); :class:`TripletStampContext` overrides this to record
+        COO triplets instead.
         """
-        matrix, rhs = self.matrix, self.rhs
-        n2 = matrix.size
-        flat = matrix.reshape(-1)
-        flat += np.bincount(m_idx, weights=m_val, minlength=n2 + 1)[:n2]
-        rhs += np.bincount(r_idx, weights=r_val,
-                           minlength=rhs.size + 1)[:rhs.size]
+        from repro.pwl.kernels import active_kernel_backend
+        backend = active_kernel_backend()
+        backend.scatter_add_pad(self.matrix.reshape(-1), m_idx, m_val)
+        backend.scatter_add_pad(self.rhs, r_idx, r_val)
 
 
 class TripletStampContext(StampContext):
@@ -215,17 +214,16 @@ class TripletStampContext(StampContext):
                  r_idx: np.ndarray, r_val: np.ndarray) -> None:
         """Bulk-append matrix triplets (pad entries dropped) and
         scatter the rhs contributions."""
-        keep = m_idx < self.dim * self.dim
-        idx, val = m_idx[keep], m_val[keep]
+        from repro.pwl.kernels import active_kernel_backend
+        backend = active_kernel_backend()
         count = self.count
-        if count + idx.size > self._cap:
-            self._grow(count + idx.size)
-        self.m_idx[count:count + idx.size] = idx
-        self.m_val[count:count + idx.size] = val
-        self.count = count + idx.size
-        rhs = self.rhs
-        rhs += np.bincount(r_idx, weights=r_val,
-                           minlength=rhs.size + 1)[:rhs.size]
+        if count + m_idx.size > self._cap:
+            self._grow(count + m_idx.size)
+        kept = backend.triplet_append(
+            m_idx, m_val, self.dim * self.dim,
+            self.m_idx, self.m_val, count)
+        self.count = count + kept
+        backend.scatter_add_pad(self.rhs, r_idx, r_val)
 
 
 class LaneContext:

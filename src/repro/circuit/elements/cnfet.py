@@ -41,7 +41,23 @@ from repro.circuit.elements.base import (
 from repro.errors import ParameterError
 from repro.pwl.batch import StackedCurves, StackedVscSolver
 from repro.pwl.device import CNFET, _log1pexp_many
+from repro.pwl.kernels import active_kernel_backend
 from repro.reference.fettoy import FETToyModel
+
+#: Chord radius [V] of the slab's exact-rhs modified-Newton reuse: the
+#: frozen Jacobian is kept while no device's bias moved further than
+#: this from the linearisation point.  Unlike the scalar elements'
+#: ``jacobian_reuse_tol`` (whose frozen *rhs* carries an O(tol^2)
+#: solution error), the slab rebuilds the rhs exactly every iteration,
+#: so this radius only trades Newton iteration count against
+#: factorisation + companion-evaluation count.  Tuned on the 32-bit
+#: carry-ripple benchmark *with* the compiled frozen-pivot
+#: refactorisation lane active (which makes factorisations cheap):
+#: the chord should only take over in the convergence tail of a step
+#: and across quiescent plateau steps, where it converges without
+#: extra iterations; wider radii trade quadratic for linear
+#: convergence mid-transient and lose outright.
+_SLAB_CHORD_RADIUS_V = 1e-4
 
 
 def _logistic_many(x: np.ndarray) -> np.ndarray:
@@ -204,10 +220,20 @@ class _StackedCNFETBank:
         #: previous-step terminal charges (gate, drain, source), [C]
         self.q_prev = np.zeros((3, p))
         self.stats: Optional[dict] = None
+        #: chord memo: ((tran, dt, gmin), vgs, vds, values) — the
+        #: frozen Jacobian of the slab's exact-rhs chord iteration
+        #: (see :meth:`CNFETSlab.stamp`).  Only the *matrix* rows are
+        #: frozen; the rhs is rebuilt at the current bias every stamp,
+        #: so the converged solution is exact regardless of how far the
+        #: iterate drifted inside the chord radius, and the assembled
+        #: matrix stays bit-identical so the sparse assembler reuses
+        #: its LU factorisation across iterations *and* steps.
+        self._memo: Optional[Tuple] = None
 
     def _bank_reset(self) -> None:
         self.hint[:] = 0.0
         self.q_prev[:] = 0.0
+        self._memo = None
 
     def _charges_arrays(self, vgs: np.ndarray, vds: np.ndarray,
                         didx: np.ndarray
@@ -228,70 +254,20 @@ class _StackedCNFETBank:
                    ) -> Tuple[np.ndarray, np.ndarray]:
         """Stacked companion stamp values around the given biases.
 
-        Returns ``(values, rhs_values)`` with one row per entry kind
-        (see :meth:`_CNFETLaneGroup._build_indices` for the kind
+        Returns ``(values, rhs_values, vsc)`` with one row per entry
+        kind (see :meth:`_CNFETLaneGroup._build_indices` for the kind
         table): 8 matrix / 2 rhs kinds in DC, 17 / 5 in transient
         (charge companions around the bank's ``q_prev`` state).
+        ``vsc`` is the solved inner voltage.
         """
-        sign = self.sign[didx]
         vsc = self.solver.solve(vgs, vds, self.hint, idx=didx,
                                 stats=self.stats)
-        kt = self.kt[didx]
-        eta_s = (self.ef[didx] - vsc) / kt
-        eta_d = eta_s - vds / kt
-        pref = self.pref[didx]
-        ids = pref * (_log1pexp_many(eta_s) - _log1pexp_many(eta_d))
-        sig_s = _logistic_many(eta_s)
-        sig_d = _logistic_many(eta_d)
-        di_dvsc = (pref / kt) * (sig_d - sig_s)
-        dq_s = self.curves.derivative(vsc, idx=didx)
-        dq_d = self.curves.derivative(vsc + vds, idx=didx)
-        cg, cd = self.cg[didx], self.cd[didx]
-        denominator = self.csum[didx] - dq_s - dq_d
-        dvsc_g = -cg / denominator
-        dvsc_d = -(cd - dq_d) / denominator
-        gm = di_dvsc * dvsc_g
-        gds = (pref / kt) * sig_d + di_dvsc * dvsc_d
-        residual = sign * ids - gm * sign * vgs - gds * sign * vds
-        n_kinds = 17 if tran else 8
-        values = np.empty((n_kinds, didx.size))
-        values[0] = gm
-        values[1] = -(gm + gmin)
-        values[2] = gds + gmin
-        values[3] = gm + gds + 2.0 * gmin
-        values[4] = -(gm + gds + gmin)
-        values[5] = -(gds + gmin)
-        values[6] = gmin
-        values[7] = -gmin
-        rhs_values = np.empty((5 if tran else 2, didx.size))
-        rhs_values[0] = -residual
-        rhs_values[1] = residual
-        if tran:
-            # Charge companions (vectorized ``_stamp_charges``).
-            length = self.length[didx]
-            q_d_mobile = self.curves.value(vsc + vds, idx=didx)
-            qg = length * cg * (vgs + vsc)
-            qd = length * (cd * (vds + vsc) - q_d_mobile)
-            q0 = (qg, qd, -(qg + qd))
-            dg_gs = length * cg * (1.0 + dvsc_g)
-            dg_ds = length * cg * dvsc_d
-            dd_gs = length * dvsc_g * (cd - dq_d)
-            dd_ds = length * (1.0 + dvsc_d) * (cd - dq_d)
-            dq_dvgs = (dg_gs, dd_gs, -(dg_gs + dd_gs))
-            dq_dvds = (dg_ds, dd_ds, -(dg_ds + dd_ds))
-            for t_idx in range(3):
-                geq_gs = dq_dvgs[t_idx] / dt
-                geq_ds = dq_dvds[t_idx] / dt
-                i_now = (q0[t_idx] - self.q_prev[t_idx, didx]) / dt
-                row = 8 + 3 * t_idx
-                values[row] = geq_gs
-                values[row + 1] = geq_ds
-                values[row + 2] = -(geq_gs + geq_ds)
-                rhs_values[2 + t_idx] = -(
-                    sign * i_now - geq_gs * sign * vgs
-                    - geq_ds * sign * vds
-                )
-        return values, rhs_values
+        # The companion arithmetic lives in the kernel tier (numpy
+        # reference or compiled per-lane loops — same lane-for-lane
+        # arithmetic either way).
+        values, rhs_values = active_kernel_backend().cnfet_companion(
+            self, didx, vsc, vgs, vds, gmin, tran, dt)
+        return values, rhs_values, vsc
 
 
 class _CNFETLaneGroup(_StackedCNFETBank, LaneGroup):
@@ -424,18 +400,19 @@ class _CNFETLaneGroup(_StackedCNFETBank, LaneGroup):
         didx = self._active(ctx)
         tran = ctx.analysis == "tran" and ctx.dt is not None
         vgs, vds = self._bias(ctx, ctx.x, didx)
-        values, rhs_values = self._companion(
+        values, rhs_values, _vsc = self._companion(
             vgs, vds, didx, ctx.gmin, tran, ctx.dt)
         # Two scatter-adds against the precomputed flat indices; the
         # ground pad row/column absorbs grounded terminals.
-        flat_m = ctx.matrix.reshape(-1)
-        flat_m += np.bincount(
+        backend = active_kernel_backend()
+        backend.scatter_add_pad(
+            ctx.matrix.reshape(-1),
             matrix_idx[:values.shape[0], didx].ravel(),
-            weights=values.ravel(), minlength=flat_m.size)
-        flat_r = ctx.rhs.reshape(-1)
-        flat_r += np.bincount(
+            values.ravel())
+        backend.scatter_add_pad(
+            ctx.rhs.reshape(-1),
             rhs_idx[:rhs_values.shape[0], didx].ravel(),
-            weights=rhs_values.ravel(), minlength=flat_r.size)
+            rhs_values.ravel())
 
 
 class CNFETSlab(_StackedCNFETBank):
@@ -457,9 +434,16 @@ class CNFETSlab(_StackedCNFETBank):
     Previous-step terminal charges are recomputed vectorized once per
     ``begin_step`` from ``x_prev`` (the scalar element memoises the
     same values per step).  The Jacobian-reuse fast path
-    (``NewtonOptions.jacobian_reuse_tol``) is a scalar-element
-    optimisation and does not apply here — the stacked evaluation is
-    already far cheaper than the re-use bookkeeping it would save.
+    (``NewtonOptions.jacobian_reuse_tol`` > 0) runs an exact-rhs
+    chord: the companion *matrix* rows are frozen at the last
+    linearisation point and restamped verbatim while every device's
+    bias stays within :data:`_SLAB_CHORD_RADIUS_V` of it, but the rhs
+    is rebuilt from a fresh closed-form solve at the current bias each
+    iteration — modified Newton, whose fixed point satisfies exact
+    KCL.  The frozen matrix keeps the assembled data bit-identical,
+    so the sparse backend reuses its LU factorisation across
+    iterations and accepted steps (see
+    :meth:`~repro.circuit.mna.TwoPhaseAssembler.solve`).
     """
 
     nonlinear = True
@@ -530,8 +514,62 @@ class CNFETSlab(_StackedCNFETBank):
         ``ctx.x``."""
         tran = ctx.analysis == "tran" and ctx.dt is not None
         vgs, vds = self._biases(ctx.x)
-        values, rhs_values = self._companion(
-            vgs, vds, self._all, ctx.gmin, tran, ctx.dt)
+        # Jacobian-reuse fast path (exact-rhs chord): while every
+        # device's bias stays within the chord radius of the memoised
+        # linearisation (same tran flavour, dt and gmin), the *matrix*
+        # rows restamp frozen while the rhs is rebuilt from a fresh
+        # closed-form solve at the current bias with the frozen
+        # gm/gds/geq coefficients.  That is the classic modified-
+        # Newton split: the fixed point satisfies exact KCL (the frozen
+        # coefficients cancel between matrix and rhs at convergence),
+        # so the radius trades iteration count against factorisation
+        # count, never accuracy — which is why it can be far looser
+        # than the scalar elements' O(tol^2) frozen-rhs tolerance.
+        # The frozen matrix keeps the assembled data bit-identical, so
+        # the sparse assembler reuses one LU factorisation across
+        # iterations and across plateau steps.
+        memo = self._memo
+        key = (tran, ctx.dt, ctx.gmin)
+        radius = max(ctx.reuse_tol, _SLAB_CHORD_RADIUS_V) \
+            if ctx.reuse_tol > 0.0 else 0.0
+        if radius > 0.0 and memo is not None \
+                and memo[0] == key \
+                and float(np.max(np.abs(vgs - memo[1]))) <= radius \
+                and float(np.max(np.abs(vds - memo[2]))) <= radius:
+            values = memo[3]
+            vsc = self.solver.solve(vgs, vds, self.hint,
+                                    idx=self._all, stats=self.stats)
+            eta_s = (self.ef - vsc) / self.kt
+            eta_d = eta_s - vds / self.kt
+            ids = self.pref * (_log1pexp_many(eta_s)
+                               - _log1pexp_many(eta_d))
+            sign = self.sign
+            gm = values[0]
+            gds = values[2] - ctx.gmin
+            residual = sign * ids - gm * sign * vgs - gds * sign * vds
+            rhs_values = np.empty((5 if tran else 2,
+                                   len(self.elements)))
+            rhs_values[0] = -residual
+            rhs_values[1] = residual
+            if tran:
+                length = self.length
+                qg = length * self.cg * (vgs + vsc)
+                qd = length * (self.cd * (vds + vsc)
+                               - self.curves.value(vsc + vds))
+                q0 = (qg, qd, -(qg + qd))
+                for t_idx in range(3):
+                    geq_gs = values[8 + 3 * t_idx]
+                    geq_ds = values[9 + 3 * t_idx]
+                    i_now = (q0[t_idx] - self.q_prev[t_idx]) / ctx.dt
+                    rhs_values[2 + t_idx] = -(
+                        sign * i_now - geq_gs * sign * vgs
+                        - geq_ds * sign * vds
+                    )
+        else:
+            values, rhs_values, _vsc = self._companion(
+                vgs, vds, self._all, ctx.gmin, tran, ctx.dt)
+            self._memo = (key, vgs, vds, values) if radius > 0.0 \
+                else None
         ctx.add_flat(
             self._m_idx[:values.shape[0]].ravel(), values.ravel(),
             self._r_idx[:rhs_values.shape[0]].ravel(),

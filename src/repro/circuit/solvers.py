@@ -30,11 +30,13 @@ crossover for MNA-shaped matrices on this codebase's workloads.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.errors import AnalysisError, ParameterError
+from repro.pwl.kernels import active_kernel_backend
 
 try:  # pragma: no cover - exercised via the scipy-absent fallback test
     from scipy.sparse import csc_matrix
@@ -105,6 +107,20 @@ class LinearSolverBackend:
         """
         raise NotImplementedError
 
+    def factorize_csc(self, n: int, data: np.ndarray,
+                      indices: np.ndarray, indptr: np.ndarray):
+        """Factorise one CSC system; the returned object exposes
+        ``.solve(rhs)`` reusable across right-hand sides.
+
+        ``None`` means the backend has no reusable factorisation (the
+        caller must go through :meth:`solve_csc` instead) — the
+        assembler uses this to reuse a factorisation across Newton
+        iterations whose ``data`` vector is unchanged (the Jacobian-
+        reuse chord path freezes the stamps, so the comparison is a
+        cheap ``np.array_equal``).
+        """
+        return None
+
 
 def _nan_fill_singular(matrices: np.ndarray, rhs: np.ndarray
                        ) -> np.ndarray:
@@ -116,6 +132,106 @@ def _nan_fill_singular(matrices: np.ndarray, rhs: np.ndarray
         except np.linalg.LinAlgError:
             out[i] = np.nan
     return out
+
+
+#: Relative residual ceiling of the frozen-pivot refactorization lane.
+#: The guarded quantity is ``max|Ax-b| / (max|b| + max|A| * max|x|)``;
+#: healthy solves sit at ~1e-16 (at or below SuperLU's own), a stale
+#: pivot order shows up orders of magnitude above this line.
+REFACTOR_GUARD_REL = 1e-11
+
+
+class _LuSymbolic:
+    """Frozen symbolic factorization for the compiled refactor lane.
+
+    Holds the L/U sparsity patterns, permutations and numeric buffers
+    that :meth:`CcKernelBackend.lu_refactor` replays against — all
+    int64 / float64 contiguous so the C kernel consumes them directly.
+    ``refresh`` re-derives everything from one scipy ``splu`` of the
+    current values (``Equil=False`` so no hidden row/column scaling:
+    ``Pr A Pc = L U`` exactly).
+    """
+
+    __slots__ = ("n", "indices", "indptr", "pr", "prinv", "pc", "pcinv",
+                 "lp", "li", "lx", "up", "ui", "ux", "work", "refreshes")
+
+    def __init__(self, n: int, indices: np.ndarray,
+                 indptr: np.ndarray) -> None:
+        self.n = n
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.work = np.zeros(n)
+        self.refreshes = 0
+
+    def refresh(self, matrix) -> None:
+        """Rebuild patterns/permutations from a fresh ``splu`` of
+        ``matrix`` (a csc_matrix holding the current values)."""
+        lu = splu(matrix, options=dict(Equil=False))
+        lower, upper = lu.L.tocsc(), lu.U.tocsc()
+        lower.sort_indices()
+        upper.sort_indices()
+        n = self.n
+        self.pr = lu.perm_r.astype(np.int64)
+        self.pc = lu.perm_c.astype(np.int64)
+        self.prinv = np.empty(n, dtype=np.int64)
+        self.prinv[self.pr] = np.arange(n)
+        self.pcinv = np.empty(n, dtype=np.int64)
+        self.pcinv[self.pc] = np.arange(n)
+        self.lp = lower.indptr.astype(np.int64)
+        self.li = lower.indices.astype(np.int64)
+        self.lx = np.ascontiguousarray(lower.data)
+        self.up = upper.indptr.astype(np.int64)
+        self.ui = upper.indices.astype(np.int64)
+        self.ux = np.ascontiguousarray(upper.data)
+        self.refreshes += 1
+
+
+class _RefactorLU:
+    """Factorization handle of the compiled refactor lane.
+
+    Duck-types the SuperLU object the assembler expects
+    (``.solve(rhs)``), but every solve is residual-guarded: the frozen
+    pivot order can lose accuracy as the Jacobian values drift, in
+    which case the handle transparently refreshes the symbolics from
+    a fresh ``splu`` and re-solves.  Only the newest handle per
+    pattern is valid — a later ``factorize_csc`` on the same pattern
+    reuses (overwrites) the shared numeric buffers.
+    """
+
+    __slots__ = ("owner", "kern", "sym", "data", "scale")
+
+    def __init__(self, owner: "SparseBackend", kern, sym: _LuSymbolic,
+                 data: np.ndarray) -> None:
+        self.owner = owner
+        self.kern = kern
+        self.sym = sym
+        self.data = data
+        self.scale = float(np.max(np.abs(data))) if data.size else 0.0
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        sym = self.sym
+        x = self.kern.lu_solve(sym, rhs)
+        err = self.kern.csc_residual(sym, self.data, x, rhs)
+        rhs_inf = float(np.max(np.abs(rhs))) if rhs.size else 0.0
+        x_inf = float(np.max(np.abs(x))) if x.size else 0.0
+        if err <= REFACTOR_GUARD_REL * (rhs_inf + self.scale * x_inf):
+            return x
+        # Stale pivot order: re-pivot on the current values and retry.
+        try:
+            matrix = self.owner._template(sym.n, self.data,
+                                          sym.indices, sym.indptr)
+            sym.refresh(matrix)
+            if self.kern.lu_refactor(sym, self.data) == 0:
+                x = self.kern.lu_solve(sym, rhs)
+                err = self.kern.csc_residual(sym, self.data, x, rhs)
+                if err <= REFACTOR_GUARD_REL * (
+                        rhs_inf + self.scale * x_inf):
+                    return x
+            return splu(matrix).solve(rhs)  # pragma: no cover
+        except RuntimeError as exc:  # pragma: no cover - singular
+            raise AnalysisError(
+                f"singular MNA matrix ({exc}); check for floating nodes"
+            ) from exc
 
 
 class DenseBackend(LinearSolverBackend):
@@ -162,6 +278,44 @@ class SparseBackend(LinearSolverBackend):
     name = "sparse"
     is_sparse = True
 
+    #: retained CSC templates (the matrix-shell cache in
+    #: :meth:`_template` keeps one per live assembler pattern)
+    _TEMPLATE_CACHE_MAX = 8
+
+    def __init__(self) -> None:
+        # (id(indices), id(indptr), n) -> (indices, indptr, csc) — the
+        # strong refs pin the keyed arrays so their ids stay valid.
+        self._templates: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # same keying -> (indices, indptr, _LuSymbolic) for the
+        # compiled frozen-pivot refactorization lane
+        self._symbolics: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    def _template(self, n: int, data: np.ndarray, indices: np.ndarray,
+                  indptr: np.ndarray):
+        """Cached ``csc_matrix`` shell for a (per-run constant)
+        symbolic pattern.
+
+        Building a ``csc_matrix`` from raw arrays re-runs index-dtype
+        selection, downcast copies and format validation on every
+        call — ~20% of a factorisation for MNA-sized systems.  The
+        pattern arrays are constant per assembler, so the shell is
+        built once and only its ``data`` vector is swapped per solve.
+        """
+        key = (id(indices), id(indptr), n)
+        hit = self._templates.get(key)
+        if hit is not None and hit[0] is indices and hit[1] is indptr:
+            matrix = hit[2]
+            self._templates.move_to_end(key)
+        else:
+            matrix = csc_matrix(
+                (data, indices.astype(np.int32),
+                 indptr.astype(np.int32)), shape=(n, n))
+            self._templates[key] = (indices, indptr, matrix)
+            while len(self._templates) > self._TEMPLATE_CACHE_MAX:
+                self._templates.popitem(last=False)
+        matrix.data = data
+        return matrix
+
     def solve_csc(self, n: int, data: np.ndarray, indices: np.ndarray,
                   indptr: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         """Factorise-and-solve one CSC system."""
@@ -172,10 +326,58 @@ class SparseBackend(LinearSolverBackend):
                     data[indptr[col]:indptr[col + 1]]
             return DenseBackend().solve_dense(matrix, rhs)
         try:
-            lu = splu(csc_matrix(
-                (data, indices, indptr), shape=(n, n)))
+            lu = splu(self._template(n, data, indices, indptr))
             return lu.solve(rhs)
         except RuntimeError as exc:  # "Factor is exactly singular"
+            raise AnalysisError(
+                f"singular MNA matrix ({exc}); check for floating nodes"
+            ) from exc
+
+    def factorize_csc(self, n: int, data: np.ndarray,
+                      indices: np.ndarray, indptr: np.ndarray):
+        """Factor object (``.solve(rhs)``), or ``None`` without scipy
+        (the dense fallback has nothing to reuse).
+
+        With the compiled kernel tier active this is the frozen-pivot
+        refactorization lane: the (per-run constant) L/U patterns and
+        permutations come from one SuperLU factorization, every
+        subsequent Newton iteration replays only the numeric phase in
+        C (~10x cheaper than ``splu`` for MNA-sized systems) and each
+        solve is residual-guarded against pivot staleness.  The numpy
+        kernel tier — and any zero-pivot pathology — takes the plain
+        SuperLU path, byte for byte the historical behaviour.
+        """
+        if not HAVE_SCIPY:
+            return None
+        kern = active_kernel_backend()
+        if getattr(kern, "lu_refactor", None) is None:
+            try:
+                return splu(self._template(n, data, indices, indptr))
+            except RuntimeError as exc:
+                raise AnalysisError(
+                    f"singular MNA matrix ({exc}); check for floating "
+                    f"nodes") from exc
+        key = (id(indices), id(indptr), n)
+        hit = self._symbolics.get(key)
+        if hit is not None and hit[0] is indices and hit[1] is indptr:
+            sym = hit[2]
+            self._symbolics.move_to_end(key)
+        else:
+            sym = _LuSymbolic(n, indices, indptr)
+            self._symbolics[key] = (indices, indptr, sym)
+            while len(self._symbolics) > self._TEMPLATE_CACHE_MAX:
+                self._symbolics.popitem(last=False)
+        try:
+            if sym.refreshes == 0:
+                sym.refresh(self._template(n, data, indices, indptr))
+            if kern.lu_refactor(sym, data) != 0:
+                # zero pivot under the frozen order: re-pivot once on
+                # the current values before giving up on the lane
+                sym.refresh(self._template(n, data, indices, indptr))
+                if kern.lu_refactor(sym, data) != 0:
+                    return splu(self._template(n, data, indices, indptr))
+            return _RefactorLU(self, kern, sym, data)
+        except RuntimeError as exc:
             raise AnalysisError(
                 f"singular MNA matrix ({exc}); check for floating nodes"
             ) from exc

@@ -18,7 +18,13 @@ in it and, where an experiment is stochastic, drives its random
 stream).  ``netlist``, ``mc`` and ``characterize`` accept
 ``--backend {auto,dense,sparse}`` to pick the linear-solver backend
 (auto switches to sparse at the measured dense/sparse crossover
-dimension; see ``docs/hierarchy.md``).
+dimension; see ``docs/hierarchy.md``) and
+``--kernels {auto,numpy,compiled}`` to pick the hot-kernel tier
+(auto prefers a compiled tier — numba or the system C compiler —
+falling back to numpy; see ``docs/kernels.md``).  Process counts for
+``mc`` (default: all cores) and ``characterize`` (default: 1) come
+from ``--workers``; ``auto`` honours the ``REPRO_WORKERS``
+environment variable before falling back to ``os.cpu_count()``.
 """
 
 from __future__ import annotations
@@ -60,6 +66,14 @@ def _backend_argument(parser: argparse.ArgumentParser) -> None:
                         help="linear-solver backend for the circuit "
                              "engine (auto picks sparse above the "
                              "dense/sparse crossover dimension)")
+    parser.add_argument("--kernels",
+                        choices=("auto", "numpy", "compiled", "numba",
+                                 "cc"),
+                        default="auto",
+                        help="hot-kernel tier (auto prefers compiled "
+                             "— numba or the system C compiler — and "
+                             "falls back to numpy; overrides the "
+                             "REPRO_KERNELS environment variable)")
 
 
 def _dump_json(payload) -> str:
@@ -158,12 +172,20 @@ def _cmd_table(args) -> int:
 def _cmd_mc(args) -> int:
     from repro.experiments.report import ascii_table
     from repro.experiments.workloads import variability_workload
+    from repro.parallel import resolve_workers
     from repro.variability.campaign import Campaign, CampaignConfig
     from repro.variability.params import CORNERS, corner_sample
 
+    workers = resolve_workers(args.workers)
+    # The device workloads are already batched in-process; they shard
+    # at the chunk level (campaign.run) only, so the factory keeps its
+    # workers-free contract for them.
+    factory_workers = (1 if args.workload in ("device",
+                                              "device-chirality")
+                       else workers)
     space, evaluator = variability_workload(
         args.workload, sigma_scale=args.sigma_scale, vdd=args.vdd,
-        model=args.model, stages=args.stages, workers=args.workers,
+        model=args.model, stages=args.stages, workers=factory_workers,
         metrics=args.metric, gate=args.gate,
         use_batch=not args.no_batch, backend=args.backend,
     )
@@ -173,7 +195,7 @@ def _cmd_mc(args) -> int:
         sampler=args.sampler, chunk_size=args.chunk_size,
     )
     campaign = Campaign(config, space, evaluator, run_dir=args.run_dir)
-    result = campaign.run(resume=not args.no_resume)
+    result = campaign.run(resume=not args.no_resume, workers=workers)
 
     corners = None
     if args.corners:
@@ -214,7 +236,8 @@ def _cmd_characterize(args) -> int:
     table = characterize_gate(family, args.gate, loads=loads,
                               slews=slews,
                               use_batch=not args.no_batch,
-                              backend=args.backend)
+                              backend=args.backend,
+                              workers=args.workers)
     if args.json:
         payload = table.to_json_dict()
         payload["command"] = "characterize"
@@ -410,9 +433,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--gate", default="nand2",
                       help="gate name for the gate workload "
                            "(see `characterize --help`)")
-    p_mc.add_argument("--workers", type=int, default=1,
-                      help="multiprocessing pool size for circuit "
-                           "workloads")
+    p_mc.add_argument("--workers", default="auto",
+                      help="process count for chunk/lane sharding "
+                           "(default: auto = REPRO_WORKERS env if "
+                           "set, else all cores)")
     p_mc.add_argument("--no-batch", action="store_true",
                       help="disable the lane-batched circuit engine "
                            "for the circuit workloads (per-sample "
@@ -445,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="characterize each grid point with its "
                              "own scalar transient instead of one "
                              "lane-batched run")
+    p_char.add_argument("--workers", default=1,
+                        help="shard the batched grid into this many "
+                             "tiles, one forked process each "
+                             "('auto' = REPRO_WORKERS env if set, "
+                             "else all cores; default 1 keeps the "
+                             "single-batch run)")
     _backend_argument(p_char)
     _script_arguments(p_char)
     p_char.set_defaults(func=_cmd_characterize)
@@ -480,6 +510,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.errors import ReproError
 
     try:
+        if getattr(args, "kernels", "auto") != "auto":
+            from repro.pwl.kernels import set_kernel_backend
+            set_kernel_backend(args.kernels)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,131 @@
+"""Process-level sharding for embarrassingly parallel work.
+
+The engine's scale loops — Monte-Carlo chunks, characterization grid
+tiles, stacked DC sweeps — are independent by construction, so they
+shard across processes with no coordination beyond "split, run,
+concatenate".  This module is that mechanism:
+
+* :func:`resolve_workers` turns a worker spec (``None`` / ``0`` /
+  ``"auto"`` / an int) into a process count, honouring the
+  ``REPRO_WORKERS`` environment override before falling back to
+  ``os.cpu_count()``.
+* :func:`fork_map` maps a callable over items through a fork-based
+  ``ProcessPoolExecutor``.  Fork inheritance is the shared-memory
+  mechanism: the callable and the item list are published in a module
+  global *before* the pool spawns, so each worker reads the parent's
+  arrays copy-on-write instead of receiving a pickle of them — only
+  the (small) per-item results travel back over the pipe.  Platforms
+  without ``fork`` (and nested ``fork_map`` calls) degrade to the
+  serial loop, same results.
+
+Determinism note: sharding never changes *what* is computed, only
+where.  Work whose numerics depend on how items are grouped (e.g. the
+shared pulse envelope of a lane-batched characterization grid) must
+shard at the grouping boundary and document the tolerance — see
+``characterize_gate(workers=...)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.errors import ParameterError
+
+__all__ = ["resolve_workers", "fork_map", "WORKERS_ENV"]
+
+#: Environment override consulted by ``resolve_workers(None)`` — lets
+#: ``repro mc`` / ``repro characterize`` runs pin their process count
+#: without touching the command line.
+WORKERS_ENV = "REPRO_WORKERS"
+
+WorkerSpec = Union[None, int, str]
+
+#: (fn, items) inherited by forked workers; ``None`` outside a
+#: ``fork_map`` call.  Module-global on purpose: fork shares it
+#: copy-on-write, which is what keeps large item lists unpickled.
+_WORK = None
+
+
+def resolve_workers(workers: WorkerSpec = None) -> int:
+    """Resolve a worker spec to a process count (>= 1).
+
+    ``None`` / ``0`` / ``"auto"`` resolve to the ``REPRO_WORKERS``
+    environment variable when set, else ``os.cpu_count()``.  Positive
+    integers (or their strings) pass through.
+    """
+    if isinstance(workers, str):
+        if workers.strip().lower() == "auto":
+            workers = None
+        else:
+            try:
+                workers = int(workers)
+            except ValueError:
+                raise ParameterError(
+                    f"workers must be a positive int, 0/'auto' or None: "
+                    f"{workers!r}") from None
+    if workers is None or workers == 0:
+        env = os.environ.get(WORKERS_ENV)
+        if env is not None:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ParameterError(
+                    f"{WORKERS_ENV} must be an integer: {env!r}"
+                ) from None
+            if workers < 1:
+                raise ParameterError(
+                    f"{WORKERS_ENV} must be >= 1: {env!r}")
+            return workers
+        return os.cpu_count() or 1
+    if not isinstance(workers, int) or workers < 1:
+        raise ParameterError(
+            f"workers must be a positive int, 0/'auto' or None: "
+            f"{workers!r}")
+    return workers
+
+
+def _can_fork() -> bool:
+    if sys.platform == "win32":  # pragma: no cover - POSIX container
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _invoke(index: int):
+    fn, items = _WORK
+    return fn(items[index])
+
+
+def fork_map(fn: Callable, items: Sequence,
+             workers: WorkerSpec = None,
+             chunksize: Optional[int] = None) -> List:
+    """``[fn(item) for item in items]`` sharded over forked processes.
+
+    ``fn`` and ``items`` are inherited by the workers through fork
+    (copy-on-write — nothing is pickled going in; results are pickled
+    coming back), so ``fn`` may be a bound method closing over large
+    state.  Order is preserved.  Runs serially — same results — when
+    the resolved worker count or the item count is 1, when ``fork`` is
+    unavailable, or inside a nested ``fork_map``.
+
+    Exceptions raised by ``fn`` propagate to the caller (out of the
+    pool in the sharded case); callers that want failure-as-data
+    semantics wrap ``fn`` accordingly, exactly as in the serial loop.
+    """
+    global _WORK
+    items = list(items)
+    count = min(resolve_workers(workers), len(items))
+    if count <= 1 or _WORK is not None or not _can_fork():
+        return [fn(item) for item in items]
+    _WORK = (fn, items)
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=count,
+                                 mp_context=context) as pool:
+            return list(pool.map(_invoke, range(len(items)),
+                                 chunksize=chunksize or 1))
+    finally:
+        _WORK = None

@@ -471,61 +471,15 @@ class StackedVscSolver:
         (optional dict) accumulates ``"stacked_lanes"`` and
         ``"stacked_fallbacks"`` counters.
         """
+        from repro.pwl.kernels import active_kernel_backend
         rows = self._lanes if idx is None else idx
-        bps = self.bps[rows] if idx is not None else self.bps
-        sub = np.arange(len(rows)) if idx is not None else rows
         n = len(rows)
-        vds_q = np.floor(vds * _STACK_VDS_SCALE + 0.5) * _STACK_VDS_QUANTUM
-        qt = (self.cg[rows] * vgs + self.cd[rows] * vds) / self.csum[rows]
         out = np.empty(n)
-        ok = np.zeros(n, dtype=bool)
-        probe_s = hint[rows]
-        probe_d = probe_s + vds_q
-        old_err = np.seterr(invalid="ignore", divide="ignore",
-                            over="ignore")
-        try:
-            for _attempt in range(2):
-                i_s = (bps < probe_s[:, None]).sum(axis=1)
-                i_d = (bps < probe_d[:, None]).sum(axis=1)
-                qs = self.polys[rows, i_s]
-                qd = self.polys[rows, i_d]
-                # Taylor shift of the drain polynomial by the quantized
-                # VDS (the scalar path shifts by the same quantized
-                # value inside ``_segments_for_vds``).
-                d = vds_q
-                s0 = qd[:, 0] + d * (qd[:, 1] + d * (qd[:, 2]
-                                                     + d * qd[:, 3]))
-                s1 = qd[:, 1] + d * (2.0 * qd[:, 2] + 3.0 * d * qd[:, 3])
-                s2 = qd[:, 2] + 3.0 * d * qd[:, 3]
-                s3 = qd[:, 3]
-                e0 = qt - (qs[:, 0] + s0)
-                e1 = 1.0 - (qs[:, 1] + s1)
-                e2 = -(qs[:, 2] + s2)
-                e3 = -(qs[:, 3] + s3)
-                roots = real_roots_batch(e0, e1, e2, e3)
-                lo = np.maximum(self.lo_edges[rows, i_s],
-                                self.lo_edges[rows, i_d] - vds_q)
-                hi = np.minimum(self.hi_edges[rows, i_s],
-                                self.hi_edges[rows, i_d] - vds_q)
-                inside = (roots >= (lo - _STACK_EDGE_TOL)[:, None]) \
-                    & (roots <= (hi + _STACK_EDGE_TOL)[:, None])
-                res = np.abs(polyval4(e0[:, None], e1[:, None],
-                                      e2[:, None], e3[:, None], roots))
-                res = np.where(inside & np.isfinite(res), res, np.inf)
-                pick = res.argmin(axis=1)
-                best = roots[sub, pick]
-                good = ~ok & (res[sub, pick] <= _STACK_RESIDUAL_TOL)
-                out[good] = best[good]
-                ok |= good
-                if ok.all():
-                    break
-                # Refinement: re-derive the region pair from the best
-                # candidate (handles single-region drift in one pass).
-                probe_s = np.where(np.isfinite(best) & ~ok, best, probe_s)
-                probe_d = probe_s + vds_q
-        finally:
-            np.seterr(**old_err)
-        bad = np.flatnonzero(~ok)
+        # The vectorized (or compiled) region solve lives in the kernel
+        # tier; it fills ``out`` and reports the selection positions
+        # that still need the exact scalar fallback.
+        bad = active_kernel_backend().vsc_solve(
+            self, rows, idx, vgs, vds, hint, out)
         for k in bad:
             out[k] = self.solvers[int(rows[k])].solve(
                 float(vgs[k]), float(vds[k]), 0.0)

@@ -1,0 +1,174 @@
+"""Kernel tiers for the stacked hot path.
+
+The lane-batched engine funnels through three measured hot kernels —
+the :class:`~repro.pwl.batch.StackedVscSolver` region solve, the
+stacked CNFET companion-bank evaluation, and the scatter-add stamping
+in the assemblers.  Each has two interchangeable implementations:
+
+``numpy``
+    The historical vectorized code, moved verbatim to
+    :mod:`repro.pwl.kernels.numpy_backend` — byte-identical waveforms,
+    zero dependencies.
+
+``compiled``
+    Per-lane loops compiled either by numba (``numba_backend``) or by
+    the system C compiler through ctypes (``cc_backend``), whichever is
+    available.  Same arithmetic lane for lane; transcendentals may
+    differ from numpy's SIMD ufuncs by a few ulp, bounded engine-side
+    to <= 1e-12 V on waveforms (the bench parity gate).
+
+Selection mirrors the sparse linear-solver resolve pattern
+(:func:`repro.circuit.solvers.resolve_backend`): ``auto`` prefers a
+compiled tier and falls back to numpy, the ``REPRO_KERNELS``
+environment variable overrides the default, and the ``--kernels`` CLI
+flag overrides both.  The active tier is process-global (stamp paths
+sit too deep to thread a handle through): set it with
+:func:`set_kernel_backend` or temporarily with :func:`using_kernels`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, Optional, Union
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "KernelBackendLike",
+    "active_kernel_backend",
+    "compiled_backend_available",
+    "have_numba",
+    "resolve_kernel_backend",
+    "set_kernel_backend",
+    "using_kernels",
+]
+
+KernelBackendLike = Union[None, str, object]
+
+_ENV_VAR = "REPRO_KERNELS"
+
+_numpy_backend = None
+_compiled_backend = None
+_compiled_error: Optional[str] = None
+_compiled_probed = False
+
+_active = None
+_active_spec: Optional[str] = None
+
+
+def _get_numpy_backend():
+    global _numpy_backend
+    if _numpy_backend is None:
+        from repro.pwl.kernels.numpy_backend import NumpyKernelBackend
+        _numpy_backend = NumpyKernelBackend()
+    return _numpy_backend
+
+
+def have_numba() -> bool:
+    """True when numba imports (the preferred compiled tier)."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _get_compiled_backend(kind: str = "any"):
+    """Compiled backend instance, or None (error recorded).
+
+    ``kind``: ``"any"`` (numba, then cc), ``"numba"``, or ``"cc"``.
+    """
+    global _compiled_backend, _compiled_error, _compiled_probed
+    if kind == "any" and _compiled_probed:
+        return _compiled_backend
+    errors = []
+    backend = None
+    if kind in ("any", "numba"):
+        try:
+            from repro.pwl.kernels.numba_backend import NumbaKernelBackend
+            backend = NumbaKernelBackend()
+        except Exception as exc:  # ImportError, or numba init failure
+            errors.append(f"numba: {exc}")
+    if backend is None and kind in ("any", "cc"):
+        try:
+            from repro.pwl.kernels.cc_backend import CcKernelBackend
+            backend = CcKernelBackend()
+        except Exception as exc:
+            errors.append(f"cc: {exc}")
+    if kind == "any":
+        _compiled_probed = True
+        _compiled_backend = backend
+        _compiled_error = "; ".join(errors) if backend is None else None
+    return backend
+
+
+def compiled_backend_available() -> bool:
+    """True when a compiled tier (numba or cc) can be instantiated."""
+    return _get_compiled_backend() is not None
+
+
+def resolve_kernel_backend(spec: KernelBackendLike = None):
+    """Kernel backend for ``spec``.
+
+    ``None`` and ``"auto"`` consult ``REPRO_KERNELS`` and then prefer a
+    compiled tier, falling back to numpy; ``"numpy"`` forces the
+    reference tier; ``"compiled"`` requires a compiled tier (numba or
+    cc) and raises :class:`ParameterError` when neither is available;
+    ``"numba"`` / ``"cc"`` pin the specific compiled flavour.  A
+    backend instance passes through unchanged.
+    """
+    if spec is None or spec == "auto":
+        env = os.environ.get(_ENV_VAR, "").strip()
+        if env and env != "auto":
+            return resolve_kernel_backend(env)
+        backend = _get_compiled_backend()
+        return backend if backend is not None else _get_numpy_backend()
+    if isinstance(spec, str):
+        name = spec.strip().lower()
+        if name == "numpy":
+            return _get_numpy_backend()
+        if name in ("compiled", "numba", "cc"):
+            kind = "any" if name == "compiled" else name
+            backend = _get_compiled_backend(kind)
+            if backend is None:
+                detail = _compiled_error or "numba not installed and " \
+                    "no C compiler found"
+                raise ParameterError(
+                    f"kernel backend '{name}' unavailable ({detail}); "
+                    "use --kernels numpy or install numba")
+            return backend
+        raise ParameterError(
+            f"unknown kernel backend '{spec}' "
+            "(expected auto, numpy, compiled, numba or cc)")
+    if hasattr(spec, "vsc_solve"):
+        return spec
+    raise ParameterError(f"unknown kernel backend spec: {spec!r}")
+
+
+def active_kernel_backend():
+    """The process-global kernel backend the stamp paths use."""
+    global _active
+    if _active is None:
+        _active = resolve_kernel_backend(_active_spec)
+    return _active
+
+
+def set_kernel_backend(spec: KernelBackendLike = None):
+    """Set (and return) the process-global kernel backend."""
+    global _active, _active_spec
+    _active = resolve_kernel_backend(spec)
+    _active_spec = getattr(spec, "name", spec)
+    return _active
+
+
+@contextlib.contextmanager
+def using_kernels(spec: KernelBackendLike) -> Iterator[object]:
+    """Temporarily switch the process-global kernel backend."""
+    global _active, _active_spec
+    prev, prev_spec = _active, _active_spec
+    backend = set_kernel_backend(spec)
+    try:
+        yield backend
+    finally:
+        _active, _active_spec = prev, prev_spec

@@ -1,0 +1,363 @@
+"""Compiled kernel tier backed by numba ``@njit`` loops.
+
+Importing this module raises :class:`ImportError` when numba is not
+installed; :func:`repro.pwl.kernels.resolve_kernel_backend` treats that
+as "tier unavailable" and tries the C tier next.  The jitted loops
+mirror :mod:`repro.pwl.kernels._kernels.c` lane for lane (hint-warmed
+region solve with residual-argmin parity, companion bank fill,
+scatter-add stamping); like the C tier, transcendental results may
+differ from numpy's SIMD ufuncs at the ulp level, bounded engine-side
+by the residual validation and the <= 1e-12 V parity gate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from numba import njit  # noqa: F401  (ImportError => tier unavailable)
+
+_EPS = float(np.finfo(float).eps)
+_DEGREE_TOL = 1e-14
+_RESIDUAL_TOL = 1e-12
+_EDGE_TOL = 1e-9
+_VDS_QUANTUM = 1e-12
+_VDS_SCALE = 1.0 / _VDS_QUANTUM
+_PHI1 = 2.0943951023931953
+_PHI2 = 4.1887902047863905
+
+_FAST = dict(cache=True, fastmath=False, nogil=True)
+
+
+@njit(**_FAST)
+def _real_roots_scalar(c0, c1, c2, c3, roots):
+    """NaN-padded real roots of one cubic (twin of
+    ``real_roots_batch`` restricted to a single lane)."""
+    roots[0] = np.nan
+    roots[1] = np.nan
+    roots[2] = np.nan
+    scale = max(max(abs(c0), abs(c1)), max(abs(c2), abs(c3)))
+    tol = _DEGREE_TOL * scale
+    if abs(c3) >= tol:
+        a = c2 / c3
+        b = c1 / c3
+        c = c0 / c3
+        a_third = a / 3.0
+        p = b - a * a_third
+        q = 2.0 * a * a * a / 27.0 - a * b / 3.0 + c
+        half_q = 0.5 * q
+        third_p = p / 3.0
+        disc = half_q * half_q + third_p * third_p * third_p
+        abs_a = abs(a)
+        mag_q = abs_a * abs_a * abs_a / 27.0 + abs(a * b) / 3.0 + abs(c)
+        mag_p = abs(b) + a * a / 3.0
+        disc_noise = 8.0 * _EPS * (
+            abs(half_q) * mag_q + third_p * third_p * 3.0 * mag_p
+        )
+        if abs(disc) < disc_noise:
+            disc = 0.0
+        if disc > 0.0:
+            sqrt_disc = math.sqrt(disc)
+            roots[0] = (np.cbrt(-half_q + sqrt_disc)
+                        + np.cbrt(-half_q - sqrt_disc) - a_third)
+        elif disc < 0.0:
+            m = 2.0 * math.sqrt(-third_p)
+            pm = p * m
+            arg = (3.0 * q) / pm
+            if arg > 1.0:
+                arg = 1.0
+            elif arg < -1.0:
+                arg = -1.0
+            theta = math.acos(arg) / 3.0
+            roots[0] = m * math.cos(theta) - a_third
+            roots[1] = m * math.cos(theta - _PHI1) - a_third
+            roots[2] = m * math.cos(theta - _PHI2) - a_third
+        else:
+            u = np.cbrt(-half_q)
+            r1 = 2.0 * u - a_third
+            r2 = -u - a_third
+            if half_q == 0.0:
+                roots[0] = -a_third
+            else:
+                roots[0] = r1
+                if r1 != r2:
+                    roots[1] = r2
+    elif abs(c2) >= tol:
+        disc = c1 * c1 - 4.0 * c2 * c0
+        if disc == 0.0:
+            roots[0] = -c1 / (2.0 * c2)
+        else:
+            sqrt_disc = math.sqrt(disc) if disc > 0.0 else np.nan
+            q = -0.5 * (c1 + math.copysign(sqrt_disc, c1))
+            roots[0] = q / c2
+            roots[1] = c0 / q if q != 0.0 else 0.0
+    elif abs(c1) >= tol:
+        roots[0] = -c0 / c1
+
+
+@njit(**_FAST)
+def _region_of(bps, lane, k_bps, v):
+    r = 0
+    for j in range(k_bps):
+        if bps[lane, j] < v:
+            r += 1
+    return r
+
+
+@njit(**_FAST)
+def _vsc_solve(rows, vgs, vds, bps, lo_edges, hi_edges, polys, cg, cd,
+               csum, hint, out, bad):
+    n = rows.shape[0]
+    k_bps = bps.shape[1]
+    roots = np.empty(3)
+    n_bad = 0
+    for i in range(n):
+        lane = rows[i]
+        vds_q = math.floor(vds[i] * _VDS_SCALE + 0.5) * _VDS_QUANTUM
+        qt = (cg[lane] * vgs[i] + cd[lane] * vds[i]) / csum[lane]
+        probe_s = hint[lane]
+        probe_d = probe_s + vds_q
+        solved = False
+        # Four hint-refined attempts (the numpy reference stops at two
+        # to stay byte-identical; extra region-refinement rounds keep
+        # drift lanes out of the Python scalar fallback).
+        for _attempt in range(4):
+            i_s = _region_of(bps, lane, k_bps, probe_s)
+            i_d = _region_of(bps, lane, k_bps, probe_d)
+            d = vds_q
+            qd0 = polys[lane, i_d, 0]
+            qd1 = polys[lane, i_d, 1]
+            qd2 = polys[lane, i_d, 2]
+            qd3 = polys[lane, i_d, 3]
+            s0 = qd0 + d * (qd1 + d * (qd2 + d * qd3))
+            s1 = qd1 + d * (2.0 * qd2 + 3.0 * d * qd3)
+            s2 = qd2 + 3.0 * d * qd3
+            s3 = qd3
+            e0 = qt - (polys[lane, i_s, 0] + s0)
+            e1 = 1.0 - (polys[lane, i_s, 1] + s1)
+            e2 = -(polys[lane, i_s, 2] + s2)
+            e3 = -(polys[lane, i_s, 3] + s3)
+            _real_roots_scalar(e0, e1, e2, e3, roots)
+            lo = max(lo_edges[lane, i_s], lo_edges[lane, i_d] - vds_q)
+            hi = min(hi_edges[lane, i_s], hi_edges[lane, i_d] - vds_q)
+            # np.argmin parity: inf-masked residuals, first-min pick.
+            res0 = np.inf
+            pick = 0
+            for j in range(3):
+                r = roots[j]
+                res = abs(((e3 * r + e2) * r + e1) * r + e0)
+                if not (r >= lo - _EDGE_TOL and r <= hi + _EDGE_TOL
+                        and np.isfinite(res)):
+                    res = np.inf
+                if res < res0:
+                    res0 = res
+                    pick = j
+            best = roots[pick]
+            if res0 <= _RESIDUAL_TOL:
+                out[i] = best
+                solved = True
+                break
+            if np.isfinite(best):
+                probe_s = best
+                probe_d = probe_s + vds_q
+        if not solved:
+            bad[n_bad] = i
+            n_bad += 1
+    return n_bad
+
+
+@njit(**_FAST)
+def _log1pexp(x):
+    if x > 35.0:
+        return x
+    e = math.exp(x)
+    if x < -35.0:
+        return e
+    return math.log1p(e)
+
+
+@njit(**_FAST)
+def _logistic(x):
+    if x >= 0.0:
+        return 1.0 / (1.0 + math.exp(-x))
+    e = math.exp(x)
+    return e / (1.0 + e)
+
+
+@njit(**_FAST)
+def _curve_region(cbps, lane, k_bps, v):
+    r = 0
+    for j in range(k_bps):
+        if cbps[lane, j] < v:
+            r += 1
+    return r
+
+
+@njit(**_FAST)
+def _companion(didx, vsc, vgs, vds, sign, length, kt, ef, pref, cg, cd,
+               csum, cbps, ccoeffs, cdcoeffs, q_prev, gmin, tran, dt,
+               values, rhs_values):
+    n = didx.shape[0]
+    k_bps = cbps.shape[1]
+    for i in range(n):
+        r = didx[i]
+        kt_r = kt[r]
+        eta_s = (ef[r] - vsc[i]) / kt_r
+        eta_d = eta_s - vds[i] / kt_r
+        pref_r = pref[r]
+        ids = pref_r * (_log1pexp(eta_s) - _log1pexp(eta_d))
+        sig_s = _logistic(eta_s)
+        sig_d = _logistic(eta_d)
+        di_dvsc = (pref_r / kt_r) * (sig_d - sig_s)
+        vs = vsc[i]
+        vd = vsc[i] + vds[i]
+        rs = _curve_region(cbps, r, k_bps, vs)
+        rd = _curve_region(cbps, r, k_bps, vd)
+        dq_s = (cdcoeffs[r, rs, 2] * vs + cdcoeffs[r, rs, 1]) * vs \
+            + cdcoeffs[r, rs, 0]
+        dq_d = (cdcoeffs[r, rd, 2] * vd + cdcoeffs[r, rd, 1]) * vd \
+            + cdcoeffs[r, rd, 0]
+        cg_r = cg[r]
+        cd_r = cd[r]
+        denominator = csum[r] - dq_s - dq_d
+        dvsc_g = -cg_r / denominator
+        dvsc_d = -(cd_r - dq_d) / denominator
+        gm = di_dvsc * dvsc_g
+        gds = (pref_r / kt_r) * sig_d + di_dvsc * dvsc_d
+        s_ = sign[r]
+        residual = s_ * ids - gm * s_ * vgs[i] - gds * s_ * vds[i]
+        values[0, i] = gm
+        values[1, i] = -(gm + gmin)
+        values[2, i] = gds + gmin
+        values[3, i] = gm + gds + 2.0 * gmin
+        values[4, i] = -(gm + gds + gmin)
+        values[5, i] = -(gds + gmin)
+        values[6, i] = gmin
+        values[7, i] = -gmin
+        rhs_values[0, i] = -residual
+        rhs_values[1, i] = residual
+        if tran:
+            length_r = length[r]
+            q_d_mobile = ((ccoeffs[r, rd, 3] * vd + ccoeffs[r, rd, 2])
+                          * vd + ccoeffs[r, rd, 1]) * vd \
+                + ccoeffs[r, rd, 0]
+            qg = length_r * cg_r * (vgs[i] + vsc[i])
+            qd = length_r * (cd_r * (vds[i] + vsc[i]) - q_d_mobile)
+            dg_gs = length_r * cg_r * (1.0 + dvsc_g)
+            dg_ds = length_r * cg_r * dvsc_d
+            dd_gs = length_r * dvsc_g * (cd_r - dq_d)
+            dd_ds = length_r * (1.0 + dvsc_d) * (cd_r - dq_d)
+            for t_idx in range(3):
+                if t_idx == 0:
+                    q0 = qg
+                    geq_gs = dg_gs / dt
+                    geq_ds = dg_ds / dt
+                elif t_idx == 1:
+                    q0 = qd
+                    geq_gs = dd_gs / dt
+                    geq_ds = dd_ds / dt
+                else:
+                    q0 = -(qg + qd)
+                    geq_gs = -(dg_gs + dd_gs) / dt
+                    geq_ds = -(dg_ds + dd_ds) / dt
+                i_now = (q0 - q_prev[t_idx, r]) / dt
+                row = 8 + 3 * t_idx
+                values[row, i] = geq_gs
+                values[row + 1, i] = geq_ds
+                values[row + 2, i] = -(geq_gs + geq_ds)
+                rhs_values[2 + t_idx, i] = -(
+                    s_ * i_now - geq_gs * s_ * vgs[i]
+                    - geq_ds * s_ * vds[i]
+                )
+
+
+@njit(**_FAST)
+def _scatter_add_pad(out, m_idx, m_val):
+    size = out.shape[0]
+    for i in range(m_idx.shape[0]):
+        j = m_idx[i]
+        if j < size:
+            out[j] += m_val[i]
+
+
+@njit(**_FAST)
+def _triplet_append(m_idx, m_val, dim2, out_idx, out_val, offset):
+    kept = 0
+    for i in range(m_idx.shape[0]):
+        j = m_idx[i]
+        if j < dim2:
+            out_idx[offset + kept] = j
+            out_val[offset + kept] = m_val[i]
+            kept += 1
+    return kept
+
+
+@njit(**_FAST)
+def _scatter_accum(data, map_idx, values):
+    for i in range(map_idx.shape[0]):
+        data[map_idx[i]] += values[i]
+
+
+class NumbaKernelBackend:
+    """Compiled kernel tier: numba ``@njit`` per-lane loops."""
+
+    name = "numba"
+    compiled = True
+
+    def vsc_solve(self, solver, rows: np.ndarray,
+                  idx: Optional[np.ndarray], vgs: np.ndarray,
+                  vds: np.ndarray, hint: np.ndarray,
+                  out: np.ndarray) -> np.ndarray:
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        bad = np.empty(rows.size, dtype=np.int64)
+        n_bad = _vsc_solve(
+            rows, np.ascontiguousarray(vgs, dtype=np.float64),
+            np.ascontiguousarray(vds, dtype=np.float64),
+            solver.bps, solver.lo_edges, solver.hi_edges, solver.polys,
+            solver.cg, solver.cd, solver.csum, hint, out, bad)
+        return bad[:n_bad]
+
+    def cnfet_companion(self, bank, didx: np.ndarray, vsc: np.ndarray,
+                        vgs: np.ndarray, vds: np.ndarray, gmin: float,
+                        tran: bool, dt: Optional[float]
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        n = didx.size
+        values = np.empty((17 if tran else 8, n))
+        rhs_values = np.empty((5 if tran else 2, n))
+        curves = bank.curves
+        _companion(
+            np.ascontiguousarray(didx, dtype=np.int64),
+            np.ascontiguousarray(vsc, dtype=np.float64),
+            np.ascontiguousarray(vgs, dtype=np.float64),
+            np.ascontiguousarray(vds, dtype=np.float64),
+            bank.sign, bank.length, bank.kt, bank.ef, bank.pref,
+            bank.cg, bank.cd, bank.csum,
+            curves.bps, curves.coeffs, curves.dcoeffs, bank.q_prev,
+            float(gmin), bool(tran),
+            float(dt) if dt is not None else 0.0,
+            values, rhs_values)
+        return values, rhs_values
+
+    def scatter_add_pad(self, out: np.ndarray, m_idx: np.ndarray,
+                        m_val: np.ndarray) -> None:
+        _scatter_add_pad(out,
+                         np.ascontiguousarray(m_idx, dtype=np.int64),
+                         np.ascontiguousarray(m_val, dtype=np.float64))
+
+    def triplet_append(self, m_idx: np.ndarray, m_val: np.ndarray,
+                       dim2: int, out_idx: np.ndarray,
+                       out_val: np.ndarray, offset: int) -> int:
+        return int(_triplet_append(
+            np.ascontiguousarray(m_idx, dtype=np.int64),
+            np.ascontiguousarray(m_val, dtype=np.float64),
+            int(dim2), out_idx, out_val, int(offset)))
+
+    def scatter_accum(self, base: np.ndarray, map_idx: np.ndarray,
+                      values: np.ndarray) -> np.ndarray:
+        data = base.copy()
+        _scatter_accum(data,
+                       np.ascontiguousarray(map_idx, dtype=np.int64),
+                       np.ascontiguousarray(values, dtype=np.float64))
+        return data

@@ -372,12 +372,26 @@ class Campaign:
         size = self.config.chunk_size
         return [samples[i:i + size] for i in range(0, len(samples), size)]
 
-    def run(self, resume: bool = True, progress=None) -> CampaignResult:
+    def run(self, resume: bool = True, progress=None,
+            workers: "int | str | None" = 1) -> CampaignResult:
         """Execute (or finish) the campaign and aggregate the run table.
 
         ``progress`` is an optional callable ``(done_chunks,
         total_chunks)`` invoked after every chunk.
+
+        ``workers`` shards the *pending* chunks over forked processes
+        (``None`` / ``0`` / ``"auto"`` resolve through
+        :func:`repro.parallel.resolve_workers`: the ``REPRO_WORKERS``
+        environment variable, else every core).  Chunk files are
+        written by the parent only, in chunk order, so resumable run
+        directories behave identically to the serial path.  The one
+        behavioural difference: evaluator memo entries do not flow
+        between workers, so cross-chunk sample deduplication happens
+        per worker instead of globally — same results, possibly some
+        repeated work.
         """
+        from repro.parallel import fork_map, resolve_workers
+
         cfg = self.config
         samples = sample_space(self.space, cfg.n_samples, cfg.seed,
                                method=cfg.sampler)
@@ -389,15 +403,32 @@ class Campaign:
             chunk_dir.mkdir(parents=True, exist_ok=True)
             self._check_manifest(resume)
 
-        all_records: List[Dict] = []
+        loaded: Dict[int, List[Dict]] = {}
         for index, chunk in enumerate(chunks):
-            records = None
             path = (chunk_dir / f"chunk_{index:04d}.json"
                     if chunk_dir is not None else None)
             if path is not None and resume and path.exists():
                 records = self._load_chunk(path, index, chunk)
-            if records is None:
-                metrics = self.evaluator.evaluate(chunk)
+                if records is not None:
+                    loaded[index] = records
+        pending = [i for i in range(len(chunks)) if i not in loaded]
+        if resolve_workers(workers) > 1 and len(pending) > 1:
+            metric_lists = fork_map(
+                self.evaluator.evaluate,
+                [chunks[i] for i in pending], workers)
+        else:
+            metric_lists = [self.evaluator.evaluate(chunks[i])
+                            for i in pending]
+
+        all_records: List[Dict] = []
+        done = 0
+        computed_metrics = dict(zip(pending, metric_lists))
+        for index, chunk in enumerate(chunks):
+            if index in loaded:
+                records = loaded[index]
+                resumed += 1
+            else:
+                metrics = computed_metrics[index]
                 start = index * cfg.chunk_size
                 records = [
                     {"index": start + i,
@@ -406,14 +437,14 @@ class Campaign:
                     for i in range(len(chunk))
                 ]
                 computed += 1
-                if path is not None:
-                    _atomic_write_json(path, {"chunk": index,
-                                              "records": records})
-            else:
-                resumed += 1
+                if chunk_dir is not None:
+                    _atomic_write_json(
+                        chunk_dir / f"chunk_{index:04d}.json",
+                        {"chunk": index, "records": records})
             all_records.extend(records)
+            done += 1
             if progress is not None:
-                progress(index + 1, len(chunks))
+                progress(done, len(chunks))
 
         aggregate = aggregate_metrics(
             all_records, getattr(self.evaluator, "spec_limits", None))

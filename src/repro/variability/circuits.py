@@ -21,10 +21,13 @@ sweeps as stacked DC solves — instead of one Python-level simulation
 loop per sample.  Lanes whose lock-step Newton fails are re-run through
 the scalar engine automatically, so results match the per-sample path.
 
-With ``use_batch=False`` the evaluators fall back to the per-key scalar
-loop, optionally fanned out over a ``multiprocessing`` pool: the
-evaluator object is pickled to the workers, each of which builds its
-own devices behind its own per-process fit cache.
+With ``workers > 1`` the work shards over forked processes through
+:func:`repro.parallel.fork_map`: the batch path ships whole
+``BATCH_LANES`` tiles to the workers (tile boundaries unchanged, so
+per-lane numerics match the serial path exactly), the
+``use_batch=False`` scalar loop ships individual keys.  Fork
+inheritance shares the evaluator state copy-on-write — each worker
+still builds its own devices behind its own per-process fit cache.
 """
 
 from __future__ import annotations
@@ -103,16 +106,26 @@ class _CircuitEvaluatorBase:
         keys = [quantize_sample(s, self.quantize) for s in samples]
         pending = [k for k in dict.fromkeys(keys) if k not in self._memo]
         if self.use_batch and len(pending) > 1:
-            results = []
-            for start in range(0, len(pending), self.BATCH_LANES):
-                results.extend(self._evaluate_keys_batch(
-                    pending[start:start + self.BATCH_LANES]))
-        elif self.workers > 1 and len(pending) > 1:
-            import multiprocessing as mp
+            tiles = [pending[start:start + self.BATCH_LANES]
+                     for start in range(0, len(pending),
+                                        self.BATCH_LANES)]
+            if self.workers > 1 and len(tiles) > 1:
+                # Lane-tile sharding: each forked worker runs whole
+                # stacked solves (the tile boundaries are unchanged,
+                # so per-lane numerics match the serial path exactly).
+                from repro.parallel import fork_map
 
-            with mp.get_context("fork").Pool(
-                    min(self.workers, len(pending))) as pool:
-                results = pool.map(self._evaluate_key_safe, pending)
+                tile_results = fork_map(self._evaluate_keys_batch,
+                                        tiles, self.workers)
+            else:
+                tile_results = [self._evaluate_keys_batch(tile)
+                                for tile in tiles]
+            results = [m for tile in tile_results for m in tile]
+        elif self.workers > 1 and len(pending) > 1:
+            from repro.parallel import fork_map
+
+            results = fork_map(self._evaluate_key_safe, pending,
+                               self.workers)
         else:
             results = [self._evaluate_key_safe(key) for key in pending]
         self._memo.update(zip(pending, results))

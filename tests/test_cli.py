@@ -144,10 +144,20 @@ class TestMonteCarlo:
         assert rc == 2
         assert "--metric" in capsys.readouterr().err
 
-    def test_workers_rejected_for_device_workload(self, capsys):
-        rc = main(["mc", "--samples", "4", "--workers", "4"])
+    def test_workers_shard_device_workload_chunks(self, capsys):
+        # Device workloads used to reject --workers outright; they now
+        # shard at the chunk level (the in-process batching stays, so
+        # the workload factory itself still gets workers=1).
+        rc = main(["mc", "--samples", "8", "--chunk-size", "4",
+                   "--workers", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["records"]) == 8
+
+    def test_workers_spec_must_parse(self, capsys):
+        rc = main(["mc", "--samples", "4", "--workers", "lots"])
         assert rc == 2
-        assert "--workers" in capsys.readouterr().err
+        assert "workers" in capsys.readouterr().err
 
     def test_json_output_is_strict_rfc8259(self, capsys):
         """Failed runs report NaN metrics; the JSON surface must emit
