@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-report examples smoke docs-check
+.PHONY: test bench bench-report examples smoke service-smoke docs-check
 
 ## tier-1 test suite (fast; what CI gates on) — includes the doc
 ## coverage and docs link-checker gates
@@ -36,6 +36,13 @@ smoke:
 	$(PYTHON) examples/gate_characterization.py
 	$(PYTHON) examples/netlist_simulation.py
 	rm -rf .smoke-mc
+
+## process-level service smoke: launches `repro serve` as a real
+## subprocess, drives it over HTTP (same-topology burst -> coalescing
+## asserted from /metrics, cache hit, mixed topology), and requires a
+## clean remote shutdown with exit code 0.
+service-smoke:
+	$(PYTHON) examples/service_demo.py
 
 ## full paper-reproduction benchmark suite + perf snapshot.
 ## Fails when the Table I speed-up assertions regress (pytest) or the

@@ -5,8 +5,8 @@ tracked across PRs.
 Measures the headline workloads of the perf overhaul (ISSUE 1), the
 Monte-Carlo campaign throughput of the variability subsystem (ISSUE 2),
 the adaptive-transient engine gate (ISSUE 3), the lane-batched
-transient engine (ISSUE 4) and the hierarchy + sparse-backend layer
-(ISSUE 5):
+transient engine (ISSUE 4), the hierarchy + sparse-backend layer
+(ISSUE 5) and the simulation service (ISSUE 7):
 
 * **Fig. 6/7 IV families** — the batched ``iv_family`` path against the
   seed-style scalar loop (``model.ids`` point by point), same run, same
@@ -45,6 +45,13 @@ transient engine (ISSUE 4) and the hierarchy + sparse-backend layer
   (<= 1e-12 V gated), and the parallel efficiency of a 4-worker
   2000-sample MC campaign (>= 0.6, gated on machines with >= 4
   cores, recorded otherwise).
+* **Service load** — the ISSUE 7 ``repro.service`` job server under a
+  burst of concurrent HTTP clients submitting same-topology transient
+  jobs: the coalescing scheduler must fold the burst into fewer
+  engine dispatches than jobs (coalesce ratio >= 2x gated), served
+  waveforms must match a direct in-process ``transient`` call within
+  1e-9 V, and jobs/s plus p50/p95 per-job latency are recorded for
+  the trajectory.
 
 Usage::
 
@@ -56,8 +63,9 @@ its acceptance floor: the ISSUE 1 batch speed-up / transient work
 reduction, the ISSUE 2 MC campaign throughput/speed-up, the ISSUE 3
 adaptive-transient parity and iteration ratio, the ISSUE 4
 lane-batched speed-ups and per-lane waveform parity, the ISSUE 5
-sparse-backend speed-up and parity, or the ISSUE 6 compiled-hot-path
-speed-up, kernel parity and MC parallel efficiency (the Table I
+sparse-backend speed-up and parity, the ISSUE 6 compiled-hot-path
+speed-up, kernel parity and MC parallel efficiency, or the ISSUE 7
+service coalesce ratio and served-waveform parity (the Table I
 speed-up assertions live in the pytest suite that `make bench` runs
 first).
 """
@@ -116,6 +124,11 @@ HOT_SPEEDUP_FLOOR = 3.0        # compiled+chord vs PR-5 config, rca32 transient
 HOT_PARITY_TOL_V = 1e-12       # stacked-VSC kernel parity, numpy vs compiled
 HOT_MC_EFFICIENCY_FLOOR = 0.6  # 4-worker campaign (gated at >= 4 cores)
 HOT_MC_WORKERS = 4
+
+#: acceptance floors from ISSUE 7 (simulation-as-a-service layer)
+SERVICE_JOBS = 16                   # concurrent same-topology jobs
+SERVICE_COALESCE_RATIO_FLOOR = 2.0  # jobs per engine dispatch
+SERVICE_PARITY_TOL_V = 1e-9         # served vs direct-engine waveforms
 
 
 def _best_of(fn, repeats: int, inner: int) -> float:
@@ -795,6 +808,103 @@ def bench_compiled_hot_path() -> dict:
     }
 
 
+def bench_service_load() -> dict:
+    """ISSUE 7 gate: the ``repro.service`` job server under load.
+
+    Starts an in-process :class:`~repro.service.JobServer` (two
+    workers, 200 ms batching window) and fires ``SERVICE_JOBS``
+    concurrent HTTP clients, each submitting a transient job over the
+    same RC topology with a distinct resistor value.  Identical
+    topology + identical analysis grid puts every job in one
+    coalescing group, so the scheduler must fold the burst into fewer
+    ``batch_transient`` dispatches than jobs (coalesce ratio
+    ``jobs / engine dispatches`` >= 2x, gated).  Three served
+    waveforms are replayed through a direct in-process ``transient``
+    call on the same deck and must match within 1e-9 V (gated — a
+    cache or demux bug that serves the wrong lane fails here, not in
+    production).  Jobs/s and p50/p95 per-job latency are recorded for
+    the trajectory; they are machine figures, not gates.
+    """
+    import threading
+
+    from repro.circuit.parser import parse_netlist
+    from repro.service import JobServer, ServiceClient
+
+    tstop, dt = 2e-8, 2e-10
+
+    def deck(r_ohm: float) -> str:
+        return ("* service-load RC lowpass\n"
+                "V1 in 0 pulse(0 1 1e-9 1e-9 1e-9 1e-8 4e-8)\n"
+                f"R1 in out {r_ohm:.6g}\n"
+                "C1 out 0 1e-12\n")
+
+    specs = [{"kind": "transient", "deck": deck(1e3 + 37.0 * i),
+              "tstop": tstop, "dt": dt}
+             for i in range(SERVICE_JOBS)]
+
+    results: list = [None] * len(specs)
+    latencies = [float("nan")] * len(specs)
+
+    with JobServer(workers=2, batch_window=0.2,
+                   cache_size=0) as server:
+        host, port = server.start()
+        base_url = f"http://{host}:{port}"
+
+        def drive(index: int) -> None:
+            client = ServiceClient(base_url)
+            start = time.perf_counter()
+            results[index] = client.run(specs[index], timeout=120.0)
+            latencies[index] = time.perf_counter() - start
+
+        wall_start = time.perf_counter()
+        threads = [threading.Thread(target=drive, args=(i,))
+                   for i in range(len(specs))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - wall_start
+
+        probe = ServiceClient(base_url)
+        dispatches = probe.metric_value(
+            "service_engine_dispatches_total")
+        coalesced = probe.metric_value(
+            "service_jobs_coalesced_total")
+
+    if any(r is None for r in results):
+        raise RuntimeError("service benchmark: not all jobs completed")
+
+    max_dv = 0.0
+    for spec in (specs[0], specs[len(specs) // 2], specs[-1]):
+        index = specs.index(spec)
+        served = results[index]["result"]
+        circuit = parse_netlist(spec["deck"]).circuit
+        direct = transient(circuit, tstop, dt=dt, method="trap",
+                           record_currents="sources")
+        for name, values in served["traces"].items():
+            dv = float(np.max(np.abs(
+                np.asarray(values) - direct.trace(name))))
+            max_dv = max(max_dv, dv)
+
+    ordered = sorted(latencies)
+    coalesce_ratio = len(specs) / max(dispatches, 1.0)
+    return {
+        "workload": f"{len(specs)} concurrent same-topology transient "
+                    f"jobs over HTTP, 2 workers, 0.2 s batch window",
+        "floor": f"coalesce ratio >= {SERVICE_COALESCE_RATIO_FLOOR}x, "
+                 f"served-vs-direct parity <= "
+                 f"{SERVICE_PARITY_TOL_V:.0e} V",
+        "jobs": len(specs),
+        "engine_dispatches": int(dispatches),
+        "jobs_coalesced": int(coalesced),
+        "coalesce_ratio": coalesce_ratio,
+        "jobs_per_s": len(specs) / wall_s,
+        "latency_p50_s": ordered[len(ordered) // 2],
+        "latency_p95_s": ordered[int(len(ordered) * 0.95)],
+        "parity_v": max_dv,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--name", default="perf",
@@ -821,6 +931,7 @@ def main(argv=None) -> int:
         "batch_transient": bench_batch_transient(),
         "large_circuit": bench_large_circuit(),
         "compiled_hot_path": bench_compiled_hot_path(),
+        "service_load": bench_service_load(),
     }
 
     path = Path(args.out_dir) / f"BENCH_{args.name}.json"
@@ -873,6 +984,14 @@ def main(argv=None) -> int:
     else:
         print("  compiled hot path: no compiled tier available "
               "(numba absent and no working C compiler)")
+    sv = report["service_load"]
+    print(f"  service load: {sv['jobs']} jobs in "
+          f"{sv['engine_dispatches']} engine dispatches "
+          f"({sv['coalesce_ratio']:.1f}x coalesce), "
+          f"{sv['jobs_per_s']:.1f} jobs/s, p50 "
+          f"{sv['latency_p50_s']*1e3:.0f} ms / p95 "
+          f"{sv['latency_p95_s']*1e3:.0f} ms, served parity "
+          f"{sv['parity_v']:.1e} V")
 
     if args.check:
         failures = []
@@ -956,6 +1075,19 @@ def main(argv=None) -> int:
                 f"{hp['mc_scaling']['parallel_efficiency']:.2f} < "
                 f"{HOT_MC_EFFICIENCY_FLOOR} at "
                 f"{hp['mc_scaling']['workers']} workers")
+        if sv["engine_dispatches"] >= sv["jobs"]:
+            failures.append(
+                f"service coalescing inert: {sv['engine_dispatches']} "
+                f"engine dispatches for {sv['jobs']} jobs")
+        if sv["coalesce_ratio"] < SERVICE_COALESCE_RATIO_FLOOR:
+            failures.append(
+                f"service coalesce ratio {sv['coalesce_ratio']:.2f}x "
+                f"< {SERVICE_COALESCE_RATIO_FLOOR}x")
+        if sv["parity_v"] > SERVICE_PARITY_TOL_V:
+            failures.append(
+                f"served-vs-direct waveform parity "
+                f"{sv['parity_v']:.2e} V > "
+                f"{SERVICE_PARITY_TOL_V:.0e} V")
         if failures:
             print("BENCH CHECK FAILED: " + "; ".join(failures))
             return 1

@@ -1,0 +1,132 @@
+"""End-to-end smoke of the HTTP simulation service (docs/service.md).
+
+Launches ``python -m repro serve`` as a real subprocess on a free
+port, then drives it with :class:`repro.service.ServiceClient`:
+
+* a burst of 8 concurrent transient jobs over the *same* RC topology
+  (distinct resistor values) — the coalescing scheduler must fold
+  them into fewer engine dispatches than jobs, asserted from
+  ``/metrics``;
+* one job over a *different* topology, proving mixed groups dispatch
+  separately;
+* a resubmission of the first spec, which must be served from the
+  fingerprint cache (``cached: true``) without a new dispatch;
+* a clean remote ``POST /shutdown`` — the server process must exit 0.
+
+Run:  PYTHONPATH=src python examples/service_demo.py
+
+CI runs this via ``make smoke``; it doubles as the service's
+process-level integration test (everything in-process lives in
+tests/test_service.py).
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+from repro.service import ServiceClient
+
+
+def rc_deck(r_ohm: float, stages: int = 1) -> str:
+    """An RC lowpass deck; ``stages`` changes the topology."""
+    lines = ["* service demo RC lowpass",
+             "V1 in 0 pulse(0 1 1e-9 1e-9 1e-9 1e-8 4e-8)"]
+    prev = "in"
+    for k in range(stages):
+        node = "out" if k == stages - 1 else f"n{k}"
+        lines.append(f"R{k + 1} {prev} {node} {r_ohm:.6g}")
+        lines.append(f"C{k + 1} {node} 0 1e-12")
+        prev = node
+    return "\n".join(lines) + "\n"
+
+
+def transient_spec(r_ohm: float, stages: int = 1) -> dict:
+    """A fixed-step transient job over the demo RC deck."""
+    return {"kind": "transient", "deck": rc_deck(r_ohm, stages),
+            "tstop": 2e-8, "dt": 2e-10}
+
+
+def wait_for_health(client: ServiceClient, deadline_s: float = 15.0):
+    """Poll ``/healthz`` until the server answers (or time out)."""
+    start = time.monotonic()
+    while True:
+        try:
+            return client.health()
+        except Exception:
+            if time.monotonic() - start > deadline_s:
+                raise
+            time.sleep(0.05)
+
+
+def main() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--workers", "2", "--batch-window", "0.2"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    client = ServiceClient(f"http://127.0.0.1:{port}")
+    try:
+        health = wait_for_health(client)
+        print(f"server up on port {port}: {health['status']}")
+
+        # 1. same-topology burst -> coalesced into few dispatches
+        specs = [transient_spec(1e3 + 50.0 * i) for i in range(8)]
+        docs = [None] * len(specs)
+
+        def drive(i: int) -> None:
+            docs[i] = ServiceClient(
+                f"http://127.0.0.1:{port}").run(specs[i], timeout=60.0)
+
+        threads = [threading.Thread(target=drive, args=(i,))
+                   for i in range(len(specs))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(d is not None and d["state"] == "done" for d in docs)
+        dispatches = client.metric_value(
+            "service_engine_dispatches_total")
+        coalesced = client.metric_value("service_jobs_coalesced_total")
+        assert dispatches < len(specs), (
+            f"no coalescing: {dispatches:.0f} dispatches "
+            f"for {len(specs)} jobs")
+        print(f"burst of {len(specs)} same-topology jobs -> "
+              f"{dispatches:.0f} engine dispatches "
+              f"({coalesced:.0f} jobs coalesced)")
+
+        # 2. different topology -> its own dispatch
+        other = client.run(transient_spec(1e3, stages=2), timeout=60.0)
+        assert other["state"] == "done"
+        print(f"two-stage topology served separately "
+              f"(job {other['id']})")
+
+        # 3. identical spec again -> fingerprint cache hit
+        repeat = client.run(specs[0], timeout=60.0)
+        assert repeat["cached"], "resubmitted spec missed the cache"
+        assert repeat["result"] == docs[0]["result"]
+        hits = client.metric_value("service_cache_hits_total")
+        print(f"resubmission served from cache "
+              f"({hits:.0f} cache hits)")
+
+        # 4. clean remote shutdown
+        client.shutdown()
+        code = proc.wait(timeout=15.0)
+        assert code == 0, f"server exited {code}"
+        print("clean shutdown, exit 0")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=10.0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

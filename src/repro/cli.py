@@ -10,6 +10,7 @@ Subcommands
 ``mc``           run a variability Monte-Carlo campaign
 ``characterize`` delay/slew/energy tables for a logic gate
 ``netlist``      parse a SPICE-flavoured deck and run its analyses
+``serve``        run the HTTP job server (see ``docs/service.md``)
 
 ``iv``, ``table``, ``mc`` and ``characterize`` accept ``--seed`` and
 ``--json`` so one-off runs and campaign runs are scriptable the same
@@ -333,6 +334,24 @@ def _cmd_netlist(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import sys as _sys
+
+    from repro.service.metrics import StructuredLogger
+    from repro.service.server import serve
+
+    logger = StructuredLogger(stream=_sys.stderr)
+    print(f"repro service listening on "
+          f"http://{args.host}:{args.port} "
+          f"(workers={args.workers}, "
+          f"batch-window={args.batch_window:g}s, "
+          f"cache-size={args.cache_size})", flush=True)
+    serve(host=args.host, port=args.port, workers=args.workers,
+          batch_window=args.batch_window, cache_size=args.cache_size,
+          backend=args.backend, logger=logger)
+    return 0
+
+
 def _cmd_figure(args) -> int:
     from repro.experiments import runners
 
@@ -491,6 +510,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_net.add_argument("--json", action="store_true",
                        help="print a machine-readable JSON payload")
     p_net.set_defaults(func=_cmd_netlist)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the HTTP job server (transient/DC/MC/characterize "
+             "jobs with fingerprint caching and lane coalescing)")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8080,
+                       help="TCP port; 0 picks a free port")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="scheduler worker threads")
+    p_srv.add_argument("--batch-window", type=float, default=0.05,
+                       help="seconds a worker waits to coalesce "
+                            "same-topology jobs into one lane-batched "
+                            "solve (0 disables coalescing)")
+    p_srv.add_argument("--cache-size", type=int, default=256,
+                       help="fingerprint result-cache entries "
+                            "(0 disables caching)")
+    _backend_argument(p_srv)
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, choices=tuple(range(2, 12)))

@@ -81,3 +81,8 @@ class CodegenError(ReproError, RuntimeError):
 class CampaignError(ReproError, RuntimeError):
     """A variability campaign could not run or resume (corrupt run
     directory, manifest/config mismatch, unknown workload)."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A job-service operation failed (HTTP error reply, job failure,
+    timeout waiting for a result, or a server shutting down)."""

@@ -67,6 +67,10 @@ def resolve_workers(workers: WorkerSpec = None) -> int:
                 raise ParameterError(
                     f"workers must be a positive int, 0/'auto' or None: "
                     f"{workers!r}") from None
+    if isinstance(workers, bool):
+        raise ParameterError(
+            f"workers must be a positive int, 0/'auto' or None: "
+            f"{workers!r}")
     if workers is None or workers == 0:
         env = os.environ.get(WORKERS_ENV)
         if env is not None:
@@ -74,11 +78,13 @@ def resolve_workers(workers: WorkerSpec = None) -> int:
                 workers = int(env)
             except ValueError:
                 raise ParameterError(
-                    f"{WORKERS_ENV} must be an integer: {env!r}"
+                    f"{WORKERS_ENV} must be an integer: {env!r} "
+                    f"(unset it or set a positive process count)"
                 ) from None
             if workers < 1:
                 raise ParameterError(
-                    f"{WORKERS_ENV} must be >= 1: {env!r}")
+                    f"{WORKERS_ENV} must be >= 1: {env!r} "
+                    f"(unset it or set a positive process count)")
             return workers
         return os.cpu_count() or 1
     if not isinstance(workers, int) or workers < 1:

@@ -1,0 +1,87 @@
+"""Simulation-as-a-service: a job server over the lane-batched engine.
+
+The lane-batched MNA engine advances many same-topology circuits
+through one stacked solve; this package gives it a front door.  A
+stdlib-only threaded HTTP server accepts JSON job specs (netlist-deck
+transient/DC sweeps, operating points, Monte-Carlo chunks,
+characterization point sets), a canonical circuit **fingerprint**
+backs an LRU result cache, and a **coalescing scheduler** groups
+pending same-topology jobs inside a short batching window so
+independent clients transparently share one ``batch_transient`` /
+``batch_dc_sweep`` dispatch.  Counters and latency histograms are
+exported in Prometheus text format at ``/metrics``.
+
+Quick start::
+
+    from repro.service import JobServer, ServiceClient
+
+    with JobServer(batch_window=0.05) as server:
+        host, port = server.start()
+        client = ServiceClient(f"http://{host}:{port}")
+        doc = client.run({"kind": "transient", "deck": deck,
+                          "tstop": 2e-10, "dt": 1e-12})
+        print(doc["result"]["traces"].keys())
+
+or from the command line: ``repro serve --port 8080``.  See
+``docs/service.md`` for the full API schema and semantics.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.fingerprint import (
+    canonical_json,
+    circuit_fingerprint,
+    describe_circuit,
+    describe_element,
+    manifest_fingerprint,
+    topology_fingerprint,
+)
+from repro.service.jobs import (
+    JOB_KINDS,
+    JobSpec,
+    execute_group,
+    execute_spec,
+    parse_job_spec,
+)
+from repro.service.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    StructuredLogger,
+    new_request_id,
+)
+from repro.service.scheduler import CoalescingScheduler, Job, JobRegistry
+from repro.service.server import (
+    SERVICE_COUNTERS,
+    SERVICE_HISTOGRAMS,
+    JobServer,
+    serve,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "SERVICE_COUNTERS",
+    "SERVICE_HISTOGRAMS",
+    "CoalescingScheduler",
+    "Counter",
+    "Histogram",
+    "Job",
+    "JobRegistry",
+    "JobServer",
+    "JobSpec",
+    "MetricsRegistry",
+    "ResultCache",
+    "ServiceClient",
+    "StructuredLogger",
+    "canonical_json",
+    "circuit_fingerprint",
+    "describe_circuit",
+    "describe_element",
+    "execute_group",
+    "execute_spec",
+    "manifest_fingerprint",
+    "new_request_id",
+    "parse_job_spec",
+    "serve",
+    "topology_fingerprint",
+]

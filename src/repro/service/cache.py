@@ -1,0 +1,83 @@
+"""Thread-safe LRU result cache keyed by job fingerprint.
+
+Entries are deep-copied on the way in and out so a cached payload can
+never be mutated by one client and observed corrupted by the next —
+results are plain JSON-able dicts, so the copy is cheap next to the
+solve it replaces.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded least-recently-used mapping of fingerprint -> result.
+
+    ``capacity=0`` disables caching entirely (every lookup misses and
+    stores are dropped), which is what ``--cache-size 0`` means.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ParameterError(
+                f"cache capacity must be >= 0: {capacity!r}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return a copy of the cached value, or ``None`` on a miss.
+
+        A hit refreshes the entry's recency.
+        """
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return copy.deepcopy(value)
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a copy of ``value``, evicting the least recently used
+        entry when over capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = copy.deepcopy(value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (hit/miss statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hits(self) -> int:
+        """Number of successful lookups so far."""
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of failed lookups so far."""
+        with self._lock:
+            return self._misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,124 @@
+"""Synchronous HTTP client for the job service.
+
+Stdlib-only (``urllib``), mirroring the server's stdlib-only stance.
+Transport failures, HTTP error replies and failed jobs all surface as
+:class:`repro.errors.ServiceError` so callers catch one exception
+type; the message carries the server's ``error`` field when present.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a running :class:`repro.service.JobServer`.
+
+    ``base_url`` is the server root, e.g. ``http://127.0.0.1:8080``.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Any] = None) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data,
+                                         headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as reply:
+                body = reply.read()
+                content_type = reply.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (ValueError, AttributeError):
+                pass
+            raise ServiceError(
+                f"{method} {path} -> HTTP {exc.code}: {detail}"
+            ) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {exc}") from None
+        if content_type.startswith("application/json"):
+            return json.loads(body)
+        return body.decode()
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a job spec; returns the job document (with ``id``)."""
+        return self._request("POST", "/jobs", spec)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """GET one job's current document (result inline when done)."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll: float = 0.02) -> Dict[str, Any]:
+        """Poll until the job completes; returns the final document.
+
+        Raises :class:`repro.errors.ServiceError` when the job failed
+        or ``timeout`` elapsed first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc["state"] == "done":
+                return doc
+            if doc["state"] == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed: {doc.get('error')}")
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {doc['state']} after "
+                    f"{timeout:g}s")
+            time.sleep(poll)
+
+    def run(self, spec: Dict[str, Any],
+            timeout: float = 60.0) -> Dict[str, Any]:
+        """Submit a job and wait for its final document."""
+        doc = self.submit(spec)
+        if doc["state"] in ("done", "failed"):
+            if doc["state"] == "failed":
+                raise ServiceError(
+                    f"job {doc['id']} failed: {doc.get('error')}")
+            return doc
+        return self.wait(doc["id"], timeout=timeout)
+
+    def health(self) -> Dict[str, Any]:
+        """GET /healthz."""
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """GET /metrics (Prometheus text format)."""
+        return self._request("GET", "/metrics")
+
+    def metric_value(self, name: str) -> float:
+        """Read one un-labelled sample value out of ``/metrics``."""
+        for line in self.metrics_text().splitlines():
+            if line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) == 2 and parts[0] == name:
+                return float(parts[1])
+        raise ServiceError(f"no metric {name!r} at /metrics")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """POST /shutdown — ask the server to stop cleanly."""
+        return self._request("POST", "/shutdown")

@@ -1,0 +1,212 @@
+"""Canonical fingerprints for circuits, analyses and manifests.
+
+The job service needs two notions of "same circuit", at different
+granularities:
+
+* **Topology** — what :class:`repro.circuit.LaneBatch` validates:
+  element count and, per slot, type / name / nodes / auxiliary-row
+  layout.  Jobs with equal :func:`topology_fingerprint` can advance
+  lock-step through one stacked MNA solve even when their component
+  values differ, so this is the coalescing group key.
+* **Values** — topology *plus* every numerical parameter (resistances,
+  waveform timings, quantized CNFET device parameters).  Jobs with
+  equal :func:`circuit_fingerprint` and equal analysis parameters
+  compute the same answer, so this backs the result cache.
+
+Both reduce to :func:`manifest_fingerprint` — SHA-256 over
+``json.dumps(payload, sort_keys=True)`` — which is byte-identical to
+the historical ``Campaign.fingerprint`` canonicalisation, so service
+cache keys and campaign resume directories agree on what "same
+manifest" means (``variability/campaign.py`` now delegates here).
+
+Floats are quantized to :data:`SIG_FIGS` significant digits before
+hashing.  This absorbs parse/format round-trip noise (``1e-15`` vs
+``0.000000000000001``) without conflating genuinely different values —
+deliberately *finer* than the coarse per-field decimals
+``variability.campaign.quantize_sample`` uses for Monte-Carlo dedup,
+because a result cache must never serve a neighbouring circuit's
+waveform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.circuit.elements.capacitor import Capacitor
+from repro.circuit.elements.cnfet import CNFETElement
+from repro.circuit.elements.diode import Diode
+from repro.circuit.elements.inductor import Inductor
+from repro.circuit.elements.resistor import Resistor
+from repro.circuit.elements.sources import CurrentSource, VoltageSource
+from repro.circuit.netlist import Circuit
+
+__all__ = [
+    "SIG_FIGS",
+    "canonical_json",
+    "manifest_fingerprint",
+    "describe_element",
+    "describe_circuit",
+    "topology_fingerprint",
+    "circuit_fingerprint",
+]
+
+#: Significant digits kept when quantizing floats for hashing.
+SIG_FIGS = 12
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize ``payload`` to the canonical JSON form that every
+    fingerprint in the project hashes: ``json.dumps`` with sorted keys
+    and default separators (the historical ``Campaign.fingerprint``
+    canonicalisation, unchanged byte for byte)."""
+    return json.dumps(payload, sort_keys=True)
+
+
+def manifest_fingerprint(payload: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``payload``.
+
+    This is *the* fingerprint primitive: campaign manifests, circuit
+    descriptions and job cache keys all pass through here, so two
+    subsystems can only disagree about identity by disagreeing about
+    the payload they describe.
+    """
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def _quantize(value: float) -> Union[float, str]:
+    """Round a float to :data:`SIG_FIGS` significant digits.
+
+    Non-finite values hash as their string form (JSON would emit
+    bare ``NaN``/``Infinity`` whose textual form is stable anyway, but
+    the string keeps the canonical payload strictly valid JSON).
+    """
+    if not math.isfinite(value):
+        return repr(value)
+    return float(f"{value:.{SIG_FIGS}g}")
+
+
+def _canonical_value(obj: Any) -> Any:
+    """Recursively convert ``obj`` into a JSON-able, quantized form."""
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        return _quantize(obj)
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical_value(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical_value(v) for v in obj]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _canonical_value(dataclasses.asdict(obj))
+    return repr(obj)
+
+
+def _describe_device(element: CNFETElement) -> Dict[str, Any]:
+    """Value-level description of a CNFET element's device backend."""
+    device = element.backend.device
+    desc: Dict[str, Any] = {
+        "kind": type(device).__name__,
+        "params": _canonical_value(device.params),
+    }
+    fitted = getattr(device, "fitted", None)
+    if fitted is not None:
+        desc["model"] = fitted.spec.name
+    return desc
+
+
+def _element_params(element: Any) -> Dict[str, Any]:
+    """Value-level (non-topological) parameters of one element."""
+    if isinstance(element, Resistor):
+        return {"resistance": _quantize(element.resistance)}
+    if isinstance(element, Capacitor):
+        params: Dict[str, Any] = {
+            "capacitance": _quantize(element.capacitance)}
+        if element.initial_voltage is not None:
+            params["ic"] = _quantize(float(element.initial_voltage))
+        return params
+    if isinstance(element, Inductor):
+        return {"inductance": _quantize(element.inductance)}
+    if isinstance(element, (VoltageSource, CurrentSource)):
+        waveform = element.waveform
+        return {"waveform": {"kind": type(waveform).__name__,
+                             **_canonical_value(
+                                 dataclasses.asdict(waveform))}}
+    if isinstance(element, Diode):
+        return {"saturation_current": _quantize(element.saturation_current),
+                "n_vt": _quantize(element.n_vt)}
+    if isinstance(element, CNFETElement):
+        return {"device": _describe_device(element),
+                "polarity": element.polarity,
+                "length_m": _quantize(element.length_m)}
+    # Unknown element class: hash every public scalar attribute so a
+    # new element type degrades to a conservative (over-specific)
+    # fingerprint rather than a colliding one.
+    params = {}
+    for key, value in sorted(vars(element).items()):
+        if key.startswith("_") or key in ("name", "nodes", "aux_index"):
+            continue
+        if isinstance(value, (bool, int, float, str)):
+            params[key] = _canonical_value(value)
+    params["class"] = f"{type(element).__module__}.{type(element).__name__}"
+    return params
+
+
+def describe_element(element: Any, *,
+                     topology_only: bool = False) -> Dict[str, Any]:
+    """Canonical JSON-able description of one flattened element.
+
+    With ``topology_only=True`` the description is exactly the contract
+    :class:`repro.circuit.LaneBatch` validates per slot (type, name,
+    nodes, auxiliary-row count); otherwise it additionally carries the
+    quantized component values.
+    """
+    desc: Dict[str, Any] = {
+        "type": type(element).__name__,
+        "name": element.name,
+        "nodes": list(element.nodes),
+        "n_aux": int(element.n_aux),
+    }
+    if not topology_only:
+        desc["params"] = _element_params(element)
+    return desc
+
+
+def describe_circuit(circuit: Circuit, *,
+                     topology_only: bool = False) -> Dict[str, Any]:
+    """Canonical description of a flattened circuit.
+
+    The deck title is deliberately excluded: two decks differing only
+    in comments, title or formatting describe the same circuit and
+    must hash identically.
+    """
+    return {
+        "nodes": list(circuit.nodes),
+        "dimension": int(circuit.dimension()),
+        "elements": [describe_element(el, topology_only=topology_only)
+                     for el in circuit.elements],
+    }
+
+
+def topology_fingerprint(circuit: Circuit) -> str:
+    """Fingerprint of the lane-batching topology contract.
+
+    Two circuits with equal topology fingerprints can ride in one
+    :class:`repro.circuit.LaneBatch` (same dimension, node map, and
+    per-slot element type/name/nodes/aux layout), regardless of their
+    component values.
+    """
+    return manifest_fingerprint(describe_circuit(circuit,
+                                                 topology_only=True))
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Fingerprint of the full circuit identity: topology plus
+    quantized component and device parameters.
+
+    Equal fingerprints mean the engine would compute the same answer,
+    which is what makes this safe as a result-cache key component.
+    """
+    return manifest_fingerprint(describe_circuit(circuit))

@@ -1,0 +1,240 @@
+"""Stdlib-only observability primitives: counters, histograms,
+Prometheus text exposition and structured JSON logging.
+
+The job server wires these into every request, but nothing here knows
+about HTTP or jobs — ``Campaign.run`` or ``characterize_gate`` can
+adopt the same registry later without pulling in the service.
+
+Exposition follows the Prometheus text format (version 0.0.4): one
+``# HELP`` / ``# TYPE`` header per metric, cumulative ``_bucket``
+series with ``le`` labels for histograms, ``_sum`` and ``_count``
+totals.  Only the subset the service needs is implemented — unlabelled
+counters and fixed-bucket histograms — which keeps the module
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import threading
+import time
+import uuid
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "StructuredLogger",
+    "new_request_id",
+]
+
+#: Default latency buckets [s] — spans sub-millisecond cache hits to
+#: multi-second batched solves.
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+def new_request_id() -> str:
+    """A short unique id correlating log lines for one request."""
+    return uuid.uuid4().hex[:16]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integral floats render without the
+    trailing ``.0`` noise."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing metric (Prometheus ``counter``)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ParameterError(
+                f"counter {self.name!r} cannot decrease: {amount!r}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current cumulative value."""
+        with self._lock:
+            return self._value
+
+    def render(self) -> str:
+        """Prometheus text-format block for this counter."""
+        return (f"# HELP {self.name} {self.help_text}\n"
+                f"# TYPE {self.name} counter\n"
+                f"{self.name} {_format_value(self.value)}\n")
+
+
+class Histogram:
+    """A fixed-bucket distribution metric (Prometheus ``histogram``)."""
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.help_text = help_text
+        bounds = tuple(sorted(buckets if buckets is not None
+                              else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ParameterError(
+                f"histogram {self.name!r} needs at least one bucket")
+        self.buckets = bounds
+        self._counts = [0] * len(bounds)
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Approximate the ``q`` quantile (0..1) from bucket counts.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``q`` of the observations (the usual
+        ``histogram_quantile`` coarsening); the top bucket bound when
+        everything landed above the last finite bucket; ``nan`` when
+        empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"quantile must be in [0, 1]: {q!r}")
+        with self._lock:
+            if self._count == 0:
+                return float("nan")
+            target = q * self._count
+            for bound, cumulative in zip(self.buckets, self._counts):
+                if cumulative >= target:
+                    return bound
+            return self.buckets[-1]
+
+    def render(self) -> str:
+        """Prometheus text-format block for this histogram."""
+        with self._lock:
+            lines = [f"# HELP {self.name} {self.help_text}",
+                     f"# TYPE {self.name} histogram"]
+            for bound, cumulative in zip(self.buckets, self._counts):
+                lines.append(f'{self.name}_bucket{{le="{bound!r}"}} '
+                             f"{cumulative}")
+            lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
+            lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+            lines.append(f"{self.name}_count {self._count}")
+        return "\n".join(lines) + "\n"
+
+
+class MetricsRegistry:
+    """Named collection of metrics with one text exposition endpoint.
+
+    ``counter``/``histogram`` are get-or-create, so independent call
+    sites can share a metric by name; asking for an existing name with
+    a different metric type raises :class:`ParameterError`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Histogram]] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get_or_create(Histogram, name, help_text,
+                                   buckets=buckets)
+
+    def _get_or_create(self, cls, name, help_text, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ParameterError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}")
+            return metric
+
+    def get(self, name: str) -> Union[Counter, Histogram]:
+        """Look up a metric by name (:class:`ParameterError` if absent)."""
+        with self._lock:
+            try:
+                return self._metrics[name]
+            except KeyError:
+                raise ParameterError(f"no metric {name!r}") from None
+
+    def names(self) -> List[str]:
+        """Sorted names of all registered metrics."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def render(self) -> str:
+        """All metrics in Prometheus text format, sorted by name."""
+        with self._lock:
+            metrics = [self._metrics[name]
+                       for name in sorted(self._metrics)]
+        return "".join(metric.render() for metric in metrics)
+
+
+class StructuredLogger:
+    """JSON-lines event logger with stable field ordering.
+
+    Each call to :meth:`event` emits one JSON object (sorted keys)
+    carrying ``ts``, ``event`` and the given fields, through the
+    stdlib ``logging`` machinery — handlers/levels configured by the
+    application apply as usual.  Pass ``stream`` to attach a dedicated
+    handler (the ``serve`` CLI points it at stderr).
+    """
+
+    def __init__(self, name: str = "repro.service",
+                 stream: Optional[TextIO] = None) -> None:
+        self._logger = logging.getLogger(name)
+        if stream is not None:
+            handler = logging.StreamHandler(stream)
+            handler.setFormatter(logging.Formatter("%(message)s"))
+            self._logger.addHandler(handler)
+            self._logger.setLevel(logging.INFO)
+
+    def event(self, event: str, **fields) -> None:
+        """Emit one structured log line for ``event``."""
+        payload = {"ts": round(time.time(), 6), "event": event}
+        payload.update(fields)
+        self._logger.info("%s", json.dumps(payload, sort_keys=True,
+                                           default=repr))

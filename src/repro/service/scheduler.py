@@ -1,0 +1,328 @@
+"""Coalescing job scheduler: a worker pool over a shared queue.
+
+A worker that pops a coalescable job does not dispatch it
+immediately — it holds the job for up to ``batch_window`` seconds,
+collecting every other queued job with the same ``group_key``
+(identical topology + analysis parameters, the
+:class:`repro.circuit.LaneBatch` compatibility contract).  The whole
+group then runs as *one* ``batch_transient`` / ``batch_dc_sweep``
+call, and per-lane results are demuxed back to their jobs.  Lanes
+that fail inside the batch fall back through the engine's own scalar
+re-run; a dispatch that fails as a whole is retried per job through
+the scalar path, so coalescing can change latency but never turn a
+solvable job into a failure.
+
+The window is a latency/throughput trade: requests arriving within
+``batch_window`` of each other share one stacked solve (the repo's
+lane-batching speedups, applied across clients), at the cost of up to
+one window of added latency for the first job of a group.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ParameterError, ReproError, ServiceError
+from repro.service.jobs import JobSpec, execute_group, execute_spec
+
+__all__ = ["Job", "JobRegistry", "CoalescingScheduler"]
+
+#: Job lifecycle states.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+class Job:
+    """Runtime record of one submitted job.
+
+    Carries the validated :class:`repro.service.jobs.JobSpec`, the
+    lifecycle state, timing marks and (once finished) the result
+    payload or error message.  ``wait`` blocks on an internal event
+    that :meth:`finish` / :meth:`fail` set.
+    """
+
+    def __init__(self, spec: JobSpec,
+                 request_id: Optional[str] = None) -> None:
+        self.id = uuid.uuid4().hex[:16]
+        self.spec = spec
+        self.request_id = request_id or self.id
+        self.state = "pending"
+        self.cached = False
+        self.coalesced = 1
+        self.result: Optional[Any] = None
+        self.error: Optional[str] = None
+        self.submitted = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self._done = threading.Event()
+
+    def mark_running(self) -> None:
+        """Transition pending -> running (records the start time)."""
+        self.started = time.time()
+        self.state = "running"
+
+    def finish(self, result: Any, *, cached: bool = False) -> None:
+        """Complete the job successfully with ``result``."""
+        self.result = result
+        self.cached = cached
+        self.finished = time.time()
+        if self.started is None:
+            self.started = self.finished
+        self.state = "done"
+        self._done.set()
+
+    def fail(self, error: str) -> None:
+        """Complete the job with an error message."""
+        self.error = error
+        self.finished = time.time()
+        if self.started is None:
+            self.started = self.finished
+        self.state = "failed"
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; ``False`` on timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Seconds spent queued before a worker picked the job up."""
+        if self.started is None:
+            return None
+        return self.started - self.submitted
+
+    @property
+    def total_seconds(self) -> Optional[float]:
+        """Seconds from submission to completion."""
+        if self.finished is None:
+            return None
+        return self.finished - self.submitted
+
+    def payload(self, include_result: bool = True) -> Dict[str, Any]:
+        """JSON-able status document served by ``GET /jobs/<id>``."""
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "state": self.state,
+            "fingerprint": self.spec.fingerprint,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "request_id": self.request_id,
+        }
+        if self.total_seconds is not None:
+            doc["timings"] = {
+                "queue_wait_s": self.queue_wait,
+                "total_s": self.total_seconds,
+            }
+        if self.state == "failed":
+            doc["error"] = self.error
+        elif self.state == "done" and include_result:
+            doc["result"] = self.result
+        return doc
+
+
+class JobRegistry:
+    """Thread-safe id -> :class:`Job` map with bounded history.
+
+    Finished jobs beyond ``limit`` are evicted oldest-first so a
+    long-lived server does not grow without bound; pending/running
+    jobs are never evicted.
+    """
+
+    def __init__(self, limit: int = 4096) -> None:
+        if limit < 1:
+            raise ParameterError(f"registry limit must be >= 1: "
+                                 f"{limit!r}")
+        self.limit = limit
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def add(self, job: Job) -> None:
+        """Register a job and evict old finished jobs over the limit."""
+        with self._lock:
+            self._jobs[job.id] = job
+            if len(self._jobs) > self.limit:
+                for job_id in [jid for jid, j in self._jobs.items()
+                               if j.state in ("done", "failed")]:
+                    if len(self._jobs) <= self.limit:
+                        break
+                    del self._jobs[job_id]
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """Look up a job by id (``None`` when unknown/evicted)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of jobs per state (for ``/healthz``)."""
+        with self._lock:
+            counts = dict.fromkeys(JOB_STATES, 0)
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+
+class CoalescingScheduler:
+    """Worker pool that drains a job queue, coalescing compatible jobs
+    into lane-batched engine dispatches.
+
+    ``on_group`` (when given) is called with each dispatched group —
+    the server uses it for metrics and cache writes; tests use it to
+    observe grouping without reaching into internals.
+    """
+
+    def __init__(self, *, workers: int = 2, batch_window: float = 0.05,
+                 max_lanes: int = 64, backend=None,
+                 on_group: Optional[Callable[[List[Job], dict],
+                                             None]] = None) -> None:
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1: {workers!r}")
+        if batch_window < 0:
+            raise ParameterError(
+                f"batch_window must be >= 0: {batch_window!r}")
+        if max_lanes < 1:
+            raise ParameterError(f"max_lanes must be >= 1: "
+                                 f"{max_lanes!r}")
+        self.batch_window = float(batch_window)
+        self.max_lanes = int(max_lanes)
+        self.backend = backend
+        self._on_group = on_group
+        self._queue: "deque[Job]" = deque()
+        self._cv = threading.Condition()
+        self._stopping = False
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-service-worker-{i}",
+                             daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, job: Job) -> None:
+        """Enqueue a job for execution."""
+        with self._cv:
+            if self._stopping:
+                raise ServiceError("scheduler is shutting down")
+            self._queue.append(job)
+            self._cv.notify_all()
+
+    def shutdown(self, wait: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop accepting work and (optionally) join the workers.
+
+        Queued jobs that no worker has claimed are failed with a
+        shutdown error so clients never hang on them.
+        """
+        with self._cv:
+            self._stopping = True
+            abandoned = list(self._queue)
+            self._queue.clear()
+            self._cv.notify_all()
+        for job in abandoned:
+            job.fail("service shut down before the job ran")
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout)
+
+    @property
+    def queued(self) -> int:
+        """Number of jobs waiting for a worker."""
+        with self._cv:
+            return len(self._queue)
+
+    # -- worker internals ---------------------------------------------
+
+    def _pop_matches(self, group_key: str, budget: int) -> List[Job]:
+        """Remove up to ``budget`` queued jobs sharing ``group_key``.
+
+        Caller must hold ``self._cv``.
+        """
+        if budget <= 0:
+            return []
+        matches: List[Job] = []
+        kept: "deque[Job]" = deque()
+        while self._queue:
+            job = self._queue.popleft()
+            if (len(matches) < budget
+                    and job.spec.group_key == group_key):
+                matches.append(job)
+            else:
+                kept.append(job)
+        self._queue.extend(kept)
+        return matches
+
+    def _gather_group(self, first: Job) -> List[Job]:
+        """Collect same-``group_key`` jobs for up to ``batch_window``."""
+        group = [first]
+        key = first.spec.group_key
+        deadline = time.monotonic() + self.batch_window
+        while len(group) < self.max_lanes:
+            with self._cv:
+                group.extend(self._pop_matches(
+                    key, self.max_lanes - len(group)))
+                if len(group) >= self.max_lanes or self._stopping:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cv.wait(remaining)
+        return group
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._stopping:
+                    self._cv.wait()
+                if self._stopping and not self._queue:
+                    return
+                job = self._queue.popleft()
+            if job.spec.group_key is None or self.batch_window == 0:
+                group = [job]
+            else:
+                group = self._gather_group(job)
+            self._run_group(group)
+
+    def _run_group(self, group: List[Job]) -> None:
+        stats: dict = {}
+        for job in group:
+            job.coalesced = len(group)
+            job.mark_running()
+        try:
+            results = execute_group([job.spec for job in group],
+                                    backend=self.backend, stats=stats)
+        except ReproError:
+            # Whole-dispatch failure: retry each job scalar so one
+            # poisoned lane (or a batching limitation) cannot take the
+            # group down.
+            stats["group_fallback"] = len(group)
+            results = []
+            for job in group:
+                try:
+                    results.append(execute_spec(job.spec,
+                                                backend=self.backend))
+                except ReproError as exc:
+                    results.append(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            # Never let an unexpected bug take a worker thread (and
+            # with it the whole pool) down; the jobs report it.
+            for job in group:
+                job.fail(f"internal error: {exc!r}")
+            return
+        for job, result in zip(group, results):
+            if isinstance(result, ReproError):
+                job.fail(str(result))
+            else:
+                job.finish(result)
+        if self._on_group is not None:
+            try:
+                self._on_group(group, stats)
+            except Exception:  # pragma: no cover - defensive
+                pass  # accounting must never kill a worker

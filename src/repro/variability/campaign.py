@@ -26,7 +26,6 @@ single ``ids_batch``/``solve_many`` pass.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import math
 import os
@@ -362,9 +361,17 @@ class Campaign:
         }
 
     def fingerprint(self) -> str:
-        """SHA-256 of the canonical manifest (resume safety check)."""
-        canonical = json.dumps(self.manifest(), sort_keys=True)
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        """SHA-256 of the canonical manifest (resume safety check).
+
+        Delegates to :func:`repro.service.fingerprint
+        .manifest_fingerprint` — the same canonicalisation the job
+        service uses for cache keys, and byte-identical to the
+        historical inline ``sha256(json.dumps(..., sort_keys=True))``,
+        so existing run directories stay resumable.
+        """
+        from repro.service.fingerprint import manifest_fingerprint
+
+        return manifest_fingerprint(self.manifest())
 
     # -- execution -----------------------------------------------------
 
