@@ -56,6 +56,7 @@ from repro.service.server import (
     SERVICE_HISTOGRAMS,
     JobServer,
     serve,
+    shutdown_authorized,
 )
 
 __all__ = [
@@ -83,5 +84,6 @@ __all__ = [
     "new_request_id",
     "parse_job_spec",
     "serve",
+    "shutdown_authorized",
     "topology_fingerprint",
 ]

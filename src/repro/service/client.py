@@ -23,17 +23,23 @@ class ServiceClient:
     """Talk to a running :class:`repro.service.JobServer`.
 
     ``base_url`` is the server root, e.g. ``http://127.0.0.1:8080``.
+    ``shutdown_token`` is only needed to :meth:`shutdown` a server
+    over a non-loopback connection (the server logs its token at
+    start); loopback clients never need it.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 shutdown_token: Optional[str] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.shutdown_token = shutdown_token
 
     def _request(self, method: str, path: str,
-                 payload: Optional[Any] = None) -> Any:
+                 payload: Optional[Any] = None,
+                 extra_headers: Optional[Dict[str, str]] = None) -> Any:
         url = f"{self.base_url}{path}"
         data = None
-        headers = {}
+        headers = dict(extra_headers or {})
         if payload is not None:
             data = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
@@ -120,5 +126,12 @@ class ServiceClient:
         raise ServiceError(f"no metric {name!r} at /metrics")
 
     def shutdown(self) -> Dict[str, Any]:
-        """POST /shutdown — ask the server to stop cleanly."""
-        return self._request("POST", "/shutdown")
+        """POST /shutdown — ask the server to stop cleanly.
+
+        Sends ``X-Shutdown-Token`` when the client holds one; required
+        for anything other than a loopback connection.
+        """
+        headers = ({"X-Shutdown-Token": self.shutdown_token}
+                   if self.shutdown_token else None)
+        return self._request("POST", "/shutdown",
+                             extra_headers=headers)

@@ -5,9 +5,12 @@ fields.  :func:`parse_job_spec` validates it, parses the netlist deck
 (for deck-based kinds), and derives two fingerprints:
 
 * ``fingerprint`` — the result-cache key: circuit values + analysis
-  parameters (:mod:`repro.service.fingerprint`).  The deck *text* is
-  never hashed — two decks that flatten to the same circuit share a
-  cache entry.
+  parameters + the ``nodes`` response filter
+  (:mod:`repro.service.fingerprint`).  The deck *text* is never
+  hashed — two decks that flatten to the same circuit share a cache
+  entry.  ``nodes`` must be part of the key because the cache stores
+  the filtered result payload: without it a ``nodes=["out"]``
+  submission would poison the cache for a later unfiltered one.
 * ``group_key`` — the coalescing key: circuit *topology* + the
   analysis parameters that must match for lanes to share one stacked
   solve.  ``None`` marks kinds that always run solo (``op``, ``mc``,
@@ -264,6 +267,7 @@ def _parse_transient(payload: Mapping) -> JobSpec:
         "kind": "transient",
         "circuit": describe_circuit(circuit),
         "analysis": dict(analysis, tstop=canonical["tstop"]),
+        "nodes": canonical["nodes"],
     })
     group_key = manifest_fingerprint({
         "kind": "transient",
@@ -312,6 +316,7 @@ def _parse_dc(payload: Mapping) -> JobSpec:
         "kind": "dc",
         "circuit": describe_circuit(circuit),
         "analysis": analysis,
+        "nodes": canonical["nodes"],
     })
     group_key = manifest_fingerprint({
         "kind": "dc",
@@ -332,6 +337,7 @@ def _parse_op(payload: Mapping) -> JobSpec:
         "kind": "op",
         "circuit": describe_circuit(circuit),
         "analysis": {"newton": canonical["newton"]},
+        "nodes": canonical["nodes"],
     })
     return JobSpec("op", canonical, fingerprint, None, circuit)
 

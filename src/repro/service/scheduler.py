@@ -321,6 +321,12 @@ class CoalescingScheduler:
                 job.fail(str(result))
             else:
                 job.finish(result)
+        # execute_group contracts one entry per job; if a future batch
+        # path ever breaks that, fail the unmatched jobs instead of
+        # leaving them "running" until the client's wait times out.
+        for job in group[len(results):]:
+            job.fail(f"internal error: dispatch returned "
+                     f"{len(results)} results for {len(group)} jobs")
         if self._on_group is not None:
             try:
                 self._on_group(group, stats)

@@ -17,7 +17,11 @@ logger — and exposes it over a stdlib ``ThreadingHTTPServer``:
 ``GET /metrics``
     Prometheus text exposition of the counters/histograms below.
 ``POST /shutdown``
-    Clean remote shutdown (used by the CI smoke run).
+    Clean remote shutdown (used by the CI smoke run).  Loopback
+    clients are trusted; any other client must present the server's
+    per-run token in an ``X-Shutdown-Token`` header, so a non-default
+    ``--host`` bind does not hand remote denial-of-service to anyone
+    who can reach the port.
 
 Exported metric names are listed in :data:`SERVICE_COUNTERS` and
 :data:`SERVICE_HISTOGRAMS`; tests assert against these, so treat them
@@ -26,7 +30,10 @@ as API.
 
 from __future__ import annotations
 
+import hmac
+import ipaddress
 import json
+import secrets
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
@@ -40,7 +47,7 @@ from repro.service.scheduler import (CoalescingScheduler, Job,
                                      JobRegistry)
 
 __all__ = ["SERVICE_COUNTERS", "SERVICE_HISTOGRAMS", "JobServer",
-           "serve"]
+           "serve", "shutdown_authorized"]
 
 #: Counter names exported at ``/metrics`` (documented API).
 SERVICE_COUNTERS = (
@@ -86,6 +93,24 @@ _HISTOGRAM_HELP = {
 }
 
 
+def shutdown_authorized(client_host: str, token: str,
+                        expected: str) -> bool:
+    """Decide whether a ``POST /shutdown`` request may stop the server.
+
+    A matching ``X-Shutdown-Token`` always authorizes; loopback
+    clients are trusted without one (the default ``127.0.0.1`` bind,
+    and what the in-repo tests/CI smoke rely on).  Everyone else is
+    refused — binding ``--host 0.0.0.0`` must not let any client that
+    can reach the port terminate the service.
+    """
+    if token and hmac.compare_digest(token, expected):
+        return True
+    try:
+        return ipaddress.ip_address(client_host).is_loopback
+    except ValueError:
+        return False
+
+
 class JobServer:
     """A complete in-process job service.
 
@@ -108,6 +133,9 @@ class JobServer:
         self.cache = ResultCache(cache_size)
         self.registry = JobRegistry(registry_limit)
         self.log = logger or StructuredLogger()
+        #: Per-run secret authorizing non-loopback POST /shutdown
+        #: (logged at start so the operator can capture it).
+        self.shutdown_token = secrets.token_hex(16)
         self.scheduler = CoalescingScheduler(
             workers=workers, batch_window=batch_window,
             max_lanes=max_lanes, backend=backend,
@@ -214,7 +242,8 @@ class JobServer:
         self._http_thread.start()
         bound_host, bound_port = self._httpd.server_address[:2]
         self.log.event("server_started", host=bound_host,
-                       port=bound_port)
+                       port=bound_port,
+                       shutdown_token=self.shutdown_token)
         return str(bound_host), int(bound_port)
 
     @property
@@ -283,6 +312,14 @@ def _make_handler(server: JobServer):
         def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
             path = self.path.split("?", 1)[0]
             if path == "/shutdown":
+                token = self.headers.get("X-Shutdown-Token", "")
+                if not shutdown_authorized(self.client_address[0],
+                                           token,
+                                           server.shutdown_token):
+                    self._reply(403, {"error": "shutdown requires a "
+                                               "valid X-Shutdown-Token "
+                                               "header"})
+                    return
                 self._reply(200, {"ok": True})
                 threading.Thread(target=server.shutdown,
                                  daemon=True).start()

@@ -11,6 +11,7 @@ and ``/metrics`` exposes the documented counter/histogram names.
 import dataclasses
 import json
 import threading
+import time
 import urllib.request
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.service import (
     circuit_fingerprint,
     manifest_fingerprint,
     parse_job_spec,
+    shutdown_authorized,
     topology_fingerprint,
 )
 from repro.service.jobs import build_newton_options
@@ -493,3 +495,83 @@ class TestMetrics:
             registry.histogram("x_total")
         with pytest.raises(ParameterError):
             registry.get("missing")
+
+
+class TestNodesFilterCaching:
+    """The cache stores the node-filtered payload, so the ``nodes``
+    response filter must be part of the result-cache fingerprint — a
+    restricted submission must never answer an unrestricted one."""
+
+    def test_nodes_changes_fingerprint_not_group_key(self):
+        full = parse_job_spec(rc_job())
+        filtered = parse_job_spec(rc_job(nodes=["out"]))
+        assert full.fingerprint != filtered.fingerprint
+        # Coalescing ignores the response filter: same stacked solve.
+        assert full.group_key == filtered.group_key
+
+    def test_dc_and_op_nodes_in_fingerprint(self):
+        dc = {"kind": "dc", "deck": RC_DECK.format(r="1e3"),
+              "source": "V1", "start": 0.0, "stop": 1.0, "points": 3}
+        assert parse_job_spec(dc).fingerprint != \
+            parse_job_spec(dict(dc, nodes=["out"])).fingerprint
+        op = {"kind": "op", "deck": RC_DECK.format(r="1e3")}
+        assert parse_job_spec(op).fingerprint != \
+            parse_job_spec(dict(op, nodes=["out"])).fingerprint
+
+    def test_filtered_result_does_not_poison_cache(self, server):
+        _, client = server
+        filtered = client.run(rc_job(nodes=["out"]))
+        assert set(filtered["result"]["traces"]) == {"v(out)"}
+        full = client.run(rc_job())
+        assert full["cached"] is False
+        assert "v(in)" in full["result"]["traces"]
+        # Each variant hits its own entry on resubmission.
+        assert client.run(rc_job(nodes=["out"]))["cached"] is True
+        assert client.run(rc_job())["cached"] is True
+
+
+class TestShutdownAuth:
+    def test_loopback_trusted_without_token(self):
+        assert shutdown_authorized("127.0.0.1", "", "secret")
+        assert shutdown_authorized("::1", "", "secret")
+
+    def test_remote_requires_matching_token(self):
+        assert not shutdown_authorized("10.0.0.7", "", "secret")
+        assert not shutdown_authorized("10.0.0.7", "wrong", "secret")
+        assert not shutdown_authorized("not-an-ip", "", "secret")
+        assert shutdown_authorized("10.0.0.7", "secret", "secret")
+
+    def test_token_header_accepted_over_http(self):
+        srv = JobServer(workers=1, batch_window=0.0, cache_size=4)
+        try:
+            host, port = srv.start()
+            client = ServiceClient(f"http://{host}:{port}",
+                                   timeout=30.0,
+                                   shutdown_token=srv.shutdown_token)
+            assert client.shutdown() == {"ok": True}
+            deadline = time.monotonic() + 10.0
+            while srv._httpd is not None \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert srv._httpd is None
+        finally:
+            srv.shutdown()
+
+
+class TestSchedulerDemuxGuard:
+    def test_short_result_list_fails_unmatched_jobs(self, monkeypatch):
+        """If a dispatch ever returns fewer results than jobs, the
+        unmatched jobs must fail loudly instead of hanging clients in
+        the running state forever."""
+        import repro.service.scheduler as scheduler_mod
+
+        monkeypatch.setattr(scheduler_mod, "execute_group",
+                            lambda specs, **kwargs: [])
+        srv = JobServer(workers=1, batch_window=0.0, cache_size=4)
+        try:
+            job = srv.submit(rc_job())
+            assert job.wait(timeout=10.0)
+            assert job.state == "failed"
+            assert "0 results for 1 jobs" in job.error
+        finally:
+            srv.shutdown()
