@@ -1,12 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-report examples smoke service-smoke docs-check
+.PHONY: test test-fast test-slow bench bench-report examples smoke \
+	service-smoke experiments-smoke docs-check
 
-## tier-1 test suite (fast; what CI gates on) — includes the doc
+## tier-1 test suite (what CI gates on) — includes the doc
 ## coverage and docs link-checker gates
 test:
 	$(PYTHON) -m pytest -x -q
+
+## tier-1 minus @pytest.mark.slow (service HTTP lifecycle, bench
+## smoke, characterization grids, subprocess determinism probes) —
+## the quick inner-loop run; CI runs fast and slow as parallel jobs
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+## the slow tier only — exact complement of test-fast, so the two
+## lanes together cover everything `make test` covers
+test-slow:
+	$(PYTHON) -m pytest -x -q -m "slow"
 
 ## docs gates only: markdown cross-links + public-API doc coverage
 docs-check:
@@ -43,6 +55,13 @@ smoke:
 ## clean remote shutdown with exit code 0.
 service-smoke:
 	$(PYTHON) examples/service_demo.py
+
+## experiment-runner smoke: execute the 2x2x2 smoke matrix with a
+## simulated interrupt (--max-runs 3), resume to completion, then
+## regenerate the report twice and require byte-identical run tables
+## and reports (the exprunner determinism contract, end to end).
+experiments-smoke:
+	$(PYTHON) examples/experiments_smoke.py
 
 ## full paper-reproduction benchmark suite + perf snapshot.
 ## Fails when the Table I speed-up assertions regress (pytest) or the

@@ -31,7 +31,13 @@ transient engine (ISSUE 4), the hierarchy + sparse-backend layer
   per-instance loops: a 7x7 gate-characterization grid and a
   256-sample MC ring campaign must each run >= 3x faster, and the
   per-lane waveforms of a heterogeneous fixed-grid ring batch must
-  match the scalar engine within 1e-9 V.
+  match the scalar engine within 1e-9 V.  Declared in
+  ``configs/batch_transient.json`` and executed through the
+  ``repro.exprunner`` experiment runner (as is the compiled-hot-path
+  matrix via ``configs/compiled_hot_path.json``); this script renders
+  the run tables into the section keys.  Every gated timing in the
+  report is best-of-3 (``docs/experiments.md`` documents the
+  robust-timing protocol).
 * **Large circuit** — hierarchical blocks through both linear-solver
   backends: a 32-bit ripple-carry adder (DC + carry-ripple transient,
   sparse >= 3x dense on the transient, node-voltage parity <= 1e-9 V)
@@ -93,12 +99,14 @@ from repro.reference.sweep import sweep_iv_family
 
 #: acceptance floors from ISSUE 1.  The family floor was originally
 #: 5.0 with the combined speedup measuring 5.0-5.1 — zero headroom, so
-#: the gate flaked on loaded single-core machines (the model1 scalar
-#: baseline jitters between 3.3x and 4.3x run to run; re-measured on
-#: an unchanged checkout spanning 4.7-4.9).  4.0 keeps an order-of-
-#: magnitude regression margin (a real batch-path regression lands at
-#: 1-2x) without tripping on machine noise.
-FAMILY_SPEEDUP_FLOOR = 4.0
+#: the gate flaked on loaded single-core machines and was widened to
+#: 4.0.  With every timed section now on best-of-N interleaved
+#: measurement (the ISSUE 8 robust-timing protocol) the flake source
+#: is gone, so the floor re-tightens to 4.3: three back-to-back runs
+#: of the section on an unchanged checkout measured 4.54 / 4.59 /
+#: 4.72, putting the floor ~5% under the observed minimum while still
+#: catching any real batch-path regression (those land at 1-2x).
+FAMILY_SPEEDUP_FLOOR = 4.3
 TRANSIENT_WORK_REDUCTION_FLOOR = 1.5
 
 #: acceptance floors from ISSUE 2 (variability campaigns)
@@ -140,6 +148,48 @@ def _best_of(fn, repeats: int, inner: int) -> float:
             fn()
         best = min(best, (time.perf_counter() - start) / inner)
     return best
+
+
+#: Declarative experiment configs the runner-backed sections execute.
+CONFIG_DIR = Path(__file__).parent / "configs"
+#: Run directories for the runner-backed sections — wiped per
+#: invocation (timings must be re-measured every run; resume is for
+#: the CLI and the CI smoke, not for benchmarks), kept on disk so a
+#: failing gate can be diagnosed from the run tables.
+EXP_ROOT = Path(__file__).parent.parent / ".benchmarks" / "exp"
+
+
+def _run_suite(config_name: str, prune_compiled: bool = False) -> dict:
+    """Execute ``configs/<config_name>.json`` into fresh run dirs.
+
+    Returns ``{experiment_name: ExperimentResult}``.  The plan's
+    repetition-major ordering is what interleaves the compared cells
+    (the same protocol the hand-written timing loops used), and the
+    rendered sections read best-of-repetitions from the cell
+    aggregates.  ``prune_compiled`` drops the ``compiled`` kernel
+    level when no compiled backend is available, mirroring the old
+    sections' conditional measurement.
+    """
+    import shutil
+
+    from repro.exprunner import ExperimentRunner, load_config
+    from repro.pwl.kernels import compiled_backend_available
+
+    suite = load_config(CONFIG_DIR / f"{config_name}.json")
+    suite_root = EXP_ROOT / config_name
+    if suite_root.exists():
+        shutil.rmtree(suite_root)
+    results = {}
+    for config in suite:
+        if (prune_compiled and not compiled_backend_available()
+                and "kernels" in config.factor_names):
+            kernel_levels = dict(config.factors)["kernels"]
+            config = config.with_factor(
+                "kernels",
+                tuple(v for v in kernel_levels if v != "compiled"))
+        runner = ExperimentRunner(config, suite_root / config.name)
+        results[config.name] = runner.run(resume=False)
+    return results
 
 
 def bench_iv_family() -> dict:
@@ -341,6 +391,7 @@ def bench_mc_device() -> dict:
     ``ids`` calls), so the per-sample rate extrapolates without bias
     and the benchmark stays under a minute.
     """
+    from repro.exprunner import robust_time
     from repro.pwl.device import clear_fit_cache, fit_cache_info
     from repro.variability.campaign import DeviceMetricsEvaluator
     from repro.variability.params import default_device_space
@@ -350,28 +401,33 @@ def bench_mc_device() -> dict:
     samples = monte_carlo(space, MC_SAMPLES, seed=7)
 
     evaluator = DeviceMetricsEvaluator(space)
-    # Cold must mean cold regardless of what ran before (other bench
-    # sections, pytest orderings): drop the process-wide fit cache —
-    # which also zeroes its hit/miss counters — immediately before the
-    # timed run instead of relying on import order.
-    clear_fit_cache()
-    start = time.perf_counter()
-    evaluator.evaluate(samples)
-    cold_s = time.perf_counter() - start
-    fits = fit_cache_info()["misses"]
 
-    warm_evaluator = DeviceMetricsEvaluator(space)
-    start = time.perf_counter()
-    warm_evaluator.evaluate(samples)
-    warm_s = time.perf_counter() - start
+    # Cold must mean cold regardless of what ran before (other bench
+    # sections, pytest orderings) *and* per repetition: drop the
+    # process-wide fit cache — which also zeroes its hit/miss counters
+    # — inside the timed callable, so each of the best-of-3 runs pays
+    # the full fit cost.  The two gated figures (cold throughput and
+    # the speedup vs the naive loop) both divide by this time.
+    def cold_run():
+        clear_fit_cache()
+        DeviceMetricsEvaluator(space).evaluate(samples)
+
+    cold_s = robust_time(cold_run, repeats=3)["best_s"]
+    fits = fit_cache_info()["misses"]
+    evaluator.evaluate(samples)   # populate this evaluator's memo
+
+    warm_s = robust_time(
+        lambda: DeviceMetricsEvaluator(space).evaluate(samples),
+        repeats=3)["best_s"]
 
     naive_n = 200
-    start = time.perf_counter()
-    evaluator.evaluate_naive(samples[:naive_n])
-    naive_per_sample_s = (time.perf_counter() - start) / naive_n
-    start = time.perf_counter()
-    evaluator.evaluate_naive(samples[:naive_n], use_fit_cache=True)
-    cached_scalar_per_sample_s = (time.perf_counter() - start) / naive_n
+    naive_per_sample_s = robust_time(
+        lambda: evaluator.evaluate_naive(samples[:naive_n]),
+        repeats=3)["best_s"] / naive_n
+    cached_scalar_per_sample_s = robust_time(
+        lambda: evaluator.evaluate_naive(samples[:naive_n],
+                                         use_fit_cache=True),
+        repeats=3)["best_s"] / naive_n
 
     naive_total_s = naive_per_sample_s * MC_SAMPLES
     return {
@@ -396,113 +452,53 @@ def bench_mc_device() -> dict:
 def bench_batch_transient() -> dict:
     """ISSUE 4 gates: the lane-batched engine vs per-instance loops.
 
-    * **Characterization grid** — a 7x7 load x slew ``nand2`` grid as
-      one lock-step batch (every grid point a lane) against the
-      sequential per-point scalar loop.
-    * **MC ring campaign** — a 256-sample ring-oscillator Monte-Carlo
-      through :class:`RingOscillatorEvaluator` with ``use_batch`` on
-      vs off (identical dedup, so both simulate the same distinct
-      device keys).
-    * **Parity** — per-lane waveforms of a heterogeneous-device
-      fixed-grid ring batch against the scalar engine on the same
-      grid under tight Newton tolerances: the residual is closed-form
-      solver noise, gated at ``BATCH_PARITY_TOL_V``.
+    A thin driver over ``configs/batch_transient.json`` — the
+    characterization grid, MC ring campaign and lane-parity workloads
+    are declared there and executed through ``repro.exprunner`` (three
+    interleaved repetitions per timed cell, best-of-N aggregation);
+    this function only renders the run tables into the section's
+    historical keys.  The parity figures *are* the runner's parity
+    columns: each cell's signature compared against its declared
+    baseline cell (``BATCH_PARITY_TOL_V`` for the per-lane waveforms).
     """
-    from repro.circuit.batch_sim import (
-        batch_operating_points,
-        batch_transient,
-    )
-    from repro.circuit.mna import NewtonOptions
-    from repro.circuit.transient import initial_conditions_from_op
-    from repro.characterize import characterize_gate
-    from repro.variability.campaign import quantize_sample
-    from repro.variability.circuits import RingOscillatorEvaluator
-    from repro.variability.params import default_device_space
-    from repro.variability.sampling import monte_carlo
+    results = _run_suite("batch_transient")
+    char, mc, lanes = (results["char_grid"], results["mc_ring"],
+                       results["ring_lanes"])
 
-    # -- (a) 7x7 characterization grid --------------------------------
-    family = LogicFamily.default(vdd=0.6)
-    loads = tuple(np.geomspace(1e-17, 8e-17, 7))
-    slews = tuple(np.geomspace(1e-12, 1e-11, 7))
-    start = time.perf_counter()
-    characterize_gate(family, "nand2", loads, slews, use_batch=True)
-    char_batch_s = time.perf_counter() - start
-    start = time.perf_counter()
-    characterize_gate(family, "nand2", loads, slews, use_batch=False)
-    char_scalar_s = time.perf_counter() - start
-
-    # -- (b) 256-sample MC ring campaign -------------------------------
-    space = default_device_space()
-    samples = monte_carlo(space, 256, seed=7)
-    batch_eval = RingOscillatorEvaluator(space, use_batch=True)
-    start = time.perf_counter()
-    rows_batch = batch_eval.evaluate(samples)
-    mc_batch_s = time.perf_counter() - start
-    scalar_eval = RingOscillatorEvaluator(space, use_batch=False)
-    start = time.perf_counter()
-    rows_scalar = scalar_eval.evaluate(samples)
-    mc_scalar_s = time.perf_counter() - start
-    periods_b = np.array([r["period"] for r in rows_batch])
-    periods_s = np.array([r["period"] for r in rows_scalar])
-    valid = ~np.isnan(periods_b) & ~np.isnan(periods_s)
-    metric_rel = float(np.max(np.abs(
-        periods_b[valid] - periods_s[valid]) / periods_s[valid])) \
-        if valid.any() else float("nan")
-
-    # -- (c) per-lane waveform parity on the shared grid ---------------
-    tight = NewtonOptions(vtol=1e-12, reltol=1e-10)
-    keys = list(dict.fromkeys(
-        quantize_sample(s, None) for s in samples))[:16]
-    evaluator = RingOscillatorEvaluator(space)
-    circuits, nodes = [], ()
-    for key in keys:
-        ring, nodes = build_ring_oscillator(evaluator._family(key),
-                                            stages=3)
-        circuits.append(ring)
-    x0 = batch_operating_points(circuits, tight)
-    x0[:, circuits[0].node_index[nodes[0]]] = 0.0
-    x0[:, circuits[0].node_index[nodes[1]]] = 0.6
-    result = batch_transient(circuits, 1.5e-10, dt=2e-12, method="be",
-                             options=tight, x0=x0,
-                             record_currents=False)
-    parity_v = 0.0
-    for lane, key in enumerate(keys):
-        ring, nodes = build_ring_oscillator(evaluator._family(key),
-                                            stages=3)
-        x_lane = initial_conditions_from_op(
-            ring, {nodes[0]: 0.0, nodes[1]: 0.6}, tight)
-        ref = transient(ring, tstop=1.5e-10, dt=2e-12, x0=x_lane,
-                        method="be", options=tight,
-                        record_currents=False)
-        lane_v = max(
-            float(np.max(np.abs(result[lane].trace(f"v({n})")
-                                - ref.trace(f"v({n})"))))
-            for n in nodes
-        )
-        parity_v = max(parity_v, lane_v)
+    char_batch = char.cell(engine="batch")
+    char_seq = char.cell(engine="sequential")
+    mc_batch = mc.cell(engine="batch")
+    mc_seq = mc.cell(engine="sequential")
+    lanes_batch = lanes.cell(engine="batch")
 
     return {
+        "run_dir": str(EXP_ROOT / "batch_transient"),
         "characterization_grid": {
             "workload": "nand2 7x7 load x slew grid, adaptive trap",
-            "lanes": len(loads) * len(slews),
-            "batch_s": char_batch_s,
-            "sequential_s": char_scalar_s,
-            "speedup": char_scalar_s / char_batch_s,
+            "lanes": int(char_batch["metrics"]["lanes"]),
+            "batch_s": char_batch["wall_s_min"],
+            "sequential_s": char_seq["wall_s_min"],
+            "batch_s_all": char_batch["wall_s_all"],
+            "sequential_s_all": char_seq["wall_s_all"],
+            "speedup": (char_seq["wall_s_min"]
+                        / char_batch["wall_s_min"]),
         },
         "mc_ring": {
             "workload": "256-sample 3-stage ring MC "
                         "(RingOscillatorEvaluator)",
-            "samples": 256,
-            "distinct_keys": len(batch_eval._memo),
-            "batch_s": mc_batch_s,
-            "sequential_s": mc_scalar_s,
-            "speedup": mc_scalar_s / mc_batch_s,
-            "period_metric_max_rel_diff": metric_rel,
+            "samples": int(mc_batch["metrics"]["samples"]),
+            "distinct_keys": int(mc_batch["metrics"]["distinct_keys"]),
+            "batch_s": mc_batch["wall_s_min"],
+            "sequential_s": mc_seq["wall_s_min"],
+            "batch_s_all": mc_batch["wall_s_all"],
+            "sequential_s_all": mc_seq["wall_s_all"],
+            "speedup": mc_seq["wall_s_min"] / mc_batch["wall_s_min"],
+            "period_metric_max_rel_diff": mc_batch["parity_max"],
         },
         "parity": {
             "workload": "16 heterogeneous MC ring lanes, fixed grid, "
                         "tight Newton",
-            "max_waveform_dv_v": parity_v,
+            "max_waveform_dv_v": lanes_batch["parity_max"],
             "tol_v": BATCH_PARITY_TOL_V,
         },
     }
@@ -557,20 +553,29 @@ def bench_large_circuit() -> dict:
     dc_parity = float(np.max(np.abs(
         x_dense[:n_nodes] - x_sparse[:n_nodes])))
 
+    from repro.exprunner import robust_time
+
     tran_kwargs = dict(
         tstop=3e-11, method="trap", options=tight, adaptive=True,
         dt_min=5e-13, dt_max=5e-13, record_currents=False,
     )
+    # The first run per backend keeps the waveform and stats; the
+    # gated dense/sparse speedup then comes from best-of-3 repeats
+    # (single-shot timing let one load spike move the ratio).
     stats_dense: dict = {}
-    start = time.perf_counter()
     ds_dense = transient(adder, x0=x_dense.copy(), backend="dense",
                          stats=stats_dense, **tran_kwargs)
-    tran_dense_s = time.perf_counter() - start
+    tran_dense_s = robust_time(
+        lambda: transient(adder, x0=x_dense.copy(), backend="dense",
+                          **tran_kwargs),
+        repeats=3)["best_s"]
     stats_sparse: dict = {}
-    start = time.perf_counter()
     ds_sparse = transient(adder, x0=x_dense.copy(), backend="sparse",
                           stats=stats_sparse, **tran_kwargs)
-    tran_sparse_s = time.perf_counter() - start
+    tran_sparse_s = robust_time(
+        lambda: transient(adder, x0=x_dense.copy(), backend="sparse",
+                          **tran_kwargs),
+        repeats=3)["best_s"]
     tran_parity = max(
         float(np.max(np.abs(ds_dense.trace(f"v({node})")
                             - ds_sparse.trace(f"v({node})"))))
@@ -645,39 +650,32 @@ def bench_large_circuit() -> dict:
 def bench_compiled_hot_path() -> dict:
     """ISSUE 6 gates: the compiled kernel tier and worker sharding.
 
-    * **rca32 transient** — the same 32-bit RCA carry-ripple transient
-      as :func:`bench_large_circuit`, sparse backend, interleaved
-      min-of-3: the PR-5 configuration (numpy kernel tier,
-      ``jacobian_reuse_tol=0``) re-measured in-run as the floor
-      against the new defaults (compiled tier — which adds the
-      frozen-pivot LU refactorisation lane — plus the tuned chord
-      default).  Re-measuring the floor in-run keeps the gate
-      machine-load-independent.
-    * **kernel parity** — the stacked-VSC solve swept over a dense
-      bias grid under both tiers, identical visit order and fresh
-      hints each: the compiled per-lane loops must match the numpy
-      reference within ``HOT_PARITY_TOL_V`` (measured ~1e-16).  The
-      *waveform* deviation between the two timed transients is
-      recorded for information only: Newton trajectories diverge
-      chaotically from ulp-level differences, so waveform deltas
-      measure trajectory divergence, not kernel accuracy.
+    * **rca32 transient** and **kernel parity** — a thin driver over
+      ``configs/compiled_hot_path.json``: the 32-bit RCA carry-ripple
+      transient runs as a ``kernels x chord`` factor matrix (three
+      interleaved repetitions; the PR-5 floor — numpy tier,
+      ``jacobian_reuse_tol=0`` — is the in-run baseline cell, keeping
+      the gate machine-load-independent), and the stacked-VSC bias
+      sweep runs per kernel tier with its parity column as the
+      ``HOT_PARITY_TOL_V`` gate (measured ~1e-16).  The rca32
+      *waveform* deviation vs the floor cell is recorded for
+      information only: Newton trajectories diverge chaotically from
+      ulp-level differences, so waveform deltas measure trajectory
+      divergence, not kernel accuracy.  When no compiled backend is
+      available the ``compiled`` level is pruned from the matrix and
+      only the floor cells are measured.
     * **MC scaling** — a 2000-sample device campaign through the
       fork-sharded chunk loop at 1 vs ``HOT_MC_WORKERS`` workers
       (fit cache pre-warmed so workers inherit it copy-on-write);
       parallel efficiency ``t1 / (w * tw)`` is gated on machines with
-      at least that many cores and recorded otherwise.
+      at least that many cores and recorded otherwise.  Hand-written
+      (not a runner config): it measures the sharding machinery
+      itself, which the runner would perturb.
     """
     import os
 
-    from repro.circuit.logic import build_ripple_carry_adder
-    from repro.circuit.mna import NewtonOptions, robust_dc_solve
-    from repro.circuit.transient import transient
-    from repro.circuit.waveforms import Pulse
-    from repro.pwl.batch import StackedVscSolver
-    from repro.pwl.kernels import (
-        compiled_backend_available,
-        using_kernels,
-    )
+    from repro.exprunner import robust_time
+    from repro.pwl.kernels import compiled_backend_available
     from repro.variability.campaign import (
         Campaign,
         CampaignConfig,
@@ -686,108 +684,62 @@ def bench_compiled_hot_path() -> dict:
     from repro.variability.params import default_device_space
 
     compiled_ok = compiled_backend_available()
-    family = LogicFamily.default(vdd=0.6)
 
-    # -- (a) rca32 transient: PR-5 floor vs compiled + tuned chord -----
-    bits = 32
-    cin = Pulse(0.0, 0.6, 5e-12, 1e-12, 1e-12, 4e-11, 1e-10)
-    adder, _info = build_ripple_carry_adder(
-        family, bits, a_value=(1 << bits) - 1, b_value=0, cin_wave=cin)
-    floor_opts = NewtonOptions(vtol=1e-12, reltol=1e-10,
-                               jacobian_reuse_tol=0.0)
-    tuned_opts = NewtonOptions(vtol=1e-12, reltol=1e-10)
-    tran_base = dict(tstop=3e-11, method="trap", adaptive=True,
-                     dt_min=5e-13, dt_max=5e-13, record_currents=False)
-    x0 = robust_dc_solve(adder, None, tuned_opts, backend="sparse")
-
-    def timed(spec, options, stats=None):
-        with using_kernels(spec):
-            start = time.perf_counter()
-            ds = transient(adder, x0=x0.copy(), backend="sparse",
-                           stats=stats, options=options, **tran_base)
-            return time.perf_counter() - start, ds
+    # -- (a) + (b): runner-backed sections -----------------------------
+    results = _run_suite("compiled_hot_path", prune_compiled=True)
+    rca_result = results["rca32"]
+    floor_cell = rca_result.cell(kernels="numpy", chord="off")
 
     rca32: dict = {
         "workload": "32-bit RCA carry-ripple transient, sparse "
                     "backend, pinned adaptive grid",
         "floor": "numpy kernel tier + jacobian_reuse_tol=0 "
                  "(the PR-5 configuration, re-measured in-run)",
+        "run_dir": str(EXP_ROOT / "compiled_hot_path"),
+        "numpy_reuse_off_s": floor_cell["wall_s_min"],
+        "numpy_reuse_off_s_all": floor_cell["wall_s_all"],
+        "floor_newton_iterations": int(
+            floor_cell["newton_iterations"]),
     }
-    ds_numpy = ds_comp = None
-    stats_floor: dict = {}
-    stats_comp: dict = {}
-    timed("numpy", floor_opts)                          # warm caches
     if compiled_ok:
-        timed("compiled", tuned_opts)                   # + .so build
-    floor_s = comp_s = float("inf")
-    for _ in range(5):
-        # Interleave the two configurations so CPU-frequency noise and
-        # noisy neighbours bias both alike; keep the best of each.
-        # Five rounds because the true ratio (~3.7-4x) sits one load
-        # spike away from the 3x floor with fewer samples.
-        stats_floor = {}
-        t, ds_numpy = timed("numpy", floor_opts, stats_floor)
-        floor_s = min(floor_s, t)
-        if compiled_ok:
-            stats_comp = {}
-            t, ds_comp = timed("compiled", tuned_opts, stats_comp)
-            comp_s = min(comp_s, t)
-    rca32["numpy_reuse_off_s"] = floor_s
-    rca32["floor_newton_iterations"] = stats_floor.get("iterations", 0)
-    if compiled_ok:
-        rca32["compiled_tuned_s"] = comp_s
-        rca32["tuned_newton_iterations"] = stats_comp.get(
-            "iterations", 0)
-        rca32["speedup"] = floor_s / comp_s
-        rca32["waveform_dv_v_informational"] = max(
-            float(np.max(np.abs(ds_numpy.trace(f"v({node})")
-                                - ds_comp.trace(f"v({node})"))))
-            for node in adder.nodes
-        )
+        tuned_cell = rca_result.cell(kernels="compiled", chord="on")
+        rca32["compiled_tuned_s"] = tuned_cell["wall_s_min"]
+        rca32["compiled_tuned_s_all"] = tuned_cell["wall_s_all"]
+        rca32["tuned_newton_iterations"] = int(
+            tuned_cell["newton_iterations"])
+        rca32["speedup"] = (floor_cell["wall_s_min"]
+                            / tuned_cell["wall_s_min"])
+        rca32["waveform_dv_v_informational"] = \
+            tuned_cell["parity_max"]
 
-    # -- (b) stacked-VSC kernel parity ---------------------------------
     parity: dict = {
         "workload": "stacked-VSC solve, model1+model2 lanes, "
                     "25x25 bias grid, fresh hints per tier",
         "tol_v": HOT_PARITY_TOL_V,
     }
     if compiled_ok:
-        devices = [CNFET(default_device_parameters(), model=m)
-                   for m in ("model1", "model2")]
-        vg_grid = np.linspace(0.0, 0.6, 25)
-        vd_grid = np.linspace(0.0, 0.6, 25)
-
-        def vsc_sweep(spec):
-            stacked = StackedVscSolver([d.solver for d in devices])
-            hint = np.zeros(stacked.n_lanes)
-            out = np.empty((vg_grid.size, vd_grid.size,
-                            stacked.n_lanes))
-            with using_kernels(spec):
-                for i, vg in enumerate(vg_grid):
-                    for j, vd in enumerate(vd_grid):
-                        out[i, j] = stacked.solve(
-                            np.full(stacked.n_lanes, vg),
-                            np.full(stacked.n_lanes, vd), hint)
-            return out
-
-        parity["max_dv_v"] = float(np.max(np.abs(
-            vsc_sweep("numpy") - vsc_sweep("compiled"))))
+        vsc_result = results["vsc_parity"]
+        parity["max_dv_v"] = \
+            vsc_result.cell(kernels="compiled")["parity_max"]
 
     # -- (c) MC scaling through the fork-sharded chunk loop ------------
     space = default_device_space()
     config = CampaignConfig(name="hot-path-mc", n_samples=MC_SAMPLES,
                             seed=11, sampler="mc", chunk_size=125)
     # Pre-warm the shared fit cache so forked workers inherit it
-    # copy-on-write and the measurement times the chunk loop.
+    # copy-on-write and the measurement times the chunk loop.  Both
+    # arms best-of-3: the efficiency gate divides two wall times, so a
+    # load spike in either single-shot measurement used to move it.
     Campaign(config, space, DeviceMetricsEvaluator(space)).run()
-    start = time.perf_counter()
-    Campaign(config, space, DeviceMetricsEvaluator(space)).run(
-        workers=1)
-    serial_s = time.perf_counter() - start
-    start = time.perf_counter()
-    Campaign(config, space, DeviceMetricsEvaluator(space)).run(
-        workers=HOT_MC_WORKERS)
-    sharded_s = time.perf_counter() - start
+    serial_s = robust_time(
+        lambda: Campaign(config, space,
+                         DeviceMetricsEvaluator(space)).run(workers=1),
+        repeats=3)["best_s"]
+    sharded_s = robust_time(
+        lambda: Campaign(config, space,
+                         DeviceMetricsEvaluator(space)).run(
+                             workers=HOT_MC_WORKERS),
+        repeats=3)["best_s"]
     cores = os.cpu_count() or 1
     mc_scaling = {
         "workload": f"{MC_SAMPLES}-sample device campaign, "

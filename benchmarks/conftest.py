@@ -8,10 +8,25 @@ invocations, not model construction).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import runners
 from repro.experiments.workloads import default_device_parameters
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Every benchmark test is tier-slow: they replicate paper grids
+    and time real workloads.  Marking them here (instead of per-file)
+    keeps `make test-fast` honest when new benchmark modules land.
+    The hook is global (it sees the whole session's items when pytest
+    runs from the repo root), so filter to this directory's tests."""
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

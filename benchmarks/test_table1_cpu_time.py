@@ -24,6 +24,15 @@ def test_table1_speedups(benchmark):
     assert result.speedup_model2 > 30.0, (
         f"Model 2 speed-up collapsed: {result.speedup_model2:.0f}x"
     )
+    # The two ratio gates below compare single-shot timings, so a load
+    # spike during one side's run can flip them; re-measure up to
+    # twice and gate on the best attempt (the project's best-of-N
+    # protocol, docs/experiments.md).
+    for _attempt in range(2):
+        if (result.model1_s[-1] <= result.model2_s[-1] * 1.25
+                and result.fettoy_s[1] > result.fettoy_s[0] * 1.2):
+            break
+        result = run_table1(loops=(5, 10))
     # Model 1 (3 regions, 1 coefficient) must not be slower than Model 2.
     assert result.model1_s[-1] <= result.model2_s[-1] * 1.25
     # Times scale ~linearly with loop count (sanity of the measurement).

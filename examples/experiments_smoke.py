@@ -1,0 +1,96 @@
+"""End-to-end smoke of the experiment runner (docs/experiments.md).
+
+Drives the committed 2x2x2 smoke matrix
+(``benchmarks/configs/smoke.json``: ring oscillator, dense/sparse
+backend x chord on/off, 2 repetitions = 8 runs) through the ``repro
+experiments`` CLI the way CI exercises it:
+
+1. execute with ``--max-runs 3`` — a simulated interrupt that leaves
+   the run directory partially populated;
+2. resume (the default) — only the 5 missing runs execute, the 3
+   completed records are loaded from disk;
+3. regenerate the report twice with ``--report-only`` and require the
+   run tables and reports to be byte-identical — the determinism
+   contract that makes run directories diffable artifacts.
+
+Run:  PYTHONPATH=src python examples/experiments_smoke.py [run_dir]
+
+CI runs this via ``make experiments-smoke`` and uploads the resulting
+``run_table.csv`` as a build artifact.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CONFIG = REPO / "benchmarks" / "configs" / "smoke.json"
+
+
+def run_cli(*args: str) -> str:
+    """Invoke ``repro experiments`` and return its stdout."""
+    cmd = [sys.executable, "-m", "repro", "experiments", *args]
+    print("$", " ".join(cmd[2:]))
+    out = subprocess.run(cmd, capture_output=True, text=True,
+                         cwd=REPO, check=True)
+    sys.stdout.write(out.stdout)
+    return out.stdout
+
+
+def main() -> None:
+    """Execute, interrupt, resume, and double-regenerate the matrix."""
+    if len(sys.argv) > 1:
+        root = Path(sys.argv[1]).resolve()
+        root.mkdir(parents=True, exist_ok=True)
+        cleanup = False
+    else:
+        root = Path(tempfile.mkdtemp(prefix="exp-smoke-"))
+        cleanup = True
+    run_dir = root / "ring_smoke"
+    try:
+        # 1. simulated interrupt: only 3 of 8 runs complete
+        out = run_cli("--config", str(CONFIG), "--run-dir", str(root),
+                      "--max-runs", "3")
+        assert "5 runs pending" in out, out
+        records = sorted((run_dir / "runs").glob("r*/record.json"))
+        assert len(records) == 3, f"expected 3 records, found " \
+            f"{len(records)}"
+        mtimes = {p: p.stat().st_mtime_ns for p in records}
+
+        # 2. resume: the remaining 5 execute, the 3 on disk are
+        # loaded untouched
+        out = run_cli("--config", str(CONFIG), "--run-dir", str(root),
+                      "--report")
+        assert "3 resumed, 5 computed (complete)" in out, out
+        for path, mtime in mtimes.items():
+            assert path.stat().st_mtime_ns == mtime, (
+                f"resume rewrote completed record {path}")
+        table = (run_dir / "run_table.csv").read_bytes()
+        report = (run_dir / "report.json").read_bytes()
+        payload = json.loads(report.decode())
+        assert payload["complete"] and not payload.get("pending"), (
+            "report does not mark the experiment complete")
+
+        # 3. regeneration is byte-stable
+        for attempt in (1, 2):
+            run_cli("--config", str(CONFIG), "--run-dir", str(root),
+                    "--report-only")
+            assert (run_dir / "run_table.csv").read_bytes() == table, \
+                f"run_table.csv drifted on regeneration {attempt}"
+            assert (run_dir / "report.json").read_bytes() == report, \
+                f"report.json drifted on regeneration {attempt}"
+
+        rows = table.decode().strip().splitlines()
+        print(f"\nexperiments smoke OK: {len(rows) - 1} runs, "
+              f"run table stable across 2 regenerations "
+              f"({run_dir / 'run_table.csv'})")
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,10 @@ Subcommands
 ``characterize`` delay/slew/energy tables for a logic gate
 ``netlist``      parse a SPICE-flavoured deck and run its analyses
 ``serve``        run the HTTP job server (see ``docs/service.md``)
+``experiments``  run a declarative experiment config (factors x levels
+                 x repetitions) into a resumable run directory with a
+                 documented ``run_table.csv`` — see
+                 ``docs/experiments.md``
 
 ``iv``, ``table``, ``mc`` and ``characterize`` accept ``--seed`` and
 ``--json`` so one-off runs and campaign runs are scriptable the same
@@ -352,6 +356,51 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_experiments(args) -> int:
+    from pathlib import Path
+
+    from repro.exprunner import (
+        ExperimentRunner,
+        load_config,
+        render_report,
+    )
+
+    suite = load_config(args.config)
+    run_root = Path(args.run_dir)
+    payload = {"suite": suite.name, "experiments": []}
+    for config in suite:
+        runner = ExperimentRunner(config, run_root / config.name)
+        if args.report_only:
+            result = runner.load()
+        else:
+            result = runner.run(resume=not args.no_resume,
+                                workers=args.workers,
+                                max_runs=args.max_runs)
+        report = render_report(config, result.records,
+                               pending=result.pending)
+        if args.report or args.report_only:
+            _atomic_report = Path(result.run_dir) / "report.json"
+            _atomic_report.write_text(_dump_json(report) + "\n")
+        payload["experiments"].append(report)
+        if not args.json:
+            state = ("complete" if result.complete
+                     else f"{result.pending} runs pending")
+            print(f"{config.name}: {result.resumed} resumed, "
+                  f"{result.computed} computed ({state})")
+            for cell in result.cells():
+                levels = " ".join(f"{k}={v}"
+                                  for k, v in cell["point"].items())
+                parity = cell["parity_max"]
+                parity_txt = ("" if math.isnan(parity)
+                              else f"  parity<={parity:.3g}")
+                print(f"  [{levels}]  wall min {cell['wall_s_min']:.4g}s"
+                      f" median {cell['wall_s_median']:.4g}s"
+                      f" (n={cell['n_ok']}/{cell['n']}){parity_txt}")
+    if args.json:
+        print(_dump_json(payload))
+    return 0
+
+
 def _cmd_figure(args) -> int:
     from repro.experiments import runners
 
@@ -530,6 +579,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 disables caching)")
     _backend_argument(p_srv)
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_exp = sub.add_parser(
+        "experiments",
+        help="run a declarative experiment config into a resumable "
+             "run directory (factors x levels x repetitions)")
+    p_exp.add_argument("--config", required=True,
+                       help="experiment config JSON (single experiment "
+                            "or a suite; see docs/experiments.md)")
+    p_exp.add_argument("--run-dir", required=True,
+                       help="root run directory; each experiment gets "
+                            "a subdirectory with manifest.json, "
+                            "runs/rNNNN/record.json and run_table.csv")
+    p_exp.add_argument("--no-resume", action="store_true",
+                       help="recompute every run, ignoring existing "
+                            "records in --run-dir")
+    p_exp.add_argument("--workers", default=1,
+                       help="shard pending runs over this many forked "
+                            "processes ('auto' = REPRO_WORKERS env if "
+                            "set, else all cores; default 1)")
+    p_exp.add_argument("--max-runs", type=int, default=None,
+                       help="execute at most this many pending runs "
+                            "per experiment, then stop (incremental "
+                            "invocation; resume later)")
+    p_exp.add_argument("--report", action="store_true",
+                       help="also write report.json per experiment")
+    p_exp.add_argument("--report-only", action="store_true",
+                       help="regenerate run_table.csv and report.json "
+                            "from existing records without executing "
+                            "anything")
+    p_exp.add_argument("--json", action="store_true",
+                       help="print the suite report as JSON instead "
+                            "of the per-cell summary lines")
+    p_exp.set_defaults(func=_cmd_experiments)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, choices=tuple(range(2, 12)))

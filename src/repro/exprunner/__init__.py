@@ -1,0 +1,70 @@
+"""Declarative experiment runner: factors x levels x repetitions.
+
+Every performance claim in ``BENCH_perf.json`` is a comparison between
+cells of a small experiment matrix — engine mode batch vs sequential,
+sparse vs dense backend, compiled vs numpy kernel tier.  This package
+turns those matrices into *data* instead of hand-written timing loops:
+
+* :class:`RunnerConfig` declares one experiment — a workload name, an
+  ordered ``factors -> levels`` mapping, a repetition count and a
+  designated *baseline* cell for parity checks — and serialises to the
+  JSON config files under ``benchmarks/configs/``.
+* :func:`expand_plan` expands the config into a deterministic run
+  table: the Cartesian product of all factor levels, repeated
+  ``repetitions`` times in repetition-major order (all cells of
+  repetition 0, then all of repetition 1, ...) so machine noise biases
+  every cell alike — the declarative form of the interleaved timing
+  loops ``bench_report.py`` used to hand-write.
+* :class:`ExperimentRunner` executes the plan through the existing
+  engine entry points, recording wall time, Newton iterations, peak
+  RSS and a parity signature per run into a resumable on-disk run
+  directory (``manifest.json`` + per-run raw dirs + ``run_table.csv``
+  with the documented :data:`~repro.exprunner.runtable.RUN_TABLE_COLUMNS`).
+* :mod:`repro.exprunner.report` aggregates repetitions (min for wall
+  times — best-of-N robust timing — median for metrics) and renders
+  deterministic report payloads; ``benchmarks/bench_report.py`` builds
+  its ``batch_transient`` and ``compiled_hot_path`` sections from
+  these instead of ad-hoc loops.
+
+See ``docs/experiments.md`` for the config schema, the
+``run_table.csv`` column dictionary, resume semantics and the robust
+timing protocol.  The CLI front end is ``python -m repro experiments``.
+"""
+
+from repro.exprunner.config import (
+    ExperimentSuite,
+    RunnerConfig,
+    load_config,
+)
+from repro.exprunner.executor import (
+    ExperimentResult,
+    ExperimentRunner,
+)
+from repro.exprunner.plan import RunSpec, expand_plan
+from repro.exprunner.report import render_report, summarize_cells
+from repro.exprunner.runtable import (
+    RUN_TABLE_COLUMNS,
+    read_run_table,
+    write_run_table,
+)
+from repro.exprunner.timing import robust_time
+from repro.exprunner.workloads import WORKLOADS, Workload, register_workload
+
+__all__ = [
+    "RunnerConfig",
+    "ExperimentSuite",
+    "load_config",
+    "RunSpec",
+    "expand_plan",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "RUN_TABLE_COLUMNS",
+    "read_run_table",
+    "write_run_table",
+    "render_report",
+    "summarize_cells",
+    "robust_time",
+    "Workload",
+    "WORKLOADS",
+    "register_workload",
+]

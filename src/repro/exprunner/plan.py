@@ -1,0 +1,102 @@
+"""Plan expansion: config -> deterministic, ordered run table.
+
+The plan is the Cartesian product of all factor levels (declaration
+order, first factor outermost) repeated ``repetitions`` times in
+**repetition-major** order: all cells of repetition 0, then all cells
+of repetition 1, and so on.  Interleaving repetitions across cells is
+deliberate — it is the declarative equivalent of the interleaved
+timing loops the benchmarks hand-wrote, so CPU-frequency noise and
+noisy neighbours bias every cell alike instead of one cell absorbing a
+load spike whole.
+
+Run ids (``r0000``, ``r0001``, ...) follow plan order and are stable
+for a given config, which is what makes run directories resumable:
+re-expanding the same config always maps the same (cell, repetition)
+to the same id.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exprunner.config import Level, RunnerConfig
+
+__all__ = ["RunSpec", "expand_plan", "baseline_index"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One planned run: a cell of the factor matrix plus a repetition.
+
+    ``seed`` derives from the config's base seed and the cell's factor
+    levels only — repetitions of a cell share it, so re-running a cell
+    recomputes byte-identical results and the repetitions differ only
+    in wall time.
+    """
+
+    index: int
+    run_id: str
+    cell: int
+    point: Tuple[Tuple[str, Level], ...]
+    repetition: int
+    seed: int
+
+    @property
+    def point_dict(self) -> Dict[str, Level]:
+        """Factor assignment of this run as a plain dict."""
+        return dict(self.point)
+
+
+def _cell_seed(base_seed: int,
+               point: Tuple[Tuple[str, Level], ...]) -> int:
+    """Deterministic per-cell seed from the base seed + factor levels."""
+    from repro.service.fingerprint import manifest_fingerprint
+
+    digest = manifest_fingerprint(
+        {"seed": base_seed, "point": {k: v for k, v in point}})
+    return int(digest[:12], 16) % (2 ** 31)
+
+
+def expand_plan(config: RunnerConfig) -> List[RunSpec]:
+    """Expand a config into its full, ordered run list."""
+    names = config.factor_names
+    level_lists = [levels for _name, levels in config.factors]
+    cells = [tuple(zip(names, combo))
+             for combo in itertools.product(*level_lists)]
+    plan: List[RunSpec] = []
+    index = 0
+    for repetition in range(config.repetitions):
+        for cell_index, point in enumerate(cells):
+            plan.append(RunSpec(
+                index=index,
+                run_id=f"r{index:04d}",
+                cell=cell_index,
+                point=point,
+                repetition=repetition,
+                seed=_cell_seed(config.seed, point),
+            ))
+            index += 1
+    return plan
+
+
+def baseline_index(plan: List[RunSpec], config: RunnerConfig,
+                   spec: RunSpec) -> Optional[int]:
+    """Plan index of ``spec``'s baseline run (same repetition, factor
+    levels overridden by the config's baseline), or ``None``.
+
+    ``None`` when the config declares no baseline, or when ``spec``
+    *is* its own baseline cell.
+    """
+    baseline = config.baseline_dict
+    if baseline is None:
+        return None
+    target = tuple((name, baseline.get(name, level))
+                   for name, level in spec.point)
+    if target == spec.point:
+        return None
+    for other in plan:
+        if other.repetition == spec.repetition and other.point == target:
+            return other.index
+    return None

@@ -1,0 +1,125 @@
+"""Report rendering: run records -> deterministic cell aggregates.
+
+Aggregation follows the robust-timing protocol (see
+``repro.exprunner.timing``): the gated wall-time figure for a cell is
+the **minimum** over its repetitions, everything else (iterations,
+metrics) is the **median** — timing noise is one-sided, metric noise
+is not.  The rendered report contains no timestamps or host
+identifiers, so regenerating it from the same records is
+byte-identical; the CI smoke diffs two regenerations to enforce that.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.exprunner.config import RunnerConfig
+
+__all__ = ["summarize_cells", "render_report"]
+
+
+def _median(values: Sequence[float]) -> float:
+    finite = sorted(v for v in values if math.isfinite(v))
+    if not finite:
+        return float("nan")
+    mid = len(finite) // 2
+    if len(finite) % 2:
+        return finite[mid]
+    return 0.5 * (finite[mid - 1] + finite[mid])
+
+
+def _finite_min(values: Sequence[float]) -> float:
+    finite = [v for v in values if math.isfinite(v)]
+    return min(finite) if finite else float("nan")
+
+
+def _finite_max(values: Sequence[float]) -> float:
+    finite = [v for v in values if math.isfinite(v)]
+    return max(finite) if finite else float("nan")
+
+
+def summarize_cells(config: RunnerConfig,
+                    records: Sequence[Dict]) -> List[Dict]:
+    """Aggregate run records per cell of the factor matrix.
+
+    Returns one dict per cell (cell-index order), each with:
+
+    ``cell`` / ``point``
+        Cell index and its factor assignment.
+    ``n`` / ``n_ok``
+        Records seen / records with ``status == "ok"``.
+    ``wall_s_min`` / ``wall_s_median`` / ``wall_s_all``
+        Best-of-N gated wall time, the median, and the full spread in
+        repetition order.
+    ``newton_iterations``
+        Median over ok repetitions (NaN when unreported).
+    ``parity_max``
+        Worst signature deviation vs the baseline over repetitions
+        (NaN when the config has no baseline or the cell is the
+        baseline itself).
+    ``metrics``
+        Median per metric over ok repetitions.
+    ``errors``
+        Error strings of failed repetitions (empty when all ok).
+    """
+    by_cell: Dict[int, List[Dict]] = {}
+    for rec in records:
+        by_cell.setdefault(rec["cell"], []).append(rec)
+    cells: List[Dict] = []
+    for cell_index in sorted(by_cell):
+        runs = sorted(by_cell[cell_index],
+                      key=lambda r: r["repetition"])
+        ok = [r for r in runs if r.get("status") == "ok"]
+        walls = [float(r["wall_s"]) for r in ok]
+        metric_names: List[str] = []
+        for rec in ok:
+            for name in rec.get("metrics") or {}:
+                if name not in metric_names:
+                    metric_names.append(name)
+        parities = [float(r["parity"]) for r in ok
+                    if r.get("parity") is not None]
+        cells.append({
+            "cell": cell_index,
+            "point": dict(runs[0]["point"]),
+            "n": len(runs),
+            "n_ok": len(ok),
+            "wall_s_min": _finite_min(walls),
+            "wall_s_median": _median(walls),
+            "wall_s_all": walls,
+            "newton_iterations": _median(
+                [float(r["newton_iterations"]) for r in ok]),
+            "parity_max": (_finite_max(parities) if parities
+                           else float("nan")),
+            "metrics": {name: _median(
+                [float(r["metrics"][name]) for r in ok
+                 if name in (r.get("metrics") or {})])
+                for name in metric_names},
+            "errors": [r.get("error", "") for r in runs
+                       if r.get("status") == "error"],
+        })
+    return cells
+
+
+def render_report(config: RunnerConfig, records: Sequence[Dict],
+                  pending: Optional[int] = None) -> Dict:
+    """Render the experiment report dict (``report.json`` payload).
+
+    Deterministic for identical records: no timestamps, no host info,
+    cell order fixed by the factor matrix.  ``pending`` (when known)
+    records how many planned runs have no record yet, so a report from
+    a partial directory is visibly partial.
+    """
+    cells = summarize_cells(config, records)
+    report = {
+        "experiment": config.describe(),
+        "fingerprint": config.fingerprint(),
+        "runs": len(records),
+        "cells": cells,
+        "parity_max": _finite_max(
+            [c["parity_max"] for c in cells]),
+    }
+    if pending is not None:
+        report["pending"] = pending
+        report["complete"] = pending == 0
+    return report

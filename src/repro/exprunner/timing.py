@@ -1,0 +1,63 @@
+"""Robust timing: best-of-N wall-clock measurement.
+
+Single-shot timings wobble — a load spike during the one measured run
+moves a gated speed-up by tens of percent (`FAMILY_SPEEDUP_FLOOR` had
+to be re-margined once for exactly this).  The protocol here is the
+project-wide fix: repeat the measurement, keep the *minimum* (the run
+least disturbed by the machine), and record the full spread so a
+report can show how noisy the measurement was.
+
+The experiment runner applies the same protocol structurally — the
+plan's ``repetitions`` are the repeats and reports aggregate
+min-of-repetitions — while :func:`robust_time` is the inline helper
+for benchmark code that times a callable directly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List
+
+from repro.errors import ParameterError
+
+__all__ = ["robust_time"]
+
+
+def robust_time(fn: Callable[[], object], repeats: int = 3,
+                warmup: int = 0) -> Dict[str, object]:
+    """Time ``fn()`` ``repeats`` times; best-of-N plus the spread.
+
+    Parameters
+    ----------
+    fn : callable
+        Nullary callable; its return value is discarded.
+    repeats : int
+        Measured repetitions (>= 1).  The gated figure is the minimum.
+    warmup : int
+        Unmeasured calls beforehand (cache/JIT warm-up).
+
+    Returns
+    -------
+    dict
+        ``{"best_s": min, "median_s": median, "times_s": [...]}`` —
+        ``times_s`` in execution order so reports can record the
+        spread next to the gated best-of-N figure.
+    """
+    if repeats < 1:
+        raise ParameterError(f"repeats must be >= 1: {repeats}")
+    if warmup < 0:
+        raise ParameterError(f"warmup must be >= 0: {warmup}")
+    for _ in range(warmup):
+        fn()
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    ordered = sorted(times)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        median = 0.5 * (ordered[mid - 1] + ordered[mid])
+    return {"best_s": ordered[0], "median_s": median, "times_s": times}

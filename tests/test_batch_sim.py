@@ -233,6 +233,7 @@ class TestFixedModeParity:
             assert _max_dv(ds, ref, nodes) < PARITY_TOL_V
 
 
+@pytest.mark.slow
 class TestAdaptiveModeParity:
     def test_pinned_grid_matches_scalar(self, family):
         """dt_min == dt_max pins the controller, so the adaptive
@@ -343,6 +344,7 @@ class TestScalarFallback:
             result[0]
 
 
+@pytest.mark.slow
 class TestEvaluatorParity:
     def test_ring_evaluator_batch_matches_scalar(self):
         from repro.variability.circuits import RingOscillatorEvaluator

@@ -2,7 +2,7 @@
 
 Every name exported from the public surfaces (``repro.circuit``,
 ``repro.pwl.device``, ``repro.variability``, ``repro.characterize``,
-``repro.service``) must carry a nonempty docstring, and classes must
+``repro.service``, ``repro.exprunner``) must carry a nonempty docstring, and classes must
 document their public methods too.  This keeps the ISSUE 3 docstring pass from rotting:
 adding an undocumented export fails CI.
 """
@@ -13,6 +13,7 @@ import pytest
 
 import repro.characterize
 import repro.circuit
+import repro.exprunner
 import repro.pwl.device
 import repro.service
 import repro.variability
@@ -36,6 +37,7 @@ PUBLIC_SURFACES = {
         "ArcTable", "CharTable", "GateDelayEvaluator",
     ],
     repro.service: repro.service.__all__,
+    repro.exprunner: repro.exprunner.__all__,
 }
 
 

@@ -178,6 +178,7 @@ class TestKernelParity:
         np.testing.assert_allclose(outs[0], outs[1], rtol=0, atol=1e-12)
 
 
+@pytest.mark.slow
 class TestEngineParity:
     """DC / transient / batch / characterize under both tiers."""
 
@@ -400,6 +401,7 @@ class TestWorkers:
             [[2, 3], [4]]
 
 
+@pytest.mark.slow
 class TestShardedCampaign:
     def test_campaign_workers_match_serial(self, tmp_path):
         from repro.variability.campaign import (

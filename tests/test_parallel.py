@@ -1,0 +1,170 @@
+"""Direct unit coverage for ``repro.parallel``.
+
+The serial-fallback branches of :func:`fork_map` are the correctness
+backbone of every sharded entry point: on a platform without ``fork``,
+inside a nested call, or at one worker/one item, results must be the
+serial loop's — and the process pool must never even be constructed
+(a poisoned ``ProcessPoolExecutor`` proves the branch, not just the
+result).  The memo-noise test pins the documented sharding contract
+(docs/kernels.md): forked chunks rebuild the evaluator memo
+per-worker, so identical devices may converge from different warm
+starts — float noise within ~1e-13 relative on device metrics, never
+a numerics change.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+import repro.parallel as parallel
+from repro.errors import ParameterError
+from repro.parallel import WORKERS_ENV, fork_map, resolve_workers
+
+
+class _PoisonedPool:
+    """Stands in for ProcessPoolExecutor on paths that must stay
+    serial."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError(
+            "ProcessPoolExecutor constructed on a serial-fallback path")
+
+
+@pytest.fixture
+def poisoned_pool(monkeypatch):
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _PoisonedPool)
+
+
+class TestResolveWorkers:
+    def test_explicit_counts_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+        assert resolve_workers("3") == 3
+
+    def test_auto_without_env_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        import os
+
+        expected = os.cpu_count() or 1
+        assert resolve_workers(None) == expected
+        assert resolve_workers(0) == expected
+        assert resolve_workers("auto") == expected
+        assert resolve_workers(" AUTO ") == expected
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+        assert resolve_workers(0) == 5
+        assert resolve_workers(6) == 6  # explicit beats env
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        for bad in ("zero", "0", "-2"):
+            monkeypatch.setenv(WORKERS_ENV, bad)
+            with pytest.raises(ParameterError):
+                resolve_workers(None)
+
+    def test_invalid_specs_rejected(self):
+        for bad in (-1, 1.5, "none", True, False):
+            with pytest.raises(ParameterError):
+                resolve_workers(bad)
+
+
+class TestForkMapSerialFallbacks:
+    def test_one_worker_never_builds_pool(self, poisoned_pool):
+        assert fork_map(lambda x: x * 2, [1, 2, 3], workers=1) == \
+            [2, 4, 6]
+
+    def test_single_item_never_builds_pool(self, poisoned_pool):
+        assert fork_map(lambda x: x + 1, [41], workers=8) == [42]
+
+    def test_empty_items_never_build_pool(self, poisoned_pool):
+        assert fork_map(lambda x: x, [], workers=8) == []
+
+    def test_nested_call_never_builds_pool(self, poisoned_pool,
+                                           monkeypatch):
+        # Simulate "we are inside a forked worker": _WORK is published
+        # before the pool spawns and inherited by children, so a
+        # non-None _WORK is the nested-call sentinel.
+        monkeypatch.setattr(parallel, "_WORK",
+                            (lambda x: x, [0]))
+        assert fork_map(lambda x: x * 10, [1, 2], workers=4) == \
+            [10, 20]
+
+    def test_no_fork_platform_never_builds_pool(self, poisoned_pool,
+                                                monkeypatch):
+        monkeypatch.setattr(parallel, "_can_fork", lambda: False)
+        assert fork_map(lambda x: -x, [1, 2, 3], workers=4) == \
+            [-1, -2, -3]
+
+    def test_serial_fallback_preserves_order_and_exceptions(
+            self, poisoned_pool, monkeypatch):
+        monkeypatch.setattr(parallel, "_can_fork", lambda: False)
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            if x == 3:
+                raise ValueError("boom")
+            return x
+
+        with pytest.raises(ValueError, match="boom"):
+            fork_map(fn, [1, 2, 3, 4], workers=4)
+        assert calls == [1, 2, 3]  # serial loop, submission order
+
+    def test_work_global_cleared_after_pooled_run(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork on this platform")
+        assert fork_map(lambda x: x, [1, 2, 3], workers=2) == [1, 2, 3]
+        assert parallel._WORK is None
+
+    def test_work_global_cleared_after_pooled_exception(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork on this platform")
+
+        def fn(x):
+            if x == 2:
+                raise RuntimeError("worker failure")
+            return x
+
+        with pytest.raises(RuntimeError):
+            fork_map(fn, [1, 2, 3], workers=2)
+        assert parallel._WORK is None
+
+
+class TestWorkerMemoNoise:
+    def test_sharded_campaign_within_documented_bound(self):
+        """docs/kernels.md: chunk sharding never changes what is
+        computed; only the evaluator memo becomes per-worker, so
+        duplicate devices re-converge from different warm starts —
+        ~1e-13 relative on device metrics."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork on this platform")
+        from repro.variability.campaign import (
+            Campaign,
+            CampaignConfig,
+            DeviceMetricsEvaluator,
+        )
+        from repro.variability.params import default_device_space
+
+        space = default_device_space()
+        config = CampaignConfig(name="memo-noise", n_samples=32,
+                                seed=5, sampler="mc", chunk_size=8)
+        serial = Campaign(config, space,
+                          DeviceMetricsEvaluator(space)).run(workers=1)
+        sharded = Campaign(config, space,
+                           DeviceMetricsEvaluator(space)).run(workers=2)
+        assert len(serial.records) == len(sharded.records) == 32
+        worst = 0.0
+        for a, b in zip(serial.records, sharded.records):
+            assert a["params"] == b["params"]
+            for metric, value in a["metrics"].items():
+                other = b["metrics"][metric]
+                if value == other:
+                    continue
+                worst = max(worst,
+                            abs(value - other) / max(abs(value), 1e-300))
+        assert worst <= 5e-13, (
+            f"memo noise {worst:.2e} above the documented ~1e-13 "
+            f"relative bound — a numerics change, not warm-start noise")

@@ -221,6 +221,7 @@ class TestJobSpecValidation:
             build_newton_options({}).max_iterations
 
 
+@pytest.mark.slow
 class TestJobLifecycle:
     def test_submit_poll_result(self, server):
         _, client = server
@@ -289,6 +290,7 @@ class TestJobLifecycle:
         assert op["result"]["voltages"] == {"v(out)": pytest.approx(0.0)}
 
 
+@pytest.mark.slow
 class TestResultCache:
     def test_cache_hit_returns_identical_payload(self, server):
         _, client = server
@@ -327,6 +329,7 @@ class TestResultCache:
             ResultCache(capacity=-1)
 
 
+@pytest.mark.slow
 class TestCoalescing:
     def test_concurrent_same_topology_jobs_share_one_dispatch(
             self, coalescing_server):
@@ -395,6 +398,7 @@ class TestCoalescing:
             "service_engine_dispatches_total") == 2
 
 
+@pytest.mark.slow
 class TestLaneFallback:
     def test_failed_lane_falls_back_to_scalar(self, monkeypatch):
         """A lane whose lock-step Newton fails is re-run scalar by the
@@ -456,6 +460,7 @@ class TestLaneFallback:
         assert fallback_docs, "no lane replayed the scalar grid"
 
 
+@pytest.mark.slow
 class TestMetrics:
     def test_documented_names_exposed(self, server):
         _, client = server
@@ -497,6 +502,7 @@ class TestMetrics:
             registry.get("missing")
 
 
+@pytest.mark.slow
 class TestNodesFilterCaching:
     """The cache stores the node-filtered payload, so the ``nodes``
     response filter must be part of the result-cache fingerprint — a
@@ -530,6 +536,7 @@ class TestNodesFilterCaching:
         assert client.run(rc_job())["cached"] is True
 
 
+@pytest.mark.slow
 class TestShutdownAuth:
     def test_loopback_trusted_without_token(self):
         assert shutdown_authorized("127.0.0.1", "", "secret")
