@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-slow bench bench-report examples smoke \
-	service-smoke experiments-smoke docs-check
+.PHONY: test test-fast test-slow chaos chaos-smoke bench bench-report \
+	examples smoke service-smoke experiments-smoke docs-check
 
 ## tier-1 test suite (what CI gates on) — includes the doc
 ## coverage and docs link-checker gates
@@ -19,6 +19,18 @@ test-fast:
 ## lanes together cover everything `make test` covers
 test-slow:
 	$(PYTHON) -m pytest -x -q -m "slow"
+
+## full chaos suite (docs/robustness.md): seeded fault plans over
+## campaign/exprunner/service workloads, asserting fault-free parity —
+## includes the heavy @slow cases (service bursts, deadline jobs)
+chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py -x -q
+
+## the quick chaos subset (fault-plan mechanics, cancel tokens,
+## kernel/solver seams, exprunner quarantine) — what CI smokes on
+## every push; the @slow remainder rides the test-slow lane
+chaos-smoke:
+	$(PYTHON) -m pytest tests/test_chaos.py -x -q -m "not slow"
 
 ## docs gates only: markdown cross-links + public-API doc coverage
 docs-check:

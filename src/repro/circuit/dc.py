@@ -6,6 +6,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.cancel import CancelToken
 from repro.circuit.elements.base import GROUND_NAMES, StampContext
 from repro.circuit.elements.cnfet import CNFETElement
 from repro.circuit.elements.resistor import Resistor
@@ -82,28 +83,33 @@ def operating_point(circuit: Circuit,
                     options: NewtonOptions = NewtonOptions(),
                     x0: Optional[np.ndarray] = None,
                     assembler: Optional[TwoPhaseAssembler] = None,
-                    backend: BackendLike = None) -> OperatingPoint:
+                    backend: BackendLike = None,
+                    cancel: Optional[CancelToken] = None) -> OperatingPoint:
     """Solve the DC operating point (with fallbacks; see
     :func:`repro.circuit.mna.robust_dc_solve`).
 
     ``backend`` selects the linear-solver backend when no reusable
-    ``assembler`` is passed (``"auto"`` / ``"dense"`` / ``"sparse"``).
+    ``assembler`` is passed (``"auto"`` / ``"dense"`` / ``"sparse"``);
+    ``cancel`` is checked once per Newton iteration.
     """
     circuit.reset_state()
-    x = robust_dc_solve(circuit, x0, options, assembler, backend=backend)
+    x = robust_dc_solve(circuit, x0, options, assembler, backend=backend,
+                        cancel=cancel)
     return OperatingPoint(circuit, x)
 
 
 def dc_sweep(circuit: Circuit, source_name: str, values: Sequence[float],
              options: NewtonOptions = NewtonOptions(),
-             backend: BackendLike = None) -> Dataset:
+             backend: BackendLike = None,
+             cancel: Optional[CancelToken] = None) -> Dataset:
     """Sweep an independent source and record all node voltages (and
     every voltage-source branch current).
 
     The previous solution seeds each step's Newton iteration, which is
     both faster and more robust than cold starts (continuation).
     ``backend`` selects the linear-solver backend shared by every
-    point of the sweep.
+    point of the sweep; ``cancel`` is checked at every sweep point (and
+    once per Newton iteration inside each solve).
     """
     source = circuit.element(source_name)
     if not isinstance(source, (VoltageSource, CurrentSource)):
@@ -129,9 +135,11 @@ def dc_sweep(circuit: Circuit, source_name: str, values: Sequence[float],
     assembler = TwoPhaseAssembler(circuit, backend=backend)
     try:
         for value in values:
+            if cancel is not None:
+                cancel.check()
             source.waveform = DC(float(value))
             op = operating_point(circuit, options, x0=x_prev,
-                                 assembler=assembler)
+                                 assembler=assembler, cancel=cancel)
             x_prev = op.x
             for n in nodes:
                 voltages[n].append(op.voltage(n))

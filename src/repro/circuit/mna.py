@@ -46,6 +46,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro import faults
+from repro.cancel import CancelToken
 from repro.circuit.elements.base import StampContext, TripletStampContext
 from repro.circuit.elements.cnfet import CNFETElement, CNFETSlab
 from repro.circuit.netlist import Circuit
@@ -389,14 +391,17 @@ def newton_solve(circuit: Circuit, x0: np.ndarray,
                  source_scale: float = 1.0,
                  assembler: Optional[TwoPhaseAssembler] = None,
                  stats: Optional[dict] = None,
-                 backend: BackendLike = None) -> np.ndarray:
+                 backend: BackendLike = None,
+                 cancel: Optional[CancelToken] = None) -> np.ndarray:
     """Damped Newton iteration; raises :class:`AnalysisError` on failure.
 
     Pass a reusable ``assembler`` (transient does, once per analysis) to
     amortise buffer allocation across steps; ``backend`` selects the
     linear-solver backend when no assembler is given.  When a ``stats``
     dict is supplied, ``"iterations"`` and ``"solves"`` counters are
-    accumulated into it (the benchmark report reads them).
+    accumulated into it (the benchmark report reads them).  A ``cancel``
+    token is checked once per iteration, so a deadline or an explicit
+    cancellation unwinds within one iteration's latency.
     """
     x = x0.copy()
     n_nodes = len(circuit.node_index)
@@ -414,18 +419,39 @@ def newton_solve(circuit: Circuit, x0: np.ndarray,
     # Local counters, flushed once per solve — the per-iteration
     # ``stats.get`` dict churn used to show up on long transients.
     iterations = 0
+    max_dv = None
+    worst = None
     try:
         for iterations in range(1, options.max_iterations + 1):
+            if cancel is not None:
+                cancel.check()
             assembler.iterate(
                 x,
                 reuse_tol if iterations <= stall_cap else 0.0,
             )
-            x_new = assembler.solve()
+            try:
+                if faults.fire("solver.singular"):
+                    raise np.linalg.LinAlgError(
+                        "injected singular system (fault seam "
+                        "solver.singular)")
+                x_new = assembler.solve()
+            except np.linalg.LinAlgError as exc:
+                # Backends normally diagnose singularity themselves; a
+                # raw LinAlgError escaping here must not abort a whole
+                # campaign when gmin/source stepping could recover.
+                raise AnalysisError(
+                    f"singular MNA matrix ({exc}); check for floating "
+                    f"nodes"
+                ) from exc
             delta = x_new - x
             # Damp voltage unknowns only; branch currents may move
             # freely.
             v_delta = delta[:n_nodes]
-            max_dv = float(np.max(np.abs(v_delta))) if n_nodes else 0.0
+            if n_nodes:
+                worst = int(np.argmax(np.abs(v_delta)))
+                max_dv = float(np.abs(v_delta[worst]))
+            else:
+                max_dv = 0.0
             if max_dv > options.max_step:
                 delta = delta * (options.max_step / max_dv)
             x = x + delta
@@ -441,28 +467,62 @@ def newton_solve(circuit: Circuit, x0: np.ndarray,
             stats["iterations"] = stats.get("iterations", 0) + iterations
     raise AnalysisError(
         f"Newton did not converge in {options.max_iterations} iterations "
-        f"(analysis={analysis}, t={time})"
+        f"(analysis={analysis}, t={time})",
+        residual=max_dv,
+        node=_node_name(circuit, worst),
     )
+
+
+def _node_name(circuit: Circuit, index: Optional[int]) -> Optional[str]:
+    """Node name for a voltage-unknown index (``None`` when unknown)."""
+    if index is None:
+        return None
+    for name, position in circuit.node_index.items():
+        if position == index:
+            return name
+    return None
 
 
 def robust_dc_solve(circuit: Circuit, x0: Optional[np.ndarray] = None,
                     options: NewtonOptions = NewtonOptions(),
                     assembler: Optional[TwoPhaseAssembler] = None,
-                    backend: BackendLike = None) -> np.ndarray:
+                    backend: BackendLike = None,
+                    cancel: Optional[CancelToken] = None) -> np.ndarray:
     """DC solve with gmin/source-stepping fallbacks.
 
     ``backend`` selects the linear-solver backend when no reusable
-    ``assembler`` is supplied.
+    ``assembler`` is supplied.  Source stepping first continues from
+    the last gmin-stepping iterate (when that strategy ran) — the
+    partially-converged point is usually a better ramp start — and
+    re-ramps from the caller's start point if that fails (a diverged
+    gmin iterate can be worse than no warm start at all).  On total
+    failure the :class:`AnalysisError` reports
+    every strategy tried and the best (smallest) final Newton update
+    with its worst node, so the diagnosis names where convergence
+    stalled instead of just "diverged".
     """
     n = circuit.dimension()
     x_start = np.zeros(n) if x0 is None else x0.copy()
     if assembler is None:
         assembler = TwoPhaseAssembler(circuit, backend=backend)
+    tried: list = []
+
+    def _best() -> "tuple[Optional[float], Optional[str]]":
+        known = [(exc.residual, exc.node) for _, exc in tried
+                 if exc.residual is not None]
+        if not known:
+            return None, None
+        return min(known, key=lambda pair: pair[0])
+
     try:
         return newton_solve(circuit, x_start, options, analysis="dc",
-                            assembler=assembler)
-    except AnalysisError:
-        pass
+                            assembler=assembler, cancel=cancel)
+    except AnalysisError as exc:
+        tried.append(("newton", exc))
+    # Source stepping ramps from the most-converged point available:
+    # the last gmin-stepping iterate when that strategy ran, else the
+    # caller's start point.
+    x_ramp = x_start.copy()
     if options.gmin_stepping:
         x = x_start.copy()
         try:
@@ -470,23 +530,41 @@ def robust_dc_solve(circuit: Circuit, x0: Optional[np.ndarray] = None,
                 x = newton_solve(
                     circuit, x, options, analysis="dc",
                     gmin=10.0 ** (-exponent), assembler=assembler,
+                    cancel=cancel,
                 )
+                x_ramp = x
             return newton_solve(circuit, x, options, analysis="dc",
-                                assembler=assembler)
-        except AnalysisError:
-            pass
+                                assembler=assembler, cancel=cancel)
+        except AnalysisError as exc:
+            tried.append(("gmin-stepping", exc))
     if options.source_stepping:
-        x = np.zeros(n)
-        try:
-            for scale in (0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0):
-                x = newton_solve(
-                    circuit, x, options, analysis="dc", source_scale=scale,
-                    assembler=assembler,
-                )
-            return x
-        except AnalysisError:
-            pass
+        starts = [x_ramp]
+        if not np.array_equal(x_ramp, x_start):
+            starts.append(x_start.copy())
+        failure: Optional[AnalysisError] = None
+        for x in starts:
+            try:
+                for scale in (0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0):
+                    x = newton_solve(
+                        circuit, x, options, analysis="dc",
+                        source_scale=scale, assembler=assembler,
+                        cancel=cancel,
+                    )
+                return x
+            except AnalysisError as exc:
+                if (failure is None or failure.residual is None
+                        or (exc.residual is not None
+                            and exc.residual < failure.residual)):
+                    failure = exc
+        tried.append(("source-stepping", failure))
+    strategies = tuple(name for name, _ in tried)
+    residual, node = _best()
+    detail = ""
+    if residual is not None:
+        detail = (f"; best residual {residual:.3g} V"
+                  + (f" at node {node!r}" if node else ""))
     raise AnalysisError(
-        "DC operating point failed (Newton, gmin stepping and source "
-        "stepping all diverged)"
+        f"DC operating point failed after "
+        f"{', '.join(strategies) or 'no strategies'}{detail}",
+        residual=residual, node=node, strategies=strategies,
     )

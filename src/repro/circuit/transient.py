@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.cancel import CancelToken
 from repro.circuit.elements.base import StampContext
 from repro.circuit.elements.cnfet import CNFETElement
 from repro.circuit.elements.sources import VoltageSource
@@ -195,6 +196,7 @@ def transient(
     dt_max: Optional[float] = None,
     extra_breakpoints: Sequence[float] = (),
     backend: BackendLike = None,
+    cancel: Optional[CancelToken] = None,
 ) -> Dataset:
     """Integrate the circuit from its DC operating point to ``tstop``.
 
@@ -251,6 +253,12 @@ def transient(
         DC operating point included) — ``"auto"`` (default),
         ``"dense"`` or ``"sparse"``; see
         :func:`repro.circuit.solvers.resolve_backend`.
+    cancel : repro.cancel.CancelToken, optional
+        Cooperative cancellation token, checked once per Newton
+        iteration — a deadline or an explicit cancel unwinds the run
+        with :class:`~repro.errors.CancelledError` within one
+        iteration's latency (how the job service enforces per-job
+        ``deadline_s``).
 
     Returns
     -------
@@ -307,7 +315,8 @@ def transient(
     circuit.reset_state()
     n = circuit.dimension()
     if x0 is None:
-        x = robust_dc_solve(circuit, None, options, backend=backend)
+        x = robust_dc_solve(circuit, None, options, backend=backend,
+                            cancel=cancel)
     else:
         x = np.asarray(x0, dtype=float).copy()
         if x.shape != (n,):
@@ -329,10 +338,10 @@ def transient(
     if adaptive:
         _adaptive_loop(circuit, tstop, method, options, x, recorder,
                        assembler, breakpoints, rtol, atol, dt_min, dt_max,
-                       dt, stats)
+                       dt, stats, cancel)
     else:
         _fixed_loop(circuit, tstop, dt, method, options, x, recorder,
-                    assembler, breakpoints, max_halvings, stats)
+                    assembler, breakpoints, max_halvings, stats, cancel)
     return recorder.dataset(record_currents)
 
 
@@ -349,7 +358,8 @@ def _fixed_loop(circuit: Circuit, tstop: float, dt: float, method: str,
                 options: NewtonOptions, x: np.ndarray,
                 recorder: _StepRecorder, assembler: TwoPhaseAssembler,
                 breakpoints: List[float], max_halvings: int,
-                stats: Optional[dict]) -> None:
+                stats: Optional[dict],
+                cancel: Optional[CancelToken] = None) -> None:
     """Legacy fixed-step march with local halving on Newton failure.
 
     Byte-for-byte the historical engine when the circuit has no source
@@ -375,7 +385,7 @@ def _fixed_loop(circuit: Circuit, tstop: float, dt: float, method: str,
             x_next = newton_solve(
                 circuit, x, options, analysis="tran", time=t_next,
                 dt=step, x_prev=x, method=method, assembler=assembler,
-                stats=stats,
+                stats=stats, cancel=cancel,
             )
         except AnalysisError:
             if halvings >= max_halvings:
@@ -413,7 +423,8 @@ def _adaptive_loop(circuit: Circuit, tstop: float, method: str,
                    recorder: _StepRecorder, assembler: TwoPhaseAssembler,
                    breakpoints: List[float], rtol: float, atol: float,
                    dt_min: float, dt_max: float, dt0: Optional[float],
-                   stats: Optional[dict]) -> None:
+                   stats: Optional[dict],
+                   cancel: Optional[CancelToken] = None) -> None:
     """Variable-step LTE-controlled integration (see module docstring).
 
     Controller: predictor–corrector LTE estimate over the voltage
@@ -454,7 +465,7 @@ def _adaptive_loop(circuit: Circuit, tstop: float, method: str,
             x_next = newton_solve(
                 circuit, x_start, options, analysis="tran", time=t_next,
                 dt=step, x_prev=x, method=method, assembler=assembler,
-                stats=stats,
+                stats=stats, cancel=cancel,
             )
         except AnalysisError:
             if stats is not None:

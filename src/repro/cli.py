@@ -352,7 +352,8 @@ def _cmd_serve(args) -> int:
           f"cache-size={args.cache_size})", flush=True)
     serve(host=args.host, port=args.port, workers=args.workers,
           batch_window=args.batch_window, cache_size=args.cache_size,
-          backend=args.backend, logger=logger)
+          max_queue=args.max_queue, backend=args.backend,
+          logger=logger)
     return 0
 
 
@@ -577,6 +578,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--cache-size", type=int, default=256,
                        help="fingerprint result-cache entries "
                             "(0 disables caching)")
+    p_srv.add_argument("--max-queue", type=int, default=None,
+                       help="bound on queued jobs; submissions past "
+                            "it get HTTP 503 + Retry-After "
+                            "(default: unbounded)")
     _backend_argument(p_srv)
     p_srv.set_defaults(func=_cmd_serve)
 

@@ -71,7 +71,64 @@ class ParseError(NetlistError):
 
 
 class AnalysisError(ReproError, RuntimeError):
-    """A circuit analysis (DC, transient) failed to complete."""
+    """A circuit analysis (DC, transient) failed to complete.
+
+    Attributes
+    ----------
+    residual:
+        Inf-norm of the last Newton voltage update [V], when known —
+        how far from convergence the best attempt got.
+    node:
+        Name of the node with the largest final update, when known.
+    strategies:
+        Names of the solve strategies attempted before giving up
+        (e.g. ``("newton", "gmin-stepping", "source-stepping")``).
+    """
+
+    def __init__(self, message: str, *,
+                 residual: float | None = None,
+                 node: str | None = None,
+                 strategies: "tuple[str, ...] | None" = None) -> None:
+        super().__init__(message)
+        self.residual = residual
+        self.node = node
+        self.strategies = strategies
+
+
+class ParallelError(ReproError, RuntimeError):
+    """A sharded :func:`repro.parallel.fork_map` run failed as a whole
+    (the ``timeout=`` budget elapsed with shards still running).  An
+    individual item that raises — in a worker, or during the
+    post-crash serial re-run — re-raises its *original* exception
+    annotated with the item index instead.
+
+    Attributes
+    ----------
+    indices:
+        Original item indices involved in the failure, when known.
+    """
+
+    def __init__(self, message: str, *,
+                 indices: "tuple[int, ...] | None" = None) -> None:
+        super().__init__(message)
+        self.indices = indices
+
+
+class CancelledError(ReproError, RuntimeError):
+    """Cooperative cancellation: a :class:`repro.cancel.CancelToken`
+    was cancelled or its deadline passed and the running analysis
+    stopped at its next check point.
+
+    Attributes
+    ----------
+    kind:
+        ``"timeout"`` when a deadline expired, ``"cancelled"`` for an
+        explicit cancellation.
+    """
+
+    def __init__(self, message: str, *, kind: str = "cancelled") -> None:
+        super().__init__(message)
+        self.kind = kind
 
 
 class CodegenError(ReproError, RuntimeError):
@@ -86,3 +143,25 @@ class CampaignError(ReproError, RuntimeError):
 class ServiceError(ReproError, RuntimeError):
     """A job-service operation failed (HTTP error reply, job failure,
     timeout waiting for a result, or a server shutting down)."""
+
+
+class ServiceTransportError(ServiceError):
+    """The HTTP transport failed before a server reply arrived
+    (connection refused/reset, DNS, socket timeout).  Distinct from an
+    HTTP error reply so clients know a retry is safe: submissions are
+    idempotent through the fingerprint result cache."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The job queue is full; the server replies 503 with a
+    ``Retry-After`` header.
+
+    Attributes
+    ----------
+    retry_after_s:
+        Seconds the client should wait before retrying.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

@@ -21,12 +21,16 @@ which is also how the CI smoke simulates an interrupt.
 Pending runs shard over forked worker processes through
 :func:`repro.parallel.fork_map`; records come back to the parent,
 which does all writing (atomic temp-file + rename), so an interrupted
-run never leaves a partial ``record.json`` behind.
+run never leaves a partial ``record.json`` behind.  Should a partial
+or corrupt record land on disk anyway (power loss mid-rename, a full
+filesystem), resume moves it to ``runs/quarantine/`` and recomputes
+that run instead of crashing — see ``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
 import time
@@ -35,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import faults
 from repro.errors import CampaignError, ParameterError
 from repro.exprunner.config import RunnerConfig
 from repro.exprunner.plan import RunSpec, baseline_index, expand_plan
@@ -42,6 +47,8 @@ from repro.exprunner.runtable import write_run_table
 from repro.exprunner.workloads import WORKLOADS
 
 __all__ = ["ExperimentRunner", "ExperimentResult", "peak_rss_kib"]
+
+_log = logging.getLogger("repro.exprunner.executor")
 
 
 def peak_rss_kib() -> float:
@@ -69,6 +76,8 @@ class ExperimentResult:
     computed: int = 0
     pending: int = 0
     run_dir: Optional[str] = None
+    #: corrupt records moved to ``runs/quarantine/`` and recomputed
+    quarantined: int = 0
 
     @property
     def complete(self) -> bool:
@@ -151,10 +160,11 @@ class ExperimentRunner:
 
         plan = self.plan()
         runs_root = None
+        quarantined = 0
         if self.run_dir is not None:
             runs_root = self.run_dir / "runs"
             runs_root.mkdir(parents=True, exist_ok=True)
-            self._check_manifest(resume)
+            quarantined += self._check_manifest(resume)
 
         loaded: Dict[int, Dict] = {}
         if resume and runs_root is not None:
@@ -162,6 +172,11 @@ class ExperimentRunner:
                 record = self._load_record(runs_root, spec)
                 if record is not None:
                     loaded[spec.index] = record
+                elif _quarantine_record(runs_root, spec.run_id):
+                    quarantined += 1
+                    _log.warning(
+                        "experiment resume: quarantined corrupt record "
+                        "for %s; recomputing", spec.run_id)
 
         pending = [spec for spec in plan if spec.index not in loaded]
         limited = pending[:max_runs] if max_runs is not None else pending
@@ -193,6 +208,7 @@ class ExperimentRunner:
             computed=len(limited),
             pending=len(plan) - len(records),
             run_dir=str(self.run_dir) if self.run_dir else None,
+            quarantined=quarantined,
         )
 
     def load(self) -> ExperimentResult:
@@ -290,17 +306,37 @@ class ExperimentRunner:
                 record["signature"], base_record["signature"],
                 workload.parity)
 
-    def _check_manifest(self, resume: bool) -> None:
+    def _check_manifest(self, resume: bool) -> int:
+        """Verify (or write) the manifest; returns how many files were
+        quarantined recovering from a corrupt manifest.
+
+        Mirrors :meth:`repro.variability.campaign.Campaign
+        ._check_manifest`: a *mismatched* fingerprint raises (different
+        experiment), an *unreadable* manifest quarantines itself and
+        every record — none verifiable without the fingerprint — and
+        restarts fresh.
+        """
         path = self.run_dir / "manifest.json"
         manifest = {"fingerprint": self.config.fingerprint(),
                     "config": self.config.describe()}
         if path.exists() and resume:
             try:
                 existing = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError) as exc:
-                raise CampaignError(
-                    f"unreadable experiment manifest {path}: {exc}"
-                ) from exc
+            except (OSError, json.JSONDecodeError):
+                runs_root = self.run_dir / "runs"
+                qdir = runs_root / "quarantine"
+                qdir.mkdir(parents=True, exist_ok=True)
+                os.replace(path, qdir / "manifest.json")
+                count = 1
+                for spec in self.plan():
+                    count += int(_quarantine_record(runs_root,
+                                                    spec.run_id))
+                _log.warning(
+                    "experiment resume: manifest %s unreadable; "
+                    "quarantined it and %d record(s), restarting "
+                    "fresh", path, count - 1)
+                _atomic_write_json(path, manifest)
+                return count
             if existing.get("fingerprint") != manifest["fingerprint"]:
                 raise CampaignError(
                     f"run directory {self.run_dir} belongs to a "
@@ -308,6 +344,7 @@ class ExperimentRunner:
                     f"changed); use a fresh directory or delete it")
         else:
             _atomic_write_json(path, manifest)
+        return 0
 
     def _load_record(self, runs_root: Path,
                      spec: RunSpec) -> Optional[Dict]:
@@ -363,9 +400,25 @@ def _signature_deviation(sig: Dict, ref: Dict, mode: str) -> float:
     return worst
 
 
+def _quarantine_record(runs_root: Path, run_id: str) -> bool:
+    """Move a corrupt ``record.json`` to ``runs/quarantine/<run_id>
+    .record.json`` (atomic rename); False when there is no file."""
+    path = runs_root / run_id / "record.json"
+    if not path.exists():
+        return False
+    qdir = runs_root / "quarantine"
+    qdir.mkdir(parents=True, exist_ok=True)
+    os.replace(path, qdir / f"{run_id}.record.json")
+    return True
+
+
 def _atomic_write_json(path: Path, payload: Dict) -> None:
+    text = json.dumps(_jsonable(payload), indent=1) + "\n"
+    # Chaos seam: a FaultPlan can truncate this payload exactly as a
+    # crash between write and rename would (docs/robustness.md).
+    text = faults.mangle_text("persist.truncate", text)
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(_jsonable(payload), indent=1) + "\n")
+    tmp.write_text(text)
     os.replace(tmp, path)
 
 

@@ -18,6 +18,16 @@ concatenate".  This module is that mechanism:
   without ``fork`` (and nested ``fork_map`` calls) degrade to the
   serial loop, same results.
 
+Crash-recovery contract (docs/robustness.md): a worker process dying
+hard — OOM killer, segfault, ``os._exit`` — breaks the whole pool
+(``BrokenProcessPool``), but the parent still holds ``fn`` and
+``items``.  :func:`fork_map` therefore collects every result that
+completed before the crash and re-runs the unfinished items serially
+in the parent, so a killed worker costs time, never results.  A
+``timeout=`` bounds the whole sharded wait instead: a wedged item
+cannot be recovered by re-running it, so the run fails with a
+:class:`repro.errors.ParallelError` naming the unfinished items.
+
 Determinism note: sharding never changes *what* is computed, only
 where.  Work whose numerics depend on how items are grouped (e.g. the
 shared pulse envelope of a lane-batched characterization grid) must
@@ -27,15 +37,20 @@ shard at the grouping boundary and document the tolerance — see
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, Union
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.errors import ParameterError
+from repro import faults
+from repro.errors import ParallelError, ParameterError
 
 __all__ = ["resolve_workers", "fork_map", "WORKERS_ENV"]
+
+_log = logging.getLogger("repro.parallel")
 
 #: Environment override consulted by ``resolve_workers(None)`` — lets
 #: ``repro mc`` / ``repro characterize`` runs pin their process count
@@ -100,14 +115,54 @@ def _can_fork() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _invoke(index: int):
+class _ItemFailure:
+    """Pickled back from a worker: ``fn(items[index])`` raised.
+
+    Carrying the index explicitly is what preserves per-item
+    attribution with ``chunksize > 1`` — the future alone only knows
+    the chunk.
+    """
+
+    def __init__(self, index: int, error: BaseException) -> None:
+        self.index = index
+        self.error = error
+
+
+def _invoke_chunk(indices: Sequence[int]) -> list:
+    """Worker body: evaluate one chunk of item indices in order.
+
+    Returns results aligned with the chunk prefix; an item whose
+    ``fn`` raised terminates the chunk with an :class:`_ItemFailure`
+    (mirroring the serial loop, which stops at the first error).
+    """
     fn, items = _WORK
-    return fn(items[index])
+    out: list = []
+    for index in indices:
+        if faults.fire("parallel.worker_kill", key=index):
+            # Simulated OOM kill: no exception, no cleanup, no result.
+            os._exit(86)
+        try:
+            out.append(fn(items[index]))
+        except Exception as exc:
+            out.append(_ItemFailure(index, exc))
+            break
+    return out
+
+
+def _annotate(exc: BaseException, index: int, where: str) -> None:
+    """Attach the original item index to an exception (PEP 678 note)."""
+    note = f"fork_map: raised by item {index} ({where})"
+    try:
+        exc.add_note(note)
+    except AttributeError:  # pragma: no cover - pre-3.11 fallback
+        exc.args = (f"{exc.args[0] if exc.args else exc!r} [{note}]",
+                    *exc.args[1:])
 
 
 def fork_map(fn: Callable, items: Sequence,
              workers: WorkerSpec = None,
-             chunksize: Optional[int] = None) -> List:
+             chunksize: Optional[int] = None,
+             timeout: Optional[float] = None) -> List:
     """``[fn(item) for item in items]`` sharded over forked processes.
 
     ``fn`` and ``items`` are inherited by the workers through fork
@@ -117,21 +172,87 @@ def fork_map(fn: Callable, items: Sequence,
     the resolved worker count or the item count is 1, when ``fork`` is
     unavailable, or inside a nested ``fork_map``.
 
-    Exceptions raised by ``fn`` propagate to the caller (out of the
-    pool in the sharded case); callers that want failure-as-data
-    semantics wrap ``fn`` accordingly, exactly as in the serial loop.
+    Exceptions raised by ``fn`` propagate to the caller with a note
+    naming the original item index (also with ``chunksize > 1``);
+    callers that want failure-as-data semantics wrap ``fn``
+    accordingly, exactly as in the serial loop.
+
+    Recovery semantics (docs/robustness.md):
+
+    * a worker process that *dies* (OOM kill, segfault) breaks the
+      pool; the completed results are kept and the unfinished items
+      are re-run serially in the parent — same results, more time;
+    * ``timeout`` bounds the whole sharded wait in seconds; on expiry
+      a :class:`repro.errors.ParallelError` names the unfinished
+      items (a wedged item would wedge the serial re-run too, so no
+      recovery is attempted — the stuck workers are abandoned).
     """
     global _WORK
     items = list(items)
     count = min(resolve_workers(workers), len(items))
+    if timeout is not None and timeout <= 0:
+        raise ParameterError(f"timeout must be > 0 or None: {timeout!r}")
+    if chunksize is not None and chunksize < 1:
+        raise ParameterError(f"chunksize must be >= 1: {chunksize!r}")
     if count <= 1 or _WORK is not None or not _can_fork():
         return [fn(item) for item in items]
+    size = chunksize or 1
+    index_chunks = [list(range(start, min(start + size, len(items))))
+                    for start in range(0, len(items), size)]
     _WORK = (fn, items)
+    results: Dict[int, object] = {}
+    unfinished: List[int] = []
     try:
         context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=count,
-                                 mp_context=context) as pool:
-            return list(pool.map(_invoke, range(len(items)),
-                                 chunksize=chunksize or 1))
+        pool = ProcessPoolExecutor(max_workers=min(count,
+                                                   len(index_chunks)),
+                                   mp_context=context)
+        try:
+            futures = {pool.submit(_invoke_chunk, chunk): chunk
+                       for chunk in index_chunks}
+            done, pending = wait(futures, timeout=timeout)
+            if pending:
+                stuck = sorted(i for f in pending for i in futures[f])
+                for future in pending:
+                    future.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise ParallelError(
+                    f"fork_map timed out after {timeout:g}s with "
+                    f"{len(stuck)} unfinished item(s) "
+                    f"(indices {stuck[:8]}{'...' if len(stuck) > 8 else ''}"
+                    f"); a wedged item cannot be recovered by re-running",
+                    indices=tuple(stuck))
+            failure: Optional[_ItemFailure] = None
+            for future, chunk in futures.items():
+                try:
+                    values = future.result()
+                except BrokenProcessPool:
+                    # Worker died hard; this chunk (and possibly
+                    # others) never reported.  Recovered below.
+                    unfinished.extend(chunk)
+                    continue
+                for index, value in zip(chunk, values):
+                    if isinstance(value, _ItemFailure):
+                        if failure is None or value.index < failure.index:
+                            failure = value
+                    else:
+                        results[index] = value
+            if failure is not None:
+                _annotate(failure.error, failure.index, "in a worker")
+                raise failure.error
+        finally:
+            pool.shutdown(wait=False)
     finally:
         _WORK = None
+    if unfinished:
+        _log.warning(
+            "fork_map: worker process died; re-running %d unfinished "
+            "item(s) serially in the parent", len(unfinished))
+        for index in sorted(unfinished):
+            try:
+                results[index] = fn(items[index])
+            except Exception as exc:
+                _annotate(exc, index, "during the post-crash serial "
+                                      "re-run")
+                raise
+    return [results[index] for index in range(len(items))]

@@ -32,6 +32,7 @@ import contextlib
 import os
 from typing import Iterator, Optional, Union
 
+from repro import faults
 from repro.errors import ParameterError
 
 __all__ = [
@@ -122,6 +123,11 @@ def resolve_kernel_backend(spec: KernelBackendLike = None):
         env = os.environ.get(_ENV_VAR, "").strip()
         if env and env != "auto":
             return resolve_kernel_backend(env)
+        if faults.fire("kernel.backend"):
+            # Injected compiled-tier probe failure: auto resolution
+            # degrades to the numpy reference tier, byte-identical by
+            # the kernels contract (docs/robustness.md).
+            return _get_numpy_backend()
         backend = _get_compiled_backend()
         return backend if backend is not None else _get_numpy_backend()
     if isinstance(spec, str):

@@ -39,6 +39,15 @@ Supported kinds and fields
 ``characterize``
     ``gate``; optional ``loads`` [F], ``slews`` [s], ``vdd``,
     ``model``.
+
+Every kind additionally accepts ``deadline_s`` (> 0): a wall-clock
+budget measured from submission, enforced through a cooperative
+:class:`repro.cancel.CancelToken` threaded into the engine's Newton
+loops.  The deadline is *execution policy*, not simulation input, so
+it is excluded from both fingerprints — a deadline job still hits (and
+fills) the result cache — and it forces ``group_key = None`` so the
+token threads through the scalar path rather than a lock-step batch
+dispatch.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -72,13 +81,14 @@ _NEWTON_FIELDS = tuple(f.name for f in dataclasses.fields(NewtonOptions))
 
 _ALLOWED_KEYS = {
     "transient": {"kind", "deck", "tstop", "dt", "method", "rtol",
-                  "atol", "nodes", "newton"},
+                  "atol", "nodes", "newton", "deadline_s"},
     "dc": {"kind", "deck", "source", "values", "start", "stop",
-           "points", "nodes", "newton"},
-    "op": {"kind", "deck", "nodes", "newton"},
+           "points", "nodes", "newton", "deadline_s"},
+    "op": {"kind", "deck", "nodes", "newton", "deadline_s"},
     "mc": {"kind", "workload", "samples", "seed", "sampler", "vdd",
-           "model", "gate", "stages"},
-    "characterize": {"kind", "gate", "loads", "slews", "vdd", "model"},
+           "model", "gate", "stages", "deadline_s"},
+    "characterize": {"kind", "gate", "loads", "slews", "vdd", "model",
+                     "deadline_s"},
 }
 
 
@@ -232,15 +242,26 @@ def parse_job_spec(payload: Any) -> JobSpec:
         raise ParameterError(f"job kind must be one of {list(JOB_KINDS)}: "
                              f"{kind!r}")
     _check_keys(payload, kind)
+    deadline_s = _get_number(payload, "deadline_s", kind, minimum=0.0)
     if kind == "transient":
-        return _parse_transient(payload)
-    if kind == "dc":
-        return _parse_dc(payload)
-    if kind == "op":
-        return _parse_op(payload)
-    if kind == "mc":
-        return _parse_mc(payload)
-    return _parse_characterize(payload)
+        spec = _parse_transient(payload)
+    elif kind == "dc":
+        spec = _parse_dc(payload)
+    elif kind == "op":
+        spec = _parse_op(payload)
+    elif kind == "mc":
+        spec = _parse_mc(payload)
+    else:
+        spec = _parse_characterize(payload)
+    if deadline_s is not None:
+        # Execution policy, attached after the fingerprints are
+        # derived: the cache key ignores it, and coalescing is
+        # disabled so the cancellation token threads through the
+        # scalar engine (see module docstring).
+        spec = dataclasses.replace(
+            spec, payload=dict(spec.payload, deadline_s=deadline_s),
+            group_key=None)
+    return spec
 
 
 def _parse_transient(payload: Mapping) -> JobSpec:
@@ -434,13 +455,17 @@ def _adaptive_kwargs(payload: Mapping) -> Dict[str, Any]:
 
 
 def execute_spec(spec: JobSpec, *, backend=None,
-                 stats: Optional[dict] = None) -> dict:
+                 stats: Optional[dict] = None,
+                 cancel=None) -> dict:
     """Run one job through the scalar in-process engine.
 
     This is both the solo path for non-coalescable kinds and the
     scheduler's per-job fallback when a batched dispatch fails as a
     whole.  Returns the JSON-able result payload; raises
-    :class:`repro.errors.ReproError` on failure.
+    :class:`repro.errors.ReproError` on failure.  ``cancel`` (a
+    :class:`repro.cancel.CancelToken`) threads into the engine's
+    Newton/sweep/campaign loops for the ``transient``/``dc``/``op``/
+    ``mc`` kinds — how the scheduler enforces per-job deadlines.
     """
     payload = spec.payload
     if spec.kind == "transient":
@@ -451,7 +476,8 @@ def execute_spec(spec: JobSpec, *, backend=None,
             method=payload["method"],
             options=build_newton_options(payload["newton"]),
             record_currents="sources", stats=stats,
-            backend=backend, **_adaptive_kwargs(payload))
+            backend=backend, cancel=cancel,
+            **_adaptive_kwargs(payload))
         return _dataset_payload(dataset, payload["nodes"])
     if spec.kind == "dc":
         from repro.circuit.dc import dc_sweep
@@ -460,7 +486,7 @@ def execute_spec(spec: JobSpec, *, backend=None,
                            payload["values"],
                            options=build_newton_options(
                                payload["newton"]),
-                           backend=backend)
+                           backend=backend, cancel=cancel)
         return _dataset_payload(dataset, payload["nodes"],
                                 allowed=_dc_trace_names(spec.circuit))
     if spec.kind == "op":
@@ -469,18 +495,18 @@ def execute_spec(spec: JobSpec, *, backend=None,
         op = operating_point(spec.circuit,
                              options=build_newton_options(
                                  payload["newton"]),
-                             backend=backend)
+                             backend=backend, cancel=cancel)
         voltages = op.as_dict()
         if payload["nodes"] is not None:
             voltages = {f"v({node})": voltages[f"v({node})"]
                         for node in payload["nodes"]}
         return {"voltages": voltages}
     if spec.kind == "mc":
-        return _execute_mc(payload, backend)
+        return _execute_mc(payload, backend, cancel)
     return _execute_characterize(payload, backend)
 
 
-def _execute_mc(payload: Mapping, backend) -> dict:
+def _execute_mc(payload: Mapping, backend, cancel=None) -> dict:
     from repro.experiments.workloads import variability_workload
     from repro.variability.campaign import Campaign, CampaignConfig
 
@@ -497,7 +523,7 @@ def _execute_mc(payload: Mapping, backend) -> dict:
                             seed=payload["seed"],
                             sampler=payload["sampler"])
     campaign = Campaign(config, space, evaluator)
-    return campaign.run(resume=False).to_json_dict()
+    return campaign.run(resume=False, cancel=cancel).to_json_dict()
 
 
 def _execute_characterize(payload: Mapping, backend) -> dict:
@@ -514,8 +540,8 @@ def _execute_characterize(payload: Mapping, backend) -> dict:
 
 
 def execute_group(specs: Sequence[JobSpec], *, backend=None,
-                  stats: Optional[dict] = None
-                  ) -> List[Union[dict, ReproError]]:
+                  stats: Optional[dict] = None,
+                  cancel=None) -> List[Union[dict, ReproError]]:
     """Dispatch a same-``group_key`` group as one lane-batched engine
     call and demux the per-lane results.
 
@@ -523,10 +549,14 @@ def execute_group(specs: Sequence[JobSpec], *, backend=None,
     per-lane :class:`repro.errors.ReproError` for lanes that failed
     even after the engine's own scalar fallback.  Raises only when the
     *whole* dispatch fails (the scheduler then retries each job
-    through :func:`execute_spec`).
+    through :func:`execute_spec`).  ``cancel`` applies to the
+    single-spec path only — deadline jobs never coalesce
+    (``group_key`` is cleared at parse time), so the batch loops stay
+    token-free.
     """
     if len(specs) == 1:
-        return [execute_spec(specs[0], backend=backend, stats=stats)]
+        return [execute_spec(specs[0], backend=backend, stats=stats,
+                             cancel=cancel)]
     first = specs[0].payload
     circuits = [spec.circuit for spec in specs]
     options = build_newton_options(first["newton"])

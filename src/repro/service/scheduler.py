@@ -26,7 +26,10 @@ import uuid
 from collections import OrderedDict, deque
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ParameterError, ReproError, ServiceError
+from repro import faults
+from repro.cancel import CancelToken
+from repro.errors import (CancelledError, ParameterError, ReproError,
+                          ServiceError, ServiceOverloadError)
 from repro.service.jobs import JobSpec, execute_group, execute_spec
 
 __all__ = ["Job", "JobRegistry", "CoalescingScheduler"]
@@ -54,6 +57,13 @@ class Job:
         self.coalesced = 1
         self.result: Optional[Any] = None
         self.error: Optional[str] = None
+        #: ``"timeout"`` / ``"cancelled"`` / ``"error"`` once failed
+        self.error_kind: Optional[str] = None
+        #: per-job ``deadline_s`` budget (None = unbounded), measured
+        #: from submission — queue wait counts against it
+        self.deadline_s = spec.payload.get("deadline_s")
+        #: cooperative cancellation token threaded into the engine
+        self.cancel_token = CancelToken(self.deadline_s)
         self.submitted = time.time()
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
@@ -74,14 +84,34 @@ class Job:
         self.state = "done"
         self._done.set()
 
-    def fail(self, error: str) -> None:
-        """Complete the job with an error message."""
+    def fail(self, error: str, *, kind: str = "error") -> None:
+        """Complete the job with an error message.
+
+        ``kind`` structures the failure for clients: ``"timeout"``
+        (deadline exceeded), ``"cancelled"`` (explicit cancel) or
+        ``"error"`` (everything else).
+        """
         self.error = error
+        self.error_kind = kind
         self.finished = time.time()
         if self.started is None:
             self.started = self.finished
         self.state = "failed"
         self._done.set()
+
+    def cancel(self, reason: str = "cancelled by client") -> bool:
+        """Request cooperative cancellation; ``False`` when the job
+        already finished.
+
+        A queued job fails immediately; a running one unwinds at the
+        engine's next cancellation check (per Newton iteration).
+        """
+        if self.state in ("done", "failed"):
+            return False
+        self.cancel_token.cancel(reason)
+        if self.state == "pending":
+            self.fail(reason, kind="cancelled")
+        return True
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job finishes; ``False`` on timeout."""
@@ -117,8 +147,11 @@ class Job:
                 "queue_wait_s": self.queue_wait,
                 "total_s": self.total_seconds,
             }
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
         if self.state == "failed":
             doc["error"] = self.error
+            doc["error_kind"] = self.error_kind
         elif self.state == "done" and include_result:
             doc["result"] = self.result
         return doc
@@ -179,7 +212,8 @@ class CoalescingScheduler:
     """
 
     def __init__(self, *, workers: int = 2, batch_window: float = 0.05,
-                 max_lanes: int = 64, backend=None,
+                 max_lanes: int = 64, max_queue: Optional[int] = None,
+                 backend=None,
                  on_group: Optional[Callable[[List[Job], dict],
                                              None]] = None) -> None:
         if workers < 1:
@@ -190,8 +224,12 @@ class CoalescingScheduler:
         if max_lanes < 1:
             raise ParameterError(f"max_lanes must be >= 1: "
                                  f"{max_lanes!r}")
+        if max_queue is not None and max_queue < 1:
+            raise ParameterError(f"max_queue must be >= 1 or None: "
+                                 f"{max_queue!r}")
         self.batch_window = float(batch_window)
         self.max_lanes = int(max_lanes)
+        self.max_queue = max_queue
         self.backend = backend
         self._on_group = on_group
         self._queue: "deque[Job]" = deque()
@@ -207,19 +245,33 @@ class CoalescingScheduler:
             thread.start()
 
     def submit(self, job: Job) -> None:
-        """Enqueue a job for execution."""
+        """Enqueue a job for execution.
+
+        Raises :class:`repro.errors.ServiceOverloadError` when the
+        queue already holds ``max_queue`` jobs — the HTTP layer turns
+        that into 503 + ``Retry-After`` backpressure.
+        """
         with self._cv:
             if self._stopping:
                 raise ServiceError("scheduler is shutting down")
+            if (self.max_queue is not None
+                    and len(self._queue) >= self.max_queue):
+                raise ServiceOverloadError(
+                    f"job queue is full ({self.max_queue} queued); "
+                    f"retry later",
+                    retry_after_s=max(1.0, self.batch_window * 2))
             self._queue.append(job)
             self._cv.notify_all()
 
     def shutdown(self, wait: bool = True,
-                 timeout: Optional[float] = None) -> None:
+                 timeout: Optional[float] = None) -> List[str]:
         """Stop accepting work and (optionally) join the workers.
 
         Queued jobs that no worker has claimed are failed with a
-        shutdown error so clients never hang on them.
+        shutdown error so clients never hang on them.  Returns the
+        names of worker threads that failed to join within ``timeout``
+        (a wedged job holds its thread; an empty list means a clean
+        shutdown).
         """
         with self._cv:
             self._stopping = True
@@ -228,9 +280,13 @@ class CoalescingScheduler:
             self._cv.notify_all()
         for job in abandoned:
             job.fail("service shut down before the job ran")
+        stuck: List[str] = []
         if wait:
             for thread in self._threads:
                 thread.join(timeout)
+                if thread.is_alive():
+                    stuck.append(thread.name)
+        return stuck
 
     @property
     def queued(self) -> int:
@@ -292,12 +348,46 @@ class CoalescingScheduler:
 
     def _run_group(self, group: List[Job]) -> None:
         stats: dict = {}
+        # Weed out jobs already decided before dispatch: cancelled
+        # while queued, or whose deadline expired in the queue (the
+        # budget is measured from submission).
+        live: List[Job] = []
+        for job in group:
+            if job.state in ("done", "failed"):
+                continue
+            token = job.cancel_token
+            if token.cancelled or token.expired:
+                try:
+                    token.check()
+                except CancelledError as exc:
+                    job.fail(str(exc), kind=exc.kind)
+                continue
+            live.append(job)
+        group = live
+        if not group:
+            return
+        # Chaos seam: injected dispatch latency (results unchanged).
+        faults.sleep_seam("service.latency")
         for job in group:
             job.coalesced = len(group)
             job.mark_running()
+        # Deadline/cancel jobs run solo (parse_job_spec clears their
+        # group_key), so the token threads cleanly through the scalar
+        # engine instead of the lock-step batch loops.
+        cancel = group[0].cancel_token if len(group) == 1 else None
         try:
             results = execute_group([job.spec for job in group],
-                                    backend=self.backend, stats=stats)
+                                    backend=self.backend, stats=stats,
+                                    cancel=cancel)
+        except CancelledError as exc:
+            for job in group:
+                job.fail(str(exc), kind=exc.kind)
+            if self._on_group is not None:
+                try:
+                    self._on_group(group, stats)
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            return
         except ReproError:
             # Whole-dispatch failure: retry each job scalar so one
             # poisoned lane (or a batching limitation) cannot take the
@@ -306,8 +396,9 @@ class CoalescingScheduler:
             results = []
             for job in group:
                 try:
-                    results.append(execute_spec(job.spec,
-                                                backend=self.backend))
+                    results.append(execute_spec(
+                        job.spec, backend=self.backend,
+                        cancel=job.cancel_token))
                 except ReproError as exc:
                     results.append(exc)
         except Exception as exc:  # pragma: no cover - defensive
@@ -317,7 +408,9 @@ class CoalescingScheduler:
                 job.fail(f"internal error: {exc!r}")
             return
         for job, result in zip(group, results):
-            if isinstance(result, ReproError):
+            if isinstance(result, CancelledError):
+                job.fail(str(result), kind=result.kind)
+            elif isinstance(result, ReproError):
                 job.fail(str(result))
             else:
                 job.finish(result)

@@ -12,6 +12,10 @@ logger — and exposes it over a stdlib ``ThreadingHTTPServer``:
     with the result inline, no engine work.
 ``GET /jobs/<id>``
     Poll a job; the result rides along once the state is ``done``.
+``POST /jobs/<id>/cancel``
+    Cooperatively cancel a queued or running job; the running engine
+    unwinds at its next cancellation check and the job fails with
+    ``error_kind = "cancelled"``.
 ``GET /healthz``
     Liveness + job-state counts.
 ``GET /metrics``
@@ -38,7 +42,9 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ParameterError, ReproError, ServiceError
+from repro import faults
+from repro.errors import (ParameterError, ReproError, ServiceError,
+                          ServiceOverloadError)
 from repro.service.cache import ResultCache
 from repro.service.jobs import parse_job_spec
 from repro.service.metrics import (MetricsRegistry, StructuredLogger,
@@ -59,6 +65,8 @@ SERVICE_COUNTERS = (
     "service_engine_dispatches_total",
     "service_jobs_coalesced_total",
     "service_lane_fallbacks_total",
+    "service_jobs_timeout_total",
+    "service_faults_injected_total",
 )
 
 #: Histogram names exported at ``/metrics`` (documented API).
@@ -83,6 +91,12 @@ _COUNTER_HELP = {
                                     "job.",
     "service_lane_fallbacks_total": "Lanes re-run through the scalar "
                                     "engine after failing in a batch.",
+    "service_jobs_timeout_total": "Jobs failed because their "
+                                  "deadline_s budget expired.",
+    "service_faults_injected_total": "Fault-seam firings observed "
+                                     "while a FaultPlan was active "
+                                     "(chaos runs only; 0 in "
+                                     "production).",
 }
 
 _HISTOGRAM_HELP = {
@@ -122,6 +136,7 @@ class JobServer:
 
     def __init__(self, *, workers: int = 2, batch_window: float = 0.05,
                  cache_size: int = 256, max_lanes: int = 64,
+                 max_queue: Optional[int] = None,
                  backend: Optional[str] = None,
                  registry_limit: int = 4096,
                  logger: Optional[StructuredLogger] = None) -> None:
@@ -138,10 +153,19 @@ class JobServer:
         self.shutdown_token = secrets.token_hex(16)
         self.scheduler = CoalescingScheduler(
             workers=workers, batch_window=batch_window,
-            max_lanes=max_lanes, backend=backend,
+            max_lanes=max_lanes, max_queue=max_queue, backend=backend,
             on_group=self._group_done)
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
+        # Chaos accounting: every fault-seam firing in this process
+        # while this server lives shows up at /metrics.
+        self._fault_listener = self._on_fault
+        faults.add_listener(self._fault_listener)
+
+    def _on_fault(self, seam: str, key: Optional[int]) -> None:
+        """Fault-injection listener: count firings into the metrics."""
+        self.metrics.get("service_faults_injected_total").inc()
+        self.log.event("fault_injected", seam=seam, key=key)
 
     # -- core API ------------------------------------------------------
 
@@ -213,6 +237,9 @@ class JobServer:
                 self.cache.put(job.spec.fingerprint, job.result)
             else:
                 self.metrics.get("service_jobs_failed_total").inc()
+                if job.error_kind == "timeout":
+                    self.metrics.get(
+                        "service_jobs_timeout_total").inc()
             if job.queue_wait is not None:
                 wait_hist.observe(job.queue_wait)
             if job.total_seconds is not None:
@@ -262,7 +289,11 @@ class JobServer:
             if self._http_thread is not None:
                 self._http_thread.join(timeout=5.0)
                 self._http_thread = None
-        self.scheduler.shutdown(wait=True, timeout=10.0)
+        faults.remove_listener(self._fault_listener)
+        stuck = self.scheduler.shutdown(wait=True, timeout=10.0)
+        if stuck:
+            self.log.event("server_stopped_stuck_workers",
+                           threads=stuck)
         self.log.event("server_stopped")
 
     def __enter__(self) -> "JobServer":
@@ -282,7 +313,8 @@ def _make_handler(server: JobServer):
         protocol_version = "HTTP/1.1"
 
         def _reply(self, status: int, payload: Any,
-                   content_type: str = "application/json") -> None:
+                   content_type: str = "application/json",
+                   headers: Optional[Dict[str, str]] = None) -> None:
             if isinstance(payload, str):
                 body = payload.encode()
             else:
@@ -290,6 +322,8 @@ def _make_handler(server: JobServer):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -324,6 +358,17 @@ def _make_handler(server: JobServer):
                 threading.Thread(target=server.shutdown,
                                  daemon=True).start()
                 return
+            if path.startswith("/jobs/") and path.endswith("/cancel"):
+                job_id = path[len("/jobs/"):-len("/cancel")]
+                job = server.job(job_id)
+                if job is None:
+                    self._reply(404, {"error": "unknown job id"})
+                    return
+                changed = job.cancel()
+                server.log.event("job_cancel", job_id=job.id,
+                                 changed=changed, state=job.state)
+                self._reply(200, job.payload())
+                return
             if path != "/jobs":
                 self._reply(404, {"error": f"no route {path!r}"})
                 return
@@ -335,6 +380,12 @@ def _make_handler(server: JobServer):
                 return
             try:
                 job = server.submit(payload)
+            except ServiceOverloadError as exc:
+                retry_after = max(1, int(round(exc.retry_after_s)))
+                self._reply(503, {"error": str(exc),
+                                  "retry_after_s": exc.retry_after_s},
+                            headers={"Retry-After": str(retry_after)})
+                return
             except ReproError as exc:
                 self._reply(400, {"error": str(exc)})
                 return
@@ -349,7 +400,8 @@ def _make_handler(server: JobServer):
 
 def serve(*, host: str = "127.0.0.1", port: int = 8080,
           workers: int = 2, batch_window: float = 0.05,
-          cache_size: int = 256, backend: Optional[str] = None,
+          cache_size: int = 256, max_queue: Optional[int] = None,
+          backend: Optional[str] = None,
           block: bool = True,
           logger: Optional[StructuredLogger] = None) -> JobServer:
     """Start a :class:`JobServer` on ``host:port``.
@@ -357,11 +409,12 @@ def serve(*, host: str = "127.0.0.1", port: int = 8080,
     With ``block=True`` (the CLI path) this runs until interrupted or
     remotely shut down, then returns the (stopped) server; with
     ``block=False`` it returns immediately and the caller owns
-    shutdown.
+    shutdown.  ``max_queue`` bounds the scheduler queue — submissions
+    past the bound are refused with HTTP 503 + ``Retry-After``.
     """
     server = JobServer(workers=workers, batch_window=batch_window,
-                       cache_size=cache_size, backend=backend,
-                       logger=logger)
+                       cache_size=cache_size, max_queue=max_queue,
+                       backend=backend, logger=logger)
     server.start(host=host, port=port)
     if not block:
         return server

@@ -15,7 +15,12 @@ Resume: re-running a campaign pointed at an existing run directory
 verifies the manifest fingerprint (same seed, sampler, space and
 evaluator — anything else is a different experiment and refuses to mix)
 and recomputes only the chunks whose files are missing, so an
-interrupted 10k-sample campaign continues where it stopped.
+interrupted 10k-sample campaign continues where it stopped.  Corrupt
+or truncated chunk files — the shape a crash mid-write leaves behind —
+are moved to ``chunks/quarantine/`` and recomputed rather than
+crashing the resume; a corrupt *manifest* quarantines the whole run
+directory's records (nothing on disk is verifiable without the
+fingerprint) and starts fresh.  See ``docs/robustness.md``.
 
 The device-metric evaluator is the scale workload for the batch engine:
 samples are grouped by their *quantised* device key, each distinct
@@ -27,6 +32,7 @@ single ``ids_batch``/``solve_many`` pass.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
 from dataclasses import dataclass
@@ -35,6 +41,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
+from repro.cancel import CancelToken
 from repro.errors import CampaignError, ParameterError
 from repro.experiments.report import ascii_table
 from repro.variability.params import ParameterSpace
@@ -45,6 +53,8 @@ __all__ = [
     "CampaignConfig", "Campaign", "CampaignResult",
     "DeviceMetricsEvaluator", "quantize_sample", "QUANTIZE_DECIMALS",
 ]
+
+_log = logging.getLogger("repro.variability.campaign")
 
 #: Default decimals when quantising sampled knobs into device keys.
 #: Diameter is snapped to a discrete tube by the band structure anyway;
@@ -291,6 +301,9 @@ class CampaignResult:
     resumed_chunks: int = 0
     computed_chunks: int = 0
     run_dir: Optional[str] = None
+    #: corrupt/truncated record files moved to ``quarantine/`` and
+    #: recomputed during this run
+    quarantined: int = 0
 
     @property
     def metric_names(self) -> List[str]:
@@ -337,6 +350,7 @@ class CampaignResult:
             "resumed_chunks": self.resumed_chunks,
             "computed_chunks": self.computed_chunks,
             "run_dir": self.run_dir,
+            "quarantined": self.quarantined,
         }
 
 
@@ -380,7 +394,8 @@ class Campaign:
         return [samples[i:i + size] for i in range(0, len(samples), size)]
 
     def run(self, resume: bool = True, progress=None,
-            workers: "int | str | None" = 1) -> CampaignResult:
+            workers: "int | str | None" = 1,
+            cancel: Optional[CancelToken] = None) -> CampaignResult:
         """Execute (or finish) the campaign and aggregate the run table.
 
         ``progress`` is an optional callable ``(done_chunks,
@@ -396,6 +411,11 @@ class Campaign:
         between workers, so cross-chunk sample deduplication happens
         per worker instead of globally — same results, possibly some
         repeated work.
+
+        On resume, corrupt or truncated chunk files are moved to
+        ``chunks/quarantine/`` and recomputed (count on
+        ``CampaignResult.quarantined``).  A ``cancel`` token is checked
+        once per serially evaluated chunk.
         """
         from repro.parallel import fork_map, resolve_workers
 
@@ -404,11 +424,11 @@ class Campaign:
                                method=cfg.sampler)
         chunks = self._chunks(samples)
         chunk_dir = None
-        resumed = computed = 0
+        resumed = computed = quarantined = 0
         if self.run_dir is not None:
             chunk_dir = self.run_dir / "chunks"
             chunk_dir.mkdir(parents=True, exist_ok=True)
-            self._check_manifest(resume)
+            quarantined += self._check_manifest(resume)
 
         loaded: Dict[int, List[Dict]] = {}
         for index, chunk in enumerate(chunks):
@@ -418,14 +438,22 @@ class Campaign:
                 records = self._load_chunk(path, index, chunk)
                 if records is not None:
                     loaded[index] = records
+                elif _quarantine(path):
+                    quarantined += 1
+                    _log.warning(
+                        "campaign resume: quarantined corrupt chunk "
+                        "file %s; recomputing", path)
         pending = [i for i in range(len(chunks)) if i not in loaded]
         if resolve_workers(workers) > 1 and len(pending) > 1:
             metric_lists = fork_map(
                 self.evaluator.evaluate,
                 [chunks[i] for i in pending], workers)
         else:
-            metric_lists = [self.evaluator.evaluate(chunks[i])
-                            for i in pending]
+            metric_lists = []
+            for i in pending:
+                if cancel is not None:
+                    cancel.check()
+                metric_lists.append(self.evaluator.evaluate(chunks[i]))
 
         all_records: List[Dict] = []
         done = 0
@@ -465,20 +493,37 @@ class Campaign:
             config=cfg, records=all_records, aggregate=aggregate,
             resumed_chunks=resumed, computed_chunks=computed,
             run_dir=str(self.run_dir) if self.run_dir else None,
+            quarantined=quarantined,
         )
 
     # -- persistence ---------------------------------------------------
 
-    def _check_manifest(self, resume: bool) -> None:
+    def _check_manifest(self, resume: bool) -> int:
+        """Verify (or write) the manifest; returns the number of files
+        quarantined recovering from a corrupt manifest.
+
+        A *mismatched* fingerprint still raises — that is a different
+        experiment, not corruption.  An *unreadable* manifest (truncated
+        by a crash mid-write) makes every chunk on disk unverifiable, so
+        the manifest and all chunk files move to ``quarantine/`` and the
+        campaign restarts fresh instead of crashing the resume.
+        """
         path = self.run_dir / "manifest.json"
         manifest = {"fingerprint": self.fingerprint(), **self.manifest()}
         if path.exists() and resume:
             try:
                 existing = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError) as exc:
-                raise CampaignError(
-                    f"unreadable campaign manifest {path}: {exc}"
-                ) from exc
+            except (OSError, json.JSONDecodeError):
+                count = int(_quarantine(path))
+                chunk_dir = self.run_dir / "chunks"
+                for chunk_path in sorted(chunk_dir.glob("chunk_*.json")):
+                    count += int(_quarantine(chunk_path))
+                _log.warning(
+                    "campaign resume: manifest %s unreadable; "
+                    "quarantined it and %d chunk file(s), restarting "
+                    "fresh", path, count - 1)
+                _atomic_write_json(path, manifest)
+                return count
             if existing.get("fingerprint") != manifest["fingerprint"]:
                 raise CampaignError(
                     f"run directory {self.run_dir} belongs to a different "
@@ -487,6 +532,7 @@ class Campaign:
                 )
         else:
             _atomic_write_json(path, manifest)
+        return 0
 
     def _load_chunk(self, path: Path, index: int,
                     chunk: List[Dict]) -> Optional[List[Dict]]:
@@ -526,7 +572,22 @@ def _jsonable_sample(sample: Mapping) -> Dict:
             for name, v in sample.items()}
 
 
+def _quarantine(path: Path) -> bool:
+    """Move a corrupt record file into a sibling ``quarantine/``
+    directory (atomic rename); False when the file vanished."""
+    if not path.exists():
+        return False
+    qdir = path.parent / "quarantine"
+    qdir.mkdir(parents=True, exist_ok=True)
+    os.replace(path, qdir / path.name)
+    return True
+
+
 def _atomic_write_json(path: Path, payload: Dict) -> None:
+    text = json.dumps(payload, indent=1, sort_keys=False) + "\n"
+    # Chaos seam: a FaultPlan can truncate this payload exactly as a
+    # crash between write and rename would (docs/robustness.md).
+    text = faults.mangle_text("persist.truncate", text)
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=1, sort_keys=False) + "\n")
+    tmp.write_text(text)
     os.replace(tmp, path)

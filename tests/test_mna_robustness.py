@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+import repro.circuit.mna as mna
+from repro import faults
 from repro.circuit import Circuit, Diode, Resistor, VoltageSource
 from repro.circuit.mna import (
     NewtonOptions,
@@ -76,6 +78,88 @@ class TestNewtonLoop:
             robust_dc_solve(c, None, NewtonOptions(
                 gmin_stepping=False, source_stepping=False,
             ))
+
+
+class TestFailureDiagnostics:
+    """robust_dc_solve's final AnalysisError names every strategy
+    tried and the best residual with its worst node, and source
+    stepping ramps from the last gmin iterate instead of zeros."""
+
+    def test_total_failure_lists_all_strategies(self):
+        c = Circuit("float")
+        c.add(VoltageSource("v1", "in", "0", 1.0))
+        c.add(Resistor("r1", "a", "b", 1.0))  # floating island
+        with pytest.raises(AnalysisError) as err:
+            robust_dc_solve(c)
+        assert err.value.strategies == (
+            "newton", "gmin-stepping", "source-stepping")
+        assert "newton, gmin-stepping, source-stepping" in str(err.value)
+
+    def test_best_residual_and_node_reported(self, monkeypatch):
+        failures = iter([
+            AnalysisError("n", residual=0.5, node="n1"),
+            AnalysisError("g", residual=0.02, node="n4"),
+            AnalysisError("s", residual=0.9, node="n2"),
+        ])
+        monkeypatch.setattr(
+            mna, "newton_solve",
+            lambda *args, **kwargs: (_ for _ in ()).throw(
+                next(failures)))
+        with pytest.raises(AnalysisError) as err:
+            robust_dc_solve(stiff_diode_chain())
+        # The smallest (most converged) residual wins the diagnosis.
+        assert err.value.residual == pytest.approx(0.02)
+        assert err.value.node == "n4"
+        assert "best residual 0.02" in str(err.value)
+        assert "'n4'" in str(err.value)
+
+    def test_newton_failure_reports_worst_node(self):
+        c = stiff_diode_chain()
+        with pytest.raises(AnalysisError) as err:
+            newton_solve(c, np.zeros(c.dimension()),
+                         NewtonOptions(max_iterations=2))
+        assert err.value.residual is not None
+        assert err.value.node in c.node_index
+
+    def test_source_stepping_starts_from_last_gmin_iterate(
+            self, monkeypatch):
+        c = stiff_diode_chain()
+        original = mna.newton_solve
+        seen = {"gmin_out": None, "source_start": None}
+
+        def wrapper(circuit, x0, options, **kwargs):
+            if not kwargs.get("gmin") and not kwargs.get("source_scale"):
+                # Plain Newton (initial attempt and the post-gmin
+                # finisher) is forced to fail so the handoff runs.
+                raise AnalysisError("forced plain-newton failure")
+            x = original(circuit, x0, options, **kwargs)
+            if kwargs.get("gmin"):
+                seen["gmin_out"] = x.copy()
+            elif seen["source_start"] is None:
+                seen["source_start"] = np.asarray(x0).copy()
+            return x
+
+        monkeypatch.setattr(mna, "newton_solve", wrapper)
+        x = robust_dc_solve(c)
+        assert seen["gmin_out"] is not None
+        np.testing.assert_array_equal(seen["source_start"],
+                                      seen["gmin_out"])
+        v4 = x[c.node_index["n4"]]
+        assert 0.0 < v4 < 1.0
+
+    def test_singular_injection_recovered_by_gmin(self):
+        c = Circuit("lin")
+        c.add(VoltageSource("v1", "in", "0", 1.0))
+        c.add(Resistor("r1", "in", "out", 1e3))
+        c.add(Resistor("r2", "out", "0", 1e3))
+        reference = robust_dc_solve(c)
+        plan = faults.FaultPlan(seed=1,
+                                schedule={"solver.singular": [1]})
+        with faults.activate(plan):
+            recovered = robust_dc_solve(c)
+        assert plan.fired == [("solver.singular", 1)]
+        np.testing.assert_allclose(recovered, reference,
+                                   rtol=0, atol=1e-12)
 
 
 class TestAssembly:

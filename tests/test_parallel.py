@@ -15,12 +15,25 @@ a numerics change.
 from __future__ import annotations
 
 import multiprocessing
+import time
+import traceback
 
 import pytest
 
 import repro.parallel as parallel
-from repro.errors import ParameterError
+from repro import faults
+from repro.errors import ParallelError, ParameterError
 from repro.parallel import WORKERS_ENV, fork_map, resolve_workers
+
+
+def _require_fork():
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("no fork on this platform")
+
+
+def _notes(exc: BaseException) -> str:
+    """Exception text incl. PEP 678 notes (pre-3.11: folded into args)."""
+    return "".join(traceback.format_exception_only(type(exc), exc))
 
 
 class _PoisonedPool:
@@ -131,6 +144,119 @@ class TestForkMapSerialFallbacks:
         with pytest.raises(RuntimeError):
             fork_map(fn, [1, 2, 3], workers=2)
         assert parallel._WORK is None
+
+
+class TestCrashRecovery:
+    """docs/robustness.md: a worker killed mid-run costs time, never
+    results — the parent re-runs the unfinished items serially."""
+
+    def test_killed_worker_recovered_serially(self, caplog):
+        _require_fork()
+        plan = faults.FaultPlan(
+            seed=3, schedule={"parallel.worker_kill": [2]})
+        # The seam fires in the forked child (the plan is inherited
+        # copy-on-write), so the parent's plan.fired log stays empty —
+        # the observable recovery is the parent's serial re-run.
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            with faults.activate(plan):
+                out = fork_map(lambda x: x * x, list(range(8)),
+                               workers=2)
+        assert out == [x * x for x in range(8)]
+        assert "re-running" in caplog.text
+
+    def test_killed_worker_recovered_with_chunks(self):
+        _require_fork()
+        plan = faults.FaultPlan(
+            seed=3, schedule={"parallel.worker_kill": [5]})
+        with faults.activate(plan):
+            out = fork_map(lambda x: x + 1, list(range(9)), workers=3,
+                           chunksize=3)
+        assert out == [x + 1 for x in range(9)]
+
+    def test_serial_rerun_failure_names_item(self):
+        _require_fork()
+
+        def fn(x):
+            if x == 4:
+                raise ValueError("bad item")
+            return x
+
+        plan = faults.FaultPlan(
+            seed=3, schedule={"parallel.worker_kill": [4]})
+        # Item 4 kills its worker; the serial re-run then hits the
+        # real failure, which must carry the item attribution.
+        with faults.activate(plan):
+            with pytest.raises(ValueError, match="bad item") as err:
+                fork_map(fn, list(range(8)), workers=2)
+        assert "item 4" in _notes(err.value)
+        assert "serial re-run" in _notes(err.value)
+
+
+class TestItemAttribution:
+    def test_worker_exception_names_item(self):
+        _require_fork()
+
+        def fn(x):
+            if x == 5:
+                raise KeyError("boom")
+            return x
+
+        with pytest.raises(KeyError) as err:
+            fork_map(fn, list(range(8)), workers=2)
+        assert "item 5" in _notes(err.value)
+
+    def test_chunked_worker_exception_names_item(self):
+        """Regression: with chunksize > 1 the failing *item* index is
+        reported, not just the chunk."""
+        _require_fork()
+
+        def fn(x):
+            if x == 7:
+                raise RuntimeError("chunk victim")
+            return x
+
+        with pytest.raises(RuntimeError, match="chunk victim") as err:
+            fork_map(fn, list(range(12)), workers=2, chunksize=4)
+        assert "item 7" in _notes(err.value)
+
+    def test_lowest_failing_index_wins(self):
+        """Mirrors the serial loop: the first (lowest-index) failure
+        is the one reported."""
+        _require_fork()
+
+        def fn(x):
+            if x in (2, 9):
+                raise ValueError(f"fail {x}")
+            return x
+
+        with pytest.raises(ValueError, match="fail 2") as err:
+            fork_map(fn, list(range(12)), workers=2, chunksize=2)
+        assert "item 2" in _notes(err.value)
+
+
+class TestTimeout:
+    def test_timeout_raises_parallel_error_with_indices(self):
+        _require_fork()
+
+        def fn(x):
+            if x == 3:
+                time.sleep(30.0)  # wedged item
+            return x
+
+        start = time.monotonic()
+        with pytest.raises(ParallelError) as err:
+            fork_map(fn, list(range(4)), workers=4, timeout=0.5)
+        assert time.monotonic() - start < 10.0  # no 30 s hang
+        assert 3 in err.value.indices
+        assert "timed out" in str(err.value)
+        assert parallel._WORK is None  # nested calls work afterwards
+        assert fork_map(lambda x: x, [1, 2], workers=2) == [1, 2]
+
+    def test_invalid_timeout_and_chunksize_rejected(self):
+        with pytest.raises(ParameterError, match="timeout"):
+            fork_map(lambda x: x, [1, 2], workers=2, timeout=0.0)
+        with pytest.raises(ParameterError, match="chunksize"):
+            fork_map(lambda x: x, [1, 2], workers=2, chunksize=0)
 
 
 class TestWorkerMemoNoise:

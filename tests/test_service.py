@@ -12,15 +12,22 @@ import dataclasses
 import json
 import threading
 import time
+import urllib.error
 import urllib.request
 
 import numpy as np
 import pytest
 
 import repro.circuit.batch_sim as batch_sim
+from repro import faults
 from repro.circuit.parser import parse_netlist
 from repro.circuit.transient import transient
-from repro.errors import ParameterError, ReproError, ServiceError
+from repro.errors import (
+    ParameterError,
+    ReproError,
+    ServiceError,
+    ServiceTransportError,
+)
 from repro.parallel import WORKERS_ENV, resolve_workers
 from repro.service import (
     SERVICE_COUNTERS,
@@ -563,6 +570,171 @@ class TestShutdownAuth:
             assert srv._httpd is None
         finally:
             srv.shutdown()
+
+
+# A genuinely slow transient (40k fixed steps) used to occupy a
+# worker while cancel/backpressure behaviour is observed.
+SLOW_JOB_OVERRIDES = {"tstop": 4e-8, "dt": 1e-12}
+
+
+@pytest.mark.slow
+class TestCancelRoute:
+    def test_cancel_queued_job_fails_immediately(self, server):
+        srv, client = server
+        # Occupy the single worker, then cancel a queued job.
+        blocker = client.submit(rc_job(r="7e3", **SLOW_JOB_OVERRIDES))
+        queued = client.submit(rc_job(r="8e3", **SLOW_JOB_OVERRIDES))
+        doc = client.cancel(queued["id"])
+        assert doc["state"] == "failed"
+        assert doc["error_kind"] == "cancelled"
+        client.cancel(blocker["id"])  # release the worker quickly
+
+    def test_cancel_running_job_unwinds_engine(self, server):
+        srv, client = server
+        doc = client.submit(rc_job(r="9e3", **SLOW_JOB_OVERRIDES))
+        deadline = time.monotonic() + 10.0
+        while client.status(doc["id"])["state"] == "pending" \
+                and time.monotonic() < deadline:
+            time.sleep(0.01)
+        final = client.cancel(doc["id"])
+        deadline = time.monotonic() + 10.0
+        while final["state"] not in ("failed", "done") \
+                and time.monotonic() < deadline:
+            time.sleep(0.02)
+            final = client.status(doc["id"])
+        assert final["state"] == "failed"
+        assert final["error_kind"] == "cancelled"
+
+    def test_cancel_finished_job_is_noop(self, server):
+        _, client = server
+        done = client.run(rc_job())
+        doc = client.cancel(done["id"])
+        assert doc["state"] == "done"
+        assert doc["result"] == done["result"]
+
+    def test_cancel_unknown_job_is_404(self, server):
+        _, client = server
+        with pytest.raises(ServiceError, match="404"):
+            client.cancel("not-a-job")
+
+
+@pytest.mark.slow
+class TestBackpressure:
+    def test_full_queue_returns_503_with_retry_after(self):
+        srv = JobServer(workers=1, batch_window=0.0, cache_size=8,
+                        max_queue=1)
+        try:
+            host, port = srv.start()
+            client = ServiceClient(f"http://{host}:{port}",
+                                   timeout=30.0)
+            blocker = client.submit(
+                rc_job(r="1e3", **SLOW_JOB_OVERRIDES))
+            deadline = time.monotonic() + 10.0
+            while client.status(blocker["id"])["state"] == "pending" \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            queued = client.submit(
+                rc_job(r="2e3", **SLOW_JOB_OVERRIDES))
+            # Queue is now at max_queue: the next submission must be
+            # refused with 503 + Retry-After, not silently enqueued.
+            request = urllib.request.Request(
+                f"{client.base_url}/jobs",
+                data=json.dumps(
+                    rc_job(r="3e3", **SLOW_JOB_OVERRIDES)).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10.0)
+            assert err.value.code == 503
+            assert int(err.value.headers["Retry-After"]) >= 1
+            body = json.loads(err.value.read())
+            assert "queue is full" in body["error"]
+            with pytest.raises(ServiceError, match="503"):
+                client.submit(rc_job(r="4e3", **SLOW_JOB_OVERRIDES))
+            client.cancel(queued["id"])
+            client.cancel(blocker["id"])
+        finally:
+            srv.shutdown()
+
+
+class TestClientTransportRetry:
+    def test_submit_retries_transport_faults(self, server):
+        srv, client = server
+        plan = faults.FaultPlan(
+            seed=9, schedule={"service.transport": [1]})
+        with faults.activate(plan):
+            doc = client.submit(rc_job(r="11e3"))
+        assert doc["state"] in ("pending", "running", "done")
+        assert plan.fired == [("service.transport", 1)]
+        # The injected firing is visible at /metrics via the server's
+        # fault listener (chaos accounting).
+        assert client.metric_value(
+            "service_faults_injected_total") >= 1
+
+    def test_exhausted_retries_surface_transport_error(self, server):
+        _, client = server
+        impatient = ServiceClient(client.base_url, timeout=10.0,
+                                  retries=1, backoff=0.01)
+        plan = faults.FaultPlan(
+            seed=9, schedule={"service.transport": [1, 2]})
+        with faults.activate(plan):
+            with pytest.raises(ServiceTransportError):
+                impatient.submit(rc_job(r="12e3"))
+
+    def test_http_error_replies_are_not_retried(self, server):
+        _, client = server
+        calls = []
+        original = client._request
+
+        def counting(method, path, *args, **kwargs):
+            calls.append((method, path))
+            return original(method, path, *args, **kwargs)
+
+        client._request = counting
+        with pytest.raises(ServiceError, match="400"):
+            client.submit({"kind": "nope"})
+        assert calls == [("POST", "/jobs")]
+
+
+class TestSchedulerShutdownWedged:
+    """Satellite: shutdown(wait=True, timeout=...) with a wedged job
+    reports the worker threads that failed to join instead of hanging
+    or silently leaking them."""
+
+    def test_wedged_worker_reported_by_name(self, monkeypatch):
+        import repro.service.scheduler as scheduler_mod
+
+        release = threading.Event()
+
+        def wedge(specs, **kwargs):
+            release.wait(30.0)
+            return [None for _ in specs]
+
+        monkeypatch.setattr(scheduler_mod, "execute_group", wedge)
+        scheduler = scheduler_mod.CoalescingScheduler(
+            workers=2, batch_window=0.0)
+        try:
+            job = scheduler_mod.Job(parse_job_spec(rc_job()))
+            scheduler.submit(job)
+            deadline = time.monotonic() + 5.0
+            while job.state == "pending" \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            stuck = scheduler.shutdown(wait=True, timeout=0.2)
+            # Exactly one worker holds the wedged job (either may
+            # have claimed it); the idle one joins cleanly.
+            assert len(stuck) == 1
+            assert stuck[0].startswith("repro-service-worker-")
+        finally:
+            release.set()
+        # The idle worker joined; only the wedged one was reported.
+        assert scheduler.shutdown(wait=True, timeout=5.0) == []
+
+    def test_clean_shutdown_reports_nothing(self):
+        from repro.service.scheduler import CoalescingScheduler
+
+        scheduler = CoalescingScheduler(workers=2, batch_window=0.0)
+        assert scheduler.shutdown(wait=True, timeout=5.0) == []
 
 
 class TestSchedulerDemuxGuard:
