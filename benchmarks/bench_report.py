@@ -19,7 +19,7 @@ transient engine (ISSUE 4), the hierarchy + sparse-backend layer
   through the grouped ``ids_batch`` fast path (cold: includes the
   handful of shared fits; warm: fit cache populated) against the
   seed-style naive loop (one freshly fitted device per sample, scalar
-  bias evaluation).
+  bias evaluation).  Declared in ``configs/mc_device.json``.
 * **Adaptive transient** — two gates on the ring oscillator: (a)
   *parity*: the adaptive engine pinned to the legacy grid
   (``dt_min == dt_max == dt``) must reproduce the fixed-step
@@ -27,6 +27,10 @@ transient engine (ISSUE 4), the hierarchy + sparse-backend layer
   convergence noise); (b) *work*: at matched waveform accuracy against
   a converged reference, the adaptive trapezoidal engine must need
   >= 2x fewer Newton iterations than the legacy fixed-step BE engine.
+  Declared in ``configs/transient_adaptive.json``; every cell of the
+  accuracy ladder reports its waveform on one shared grid, so the
+  runner's parity column against the converged-reference baseline
+  *is* the waveform error.
 * **Batch transient** — the lane-batched engine against sequential
   per-instance loops: a 7x7 gate-characterization grid and a
   256-sample MC ring campaign must each run >= 3x faster, and the
@@ -42,7 +46,22 @@ transient engine (ISSUE 4), the hierarchy + sparse-backend layer
   backends: a 32-bit ripple-carry adder (DC + carry-ripple transient,
   sparse >= 3x dense on the transient, node-voltage parity <= 1e-9 V)
   and a 101-stage inverter-chain DC sweep (parity-gated; documents
-  the dense-favoured side of the crossover).
+  the dense-favoured side of the crossover).  Declared in
+  ``configs/large_circuit.json``.
+* **Partitioned transient** — the ISSUE 10 latency-exploiting
+  partitioned engine vs the monolithic solve on a 32-bit RCA
+  (``configs/partitioned_transient.json``): a quiescent *hold* run
+  where nearly every block sleeps (partitioned + bypass >= 2x
+  monolithic, gated) and a 1-input *pulse* run (recorded; bypass
+  wins little when the carry chain is active, documented not gated).
+  Parity gates on both: <= 5e-6 V with bypass (the documented bypass
+  tolerance envelope), <= 1e-9 V with bypass off.
+* **Out-of-core store** — a transient whose raw trace exceeds the
+  1 MiB peak cap runs once in-memory and once through the chunked
+  ``WaveformStore``; ``tracemalloc`` peaks must show the store run
+  bounded (< cap, and >= 4x under the in-memory peak) and the
+  decimated ``Dataset.summary`` of the lazy run must be
+  bit-identical to the in-memory one.
 * **Compiled hot path** — the ISSUE 6 kernel tier and worker
   sharding: the rca32 carry-ripple transient with compiled kernels +
   the tuned chord default against the PR-5 configuration re-measured
@@ -70,10 +89,11 @@ reduction, the ISSUE 2 MC campaign throughput/speed-up, the ISSUE 3
 adaptive-transient parity and iteration ratio, the ISSUE 4
 lane-batched speed-ups and per-lane waveform parity, the ISSUE 5
 sparse-backend speed-up and parity, the ISSUE 6 compiled-hot-path
-speed-up, kernel parity and MC parallel efficiency, or the ISSUE 7
-service coalesce ratio and served-waveform parity (the Table I
-speed-up assertions live in the pytest suite that `make bench` runs
-first).
+speed-up, kernel parity and MC parallel efficiency, the ISSUE 7
+service coalesce ratio and served-waveform parity, or the ISSUE 10
+partitioned-transient speed-up/parity and out-of-core peak-memory
+gates (the Table I speed-up assertions live in the pytest suite that
+`make bench` runs first).
 """
 
 from __future__ import annotations
@@ -137,6 +157,18 @@ HOT_MC_WORKERS = 4
 SERVICE_JOBS = 16                   # concurrent same-topology jobs
 SERVICE_COALESCE_RATIO_FLOOR = 2.0  # jobs per engine dispatch
 SERVICE_PARITY_TOL_V = 1e-9         # served vs direct-engine waveforms
+
+#: acceptance floors from ISSUE 10 (partitioned latency-exploiting
+#: transient + out-of-core waveform store).  The hold-workload
+#: speedup measured 3-4.2x across repeated runs; the floor sits at
+#: the ISSUE's >= 2x acceptance line.  The bypass parity envelope is
+#: the documented tolerance semantics (DEFAULT_BYPASS_TOL plateaus),
+#: measured ~3e-7 V on this workload.
+PARTITION_SPEEDUP_FLOOR = 2.0        # partitioned+bypass vs monolithic, hold
+PARTITION_BYPASS_PARITY_TOL_V = 5e-6  # waveform envelope with bypass on
+PARTITION_EXACT_PARITY_TOL_V = 1e-9   # bypass off: solver-tolerance parity
+STORE_PEAK_CAP_BYTES = 1 << 20        # out-of-core run peak allocation cap
+STORE_PEAK_RATIO_FLOOR = 4.0          # in-memory peak / store-backed peak
 
 
 def _best_of(fn, repeats: int, inner: int) -> float:
@@ -295,81 +327,57 @@ def bench_ring_transient() -> dict:
 def bench_adaptive_transient() -> dict:
     """ISSUE 3 gates on the 3-stage ring oscillator.
 
-    *Parity*: pinned to the legacy fixed grid the adaptive engine must
-    reproduce the legacy waveform within ``ADAPTIVE_PARITY_TOL_V``
-    (both runs under tight Newton tolerances so the comparison
-    measures the engines, not the Newton stop criterion).
+    A thin driver over ``configs/transient_adaptive.json``:
 
-    *Work*: an adaptive trapezoidal run at default-ish tolerance is
-    scored against a converged reference, then the legacy fixed-step
-    BE engine's dt is walked down until it matches that accuracy; the
+    *Parity*: the ``pinned_parity`` experiment runs the adaptive
+    engine pinned to the legacy fixed grid against the legacy engine;
+    the runner's parity column (waveforms in the signature) must stay
+    within ``ADAPTIVE_PARITY_TOL_V``.
+
+    *Work*: the ``matched_accuracy`` experiment runs a converged
+    trapezoidal reference (the baseline cell), the adaptive engine at
+    default-ish tolerance, and a fixed-step BE dt ladder — all
+    reporting their waveform on one shared grid, so each cell's
+    parity column *is* its waveform error vs the reference.  The
+    ladder is walked down until it matches the adaptive accuracy; the
     Newton-iteration ratio at the match point is the gated speed-up.
     """
-    from repro.circuit.mna import NewtonOptions
+    results = _run_suite("transient_adaptive")
+    pinned = results["pinned_parity"].cell(engine="pinned")
 
-    family = LogicFamily.default(vdd=0.6)
-    ring, nodes = build_ring_oscillator(family, stages=3)
-    x0 = initial_conditions_from_op(ring, {"n0": 0.0, "n1": 0.6})
+    acc = results["matched_accuracy"]
+    adaptive = acc.cell(mode="adaptive")
+    err_adaptive = adaptive["parity_max"]
 
-    # -- (a) pinned-grid parity ---------------------------------------
-    tight = NewtonOptions(vtol=1e-12, reltol=1e-10)
-    legacy = transient(ring, tstop=1.5e-10, dt=2e-12, x0=x0,
-                       method="be", options=tight)
-    pinned = transient(ring, tstop=1.5e-10, dt=2e-12, x0=x0,
-                       method="be", options=tight, adaptive=True,
-                       dt_min=2e-12, dt_max=2e-12)
-    parity_v = max(
-        float(np.max(np.abs(legacy.trace(f"v({n})")
-                            - pinned.trace(f"v({n})"))))
-        for n in nodes
-    )
-
-    # -- (b) iterations at matched accuracy ---------------------------
-    tstop = 1e-11
-    reference = transient(ring, tstop=tstop, dt=2.5e-15, x0=x0,
-                          method="trap")
-    tgrid = np.linspace(0.0, tstop, 801)
-
-    def waveform_error(ds) -> float:
-        return max(
-            float(np.max(np.abs(
-                np.interp(tgrid, ds.axis, ds.trace(f"v({n})"))
-                - np.interp(tgrid, reference.axis,
-                            reference.trace(f"v({n})"))
-            )))
-            for n in nodes
-        )
-
-    adaptive_stats: dict = {}
-    adaptive = transient(ring, tstop=tstop, x0=x0, method="trap",
-                         rtol=3e-4, stats=adaptive_stats)
-    err_adaptive = waveform_error(adaptive)
-
+    ladder = [mode for mode in dict(acc.config.factors)["mode"]
+              if mode.startswith("fixed_")]
     matched = False
     fixed_dt = fixed_iters = err_fixed = float("nan")
-    for dt in (1.6e-13, 8e-14, 4e-14, 2e-14, 1e-14, 5e-15, 2.5e-15):
-        fixed_stats: dict = {}
-        fixed = transient(ring, tstop=tstop, dt=dt, x0=x0, method="be",
-                          stats=fixed_stats)
-        fixed_dt, fixed_iters = dt, fixed_stats["iterations"]
-        err_fixed = waveform_error(fixed)
+    for mode in ladder:             # config order: coarse -> fine
+        cell = acc.cell(mode=mode)
+        fixed_dt = float(mode[len("fixed_"):])
+        fixed_iters = cell["newton_iterations"]
+        err_fixed = cell["parity_max"]
         if err_fixed <= err_adaptive:
             matched = True
             break
     # If even the finest dt stays less accurate, the ratio at the
     # finest dt *understates* the true equal-accuracy ratio — still a
     # valid lower bound for the gate.
-    ratio = fixed_iters / adaptive_stats["iterations"]
+    ratio = fixed_iters / adaptive["newton_iterations"]
+    reference = acc.cell(mode="reference")
     return {
         "workload": "3-stage CNFET ring oscillator (ISSUE 3 gates)",
-        "parity_pinned_grid_v": parity_v,
+        "run_dir": str(EXP_ROOT / "transient_adaptive"),
+        "parity_pinned_grid_v": pinned["parity_max"],
         "parity_tol_v": ADAPTIVE_PARITY_TOL_V,
-        "reference": {"method": "trap", "dt": 2.5e-15, "tstop": tstop},
+        "reference": {"method": "trap", "dt": 2.5e-15,
+                      "iterations": reference["newton_iterations"]},
         "adaptive": {
             "method": "trap", "rtol": 3e-4,
-            "steps": adaptive_stats["steps"],
-            "iterations": adaptive_stats["iterations"],
-            "rejected_lte": adaptive_stats.get("rejected_lte", 0),
+            "steps": adaptive["metrics"]["steps"],
+            "iterations": adaptive["newton_iterations"],
+            "rejected_lte": adaptive["metrics"]["rejected_lte"],
             "waveform_error_v": err_adaptive,
         },
         "fixed_at_match": {
@@ -385,67 +393,51 @@ def bench_adaptive_transient() -> dict:
 def bench_mc_device() -> dict:
     """2000-sample device-metric MC campaign vs the naive loop.
 
-    The naive baseline is measured on a subset: its cost is strictly
-    per-sample (every sample refits its own device — the pre-cache
-    construction behaviour — then walks the bias grid with scalar
-    ``ids`` calls), so the per-sample rate extrapolates without bias
-    and the benchmark stays under a minute.
+    A thin driver over ``configs/mc_device.json`` — the cold/warm
+    campaign and the seed-style naive loop run as an ``engine`` factor
+    matrix through ``repro.exprunner`` (three interleaved repetitions,
+    best-of-N).  The naive baseline is measured on a subset: its cost
+    is strictly per-sample (every sample refits its own device — the
+    pre-cache construction behaviour — then walks the bias grid with
+    scalar ``ids`` calls), so the per-sample rate extrapolates without
+    bias and the benchmark stays under a minute.  The campaign
+    quantises devices, so its parity column vs the naive baseline
+    records the documented quantisation envelope (informational, not
+    a gate).
     """
-    from repro.exprunner import robust_time
-    from repro.pwl.device import clear_fit_cache, fit_cache_info
-    from repro.variability.campaign import DeviceMetricsEvaluator
-    from repro.variability.params import default_device_space
-    from repro.variability.sampling import monte_carlo
+    results = _run_suite("mc_device")
+    result = results["mc_device"]
+    cold = result.cell(engine="campaign_cold")
+    warm = result.cell(engine="campaign_warm")
+    naive = result.cell(engine="naive")
+    cached = result.cell(engine="naive_cached")
 
-    space = default_device_space()
-    samples = monte_carlo(space, MC_SAMPLES, seed=7)
-
-    evaluator = DeviceMetricsEvaluator(space)
-
-    # Cold must mean cold regardless of what ran before (other bench
-    # sections, pytest orderings) *and* per repetition: drop the
-    # process-wide fit cache — which also zeroes its hit/miss counters
-    # — inside the timed callable, so each of the best-of-3 runs pays
-    # the full fit cost.  The two gated figures (cold throughput and
-    # the speedup vs the naive loop) both divide by this time.
-    def cold_run():
-        clear_fit_cache()
-        DeviceMetricsEvaluator(space).evaluate(samples)
-
-    cold_s = robust_time(cold_run, repeats=3)["best_s"]
-    fits = fit_cache_info()["misses"]
-    evaluator.evaluate(samples)   # populate this evaluator's memo
-
-    warm_s = robust_time(
-        lambda: DeviceMetricsEvaluator(space).evaluate(samples),
-        repeats=3)["best_s"]
-
-    naive_n = 200
-    naive_per_sample_s = robust_time(
-        lambda: evaluator.evaluate_naive(samples[:naive_n]),
-        repeats=3)["best_s"] / naive_n
-    cached_scalar_per_sample_s = robust_time(
-        lambda: evaluator.evaluate_naive(samples[:naive_n],
-                                         use_fit_cache=True),
-        repeats=3)["best_s"] / naive_n
-
-    naive_total_s = naive_per_sample_s * MC_SAMPLES
+    samples = int(cold["metrics"]["samples_evaluated"])
+    naive_n = int(naive["metrics"]["samples_evaluated"])
+    cold_s = cold["wall_s_min"]
+    warm_s = warm["wall_s_min"]
+    naive_per_sample_s = naive["wall_s_min"] / naive_n
+    cached_scalar_per_sample_s = cached["wall_s_min"] / naive_n
+    naive_total_s = naive_per_sample_s * samples
     return {
-        "workload": f"{MC_SAMPLES}-sample Ion/Ioff/Vth/gm campaign, "
+        "workload": f"{samples}-sample Ion/Ioff/Vth/gm campaign, "
                     f"default device space",
-        "samples": MC_SAMPLES,
-        "fits": fits,
-        "distinct_devices": len(evaluator._memo),
+        "run_dir": str(EXP_ROOT / "mc_device"),
+        "samples": samples,
+        "fits": int(cold["metrics"]["fits"]),
+        "distinct_devices": int(cold["metrics"]["distinct_devices"]),
         "campaign_cold_s": cold_s,
+        "campaign_cold_s_all": cold["wall_s_all"],
         "campaign_warm_s": warm_s,
-        "samples_per_s_cold": MC_SAMPLES / cold_s,
-        "samples_per_s_warm": MC_SAMPLES / warm_s,
+        "samples_per_s_cold": samples / cold_s,
+        "samples_per_s_warm": samples / warm_s,
         "naive_per_sample_s": naive_per_sample_s,
         "naive_projected_s": naive_total_s,
         "naive_cached_scalar_per_sample_s": cached_scalar_per_sample_s,
         "speedup_vs_naive": naive_total_s / cold_s,
         "speedup_vs_cached_scalar":
-            cached_scalar_per_sample_s * MC_SAMPLES / warm_s,
+            cached_scalar_per_sample_s * samples / warm_s,
+        "quantization_rel_err": cold["parity_max"],
     }
 
 
@@ -507,143 +499,227 @@ def bench_batch_transient() -> dict:
 def bench_large_circuit() -> dict:
     """ISSUE 5 gates: hierarchical blocks through both solver backends.
 
+    A thin driver over ``configs/large_circuit.json``:
+
     * **32-bit ripple-carry adder** (1152 CNFETs, ~700 unknowns, built
       from NAND2 subcircuits three hierarchy levels deep): DC from
-      zeros and a carry-ripple transient (``A = all ones, B = 0``,
-      pulse on ``cin`` — the worst-case transition walks the carry
-      through every stage) through the dense and sparse backends.  The
-      transient is the adaptive engine pinned to a shared grid
-      (``dt_min == dt_max``) so both backends integrate the same time
-      points and the node-voltage comparison measures the backends,
-      not interpolation.  Gates: sparse >= ``LARGE_SPARSE_SPEEDUP_FLOOR``
-      x dense on the transient (the largest bench circuit), DC and
-      waveform parity <= ``LARGE_PARITY_TOL_V``.
-    * **101-stage inverter chain DC sweep** (202 CNFETs, ~100
-      unknowns): 21-point input sweep through both backends.  Below
-      the sparse crossover dimension dense is expected to win — the
-      numbers are recorded to document the crossover; only parity is
-      gated.
+      zeros (``rca32_dc``) and a carry-ripple transient
+      (``rca32_tran``: ``A = all ones, B = 0``, pulse on ``cin`` —
+      the worst-case transition walks the carry through every stage)
+      through the dense and sparse backends, three interleaved
+      repetitions each.  The transient is the adaptive engine pinned
+      to a shared grid (``dt_min == dt_max``) so both backends
+      integrate the same time points and the parity column measures
+      the backends, not interpolation.  Gates: sparse >=
+      ``LARGE_SPARSE_SPEEDUP_FLOOR`` x dense on the transient (the
+      largest bench circuit), DC and waveform parity <=
+      ``LARGE_PARITY_TOL_V``.
+    * **101-stage inverter chain DC sweep** (``chain101_sweep``, 202
+      CNFETs, ~100 unknowns): 21-point supply-ramp sweep through both
+      backends (a supply ramp keeps every stage saturated; an *input*
+      sweep would cross the chain's metastable threshold).  Below the
+      sparse crossover dimension dense is expected to win — the
+      numbers document the crossover; only parity is gated.
     """
-    from repro.circuit.dc import dc_sweep
-    from repro.circuit.logic import (
-        build_inverter_chain,
-        build_ripple_carry_adder,
-    )
-    from repro.circuit.mna import NewtonOptions, robust_dc_solve
-    from repro.circuit.transient import transient
-    from repro.circuit.waveforms import Pulse
+    results = _run_suite("large_circuit")
+    dc_dense = results["rca32_dc"].cell(backend="dense")
+    dc_sparse = results["rca32_dc"].cell(backend="sparse")
+    tr_dense = results["rca32_tran"].cell(backend="dense")
+    tr_sparse = results["rca32_tran"].cell(backend="sparse")
+    ch_dense = results["chain101_sweep"].cell(backend="dense")
+    ch_sparse = results["chain101_sweep"].cell(backend="sparse")
 
-    tight = NewtonOptions(vtol=1e-12, reltol=1e-10)
-    family = LogicFamily.default(vdd=0.6)
-
-    # -- (a) 32-bit ripple-carry adder ---------------------------------
     bits = 32
-    cin = Pulse(0.0, 0.6, 5e-12, 1e-12, 1e-12, 4e-11, 1e-10)
-    adder, info = build_ripple_carry_adder(
-        family, bits, a_value=(1 << bits) - 1, b_value=0, cin_wave=cin)
-    dim = adder.dimension()
-    n_nodes = adder.n_nodes
-
-    start = time.perf_counter()
-    x_dense = robust_dc_solve(adder, None, tight, backend="dense")
-    dc_dense_s = time.perf_counter() - start
-    start = time.perf_counter()
-    x_sparse = robust_dc_solve(adder, None, tight, backend="sparse")
-    dc_sparse_s = time.perf_counter() - start
-    dc_parity = float(np.max(np.abs(
-        x_dense[:n_nodes] - x_sparse[:n_nodes])))
-
-    from repro.exprunner import robust_time
-
-    tran_kwargs = dict(
-        tstop=3e-11, method="trap", options=tight, adaptive=True,
-        dt_min=5e-13, dt_max=5e-13, record_currents=False,
-    )
-    # The first run per backend keeps the waveform and stats; the
-    # gated dense/sparse speedup then comes from best-of-3 repeats
-    # (single-shot timing let one load spike move the ratio).
-    stats_dense: dict = {}
-    ds_dense = transient(adder, x0=x_dense.copy(), backend="dense",
-                         stats=stats_dense, **tran_kwargs)
-    tran_dense_s = robust_time(
-        lambda: transient(adder, x0=x_dense.copy(), backend="dense",
-                          **tran_kwargs),
-        repeats=3)["best_s"]
-    stats_sparse: dict = {}
-    ds_sparse = transient(adder, x0=x_dense.copy(), backend="sparse",
-                          stats=stats_sparse, **tran_kwargs)
-    tran_sparse_s = robust_time(
-        lambda: transient(adder, x0=x_dense.copy(), backend="sparse",
-                          **tran_kwargs),
-        repeats=3)["best_s"]
-    tran_parity = max(
-        float(np.max(np.abs(ds_dense.trace(f"v({node})")
-                            - ds_sparse.trace(f"v({node})"))))
-        for node in adder.nodes
-    )
-
-    # -- (b) 101-stage inverter chain DC sweep -------------------------
-    # The supply is ramped with the input at a rail: every sweep point
-    # keeps all 101 stages in well-conditioned saturated states.  (An
-    # *input* sweep would cross the chain's metastable threshold,
-    # where the 25^101 gain product makes the DC map steeper than
-    # float64 can represent — no solver converges there honestly.)
-    chain_opts = NewtonOptions(vtol=1e-11, reltol=1e-9)
-    chain, out_node = build_inverter_chain(family, 101)
-    values = np.linspace(0.0, family.vdd, 21)
-    start = time.perf_counter()
-    sweep_dense = dc_sweep(chain, "vdd_src", values, chain_opts,
-                           backend="dense")
-    chain_dense_s = time.perf_counter() - start
-    start = time.perf_counter()
-    sweep_sparse = dc_sweep(chain, "vdd_src", values, chain_opts,
-                            backend="sparse")
-    chain_sparse_s = time.perf_counter() - start
-    chain_parity = max(
-        float(np.max(np.abs(sweep_dense.trace(f"v({node})")
-                            - sweep_sparse.trace(f"v({node})"))))
-        for node in chain.nodes
-    )
-
+    chain_points = int(ch_dense["metrics"]["points"])
     return {
+        "run_dir": str(EXP_ROOT / "large_circuit"),
         "rca32": {
             "workload": "32-bit CNFET ripple-carry adder, carry "
                         "ripple transient (pinned adaptive grid)",
-            "dimension": dim,
+            "dimension": int(tr_dense["metrics"]["dimension"]),
             # 9 NAND2 per full adder x 4 transistors = 36 per bit
             "cnfets": 36 * bits,
             "dc": {
-                "dense_s": dc_dense_s,
-                "sparse_s": dc_sparse_s,
-                "speedup": dc_dense_s / dc_sparse_s,
-                "parity_v": dc_parity,
+                "dense_s": dc_dense["wall_s_min"],
+                "sparse_s": dc_sparse["wall_s_min"],
+                "speedup": (dc_dense["wall_s_min"]
+                            / dc_sparse["wall_s_min"]),
+                "parity_v": dc_sparse["parity_max"],
             },
             "transient": {
-                "steps": stats_dense.get("steps", 0),
-                "newton_iterations": stats_dense.get("iterations", 0),
-                "dense_s": tran_dense_s,
-                "sparse_s": tran_sparse_s,
-                "speedup": tran_dense_s / tran_sparse_s,
-                "parity_v": tran_parity,
+                "steps": int(tr_dense["metrics"]["steps"]),
+                "newton_iterations": int(
+                    tr_dense["newton_iterations"]),
+                "dense_s": tr_dense["wall_s_min"],
+                "sparse_s": tr_sparse["wall_s_min"],
+                "dense_s_all": tr_dense["wall_s_all"],
+                "sparse_s_all": tr_sparse["wall_s_all"],
+                "speedup": (tr_dense["wall_s_min"]
+                            / tr_sparse["wall_s_min"]),
+                "parity_v": tr_sparse["parity_max"],
             },
         },
         "inverter_chain101": {
             "workload": "101-stage CNFET inverter chain, 21-point DC "
                         "supply-ramp sweep",
-            "dimension": chain.dimension(),
-            "dense_s": chain_dense_s,
-            "sparse_s": chain_sparse_s,
-            "dense_points_per_s": len(values) / chain_dense_s,
-            "sparse_points_per_s": len(values) / chain_sparse_s,
-            "parity_v": chain_parity,
+            "dimension": int(ch_dense["metrics"]["dimension"]),
+            "dense_s": ch_dense["wall_s_min"],
+            "sparse_s": ch_sparse["wall_s_min"],
+            "dense_points_per_s": (chain_points
+                                   / ch_dense["wall_s_min"]),
+            "sparse_points_per_s": (chain_points
+                                    / ch_sparse["wall_s_min"]),
+            "parity_v": ch_sparse["parity_max"],
             "note": "below the sparse crossover dimension; dense is "
                     "expected to win here (documented, not gated)",
         },
-        "out_node": out_node,
         # Sanity: with A=ones, B=0 the rising cin flips s0 from VDD to
         # 0 within a few ps, so the carry ripple genuinely launched.
         "carry_launched_ok": bool(
-            ds_dense.trace(f"v({info['sum_nodes'][0]})")[-1] < 0.3),
+            tr_dense["metrics"]["probe_final_v"] < 0.3),
+    }
+
+
+def bench_partitioned_transient() -> dict:
+    """ISSUE 10 gates: the partitioned latency-exploiting engine.
+
+    A thin driver over ``configs/partitioned_transient.json`` — two
+    ``solver`` factor matrices (monolithic | partitioned |
+    partitioned_nobypass, three interleaved repetitions each) on a
+    32-bit ripple-carry adder holding ``A=3, B=5``:
+
+    * ``rca32_hold`` — quiescent stimulus: after the DC point nothing
+      switches, so the latency bypass freezes nearly every block and
+      the interface solve is reused step over step.  Gates:
+      partitioned+bypass >= ``PARTITION_SPEEDUP_FLOOR`` x monolithic,
+      bypass parity <= ``PARTITION_BYPASS_PARITY_TOL_V``, nobypass
+      parity <= ``PARTITION_EXACT_PARITY_TOL_V``, and the bypass
+      actually engaged (bypassed block-steps dominate, interface
+      solves reused).
+    * ``rca32_pulse`` — one input pulses, the carry chain wakes block
+      after block: bypass wins little here by design (measured around
+      break-even, 0.5-2x run to run), so the speedup is recorded, not
+      gated; both parity gates still apply.
+    """
+    results = _run_suite("partitioned_transient")
+    out: dict = {"run_dir": str(EXP_ROOT / "partitioned_transient")}
+    for exp_name, label, gated in (
+            ("rca32_hold", "hold", True),
+            ("rca32_pulse", "pulse", False)):
+        result = results[exp_name]
+        mono = result.cell(solver="monolithic")
+        part = result.cell(solver="partitioned")
+        exact = result.cell(solver="partitioned_nobypass")
+        active = part["metrics"]["block_steps_active"]
+        bypassed = part["metrics"]["block_steps_bypassed"]
+        out[label] = {
+            "workload": f"32-bit RCA (A=3, B=5), {label} stimulus, "
+                        f"fixed-step trap",
+            "gated": gated,
+            "monolithic_s": mono["wall_s_min"],
+            "partitioned_s": part["wall_s_min"],
+            "nobypass_s": exact["wall_s_min"],
+            "monolithic_s_all": mono["wall_s_all"],
+            "partitioned_s_all": part["wall_s_all"],
+            "speedup": mono["wall_s_min"] / part["wall_s_min"],
+            "speedup_nobypass": (mono["wall_s_min"]
+                                 / exact["wall_s_min"]),
+            "parity_bypass_v": part["parity_max"],
+            "parity_nobypass_v": exact["parity_max"],
+            "block_steps_active": int(active),
+            "block_steps_bypassed": int(bypassed),
+            "bypass_fraction": (bypassed / max(active + bypassed, 1)),
+            "interface_solve_reuses": int(
+                part["metrics"]["interface_solve_reuses"]),
+            "relax_escalations": int(
+                part["metrics"]["relax_escalations"]),
+        }
+    return out
+
+
+def bench_out_of_core() -> dict:
+    """ISSUE 10 gate: bounded peak memory for a store-backed transient.
+
+    One transient whose raw trace matrix exceeds
+    ``STORE_PEAK_CAP_BYTES`` runs twice — in-memory, then through the
+    chunked on-disk :class:`~repro.circuit.store.WaveformStore` — each
+    under ``tracemalloc``.  Hand-written (not a runner config): it
+    measures allocation peaks, which a forked or instrumented runner
+    would perturb.  Gates: the store-backed peak stays under the cap
+    *and* at least ``STORE_PEAK_RATIO_FLOOR`` x below the in-memory
+    peak, and the decimated ``Dataset.summary`` of the lazy run is
+    bit-identical to the in-memory one (the lazy Dataset contract).
+    The workload is a 16-branch RC star — wide enough rows that 10k
+    fixed steps push the raw trace well past the cap while each step
+    stays a cheap linear solve.
+    """
+    import shutil
+    import tempfile
+    import tracemalloc
+
+    from repro.circuit import (
+        Capacitor,
+        Circuit,
+        Resistor,
+        VoltageSource,
+    )
+    from repro.circuit.waveforms import Pulse
+
+    def star(n: int = 16) -> Circuit:
+        c = Circuit("rc-star")
+        c.add(VoltageSource("v1", "in", "0",
+                            Pulse(0.0, 1.0, delay=0.0, rise=1e-15,
+                                  width=1e-6, period=2e-6)))
+        for i in range(n):
+            c.add(Resistor(f"r{i}", "in", f"n{i}",
+                           1000.0 * (1 + 0.1 * i)))
+            c.add(Capacitor(f"c{i}", f"n{i}", "0", 1e-12))
+        return c
+
+    tstop, dt = 1e-7, 1e-11          # 10k fixed steps
+    probe = "v(n0)"
+
+    tracemalloc.start()
+    ds_mem = transient(star(), tstop=tstop, dt=dt,
+                       record_currents=False)
+    summary_mem = ds_mem.summary(probe)
+    peak_mem = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+
+    store_dir = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        tracemalloc.start()
+        ds_disk = transient(star(), tstop=tstop, dt=dt,
+                            record_currents=False, store=store_dir,
+                            store_chunk_rows=256)
+        summary_disk = ds_disk.summary(probe)
+        peak_disk = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+
+        rows = int(ds_disk.axis.size)
+        columns = star().dimension() + 1       # time + solution vector
+        raw_bytes = rows * columns * 8
+        summaries_identical = (
+            summary_mem.keys() == summary_disk.keys()
+            and all(np.array_equal(summary_mem[k], summary_disk[k])
+                    for k in summary_mem))
+        chunks = len(list(Path(store_dir).glob("chunk_*.npy")))
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    return {
+        "workload": "16-branch RC star, 10k fixed steps, "
+                    "in-memory vs chunked store (tracemalloc peaks)",
+        "rows": rows,
+        "columns": columns,
+        "raw_trace_bytes": raw_bytes,
+        "chunk_rows": 256,
+        "chunks_written": chunks,
+        "peak_in_memory_bytes": int(peak_mem),
+        "peak_store_bytes": int(peak_disk),
+        "peak_cap_bytes": STORE_PEAK_CAP_BYTES,
+        "peak_ratio": peak_mem / max(peak_disk, 1),
+        "summaries_identical": bool(summaries_identical),
     }
 
 
@@ -882,6 +958,8 @@ def main(argv=None) -> int:
         "mc_device": bench_mc_device(),
         "batch_transient": bench_batch_transient(),
         "large_circuit": bench_large_circuit(),
+        "partitioned_transient": bench_partitioned_transient(),
+        "out_of_core_store": bench_out_of_core(),
         "compiled_hot_path": bench_compiled_hot_path(),
         "service_load": bench_service_load(),
     }
@@ -923,6 +1001,18 @@ def main(argv=None) -> int:
           f"(parity {rca['transient']['parity_v']:.1e} V), DC "
           f"{rca['dc']['speedup']:.1f}x; 101-chain sweep parity "
           f"{chain['parity_v']:.1e} V")
+    pt = report["partitioned_transient"]
+    print(f"  partitioned transient: hold {pt['hold']['speedup']:.1f}x "
+          f"({pt['hold']['bypass_fraction']*100:.0f}% block-steps "
+          f"bypassed, parity {pt['hold']['parity_bypass_v']:.1e} V "
+          f"bypass / {pt['hold']['parity_nobypass_v']:.1e} V exact); "
+          f"pulse {pt['pulse']['speedup']:.1f}x (recorded, not gated)")
+    oc = report["out_of_core_store"]
+    print(f"  out-of-core store: {oc['raw_trace_bytes']/2**20:.1f} MiB "
+          f"raw trace, peak {oc['peak_store_bytes']/2**20:.2f} MiB "
+          f"store-backed vs {oc['peak_in_memory_bytes']/2**20:.2f} MiB "
+          f"in-memory ({oc['peak_ratio']:.1f}x), summaries "
+          f"{'identical' if oc['summaries_identical'] else 'DIVERGED'}")
     hp = report["compiled_hot_path"]
     if hp["compiled_available"]:
         print(f"  compiled hot path: rca32 transient "
@@ -1004,6 +1094,50 @@ def main(argv=None) -> int:
         if not lc["carry_launched_ok"]:
             failures.append("rca32 carry ripple did not launch "
                             "(s0 failed to fall)")
+        if pt["hold"]["speedup"] < PARTITION_SPEEDUP_FLOOR:
+            failures.append(
+                f"partitioned hold speedup "
+                f"{pt['hold']['speedup']:.2f}x < "
+                f"{PARTITION_SPEEDUP_FLOOR}x")
+        if pt["hold"]["block_steps_bypassed"] \
+                <= pt["hold"]["block_steps_active"]:
+            failures.append(
+                "partitioned hold bypass inert: "
+                f"{pt['hold']['block_steps_bypassed']} bypassed vs "
+                f"{pt['hold']['block_steps_active']} active "
+                f"block-steps on a quiescent run")
+        if pt["hold"]["interface_solve_reuses"] < 1:
+            failures.append(
+                "partitioned hold never reused the interface solve")
+        for label in ("hold", "pulse"):
+            if pt[label]["parity_bypass_v"] \
+                    > PARTITION_BYPASS_PARITY_TOL_V:
+                failures.append(
+                    f"partitioned {label} bypass parity "
+                    f"{pt[label]['parity_bypass_v']:.2e} V > "
+                    f"{PARTITION_BYPASS_PARITY_TOL_V:.0e} V")
+            if pt[label]["parity_nobypass_v"] \
+                    > PARTITION_EXACT_PARITY_TOL_V:
+                failures.append(
+                    f"partitioned {label} nobypass parity "
+                    f"{pt[label]['parity_nobypass_v']:.2e} V > "
+                    f"{PARTITION_EXACT_PARITY_TOL_V:.0e} V")
+        if oc["raw_trace_bytes"] <= STORE_PEAK_CAP_BYTES:
+            failures.append(
+                f"out-of-core workload too small: raw trace "
+                f"{oc['raw_trace_bytes']} B does not exceed the "
+                f"{STORE_PEAK_CAP_BYTES} B cap")
+        if oc["peak_store_bytes"] >= STORE_PEAK_CAP_BYTES:
+            failures.append(
+                f"store-backed peak {oc['peak_store_bytes']} B >= "
+                f"{STORE_PEAK_CAP_BYTES} B cap")
+        if oc["peak_ratio"] < STORE_PEAK_RATIO_FLOOR:
+            failures.append(
+                f"out-of-core peak ratio {oc['peak_ratio']:.1f}x < "
+                f"{STORE_PEAK_RATIO_FLOOR}x")
+        if not oc["summaries_identical"]:
+            failures.append(
+                "lazy-vs-eager decimated summaries diverged")
         if not hp["compiled_available"]:
             failures.append(
                 "compiled kernel tier unavailable (numba absent and "

@@ -70,11 +70,13 @@ def _drive_tau(family: LogicFamily, load_f: float) -> float:
 def _first_crossing_in(dataset: Dataset, trace: str, level: float,
                        t0: float, t1: float,
                        rising: Optional[bool] = None) -> float:
-    """First crossing of ``level`` inside ``[t0, t1)``; NaN if none."""
-    for t in dataset.crossings(trace, level, rising=rising):
-        if t0 <= t < t1:
-            return t
-    return math.nan
+    """First crossing of ``level`` inside ``[t0, t1)``; NaN if none.
+
+    Windowed through :meth:`Dataset.first_crossing`, so lazy
+    (store-backed) datasets read only the window's rows.
+    """
+    return dataset.first_crossing(trace, level, rising=rising,
+                                  after=t0, before=t1)
 
 
 def _supply_energy(dataset: Dataset, vdd: float, t0: float,
@@ -86,8 +88,7 @@ def _supply_energy(dataset: Dataset, vdd: float, t0: float,
     ``-vdd * i``; the leakage baseline just before ``t0`` is
     subtracted so plateau leakage does not bill the transition.
     """
-    t = dataset.axis
-    i = dataset.current("vdd_src")
+    t, i = dataset.window("i(vdd_src)", t0, t1)
     mask = (t >= t0) & (t <= t1)
     if mask.sum() < 2:
         return math.nan

@@ -26,7 +26,13 @@ A deliberately compact but real modified-nodal-analysis (MNA) simulator:
   NAND2/NAND3, NOR2, transmission gate, ring oscillator) plus
   hierarchical blocks (full adder, N-bit ripple-carry adder, inverter
   chains, 6T SRAM cell, mux trees) used by the examples and
-  :mod:`repro.characterize`.
+  :mod:`repro.characterize`;
+* :mod:`repro.circuit.partition` — block partitioning along subcircuit
+  boundaries with Schur-complement interface coupling and latency
+  bypass for mostly-quiescent transients
+  (``transient(partition="auto")``; see ``docs/partitioning.md``);
+* :mod:`repro.circuit.store` — chunked on-disk waveform store backing
+  the out-of-core ``Dataset`` mode (``transient(store=...)``).
 """
 
 from repro.circuit.ac import ac_analysis, decade_frequencies
@@ -56,7 +62,15 @@ from repro.circuit.elements import (
     VoltageSource,
 )
 from repro.circuit.netlist import Circuit
+from repro.circuit.partition import (
+    Partition,
+    PartitionBlock,
+    PartitionedAssembler,
+    PartitionReport,
+    partition_circuit,
+)
 from repro.circuit.results import Dataset
+from repro.circuit.store import WaveformStore
 from repro.circuit.transient import transient
 from repro.circuit.waveforms import DC, Pulse, PWLWaveform, Sine
 
@@ -87,6 +101,12 @@ __all__ = [
     "PWLWaveform",
     "NewtonOptions",
     "TwoPhaseAssembler",
+    "Partition",
+    "PartitionBlock",
+    "PartitionReport",
+    "PartitionedAssembler",
+    "partition_circuit",
+    "WaveformStore",
     "LaneBatch",
     "BatchTransientResult",
     "batch_transient",

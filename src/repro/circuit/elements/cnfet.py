@@ -484,10 +484,20 @@ class CNFETSlab(_StackedCNFETBank):
                 [m_idx(it, i_g), m_idx(it, i_d), m_idx(it, i_s)])
         self._m_idx = np.stack(matrix_rows)
         self._r_idx = np.stack([i_d, i_s, i_g, i_d, i_s])
+        # per-device chord memo of the subset path (the partitioned
+        # assembler evaluates only the active blocks' devices, so
+        # validity must be tracked per device, not slab-wide)
+        self._sub_key: Optional[Tuple] = None
+        self._sub_vgs = np.zeros(p)
+        self._sub_vds = np.zeros(p)
+        self._sub_values: Optional[np.ndarray] = None
+        self._sub_valid = np.zeros(p, dtype=bool)
 
     def reset(self) -> None:
         """Forget warm-start hints and previous-step charges."""
         self._bank_reset()
+        self._sub_key = None
+        self._sub_valid[:] = False
 
     def _biases(self, x: np.ndarray
                 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -575,6 +585,131 @@ class CNFETSlab(_StackedCNFETBank):
             self._r_idx[:rhs_values.shape[0]].ravel(),
             rhs_values.ravel(),
         )
+
+    # -- device-subset evaluation (partitioned assembly) ---------------
+
+    def _biases_at(self, x: np.ndarray, idx: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+        """n-frame per-device VGS/VDS for a device subset."""
+        xp = np.append(x, 0.0)  # ground pad
+        vs = xp[self._i_s[idx]]
+        sign = self.sign[idx]
+        return (sign * (xp[self._i_g[idx]] - vs),
+                sign * (xp[self._i_d[idx]] - vs))
+
+    def scatter_indices(self, cols: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat matrix / rhs destination index columns for a device
+        subset (global ``dim x dim`` coordinates, grounded entries on
+        the discard pad) — precomputed once per block by the
+        partitioned assembler."""
+        return self._m_idx[:, cols].copy(), self._r_idx[:, cols].copy()
+
+    def refresh_charges(self, x_prev: np.ndarray,
+                        idx: np.ndarray) -> None:
+        """Per-step ``q_prev`` refresh for a device subset — the
+        slab's ``begin_step`` scoped to the blocks active this step
+        (a bypassed block's charges stay frozen with the rest of its
+        contribution and are refreshed on promotion)."""
+        vgs, vds = self._biases_at(x_prev, idx)
+        qg, qd, qs = self._charges_arrays(vgs, vds, idx)
+        self.q_prev[0][idx] = qg
+        self.q_prev[1][idx] = qd
+        self.q_prev[2][idx] = qs
+
+    def companion_subset(self, x: np.ndarray, idx: np.ndarray, *,
+                         gmin: float, tran: bool,
+                         dt: Optional[float],
+                         reuse_tol: float = 0.0,
+                         seed_qprev: bool = False
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(values, rhs_values)`` companion columns for the device
+        subset ``idx`` — :meth:`stamp`'s evaluation core without the
+        scatter, so the partitioned assembler can run one stacked
+        evaluation per Newton iteration across all active blocks and
+        land each block's columns in its own triplet context.
+
+        The Jacobian-reuse chord runs per call over the subset: matrix
+        rows are reused verbatim while every *selected* device's bias
+        stays within the chord radius of its memoised linearisation
+        (devices sleeping in bypassed blocks keep their memo
+        untouched), and the rhs is rebuilt exactly as in
+        :meth:`stamp`.
+
+        With ``seed_qprev=True`` (valid only when ``x`` *is* the
+        previous step's solution, i.e. the first Newton iteration of a
+        transient step) the charges evaluated at ``x`` double as the
+        per-step ``q_prev`` refresh, replacing a separate
+        :meth:`refresh_charges` kernel call."""
+        vgs, vds = self._biases_at(x, idx)
+        key = (tran, dt, gmin)
+        if self._sub_key != key:
+            self._sub_valid[:] = False
+            self._sub_key = key
+        radius = max(reuse_tol, _SLAB_CHORD_RADIUS_V) \
+            if reuse_tol > 0.0 else 0.0
+        n_rows = 17 if tran else 8
+        if (radius > 0.0 and self._sub_values is not None
+                and self._sub_values.shape[0] == n_rows
+                and bool(np.all(self._sub_valid[idx]))
+                and float(np.max(np.abs(vgs - self._sub_vgs[idx])))
+                <= radius
+                and float(np.max(np.abs(vds - self._sub_vds[idx])))
+                <= radius):
+            values = self._sub_values[:, idx]
+            vsc = self.solver.solve(vgs, vds, self.hint, idx=idx,
+                                    stats=self.stats)
+            kt = self.kt[idx]
+            eta_s = (self.ef[idx] - vsc) / kt
+            eta_d = eta_s - vds / kt
+            ids = self.pref[idx] * (_log1pexp_many(eta_s)
+                                    - _log1pexp_many(eta_d))
+            sign = self.sign[idx]
+            gm = values[0]
+            gds = values[2] - gmin
+            residual = sign * ids - gm * sign * vgs - gds * sign * vds
+            rhs_values = np.empty((5 if tran else 2, idx.size))
+            rhs_values[0] = -residual
+            rhs_values[1] = residual
+            if tran:
+                length = self.length[idx]
+                qg = length * self.cg[idx] * (vgs + vsc)
+                qd = length * (self.cd[idx] * (vds + vsc)
+                               - self.curves.value(vsc + vds, idx=idx))
+                q0 = (qg, qd, -(qg + qd))
+                if seed_qprev:
+                    for t_idx in range(3):
+                        self.q_prev[t_idx][idx] = q0[t_idx]
+                for t_idx in range(3):
+                    geq_gs = values[8 + 3 * t_idx]
+                    geq_ds = values[9 + 3 * t_idx]
+                    i_now = (q0[t_idx]
+                             - self.q_prev[t_idx][idx]) / dt
+                    rhs_values[2 + t_idx] = -(
+                        sign * i_now - geq_gs * sign * vgs
+                        - geq_ds * sign * vds
+                    )
+            return values, rhs_values
+        if seed_qprev and tran:
+            qg, qd, qs = self._charges_arrays(vgs, vds, idx)
+            self.q_prev[0][idx] = qg
+            self.q_prev[1][idx] = qd
+            self.q_prev[2][idx] = qs
+        values, rhs_values, _vsc = self._companion(
+            vgs, vds, idx, gmin, tran, dt)
+        if radius > 0.0:
+            if self._sub_values is None \
+                    or self._sub_values.shape[0] != n_rows:
+                self._sub_values = np.zeros(
+                    (n_rows, len(self.elements)))
+                self._sub_valid[:] = False
+            self._sub_values[:, idx] = values
+            self._sub_vgs[idx] = vgs
+            self._sub_vds[idx] = vds
+            self._sub_valid[idx] = True
+        else:
+            self._sub_valid[idx] = False
+        return values, rhs_values
 
 
 class CNFETElement(Element):

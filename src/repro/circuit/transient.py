@@ -32,7 +32,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.cancel import CancelToken
-from repro.circuit.elements.base import StampContext
+from repro.circuit.elements.base import Element, StampContext
 from repro.circuit.elements.cnfet import CNFETElement
 from repro.circuit.elements.sources import VoltageSource
 from repro.circuit.mna import (
@@ -42,17 +42,27 @@ from repro.circuit.mna import (
     robust_dc_solve,
 )
 from repro.circuit.netlist import Circuit
+from repro.circuit.partition import (
+    Partition,
+    PartitionedAssembler,
+    partition_circuit,
+)
 from repro.circuit.solvers import BackendLike
 from repro.circuit.results import Dataset
+from repro.circuit.store import WaveformStore
 from repro.errors import AnalysisError, ParameterError
 
 __all__ = ["transient", "initial_conditions_from_op",
-           "DEFAULT_RTOL", "DEFAULT_ATOL"]
+           "DEFAULT_RTOL", "DEFAULT_ATOL", "DEFAULT_BYPASS_TOL"]
 
 #: Default relative LTE tolerance of the adaptive controller.
 DEFAULT_RTOL = 1e-3
 #: Default absolute LTE tolerance [V].
 DEFAULT_ATOL = 1e-6
+#: Default latency-bypass tolerance [V] for partitioned transients —
+#: a block whose scope moved less than this since its last solve is
+#: carried frozen (see ``docs/partitioning.md``).
+DEFAULT_BYPASS_TOL = 1e-6
 
 #: PI controller safety factor and per-step growth/shrink clamps.
 _SAFETY = 0.9
@@ -112,6 +122,17 @@ def _predict(hist_t: List[float], hist_x: List[np.ndarray], t_next: float,
     return None, 1.0
 
 
+def _stateful_elements(circuit: Circuit) -> List:
+    """Elements whose ``accept_step`` actually commits state.
+
+    Most elements inherit the base no-op; a 32-bit adder is ~1200
+    elements of which ~30 (the trap capacitors / inductors) keep
+    per-step state, so skipping the no-ops removes the dominant
+    Python-call cost of step acceptance."""
+    return [el for el in circuit.elements
+            if type(el).accept_step is not Element.accept_step]
+
+
 class _StepRecorder:
     """Accumulates accepted steps and finalises the Dataset."""
 
@@ -127,6 +148,7 @@ class _StepRecorder:
             matrix=np.zeros((0, 0)), rhs=np.zeros(0),
             node_index=circuit.node_index, x=x0, analysis="tran",
         )
+        self._accepting = _stateful_elements(circuit)
 
     def accept(self, t: float, x: np.ndarray, x_prev: np.ndarray,
                dt: float, method: str) -> None:
@@ -137,7 +159,7 @@ class _StepRecorder:
         ctx.dt = dt
         ctx.x_prev = x_prev
         ctx.method = method
-        for el in self.circuit.elements:
+        for el in self._accepting:
             el.accept_step(ctx)
         self.times.append(t)
         self.solutions.append(x.copy())
@@ -178,6 +200,102 @@ class _StepRecorder:
         return dataset
 
 
+class _StoreRecorder:
+    """Streams accepted steps into a :class:`WaveformStore`.
+
+    Drop-in for :class:`_StepRecorder` (same ``accept`` contract —
+    element state commits included) except rows leave RAM every
+    ``chunk_rows`` steps; ``dataset()`` returns a lazy Dataset over
+    the finished store.
+    """
+
+    def __init__(self, circuit: Circuit, x0: np.ndarray,
+                 directory, chunk_rows: int,
+                 record_currents: Union[bool, str]) -> None:
+        self.circuit = circuit
+        n = circuit.dimension()
+        columns = [f"aux{i}" for i in range(n + 1)]
+        columns[0] = "time"
+        for node, idx in circuit.node_index.items():
+            columns[1 + idx] = f"v({node})"
+        current_names = []
+        for el in circuit.iter_elements(VoltageSource):
+            columns[1 + el.aux_index] = f"i({el.name})"
+            current_names.append(f"i({el.name})")
+        exposed = ["time"]
+        exposed += [f"v({node})" for node in circuit.node_index]
+        if record_currents:
+            exposed += current_names
+        self.store = WaveformStore.create(directory, columns,
+                                          exposed=exposed,
+                                          chunk_rows=chunk_rows)
+        self._row = np.empty(n + 1)
+        self._ctx = StampContext(
+            matrix=np.zeros((0, 0)), rhs=np.zeros(0),
+            node_index=circuit.node_index, x=x0, analysis="tran",
+        )
+        self._row[0] = 0.0
+        self._row[1:] = x0
+        self.store.append(self._row)
+        self._accepting = _stateful_elements(circuit)
+
+    def accept(self, t: float, x: np.ndarray, x_prev: np.ndarray,
+               dt: float, method: str) -> None:
+        """Commit a converged step: element state update + a store row."""
+        ctx = self._ctx
+        ctx.x = x
+        ctx.time = t
+        ctx.dt = dt
+        ctx.x_prev = x_prev
+        ctx.method = method
+        for el in self._accepting:
+            el.accept_step(ctx)
+        self._row[0] = t
+        self._row[1:] = x
+        self.store.append(self._row)
+
+    def dataset(self, record_currents) -> Dataset:
+        self.store.close()
+        return Dataset.from_store(self.store)
+
+
+def _resolve_partition(circuit: Circuit, partition,
+                       bypass_tol: Optional[float]
+                       ) -> Tuple[Optional[Partition], float, bool]:
+    """Validate/normalise the ``partition``/``bypass_tol`` pair.
+
+    Returns ``(partition_or_None, bypass_tol, escalate)`` where
+    ``escalate`` records that ``"auto"`` was requested (a failing
+    partitioned run may fall back to the monolithic engine).
+    """
+    escalate = False
+    if partition is None or partition == "off":
+        if bypass_tol is not None:
+            raise ParameterError(
+                "bypass_tol only applies to a partitioned transient "
+                "(pass partition='auto' or a Partition)")
+        return None, 0.0, escalate
+    if isinstance(partition, str):
+        if partition != "auto":
+            raise ParameterError(
+                f"partition must be 'off', 'auto' or a Partition: "
+                f"{partition!r}")
+        escalate = True
+        partition = partition_circuit(circuit)
+        if len(partition.blocks) < 2:
+            # Nothing to decouple: one block (or all-interface) would
+            # just be the monolithic solve with extra indirection.
+            return None, 0.0, escalate
+    elif not isinstance(partition, Partition):
+        raise ParameterError(
+            f"partition must be 'off', 'auto' or a Partition: "
+            f"{partition!r}")
+    tol = DEFAULT_BYPASS_TOL if bypass_tol is None else float(bypass_tol)
+    if tol < 0.0:
+        raise ParameterError(f"bypass_tol must be >= 0: {bypass_tol!r}")
+    return partition, tol, escalate
+
+
 def transient(
     circuit: Circuit,
     tstop: float,
@@ -197,6 +315,10 @@ def transient(
     extra_breakpoints: Sequence[float] = (),
     backend: BackendLike = None,
     cancel: Optional[CancelToken] = None,
+    partition: "Union[None, str, Partition]" = None,
+    bypass_tol: Optional[float] = None,
+    store: "Optional[str]" = None,
+    store_chunk_rows: int = 256,
 ) -> Dataset:
     """Integrate the circuit from its DC operating point to ``tstop``.
 
@@ -259,6 +381,31 @@ def transient(
         with :class:`~repro.errors.CancelledError` within one
         iteration's latency (how the job service enforces per-job
         ``deadline_s``).
+    partition : None, "off", "auto" or Partition, optional
+        ``"auto"`` partitions the circuit
+        (:func:`repro.circuit.partition.partition_circuit`) and solves
+        each step block-by-block through a Schur-complement interface
+        system with latency bypass; a run that fails to converge
+        escalates to the monolithic engine automatically.  Passing a
+        prebuilt :class:`~repro.circuit.partition.Partition` uses it
+        as-is (no escalation).  Default/``"off"``: monolithic.  See
+        ``docs/partitioning.md``.
+    bypass_tol : float, optional
+        **Partitioned only** — latency-bypass tolerance [V]
+        (default 1e-6): a block whose boundary voltages and internal
+        state all moved less than this since its last solve is carried
+        frozen for the step — no device evaluation, stamping or
+        refactorisation.  ``0.0`` disables bypass.
+    store : str, optional
+        Directory for an out-of-core run: accepted steps stream into a
+        chunked :class:`~repro.circuit.store.WaveformStore` there and
+        the returned Dataset is lazy (one column resident at a time),
+        so peak memory is bounded by ``store_chunk_rows`` rows instead
+        of the trace length.  Requires ``record_currents`` ``False``
+        or ``"sources"`` (the CNFET current post-pass of ``True``
+        needs the full solution matrix in RAM).
+    store_chunk_rows : int
+        Rows buffered per store chunk (default 256).
 
     Returns
     -------
@@ -311,6 +458,16 @@ def transient(
             )
         if dt is not None and dt <= 0.0:
             raise ParameterError(f"initial dt must be > 0: {dt!r}")
+    if store is not None and record_currents is True:
+        raise ParameterError(
+            "store mode needs record_currents=False or 'sources': the "
+            "CNFET current post-pass of record_currents=True would "
+            "materialize the full trace the store exists to avoid")
+    if store is not None and store_chunk_rows < 1:
+        raise ParameterError(
+            f"store_chunk_rows must be >= 1: {store_chunk_rows!r}")
+    part, tol, escalate = _resolve_partition(circuit, partition,
+                                             bypass_tol)
 
     circuit.reset_state()
     n = circuit.dimension()
@@ -324,7 +481,11 @@ def transient(
                 f"x0 has shape {x.shape}, expected ({n},)"
             )
 
-    recorder = _StepRecorder(circuit, x)
+    if store is not None:
+        recorder = _StoreRecorder(circuit, x, store, store_chunk_rows,
+                                  record_currents)
+    else:
+        recorder = _StepRecorder(circuit, x)
     breakpoints = _collect_breakpoints(circuit, tstop)
     if extra_breakpoints:
         merged = set(breakpoints)
@@ -334,14 +495,39 @@ def transient(
     # One assembler for the whole run: matrix/rhs buffers (and, for
     # the sparse backend, the symbolic pattern) live across steps;
     # only the static stamps are refreshed per step.
-    assembler = TwoPhaseAssembler(circuit, backend=backend)
-    if adaptive:
-        _adaptive_loop(circuit, tstop, method, options, x, recorder,
-                       assembler, breakpoints, rtol, atol, dt_min, dt_max,
-                       dt, stats, cancel)
+    if part is not None:
+        assembler = PartitionedAssembler(circuit, part, bypass_tol=tol)
     else:
-        _fixed_loop(circuit, tstop, dt, method, options, x, recorder,
-                    assembler, breakpoints, max_halvings, stats, cancel)
+        assembler = TwoPhaseAssembler(circuit, backend=backend)
+    try:
+        if adaptive:
+            _adaptive_loop(circuit, tstop, method, options, x, recorder,
+                           assembler, breakpoints, rtol, atol, dt_min,
+                           dt_max, dt, stats, cancel)
+        else:
+            _fixed_loop(circuit, tstop, dt, method, options, x, recorder,
+                        assembler, breakpoints, max_halvings, stats,
+                        cancel)
+    except AnalysisError:
+        if part is None or not escalate:
+            raise
+        # "auto" contract: a partitioned run that cannot converge is
+        # re-run monolithically from scratch (element transient state
+        # is reset by the recursive call).
+        if stats is not None:
+            stats["partition_escalated"] = \
+                stats.get("partition_escalated", 0) + 1
+        return transient(
+            circuit, tstop, dt, method, options, record_currents, x0,
+            max_halvings, stats, adaptive=adaptive, rtol=rtol, atol=atol,
+            dt_min=dt_min, dt_max=dt_max,
+            extra_breakpoints=extra_breakpoints, backend=backend,
+            cancel=cancel, partition="off", store=store,
+            store_chunk_rows=store_chunk_rows,
+        )
+    if part is not None and stats is not None:
+        for key, value in assembler.stats.items():
+            stats[f"partition_{key}"] = value
     return recorder.dataset(record_currents)
 
 

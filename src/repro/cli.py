@@ -10,6 +10,13 @@ Subcommands
 ``mc``           run a variability Monte-Carlo campaign
 ``characterize`` delay/slew/energy tables for a logic gate
 ``netlist``      parse a SPICE-flavoured deck and run its analyses
+``transient``    run one transient on a deck, optionally partitioned
+                 (``--partition auto``, latency bypass) and/or
+                 streamed to an on-disk store (``--store DIR``) —
+                 see ``docs/partitioning.md``
+``partition-report``  print the block structure a partitioned
+                 transient would use (block count, size histogram,
+                 boundary-node count)
 ``serve``        run the HTTP job server (see ``docs/service.md``)
 ``experiments``  run a declarative experiment config (factors x levels
                  x repetitions) into a resumable run directory with a
@@ -338,6 +345,95 @@ def _cmd_netlist(args) -> int:
     return 0
 
 
+def _read_deck(path: str):
+    from repro.circuit.parser import parse_netlist
+
+    if path == "-":
+        return parse_netlist(sys.stdin.read(), title="<stdin>"), "<stdin>"
+    with open(path) as handle:
+        text = handle.read()
+    return parse_netlist(text, title=path), path
+
+
+def _cmd_transient(args) -> int:
+    from repro.circuit.transient import transient
+    from repro.experiments.report import sparkline
+
+    deck, title = _read_deck(args.deck)
+    circuit = deck.circuit
+    tstop, tstep = args.tstop, args.dt
+    if tstop is None or tstep is None:
+        # fall back to the deck's own .tran directive
+        for directive in deck.analyses:
+            if directive.kind == "tran":
+                tstop = directive.params["tstop"] if tstop is None \
+                    else tstop
+                tstep = directive.params["tstep"] if tstep is None \
+                    else tstep
+                break
+    if tstop is None:
+        print("error: no --tstop and the deck has no .tran directive",
+              file=sys.stderr)
+        return 2
+    stats: dict = {}
+    ds = transient(
+        circuit, tstop=tstop, dt=tstep, method=args.method,
+        record_currents="sources" if args.store is None else False,
+        stats=stats, backend=args.backend,
+        partition=args.partition, bypass_tol=args.bypass_tol,
+        store=args.store, store_chunk_rows=args.store_chunk_rows,
+    )
+    shown = args.nodes.split(",") if args.nodes else circuit.nodes[:4]
+    payload = {
+        "command": "transient", "deck": title,
+        "partition": args.partition, "store": args.store,
+        "steps": stats.get("steps", 0),
+        "newton_iterations": stats.get("iterations", 0),
+        "time_points": int(ds.axis.shape[0]),
+        "partition_stats": {k: v for k, v in stats.items()
+                            if k.startswith("partition_")},
+        "final": {f"v({n})": float(ds.voltage(n)[-1]) for n in shown},
+    }
+    if args.json:
+        print(_dump_json(payload))
+        return 0
+    print(f"transient on {title}: {payload['time_points']} time "
+          f"points, {payload['newton_iterations']} Newton iterations "
+          f"[partition={args.partition}]")
+    byp = stats.get("partition_block_steps_bypassed")
+    if byp is not None:
+        active = stats.get("partition_block_steps_active", 0)
+        print(f"  block-steps: {active} active, {byp} bypassed")
+    for node in shown:
+        print(f"  v({node}): {sparkline(ds.voltage(node), 50)}")
+    if args.store:
+        print(f"  waveforms stored in {args.store}")
+    return 0
+
+
+def _cmd_partition_report(args) -> int:
+    from repro.circuit.partition import partition_circuit
+
+    deck, title = _read_deck(args.deck)
+    kwargs = {} if args.max_block is None else \
+        {"max_block": args.max_block}
+    part = partition_circuit(deck.circuit, **kwargs)
+    report = part.report()
+    if args.json:
+        payload = report.as_dict()
+        payload["command"] = "partition-report"
+        payload["deck"] = title
+        print(_dump_json(payload))
+        return 0
+    print(f"partition of {title}: {report.n_blocks} blocks, "
+          f"{report.boundary_nodes} boundary nodes, "
+          f"{report.interface_unknowns} interface unknowns "
+          f"of {report.total_unknowns} total")
+    print("block sizes (unknowns per block):")
+    print(report.histogram())
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import sys as _sys
 
@@ -560,6 +656,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_net.add_argument("--json", action="store_true",
                        help="print a machine-readable JSON payload")
     p_net.set_defaults(func=_cmd_netlist)
+
+    p_tran = sub.add_parser(
+        "transient",
+        help="run one transient on a netlist deck, optionally "
+             "partitioned (latency bypass) and/or streamed to an "
+             "on-disk waveform store")
+    p_tran.add_argument("deck", help="netlist file path, or '-' for stdin")
+    p_tran.add_argument("--tstop", type=float, default=None,
+                        help="stop time [s] (default: the deck's "
+                             ".tran directive)")
+    p_tran.add_argument("--dt", type=float, default=None,
+                        help="fixed step [s] (default: the deck's "
+                             ".tran step, else adaptive)")
+    p_tran.add_argument("--method", choices=("trap", "be"),
+                        default="trap")
+    p_tran.add_argument("--partition", choices=("off", "auto"),
+                        default="off",
+                        help="partition along subcircuit boundaries "
+                             "and skip quiescent blocks "
+                             "(docs/partitioning.md)")
+    p_tran.add_argument("--bypass-tol", type=float, default=None,
+                        help="latency-bypass drift tolerance [V] "
+                             "(requires --partition auto; 0 disables "
+                             "bypass while keeping the block solve)")
+    p_tran.add_argument("--store", default=None, metavar="DIR",
+                        help="stream waveforms to a chunked on-disk "
+                             "store instead of holding them in memory")
+    p_tran.add_argument("--store-chunk-rows", type=int, default=256,
+                        help="rows buffered per store chunk")
+    p_tran.add_argument("--nodes", default=None,
+                        help="comma-separated nodes to report "
+                             "(default: first few, sorted)")
+    _backend_argument(p_tran)
+    p_tran.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON payload")
+    p_tran.set_defaults(func=_cmd_transient)
+
+    p_part = sub.add_parser(
+        "partition-report",
+        help="print the block structure a partitioned transient "
+             "would use (block count, size histogram, boundary nodes)")
+    p_part.add_argument("deck", help="netlist file path, or '-' for stdin")
+    p_part.add_argument("--max-block", type=int, default=None,
+                        help="maximum elements per block before a "
+                             "group is split further")
+    p_part.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON payload")
+    p_part.set_defaults(func=_cmd_partition_report)
 
     p_srv = sub.add_parser(
         "serve",

@@ -95,6 +95,12 @@ class AnalysisError(ReproError, RuntimeError):
         self.strategies = strategies
 
 
+class StoreError(ReproError, RuntimeError):
+    """An on-disk waveform store (``repro.circuit.store``) is missing,
+    corrupt beyond the quarantined chunks, or was opened with an
+    incompatible schema version."""
+
+
 class ParallelError(ReproError, RuntimeError):
     """A sharded :func:`repro.parallel.fork_map` run failed as a whole
     (the ``timeout=`` budget elapsed with shards still running).  An

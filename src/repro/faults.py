@@ -58,7 +58,7 @@ from typing import Callable, Dict, Iterator, List, Mapping, Optional, \
 from repro.errors import ParameterError
 
 __all__ = ["SEAMS", "FaultPlan", "activate", "active_plan", "fire",
-           "mangle_text", "sleep_seam", "add_listener",
+           "mangle_text", "mangle_bytes", "sleep_seam", "add_listener",
            "remove_listener"]
 
 #: Documented fault seams: name -> one-line description.
@@ -244,6 +244,16 @@ def mangle_text(seam: str, text: str) -> str:
     if fire(seam):
         return text[:max(1, len(text) // 2)]
     return text
+
+
+def mangle_bytes(seam: str, data: bytes) -> bytes:
+    """Binary twin of :func:`mangle_text`: return ``data`` truncated to
+    half length when ``seam`` fires — the shape a crash mid-write
+    leaves behind — else unchanged.  Used by the chunked waveform
+    store, whose ``.npy`` chunks are not text."""
+    if fire(seam):
+        return data[:max(1, len(data) // 2)]
+    return data
 
 
 def sleep_seam(seam: str) -> None:

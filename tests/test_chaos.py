@@ -15,6 +15,7 @@ import json
 import multiprocessing
 import time
 
+import numpy as np
 import pytest
 
 from repro import faults
@@ -346,6 +347,71 @@ class TestExprunnerChaos:
             dict(config.describe(), seed=99))
         with pytest.raises(CampaignError, match="different experiment"):
             ExperimentRunner(changed, tmp_path).run()
+
+
+# ---------------------------------------------------------------------
+# Waveform-store chaos: truncated chunk quarantined, recompute rebuilds
+# ---------------------------------------------------------------------
+
+class TestStoreTruncateSeam:
+    @staticmethod
+    def _run(store_dir):
+        from repro.circuit import (Capacitor, Circuit, Resistor,
+                                   VoltageSource, transient)
+        from repro.circuit.waveforms import Pulse
+
+        c = Circuit("rc")
+        c.add(VoltageSource("v1", "in", "0",
+                            Pulse(0.0, 1.0, delay=0.0, rise=1e-15,
+                                  width=1e-6, period=2e-6)))
+        c.add(Resistor("r1", "in", "out", 1000.0))
+        c.add(Capacitor("c1", "out", "0", 1e-12))
+        return transient(c, tstop=5e-9, dt=1e-11,
+                         record_currents=False,
+                         store=str(store_dir), store_chunk_rows=64)
+
+    def test_truncated_chunk_quarantined_then_recomputed(self, tmp_path):
+        from repro.circuit import WaveformStore
+        from repro.circuit.results import Dataset
+
+        baseline = self._run(tmp_path / "baseline")
+
+        # Chaos pass: the third chunk write lands truncated, as a crash
+        # between write and rename would leave it.  The writer itself
+        # does not notice; the run "crashes" when result assembly first
+        # reads the store back (a StoreError, not a raw numpy error).
+        from repro.errors import StoreError
+
+        plan = faults.FaultPlan(seed=3,
+                                schedule={"persist.truncate": [3]})
+        chaos_dir = tmp_path / "chaos"
+        with faults.activate(plan):
+            with pytest.raises(StoreError, match="chunk_00002"):
+                self._run(chaos_dir)
+        assert ("persist.truncate", 3) in plan.fired
+
+        # Reopen: chunk 2 fails validation; it and every later chunk
+        # (their rows would shift) are quarantined, the survivors stay
+        # readable and equal to the baseline prefix.
+        store = WaveformStore.open(chaos_dir)
+        assert store.quarantined > 0
+        assert (chaos_dir / "quarantine" / "chunk_00002.npy").exists()
+        surviving = Dataset.from_store(store)
+        n = surviving.axis.shape[0]
+        assert n == 128  # two intact 64-row chunks
+        for name in surviving.names:
+            assert np.array_equal(surviving.trace(name),
+                                  baseline.trace(name)[:n])
+
+        # Recompute: rerunning into the same directory resets the store
+        # and rebuilds the full run, identical to the fault-free one.
+        recomputed = self._run(chaos_dir)
+        for name in baseline.names:
+            assert np.array_equal(recomputed.trace(name),
+                                  baseline.trace(name))
+        reopened = WaveformStore.open(chaos_dir)
+        assert reopened.quarantined == 0
+        assert reopened.n_rows == baseline.axis.shape[0]
 
 
 # ---------------------------------------------------------------------

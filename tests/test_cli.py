@@ -241,3 +241,107 @@ class TestNetlistCommand:
         rc = main(["mc", "--samples", "4", "--seed", "3",
                    "--workload", "inverter", "--backend", "dense"])
         assert rc == 0
+
+PARTITION_DECK = """
+.model fast cnfet model=model2 fermi_level_ev=-0.32
+.subckt inv a y vdd
+Qp y a vdd fast polarity=p
+Qn y a 0 fast
+.ends inv
+Vdd vdd 0 0.6
+Vin in 0 PULSE(0 0.6 2p 0.5p 0.5p 10p 40p)
+X1 in n1 vdd inv
+X2 n1 n2 vdd inv
+X3 n2 out vdd inv
+Cl out 0 1e-17
+.tran 0.5p 10p be
+.end
+"""
+
+
+class TestPartitionReportCommand:
+    def _deck(self, tmp_path):
+        path = tmp_path / "chain.cir"
+        path.write_text(PARTITION_DECK)
+        return str(path)
+
+    def test_prints_blocks_and_histogram(self, capsys, tmp_path):
+        rc = main(["partition-report", self._deck(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "blocks" in out and "boundary nodes" in out
+        assert "|" in out  # the size histogram
+
+    def test_json_payload(self, capsys, tmp_path):
+        rc = main(["partition-report", self._deck(tmp_path), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "partition-report"
+        assert payload["n_blocks"] >= 2
+        assert payload["boundary_nodes"] > 0
+        assert sum(payload["block_unknowns"]) \
+            + payload["interface_unknowns"] == payload["total_unknowns"]
+
+    def test_max_block_flag(self, capsys, tmp_path):
+        rc = main(["partition-report", self._deck(tmp_path),
+                   "--max-block", "1", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "partition-report"
+
+
+class TestTransientCommand:
+    def _deck(self, tmp_path):
+        path = tmp_path / "chain.cir"
+        path.write_text(PARTITION_DECK)
+        return str(path)
+
+    def test_uses_deck_tran_directive(self, capsys, tmp_path):
+        rc = main(["transient", self._deck(tmp_path), "--nodes", "out"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "time points" in out and "v(out)" in out
+
+    def test_partition_auto_reports_block_steps(self, capsys, tmp_path):
+        rc = main(["transient", self._deck(tmp_path),
+                   "--partition", "auto", "--nodes", "out", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["partition"] == "auto"
+        assert payload["partition_stats"]["partition_steps"] > 0
+        assert "v(out)" in payload["final"]
+
+    def test_partition_matches_monolithic_final_state(
+            self, capsys, tmp_path):
+        rc = main(["transient", self._deck(tmp_path), "--json"])
+        mono = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        rc = main(["transient", self._deck(tmp_path),
+                   "--partition", "auto", "--json"])
+        part = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        for key, value in mono["final"].items():
+            assert abs(part["final"][key] - value) < 5e-6
+
+    def test_store_flag_writes_chunked_store(self, capsys, tmp_path):
+        store_dir = tmp_path / "waves"
+        rc = main(["transient", self._deck(tmp_path),
+                   "--store", str(store_dir), "--nodes", "out"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"waveforms stored in {store_dir}" in out
+        assert (store_dir / "meta.json").exists()
+        assert list(store_dir.glob("chunk_*.npy"))
+
+    def test_bypass_tol_requires_partition(self, capsys, tmp_path):
+        rc = main(["transient", self._deck(tmp_path),
+                   "--bypass-tol", "1e-6"])
+        assert rc == 2
+        assert "bypass_tol" in capsys.readouterr().err
+
+    def test_missing_tstop_reported(self, capsys, tmp_path):
+        path = tmp_path / "no_tran.cir"
+        path.write_text("V1 in 0 1\nR1 in out 1k\nC1 out 0 1p\n.end\n")
+        rc = main(["transient", str(path)])
+        assert rc == 2
+        assert "tstop" in capsys.readouterr().err

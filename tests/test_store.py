@@ -1,0 +1,177 @@
+"""Chunked on-disk waveform store and the lazy Dataset mode."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    VoltageSource,
+    WaveformStore,
+    transient,
+)
+from repro.circuit.results import Dataset
+from repro.circuit.store import STORE_VERSION
+from repro.circuit.waveforms import Pulse
+from repro.errors import ParameterError, StoreError
+
+
+def rc_circuit() -> Circuit:
+    c = Circuit("rc")
+    c.add(VoltageSource("v1", "in", "0",
+                        Pulse(0.0, 1.0, delay=0.0, rise=1e-15,
+                              width=1e-6, period=2e-6)))
+    c.add(Resistor("r1", "in", "out", 1000.0))
+    c.add(Capacitor("c1", "out", "0", 1e-12))
+    return c
+
+
+def _filled_store(directory, rows=10, chunk_rows=4) -> np.ndarray:
+    """Write ``rows`` deterministic rows; return the matrix written."""
+    data = np.arange(rows * 3, dtype=float).reshape(rows, 3)
+    with WaveformStore.create(directory, ["time", "v(a)", "v(b)"],
+                              chunk_rows=chunk_rows) as store:
+        for row in data:
+            store.append(row)
+    return data
+
+
+class TestStoreRoundTrip:
+    def test_round_trip_across_chunk_boundaries(self, tmp_path):
+        data = _filled_store(tmp_path / "s", rows=10, chunk_rows=4)
+        store = WaveformStore.open(tmp_path / "s")
+        assert store.n_rows == 10
+        assert store.axis_name == "time"
+        assert store.quarantined == 0
+        # three chunks: 4 + 4 + the 2-row tail flushed by close()
+        assert len(list(tmp_path.glob("s/chunk_*.npy"))) == 3
+        for j, name in enumerate(["time", "v(a)", "v(b)"]):
+            np.testing.assert_array_equal(store.read_column(name),
+                                          data[:, j])
+        # slices that start/stop mid-chunk
+        np.testing.assert_array_equal(
+            store.read_column("v(a)", start=3, stop=9), data[3:9, 1])
+        assert store.read_column("v(b)", start=7, stop=7).size == 0
+
+    def test_column_and_write_errors(self, tmp_path):
+        _filled_store(tmp_path / "s")
+        store = WaveformStore.open(tmp_path / "s")
+        with pytest.raises(ParameterError):
+            store.column_index("v(nope)")
+        with pytest.raises(StoreError):
+            store.append(np.zeros(3))  # read-only after open
+        writable = WaveformStore.create(tmp_path / "w", ["time", "x"])
+        with pytest.raises(ParameterError):
+            writable.append(np.zeros(5))  # wrong width
+        writable.close()
+        with pytest.raises(StoreError):
+            writable.append(np.zeros(2))  # closed
+        with pytest.raises(ParameterError):
+            WaveformStore.create(tmp_path / "bad", ["time"],
+                                 chunk_rows=0)
+
+    def test_open_rejects_missing_and_foreign_stores(self, tmp_path):
+        with pytest.raises(StoreError):
+            WaveformStore.open(tmp_path / "nothing")
+        _filled_store(tmp_path / "s")
+        meta = tmp_path / "s" / "meta.json"
+        payload = json.loads(meta.read_text())
+        payload["version"] = STORE_VERSION + 1
+        meta.write_text(json.dumps(payload))
+        with pytest.raises(StoreError):
+            WaveformStore.open(tmp_path / "s")
+
+    def test_create_resets_previous_run(self, tmp_path):
+        _filled_store(tmp_path / "s", rows=10)
+        with WaveformStore.create(tmp_path / "s", ["time", "y"]) as store:
+            store.append(np.array([0.0, 1.0]))
+        reopened = WaveformStore.open(tmp_path / "s")
+        assert reopened.n_rows == 1
+        assert reopened.columns == ["time", "y"]
+        # the old run's chunks are gone, not silently appended to
+        assert len(list(tmp_path.glob("s/chunk_*.npy"))) == 1
+
+
+class TestStoreValidation:
+    def test_truncated_chunk_quarantined_with_successors(self, tmp_path):
+        _filled_store(tmp_path / "s", rows=10, chunk_rows=4)
+        victim = tmp_path / "s" / "chunk_00001.npy"
+        victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+        store = WaveformStore.open(tmp_path / "s")
+        # chunk 1 is corrupt; chunk 2's rows would shift, so both go
+        assert store.quarantined == 2
+        assert store.n_rows == 4
+        quarantine = tmp_path / "s" / "quarantine"
+        assert (quarantine / "chunk_00001.npy").exists()
+        assert (quarantine / "chunk_00002.npy").exists()
+        # the surviving prefix stays readable
+        assert store.read_column("time").tolist() == [0.0, 3.0, 6.0, 9.0]
+        # validate=False trusts the table (and then fails on read)
+        trusting = WaveformStore.open(tmp_path / "s", validate=False)
+        assert trusting.n_rows == 10
+
+    def test_deleted_chunk_quarantines_successors(self, tmp_path):
+        _filled_store(tmp_path / "s", rows=10, chunk_rows=4)
+        (tmp_path / "s" / "chunk_00000.npy").unlink()
+        store = WaveformStore.open(tmp_path / "s")
+        assert store.quarantined == 3
+        assert store.n_rows == 0
+
+
+class TestLazyDataset:
+    def _pair(self, tmp_path):
+        ds_mem = transient(rc_circuit(), tstop=5e-9, dt=1e-11,
+                           record_currents=False)
+        ds_disk = transient(rc_circuit(), tstop=5e-9, dt=1e-11,
+                            record_currents=False,
+                            store=str(tmp_path / "run"),
+                            store_chunk_rows=64)
+        return ds_mem, ds_disk
+
+    def test_store_backed_run_matches_in_memory(self, tmp_path):
+        ds_mem, ds_disk = self._pair(tmp_path)
+        assert not ds_mem.is_lazy and ds_disk.is_lazy
+        assert ds_mem.names == ds_disk.names
+        for name in ds_mem.names:
+            np.testing.assert_array_equal(ds_mem.trace(name),
+                                          ds_disk.trace(name))
+
+    def test_windowed_measurements_identical(self, tmp_path):
+        ds_mem, ds_disk = self._pair(tmp_path)
+        assert ds_disk.first_crossing("v(out)", 0.5) \
+            == ds_mem.first_crossing("v(out)", 0.5)
+        sum_mem = ds_mem.summary("v(out)")
+        sum_disk = ds_disk.summary("v(out)")
+        assert sum_mem.keys() == sum_disk.keys()
+        for key in sum_mem:
+            np.testing.assert_array_equal(sum_mem[key], sum_disk[key])
+        t_mem, v_mem = ds_mem.window("v(out)", 1e-9, 3e-9)
+        t_disk, v_disk = ds_disk.window("v(out)", 1e-9, 3e-9)
+        np.testing.assert_array_equal(t_mem, t_disk)
+        np.testing.assert_array_equal(v_mem, v_disk)
+
+    def test_store_survives_reopen(self, tmp_path):
+        _, ds_disk = self._pair(tmp_path)
+        reloaded = Dataset.from_store(
+            WaveformStore.open(tmp_path / "run"))
+        np.testing.assert_array_equal(reloaded.trace("v(out)"),
+                                      ds_disk.trace("v(out)"))
+
+    def test_store_requires_reduced_current_recording(self, tmp_path):
+        with pytest.raises(ParameterError):
+            transient(rc_circuit(), tstop=1e-9, dt=1e-11,
+                      store=str(tmp_path / "run"))  # record_currents=True
+        with pytest.raises(ParameterError):
+            transient(rc_circuit(), tstop=1e-9, dt=1e-11,
+                      record_currents=False,
+                      store=str(tmp_path / "run"), store_chunk_rows=0)
+
+    def test_sources_mode_records_branch_currents(self, tmp_path):
+        ds = transient(rc_circuit(), tstop=1e-9, dt=1e-11,
+                       record_currents="sources",
+                       store=str(tmp_path / "run"))
+        assert "i(v1)" in ds.names
+        assert ds.trace("i(v1)").shape == ds.axis.shape
